@@ -1,0 +1,48 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// An assembly error, pinned to the 1-based source line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    message: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line` (1-based) with a human-readable message.
+    pub fn new(line: u32, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// The 1-based source line.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error message (without position information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "unknown mnemonic `bogus`");
+        assert_eq!(e.to_string(), "line 7: unknown mnemonic `bogus`");
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "unknown mnemonic `bogus`");
+    }
+}

@@ -1,0 +1,200 @@
+//! Line-oriented tokenizer for LR5 assembly.
+
+use crate::error::AsmError;
+
+/// A lexical token within one source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier, mnemonic, register name or directive (with dot).
+    Ident(String),
+    /// An integer literal (decimal, `0x...`, `0b...`, optionally negative).
+    Int(i64),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `%` (introduces `%hi` / `%lo`)
+    Percent,
+}
+
+/// Tokenizes one line. Comments (`;`, `#`, `//`) are stripped.
+pub fn tokenize_line(line: &str, line_no: u32) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => break,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                tokens.push(Token::Int(parse_int(text, line_no)?));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(line[start..i].to_owned()));
+            }
+            other => {
+                return Err(AsmError::new(line_no, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_int(text: &str, line_no: u32) -> Result<i64, AsmError> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).or_else(|_| u64::from_str_radix(hex, 16).map(|v| v as i64))
+    } else if let Some(bin) = text.strip_prefix("0b").or_else(|| text.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        text.parse::<i64>()
+    };
+    parsed.map_err(|_| AsmError::new(line_no, format!("bad integer literal `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_instruction_line() {
+        let toks = tokenize_line("add a0, a1, a2 ; sum", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("add".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Ident("a1".into()),
+                Token::Comma,
+                Token::Ident("a2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_label_and_memory_operand() {
+        let toks = tokenize_line("loop: lw a0, -4(sp)", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("loop".into()),
+                Token::Colon,
+                Token::Ident("lw".into()),
+                Token::Ident("a0".into()),
+                Token::Comma,
+                Token::Minus,
+                Token::Int(4),
+                Token::LParen,
+                Token::Ident("sp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_binary_literals() {
+        assert_eq!(tokenize_line("0xFF", 1).unwrap(), vec![Token::Int(255)]);
+        assert_eq!(tokenize_line("0b101", 1).unwrap(), vec![Token::Int(5)]);
+        assert_eq!(
+            tokenize_line("0xFFFFFFFF", 1).unwrap(),
+            vec![Token::Int(0xFFFF_FFFF)]
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert!(tokenize_line("# comment", 1).unwrap().is_empty());
+        assert!(tokenize_line("// comment", 1).unwrap().is_empty());
+        assert!(tokenize_line("; comment", 1).unwrap().is_empty());
+        assert_eq!(tokenize_line("nop // tail", 1).unwrap(), vec![Token::Ident("nop".into())]);
+    }
+
+    #[test]
+    fn directives_keep_dot() {
+        let toks = tokenize_line(".word 1, 2", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident(".word".into()), Token::Int(1), Token::Comma, Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn percent_hi_lo() {
+        let toks = tokenize_line("%hi(buf)", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Percent,
+                Token::Ident("hi".into()),
+                Token::LParen,
+                Token::Ident("buf".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_integer_is_error() {
+        assert!(tokenize_line("0xZZ", 3).is_err());
+        let err = tokenize_line("123abc", 3).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(tokenize_line("add a0, a1, @", 1).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! A two-pass assembler for LR5 assembly text.
+//!
+//! The workloads (`lockstep-workloads`) and software test libraries
+//! (`lockstep-bist`) in this reproduction are written in assembly, exactly
+//! as the paper's STLs are "written in the instruction sets of the CPU"
+//! (Section II). This crate turns assembly text into a loadable
+//! [`Program`] image.
+//!
+//! Supported syntax:
+//!
+//! * one instruction, directive or label per line; comments with `;`, `#`
+//!   or `//`;
+//! * labels: `name:`;
+//! * directives: `.org ADDR`, `.word v, v, ...`, `.space N`,
+//!   `.equ NAME, VALUE`, `.align N`;
+//! * operands: registers (`a0`, `r7`), integer literals (decimal, `0x`,
+//!   `0b`, negative), symbols, `sym+imm` / `sym-imm`, `%hi(sym)` /
+//!   `%lo(sym)`, and `imm(reg)` memory addressing;
+//! * pseudo-instructions: `nop`, `li`, `la`, `mv`, `not`, `neg`, `j`,
+//!   `jr`, `ret`, `call`, `beqz`, `bnez`, `blez`, `bgez`, `bltz`, `bgtz`.
+//!
+//! # Example
+//!
+//! ```
+//! use lockstep_asm::assemble;
+//!
+//! let program = assemble(
+//!     "start:  li   a0, 10      ; loop count
+//!              li   a1, 0
+//!      loop:   add  a1, a1, a0
+//!              addi a0, a0, -1
+//!              bnez a0, loop
+//!              ecall",
+//! )?;
+//! assert!(program.words().count() > 0);
+//! # Ok::<(), lockstep_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+pub mod listing;
+mod parser;
+mod program;
+
+pub use error::AsmError;
+pub use program::Program;
+
+/// Assembles LR5 assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying a line number and message for syntax
+/// errors, unknown mnemonics or symbols, and out-of-range operands.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    parser::assemble(source)
+}

@@ -1,0 +1,120 @@
+//! Disassembly listings of assembled programs.
+
+use lockstep_isa::Instr;
+
+use crate::program::Program;
+
+/// One listing line: address, raw word, and its disassembly (or `.word`
+/// rendering for data/undecodable words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingLine {
+    /// Byte address of the word.
+    pub addr: u32,
+    /// The raw 32-bit word.
+    pub word: u32,
+    /// Labels defined at this address.
+    pub labels: Vec<String>,
+    /// Disassembled text (`None` when the word does not decode).
+    pub text: Option<String>,
+}
+
+/// Produces a listing of every emitted word in address order, annotated
+/// with symbols and disassembly.
+pub fn listing(program: &Program) -> Vec<ListingLine> {
+    program
+        .words()
+        .map(|(addr, word)| ListingLine {
+            addr,
+            word,
+            labels: program
+                .symbols()
+                .filter(|&(_, v)| v == addr)
+                .map(|(n, _)| n.to_owned())
+                .collect(),
+            text: Instr::decode(word).ok().map(|i| i.to_string()),
+        })
+        .collect()
+}
+
+/// Renders a listing in classic objdump-ish format.
+///
+/// ```text
+/// 00000010 <loop>:
+/// 00000010  04a50001  addi a0, a0, 1
+/// ```
+pub fn render(program: &Program) -> String {
+    let mut out = String::new();
+    for line in listing(program) {
+        for label in &line.labels {
+            out.push_str(&format!("{:08x} <{label}>:\n", line.addr));
+        }
+        let text = line.text.unwrap_or_else(|| format!(".word {:#010x}", line.word));
+        out.push_str(&format!("{:08x}  {:08x}  {text}\n", line.addr, line.word));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn listing_covers_all_words_in_order() {
+        let p = assemble(
+            "start: li a0, 5
+             loop:  addi a0, a0, -1
+                    bnez a0, loop
+                    ecall
+             data:  .word 0xFFFFFFFF",
+        )
+        .unwrap();
+        let lines = listing(&p);
+        assert_eq!(lines.len(), p.len());
+        for pair in lines.windows(2) {
+            assert!(pair[0].addr < pair[1].addr);
+        }
+    }
+
+    #[test]
+    fn labels_annotate_their_addresses() {
+        let p = assemble(
+            "start: nop
+             loop:  j loop",
+        )
+        .unwrap();
+        let lines = listing(&p);
+        assert_eq!(lines[0].labels, vec!["start"]);
+        assert_eq!(lines[1].labels, vec!["loop"]);
+    }
+
+    #[test]
+    fn data_words_render_as_word_directives() {
+        let p = assemble(".word 0xFC000000").unwrap(); // illegal opcode
+        let text = render(&p);
+        assert!(text.contains(".word 0xfc000000"), "{text}");
+    }
+
+    #[test]
+    fn instructions_disassemble() {
+        let p = assemble("add a0, a1, a2").unwrap();
+        let text = render(&p);
+        assert!(text.contains("add a0, a1, a2"), "{text}");
+    }
+
+    #[test]
+    fn render_is_reparseable_addresses() {
+        let p = assemble(
+            "li a0, 3
+             ecall",
+        )
+        .unwrap();
+        for line in render(&p).lines() {
+            if !line.contains('<') {
+                let addr = u32::from_str_radix(line.split_whitespace().next().unwrap(), 16)
+                    .expect("address parses");
+                assert!(p.word_at(addr).is_some());
+            }
+        }
+    }
+}

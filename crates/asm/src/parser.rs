@@ -1,0 +1,874 @@
+//! Two-pass parsing and encoding.
+
+use std::collections::BTreeMap;
+
+use lockstep_isa::{Csr, Format, Instr, Opcode, Reg};
+
+use crate::error::AsmError;
+use crate::lexer::{tokenize_line, Token};
+use crate::program::Program;
+
+/// A symbolic integer expression: `int`, `sym`, or `sym ± int`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Int(i64),
+    Sym(String, i64),
+}
+
+impl Expr {
+    fn eval(&self, symbols: &BTreeMap<String, u32>, line: u32) -> Result<i64, AsmError> {
+        match self {
+            Expr::Int(v) => Ok(*v),
+            Expr::Sym(name, off) => symbols
+                .get(name)
+                .map(|&v| i64::from(v) + off)
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{name}`"))),
+        }
+    }
+}
+
+/// How a pending immediate is interpreted during pass 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ImmKind {
+    /// Signed 16-bit immediate (arithmetic, loads/stores, `jalr`).
+    Signed16,
+    /// Unsigned 16-bit immediate (logical ops, `lui`).
+    Unsigned16,
+    /// Low 16 bits of the evaluated value.
+    Lo16,
+    /// High 16 bits of the evaluated value.
+    Hi16,
+}
+
+/// One not-yet-encoded instruction.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// Fully resolved already.
+    Ready(Instr),
+    /// Needs an immediate computed from an expression.
+    Imm { op: Opcode, rd: Reg, rs1: Reg, expr: Expr, kind: ImmKind },
+    /// Conditional branch to an absolute target expression.
+    Branch { op: Opcode, rs1: Reg, rs2: Reg, target: Expr },
+    /// `jal rd, target`.
+    Jal { rd: Reg, target: Expr },
+}
+
+#[derive(Debug)]
+enum Item {
+    Instr { addr: u32, line: u32, pending: Pending },
+    Word { addr: u32, line: u32, expr: Expr },
+}
+
+/// Assembles `source` (see crate docs for the accepted syntax).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut pc: u32 = 0;
+    let mut first_instr: Option<u32> = None;
+
+    // Pass 1: parse, place, collect symbols.
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let mut toks = Cursor::new(tokenize_line(raw_line, line)?, line);
+        // Leading labels.
+        while toks.peek_label() {
+            let name = toks.ident()?;
+            toks.expect(Token::Colon)?;
+            if symbols.insert(name.clone(), pc).is_some() {
+                return Err(AsmError::new(line, format!("duplicate label `{name}`")));
+            }
+        }
+        if toks.is_empty() {
+            continue;
+        }
+        let head = toks.ident()?;
+        if let Some(directive) = head.strip_prefix('.') {
+            pc = handle_directive(directive, &mut toks, pc, &mut symbols, &mut items, line)?;
+        } else {
+            let expanded = parse_instruction(&head, &mut toks, pc, line)?;
+            toks.finish()?;
+            if first_instr.is_none() {
+                first_instr = Some(pc);
+            }
+            for pending in expanded {
+                items.push(Item::Instr { addr: pc, line, pending });
+                pc = pc.wrapping_add(4);
+            }
+        }
+    }
+
+    // Pass 2: resolve and encode.
+    let mut words: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut emit = |addr: u32, word: u32, line: u32| -> Result<(), AsmError> {
+        if words.insert(addr, word).is_some() {
+            return Err(AsmError::new(line, format!("overlapping emission at {addr:#x}")));
+        }
+        Ok(())
+    };
+    for item in &items {
+        match item {
+            Item::Word { addr, line, expr } => {
+                let v = expr.eval(&symbols, *line)?;
+                emit(*addr, v as u32, *line)?;
+            }
+            Item::Instr { addr, line, pending } => {
+                let instr = resolve(pending, *addr, &symbols, *line)?;
+                emit(*addr, instr.encode(), *line)?;
+            }
+        }
+    }
+
+    let entry = symbols.get("start").copied().or(first_instr).unwrap_or(0);
+    Ok(Program::new(words, symbols, entry))
+}
+
+fn handle_directive(
+    directive: &str,
+    toks: &mut Cursor,
+    pc: u32,
+    symbols: &mut BTreeMap<String, u32>,
+    items: &mut Vec<Item>,
+    line: u32,
+) -> Result<u32, AsmError> {
+    let mut pc = pc;
+    match directive {
+        "org" => {
+            let v = toks.int()?;
+            if v < 0 || v % 4 != 0 {
+                return Err(AsmError::new(line, ".org address must be non-negative and word-aligned"));
+            }
+            pc = v as u32;
+        }
+        "word" => loop {
+            let expr = toks.expr()?;
+            items.push(Item::Word { addr: pc, line, expr });
+            pc = pc.wrapping_add(4);
+            if !toks.eat(Token::Comma) {
+                break;
+            }
+        },
+        "space" => {
+            let n = toks.int()?;
+            if n < 0 || n % 4 != 0 {
+                return Err(AsmError::new(line, ".space size must be non-negative and word-aligned"));
+            }
+            pc = pc.wrapping_add(n as u32);
+        }
+        "align" => {
+            let n = toks.int()?;
+            if n <= 0 || (n & (n - 1)) != 0 {
+                return Err(AsmError::new(line, ".align requires a power of two"));
+            }
+            let n = n as u32;
+            pc = (pc + n - 1) & !(n - 1);
+        }
+        "equ" => {
+            let name = toks.ident()?;
+            toks.expect(Token::Comma)?;
+            let v = toks.int()?;
+            if symbols.insert(name.clone(), v as u32).is_some() {
+                return Err(AsmError::new(line, format!("duplicate symbol `{name}`")));
+            }
+        }
+        other => return Err(AsmError::new(line, format!("unknown directive `.{other}`"))),
+    }
+    toks.finish()?;
+    Ok(pc)
+}
+
+/// Parses one mnemonic (real or pseudo) with its operands into one or more
+/// pending instructions.
+fn parse_instruction(
+    head: &str,
+    toks: &mut Cursor,
+    pc: u32,
+    line: u32,
+) -> Result<Vec<Pending>, AsmError> {
+    // Pseudo-instructions first: some shadow no real mnemonic.
+    match head {
+        "nop" => return Ok(vec![Pending::Ready(Instr::nop())]),
+        "mv" => {
+            let (rd, rs) = toks.reg_reg()?;
+            return Ok(vec![Pending::Ready(Instr::ri(Opcode::Addi, rd, rs, 0))]);
+        }
+        "not" => {
+            let (rd, rs) = toks.reg_reg()?;
+            return Ok(vec![Pending::Ready(Instr::ri(Opcode::Xori, rd, rs, -1))]);
+        }
+        "neg" => {
+            let (rd, rs) = toks.reg_reg()?;
+            return Ok(vec![Pending::Ready(Instr::rrr(Opcode::Sub, rd, Reg::ZERO, rs))]);
+        }
+        "li" => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            match toks.expr()? {
+                Expr::Int(v) => {
+                    if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                        return Err(AsmError::new(
+                            line,
+                            format!("li value out of 32-bit range: {v}"),
+                        ));
+                    }
+                    return Ok(expand_li(rd, v as u32));
+                }
+                // Symbolic value: fixed two-instruction expansion (as `la`)
+                // so pass-1 sizing does not depend on the symbol's value.
+                expr => {
+                    return Ok(vec![
+                        Pending::Imm {
+                            op: Opcode::Lui,
+                            rd,
+                            rs1: Reg::ZERO,
+                            expr: expr.clone(),
+                            kind: ImmKind::Hi16,
+                        },
+                        Pending::Imm { op: Opcode::Ori, rd, rs1: rd, expr, kind: ImmKind::Lo16 },
+                    ]);
+                }
+            }
+        }
+        "la" => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let expr = toks.expr()?;
+            // Fixed two-instruction expansion keeps pass-1 sizing trivial.
+            return Ok(vec![
+                Pending::Imm { op: Opcode::Lui, rd, rs1: Reg::ZERO, expr: expr.clone(), kind: ImmKind::Hi16 },
+                Pending::Imm { op: Opcode::Ori, rd, rs1: rd, expr, kind: ImmKind::Lo16 },
+            ]);
+        }
+        "j" => {
+            let target = toks.expr()?;
+            return Ok(vec![Pending::Jal { rd: Reg::ZERO, target }]);
+        }
+        "jr" => {
+            let rs = toks.reg()?;
+            return Ok(vec![Pending::Ready(Instr::ri(Opcode::Jalr, Reg::ZERO, rs, 0))]);
+        }
+        "ret" => return Ok(vec![Pending::Ready(Instr::ri(Opcode::Jalr, Reg::ZERO, Reg::RA, 0))]),
+        "call" => {
+            let target = toks.expr()?;
+            return Ok(vec![Pending::Jal { rd: Reg::RA, target }]);
+        }
+        "beqz" | "bnez" | "bltz" | "bgez" | "blez" | "bgtz" => {
+            let rs = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let target = toks.expr()?;
+            let (op, rs1, rs2) = match head {
+                "beqz" => (Opcode::Beq, rs, Reg::ZERO),
+                "bnez" => (Opcode::Bne, rs, Reg::ZERO),
+                "bltz" => (Opcode::Blt, rs, Reg::ZERO),
+                "bgez" => (Opcode::Bge, rs, Reg::ZERO),
+                "blez" => (Opcode::Bge, Reg::ZERO, rs),
+                _ => (Opcode::Blt, Reg::ZERO, rs),
+            };
+            return Ok(vec![Pending::Branch { op, rs1, rs2, target }]);
+        }
+        _ => {}
+    }
+
+    let op = Opcode::from_mnemonic(head)
+        .ok_or_else(|| AsmError::new(line, format!("unknown mnemonic `{head}`")))?;
+    let pending = match op.format() {
+        Format::R => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let rs1 = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let rs2 = toks.reg()?;
+            Pending::Ready(Instr::rrr(op, rd, rs1, rs2))
+        }
+        Format::I => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            if op == Opcode::Jalr {
+                let rs1 = toks.reg()?;
+                let imm = if toks.eat(Token::Comma) { toks.expr()? } else { Expr::Int(0) };
+                Pending::Imm { op, rd, rs1, expr: imm, kind: ImmKind::Signed16 }
+            } else {
+                let rs1 = toks.reg()?;
+                toks.expect(Token::Comma)?;
+                let expr = toks.expr()?;
+                let kind = match op {
+                    Opcode::Andi | Opcode::Ori | Opcode::Xori => ImmKind::Unsigned16,
+                    _ => ImmKind::Signed16,
+                };
+                Pending::Imm { op, rd, rs1, expr, kind }
+            }
+        }
+        Format::Load | Format::Store => {
+            let data = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let (offset, base) = toks.mem_operand()?;
+            Pending::Imm { op, rd: data, rs1: base, expr: offset, kind: ImmKind::Signed16 }
+        }
+        Format::B => {
+            let rs1 = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let rs2 = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let target = toks.expr()?;
+            Pending::Branch { op, rs1, rs2, target }
+        }
+        Format::J => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let target = toks.expr()?;
+            Pending::Jal { rd, target }
+        }
+        Format::U => {
+            let rd = toks.reg()?;
+            toks.expect(Token::Comma)?;
+            let expr = toks.expr()?;
+            Pending::Imm { op, rd, rs1: Reg::ZERO, expr, kind: ImmKind::Unsigned16 }
+        }
+        Format::Sys => match op {
+            Opcode::Csrr => {
+                let rd = toks.reg()?;
+                toks.expect(Token::Comma)?;
+                let csr = toks.csr()?;
+                Pending::Ready(Instr::csrr(rd, csr))
+            }
+            Opcode::Csrw => {
+                let csr = toks.csr()?;
+                toks.expect(Token::Comma)?;
+                let rs = toks.reg()?;
+                Pending::Ready(Instr::csrw(csr, rs))
+            }
+            Opcode::Ecall => Pending::Ready(Instr::ecall()),
+            _ => Pending::Ready(Instr::ebreak()),
+        },
+    };
+    let _ = pc;
+    Ok(vec![pending])
+}
+
+fn expand_li(rd: Reg, v: u32) -> Vec<Pending> {
+    let signed = v as i32;
+    if (-32768..=32767).contains(&signed) {
+        return vec![Pending::Ready(Instr::ri(Opcode::Addi, rd, Reg::ZERO, signed))];
+    }
+    if v <= 0xFFFF {
+        // Fits zero-extended logical immediate.
+        return vec![Pending::Imm {
+            op: Opcode::Ori,
+            rd,
+            rs1: Reg::ZERO,
+            expr: Expr::Int(i64::from(v)),
+            kind: ImmKind::Lo16,
+        }];
+    }
+    let mut out = vec![Pending::Ready(Instr::lui(rd, v >> 16))];
+    if v & 0xFFFF != 0 {
+        out.push(Pending::Imm {
+            op: Opcode::Ori,
+            rd,
+            rs1: rd,
+            expr: Expr::Int(i64::from(v)),
+            kind: ImmKind::Lo16,
+        });
+    }
+    out
+}
+
+fn resolve(
+    pending: &Pending,
+    addr: u32,
+    symbols: &BTreeMap<String, u32>,
+    line: u32,
+) -> Result<Instr, AsmError> {
+    match pending {
+        Pending::Ready(i) => Ok(*i),
+        Pending::Imm { op, rd, rs1, expr, kind } => {
+            let v = expr.eval(symbols, line)?;
+            let imm = match kind {
+                ImmKind::Signed16 => {
+                    if !(-32768..=32767).contains(&v) {
+                        return Err(AsmError::new(line, format!("immediate {v} out of signed 16-bit range")));
+                    }
+                    v as i32
+                }
+                ImmKind::Unsigned16 => {
+                    if !(0..=0xFFFF).contains(&v) {
+                        return Err(AsmError::new(line, format!("immediate {v} out of unsigned 16-bit range")));
+                    }
+                    // Logical immediates are zero-extended by the CPU, but
+                    // the instruction word stores raw bits; the decoded
+                    // representation carries them sign-extended.
+                    (v as u16) as i16 as i32
+                }
+                ImmKind::Lo16 => (v as u16) as i16 as i32,
+                ImmKind::Hi16 => ((v as u32) >> 16) as i32,
+            };
+            if *op == Opcode::Lui {
+                return Ok(Instr::lui(*rd, imm as u32 & 0xFFFF));
+            }
+            // Stores carry their data register in `rd`.
+            Ok(match op.format() {
+                Format::Load => Instr::load(*op, *rd, *rs1, imm),
+                Format::Store => Instr::store(*op, *rd, *rs1, imm),
+                _ => Instr::ri(*op, *rd, *rs1, imm),
+            })
+        }
+        Pending::Branch { op, rs1, rs2, target } => {
+            let t = target.eval(symbols, line)?;
+            let disp = word_displacement(addr, t, line)?;
+            if !(-32768..=32767).contains(&disp) {
+                return Err(AsmError::new(line, "branch target out of range"));
+            }
+            Ok(Instr::branch(*op, *rs1, *rs2, disp as i32))
+        }
+        Pending::Jal { rd, target } => {
+            let t = target.eval(symbols, line)?;
+            let disp = word_displacement(addr, t, line)?;
+            if !(-(1i64 << 20)..(1i64 << 20)).contains(&disp) {
+                return Err(AsmError::new(line, "jump target out of range"));
+            }
+            Ok(Instr::jal(*rd, disp as i32))
+        }
+    }
+}
+
+fn word_displacement(addr: u32, target: i64, line: u32) -> Result<i64, AsmError> {
+    let delta = target - i64::from(addr);
+    if delta % 4 != 0 {
+        return Err(AsmError::new(line, format!("misaligned control-flow target {target:#x}")));
+    }
+    Ok(delta / 4)
+}
+
+/// A cursor over one line's tokens with convenience extractors.
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn new(tokens: Vec<Token>, line: u32) -> Cursor {
+        Cursor { tokens, pos: 0, line }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_label(&self) -> bool {
+        matches!(
+            (self.tokens.get(self.pos), self.tokens.get(self.pos + 1)),
+            (Some(Token::Ident(_)), Some(Token::Colon))
+        )
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError::new(self.line, msg.into()))
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), AsmError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => self.err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+
+    fn eat(&mut self, want: Token) -> bool {
+        if self.peek() == Some(&want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), AsmError> {
+        if let Some(t) = self.peek() {
+            let t = t.clone();
+            return self.err(format!("trailing tokens starting at {t:?}"));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, AsmError> {
+        let name = self.ident()?;
+        Reg::parse(&name).ok_or_else(|| AsmError::new(self.line, format!("unknown register `{name}`")))
+    }
+
+    fn reg_reg(&mut self) -> Result<(Reg, Reg), AsmError> {
+        let a = self.reg()?;
+        self.expect(Token::Comma)?;
+        let b = self.reg()?;
+        Ok((a, b))
+    }
+
+    fn csr(&mut self) -> Result<Csr, AsmError> {
+        let name = self.ident()?;
+        Csr::parse(&name).ok_or_else(|| AsmError::new(self.line, format!("unknown CSR `{name}`")))
+    }
+
+    fn int(&mut self) -> Result<i64, AsmError> {
+        let negate = self.eat(Token::Minus);
+        match self.next() {
+            Some(Token::Int(v)) => Ok(if negate { -v } else { v }),
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    /// Parses `int`, `sym`, `sym+int`, `sym-int`, `%hi(sym)`, `%lo(sym)`.
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        if self.eat(Token::Percent) {
+            let which = self.ident()?;
+            self.expect(Token::LParen)?;
+            let sym = self.ident()?;
+            self.expect(Token::RParen)?;
+            // %hi/%lo are resolved in pass 2 through ImmKind, so encode the
+            // selection into a synthetic symbol expression understood there.
+            return match which.as_str() {
+                // The caller context (lui/ori) applies Hi16/Lo16; at the
+                // expression level both evaluate to the full symbol value.
+                "hi" | "lo" => Ok(Expr::Sym(sym, 0)),
+                other => self.err(format!("unknown relocation `%{other}`")),
+            };
+        }
+        if self.eat(Token::Minus) {
+            return match self.next() {
+                Some(Token::Int(v)) => Ok(Expr::Int(-v)),
+                other => self.err(format!("expected integer after `-`, found {other:?}")),
+            };
+        }
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(s)) => {
+                if self.eat(Token::Plus) {
+                    let off = self.int()?;
+                    Ok(Expr::Sym(s, off))
+                } else if self.eat(Token::Minus) {
+                    let off = self.int()?;
+                    Ok(Expr::Sym(s, -off))
+                } else {
+                    Ok(Expr::Sym(s, 0))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// Parses a memory operand `offset(base)`, `(base)` or `sym(base)`.
+    fn mem_operand(&mut self) -> Result<(Expr, Reg), AsmError> {
+        let offset = if self.peek() == Some(&Token::LParen) {
+            Expr::Int(0)
+        } else {
+            self.expr()?
+        };
+        self.expect(Token::LParen)?;
+        let base = self.reg()?;
+        self.expect(Token::RParen)?;
+        Ok((offset, base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn simple_program_encodes() {
+        let p = assemble("add a0, a1, a2").unwrap();
+        assert_eq!(p.len(), 1);
+        let i = Instr::decode(p.word_at(0).unwrap()).unwrap();
+        assert_eq!(i, Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2));
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            "start: addi a0, zero, 3
+             loop:  addi a0, a0, -1
+                    bnez a0, loop
+                    ecall",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("loop"), Some(4));
+        let b = Instr::decode(p.word_at(8).unwrap()).unwrap();
+        // bnez -> bne a0, zero, -1 word.
+        assert_eq!(b, Instr::branch(Opcode::Bne, Reg::A0, Reg::ZERO, -1));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble(
+            "   j end
+                nop
+             end: ecall",
+        )
+        .unwrap();
+        let j = Instr::decode(p.word_at(0).unwrap()).unwrap();
+        assert_eq!(j, Instr::jal(Reg::ZERO, 2));
+    }
+
+    #[test]
+    fn li_small_uses_addi() {
+        let p = assemble("li a0, -5").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::ri(Opcode::Addi, Reg::A0, Reg::ZERO, -5)
+        );
+    }
+
+    #[test]
+    fn li_large_uses_lui_ori() {
+        let p = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::lui(Reg::A0, 0x1234)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4).unwrap()).unwrap(),
+            Instr::ri(Opcode::Ori, Reg::A0, Reg::A0, 0x5678)
+        );
+    }
+
+    #[test]
+    fn li_mid_range_uses_single_ori() {
+        let p = assemble("li a0, 0xABCD").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::ri(Opcode::Ori, Reg::A0, Reg::ZERO, 0xABCD_u16 as i16 as i32)
+        );
+    }
+
+    #[test]
+    fn li_round_high_halfword_only() {
+        let p = assemble("li a0, 0x10000").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(Instr::decode(p.word_at(0).unwrap()).unwrap(), Instr::lui(Reg::A0, 1));
+    }
+
+    #[test]
+    fn la_uses_symbol_value() {
+        let p = assemble(
+            ".org 0
+             la a0, buf
+             ecall
+             .org 0x20000
+             buf: .word 7",
+        )
+        .unwrap();
+        assert_eq!(Instr::decode(p.word_at(0).unwrap()).unwrap(), Instr::lui(Reg::A0, 2));
+        assert_eq!(
+            Instr::decode(p.word_at(4).unwrap()).unwrap(),
+            Instr::ri(Opcode::Ori, Reg::A0, Reg::A0, 0)
+        );
+        assert_eq!(p.word_at(0x20000), Some(7));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "lw a0, 8(sp)
+             sw a0, -4(sp)
+             lb t0, (gp)",
+        )
+        .unwrap();
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::load(Opcode::Lw, Reg::A0, Reg::SP, 8)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4).unwrap()).unwrap(),
+            Instr::store(Opcode::Sw, Reg::A0, Reg::SP, -4)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(8).unwrap()).unwrap(),
+            Instr::load(Opcode::Lb, Reg::T0, Reg::GP, 0)
+        );
+    }
+
+    #[test]
+    fn directives_org_word_space_align_equ() {
+        let p = assemble(
+            ".equ MAGIC, 0xBEEF
+             .org 0x100
+             .word 1, 2, MAGIC
+             .space 8
+             tail: .word tail
+             .align 16
+             aligned: nop",
+        )
+        .unwrap();
+        assert_eq!(p.word_at(0x100), Some(1));
+        assert_eq!(p.word_at(0x104), Some(2));
+        assert_eq!(p.word_at(0x108), Some(0xBEEF));
+        assert_eq!(p.symbol("tail"), Some(0x114));
+        assert_eq!(p.word_at(0x114), Some(0x114));
+        assert_eq!(p.symbol("aligned"), Some(0x120));
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble(
+            "mv a0, a1
+             not a2, a3
+             neg a4, a5
+             jr ra
+             ret",
+        )
+        .unwrap();
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::ri(Opcode::Addi, Reg::A0, Reg::A1, 0)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4).unwrap()).unwrap(),
+            Instr::ri(Opcode::Xori, Reg::A2, Reg::A3, -1)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(8).unwrap()).unwrap(),
+            Instr::rrr(Opcode::Sub, Reg::A4, Reg::ZERO, Reg::A5)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(12).unwrap()).unwrap(),
+            Instr::ri(Opcode::Jalr, Reg::ZERO, Reg::RA, 0)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(16).unwrap()).unwrap(),
+            Instr::ri(Opcode::Jalr, Reg::ZERO, Reg::RA, 0)
+        );
+    }
+
+    #[test]
+    fn conditional_pseudos() {
+        let p = assemble(
+            "t: beqz a0, t
+                bnez a1, t
+                bltz a2, t
+                bgez a3, t
+                blez a4, t
+                bgtz a5, t",
+        )
+        .unwrap();
+        let get = |a: u32| Instr::decode(p.word_at(a).unwrap()).unwrap();
+        assert_eq!(get(0).op, Opcode::Beq);
+        assert_eq!(get(4).op, Opcode::Bne);
+        assert_eq!(get(8).op, Opcode::Blt);
+        assert_eq!(get(12).op, Opcode::Bge);
+        let blez = get(16);
+        assert_eq!((blez.op, blez.rs1, blez.rs2), (Opcode::Bge, Reg::ZERO, Reg::A4));
+        let bgtz = get(20);
+        assert_eq!((bgtz.op, bgtz.rs1, bgtz.rs2), (Opcode::Blt, Reg::ZERO, Reg::A5));
+    }
+
+    #[test]
+    fn csr_instructions() {
+        let p = assemble(
+            "csrr a0, cycle
+             csrw misr, a1",
+        )
+        .unwrap();
+        assert_eq!(
+            Instr::decode(p.word_at(0).unwrap()).unwrap(),
+            Instr::csrr(Reg::A0, Csr::Cycle)
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4).unwrap()).unwrap(),
+            Instr::csrw(Csr::Misr, Reg::A1)
+        );
+    }
+
+    #[test]
+    fn entry_prefers_start_symbol() {
+        let p = assemble(
+            ".org 0x40
+             start: nop",
+        )
+        .unwrap();
+        assert_eq!(p.entry(), 0x40);
+    }
+
+    #[test]
+    fn entry_falls_back_to_first_instruction() {
+        let p = assemble(
+            ".org 0x80
+             nop",
+        )
+        .unwrap();
+        assert_eq!(p.entry(), 0x80);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble("frobnicate a0").unwrap_err();
+        assert!(e.message().contains("unknown mnemonic"), "{e}");
+    }
+
+    #[test]
+    fn error_undefined_symbol() {
+        let e = assemble("j nowhere").unwrap_err();
+        assert!(e.message().contains("undefined symbol"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble("a: nop\na: nop").unwrap_err();
+        assert!(e.message().contains("duplicate label"), "{e}");
+        assert_eq!(e.line(), 2);
+    }
+
+    #[test]
+    fn error_immediate_range() {
+        let e = assemble("addi a0, a0, 70000").unwrap_err();
+        assert!(e.message().contains("out of signed 16-bit range"), "{e}");
+    }
+
+    #[test]
+    fn error_overlapping_org() {
+        let e = assemble(
+            "nop
+             .org 0
+             nop",
+        )
+        .unwrap_err();
+        assert!(e.message().contains("overlapping"), "{e}");
+    }
+
+    #[test]
+    fn error_trailing_tokens() {
+        let e = assemble("nop nop").unwrap_err();
+        assert!(e.message().contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn sym_plus_offset() {
+        let p = assemble(
+            "buf: .word 0, 0
+             li a0, 1
+             lw a1, buf+4(zero)",
+        )
+        .unwrap();
+        let lw = Instr::decode(p.word_at(12).unwrap()).unwrap();
+        assert_eq!(lw, Instr::load(Opcode::Lw, Reg::A1, Reg::ZERO, 4));
+    }
+}

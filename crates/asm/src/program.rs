@@ -1,0 +1,124 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+
+/// An assembled program: a sparse map from word-aligned byte addresses to
+/// 32-bit words, plus the symbol table.
+///
+/// The image is sparse so `.org` can place code and data regions far apart
+/// without materializing the gap.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    words: BTreeMap<u32, u32>,
+    symbols: BTreeMap<String, u32>,
+    entry: u32,
+}
+
+impl Program {
+    pub(crate) fn new(
+        words: BTreeMap<u32, u32>,
+        symbols: BTreeMap<String, u32>,
+        entry: u32,
+    ) -> Program {
+        Program { words, symbols, entry }
+    }
+
+    /// The entry point (address of the first emitted instruction, or the
+    /// `start` symbol when defined).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Iterates over `(address, word)` pairs in address order.
+    pub fn words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.words.iter().map(|(&a, &w)| (a, w))
+    }
+
+    /// The word stored at `addr`, if any.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        self.words.get(&addr).copied()
+    }
+
+    /// Number of emitted words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the program emitted nothing.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Looks up a label or `.equ` symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over all symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Highest occupied byte address plus 4, i.e. the image's extent.
+    pub fn extent(&self) -> u32 {
+        self.words.keys().next_back().map_or(0, |&a| a + 4)
+    }
+
+    /// Renders the image into a flat little-endian byte vector of length
+    /// `size` (unoccupied bytes are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word lies outside `size`.
+    pub fn to_bytes(&self, size: usize) -> Vec<u8> {
+        let mut image = vec![0u8; size];
+        for (&addr, &word) in &self.words {
+            let a = addr as usize;
+            assert!(a + 4 <= size, "program word at {addr:#x} outside image of {size} bytes");
+            image[a..a + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut words = BTreeMap::new();
+        words.insert(0, 0xAABB_CCDD);
+        words.insert(8, 0x1122_3344);
+        let mut symbols = BTreeMap::new();
+        symbols.insert("start".to_owned(), 0);
+        Program::new(words, symbols, 0)
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.word_at(0), Some(0xAABB_CCDD));
+        assert_eq!(p.word_at(4), None);
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.extent(), 12);
+    }
+
+    #[test]
+    fn to_bytes_little_endian() {
+        let p = sample();
+        let bytes = p.to_bytes(16);
+        assert_eq!(&bytes[0..4], &[0xDD, 0xCC, 0xBB, 0xAA]);
+        assert_eq!(&bytes[4..8], &[0, 0, 0, 0]);
+        assert_eq!(&bytes[8..12], &[0x44, 0x33, 0x22, 0x11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside image")]
+    fn to_bytes_too_small_panics() {
+        sample().to_bytes(8);
+    }
+}

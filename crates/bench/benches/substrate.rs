@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the substrates: simulator step rate, checker
+//! compare, ECC codec, assembler, predictor training and lookup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use lockstep_core::{Checker, Dsr, Predictor, PredictorConfig, TrainRecord};
+use lockstep_cpu::{Cpu, Granularity, PortSet, Sc};
+use lockstep_fault::ErrorKind;
+use lockstep_mem::{Memory, SecDed};
+use lockstep_workloads::Workload;
+
+fn bench_cpu_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_step");
+    group.throughput(Throughput::Elements(1));
+    let workload = Workload::find("canrdr").unwrap();
+    group.bench_function("pipeline_cycle", |b| {
+        let mut mem = workload.memory(1);
+        let mut cpu = Cpu::new(0);
+        let mut ports = PortSet::new();
+        b.iter(|| {
+            if cpu.step(&mut mem, &mut ports).halted {
+                cpu.reset();
+                mem = workload.memory(1);
+            }
+            black_box(&ports);
+        });
+    });
+    group.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    let mut a = PortSet::new();
+    let mut b2 = PortSet::new();
+    for sc in Sc::ALL {
+        a.set(*sc, 0x1234_5678);
+        b2.set(*sc, 0x1234_5678);
+    }
+    group.bench_function("compare_equal", |bch| {
+        bch.iter(|| black_box(Checker::compare(black_box(&a), black_box(&b2))))
+    });
+    let mut diverged = b2;
+    diverged.set(Sc::WbDataLo, 0xFFFF);
+    group.bench_function("compare_diverged", |bch| {
+        bch.iter(|| black_box(Checker::compare(black_box(&a), black_box(&diverged))))
+    });
+    group.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_secded");
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(SecDed::encode(black_box(0xDEAD_BEEF))))
+    });
+    let cw = SecDed::encode(0xDEAD_BEEF);
+    group.bench_function("decode_clean", |b| b.iter(|| black_box(SecDed::decode(black_box(cw)))));
+    let corrupted = SecDed::flip_bit(cw, 13);
+    group.bench_function("decode_correcting", |b| {
+        b.iter(|| black_box(SecDed::decode(black_box(corrupted))))
+    });
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembler");
+    let source = Workload::find("matrix").unwrap().source;
+    group.throughput(Throughput::Bytes(source.len() as u64));
+    group.bench_function("assemble_matrix_kernel", |b| {
+        b.iter(|| black_box(lockstep_asm::assemble(black_box(source)).unwrap()))
+    });
+    group.finish();
+}
+
+fn training_set(n: u64) -> Vec<TrainRecord> {
+    (0..n)
+        .map(|i| TrainRecord {
+            dsr: Dsr::from_bits(1 + i % 400),
+            unit: (i % 7) as usize,
+            kind: if i % 3 == 0 { ErrorKind::Soft } else { ErrorKind::Hard },
+        })
+        .collect()
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    let records = training_set(10_000);
+    group.bench_function("train_10k_records", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |r| black_box(Predictor::train(&r, PredictorConfig::new(Granularity::Coarse))),
+            BatchSize::LargeInput,
+        )
+    });
+    let predictor = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(Dsr::from_bits(7)))))
+    });
+    group.bench_function("lookup_miss_default_entry", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(Dsr::from_bits(0xFFFF_0000)))))
+    });
+    group.finish();
+}
+
+fn bench_golden_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_run");
+    group.sample_size(10);
+    let workload = Workload::find("idctrn").unwrap();
+    group.bench_function("idctrn_full_benchmark", |b| {
+        b.iter(|| black_box(workload.golden_run(3, 100_000)))
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_port");
+    use lockstep_mem::MemoryPort;
+    let mut mem = Memory::new(64 * 1024, 1);
+    group.bench_function("ram_read", |b| b.iter(|| black_box(mem.read(black_box(0x100)))));
+    group.bench_function("ram_write", |b| {
+        b.iter(|| black_box(mem.write(black_box(0x100), black_box(42), 0xF)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cpu_step,
+    bench_checker,
+    bench_ecc,
+    bench_assembler,
+    bench_predictor,
+    bench_golden_run,
+    bench_memory
+);
+criterion_main!(benches);

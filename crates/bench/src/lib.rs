@@ -1,0 +1,8 @@
+//! Benchmark-only crate: see `benches/substrate.rs` (simulator and
+//! predictor micro-benchmarks) and `benches/figures.rs` (one Criterion
+//! group per paper table/figure, measuring the computation that
+//! regenerates it).
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

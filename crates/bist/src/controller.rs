@@ -1,0 +1,212 @@
+//! The safe-state system controller.
+//!
+//! Ties the pieces together the way Figure 9 does at system level: a
+//! lockstep error arrives (with its DSR), the controller consults the
+//! predictor (when the model uses one), runs the SBIST flow and lands in
+//! one of the two safe states — *recovered* (soft error: reset &
+//! restart) or *fail stop* (hard error: alert the system). The cycle
+//! accounting is the LERT of [`crate::lert`].
+
+use lockstep_core::{Dsr, Prediction, Predictor};
+use lockstep_fault::ErrorKind;
+use lockstep_stats::Xoshiro256;
+
+use crate::latency::LatencyModel;
+use crate::lert::{lert_for, LertInputs, Model};
+
+/// The controller's terminal state for one handled error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerOutcome {
+    /// No hard fault found: the error was soft; CPUs were reset and the
+    /// task restarted.
+    SoftRecovered {
+        /// Error reaction time in cycles (detection → safe state).
+        lert_cycles: u64,
+        /// STLs executed before the conclusion.
+        units_tested: u32,
+        /// `true` if the predictor let the controller skip SBIST.
+        sbist_skipped: bool,
+    },
+    /// A hard fault was confirmed: the system fail-stops and raises the
+    /// unrecoverable-error alarm.
+    FailStop {
+        /// Error reaction time in cycles.
+        lert_cycles: u64,
+        /// STLs executed until the faulty unit was found.
+        units_tested: u32,
+    },
+}
+
+impl ControllerOutcome {
+    /// The reaction time regardless of outcome.
+    pub fn lert_cycles(&self) -> u64 {
+        match *self {
+            ControllerOutcome::SoftRecovered { lert_cycles, .. }
+            | ControllerOutcome::FailStop { lert_cycles, .. } => lert_cycles,
+        }
+    }
+}
+
+/// A system controller configured with one handling model.
+#[derive(Debug)]
+pub struct SystemController {
+    model: Model,
+    latency: LatencyModel,
+    manifestation_rates: Vec<f64>,
+    rng: Xoshiro256,
+}
+
+impl SystemController {
+    /// Creates a controller.
+    ///
+    /// `manifestation_rates` are per-unit error manifestation rates
+    /// (used by `base-manifest`; pass uniform rates if unknown).
+    pub fn new(
+        model: Model,
+        latency: LatencyModel,
+        manifestation_rates: Vec<f64>,
+        seed: u64,
+    ) -> SystemController {
+        SystemController { model, latency, manifestation_rates, rng: Xoshiro256::seed_from(seed) }
+    }
+
+    /// The configured handling model.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Handles one detected lockstep error.
+    ///
+    /// * `dsr` — the captured divergence status register;
+    /// * `predictor` — consulted only by prediction models;
+    /// * `true_unit`/`true_kind` — ground truth driving the simulated
+    ///   SBIST outcomes (which STL would actually fail);
+    /// * `restart_cycles` — the task's restart penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model needs a predictor and none is given.
+    pub fn handle_error(
+        &mut self,
+        dsr: Dsr,
+        predictor: Option<&Predictor>,
+        true_unit: usize,
+        true_kind: ErrorKind,
+        restart_cycles: u64,
+    ) -> ControllerOutcome {
+        let prediction: Option<Prediction> = if self.model.uses_predictor() {
+            Some(predictor.expect("prediction model requires a predictor").predict(dsr))
+        } else {
+            None
+        };
+        let inputs = LertInputs { true_unit, true_kind, restart_cycles };
+        let out = lert_for(
+            self.model,
+            inputs,
+            &self.latency,
+            &self.manifestation_rates,
+            prediction.as_ref(),
+            &mut self.rng,
+        );
+        if out.hard_found {
+            ControllerOutcome::FailStop { lert_cycles: out.cycles, units_tested: out.units_tested }
+        } else {
+            ControllerOutcome::SoftRecovered {
+                lert_cycles: out.cycles,
+                units_tested: out.units_tested,
+                sbist_skipped: !out.sbist_invoked,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_core::predictor::{PredictorConfig, TrainRecord};
+    use lockstep_cpu::Granularity;
+
+    fn controller(model: Model) -> SystemController {
+        SystemController::new(
+            model,
+            LatencyModel::calibrated(Granularity::Coarse),
+            vec![0.2; 7],
+            42,
+        )
+    }
+
+    fn trained() -> Predictor {
+        let records = vec![
+            TrainRecord { dsr: Dsr::from_bits(0b1), unit: 2, kind: ErrorKind::Hard },
+            TrainRecord { dsr: Dsr::from_bits(0b10), unit: 4, kind: ErrorKind::Soft },
+        ];
+        Predictor::train(&records, PredictorConfig::new(Granularity::Coarse))
+    }
+
+    #[test]
+    fn baseline_hard_fail_stops() {
+        let mut c = controller(Model::BaseAscending);
+        let out =
+            c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Hard, 10_000);
+        assert!(matches!(out, ControllerOutcome::FailStop { .. }));
+    }
+
+    #[test]
+    fn baseline_soft_recovers() {
+        let mut c = controller(Model::BaseAscending);
+        let out =
+            c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Soft, 10_000);
+        match out {
+            ControllerOutcome::SoftRecovered { units_tested, sbist_skipped, .. } => {
+                assert_eq!(units_tested, 7, "baseline runs every STL");
+                assert!(!sbist_skipped);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pred_comb_skips_sbist_on_predicted_soft() {
+        let mut c = controller(Model::PredComb);
+        let p = trained();
+        let out =
+            c.handle_error(Dsr::from_bits(0b10), Some(&p), 4, ErrorKind::Soft, 10_000);
+        match out {
+            ControllerOutcome::SoftRecovered { sbist_skipped, units_tested, lert_cycles } => {
+                assert!(sbist_skipped);
+                assert_eq!(units_tested, 0);
+                assert!(lert_cycles < 15_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pred_comb_finds_hard_fault_fast_on_hit() {
+        let mut c = controller(Model::PredComb);
+        let p = trained();
+        let out =
+            c.handle_error(Dsr::from_bits(0b1), Some(&p), 2, ErrorKind::Hard, 10_000);
+        match out {
+            ControllerOutcome::FailStop { units_tested, .. } => assert_eq!(units_tested, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prediction_on_unseen_dsr_still_safe() {
+        let mut c = controller(Model::PredComb);
+        let p = trained();
+        // Unseen set -> default entry -> hard assumed -> SBIST runs.
+        let out =
+            c.handle_error(Dsr::from_bits(0b11111), Some(&p), 6, ErrorKind::Hard, 10_000);
+        assert!(matches!(out, ControllerOutcome::FailStop { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a predictor")]
+    fn prediction_model_without_predictor_panics() {
+        let mut c = controller(Model::PredLocationOnly);
+        let _ = c.handle_error(Dsr::from_bits(1), None, 0, ErrorKind::Hard, 1000);
+    }
+}

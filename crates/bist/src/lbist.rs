@@ -1,0 +1,247 @@
+//! Logic BIST: scan-chain-based diagnostics.
+//!
+//! The paper's predictor serves either diagnostics flavour; for LBIST it
+//! "can constrain the test search space to the scan chains relevant to
+//! the predicted CPU units" (Section III). This module implements a
+//! *functional* LBIST over the LR5:
+//!
+//! * every unit's flip-flops (from the registry) form that unit's **scan
+//!   chain**;
+//! * an LFSR generates pseudo-random test patterns;
+//! * a pattern is scanned into the chain(s) under test (and a
+//!   deterministic background into the rest of the machine), the core
+//!   runs **one functional capture cycle**, and the chain is scanned out
+//!   into a MISR signature;
+//! * a defect is detected when the compacted signature differs from the
+//!   fault-free golden signature for the same pattern sequence.
+//!
+//! Scan shifting dominates the latency: testing a chain of `L` flops
+//! with `P` patterns costs `P × (L + 1)` cycles plus the capture cycles,
+//! which is why per-unit LBIST time scales with unit size just as STL
+//! latency does.
+
+use lockstep_cpu::{flops, Cpu, CpuState, Granularity, PortSet};
+use lockstep_fault::Fault;
+use lockstep_isa::csr::misr_fold;
+use lockstep_mem::Memory;
+use lockstep_stats::rng::splitmix64;
+
+/// Result of one unit's LBIST session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbistOutcome {
+    /// Compacted signature of the (possibly faulty) device under test.
+    pub signature: u32,
+    /// Fault-free golden signature for the same patterns.
+    pub golden: u32,
+    /// Scan + capture cycles consumed.
+    pub cycles: u64,
+    /// Patterns applied.
+    pub patterns: u32,
+}
+
+impl LbistOutcome {
+    /// `true` when the signatures mismatch — a defect in the tested
+    /// chain (or logic it feeds during capture).
+    pub fn detected(&self) -> bool {
+        self.signature != self.golden
+    }
+}
+
+/// A scan-chain LBIST engine for one unit organization.
+#[derive(Debug, Clone)]
+pub struct LbistEngine {
+    granularity: Granularity,
+    patterns: u32,
+    seed: u64,
+}
+
+impl LbistEngine {
+    /// Creates an engine applying `patterns` pseudo-random patterns per
+    /// unit.
+    pub fn new(granularity: Granularity, patterns: u32, seed: u64) -> LbistEngine {
+        LbistEngine { granularity, patterns, seed }
+    }
+
+    /// Number of units (= scan-chain groups).
+    pub fn unit_count(&self) -> usize {
+        self.granularity.unit_count()
+    }
+
+    /// The scan-chain length (flip-flop count) of unit `idx`.
+    pub fn chain_length(&self, idx: usize) -> u64 {
+        flops::registry()
+            .iter()
+            .filter(|r| self.granularity.index_of(r.unit) == idx)
+            .map(|r| u64::from(r.total_bits()))
+            .sum()
+    }
+
+    /// Runs LBIST on unit `idx` with `fault` present (pass `None` for
+    /// the golden device). Returns the outcome with the golden signature
+    /// computed alongside.
+    pub fn run(&self, idx: usize, fault: Option<Fault>) -> LbistOutcome {
+        let golden = self.signature_of(idx, None);
+        let (signature, cycles) = match fault {
+            Some(f) => self.signature_of(idx, Some(f)),
+            None => golden,
+        };
+        LbistOutcome { signature, golden: golden.0, cycles, patterns: self.patterns }
+    }
+
+    /// Computes the compacted signature (and cycle cost) of unit `idx`.
+    fn signature_of(&self, idx: usize, fault: Option<Fault>) -> (u32, u64) {
+        let chain: Vec<flops::FlopId> = flops::all_flops()
+            .filter(|f| self.granularity.index_of(flops::unit_of(*f)) == idx)
+            .collect();
+        let mut misr = 0u32;
+        let mut cycles = 0u64;
+        // LBIST runs with the core held off the bus; an empty memory
+        // provides deterministic responses for capture-cycle accesses.
+        let mut mem = Memory::new(4096, self.seed);
+        let mut ports = PortSet::new();
+        let mut pattern_state = self.seed ^ 0xD1A6_0057;
+        for p in 0..self.patterns {
+            let mut cpu = Cpu::new(0);
+            // Deterministic background state + pattern into the chain.
+            load_background(cpu.state_mut(), self.seed ^ u64::from(p));
+            for (i, &flop) in chain.iter().enumerate() {
+                let bit = splitmix64(&mut pattern_state) & 1 == 1;
+                flops::set_bit(cpu.state_mut(), flop, bit);
+                let _ = i;
+            }
+            // Scan-in cost: one cycle per chain bit.
+            cycles += chain.len() as u64;
+            // One functional capture cycle, with the defect active.
+            let capture_cycle = cycles;
+            match fault {
+                Some(f) => {
+                    // The defect also corrupts the scanned-in state, as a
+                    // real stuck-at in a scan flop would.
+                    f.overlay(cpu.state_mut(), capture_cycle);
+                    cpu.step_with_overlay(&mut mem, &mut ports, |st| {
+                        f.overlay(st, capture_cycle + 1);
+                    });
+                }
+                None => {
+                    cpu.step(&mut mem, &mut ports);
+                }
+            }
+            cycles += 1;
+            // Scan-out: compact the chain into the MISR word by word.
+            let mut word = 0u32;
+            let mut nbits = 0;
+            for &flop in &chain {
+                word = word << 1 | u32::from(flops::get_bit(cpu.state(), flop));
+                nbits += 1;
+                if nbits == 32 {
+                    misr = misr_fold(misr, word);
+                    word = 0;
+                    nbits = 0;
+                }
+            }
+            if nbits > 0 {
+                misr = misr_fold(misr, word);
+            }
+            cycles += chain.len() as u64;
+        }
+        (misr, cycles)
+    }
+}
+
+/// Fills every flop with a deterministic pseudo-random background so
+/// capture cycles exercise cross-unit logic paths.
+fn load_background(state: &mut CpuState, seed: u64) {
+    let mut s = seed;
+    for reg in 0..flops::registry().len() {
+        let descr = &flops::registry()[reg];
+        for lane in 0..descr.lanes {
+            let value = splitmix64(&mut s);
+            descr.write(state, lane as usize, value);
+        }
+    }
+    // Keep the machine in a sane control state: not halted, no pending
+    // waits that would wedge the capture cycle artificially often.
+    state.halted = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::UnitId;
+    use lockstep_fault::FaultKind;
+
+    fn engine() -> LbistEngine {
+        LbistEngine::new(Granularity::Fine, 6, 0xC0FFEE)
+    }
+
+    #[test]
+    fn golden_runs_match_themselves() {
+        let e = engine();
+        for idx in [UnitId::Rf.index(), UnitId::Alu.index(), UnitId::Scu.index()] {
+            let out = e.run(idx, None);
+            assert!(!out.detected(), "clean unit {idx} must pass");
+            assert!(out.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn stuck_at_in_chain_is_detected() {
+        let e = engine();
+        let rf_flop = flops::flops_of_unit(UnitId::Rf).nth(333).unwrap();
+        let out = e.run(UnitId::Rf.index(), Some(Fault::new(rf_flop, FaultKind::StuckAt0, 0)));
+        assert!(out.detected(), "a stuck scan flop flips pattern bits -> signature mismatch");
+    }
+
+    #[test]
+    fn detection_probability_is_high_across_flops() {
+        // Scan-based testing should catch nearly every stuck-at in the
+        // tested chain (stuck-at-X differs from a random pattern bit
+        // half the time per pattern; 6 patterns -> ~98%).
+        let e = engine();
+        let mut caught = 0;
+        let mut total = 0;
+        for flop in flops::flops_of_unit(UnitId::Mdv).step_by(13) {
+            let out =
+                e.run(UnitId::Mdv.index(), Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
+            total += 1;
+            if out.detected() {
+                caught += 1;
+            }
+        }
+        assert!(
+            caught * 10 >= total * 9,
+            "LBIST coverage too low: {caught}/{total} in MDV chain"
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_chain_length() {
+        let e = engine();
+        let rf = e.run(UnitId::Rf.index(), None);
+        let shf = e.run(UnitId::Shf.index(), None);
+        assert!(rf.cycles > 10 * shf.cycles, "RF chain is ~30x the SHF chain");
+        assert_eq!(e.chain_length(UnitId::Rf.index()), 992);
+        assert_eq!(e.chain_length(UnitId::Shf.index()), 33);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = engine().run(UnitId::Alu.index(), None);
+        let b = engine().run(UnitId::Alu.index(), None);
+        assert_eq!(a, b);
+        let c = LbistEngine::new(Granularity::Fine, 6, 999).run(UnitId::Alu.index(), None);
+        assert_ne!(a.signature, c.signature);
+    }
+
+    #[test]
+    fn coarse_chains_aggregate_fine_chains() {
+        let fine = LbistEngine::new(Granularity::Fine, 2, 1);
+        let coarse = LbistEngine::new(Granularity::Coarse, 2, 1);
+        let dpu: u64 = UnitId::ALL
+            .iter()
+            .filter(|u| u.coarse() == lockstep_cpu::CoarseUnit::Dpu)
+            .map(|u| fine.chain_length(u.index()))
+            .sum();
+        assert_eq!(coarse.chain_length(lockstep_cpu::CoarseUnit::Dpu.index()), dpu);
+    }
+}

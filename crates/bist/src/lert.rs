@@ -1,0 +1,374 @@
+//! Lockstep error reaction time (LERT) accounting — Figure 9.
+//!
+//! Given one detected error (its true unit, its true type, the restart
+//! penalty of the interrupted task) and a handling model, computes the
+//! cycles from detection to the safe state:
+//!
+//! * **Baselines (Fig. 9a)**: run STLs in a policy order until a hard
+//!   fault is found (fail stop) or all units pass, in which case the
+//!   error is declared soft and the task restarts.
+//! * **pred-location-only (Fig. 9b)**: identical flow, but the STL order
+//!   comes from the prediction table (plus the table access cost).
+//! * **pred-comb (Fig. 9c)**: additionally uses the 1-bit type
+//!   prediction: predicted-soft errors skip the SBIST entirely and
+//!   restart at once. A soft-misprediction (the error was actually hard)
+//!   re-manifests after restart; the follow-up error is always treated
+//!   as hard (ignoring its type prediction) and diagnosed with the
+//!   predicted order, so safety is never compromised.
+
+use lockstep_core::Prediction;
+use lockstep_fault::ErrorKind;
+use lockstep_stats::Xoshiro256;
+
+use crate::latency::LatencyModel;
+use crate::order::OrderPolicy;
+
+/// The five evaluated error-handling models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Random STL order per error.
+    BaseRandom,
+    /// STLs in ascending latency order.
+    BaseAscending,
+    /// STLs in descending manifestation-rate order.
+    BaseManifest,
+    /// Predicted unit order, no type prediction.
+    PredLocationOnly,
+    /// Predicted unit order plus 1-bit type prediction.
+    PredComb,
+}
+
+impl Model {
+    /// All models, in the paper's presentation order.
+    pub const ALL: [Model; 5] = [
+        Model::BaseRandom,
+        Model::BaseAscending,
+        Model::BaseManifest,
+        Model::PredLocationOnly,
+        Model::PredComb,
+    ];
+
+    /// The abbreviation used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::BaseRandom => "base-random",
+            Model::BaseAscending => "base-ascending",
+            Model::BaseManifest => "base-manifest",
+            Model::PredLocationOnly => "pred-location-only",
+            Model::PredComb => "pred-comb",
+        }
+    }
+
+    /// `true` for the two prediction-driven models.
+    pub fn uses_predictor(self) -> bool {
+        matches!(self, Model::PredLocationOnly | Model::PredComb)
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected error, as the LERT models see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LertInputs {
+    /// Unit (index under the evaluation granularity) the fault lives in.
+    pub true_unit: usize,
+    /// Whether the fault was actually transient or permanent.
+    pub true_kind: ErrorKind,
+    /// Cycles to reset the CPUs and restart the interrupted task.
+    pub restart_cycles: u64,
+}
+
+/// Reaction-time accounting for one error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LertOutcome {
+    /// Cycles from error detection to the safe state.
+    pub cycles: u64,
+    /// STLs executed before the outcome was known.
+    pub units_tested: u32,
+    /// `true` if the SBIST ran at all (pred-comb can skip it).
+    pub sbist_invoked: bool,
+    /// `true` if a hard fault was (correctly) found by the SBIST.
+    pub hard_found: bool,
+}
+
+/// Computes the LERT of one error under `model`.
+///
+/// * `prediction` must be `Some` for the two prediction models.
+/// * `manifestation_rates` feeds `base-manifest`.
+/// * `rng` drives `base-random` and the random tail of truncated (top-K)
+///   predictions.
+///
+/// # Panics
+///
+/// Panics if a prediction model is selected without a prediction, or if
+/// `true_unit` is out of range.
+pub fn lert_for(
+    model: Model,
+    inputs: LertInputs,
+    latency: &LatencyModel,
+    manifestation_rates: &[f64],
+    prediction: Option<&Prediction>,
+    rng: &mut Xoshiro256,
+) -> LertOutcome {
+    let n = latency.stl_latencies().len();
+    assert!(inputs.true_unit < n, "unit {} out of range", inputs.true_unit);
+    match model {
+        Model::BaseRandom | Model::BaseAscending | Model::BaseManifest => {
+            let policy = match model {
+                Model::BaseRandom => OrderPolicy::Random,
+                Model::BaseAscending => OrderPolicy::AscendingLatency,
+                _ => OrderPolicy::DescendingManifestation,
+            };
+            let order = policy.order(latency.stl_latencies(), manifestation_rates, rng);
+            let mut out = run_sbist(&order, inputs, latency);
+            out.cycles += match inputs.true_kind {
+                ErrorKind::Hard => 0,
+                ErrorKind::Soft => inputs.restart_cycles,
+            };
+            out
+        }
+        Model::PredLocationOnly => {
+            let pred = prediction.expect("prediction model without prediction");
+            let order = full_order(pred, n, rng);
+            let mut out = run_sbist(&order, inputs, latency);
+            out.cycles += latency.table_access();
+            if inputs.true_kind == ErrorKind::Soft {
+                out.cycles += inputs.restart_cycles;
+            }
+            out
+        }
+        Model::PredComb => {
+            let pred = prediction.expect("prediction model without prediction");
+            if pred.kind == ErrorKind::Soft {
+                match inputs.true_kind {
+                    ErrorKind::Soft => {
+                        // Correct soft prediction: no SBIST at all.
+                        LertOutcome {
+                            cycles: latency.table_access() + inputs.restart_cycles,
+                            units_tested: 0,
+                            sbist_invoked: false,
+                            hard_found: false,
+                        }
+                    }
+                    ErrorKind::Hard => {
+                        // Soft-misprediction: restart, the defect
+                        // re-manifests, and the follow-up error is
+                        // treated as hard with the predicted order.
+                        let order = full_order(pred, n, rng);
+                        let mut out = run_sbist(&order, inputs, latency);
+                        out.cycles +=
+                            2 * latency.table_access() + inputs.restart_cycles;
+                        out
+                    }
+                }
+            } else {
+                // Predicted hard: straight to SBIST in predicted order.
+                let order = full_order(pred, n, rng);
+                let mut out = run_sbist(&order, inputs, latency);
+                out.cycles += latency.table_access();
+                if inputs.true_kind == ErrorKind::Soft {
+                    out.cycles += inputs.restart_cycles;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Expands a (possibly top-K-truncated) predicted order to cover all `n`
+/// units: the unpredicted remainder is appended in random order, which
+/// the paper chooses "so as not to give unfair advantage" (Section V-C).
+fn full_order(pred: &Prediction, n: usize, rng: &mut Xoshiro256) -> Vec<usize> {
+    let mut order = pred.order.clone();
+    if order.len() < n {
+        let mut rest: Vec<usize> = (0..n).filter(|u| !order.contains(u)).collect();
+        rng.shuffle(&mut rest);
+        order.extend(rest);
+    }
+    order
+}
+
+/// Runs STLs in `order` until the faulty unit is found (hard errors) or
+/// to completion (soft errors). Assumes 100% STL coverage (paper fn. 5).
+fn run_sbist(order: &[usize], inputs: LertInputs, latency: &LatencyModel) -> LertOutcome {
+    let mut cycles = 0;
+    let mut tested = 0;
+    match inputs.true_kind {
+        ErrorKind::Hard => {
+            for &u in order {
+                cycles += latency.stl(u);
+                tested += 1;
+                if u == inputs.true_unit {
+                    return LertOutcome {
+                        cycles,
+                        units_tested: tested,
+                        sbist_invoked: true,
+                        hard_found: true,
+                    };
+                }
+            }
+            // Unreachable with a complete order; defensive total behaviour.
+            LertOutcome { cycles, units_tested: tested, sbist_invoked: true, hard_found: false }
+        }
+        ErrorKind::Soft => {
+            // No hard fault exists: every STL passes (run to completion).
+            for &u in order {
+                cycles += latency.stl(u);
+                tested += 1;
+            }
+            LertOutcome { cycles, units_tested: tested, sbist_invoked: true, hard_found: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::Granularity;
+
+    fn lat() -> LatencyModel {
+        LatencyModel::calibrated(Granularity::Coarse)
+    }
+
+    fn rates() -> Vec<f64> {
+        vec![0.3, 0.5, 0.2, 0.1, 0.15, 0.25, 0.4]
+    }
+
+    fn hard(unit: usize) -> LertInputs {
+        LertInputs { true_unit: unit, true_kind: ErrorKind::Hard, restart_cycles: 10_000 }
+    }
+
+    fn soft() -> LertInputs {
+        LertInputs { true_unit: 3, true_kind: ErrorKind::Soft, restart_cycles: 10_000 }
+    }
+
+    fn pred(order: Vec<usize>, kind: ErrorKind) -> Prediction {
+        Prediction { order, kind, table_hit: true }
+    }
+
+    #[test]
+    fn baseline_hard_stops_at_faulty_unit() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        // base-ascending: cheapest unit first; fault in the cheapest.
+        let cheapest = (0..7).min_by_key(|&u| l.stl(u)).unwrap();
+        let out =
+            lert_for(Model::BaseAscending, hard(cheapest), &l, &rates(), None, &mut rng);
+        assert_eq!(out.units_tested, 1);
+        assert_eq!(out.cycles, l.stl(cheapest));
+        assert!(out.hard_found);
+    }
+
+    #[test]
+    fn baseline_soft_runs_to_completion_plus_restart() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        let out = lert_for(Model::BaseAscending, soft(), &l, &rates(), None, &mut rng);
+        assert_eq!(out.units_tested, 7);
+        assert_eq!(out.cycles, l.total_stl() + 10_000);
+        assert!(!out.hard_found);
+    }
+
+    #[test]
+    fn perfect_location_prediction_tests_one_unit() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        let p = pred(vec![4, 0, 1, 2, 3, 5, 6], ErrorKind::Hard);
+        let out = lert_for(Model::PredLocationOnly, hard(4), &l, &rates(), Some(&p), &mut rng);
+        assert_eq!(out.units_tested, 1);
+        assert_eq!(out.cycles, l.table_access() + l.stl(4));
+    }
+
+    #[test]
+    fn pred_comb_soft_correct_skips_sbist() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        let p = pred(vec![0, 1, 2, 3, 4, 5, 6], ErrorKind::Soft);
+        let out = lert_for(Model::PredComb, soft(), &l, &rates(), Some(&p), &mut rng);
+        assert!(!out.sbist_invoked);
+        assert_eq!(out.units_tested, 0);
+        assert_eq!(out.cycles, l.table_access() + 10_000);
+    }
+
+    #[test]
+    fn pred_comb_soft_mispredict_is_bounded_and_safe() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        // Fault is hard in unit 2 but the type bit says soft.
+        let p = pred(vec![2, 0, 1, 3, 4, 5, 6], ErrorKind::Soft);
+        let out = lert_for(Model::PredComb, hard(2), &l, &rates(), Some(&p), &mut rng);
+        assert!(out.hard_found, "the defect must still be found");
+        assert_eq!(out.cycles, 2 * l.table_access() + 10_000 + l.stl(2));
+    }
+
+    #[test]
+    fn pred_comb_hard_prediction_behaves_like_location_only() {
+        let mut rng1 = Xoshiro256::seed_from(1);
+        let mut rng2 = Xoshiro256::seed_from(1);
+        let l = lat();
+        let p = pred(vec![5, 1, 0, 2, 3, 4, 6], ErrorKind::Hard);
+        let a = lert_for(Model::PredComb, hard(5), &l, &rates(), Some(&p), &mut rng1);
+        let b =
+            lert_for(Model::PredLocationOnly, hard(5), &l, &rates(), Some(&p), &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_prediction_falls_back_to_random_tail() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let l = lat();
+        // Top-2 prediction that misses the true unit 6.
+        let p = pred(vec![0, 1], ErrorKind::Hard);
+        let out = lert_for(Model::PredComb, hard(6), &l, &rates(), Some(&p), &mut rng);
+        assert!(out.hard_found);
+        assert!(out.units_tested >= 3, "must search beyond the predicted units");
+    }
+
+    #[test]
+    fn mispredicted_comb_never_exceeds_baseline_bound() {
+        // Paper: "The LERT of the combined prediction model in the
+        // presence of mispredictions is never greater than the LERT of
+        // the baseline model" — check against the worst baseline cost.
+        let l = lat();
+        let worst_baseline = l.total_stl() + 10_000;
+        for unit in 0..7 {
+            let mut rng = Xoshiro256::seed_from(unit as u64);
+            let p = pred(vec![unit], ErrorKind::Soft);
+            let out = lert_for(Model::PredComb, hard(unit), &l, &rates(), Some(&p), &mut rng);
+            assert!(
+                out.cycles <= worst_baseline + 2 * l.table_access() + 10_000,
+                "unit {unit}: {} cycles", out.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn base_random_varies_but_is_reproducible() {
+        let l = lat();
+        let mut rng1 = Xoshiro256::seed_from(9);
+        let mut rng2 = Xoshiro256::seed_from(9);
+        let a = lert_for(Model::BaseRandom, hard(3), &l, &rates(), None, &mut rng1);
+        let b = lert_for(Model::BaseRandom, hard(3), &l, &rates(), None, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction model without prediction")]
+    fn prediction_model_requires_prediction() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let _ = lert_for(Model::PredComb, hard(0), &lat(), &rates(), None, &mut rng);
+    }
+
+    #[test]
+    fn model_names_match_paper() {
+        let names: Vec<&str> = Model::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["base-random", "base-ascending", "base-manifest", "pred-location-only", "pred-comb"]
+        );
+    }
+}

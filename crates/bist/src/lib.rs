@@ -1,0 +1,47 @@
+//! SBIST: software built-in self-test, STL ordering policies, and the
+//! LERT (lockstep error reaction time) models of the paper's Figure 9.
+//!
+//! When the lockstep checker flags an error, the system controller runs
+//! diagnostics to decide whether the error was hard (a defect — fail
+//! stop) or soft (a transient — reset & restart). The diagnostics run one
+//! **software test library (STL)** per CPU unit; the order in which units
+//! are tested dominates the reaction time, and that ordering is exactly
+//! what the error correlation predictor improves.
+//!
+//! * [`latency`] — the latency model of Table II: per-unit STL latencies
+//!   (calibrated to the paper's `[25k, 170k, 700k]` band from our CPU's
+//!   per-unit flip-flop counts), prediction-table access times and
+//!   restart penalties.
+//! * [`order`] — the three baseline unit orderings (random, ascending
+//!   STL latency, descending manifestation rate).
+//! * [`lert`] — per-error reaction-time accounting for all five models:
+//!   `base-random`, `base-ascending`, `base-manifest`,
+//!   `pred-location-only` and `pred-comb`.
+//! * [`lbist`] — the LBIST alternative: per-unit scan chains built from
+//!   the flip-flop registry, LFSR patterns, functional capture cycles
+//!   and MISR compaction, so the predictor can constrain the scan search
+//!   space exactly as Section III describes.
+//! * [`stl`] — *functional* STLs: real LR5 test programs per unit that
+//!   accumulate a MISR signature, so hard faults are detected by actually
+//!   running diagnostics on the faulted core (mechanism demonstration;
+//!   the LERT numbers use the calibrated latency model, as the paper's
+//!   use measured STL latencies).
+//! * [`controller`] — the safe-state system controller tying a lockstep
+//!   system, the predictor and the SBIST flow together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod latency;
+pub mod lbist;
+pub mod lert;
+pub mod order;
+pub mod stl;
+
+pub use controller::{ControllerOutcome, SystemController};
+pub use latency::LatencyModel;
+pub use lbist::{LbistEngine, LbistOutcome};
+pub use lert::{lert_for, LertInputs, LertOutcome, Model};
+pub use order::OrderPolicy;
+pub use stl::{StlOutcome, StlSuite};

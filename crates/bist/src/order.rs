@@ -1,0 +1,111 @@
+//! Baseline STL ordering policies (Section IV-C.1).
+
+use lockstep_stats::Xoshiro256;
+
+/// How the SBIST orders the unit STLs when no prediction is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderPolicy {
+    /// `base-random`: a fresh pseudo-random order per detected error.
+    Random,
+    /// `base-ascending`: ascending STL latency — cheap units first.
+    AscendingLatency,
+    /// `base-manifest`: descending error manifestation rate — leaky
+    /// units first.
+    DescendingManifestation,
+}
+
+impl OrderPolicy {
+    /// Produces a unit test order.
+    ///
+    /// * `stl_latencies` — per-unit STL cycles (used by
+    ///   [`OrderPolicy::AscendingLatency`]).
+    /// * `manifestation_rates` — per-unit error manifestation rates
+    ///   (used by [`OrderPolicy::DescendingManifestation`]).
+    /// * `rng` — consumed only by [`OrderPolicy::Random`]; a fresh order
+    ///   is drawn per call, matching the paper's per-error randomization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices disagree in length.
+    pub fn order(
+        self,
+        stl_latencies: &[u64],
+        manifestation_rates: &[f64],
+        rng: &mut Xoshiro256,
+    ) -> Vec<usize> {
+        assert_eq!(stl_latencies.len(), manifestation_rates.len(), "unit count mismatch");
+        let n = stl_latencies.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        match self {
+            OrderPolicy::Random => rng.shuffle(&mut order),
+            OrderPolicy::AscendingLatency => {
+                order.sort_by_key(|&u| (stl_latencies[u], u));
+            }
+            OrderPolicy::DescendingManifestation => {
+                order.sort_by(|&a, &b| {
+                    manifestation_rates[b]
+                        .partial_cmp(&manifestation_rates[a])
+                        .expect("rates are finite")
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAT: [u64; 4] = [400, 100, 300, 200];
+    const RATES: [f64; 4] = [0.1, 0.4, 0.2, 0.3];
+
+    #[test]
+    fn ascending_latency_order() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let o = OrderPolicy::AscendingLatency.order(&LAT, &RATES, &mut rng);
+        assert_eq!(o, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn descending_manifestation_order() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let o = OrderPolicy::DescendingManifestation.order(&LAT, &RATES, &mut rng);
+        assert_eq!(o, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_varies() {
+        let mut rng = Xoshiro256::seed_from(42);
+        let a = OrderPolicy::Random.order(&LAT, &RATES, &mut rng);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Across many draws the order must change (fresh order per error).
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(OrderPolicy::Random.order(&LAT, &RATES, &mut rng));
+        }
+        assert!(seen.len() > 5);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let lat = [100u64, 100, 50];
+        let rates = [0.5, 0.5, 0.1];
+        let mut rng = Xoshiro256::seed_from(0);
+        assert_eq!(OrderPolicy::AscendingLatency.order(&lat, &rates, &mut rng), vec![2, 0, 1]);
+        assert_eq!(
+            OrderPolicy::DescendingManifestation.order(&lat, &rates, &mut rng),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unit count mismatch")]
+    fn mismatched_inputs_panic() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let _ = OrderPolicy::Random.order(&[1, 2], &[0.1], &mut rng);
+    }
+}

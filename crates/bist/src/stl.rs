@@ -1,0 +1,518 @@
+//! Functional software test libraries.
+//!
+//! The paper's SBIST runs one STL per CPU unit — "special software test
+//! libraries written in the instruction sets of the CPU" (Section II) —
+//! and detects a hard fault when a test's signature mismatches. This
+//! module generates real LR5 STL programs: each unit's test body
+//! sensitizes that unit's logic and folds every observed value into the
+//! SCU's MISR signature register; the suite runs a program on a
+//! (possibly faulted) core and compares the final signature against the
+//! fault-free golden signature.
+//!
+//! These functional STLs demonstrate the *mechanism*. The LERT numbers in
+//! the experiments use the calibrated latency model
+//! ([`crate::latency::LatencyModel`]), exactly as the paper plugs
+//! *measured* STL latencies into its models.
+
+use lockstep_asm::assemble;
+use lockstep_cpu::{Cpu, Granularity, PortSet, UnitId};
+use lockstep_fault::Fault;
+use lockstep_mem::Memory;
+
+/// Result of running one unit's STL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StlOutcome {
+    /// Final MISR signature, or `None` if the STL timed out / hung.
+    pub signature: Option<u32>,
+    /// The fault-free reference signature.
+    pub golden: u32,
+    /// Cycles the (possibly faulted) run took until halt or timeout.
+    pub cycles: u64,
+}
+
+impl StlOutcome {
+    /// `true` when the STL detected a fault (signature mismatch or hang).
+    pub fn detected(&self) -> bool {
+        self.signature != Some(self.golden)
+    }
+}
+
+/// Generator and runner for per-unit STL programs.
+#[derive(Debug, Clone)]
+pub struct StlSuite {
+    granularity: Granularity,
+}
+
+impl StlSuite {
+    /// Creates the suite for a unit organization.
+    pub fn new(granularity: Granularity) -> StlSuite {
+        StlSuite { granularity }
+    }
+
+    /// The STL source for unit index `idx` under the suite's
+    /// granularity. Coarse DPU concatenates its seven sub-unit bodies
+    /// (Section V-D splits "the DPU STL into its 7 constituents").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn source(&self, idx: usize) -> String {
+        let bodies: Vec<String> = match self.granularity {
+            Granularity::Fine => vec![body(UnitId::ALL[idx])],
+            Granularity::Coarse => UnitId::ALL
+                .iter()
+                .filter(|u| u.coarse().index() == idx)
+                .map(|u| body(*u))
+                .collect(),
+        };
+        let mut src = String::from(PROLOGUE);
+        for b in &bodies {
+            src.push_str(b);
+        }
+        src.push_str(EPILOGUE);
+        src
+    }
+
+    /// Runs unit `idx`'s STL on a core with `fault` active from cycle 0,
+    /// comparing against the fault-free golden signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the *golden* run fails to halt (an STL bug).
+    pub fn run(&self, idx: usize, fault: Option<Fault>) -> StlOutcome {
+        let src = self.source(idx);
+        let (golden_sig, golden_cycles) =
+            execute(&src, None).expect("golden STL run must halt");
+        let budget = golden_cycles * 4 + 1000;
+        match execute_bounded(&src, fault, budget) {
+            Some((sig, cycles)) => {
+                StlOutcome { signature: Some(sig), golden: golden_sig, cycles }
+            }
+            None => StlOutcome { signature: None, golden: golden_sig, cycles: budget },
+        }
+    }
+
+    /// Number of units in this suite.
+    pub fn unit_count(&self) -> usize {
+        self.granularity.unit_count()
+    }
+}
+
+fn execute(src: &str, fault: Option<Fault>) -> Option<(u32, u64)> {
+    execute_bounded(src, fault, 2_000_000)
+}
+
+fn execute_bounded(src: &str, fault: Option<Fault>, budget: u64) -> Option<(u32, u64)> {
+    let program = assemble(src).expect("STL source must assemble");
+    let mut mem = Memory::new(64 * 1024, 0xB15D);
+    mem.load_image(&program.to_bytes(64 * 1024));
+    let mut cpu = Cpu::new(0);
+    let mut ports = PortSet::new();
+    for cycle in 0..budget {
+        let halted = match fault {
+            Some(f) => {
+                cpu.step_with_overlay(&mut mem, &mut ports, |st| f.overlay(st, cycle)).halted
+            }
+            None => cpu.step(&mut mem, &mut ports).halted,
+        };
+        if halted {
+            return Some((cpu.state().csr_misr, cycle + 1));
+        }
+    }
+    None
+}
+
+/// Shared prologue: trap handler that folds the cause into the signature
+/// and fail-stops (any trap during an STL is itself a detection).
+const PROLOGUE: &str = "
+        j    stl_begin
+        nop
+trap_handler:
+        csrr a0, cause
+        csrw misr, a0
+        csrr a0, epc
+        csrw misr, a0
+        ecall
+stl_begin:
+";
+
+const EPILOGUE: &str = "
+        ecall
+";
+
+/// The unit-targeted test body.
+fn body(unit: UnitId) -> String {
+    match unit {
+        UnitId::Pfu => PFU_BODY.to_owned(),
+        UnitId::Dec => DEC_BODY.to_owned(),
+        UnitId::Iss => ISS_BODY.to_owned(),
+        UnitId::Rf => rf_body(),
+        UnitId::Alu => ALU_BODY.to_owned(),
+        UnitId::Shf => SHF_BODY.to_owned(),
+        UnitId::Mdv => MDV_BODY.to_owned(),
+        UnitId::Fwd => FWD_BODY.to_owned(),
+        UnitId::Lsu => LSU_BODY.to_owned(),
+        UnitId::Biu => BIU_BODY.to_owned(),
+        UnitId::Imcu => IMCU_BODY.to_owned(),
+        UnitId::Dmcu => DMCU_BODY.to_owned(),
+        UnitId::Scu => SCU_BODY.to_owned(),
+    }
+}
+
+/// Register-bank march test: write a distinct pattern to every register,
+/// read all back, then repeat with the complement (generated, since
+/// registers cannot be indexed indirectly).
+fn rf_body() -> String {
+    let mut s = String::from("\n; --- RF march ---\n");
+    for pass in 0..2u32 {
+        let base: u32 = if pass == 0 { 0xA5A5_0000 } else { 0x5A5A_FFFF };
+        for r in 1..32 {
+            let pat = base ^ (r * 0x0101_0101);
+            s.push_str(&format!("        li   x{r}, {pat}\n"));
+        }
+        for r in 1..32 {
+            s.push_str(&format!("        csrw misr, x{r}\n"));
+        }
+    }
+    s
+}
+
+const PFU_BODY: &str = "
+; --- PFU: branch ladder and link-value capture ---
+        li   t0, 0
+        li   t1, 8
+pfu_loop:
+        andi t2, t0, 1
+        beqz t2, pfu_even
+        addi t0, t0, 3
+        j    pfu_next
+pfu_even:
+        addi t0, t0, 1
+pfu_next:
+        jal  ra, pfu_leaf
+        csrw misr, ra          ; link value = captured PC
+        addi t1, t1, -1
+        bnez t1, pfu_loop
+        j    pfu_done
+pfu_leaf:
+        csrw misr, t0
+        ret
+pfu_done:
+        csrw misr, t0
+";
+
+const DEC_BODY: &str = "
+; --- DEC: one of each instruction class ---
+        li   t0, 0x0F0F1234
+        li   t1, 7
+        add  t2, t0, t1
+        csrw misr, t2
+        sub  t2, t0, t1
+        csrw misr, t2
+        and  t2, t0, t1
+        csrw misr, t2
+        or   t2, t0, t1
+        csrw misr, t2
+        xor  t2, t0, t1
+        csrw misr, t2
+        slt  t2, t0, t1
+        csrw misr, t2
+        sltu t2, t0, t1
+        csrw misr, t2
+        addi t2, t0, -99
+        csrw misr, t2
+        andi t2, t0, 0xFF
+        csrw misr, t2
+        ori  t2, t0, 0xF0
+        csrw misr, t2
+        xori t2, t0, 0x3C
+        csrw misr, t2
+        lui  t2, 0xBEEF
+        csrw misr, t2
+";
+
+const ISS_BODY: &str = "
+; --- ISS: operand forwarding chains ---
+        li   t0, 1
+        li   t1, 2
+        add  t2, t0, t1        ; 3  (RF read)
+        add  t3, t2, t2        ; 6  (EX->EX forward both operands)
+        add  t4, t3, t2        ; 9  (EX + WB forwards)
+        add  t5, t4, t0        ; 10 (WB + write-through)
+        sub  t6, t5, t4        ; 1
+        csrw misr, t3
+        csrw misr, t4
+        csrw misr, t5
+        csrw misr, t6
+";
+
+const ALU_BODY: &str = "
+; --- ALU: corner-value arithmetic ---
+        li   t0, 0x7FFFFFFF
+        li   t1, 1
+        add  t2, t0, t1        ; signed overflow
+        csrw misr, t2
+        li   t0, 0x80000000
+        sub  t2, t0, t1        ; borrow into sign
+        csrw misr, t2
+        li   t0, -1
+        li   t1, 1
+        add  t2, t0, t1        ; carry out
+        csrw misr, t2
+        slt  t2, t0, t1
+        csrw misr, t2
+        sltu t2, t0, t1
+        csrw misr, t2
+        li   t0, 0xAAAAAAAA
+        li   t1, 0x55555555
+        and  t2, t0, t1
+        csrw misr, t2
+        or   t2, t0, t1
+        csrw misr, t2
+        xor  t2, t0, t1
+        csrw misr, t2
+";
+
+const SHF_BODY: &str = "
+; --- SHF: every shift amount, three shift kinds ---
+        li   t0, 0x80000001
+        li   t1, 0             ; amount
+shf_loop:
+        sll  t2, t0, t1
+        csrw misr, t2
+        srl  t2, t0, t1
+        csrw misr, t2
+        sra  t2, t0, t1
+        csrw misr, t2
+        addi t1, t1, 1
+        li   t3, 32
+        blt  t1, t3, shf_loop
+";
+
+const MDV_BODY: &str = "
+; --- MDV: multiply/divide corner cases ---
+        li   t0, 0x7FFFFFFF
+        li   t1, -1
+        mul  t2, t0, t1
+        csrw misr, t2
+        mulh t2, t0, t1
+        csrw misr, t2
+        mulhu t2, t0, t1
+        csrw misr, t2
+        li   t0, 0x80000000
+        div  t2, t0, t1        ; overflow case
+        csrw misr, t2
+        rem  t2, t0, t1
+        csrw misr, t2
+        li   t1, 0
+        div  t2, t0, t1        ; divide by zero
+        csrw misr, t2
+        remu t2, t0, t1
+        csrw misr, t2
+        li   t0, 123456789
+        li   t1, 3803
+        divu t2, t0, t1
+        csrw misr, t2
+        remu t2, t0, t1
+        csrw misr, t2
+        mul  t2, t2, t1
+        csrw misr, t2
+";
+
+const FWD_BODY: &str = "
+; --- FWD: load-to-use and writeback forwarding ---
+        li   t0, 0x5000
+        li   t1, 0xCAFE
+        sw   t1, 0(t0)
+        lw   t2, 0(t0)
+        addi t3, t2, 1         ; load-use interlock + WB forward
+        csrw misr, t3
+        lw   t4, 0(t0)
+        add  t5, t4, t4        ; both operands from load
+        csrw misr, t5
+        sw   t5, 4(t0)
+        lw   t6, 4(t0)
+        csrw misr, t6
+";
+
+const LSU_BODY: &str = "
+; --- LSU: every access width at every alignment ---
+        li   t0, 0x5100
+        li   t1, 0x11223344
+        sw   t1, 0(t0)
+        sh   t1, 4(t0)
+        sh   t1, 6(t0)
+        sb   t1, 8(t0)
+        sb   t1, 9(t0)
+        sb   t1, 10(t0)
+        sb   t1, 11(t0)
+        lw   t2, 0(t0)
+        csrw misr, t2
+        lh   t2, 4(t0)
+        csrw misr, t2
+        lhu  t2, 6(t0)
+        csrw misr, t2
+        lb   t2, 8(t0)
+        csrw misr, t2
+        lbu  t2, 11(t0)
+        csrw misr, t2
+";
+
+const BIU_BODY: &str = "
+; --- BIU: MMIO transactions through the bus interface ---
+        li   t0, 0xFFFF0000
+        li   t1, 0xFFFF8000
+        lw   t2, 0(t0)         ; sensor reads exercise the BIU FSM
+        csrw misr, t2
+        lw   t2, 4(t0)
+        csrw misr, t2
+        li   t3, 0x1234
+        sw   t3, 120(t1)       ; output write
+        lw   t4, 120(t1)       ; read-back
+        csrw misr, t4
+";
+
+const IMCU_BODY: &str = "
+; --- IMCU: fetch stream across spread-out code blocks ---
+        li   t0, 0
+        jal  ra, imcu_far1
+        csrw misr, t0
+        jal  ra, imcu_far2
+        csrw misr, t0
+        j    imcu_done
+        .space 128
+imcu_far1:
+        addi t0, t0, 0x111
+        ret
+        .space 128
+imcu_far2:
+        addi t0, t0, 0x222
+        ret
+imcu_done:
+        csrw misr, t0
+";
+
+const DMCU_BODY: &str = "
+; --- DMCU: back-to-back store/load bursts ---
+        li   t0, 0x5200
+        li   t1, 0
+dmcu_wr:
+        slli t2, t1, 2
+        add  t2, t2, t0
+        slli t3, t1, 7
+        addi t3, t3, 0x77
+        sw   t3, 0(t2)
+        addi t1, t1, 1
+        li   t4, 16
+        blt  t1, t4, dmcu_wr
+        li   t1, 0
+        li   t5, 0
+dmcu_rd:
+        slli t2, t1, 2
+        add  t2, t2, t0
+        lw   t3, 0(t2)
+        xor  t5, t5, t3
+        addi t1, t1, 1
+        li   t4, 16
+        blt  t1, t4, dmcu_rd
+        csrw misr, t5
+";
+
+const SCU_BODY: &str = "
+; --- SCU: CSR file walk ---
+        li   t0, 0xDEAD0001
+        csrw scratch0, t0
+        csrr t1, scratch0
+        csrw misr, t1
+        li   t0, 0xDEAD0002
+        csrw scratch1, t0
+        csrr t1, scratch1
+        csrw misr, t1
+        csrr t1, cause
+        csrw misr, t1
+        csrr t1, epc
+        csrw misr, t1
+        csrr t1, instret
+        csrw misr, t1
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::flops;
+    use lockstep_fault::FaultKind;
+
+    #[test]
+    fn every_fine_stl_assembles_and_halts() {
+        let suite = StlSuite::new(Granularity::Fine);
+        for idx in 0..suite.unit_count() {
+            let out = suite.run(idx, None);
+            assert_eq!(
+                out.signature,
+                Some(out.golden),
+                "clean {} STL must match its own golden",
+                Granularity::Fine.unit_name(idx)
+            );
+            assert!(!out.detected());
+        }
+    }
+
+    #[test]
+    fn coarse_dpu_stl_contains_subunit_bodies() {
+        let suite = StlSuite::new(Granularity::Coarse);
+        let src = suite.source(lockstep_cpu::CoarseUnit::Dpu.index());
+        assert!(src.contains("RF march"));
+        assert!(src.contains("MDV"));
+        assert!(src.contains("SHF"));
+    }
+
+    #[test]
+    fn rf_stl_detects_stuck_register_bit() {
+        let suite = StlSuite::new(Granularity::Fine);
+        let rf_idx = UnitId::Rf.index();
+        let flop = flops::flops_of_unit(UnitId::Rf).nth(200).unwrap();
+        let out = suite.run(rf_idx, Some(Fault::new(flop, FaultKind::StuckAt0, 0)));
+        assert!(out.detected(), "RF STL must catch a stuck register bit");
+    }
+
+    #[test]
+    fn mdv_stl_detects_stuck_divider_bit() {
+        let suite = StlSuite::new(Granularity::Fine);
+        let idx = UnitId::Mdv.index();
+        // A bit of the divider's accumulator.
+        let flop = flops::all_flops()
+            .find(|f| flops::label_of(*f) == "MDV.mdv_acc_lo.3")
+            .unwrap();
+        let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
+        assert!(out.detected());
+    }
+
+    #[test]
+    fn shf_stl_detects_stuck_shifter_bit() {
+        let suite = StlSuite::new(Granularity::Fine);
+        let idx = UnitId::Shf.index();
+        let flop = flops::all_flops()
+            .find(|f| flops::label_of(*f) == "SHF.shf_result.7")
+            .unwrap();
+        let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
+        assert!(out.detected());
+    }
+
+    #[test]
+    fn clean_run_not_flagged_as_detection() {
+        let suite = StlSuite::new(Granularity::Coarse);
+        for idx in 0..suite.unit_count() {
+            assert!(!suite.run(idx, None).detected());
+        }
+    }
+
+    #[test]
+    fn stuck_pc_bit_hangs_or_mismatches() {
+        let suite = StlSuite::new(Granularity::Fine);
+        let idx = UnitId::Pfu.index();
+        let flop =
+            flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.2").unwrap();
+        let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt0, 0)));
+        assert!(out.detected(), "a stuck PC bit must be caught (hang or bad signature)");
+    }
+}

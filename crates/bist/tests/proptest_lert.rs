@@ -1,0 +1,137 @@
+//! Property-based tests for the LERT models: safety and accounting
+//! invariants that must hold for every error, every prediction, every
+//! model.
+
+use lockstep_bist::{lert_for, LatencyModel, LertInputs, Model};
+use lockstep_core::Prediction;
+use lockstep_cpu::Granularity;
+use lockstep_fault::ErrorKind;
+use lockstep_stats::Xoshiro256;
+use proptest::prelude::*;
+
+fn arb_inputs() -> impl Strategy<Value = LertInputs> {
+    (0usize..7, any::<bool>(), 2_000u64..40_000).prop_map(|(unit, hard, restart)| LertInputs {
+        true_unit: unit,
+        true_kind: if hard { ErrorKind::Hard } else { ErrorKind::Soft },
+        restart_cycles: restart,
+    })
+}
+
+fn arb_prediction() -> impl Strategy<Value = Prediction> {
+    (proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5, 6], 0..=7), any::<bool>()).prop_map(
+        |(order, hard)| Prediction {
+            order,
+            kind: if hard { ErrorKind::Hard } else { ErrorKind::Soft },
+            table_hit: true,
+        },
+    )
+}
+
+proptest! {
+    /// Hard errors are *always* found, whatever the model or prediction:
+    /// safety is never compromised by a misprediction (Section IV-C.3).
+    #[test]
+    fn hard_errors_always_found(
+        inputs in arb_inputs(),
+        pred in arb_prediction(),
+        model_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(inputs.true_kind == ErrorKind::Hard);
+        let model = Model::ALL[model_idx];
+        let latency = LatencyModel::calibrated(Granularity::Coarse);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let pred_ref = model.uses_predictor().then_some(&pred);
+        let out = lert_for(model, inputs, &latency, &[0.1; 7], pred_ref, &mut rng);
+        prop_assert!(out.hard_found, "{model}: hard fault escaped diagnosis");
+    }
+
+    /// Soft errors always end in run-to-completion + restart (unless the
+    /// type prediction skips SBIST), never in a false fail-stop.
+    #[test]
+    fn soft_errors_never_failstop(
+        inputs in arb_inputs(),
+        pred in arb_prediction(),
+        model_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(inputs.true_kind == ErrorKind::Soft);
+        let model = Model::ALL[model_idx];
+        let latency = LatencyModel::calibrated(Granularity::Coarse);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let pred_ref = model.uses_predictor().then_some(&pred);
+        let out = lert_for(model, inputs, &latency, &[0.1; 7], pred_ref, &mut rng);
+        prop_assert!(!out.hard_found, "{model}: phantom hard fault");
+        prop_assert!(out.cycles >= inputs.restart_cycles, "soft recovery must restart");
+    }
+
+    /// LERT is bounded by the worst case: all STLs + restart + two table
+    /// accesses + one extra restart (the soft-mispredict escalation).
+    #[test]
+    fn lert_is_bounded(
+        inputs in arb_inputs(),
+        pred in arb_prediction(),
+        model_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = Model::ALL[model_idx];
+        let latency = LatencyModel::calibrated(Granularity::Coarse);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let pred_ref = model.uses_predictor().then_some(&pred);
+        let out = lert_for(model, inputs, &latency, &[0.1; 7], pred_ref, &mut rng);
+        let bound = latency.total_stl()
+            + 2 * inputs.restart_cycles
+            + 2 * latency.table_access();
+        prop_assert!(out.cycles <= bound, "{model}: {} > bound {bound}", out.cycles);
+        prop_assert!(out.units_tested <= 7);
+    }
+
+    /// Accounting is deterministic for a given seed.
+    #[test]
+    fn deterministic_per_seed(
+        inputs in arb_inputs(),
+        pred in arb_prediction(),
+        model_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = Model::ALL[model_idx];
+        let latency = LatencyModel::calibrated(Granularity::Coarse);
+        let pred_ref = model.uses_predictor().then_some(&pred);
+        let mut r1 = Xoshiro256::seed_from(seed);
+        let mut r2 = Xoshiro256::seed_from(seed);
+        let a = lert_for(model, inputs, &latency, &[0.1; 7], pred_ref, &mut r1);
+        let b = lert_for(model, inputs, &latency, &[0.1; 7], pred_ref, &mut r2);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A perfect top-1 location prediction of a hard error is never
+    /// slower than any baseline handling of the same error.
+    #[test]
+    fn perfect_prediction_dominates_baselines(
+        unit in 0usize..7,
+        restart in 2_000u64..40_000,
+        seed in any::<u64>(),
+    ) {
+        let inputs =
+            LertInputs { true_unit: unit, true_kind: ErrorKind::Hard, restart_cycles: restart };
+        let latency = LatencyModel::calibrated(Granularity::Coarse);
+        let pred = Prediction {
+            order: vec![unit],
+            kind: ErrorKind::Hard,
+            table_hit: true,
+        };
+        let mut rng = Xoshiro256::seed_from(seed);
+        let best = lert_for(
+            Model::PredComb, inputs, &latency, &[0.1; 7], Some(&pred), &mut rng,
+        );
+        for base in [Model::BaseRandom, Model::BaseAscending, Model::BaseManifest] {
+            let out = lert_for(base, inputs, &latency, &[0.1; 7], None, &mut rng);
+            prop_assert!(
+                best.cycles <= out.cycles + latency.table_access(),
+                "{base} ({}) beat a perfect prediction ({})",
+                out.cycles,
+                best.cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The lockstep error checker.
+//!
+//! The checker "reads the output ports of main and redundant CPUs at
+//! every cycle, and looks for a divergence" (Section II). Per signal
+//! category, the per-bit XOR differences are OR-reduced; the reduction
+//! outputs form both the final error signal and the DSR capture
+//! (Figure 6). In MMR configurations a majority voter additionally
+//! identifies the erring CPU.
+
+use lockstep_cpu::PortSet;
+
+use crate::dsr::Dsr;
+
+/// The lockstep error checker (stateless combinational logic; grouped in
+/// a type for discoverability and future configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Checker;
+
+/// Outcome of an MMR (≥3 CPUs) comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmrOutcome {
+    /// The diverged-SC set of the erring CPU against the voted majority.
+    pub dsr: Dsr,
+    /// The CPU index identified by the majority voter, when a majority
+    /// exists. `None` means no error or an unvotable (all-differ) cycle.
+    pub erring_cpu: Option<usize>,
+}
+
+impl Checker {
+    /// DMR compare: returns the diverged-SC set, or `None` when the
+    /// outputs are identical.
+    ///
+    /// The checker in DMR "does not know which of the two CPUs caused the
+    /// error" — only that they diverged.
+    pub fn compare(a: &PortSet, b: &PortSet) -> Option<Dsr> {
+        let mask = a.diff_mask(b);
+        if mask == 0 {
+            None
+        } else {
+            Some(Dsr::from_bits(mask))
+        }
+    }
+
+    /// MMR compare with majority voting: identifies the erring CPU as the
+    /// one that disagrees with the (identical) majority.
+    ///
+    /// Returns `None` when all CPUs agree. If no majority exists (every
+    /// CPU differs from every other), the outcome carries the pairwise
+    /// divergence of CPUs 0 and 1 with `erring_cpu: None` — an
+    /// unrecoverable condition the system controller must treat as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three port sets are supplied (use
+    /// [`Checker::compare`] for DMR).
+    pub fn compare_mmr(ports: &[PortSet]) -> Option<MmrOutcome> {
+        assert!(ports.len() >= 3, "MMR requires at least three CPUs");
+        // Find a value that at least ⌈n/2⌉+... strictly more than half share.
+        for candidate in 0..ports.len() {
+            let agreeing =
+                ports.iter().filter(|p| p.diff_mask(&ports[candidate]) == 0).count();
+            if agreeing * 2 > ports.len() {
+                // `candidate` holds the majority value.
+                let erring = ports
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| p.diff_mask(&ports[candidate]) != 0);
+                return erring.map(|(idx, p)| MmrOutcome {
+                    dsr: Dsr::from_bits(p.diff_mask(&ports[candidate])),
+                    erring_cpu: Some(idx),
+                });
+            }
+        }
+        // No majority: flag with the 0↔1 divergence.
+        Some(MmrOutcome {
+            dsr: Dsr::from_bits(ports[0].diff_mask(&ports[1])),
+            erring_cpu: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::Sc;
+
+    fn ports_with(sc: Sc, v: u32) -> PortSet {
+        let mut p = PortSet::new();
+        p.set(sc, v);
+        p
+    }
+
+    #[test]
+    fn identical_ports_no_error() {
+        let a = PortSet::new();
+        assert_eq!(Checker::compare(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn divergence_sets_matching_dsr_bit() {
+        let a = ports_with(Sc::DAddrLo, 0x10);
+        let b = ports_with(Sc::DAddrLo, 0x14);
+        let dsr = Checker::compare(&a, &b).unwrap();
+        assert!(dsr.contains(Sc::DAddrLo));
+        assert_eq!(dsr.count(), 1);
+    }
+
+    #[test]
+    fn multiple_categories_accumulate() {
+        let mut a = PortSet::new();
+        a.set(Sc::WbDataLo, 1);
+        a.set(Sc::Flags, 2);
+        let b = PortSet::new();
+        let dsr = Checker::compare(&a, &b).unwrap();
+        assert_eq!(dsr.count(), 2);
+    }
+
+    #[test]
+    fn tmr_identifies_erring_cpu() {
+        let good = ports_with(Sc::WbDataLo, 5);
+        let bad = ports_with(Sc::WbDataLo, 9);
+        let out = Checker::compare_mmr(&[good, bad, good]).unwrap();
+        assert_eq!(out.erring_cpu, Some(1));
+        assert!(out.dsr.contains(Sc::WbDataLo));
+    }
+
+    #[test]
+    fn tmr_all_agree_is_no_error() {
+        let p = ports_with(Sc::WbDataLo, 5);
+        assert_eq!(Checker::compare_mmr(&[p, p, p]), None);
+    }
+
+    #[test]
+    fn tmr_no_majority_reports_unvotable() {
+        let a = ports_with(Sc::WbDataLo, 1);
+        let b = ports_with(Sc::WbDataLo, 2);
+        let c = ports_with(Sc::WbDataLo, 3);
+        let out = Checker::compare_mmr(&[a, b, c]).unwrap();
+        assert_eq!(out.erring_cpu, None);
+        assert!(!out.dsr.is_empty());
+    }
+
+    #[test]
+    fn five_way_mmr_votes() {
+        let good = ports_with(Sc::Flags, 1);
+        let bad = ports_with(Sc::Flags, 3);
+        let out = Checker::compare_mmr(&[good, good, bad, good, good]).unwrap();
+        assert_eq!(out.erring_cpu, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn mmr_with_two_panics() {
+        let p = PortSet::new();
+        let _ = Checker::compare_mmr(&[p, p]);
+    }
+}

@@ -1,0 +1,137 @@
+//! The Divergence Status Register.
+//!
+//! A T-bit register with one bit per signal category (Section III-C):
+//! when the checker detects an error, bit *i* is set iff any signal in SC
+//! *i* disagreed between the lockstepped CPUs. The DSR value — a
+//! *diverged SC set* — is the predictor's input.
+
+use std::fmt;
+
+use lockstep_cpu::{Sc, SC_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// A captured Divergence Status Register value: the set of diverged
+/// signal categories at error-detection time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dsr(u64);
+
+impl Dsr {
+    /// The empty (no divergence) value.
+    pub const EMPTY: Dsr = Dsr(0);
+
+    /// Builds a DSR from its raw bitmap (bit *i* ↔ SC *i*).
+    pub fn from_bits(bits: u64) -> Dsr {
+        Dsr(bits & ((1u64 << SC_COUNT) - 1))
+    }
+
+    /// The raw bitmap.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if no SC diverged.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of diverged SCs.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if signal category `sc` diverged.
+    pub fn contains(self, sc: Sc) -> bool {
+        self.0 >> sc.index() & 1 == 1
+    }
+
+    /// Marks `sc` as diverged.
+    pub fn insert(&mut self, sc: Sc) {
+        self.0 |= 1 << sc.index();
+    }
+
+    /// Iterates over the diverged SCs in index order.
+    pub fn iter(self) -> impl Iterator<Item = Sc> {
+        Sc::ALL.iter().copied().filter(move |sc| self.contains(*sc))
+    }
+}
+
+impl fmt::Display for Dsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("{}");
+        }
+        write!(f, "{{")?;
+        for (i, sc) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{sc}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Binary for Dsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dsr() {
+        let d = Dsr::EMPTY;
+        assert!(d.is_empty());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.iter().count(), 0);
+        assert_eq!(d.to_string(), "{}");
+    }
+
+    #[test]
+    fn from_bits_masks_to_sc_count() {
+        let d = Dsr::from_bits(u64::MAX);
+        assert_eq!(d.count() as usize, SC_COUNT);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut d = Dsr::EMPTY;
+        d.insert(Sc::WbDataLo);
+        d.insert(Sc::EventBus);
+        assert!(d.contains(Sc::WbDataLo));
+        assert!(d.contains(Sc::EventBus));
+        assert!(!d.contains(Sc::IfAddrLo));
+        assert_eq!(d.count(), 2);
+    }
+
+    #[test]
+    fn display_lists_category_names() {
+        let mut d = Dsr::EMPTY;
+        d.insert(Sc::Flags);
+        let text = d.to_string();
+        assert!(text.contains("FLAGS"), "{text}");
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let d = Dsr::from_bits(0b1010_0001);
+        let listed: Vec<Sc> = d.iter().collect();
+        assert_eq!(listed.len(), d.count() as usize);
+        for sc in listed {
+            assert!(d.contains(sc));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dsr::from_bits(0xDEAD);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dsr = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

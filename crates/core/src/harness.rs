@@ -1,0 +1,282 @@
+//! A live lockstep system: redundant CPUs, replicated inputs, per-cycle
+//! checking and recovery mechanics.
+//!
+//! The sphere of replication contains only the CPUs (CPU-level
+//! lockstepping, Figure 1c). The **main** CPU (index 0) drives the shared
+//! memory system; its bus responses are recorded and replayed to the
+//! redundant CPUs, which is how real DCLS replicates inputs at the sphere
+//! boundary. Redundant CPUs' writes never reach memory — their outputs
+//! exist only to be compared.
+
+use std::collections::VecDeque;
+
+use lockstep_cpu::{Cpu, CpuState, PortSet};
+use lockstep_fault::Fault;
+use lockstep_mem::{BusFault, Memory, MemoryPort};
+
+use crate::checker::Checker;
+use crate::dsr::Dsr;
+
+/// What a lockstep step observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockstepEvent {
+    /// All CPUs agreed; execution continues.
+    Running,
+    /// All CPUs agreed and the main CPU has halted (program complete).
+    Halted,
+    /// The checker detected divergence.
+    ErrorDetected {
+        /// Captured Divergence Status Register.
+        dsr: Dsr,
+        /// Cycle of detection.
+        cycle: u64,
+        /// Erring CPU identified by majority voting (MMR only; `None`
+        /// in DMR, where the checker cannot attribute the error).
+        erring_cpu: Option<usize>,
+    },
+}
+
+/// Records the main CPU's bus responses for replication.
+struct RecordingPort<'a> {
+    inner: &'a mut Memory,
+    fetches: VecDeque<Result<u32, BusFault>>,
+    reads: VecDeque<Result<u32, BusFault>>,
+}
+
+impl MemoryPort for RecordingPort<'_> {
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault> {
+        let r = self.inner.fetch(addr);
+        self.fetches.push_back(r);
+        r
+    }
+
+    fn read(&mut self, addr: u32) -> Result<u32, BusFault> {
+        let r = self.inner.read(addr);
+        self.reads.push_back(r);
+        r
+    }
+
+    fn write(&mut self, addr: u32, data: u32, byte_mask: u8) -> Result<(), BusFault> {
+        self.inner.write(addr, data, byte_mask)
+    }
+}
+
+/// Replays recorded responses to a redundant CPU and swallows its writes.
+struct ReplayPort {
+    fetches: VecDeque<Result<u32, BusFault>>,
+    reads: VecDeque<Result<u32, BusFault>>,
+}
+
+impl MemoryPort for ReplayPort {
+    fn fetch(&mut self, _addr: u32) -> Result<u32, BusFault> {
+        // An exhausted queue means this CPU issued an access the main CPU
+        // did not — it is already divergent; any defined value will do.
+        self.fetches.pop_front().unwrap_or(Ok(0))
+    }
+
+    fn read(&mut self, _addr: u32) -> Result<u32, BusFault> {
+        self.reads.pop_front().unwrap_or(Ok(0))
+    }
+
+    fn write(&mut self, _addr: u32, _data: u32, _byte_mask: u8) -> Result<(), BusFault> {
+        Ok(())
+    }
+}
+
+/// A lockstep processor: N redundant CPUs around one shared memory.
+#[derive(Debug)]
+pub struct LockstepSystem {
+    cpus: Vec<Cpu>,
+    mem: Memory,
+    faults: Vec<(usize, Fault)>,
+    cycle: u64,
+    capture_window: u32,
+}
+
+impl LockstepSystem {
+    /// Creates an `n`-CPU lockstep system over `mem`.
+    ///
+    /// All CPUs reset to identical state (including `hartid` 0: in real
+    /// DCLS the redundant CPU is fed the main CPU's identity so that
+    /// fault-free runs are bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, mem: Memory) -> LockstepSystem {
+        assert!(n >= 2, "lockstep needs at least two CPUs");
+        LockstepSystem {
+            cpus: (0..n).map(|_| Cpu::new(0)).collect(),
+            mem,
+            faults: Vec::new(),
+            cycle: 0,
+            capture_window: 8,
+        }
+    }
+
+    /// Sets the DSR capture window: after the first divergent cycle the
+    /// DSR keeps accumulating per-SC divergences for `window - 1`
+    /// further cycles while the CPUs are being stopped (hardware
+    /// behaviour; default 8). `1` captures only the first divergent
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_capture_window(&mut self, window: u32) {
+        assert!(window >= 1, "capture window must be at least one cycle");
+        self.capture_window = window;
+    }
+
+    /// Dual-modular redundancy (the paper's main configuration).
+    pub fn dmr(mem: Memory) -> LockstepSystem {
+        LockstepSystem::new(2, mem)
+    }
+
+    /// Triple-modular redundancy with majority voting.
+    pub fn tmr(mem: Memory) -> LockstepSystem {
+        LockstepSystem::new(3, mem)
+    }
+
+    /// Number of redundant CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The shared memory system.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the shared memory (error injection in examples).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The main CPU.
+    pub fn main_cpu(&self) -> &Cpu {
+        &self.cpus[0]
+    }
+
+    /// Arms a fault inside CPU `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn inject(&mut self, cpu: usize, fault: Fault) {
+        assert!(cpu < self.cpus.len(), "no CPU {cpu}");
+        self.faults.push((cpu, fault));
+    }
+
+    /// Removes all armed faults (e.g. after a part is replaced).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Advances all CPUs one cycle and runs the checker. On divergence,
+    /// continues stepping for the rest of the capture window so the DSR
+    /// accumulates exactly as the hardware register would.
+    pub fn step(&mut self) -> LockstepEvent {
+        match self.step_once() {
+            LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu } => {
+                let mut bits = dsr.bits();
+                for _ in 1..self.capture_window {
+                    if let LockstepEvent::ErrorDetected { dsr, .. } = self.step_once() {
+                        bits |= dsr.bits();
+                    }
+                }
+                LockstepEvent::ErrorDetected { dsr: Dsr::from_bits(bits), cycle, erring_cpu }
+            }
+            other => other,
+        }
+    }
+
+    /// One raw cycle: step every CPU and compare ports.
+    fn step_once(&mut self) -> LockstepEvent {
+        let cycle = self.cycle;
+        self.cycle += 1;
+
+        let mut ports: Vec<PortSet> = vec![PortSet::new(); self.cpus.len()];
+        // Main CPU drives the real memory, recording its responses.
+        let mut recorder =
+            RecordingPort { inner: &mut self.mem, fetches: VecDeque::new(), reads: VecDeque::new() };
+        let faults = &self.faults;
+        self.cpus[0].step_with_overlay(&mut recorder, &mut ports[0], |st| {
+            for (c, f) in faults {
+                if *c == 0 {
+                    f.overlay(st, cycle);
+                }
+            }
+        });
+        let (fetches, reads) = (recorder.fetches, recorder.reads);
+
+        // Redundant CPUs consume the replicated inputs.
+        for (i, (cpu, port)) in self.cpus.iter_mut().zip(ports.iter_mut()).enumerate().skip(1) {
+            let mut replay = ReplayPort { fetches: fetches.clone(), reads: reads.clone() };
+            let faults = &self.faults;
+            cpu.step_with_overlay(&mut replay, port, |st| {
+                for (c, f) in faults {
+                    if *c == i {
+                        f.overlay(st, cycle);
+                    }
+                }
+            });
+        }
+
+        // Checker.
+        if self.cpus.len() == 2 {
+            if let Some(dsr) = Checker::compare(&ports[0], &ports[1]) {
+                return LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu: None };
+            }
+        } else if let Some(out) = Checker::compare_mmr(&ports) {
+            return LockstepEvent::ErrorDetected { dsr: out.dsr, cycle, erring_cpu: out.erring_cpu };
+        }
+        if self.cpus[0].is_halted() {
+            LockstepEvent::Halted
+        } else {
+            LockstepEvent::Running
+        }
+    }
+
+    /// Runs until an error is detected, the program halts, or
+    /// `max_cycles` elapse. Returns the final event.
+    pub fn run(&mut self, max_cycles: u64) -> LockstepEvent {
+        for _ in 0..max_cycles {
+            match self.step() {
+                LockstepEvent::Running => continue,
+                other => return other,
+            }
+        }
+        LockstepEvent::Running
+    }
+
+    /// Soft-error recovery: reset every CPU to the identical reset state
+    /// and restart the task (I/O streams restart; memory image persists,
+    /// so the program re-enters at the reset vector).
+    pub fn reset_and_restart(&mut self) {
+        for cpu in &mut self.cpus {
+            cpu.reset();
+        }
+        self.mem.reset_io();
+    }
+
+    /// TMR forward recovery (Section II-2): copies the architectural
+    /// state of the majority (healthy) CPU over the erring one, bringing
+    /// it back into lockstep without restarting the task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not MMR (≥3 CPUs) or indices are invalid.
+    pub fn forward_recover(&mut self, erring_cpu: usize, healthy_cpu: usize) {
+        assert!(self.cpus.len() >= 3, "forward recovery requires MMR");
+        assert!(erring_cpu < self.cpus.len() && healthy_cpu < self.cpus.len());
+        assert_ne!(erring_cpu, healthy_cpu);
+        let donor: CpuState = self.cpus[healthy_cpu].state().clone();
+        *self.cpus[erring_cpu].state_mut() = donor;
+    }
+}

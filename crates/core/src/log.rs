@@ -1,0 +1,131 @@
+//! Lockstep error data logging (Figure 7).
+//!
+//! Every fault-injection experiment that manifests as a lockstep error
+//! produces one [`ErrorRecord`] "capturing the most relevant information
+//! such as fault injection location and cycle time, error manifestation
+//! time etc." (Section IV-A). Campaigns serialize these to JSON between
+//! the injection and model-development stages.
+
+use lockstep_cpu::UnitId;
+use lockstep_fault::{ErrorKind, FaultKind};
+use serde::{Deserialize, Serialize};
+
+use crate::dsr::Dsr;
+
+/// One manifested lockstep error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorRecord {
+    /// Name of the workload that was running.
+    pub workload: String,
+    /// Fine-grain unit the injected fault resides in. Stored as the
+    /// `UnitId` index; coarse mapping happens at analysis time.
+    pub unit_index: u8,
+    /// The injected fault model.
+    pub fault: FaultKindRepr,
+    /// Injection cycle.
+    pub inject_cycle: u64,
+    /// Cycle at which the checker flagged divergence.
+    pub detect_cycle: u64,
+    /// Captured Divergence Status Register.
+    pub dsr: Dsr,
+}
+
+/// Serializable mirror of [`FaultKind`] (kept separate so the fault crate
+/// does not need serde).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKindRepr {
+    /// One-cycle bit inversion.
+    Transient,
+    /// Stuck-at-0 defect.
+    StuckAt0,
+    /// Stuck-at-1 defect.
+    StuckAt1,
+}
+
+impl From<FaultKind> for FaultKindRepr {
+    fn from(k: FaultKind) -> FaultKindRepr {
+        match k {
+            FaultKind::Transient => FaultKindRepr::Transient,
+            FaultKind::StuckAt0 => FaultKindRepr::StuckAt0,
+            FaultKind::StuckAt1 => FaultKindRepr::StuckAt1,
+        }
+    }
+}
+
+impl From<FaultKindRepr> for FaultKind {
+    fn from(k: FaultKindRepr) -> FaultKind {
+        match k {
+            FaultKindRepr::Transient => FaultKind::Transient,
+            FaultKindRepr::StuckAt0 => FaultKind::StuckAt0,
+            FaultKindRepr::StuckAt1 => FaultKind::StuckAt1,
+        }
+    }
+}
+
+impl ErrorRecord {
+    /// The true error class of this record.
+    pub fn kind(&self) -> ErrorKind {
+        FaultKind::from(self.fault).error_kind()
+    }
+
+    /// The fine-grain unit of the fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored index is corrupt (not a valid unit).
+    pub fn unit(&self) -> UnitId {
+        UnitId::ALL[self.unit_index as usize]
+    }
+
+    /// Error manifestation (detection) time in cycles: fault occurrence
+    /// to checker divergence — the "error detection time" of Figure 2.
+    pub fn manifestation_time(&self) -> u64 {
+        self.detect_cycle.saturating_sub(self.inject_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ErrorRecord {
+        ErrorRecord {
+            workload: "ttsprk".to_owned(),
+            unit_index: UnitId::Alu.index() as u8,
+            fault: FaultKindRepr::StuckAt1,
+            inject_cycle: 100,
+            detect_cycle: 350,
+            dsr: Dsr::from_bits(0b101),
+        }
+    }
+
+    #[test]
+    fn derived_accessors() {
+        let r = sample();
+        assert_eq!(r.kind(), ErrorKind::Hard);
+        assert_eq!(r.unit(), UnitId::Alu);
+        assert_eq!(r.manifestation_time(), 250);
+    }
+
+    #[test]
+    fn transient_is_soft() {
+        let mut r = sample();
+        r.fault = FaultKindRepr::Transient;
+        assert_eq!(r.kind(), ErrorKind::Soft);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ErrorRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn fault_kind_conversions_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from(FaultKindRepr::from(k)), k);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The static error correlation predictor (Sections III-C and IV-C.2).
+//!
+//! Training builds, for every distinct diverged-SC set, a histogram of
+//! which CPU unit the injected fault lived in and which error type it
+//! was. The prediction table then stores, per set, the units ranked by
+//! probability score (optionally truncated to the top-K, Section V-C) and
+//! a single type bit (hard iff the hard score exceeds the soft score).
+//! The address-mapping logic assigns each distinct set a compact PTAR
+//! index; unobserved sets map to the default entry, which predicts *hard*
+//! with the default unit order — the safe assumption.
+
+use std::collections::HashMap;
+
+use lockstep_cpu::Granularity;
+use lockstep_fault::ErrorKind;
+use lockstep_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+use crate::dsr::Dsr;
+
+/// One training observation: a detected error's diverged-SC set, the
+/// true faulty unit (as an index under the chosen granularity) and the
+/// true error type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainRecord {
+    /// Captured DSR value.
+    pub dsr: Dsr,
+    /// Faulty unit index under the training granularity.
+    pub unit: usize,
+    /// True error type.
+    pub kind: ErrorKind,
+}
+
+/// How the 1-bit type prediction is derived from a set's histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TypeScoring {
+    /// Raw majority of the set's histogram counts. Inherits the
+    /// campaign's injection mix as a prior (fault-injection studies
+    /// typically inject two permanent faults — stuck-at-0/1 — per
+    /// transient, biasing raw majorities towards hard).
+    RawMajority,
+    /// Class-balanced likelihood: a set votes hard iff its share of all
+    /// *hard* training errors exceeds its share of all *soft* training
+    /// errors. Equal class priors — the right choice when the field
+    /// mix differs from the injection mix, and the default.
+    #[default]
+    ClassBalanced,
+}
+
+/// Predictor construction parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// The unit organization (7 coarse or 13 fine units).
+    pub granularity: Granularity,
+    /// Predict only the top-K units per entry (`None` = all units, the
+    /// configuration of Figure 11/14; `Some(3)` reproduces Figure 12/13).
+    pub top_k: Option<usize>,
+    /// The fallback unit order for unobserved sets (defaults to unit
+    /// index order).
+    pub default_order: Vec<usize>,
+    /// Type-bit scoring rule.
+    pub type_scoring: TypeScoring,
+}
+
+impl PredictorConfig {
+    /// Default configuration at `granularity`: predict all units, default
+    /// order = unit index order.
+    pub fn new(granularity: Granularity) -> PredictorConfig {
+        PredictorConfig {
+            granularity,
+            top_k: None,
+            default_order: (0..granularity.unit_count()).collect(),
+            type_scoring: TypeScoring::default(),
+        }
+    }
+
+    /// Returns the configuration with a different type-scoring rule.
+    pub fn with_type_scoring(mut self, scoring: TypeScoring) -> PredictorConfig {
+        self.type_scoring = scoring;
+        self
+    }
+
+    /// Returns the configuration truncated to top-K prediction.
+    pub fn with_top_k(mut self, k: usize) -> PredictorConfig {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Returns the configuration with a custom fallback order.
+    pub fn with_default_order(mut self, order: Vec<usize>) -> PredictorConfig {
+        self.default_order = order;
+        self
+    }
+}
+
+/// One prediction-table entry (Figure 10b).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    /// Unit indices in descending probability-score order (≤ top-K).
+    order: Vec<usize>,
+    /// The 1-bit error type prediction (`true` = hard).
+    hard: bool,
+}
+
+/// The output of a table lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted unit order, most likely first. For table misses this is
+    /// the configured default order.
+    pub order: Vec<usize>,
+    /// Predicted error type (misses always predict hard — the safe
+    /// assumption that triggers diagnostics).
+    pub kind: ErrorKind,
+    /// `false` when the DSR was not among the trained sets and the
+    /// default entry was used.
+    pub table_hit: bool,
+}
+
+/// Derives a set's 1-bit type prediction from its per-class counts.
+fn type_bit(scoring: TypeScoring, hard: u64, soft: u64, class_totals: (u64, u64)) -> bool {
+    match scoring {
+        TypeScoring::RawMajority => hard > soft,
+        TypeScoring::ClassBalanced => {
+            let (hard_total, soft_total) = class_totals;
+            // Shares of each class's total mass landing in this set;
+            // empty classes contribute zero likelihood.
+            let hard_share = if hard_total == 0 { 0.0 } else { hard as f64 / hard_total as f64 };
+            let soft_share = if soft_total == 0 { 0.0 } else { soft as f64 / soft_total as f64 };
+            hard_share > soft_share
+        }
+    }
+}
+
+/// The trained static predictor: prediction table + PTAR address mapping.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    entries: Vec<Entry>,
+    /// The "address mapping logic": DSR value → PTAR index.
+    index: HashMap<u64, u32>,
+    config: PredictorConfig,
+}
+
+impl Predictor {
+    /// Trains the predictor from observed error records (Figure 10a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record's unit index is outside the granularity's
+    /// range.
+    pub fn train(records: &[TrainRecord], config: PredictorConfig) -> Predictor {
+        let unit_count = config.granularity.unit_count();
+        // Per diverged-SC set: unit histogram + type histogram.
+        let mut unit_hists: HashMap<u64, Histogram<usize>> = HashMap::new();
+        let mut hard_counts: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut class_totals = (0u64, 0u64);
+        for r in records {
+            assert!(r.unit < unit_count, "unit index {} out of range", r.unit);
+            unit_hists.entry(r.dsr.bits()).or_default().add(r.unit);
+            let counts = hard_counts.entry(r.dsr.bits()).or_insert((0, 0));
+            match r.kind {
+                ErrorKind::Hard => {
+                    counts.0 += 1;
+                    class_totals.0 += 1;
+                }
+                ErrorKind::Soft => {
+                    counts.1 += 1;
+                    class_totals.1 += 1;
+                }
+            }
+        }
+        // Deterministic entry numbering: sort sets by raw DSR value.
+        let mut keys: Vec<u64> = unit_hists.keys().copied().collect();
+        keys.sort_unstable();
+        let mut entries = Vec::with_capacity(keys.len());
+        let mut index = HashMap::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let hist = &unit_hists[key];
+            let mut order: Vec<usize> = hist.ranked().into_iter().map(|(u, _)| u).collect();
+            if let Some(k) = config.top_k {
+                order.truncate(k);
+            }
+            let (hard, soft) = hard_counts[key];
+            entries.push(Entry { order, hard: type_bit(config.type_scoring, hard, soft, class_totals) });
+            index.insert(*key, i as u32);
+        }
+        Predictor { entries, index, config }
+    }
+
+    /// Looks up a detected error's DSR (the PTAR access + table read of
+    /// Figure 6).
+    pub fn predict(&self, dsr: Dsr) -> Prediction {
+        match self.index.get(&dsr.bits()) {
+            Some(&i) => {
+                let e = &self.entries[i as usize];
+                Prediction {
+                    order: e.order.clone(),
+                    kind: if e.hard { ErrorKind::Hard } else { ErrorKind::Soft },
+                    table_hit: true,
+                }
+            }
+            None => Prediction {
+                order: self.config.default_order.clone(),
+                kind: ErrorKind::Hard,
+                table_hit: false,
+            },
+        }
+    }
+
+    /// Number of distinct diverged-SC sets in the table (the paper
+    /// observes about 1200 on the Cortex-R5).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Width of the PTAR in bits (⌈log₂(entries+1)⌉; 11 bits for ~1200
+    /// entries in the paper).
+    pub fn ptar_bits(&self) -> u32 {
+        // +1 accounts for the default entry.
+        let n = self.entries.len() as u64 + 1;
+        64 - (n - 1).leading_zeros().min(63)
+    }
+
+    /// Table storage in bits: per entry, top-K unit ids (⌈log₂ units⌉
+    /// bits each) plus the 1-bit type (Section V-B sizes the 7-unit,
+    /// 21+1-bit, 1201-entry table at ~3.2 KB).
+    pub fn table_bits(&self) -> u64 {
+        let unit_bits = {
+            let n = self.config.granularity.unit_count() as u64;
+            u64::from(64 - (n - 1).leading_zeros())
+        };
+        let slots = self.config.top_k.unwrap_or(self.config.granularity.unit_count()) as u64;
+        (self.entries.len() as u64 + 1) * (slots * unit_bits + 1)
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bits: u64, unit: usize, kind: ErrorKind) -> TrainRecord {
+        TrainRecord { dsr: Dsr::from_bits(bits), unit, kind }
+    }
+
+    fn coarse() -> PredictorConfig {
+        PredictorConfig::new(Granularity::Coarse)
+    }
+
+    #[test]
+    fn ranks_units_by_frequency() {
+        let records = vec![
+            rec(0b1, 3, ErrorKind::Hard),
+            rec(0b1, 3, ErrorKind::Hard),
+            rec(0b1, 3, ErrorKind::Hard),
+            rec(0b1, 5, ErrorKind::Hard),
+            rec(0b1, 5, ErrorKind::Hard),
+            rec(0b1, 0, ErrorKind::Hard),
+        ];
+        let p = Predictor::train(&records, coarse());
+        let pred = p.predict(Dsr::from_bits(0b1));
+        assert_eq!(pred.order, vec![3, 5, 0]);
+        assert!(pred.table_hit);
+    }
+
+    #[test]
+    fn type_bit_follows_majority() {
+        let records = vec![
+            rec(0b10, 1, ErrorKind::Soft),
+            rec(0b10, 1, ErrorKind::Soft),
+            rec(0b10, 2, ErrorKind::Hard),
+            rec(0b100, 1, ErrorKind::Hard),
+            rec(0b100, 1, ErrorKind::Hard),
+            rec(0b100, 1, ErrorKind::Soft),
+        ];
+        let p = Predictor::train(&records, coarse());
+        assert_eq!(p.predict(Dsr::from_bits(0b10)).kind, ErrorKind::Soft);
+        assert_eq!(p.predict(Dsr::from_bits(0b100)).kind, ErrorKind::Hard);
+    }
+
+    #[test]
+    fn tie_predicts_soft_only_if_hard_not_greater() {
+        // Equal hard/soft counts: hard > soft is false -> soft.
+        let records =
+            vec![rec(0b1, 0, ErrorKind::Hard), rec(0b1, 0, ErrorKind::Soft)];
+        let p = Predictor::train(&records, coarse());
+        assert_eq!(p.predict(Dsr::from_bits(0b1)).kind, ErrorKind::Soft);
+    }
+
+    #[test]
+    fn unseen_set_uses_default_entry() {
+        let records = vec![rec(0b1, 0, ErrorKind::Soft)];
+        let p = Predictor::train(&records, coarse());
+        let pred = p.predict(Dsr::from_bits(0b1000));
+        assert!(!pred.table_hit);
+        assert_eq!(pred.kind, ErrorKind::Hard, "unseen sets are assumed hard");
+        assert_eq!(pred.order, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn top_k_truncates_order() {
+        let records: Vec<TrainRecord> = (0..7)
+            .flat_map(|u| {
+                std::iter::repeat_n(rec(0b1, u, ErrorKind::Hard), 7 - u)
+            })
+            .collect();
+        let p = Predictor::train(&records, coarse().with_top_k(3));
+        let pred = p.predict(Dsr::from_bits(0b1));
+        assert_eq!(pred.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn entry_count_and_ptar_width() {
+        let records: Vec<TrainRecord> =
+            (0..100u64).map(|i| rec(i + 1, (i % 7) as usize, ErrorKind::Hard)).collect();
+        let p = Predictor::train(&records, coarse());
+        assert_eq!(p.entry_count(), 100);
+        // 101 entries incl. default -> 7 bits.
+        assert_eq!(p.ptar_bits(), 7);
+    }
+
+    #[test]
+    fn table_bits_match_paper_shape() {
+        // 1200 entries × (7 units × 3 bits + 1 type bit) ≈ 3.2 KB.
+        let records: Vec<TrainRecord> =
+            (0..1200u64).map(|i| rec(i + 1, (i % 7) as usize, ErrorKind::Hard)).collect();
+        let p = Predictor::train(&records, coarse());
+        let kb = p.table_bits() as f64 / 8.0 / 1024.0;
+        assert!((3.0..3.5).contains(&kb), "table is {kb:.2} KB");
+        assert_eq!(p.ptar_bits(), 11, "paper's 11-bit PTAR");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let records = vec![
+            rec(0b11, 2, ErrorKind::Hard),
+            rec(0b10, 4, ErrorKind::Soft),
+            rec(0b11, 1, ErrorKind::Hard),
+        ];
+        let a = Predictor::train(&records, coarse());
+        let b = Predictor::train(&records, coarse());
+        assert_eq!(a.predict(Dsr::from_bits(0b11)), b.predict(Dsr::from_bits(0b11)));
+        assert_eq!(a.entry_count(), b.entry_count());
+    }
+
+    #[test]
+    fn rank_tie_broken_by_unit_index() {
+        let records = vec![rec(0b1, 5, ErrorKind::Hard), rec(0b1, 2, ErrorKind::Hard)];
+        let p = Predictor::train(&records, coarse());
+        assert_eq!(p.predict(Dsr::from_bits(0b1)).order, vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_out_of_range_panics() {
+        let _ = Predictor::train(&[rec(1, 9, ErrorKind::Hard)], coarse());
+    }
+}

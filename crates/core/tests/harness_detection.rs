@@ -1,0 +1,181 @@
+//! End-to-end lockstep detection tests: inject faults into one CPU of a
+//! live DMR/TMR system and verify the checker catches the divergence.
+
+use lockstep_asm::assemble;
+use lockstep_core::{LockstepEvent, LockstepSystem};
+use lockstep_cpu::flops;
+use lockstep_cpu::UnitId;
+use lockstep_fault::{Fault, FaultKind};
+use lockstep_mem::Memory;
+
+const RAM: usize = 64 * 1024;
+
+/// A small endless ECU-style loop: read sensor, compute, publish.
+const LOOP_KERNEL: &str = "
+        li   gp, 0x4000
+        li   s0, 0xFFFF0000      ; sensor base
+        li   s1, 0xFFFF8000      ; output base
+    loop:
+        lw   a0, 0(s0)
+        lw   a1, 4(s0)
+        add  a2, a0, a1
+        mul  a3, a0, a1
+        xor  a4, a2, a3
+        sw   a4, 0(s1)
+        sw   a2, 0(gp)
+        lw   a5, 0(gp)
+        csrw misr, a5
+        j    loop
+";
+
+fn system(n: usize) -> LockstepSystem {
+    let program = assemble(LOOP_KERNEL).unwrap();
+    let mut mem = Memory::new(RAM, 1234);
+    mem.load_image(&program.to_bytes(RAM));
+    LockstepSystem::new(n, mem)
+}
+
+fn flop_in(unit: UnitId, skip: usize) -> lockstep_cpu::FlopId {
+    flops::flops_of_unit(unit).nth(skip).expect("unit has flops")
+}
+
+#[test]
+fn fault_free_dmr_runs_indefinitely() {
+    let mut sys = system(2);
+    assert_eq!(sys.run(5_000), LockstepEvent::Running);
+}
+
+#[test]
+fn stuck_at_in_regfile_detected() {
+    let mut sys = system(2);
+    // Stick a bit of a live register (a2 = x12 = lane 11).
+    let flop = flops::all_flops()
+        .find(|f| flops::label_of(*f) == "RF.regs[11].0")
+        .expect("register bank flop");
+    sys.inject(0, Fault::new(flop, FaultKind::StuckAt1, 200));
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { dsr, cycle, .. } => {
+            assert!(!dsr.is_empty());
+            assert!(cycle >= 200);
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_in_pc_detected_quickly() {
+    let mut sys = system(2);
+    // Bit 4 of the PC: the fetch stream immediately diverges.
+    let pc_bit4 = flops::all_flops()
+        .find(|f| flops::label_of(*f) == "PFU.pc.4")
+        .unwrap();
+    sys.inject(0, Fault::new(pc_bit4, FaultKind::Transient, 300));
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { cycle, .. } => {
+            assert!(
+                (300..320).contains(&cycle),
+                "PC corruption should manifest within a few cycles, got {cycle}"
+            );
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn faults_in_either_cpu_are_detected() {
+    for cpu in [0usize, 1] {
+        let mut sys = system(2);
+        let flop = flop_in(UnitId::Alu, 40);
+        sys.inject(cpu, Fault::new(flop, FaultKind::StuckAt1, 100));
+        match sys.run(50_000) {
+            LockstepEvent::ErrorDetected { .. } => {}
+            other => panic!("fault in CPU {cpu} not detected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn some_transients_are_masked() {
+    // A transient in a high bit of a saved register the kernel never
+    // reads should be architecturally masked: no divergence.
+    let mut sys = system(2);
+    let flop = flops::all_flops()
+        .find(|f| flops::label_of(*f) == "RF.regs[26].31") // s11, unused
+        .unwrap();
+    sys.inject(0, Fault::new(flop, FaultKind::Transient, 100));
+    assert_eq!(sys.run(20_000), LockstepEvent::Running, "masked fault must not diverge");
+}
+
+#[test]
+fn tmr_identifies_the_erring_cpu() {
+    let mut sys = system(3);
+    let flop = flop_in(UnitId::Iss, 5);
+    sys.inject(2, Fault::new(flop, FaultKind::StuckAt1, 150));
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { erring_cpu, .. } => {
+            assert_eq!(erring_cpu, Some(2), "majority voter must name CPU 2");
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn tmr_forward_recovery_rejoins_lockstep() {
+    let mut sys = system(3);
+    let flop = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.4").unwrap();
+    sys.inject(1, Fault::new(flop, FaultKind::Transient, 150));
+    let erring = match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { erring_cpu: Some(c), .. } => c,
+        other => panic!("expected attributed detection, got {other:?}"),
+    };
+    assert_eq!(erring, 1);
+    // Transient: state repair brings the CPU back into lockstep.
+    sys.clear_faults();
+    sys.forward_recover(erring, 0);
+    assert_eq!(sys.run(20_000), LockstepEvent::Running, "must re-enter lockstep");
+}
+
+#[test]
+fn dmr_reset_and_restart_recovers_from_soft_error() {
+    let mut sys = system(2);
+    let flop = flop_in(UnitId::Dec, 30);
+    sys.inject(0, Fault::new(flop, FaultKind::Transient, 400));
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { .. } => {}
+        other => panic!("expected detection, got {other:?}"),
+    }
+    sys.clear_faults();
+    sys.reset_and_restart();
+    assert_eq!(sys.run(20_000), LockstepEvent::Running, "clean after restart");
+}
+
+#[test]
+fn stuck_at_reappears_after_restart() {
+    // The defining property of a hard error: reset & restart does not
+    // cure it (Section I's "sticky" permanent faults).
+    let mut sys = system(2);
+    let flop = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.3").unwrap();
+    sys.inject(0, Fault::new(flop, FaultKind::StuckAt1, 0));
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { .. } => {}
+        other => panic!("expected first detection, got {other:?}"),
+    }
+    sys.reset_and_restart(); // fault NOT cleared — it is a defect
+    match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { .. } => {}
+        other => panic!("hard fault must re-manifest after restart, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_errors_do_not_trip_the_checker() {
+    // Memory is outside the sphere of replication: a single-bit RAM error
+    // is corrected by ECC and must not cause lockstep divergence.
+    let mut sys = system(2);
+    assert_eq!(sys.run(500), LockstepEvent::Running);
+    // Corrupt a bit of a *code* word inside the loop body: it is fetched
+    // every iteration and never rewritten, so ECC must correct it.
+    sys.memory_mut().ram_mut().inject_bit_error(0x10, 7);
+    assert_eq!(sys.run(20_000), LockstepEvent::Running);
+    assert!(sys.memory().ecc_stats().corrected > 0, "ECC must have corrected the hit");
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the error correlation predictor.
+
+use lockstep_core::{Dsr, DynamicPredictor, Predictor, PredictorConfig, TrainRecord};
+use lockstep_cpu::Granularity;
+use lockstep_fault::ErrorKind;
+use proptest::prelude::*;
+
+fn arb_records(units: usize) -> impl Strategy<Value = Vec<TrainRecord>> {
+    proptest::collection::vec(
+        (0u64..40, 0..units, any::<bool>()).prop_map(move |(set, unit, hard)| TrainRecord {
+            dsr: Dsr::from_bits(set + 1),
+            unit,
+            kind: if hard { ErrorKind::Hard } else { ErrorKind::Soft },
+        }),
+        1..300,
+    )
+}
+
+proptest! {
+    /// Predicted orders contain no duplicates and only valid unit
+    /// indices, for every trained entry and the default entry alike.
+    #[test]
+    fn orders_are_valid_permutation_prefixes(
+        records in arb_records(7),
+        probe in 0u64..50,
+        k in 1usize..8,
+    ) {
+        let config = PredictorConfig::new(Granularity::Coarse).with_top_k(k);
+        let p = Predictor::train(&records, config);
+        let pred = p.predict(Dsr::from_bits(probe));
+        prop_assert!(pred.order.len() <= 7);
+        let mut seen = std::collections::HashSet::new();
+        for &u in &pred.order {
+            prop_assert!(u < 7, "unit {u} out of range");
+            prop_assert!(seen.insert(u), "duplicate unit {u}");
+        }
+        if pred.table_hit {
+            prop_assert!(pred.order.len() <= k);
+        }
+    }
+
+    /// Every trained set hits the table; unseen sets miss and predict
+    /// hard (the safe default).
+    #[test]
+    fn hits_and_misses(records in arb_records(7)) {
+        let p = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
+        for r in &records {
+            prop_assert!(p.predict(r.dsr).table_hit);
+        }
+        let unseen = Dsr::from_bits(1 << 60);
+        let miss = p.predict(unseen);
+        prop_assert!(!miss.table_hit);
+        prop_assert_eq!(miss.kind, ErrorKind::Hard);
+    }
+
+    /// The first predicted unit is (one of) the most frequent units for
+    /// that set in the training data.
+    #[test]
+    fn top_unit_is_modal(records in arb_records(7)) {
+        let p = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
+        let probe = records[0].dsr;
+        let mut counts = [0u32; 7];
+        for r in records.iter().filter(|r| r.dsr == probe) {
+            counts[r.unit] += 1;
+        }
+        let best = *counts.iter().max().unwrap();
+        let top = p.predict(probe).order[0];
+        prop_assert_eq!(counts[top], best);
+    }
+
+    /// Training is insensitive to record order.
+    #[test]
+    fn training_is_order_invariant(records in arb_records(7), swaps in any::<u64>()) {
+        let a = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
+        let mut shuffled = records.clone();
+        // Cheap deterministic shuffle.
+        let mut state = swaps | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let b = Predictor::train(&shuffled, PredictorConfig::new(Granularity::Coarse));
+        for r in &records {
+            prop_assert_eq!(a.predict(r.dsr), b.predict(r.dsr));
+        }
+    }
+
+    /// A warm-started dynamic predictor agrees with the static table on
+    /// every trained set (same histograms, same scoring).
+    #[test]
+    fn dynamic_warm_equals_static(records in arb_records(13)) {
+        let config = PredictorConfig::new(Granularity::Fine);
+        let stat = Predictor::train(&records, config.clone());
+        let dynp = DynamicPredictor::warmed(&records, config);
+        for r in &records {
+            let a = stat.predict(r.dsr);
+            let b = dynp.predict(r.dsr);
+            prop_assert_eq!(a.order, b.order);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    /// PTAR width always covers the entry count (plus default entry).
+    #[test]
+    fn ptar_covers_entries(records in arb_records(7)) {
+        let p = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
+        prop_assert!(1u64 << p.ptar_bits() >= p.entry_count() as u64 + 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The flip-flop registry: every sequential bit of the CPU, enumerable
+//! and addressable for fault injection.
+//!
+//! The paper's methodology injects faults into **every flip-flop** of the
+//! Cortex-R5 netlist (Section IV-A). Our CPU state is therefore exposed as
+//! a registry of [`FlopReg`] descriptors — one per architectural register
+//! of the design, each tagged with the [`UnitId`] it belongs to — and a
+//! [`FlopId`] addresses one bit of one (lane of one) register.
+
+use std::sync::OnceLock;
+
+use crate::state::CpuState;
+use crate::units::UnitId;
+
+/// Descriptor of one named state register (or register array) of the CPU.
+pub struct FlopReg {
+    /// Field name in the RTL-level state (e.g. `"pc"`, `"regs"`).
+    pub name: &'static str,
+    /// The logical unit the register belongss to.
+    pub unit: UnitId,
+    /// Bit width of each lane (1–64).
+    pub width: u8,
+    /// Number of lanes (1 for scalars, 31 for the register bank).
+    pub lanes: u16,
+    pub(crate) get: fn(&CpuState, usize) -> u64,
+    pub(crate) set: fn(&mut CpuState, usize, u64),
+}
+
+impl std::fmt::Debug for FlopReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlopReg")
+            .field("name", &self.name)
+            .field("unit", &self.unit)
+            .field("width", &self.width)
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+impl FlopReg {
+    /// Total flip-flops in this register (width × lanes).
+    pub fn total_bits(&self) -> u32 {
+        u32::from(self.width) * u32::from(self.lanes)
+    }
+
+    /// Reads lane `lane`, masked to `width` bits.
+    pub fn read(&self, state: &CpuState, lane: usize) -> u64 {
+        (self.get)(state, lane) & mask(self.width)
+    }
+
+    /// Writes lane `lane`; the value is masked to `width` bits.
+    pub fn write(&self, state: &mut CpuState, lane: usize, value: u64) {
+        (self.set)(state, lane, value & mask(self.width));
+    }
+}
+
+#[inline]
+fn mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Address of a single flip-flop: a register, a lane within it, and a bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlopId {
+    /// Index into [`registry`].
+    pub reg: u16,
+    /// Lane within the register (always 0 for scalars).
+    pub lane: u16,
+    /// Bit within the lane (`< width`).
+    pub bit: u8,
+}
+
+/// The full flip-flop registry of the CPU, built once.
+pub fn registry() -> &'static [FlopReg] {
+    static REGISTRY: OnceLock<Vec<FlopReg>> = OnceLock::new();
+    REGISTRY.get_or_init(crate::state::build_registry)
+}
+
+/// Total number of flip-flops in the CPU.
+pub fn total_flops() -> u32 {
+    registry().iter().map(FlopReg::total_bits).sum()
+}
+
+/// Iterates over every flip-flop of the CPU in registry order.
+pub fn all_flops() -> impl Iterator<Item = FlopId> {
+    registry().iter().enumerate().flat_map(|(r, reg)| {
+        (0..reg.lanes).flat_map(move |lane| {
+            (0..reg.width).map(move |bit| FlopId { reg: r as u16, lane, bit })
+        })
+    })
+}
+
+/// Iterates over the flip-flops belonging to `unit`.
+pub fn flops_of_unit(unit: UnitId) -> impl Iterator<Item = FlopId> {
+    all_flops().filter(move |id| unit_of(*id) == unit)
+}
+
+/// The unit a flip-flop belongs to.
+///
+/// # Panics
+///
+/// Panics if `id.reg` is out of range.
+pub fn unit_of(id: FlopId) -> UnitId {
+    registry()[id.reg as usize].unit
+}
+
+/// Human-readable label, e.g. `"RF.regs[4].7"`.
+pub fn label_of(id: FlopId) -> String {
+    let reg = &registry()[id.reg as usize];
+    if reg.lanes > 1 {
+        format!("{}.{}[{}].{}", reg.unit, reg.name, id.lane, id.bit)
+    } else {
+        format!("{}.{}.{}", reg.unit, reg.name, id.bit)
+    }
+}
+
+/// Reads one flip-flop.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn get_bit(state: &CpuState, id: FlopId) -> bool {
+    let reg = &registry()[id.reg as usize];
+    assert!(id.bit < reg.width && id.lane < reg.lanes, "flop id out of range: {id:?}");
+    reg.read(state, id.lane as usize) >> id.bit & 1 == 1
+}
+
+/// Writes one flip-flop.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn set_bit(state: &mut CpuState, id: FlopId, value: bool) {
+    let reg = &registry()[id.reg as usize];
+    assert!(id.bit < reg.width && id.lane < reg.lanes, "flop id out of range: {id:?}");
+    let cur = reg.read(state, id.lane as usize);
+    let next = if value { cur | 1 << id.bit } else { cur & !(1 << id.bit) };
+    reg.write(state, id.lane as usize, next);
+}
+
+/// Inverts one flip-flop.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn flip_bit(state: &mut CpuState, id: FlopId) {
+    let v = get_bit(state, id);
+    set_bit(state, id, !v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_nonempty_and_plausible() {
+        let total = total_flops();
+        // A product-class small real-time CPU has a few thousand flops.
+        assert!(total > 1500, "only {total} flops");
+        assert!(total < 10_000, "{total} flops is implausible");
+    }
+
+    #[test]
+    fn all_flops_matches_total() {
+        assert_eq!(all_flops().count() as u32, total_flops());
+    }
+
+    #[test]
+    fn every_unit_has_flops() {
+        for unit in UnitId::ALL {
+            assert!(flops_of_unit(unit).next().is_some(), "{unit} has no flops");
+        }
+    }
+
+    #[test]
+    fn register_bank_is_biggest_contributor() {
+        let rf: u32 = registry()
+            .iter()
+            .filter(|r| r.unit == UnitId::Rf)
+            .map(FlopReg::total_bits)
+            .sum();
+        assert_eq!(rf, 31 * 32);
+    }
+
+    #[test]
+    fn get_set_flip_round_trip() {
+        let mut state = CpuState::reset(0);
+        for id in all_flops().step_by(37) {
+            let before = get_bit(&state, id);
+            flip_bit(&mut state, id);
+            assert_eq!(get_bit(&state, id), !before, "{}", label_of(id));
+            flip_bit(&mut state, id);
+            assert_eq!(get_bit(&state, id), before);
+        }
+    }
+
+    #[test]
+    fn set_bit_is_idempotent() {
+        let mut state = CpuState::reset(0);
+        let id = all_flops().nth(100).unwrap();
+        set_bit(&mut state, id, true);
+        assert!(get_bit(&state, id));
+        set_bit(&mut state, id, true);
+        assert!(get_bit(&state, id));
+        set_bit(&mut state, id, false);
+        assert!(!get_bit(&state, id));
+    }
+
+    #[test]
+    fn flips_are_independent() {
+        // Flipping one flop changes exactly one flop.
+        let base = CpuState::reset(0);
+        for id in all_flops().step_by(191) {
+            let mut state = base.clone();
+            flip_bit(&mut state, id);
+            let changed: Vec<FlopId> =
+                all_flops().filter(|&f| get_bit(&state, f) != get_bit(&base, f)).collect();
+            assert_eq!(changed, vec![id], "flip of {} leaked", label_of(id));
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let id = FlopId { reg: 0, lane: 0, bit: 3 };
+        let label = label_of(id);
+        assert!(label.contains('.'));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for reg in registry() {
+            assert!(seen.insert(reg.name), "duplicate register name {}", reg.name);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! CPU logical organization: the units of Figure 8.
+//!
+//! The paper organizes the Cortex-R5 into **seven coarse units** and later
+//! (Section V-D) refines the Data Processing Unit into seven sub-units for
+//! a **13-unit fine-grain** configuration. Fault locations, SBIST test
+//! libraries and predictions are all expressed in terms of these units.
+
+use std::fmt;
+
+/// The fine-grain unit a flip-flop belongs to (13 units; the seven `D*`
+/// units below are the DPU sub-units of Section V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum UnitId {
+    /// Prefetch unit: PC, fetch buffers, branch redirect state.
+    Pfu = 0,
+    /// DPU — instruction decode latches.
+    Dec = 1,
+    /// DPU — issue/operand latches.
+    Iss = 2,
+    /// DPU — the register bank.
+    Rf = 3,
+    /// DPU — main ALU and flags.
+    Alu = 4,
+    /// DPU — barrel shifter.
+    Shf = 5,
+    /// DPU — multi-cycle multiply/divide.
+    Mdv = 6,
+    /// DPU — writeback/forwarding latches.
+    Fwd = 7,
+    /// Load/store unit.
+    Lsu = 8,
+    /// Bus interface unit (AXI-style master for MMIO traffic).
+    Biu = 9,
+    /// Instruction memory control unit.
+    Imcu = 10,
+    /// Data memory control unit.
+    Dmcu = 11,
+    /// System control unit (CSRs, counters, exception state).
+    Scu = 12,
+}
+
+impl UnitId {
+    /// All fine-grain units in index order.
+    pub const ALL: [UnitId; 13] = [
+        UnitId::Pfu,
+        UnitId::Dec,
+        UnitId::Iss,
+        UnitId::Rf,
+        UnitId::Alu,
+        UnitId::Shf,
+        UnitId::Mdv,
+        UnitId::Fwd,
+        UnitId::Lsu,
+        UnitId::Biu,
+        UnitId::Imcu,
+        UnitId::Dmcu,
+        UnitId::Scu,
+    ];
+
+    /// The unit's index (0–12).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short name, e.g. `"RF"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitId::Pfu => "PFU",
+            UnitId::Dec => "DEC",
+            UnitId::Iss => "ISS",
+            UnitId::Rf => "RF",
+            UnitId::Alu => "ALU",
+            UnitId::Shf => "SHF",
+            UnitId::Mdv => "MDV",
+            UnitId::Fwd => "FWD",
+            UnitId::Lsu => "LSU",
+            UnitId::Biu => "BIU",
+            UnitId::Imcu => "IMCU",
+            UnitId::Dmcu => "DMCU",
+            UnitId::Scu => "SCU",
+        }
+    }
+
+    /// The coarse (7-unit, Figure 8) unit this fine unit belongs to.
+    pub fn coarse(self) -> CoarseUnit {
+        match self {
+            UnitId::Pfu => CoarseUnit::Pfu,
+            UnitId::Dec
+            | UnitId::Iss
+            | UnitId::Rf
+            | UnitId::Alu
+            | UnitId::Shf
+            | UnitId::Mdv
+            | UnitId::Fwd => CoarseUnit::Dpu,
+            UnitId::Lsu => CoarseUnit::Lsu,
+            UnitId::Biu => CoarseUnit::Biu,
+            UnitId::Imcu => CoarseUnit::Imcu,
+            UnitId::Dmcu => CoarseUnit::Dmcu,
+            UnitId::Scu => CoarseUnit::Scu,
+        }
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The coarse 7-unit organization of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CoarseUnit {
+    /// Prefetch unit.
+    Pfu = 0,
+    /// Data processing unit (decode, registers, ALU, shifter, mul/div,
+    /// forwarding) — the most complex unit, split in Section V-D.
+    Dpu = 1,
+    /// Load/store unit.
+    Lsu = 2,
+    /// Bus interface unit.
+    Biu = 3,
+    /// Instruction memory control unit.
+    Imcu = 4,
+    /// Data memory control unit.
+    Dmcu = 5,
+    /// System control unit.
+    Scu = 6,
+}
+
+impl CoarseUnit {
+    /// All coarse units in index order.
+    pub const ALL: [CoarseUnit; 7] = [
+        CoarseUnit::Pfu,
+        CoarseUnit::Dpu,
+        CoarseUnit::Lsu,
+        CoarseUnit::Biu,
+        CoarseUnit::Imcu,
+        CoarseUnit::Dmcu,
+        CoarseUnit::Scu,
+    ];
+
+    /// The unit's index (0–6).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short name, e.g. `"DPU"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoarseUnit::Pfu => "PFU",
+            CoarseUnit::Dpu => "DPU",
+            CoarseUnit::Lsu => "LSU",
+            CoarseUnit::Biu => "BIU",
+            CoarseUnit::Imcu => "IMCU",
+            CoarseUnit::Dmcu => "DMCU",
+            CoarseUnit::Scu => "SCU",
+        }
+    }
+}
+
+impl fmt::Display for CoarseUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which logical organization an experiment uses: the 7-unit view of
+/// Figure 8 or the 13-unit view of Section V-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// Seven coarse units (DPU monolithic).
+    #[default]
+    Coarse,
+    /// Thirteen fine units (DPU split into its seven sub-units).
+    Fine,
+}
+
+impl Granularity {
+    /// Number of units under this organization (7 or 13).
+    pub fn unit_count(self) -> usize {
+        match self {
+            Granularity::Coarse => CoarseUnit::ALL.len(),
+            Granularity::Fine => UnitId::ALL.len(),
+        }
+    }
+
+    /// Maps a fine-grain unit to its index under this organization.
+    pub fn index_of(self, unit: UnitId) -> usize {
+        match self {
+            Granularity::Coarse => unit.coarse().index(),
+            Granularity::Fine => unit.index(),
+        }
+    }
+
+    /// Display name of unit index `idx` under this organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= unit_count()`.
+    pub fn unit_name(self, idx: usize) -> &'static str {
+        match self {
+            Granularity::Coarse => CoarseUnit::ALL[idx].name(),
+            Granularity::Fine => UnitId::ALL[idx].name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_units_are_13_with_stable_indices() {
+        assert_eq!(UnitId::ALL.len(), 13);
+        for (i, u) in UnitId::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+
+    #[test]
+    fn coarse_units_are_7() {
+        assert_eq!(CoarseUnit::ALL.len(), 7);
+        for (i, u) in CoarseUnit::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+
+    #[test]
+    fn dpu_has_exactly_seven_subunits() {
+        let dpu_subs: Vec<UnitId> = UnitId::ALL
+            .iter()
+            .copied()
+            .filter(|u| u.coarse() == CoarseUnit::Dpu)
+            .collect();
+        assert_eq!(dpu_subs.len(), 7);
+    }
+
+    #[test]
+    fn every_coarse_unit_has_a_fine_member() {
+        for c in CoarseUnit::ALL {
+            assert!(UnitId::ALL.iter().any(|u| u.coarse() == c), "{c} empty");
+        }
+    }
+
+    #[test]
+    fn granularity_counts_and_names() {
+        assert_eq!(Granularity::Coarse.unit_count(), 7);
+        assert_eq!(Granularity::Fine.unit_count(), 13);
+        assert_eq!(Granularity::Coarse.unit_name(1), "DPU");
+        assert_eq!(Granularity::Fine.unit_name(3), "RF");
+    }
+
+    #[test]
+    fn granularity_index_mapping() {
+        assert_eq!(Granularity::Coarse.index_of(UnitId::Alu), CoarseUnit::Dpu.index());
+        assert_eq!(Granularity::Coarse.index_of(UnitId::Scu), CoarseUnit::Scu.index());
+        assert_eq!(Granularity::Fine.index_of(UnitId::Alu), UnitId::Alu.index());
+    }
+}

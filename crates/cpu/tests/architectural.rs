@@ -1,0 +1,521 @@
+//! Architectural correctness tests: assembled LR5 programs run on the
+//! pipeline and must produce the right registers, memory and I/O.
+
+use lockstep_asm::assemble;
+use lockstep_cpu::{Cpu, PortSet};
+use lockstep_mem::{Memory, MemoryPort, OUTPUT_BASE, SENSOR_BASE};
+
+const RAM: usize = 64 * 1024;
+
+/// Assembles and runs `source` until halt (or `max_cycles`), returning
+/// the CPU and memory for inspection.
+fn run(source: &str, max_cycles: u64) -> (Cpu, Memory) {
+    run_seeded(source, max_cycles, 0)
+}
+
+fn run_seeded(source: &str, max_cycles: u64, seed: u64) -> (Cpu, Memory) {
+    let program = assemble(source).expect("assembly failed");
+    let mut mem = Memory::new(RAM, seed);
+    mem.load_image(&program.to_bytes(RAM));
+    let mut cpu = Cpu::new(0);
+    let mut ports = PortSet::new();
+    for _ in 0..max_cycles {
+        if cpu.step(&mut mem, &mut ports).halted {
+            break;
+        }
+    }
+    assert!(cpu.is_halted(), "program did not halt within {max_cycles} cycles");
+    (cpu, mem)
+}
+
+fn reg(cpu: &Cpu, name: &str) -> u32 {
+    cpu.state().reg(lockstep_isa::Reg::parse(name).unwrap().index())
+}
+
+#[test]
+fn arithmetic_and_logic() {
+    let (cpu, _) = run(
+        "li   a0, 100
+         li   a1, 42
+         add  a2, a0, a1
+         sub  a3, a0, a1
+         and  a4, a0, a1
+         or   a5, a0, a1
+         xor  a6, a0, a1
+         slt  a7, a1, a0
+         sltu t0, a0, a1
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a2"), 142);
+    assert_eq!(reg(&cpu, "a3"), 58);
+    assert_eq!(reg(&cpu, "a4"), 100 & 42);
+    assert_eq!(reg(&cpu, "a5"), 100 | 42);
+    assert_eq!(reg(&cpu, "a6"), 100 ^ 42);
+    assert_eq!(reg(&cpu, "a7"), 1);
+    assert_eq!(reg(&cpu, "t0"), 0);
+}
+
+#[test]
+fn immediates_and_li_forms() {
+    let (cpu, _) = run(
+        "li   a0, -1
+         li   a1, 0x12345678
+         li   a2, 0xFFFF
+         addi a3, zero, -32768
+         andi a4, a0, 0xF0F0
+         ori  a5, zero, 0x8000
+         xori a6, a0, 0xFFFF
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a0"), 0xFFFF_FFFF);
+    assert_eq!(reg(&cpu, "a1"), 0x1234_5678);
+    assert_eq!(reg(&cpu, "a2"), 0xFFFF);
+    assert_eq!(reg(&cpu, "a3"), (-32768i32) as u32);
+    // Logical immediates zero-extend.
+    assert_eq!(reg(&cpu, "a4"), 0xF0F0);
+    assert_eq!(reg(&cpu, "a5"), 0x8000);
+    assert_eq!(reg(&cpu, "a6"), 0xFFFF_0000);
+}
+
+#[test]
+fn shifts() {
+    let (cpu, _) = run(
+        "li   a0, 0x80000001
+         slli a1, a0, 4
+         srli a2, a0, 4
+         srai a3, a0, 4
+         li   t0, 8
+         sll  a4, a0, t0
+         srl  a5, a0, t0
+         sra  a6, a0, t0
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a1"), 0x0000_0010);
+    assert_eq!(reg(&cpu, "a2"), 0x0800_0000);
+    assert_eq!(reg(&cpu, "a3"), 0xF800_0000);
+    assert_eq!(reg(&cpu, "a4"), 0x0000_0100);
+    assert_eq!(reg(&cpu, "a5"), 0x0080_0000);
+    assert_eq!(reg(&cpu, "a6"), 0xFF80_0000);
+}
+
+#[test]
+fn multiply_family() {
+    let (cpu, _) = run(
+        "li   a0, -7
+         li   a1, 6
+         mul  a2, a0, a1
+         mulh a3, a0, a1
+         mulhu a4, a0, a1
+         li   t0, 0x10000
+         mul  a5, t0, t0
+         mulhu a6, t0, t0
+         ecall",
+        500,
+    );
+    assert_eq!(reg(&cpu, "a2") as i32, -42);
+    assert_eq!(reg(&cpu, "a3"), 0xFFFF_FFFF); // high word of -42
+    let p = u64::from(0xFFFF_FFF9u32) * 6;
+    assert_eq!(reg(&cpu, "a4"), (p >> 32) as u32);
+    assert_eq!(reg(&cpu, "a5"), 0); // 2^32 low word
+    assert_eq!(reg(&cpu, "a6"), 1); // 2^32 high word
+}
+
+#[test]
+fn divide_family() {
+    let (cpu, _) = run(
+        "li   a0, -43
+         li   a1, 5
+         div  a2, a0, a1
+         rem  a3, a0, a1
+         li   t0, 43
+         divu a4, t0, a1
+         remu a5, t0, a1
+         ecall",
+        800,
+    );
+    assert_eq!(reg(&cpu, "a2") as i32, -8); // trunc(-43/5)
+    assert_eq!(reg(&cpu, "a3") as i32, -3);
+    assert_eq!(reg(&cpu, "a4"), 8);
+    assert_eq!(reg(&cpu, "a5"), 3);
+}
+
+#[test]
+fn divide_edge_cases() {
+    let (cpu, _) = run(
+        "li   a0, 7
+         li   a1, 0
+         div  a2, a0, a1      ; /0 -> -1
+         rem  a3, a0, a1      ; %0 -> dividend
+         li   a4, 0x80000000  ; INT_MIN
+         li   a5, -1
+         div  a6, a4, a5      ; overflow -> INT_MIN
+         rem  a7, a4, a5      ; -> 0
+         ecall",
+        1200,
+    );
+    assert_eq!(reg(&cpu, "a2"), u32::MAX);
+    assert_eq!(reg(&cpu, "a3"), 7);
+    assert_eq!(reg(&cpu, "a6"), 0x8000_0000);
+    assert_eq!(reg(&cpu, "a7"), 0);
+}
+
+#[test]
+fn loads_and_stores_all_widths() {
+    let (cpu, mem) = run(
+        ".equ BUF, 0x1000
+         li   t0, BUF
+         li   a0, 0x11223344
+         sw   a0, 0(t0)
+         lb   a1, 1(t0)      ; 0x33 sign-extended
+         lbu  a2, 3(t0)      ; 0x11
+         lh   a3, 2(t0)      ; 0x1122
+         lhu  a4, 0(t0)      ; 0x3344
+         li   a5, 0xAB
+         sb   a5, 2(t0)
+         lw   a6, 0(t0)
+         li   a7, 0xBEEF
+         sh   a7, 4(t0)
+         lhu  t1, 4(t0)
+         ecall",
+        400,
+    );
+    assert_eq!(reg(&cpu, "a1"), 0x33);
+    assert_eq!(reg(&cpu, "a2"), 0x11);
+    assert_eq!(reg(&cpu, "a3"), 0x1122);
+    assert_eq!(reg(&cpu, "a4"), 0x3344);
+    assert_eq!(reg(&cpu, "a6"), 0x11AB_3344);
+    assert_eq!(reg(&cpu, "t1"), 0xBEEF);
+    let mut mem = mem;
+    assert_eq!(mem.read(0x1000).unwrap(), 0x11AB_3344);
+}
+
+#[test]
+fn sign_extending_byte_load() {
+    let (cpu, _) = run(
+        "li   t0, 0x2000
+         li   a0, 0xFF
+         sb   a0, 0(t0)
+         lb   a1, 0(t0)
+         lbu  a2, 0(t0)
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a1"), 0xFFFF_FFFF);
+    assert_eq!(reg(&cpu, "a2"), 0xFF);
+}
+
+#[test]
+fn branch_loop_sums() {
+    let (cpu, _) = run(
+        "li   a0, 10
+         li   a1, 0
+         loop:
+         add  a1, a1, a0
+         addi a0, a0, -1
+         bnez a0, loop
+         ecall",
+        600,
+    );
+    assert_eq!(reg(&cpu, "a1"), 55);
+}
+
+#[test]
+fn all_branch_conditions() {
+    let (cpu, _) = run(
+        "li   a0, -2
+         li   a1, 3
+         li   a7, 0
+         beq  a0, a0, t1
+         j    fail
+         t1: ori a7, a7, 1
+         bne  a0, a1, t2
+         j    fail
+         t2: ori a7, a7, 2
+         blt  a0, a1, t3       ; signed: -2 < 3
+         j    fail
+         t3: ori a7, a7, 4
+         bge  a1, a0, t4
+         j    fail
+         t4: ori a7, a7, 8
+         bltu a1, a0, t5       ; unsigned: 3 < 0xFFFFFFFE
+         j    fail
+         t5: ori a7, a7, 16
+         bgeu a0, a1, done
+         j    fail
+         fail: li a7, 0
+         done: ecall",
+        400,
+    );
+    assert_eq!(reg(&cpu, "a7"), 31);
+}
+
+#[test]
+fn call_and_return() {
+    let (cpu, _) = run(
+        "li   a0, 5
+         call double
+         call double
+         ecall
+         double:
+         add  a0, a0, a0
+         ret",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a0"), 20);
+}
+
+#[test]
+fn jump_table_via_jalr() {
+    let (cpu, _) = run(
+        "la   t0, target
+         jalr ra, t0, 0
+         ecall
+         nop
+         nop
+         target:
+         li   a0, 99
+         jr   ra",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a0"), 99);
+}
+
+#[test]
+fn forwarding_chain() {
+    // Back-to-back dependent instructions exercise EX->EX and WB->EX paths.
+    let (cpu, _) = run(
+        "li   a0, 1
+         add  a1, a0, a0   ; 2 (needs a0 from WB path)
+         add  a2, a1, a1   ; 4 (needs a1 from EX path)
+         add  a3, a2, a1   ; 6 (both paths)
+         add  a4, a3, a0   ; 7 (distance 3: through regfile write-through)
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a4"), 7);
+}
+
+#[test]
+fn load_use_interlock() {
+    let (cpu, _) = run(
+        "li   t0, 0x3000
+         li   a0, 41
+         sw   a0, 0(t0)
+         lw   a1, 0(t0)
+         addi a2, a1, 1    ; immediately uses loaded value
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a2"), 42);
+}
+
+#[test]
+fn store_then_immediate_load() {
+    let (cpu, _) = run(
+        "li   t0, 0x3000
+         li   a0, 123
+         sw   a0, 0(t0)
+         lw   a1, 0(t0)    ; must see the posted store
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a1"), 123);
+}
+
+#[test]
+fn csr_scratch_and_misr() {
+    let (cpu, _) = run(
+        "li   a0, 0xABCD
+         csrw scratch0, a0
+         csrr a1, scratch0
+         li   a2, 1
+         csrw misr, a2
+         li   a2, 2
+         csrw misr, a2
+         csrr a3, misr
+         ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), 0xABCD);
+    let expected = lockstep_isa::csr::misr_fold(lockstep_isa::csr::misr_fold(0, 1), 2);
+    assert_eq!(reg(&cpu, "a3"), expected);
+}
+
+#[test]
+fn cycle_counter_monotonic() {
+    let (cpu, _) = run(
+        "csrr a0, cycle
+         csrr a1, cycle
+         ecall",
+        200,
+    );
+    assert!(reg(&cpu, "a1") > reg(&cpu, "a0"));
+}
+
+#[test]
+fn illegal_instruction_traps_to_vector() {
+    let (cpu, _) = run(
+        "   j    go
+            nop                 ; pad so handler sits at 0x8
+         handler:               ; trap vector = 0x8 (default)
+            csrr a1, cause
+            ecall
+         go:
+            .word 0xFC000000    ; illegal opcode 0x3F
+            li   a0, 1          ; must be skipped
+            ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), lockstep_isa::TrapCause::IllegalInstruction.code());
+    assert_eq!(reg(&cpu, "a0"), 0, "instruction after trap must not execute");
+}
+
+#[test]
+fn misaligned_load_traps() {
+    let (cpu, _) = run(
+        "   j    go
+            nop
+         handler:
+            csrr a1, cause
+            csrr a2, epc
+            ecall
+         go:
+            li   t0, 0x1001
+         bad: lw   a0, 0(t0)
+            ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), lockstep_isa::TrapCause::MisalignedAccess.code());
+    // EPC points at the faulting instruction.
+    assert!(reg(&cpu, "a2") > 0);
+}
+
+#[test]
+fn custom_trap_vector() {
+    let (cpu, _) = run(
+        "   la   t0, myhandler
+            csrw tvec, t0
+            .word 0xFC000000
+            li   a0, 1
+            ecall
+         myhandler:
+            li   a1, 77
+            ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), 77);
+    assert_eq!(reg(&cpu, "a0"), 0);
+}
+
+#[test]
+fn bus_error_on_wild_load_traps() {
+    let (cpu, _) = run(
+        "   j   go
+            nop
+         handler:
+            csrr a1, cause
+            ecall
+         go:
+            li   t0, 0x00800000   ; beyond RAM, not MMIO
+            lw   a0, 0(t0)
+            ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), lockstep_isa::TrapCause::BusError.code());
+}
+
+#[test]
+fn mmio_sensor_read_and_output_write() {
+    let (cpu, mem) = run_seeded(
+        &format!(
+            "li   t0, {SENSOR_BASE}
+             lw   a0, 0(t0)       ; first sensor sample, channel 0
+             li   t1, {OUTPUT_BASE}
+             sw   a0, 0(t1)       ; publish it
+             li   a2, 7
+             sw   a2, 4(t1)
+             ecall"
+        ),
+        400,
+        42,
+    );
+    let expected = lockstep_mem::SensorBlock::value_at(42, 0, 0);
+    assert_eq!(reg(&cpu, "a0"), expected);
+    assert_eq!(mem.output_log(), &[(0, expected), (4, 7)]);
+}
+
+#[test]
+fn ebreak_traps() {
+    let (cpu, _) = run(
+        "   j    go
+            nop
+         handler:
+            csrr a1, cause
+            ecall
+         go:
+            ebreak
+            ecall",
+        300,
+    );
+    assert_eq!(reg(&cpu, "a1"), lockstep_isa::TrapCause::Breakpoint.code());
+}
+
+#[test]
+fn x0_stays_zero() {
+    let (cpu, _) = run(
+        "li   a0, 5
+         add  zero, a0, a0
+         addi a1, zero, 3
+         ecall",
+        200,
+    );
+    assert_eq!(reg(&cpu, "a1"), 3);
+    assert_eq!(cpu.state().reg(0), 0);
+}
+
+#[test]
+fn instret_counts_retired_instructions() {
+    let (cpu, _) = run(
+        "nop
+         nop
+         nop
+         csrr a0, instret
+         ecall",
+        200,
+    );
+    // The csrr samples `instret` at EX while the two younger nops are
+    // still in MEM/WB: only the first nop has architecturally retired.
+    assert_eq!(reg(&cpu, "a0"), 1);
+}
+
+#[test]
+fn deep_recursion_with_stack() {
+    let (cpu, _) = run(
+        "li   sp, 0x8000
+         li   a0, 6
+         call fact
+         ecall
+         fact:                  ; a0 = n -> a0 = n!
+            addi sp, sp, -8
+            sw   ra, 0(sp)
+            sw   a0, 4(sp)
+            li   t0, 2
+            blt  a0, t0, base
+            addi a0, a0, -1
+            call fact
+            lw   t1, 4(sp)
+            mul  a0, a0, t1
+            j    out
+         base:
+            li   a0, 1
+         out:
+            lw   ra, 0(sp)
+            addi sp, sp, 8
+            ret",
+        5000,
+    );
+    assert_eq!(reg(&cpu, "a0"), 720);
+}

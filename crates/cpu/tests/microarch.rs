@@ -1,0 +1,207 @@
+//! Microarchitectural behaviour tests: port activity, the return-address
+//! stack, BIU transaction timing and event signals — the machinery the
+//! signature phenomenon rides on.
+
+use lockstep_asm::assemble;
+use lockstep_cpu::{Cpu, PortSet, Sc};
+use lockstep_mem::{Memory, SENSOR_BASE};
+
+const RAM: usize = 64 * 1024;
+
+/// Runs `source`, returning the per-cycle port trace until halt.
+fn trace(source: &str, max: usize) -> Vec<PortSet> {
+    let program = assemble(source).expect("assembly failed");
+    let mut mem = Memory::new(RAM, 9);
+    mem.load_image(&program.to_bytes(RAM));
+    let mut cpu = Cpu::new(0);
+    let mut out = Vec::new();
+    let mut ports = PortSet::new();
+    for _ in 0..max {
+        let info = cpu.step(&mut mem, &mut ports);
+        out.push(ports);
+        if info.halted {
+            return out;
+        }
+    }
+    panic!("program did not halt in {max} cycles");
+}
+
+#[test]
+fn ras_reports_hits_on_well_nested_calls() {
+    let t = trace(
+        "li   sp, 0x8000
+         call f1
+         call f1
+         ecall
+         f1: addi sp, sp, -4
+             sw   ra, 0(sp)
+             call f2
+             lw   ra, 0(sp)
+             addi sp, sp, 4
+             ret
+         f2: ret",
+        400,
+    );
+    let pushes: u32 = t.iter().filter(|p| p.get(Sc::RasCtl) & 1 == 1).count() as u32;
+    let pops: Vec<u32> = t
+        .iter()
+        .map(|p| p.get(Sc::RasCtl))
+        .filter(|c| c & 2 == 2)
+        .collect();
+    assert_eq!(pushes, 4, "four calls push");
+    assert_eq!(pops.len(), 4, "four returns pop");
+    assert!(pops.iter().all(|c| c & 4 == 4), "every well-nested return must hit");
+}
+
+#[test]
+fn ras_miss_on_manipulated_return_address() {
+    let t = trace(
+        "li   sp, 0x8000
+         call f1
+         ecall
+         f1: la ra, elsewhere   ; clobber the return address
+             ret
+         elsewhere: ecall",
+        400,
+    );
+    let pops: Vec<u32> =
+        t.iter().map(|p| p.get(Sc::RasCtl)).filter(|c| c & 2 == 2).collect();
+    assert_eq!(pops.len(), 1);
+    assert_eq!(pops[0] & 4, 0, "a diverted return must miss the RAS");
+}
+
+#[test]
+fn mmio_load_drives_biu_ports_while_transaction_in_flight() {
+    let t = trace(
+        &format!(
+            "li   s0, {SENSOR_BASE}
+             lw   a0, 0(s0)
+             ecall"
+        ),
+        200,
+    );
+    // The BIU's registered outputs appear the cycle *after* the MEM
+    // stage arms the transaction, for exactly the one cycle it performs.
+    let active: Vec<usize> = t
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.get(Sc::BiuAddrLo) != 0 || p.get(Sc::BiuAddrHi) != 0
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(active.len(), 1, "BIU drive cycles: {active:?}");
+    // The same cycle reports the read-data check byte.
+    assert_ne!(t[active[0]].get(Sc::BiuRchk), 0);
+    // And the driven address is the sensor channel.
+    assert_eq!(t[active[0]].get(Sc::BiuAddrHi), SENSOR_BASE >> 16);
+}
+
+#[test]
+fn ram_store_drives_dmc_ports_exactly_once() {
+    let t = trace(
+        "li   t0, 0x4000
+         li   a0, 0xABCD
+         sw   a0, 0(t0)
+         nop
+         nop
+         ecall",
+        200,
+    );
+    let drives = t.iter().filter(|p| p.get(Sc::DmcCtl) & 1 == 1).count();
+    assert_eq!(drives, 1, "one posted store = one DMC drive cycle");
+}
+
+#[test]
+fn flags_port_reflects_alu_nzcv() {
+    let t = trace(
+        "li   a0, 1
+         li   a1, 1
+         sub  a2, a0, a1      ; result 0 -> Z set, C set (no borrow)
+         ecall",
+        200,
+    );
+    // Find the cycle where the sub executed (Flags port nonzero).
+    let flags: Vec<u32> =
+        t.iter().map(|p| p.get(Sc::Flags)).filter(|&f| f != 0).collect();
+    assert!(
+        flags.contains(&0b0110),
+        "expected Z|C for 1-1, saw {flags:?}"
+    );
+}
+
+#[test]
+fn event_bus_shows_divide_stall() {
+    let t = trace(
+        "li   a0, 100
+         li   a1, 7
+         divu a2, a0, a1
+         ecall",
+        400,
+    );
+    let busy_cycles =
+        t.iter().filter(|p| p.get(Sc::EventBus) >> 9 & 1 == 1).count();
+    assert!(
+        busy_cycles >= 30,
+        "a divide iterates ~32 cycles in the MDV; saw {busy_cycles}"
+    );
+    let stall_cycles =
+        t.iter().filter(|p| p.get(Sc::StallCause) >> 1 & 1 == 1).count();
+    assert!(stall_cycles >= 30, "the pipeline stalls while MDV is busy");
+}
+
+#[test]
+fn branch_ports_report_taken_and_target() {
+    let t = trace(
+        "        li   a0, 1
+                 beqz a0, skip   ; not taken
+                 bnez a0, skip   ; taken
+                 nop
+         skip:   ecall",
+        200,
+    );
+    let resolved: Vec<(u32, u32)> = t
+        .iter()
+        .filter(|p| p.get(Sc::BranchCtl) & 1 == 1)
+        .map(|p| (p.get(Sc::BranchCtl), p.get(Sc::BtgtLo)))
+        .collect();
+    assert_eq!(resolved.len(), 2, "two conditional branches resolve");
+    assert_eq!(resolved[0].0 & 2, 0, "first branch not taken");
+    assert_eq!(resolved[1].0 & 2, 2, "second branch taken");
+    assert_ne!(resolved[1].1, 0, "taken branch exposes its target");
+}
+
+#[test]
+fn misr_port_driven_only_on_csr_traffic() {
+    let t = trace(
+        "li   a0, 0x1234
+         nop
+         nop
+         csrw misr, a0
+         nop
+         ecall",
+        200,
+    );
+    let driven = t
+        .iter()
+        .filter(|p| p.get(Sc::MisrLo) != 0 || p.get(Sc::MisrHi) != 0)
+        .count();
+    assert_eq!(driven, 1, "MISR is a gated DFT output, not a free-running bus");
+}
+
+#[test]
+fn quiescent_cycles_drive_no_data_ports() {
+    // A pure ALU program must never touch the data-side buses.
+    let t = trace(
+        "li   a0, 5
+         add  a1, a0, a0
+         xor  a2, a1, a0
+         ecall",
+        200,
+    );
+    for (i, p) in t.iter().enumerate() {
+        assert_eq!(p.get(Sc::DCtl), 0, "cycle {i}: data port active without memory op");
+        assert_eq!(p.get(Sc::DmcCtl), 0, "cycle {i}: DMC active");
+        assert_eq!(p.get(Sc::BiuCtl), 0, "cycle {i}: BIU active");
+    }
+}

@@ -1,0 +1,24 @@
+//! Sensitivity of type separability to the DSR capture window.
+use lockstep_cpu::Granularity;
+use lockstep_eval::lertsim::{evaluate, EvalConfig};
+use lockstep_eval::{run_campaign, CampaignConfig};
+
+fn main() {
+    for window in [1u32, 4, 8, 16, 32, 64] {
+        let mut cfg = CampaignConfig::new(1200, 2018);
+        cfg.capture_window = window;
+        cfg.workloads.truncate(6);
+        let res = run_campaign(&cfg);
+        let ev = lockstep_eval::analysis::type_evidence(&res.records, Granularity::Coarse);
+        let e = evaluate(&res, &EvalConfig::new(Granularity::Coarse, 1));
+        println!(
+            "window {window:3}: typeBC {:.2}  soft_acc {:.1}%  hard_acc {:.1}%  skip {:.1}%  comb_vs_loc {:.1}%  errors {}",
+            ev.mean_type_bc().unwrap_or(1.0),
+            100.0 * e.type_accuracy.soft(),
+            100.0 * e.type_accuracy.hard(),
+            100.0 * e.sbist_skipped_frac,
+            e.speedup_pct(lockstep_bist::Model::PredComb, lockstep_bist::Model::PredLocationOnly),
+            e.errors_evaluated,
+        );
+    }
+}

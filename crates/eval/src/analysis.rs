@@ -1,0 +1,314 @@
+//! Statistical analysis of campaign data: Table I, the signature
+//! distributions behind Figures 4/5, and the Section III-B type
+//! evidence.
+
+use std::collections::HashMap;
+
+use lockstep_core::{Dsr, ErrorRecord};
+use lockstep_cpu::Granularity;
+use lockstep_fault::ErrorKind;
+use lockstep_stats::{bhattacharyya, Distribution, Histogram, Summary};
+
+use crate::campaign::CampaignResult;
+
+/// Table I: `[min, mean, max]` of per-unit manifestation rates and
+/// manifestation times, split by error class.
+#[derive(Debug, Clone)]
+pub struct ManifestationStats {
+    /// Per-unit soft manifestation rate summary.
+    pub soft_rate: Summary,
+    /// Per-unit hard manifestation rate summary.
+    pub hard_rate: Summary,
+    /// Soft manifestation time summary (cycles, per error).
+    pub soft_time: Summary,
+    /// Hard manifestation time summary (cycles, per error).
+    pub hard_time: Summary,
+    /// Fraction of all injected faults that manifested.
+    pub overall_rate: f64,
+    /// Mean manifestation time over all errors.
+    pub overall_mean_time: f64,
+}
+
+/// Computes Table I from a campaign.
+pub fn manifestation_stats(result: &CampaignResult) -> ManifestationStats {
+    let manifested = result.manifested_per_unit();
+    let mut soft_rate = Summary::new();
+    let mut hard_rate = Summary::new();
+    for (injected, manifested) in result.injected_per_unit.iter().zip(&manifested) {
+        let [inj_soft, inj_hard] = *injected;
+        if inj_soft > 0 {
+            soft_rate.add(manifested[0] as f64 / inj_soft as f64);
+        }
+        if inj_hard > 0 {
+            hard_rate.add(manifested[1] as f64 / inj_hard as f64);
+        }
+    }
+    let mut soft_time = Summary::new();
+    let mut hard_time = Summary::new();
+    let mut all_time = Summary::new();
+    for r in &result.records {
+        let t = r.manifestation_time() as f64;
+        all_time.add(t);
+        match r.kind() {
+            ErrorKind::Soft => soft_time.add(t),
+            ErrorKind::Hard => hard_time.add(t),
+        }
+    }
+    ManifestationStats {
+        soft_rate,
+        hard_rate,
+        soft_time,
+        hard_time,
+        overall_rate: result.records.len() as f64 / result.injected.max(1) as f64,
+        overall_mean_time: all_time.mean().unwrap_or(0.0),
+    }
+}
+
+/// Per-unit signature distributions over diverged-SC sets for one error
+/// class — the probability distributions plotted in Figures 4 and 5.
+#[derive(Debug, Clone)]
+pub struct SignatureAnalysis {
+    /// Unit organization used.
+    pub granularity: Granularity,
+    /// Per-unit distribution over DSR values.
+    pub distributions: Vec<Distribution<Dsr>>,
+    /// Per-unit mean Bhattacharyya coefficient against all other units.
+    pub mean_bc: Vec<Option<f64>>,
+    /// Number of errors per unit feeding its distribution.
+    pub samples: Vec<u64>,
+}
+
+impl SignatureAnalysis {
+    /// Average of the defined per-unit mean BCs (the paper reports
+    /// ~0.39 hard / ~0.32 soft).
+    pub fn overall_mean_bc(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.mean_bc.iter().flatten().copied().collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Indices of the (min, median, max) mean-BC units — the three units
+    /// shown in Figures 4/5.
+    pub fn min_median_max_units(&self) -> Option<(usize, usize, usize)> {
+        let mut defined: Vec<(usize, f64)> = self
+            .mean_bc
+            .iter()
+            .enumerate()
+            .filter_map(|(u, bc)| bc.map(|v| (u, v)))
+            .collect();
+        if defined.is_empty() {
+            return None;
+        }
+        defined.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let min = defined[0].0;
+        let med = defined[defined.len() / 2].0;
+        let max = defined[defined.len() - 1].0;
+        Some((min, med, max))
+    }
+}
+
+/// Builds per-unit signature distributions for errors of class `kind`.
+pub fn signature_analysis(
+    records: &[ErrorRecord],
+    granularity: Granularity,
+    kind: ErrorKind,
+) -> SignatureAnalysis {
+    let n = granularity.unit_count();
+    let mut hists: Vec<Histogram<Dsr>> = vec![Histogram::new(); n];
+    for r in records.iter().filter(|r| r.kind() == kind) {
+        hists[granularity.index_of(r.unit())].add(r.dsr);
+    }
+    let samples: Vec<u64> = hists.iter().map(Histogram::total).collect();
+    let distributions: Vec<Distribution<Dsr>> =
+        hists.iter().map(Histogram::to_distribution).collect();
+    let mean_bc = (0..n)
+        .map(|u| {
+            if distributions[u].is_empty() {
+                return None;
+            }
+            let others: Vec<&Distribution<Dsr>> = (0..n)
+                .filter(|&v| v != u && !distributions[v].is_empty())
+                .map(|v| &distributions[v])
+                .collect();
+            lockstep_stats::distribution::mean_bhattacharyya_against(&distributions[u], &others)
+        })
+        .collect();
+    SignatureAnalysis { granularity, distributions, mean_bc, samples }
+}
+
+/// Section III-B evidence: per-unit BC between that unit's hard and soft
+/// signature distributions (paper: min ~0.3, max ~0.95, mean ~0.6), plus
+/// the distinct-set expansion of hard errors (paper: hard errors produce
+/// 54% more distinct diverged-SC sets than soft).
+#[derive(Debug, Clone)]
+pub struct TypeEvidence {
+    /// Per-unit hard-vs-soft BC (`None` when a class has no samples).
+    pub unit_type_bc: Vec<Option<f64>>,
+    /// Distinct DSR sets among hard errors.
+    pub hard_distinct_sets: usize,
+    /// Distinct DSR sets among soft errors.
+    pub soft_distinct_sets: usize,
+}
+
+impl TypeEvidence {
+    /// Mean of the defined per-unit type BCs.
+    pub fn mean_type_bc(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.unit_type_bc.iter().flatten().copied().collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Hard-vs-soft distinct-set ratio minus one, in percent (the
+    /// paper's "54% more diverged SC sets").
+    pub fn hard_set_excess_pct(&self) -> f64 {
+        if self.soft_distinct_sets == 0 {
+            return 0.0;
+        }
+        100.0 * (self.hard_distinct_sets as f64 / self.soft_distinct_sets as f64 - 1.0)
+    }
+}
+
+/// Computes the type-prediction evidence.
+pub fn type_evidence(records: &[ErrorRecord], granularity: Granularity) -> TypeEvidence {
+    let hard = signature_analysis(records, granularity, ErrorKind::Hard);
+    let soft = signature_analysis(records, granularity, ErrorKind::Soft);
+    let unit_type_bc = (0..granularity.unit_count())
+        .map(|u| {
+            if hard.distributions[u].is_empty() || soft.distributions[u].is_empty() {
+                None
+            } else {
+                Some(bhattacharyya(&hard.distributions[u], &soft.distributions[u]))
+            }
+        })
+        .collect();
+    let distinct = |kind: ErrorKind| {
+        let mut v: Vec<u64> =
+            records.iter().filter(|r| r.kind() == kind).map(|r| r.dsr.bits()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    };
+    TypeEvidence {
+        unit_type_bc,
+        hard_distinct_sets: distinct(ErrorKind::Hard),
+        soft_distinct_sets: distinct(ErrorKind::Soft),
+    }
+}
+
+/// Histogram of diverged-SC-set sizes (how many SCs fire together),
+/// split by class — a supplementary view of the Section III-B effect.
+pub fn dsr_size_histograms(records: &[ErrorRecord]) -> HashMap<ErrorKind, Histogram<u32>> {
+    let mut out: HashMap<ErrorKind, Histogram<u32>> = HashMap::new();
+    for r in records {
+        out.entry(r.kind()).or_default().add(r.dsr.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_core::log::FaultKindRepr;
+
+    fn rec(unit: u8, dsr: u64, hard: bool, inject: u64, detect: u64) -> ErrorRecord {
+        ErrorRecord {
+            workload: "t".into(),
+            unit_index: unit,
+            fault: if hard { FaultKindRepr::StuckAt1 } else { FaultKindRepr::Transient },
+            inject_cycle: inject,
+            detect_cycle: detect,
+            dsr: Dsr::from_bits(dsr),
+        }
+    }
+
+    #[test]
+    fn signature_analysis_separates_distinct_units() {
+        // Unit 0 always produces DSR 0b01, unit 3 always 0b10: BC = 0.
+        let records: Vec<ErrorRecord> = (0..20)
+            .map(|i| if i % 2 == 0 { rec(0, 1, true, 0, 5) } else { rec(3, 2, true, 0, 5) })
+            .collect();
+        let a = signature_analysis(&records, Granularity::Fine, ErrorKind::Hard);
+        assert_eq!(a.samples[0], 10);
+        assert_eq!(a.samples[3], 10);
+        assert_eq!(a.mean_bc[0], Some(0.0));
+        assert_eq!(a.overall_mean_bc(), Some(0.0));
+    }
+
+    #[test]
+    fn identical_units_have_bc_one() {
+        let records: Vec<ErrorRecord> = (0..20)
+            .map(|i| rec(if i % 2 == 0 { 0 } else { 3 }, 7, true, 0, 5))
+            .collect();
+        let a = signature_analysis(&records, Granularity::Fine, ErrorKind::Hard);
+        assert!((a.mean_bc[0].unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_median_max_selection() {
+        let mut records = Vec::new();
+        // Unit 0: unique signature (low BC). Units 1,2: shared signature.
+        for _ in 0..10 {
+            records.push(rec(0, 0b100, true, 0, 5));
+            records.push(rec(1, 0b1, true, 0, 5));
+            records.push(rec(2, 0b1, true, 0, 5));
+        }
+        let a = signature_analysis(&records, Granularity::Fine, ErrorKind::Hard);
+        let (min, _med, max) = a.min_median_max_units().unwrap();
+        assert_eq!(min, 0);
+        assert!(max == 1 || max == 2);
+    }
+
+    #[test]
+    fn type_evidence_distinguishes_classes() {
+        let mut records = Vec::new();
+        for i in 0..30u64 {
+            // Hard errors spread over many sets; soft concentrate on one.
+            records.push(rec(0, 1 + (i % 10), true, 0, 5));
+            records.push(rec(0, 1, false, 0, 5));
+        }
+        let ev = type_evidence(&records, Granularity::Coarse);
+        let bc = ev.unit_type_bc[0].unwrap();
+        assert!(bc < 0.5, "distributions differ: bc={bc}");
+        assert!(ev.hard_distinct_sets > ev.soft_distinct_sets);
+        assert!(ev.hard_set_excess_pct() > 100.0);
+    }
+
+    #[test]
+    fn manifestation_stats_from_synthetic_campaign() {
+        let result = CampaignResult {
+            records: vec![
+                rec(0, 1, true, 100, 200),
+                rec(0, 1, false, 100, 150),
+                rec(5, 2, true, 10, 20),
+            ],
+            injected: 100,
+            injected_per_unit: {
+                let mut v = vec![[0u64; 2]; 13];
+                v[0] = [10, 10];
+                v[5] = [10, 10];
+                v
+            },
+            golden: vec![],
+        };
+        let s = manifestation_stats(&result);
+        assert_eq!(s.overall_rate, 0.03);
+        assert_eq!(s.hard_time.count(), 2);
+        assert_eq!(s.soft_time.count(), 1);
+        assert!(s.hard_rate.mean().unwrap() > s.soft_rate.mean().unwrap());
+    }
+
+    #[test]
+    fn dsr_size_histograms_split_by_class() {
+        let records =
+            vec![rec(0, 0b111, true, 0, 1), rec(0, 0b1, false, 0, 1), rec(0, 0b11, true, 0, 1)];
+        let h = dsr_size_histograms(&records);
+        assert_eq!(h[&ErrorKind::Hard].total(), 2);
+        assert_eq!(h[&ErrorKind::Soft].count(&1), 1);
+    }
+}

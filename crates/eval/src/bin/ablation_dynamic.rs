@@ -1,0 +1,13 @@
+//! Ablation: static vs dynamic (online-updating) prediction tables —
+//! the Section VII discussion, quantified.
+
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    eprintln!("running campaign ({} faults x {} workloads)...", args.faults, args.workloads.len());
+    let result = lockstep_eval::run_campaign(&args.campaign_config());
+    eprintln!("campaign done: {} errors\n", result.records.len());
+    let (_, report) = lockstep_eval::experiments::ablation::run_dynamic(&result, args.seed);
+    println!("{report}");
+}

@@ -1,0 +1,18 @@
+//! Ablation: the five handling models under LBIST (scan-chain)
+//! diagnostics latencies instead of SBIST STL latencies.
+
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    eprintln!("running campaign ({} faults x {} workloads)...", args.faults, args.workloads.len());
+    let result = lockstep_eval::run_campaign(&args.campaign_config());
+    eprintln!("campaign done: {} errors\n", result.records.len());
+    let (_, report) = lockstep_eval::experiments::ablation::run_lbist(
+        &result,
+        lockstep_cpu::Granularity::Coarse,
+        64,
+        args.seed,
+    );
+    println!("{report}");
+}

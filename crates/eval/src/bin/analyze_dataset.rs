@@ -1,0 +1,44 @@
+//! Re-runs every analysis over a previously exported campaign archive —
+//! no fault injection, just the model-development stage of Figure 7.
+//!
+//! ```text
+//! analyze_dataset campaign.json [--seed S]
+//! ```
+
+use std::path::Path;
+
+use lockstep_cpu::Granularity;
+use lockstep_eval::experiments as exp;
+use lockstep_eval::CampaignArchive;
+use lockstep_fault::ErrorKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: analyze_dataset <campaign.json> [--seed S]");
+        std::process::exit(2);
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2018u64);
+    let archive = match CampaignArchive::load(Path::new(path)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("loaded {} errors from {path}\n", archive.records.len());
+    let result = archive.into_result();
+
+    println!("{}", exp::tab1::run(&result).1);
+    println!("{}", exp::fig45::run_signatures(&result, Granularity::Coarse, ErrorKind::Hard).1);
+    println!("{}", exp::fig45::run_signatures(&result, Granularity::Coarse, ErrorKind::Soft).1);
+    println!("{}", exp::fig45::run_type_evidence(&result, Granularity::Coarse).1);
+    println!("{}", exp::fig11::run(&result, Granularity::Coarse, seed).1);
+    println!("{}", exp::tab3::run(&result, seed).1);
+    println!("{}", exp::fig11::run(&result, Granularity::Fine, seed).1);
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Figure 16** (LERT vs predicted units, 13 units).
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    eprintln!(
+        "running campaign: {} faults x {} workloads, seed {} ...",
+        args.faults,
+        args.workloads.len(),
+        args.seed
+    );
+    let result = lockstep_eval::run_campaign(&args.campaign_config());
+    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    let points = lockstep_eval::experiments::topk::sweep(
+        &result,
+        lockstep_cpu::Granularity::Fine,
+        args.seed,
+    );
+    println!(
+        "{}",
+        lockstep_eval::experiments::topk::render_lert(&points, lockstep_cpu::Granularity::Fine)
+    );
+}

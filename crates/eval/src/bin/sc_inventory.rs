@@ -1,0 +1,10 @@
+//! Prints the signal-category inventory (Figure 3) and the CPU unit
+//! organization with flip-flop counts (Figure 8).
+
+fn main() {
+    let units_only = std::env::args().any(|a| a == "--units");
+    if !units_only {
+        println!("{}", lockstep_eval::experiments::inventory::signal_categories());
+    }
+    println!("{}", lockstep_eval::experiments::inventory::unit_organization());
+}

@@ -1,0 +1,19 @@
+//! Regenerates the **Section III-B** type-predictability evidence.
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    eprintln!(
+        "running campaign: {} faults x {} workloads, seed {} ...",
+        args.faults,
+        args.workloads.len(),
+        args.seed
+    );
+    let result = lockstep_eval::run_campaign(&args.campaign_config());
+    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    let (_, report) = lockstep_eval::experiments::fig45::run_type_evidence(
+        &result,
+        lockstep_cpu::Granularity::Coarse,
+    );
+    println!("{report}");
+}

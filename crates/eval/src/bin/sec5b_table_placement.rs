@@ -1,0 +1,16 @@
+//! Regenerates the **Section V-B** on/off-chip table study.
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    eprintln!(
+        "running campaign: {} faults x {} workloads, seed {} ...",
+        args.faults,
+        args.workloads.len(),
+        args.seed
+    );
+    let result = lockstep_eval::run_campaign(&args.campaign_config());
+    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    let (_, report) = lockstep_eval::experiments::sec5b::run(&result, args.seed);
+    println!("{report}");
+}

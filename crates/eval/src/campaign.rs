@@ -1,0 +1,338 @@
+//! The fault-injection campaign engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lockstep_core::{Dsr, ErrorRecord};
+use lockstep_cpu::{flops, Cpu, Granularity, PortSet};
+use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
+use lockstep_workloads::{GoldenRun, Workload};
+
+/// Default DSR capture window (cycles from first divergence until the
+/// CPUs are architecturally stopped).
+pub const DEFAULT_CAPTURE_WINDOW: u32 = 16;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workloads to run (defaults to the full suite).
+    pub workloads: Vec<&'static Workload>,
+    /// Fault injections per workload.
+    pub faults_per_workload: usize,
+    /// Master seed (stimulus, fault sampling, splits).
+    pub seed: u64,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// DSR capture window in cycles. In hardware the DSR keeps OR-ing
+    /// per-SC divergences while the checker's error signal propagates
+    /// and the CPUs are being stopped; sticky (hard) faults spread over
+    /// more SCs in that window than one-shot transients, which is what
+    /// makes the error *type* predictable (Section III-B).
+    pub capture_window: u32,
+}
+
+impl CampaignConfig {
+    /// A campaign over the full suite with `faults_per_workload`
+    /// injections per kernel.
+    pub fn new(faults_per_workload: usize, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            workloads: Workload::all().iter().collect(),
+            faults_per_workload,
+            seed,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            capture_window: DEFAULT_CAPTURE_WINDOW,
+        }
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One record per manifested error.
+    pub records: Vec<ErrorRecord>,
+    /// Total faults injected (manifested + masked).
+    pub injected: usize,
+    /// Injected fault counts per fine unit: `[unit][0]` soft,
+    /// `[unit][1]` hard.
+    pub injected_per_unit: Vec<[u64; 2]>,
+    /// Per-workload golden run data (`name`, timing/outputs).
+    pub golden: Vec<(&'static str, GoldenRun)>,
+}
+
+impl CampaignResult {
+    /// Manifested errors per fine unit (soft, hard).
+    pub fn manifested_per_unit(&self) -> Vec<[u64; 2]> {
+        let mut out = vec![[0u64; 2]; 13];
+        for r in &self.records {
+            let k = usize::from(r.kind() == ErrorKind::Hard);
+            out[r.unit_index as usize][k] += 1;
+        }
+        out
+    }
+
+    /// Per-unit manifestation rates under `granularity`, pooled over
+    /// soft and hard faults — the input for the `base-manifest`
+    /// ordering.
+    pub fn manifestation_rates(&self, granularity: Granularity) -> Vec<f64> {
+        let mut injected = vec![0u64; granularity.unit_count()];
+        let mut manifested = vec![0u64; granularity.unit_count()];
+        for (fine, counts) in self.injected_per_unit.iter().enumerate() {
+            let idx = granularity.index_of(lockstep_cpu::UnitId::ALL[fine]);
+            injected[idx] += counts[0] + counts[1];
+        }
+        for r in &self.records {
+            let idx = granularity.index_of(r.unit());
+            manifested[idx] += 1;
+        }
+        injected
+            .iter()
+            .zip(&manifested)
+            .map(|(&i, &m)| if i == 0 { 0.0 } else { m as f64 / i as f64 })
+            .collect()
+    }
+
+    /// The restart penalty of a workload: its measured golden runtime
+    /// (the paper's restart latencies are "the actual execution times of
+    /// the EEMBC AutoBench").
+    pub fn restart_cycles(&self, workload: &str) -> u64 {
+        self.golden
+            .iter()
+            .find(|(n, _)| *n == workload)
+            .map(|(_, g)| g.cycles)
+            .unwrap_or(10_000)
+    }
+}
+
+/// Runs a full campaign: per workload, a golden trace plus
+/// `faults_per_workload` injection experiments, parallelized over
+/// threads.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    let mut records = Vec::new();
+    let mut injected_per_unit = vec![[0u64; 2]; 13];
+    let mut golden_info = Vec::new();
+    let mut injected_total = 0usize;
+
+    for (wi, workload) in config.workloads.iter().enumerate() {
+        let stim_seed = config.seed ^ (wi as u64) << 32;
+        let golden = workload.golden_run(stim_seed, 400_000);
+        assert!(golden.halted, "{} golden run did not halt", workload.name);
+        let trace = workload.golden_trace(stim_seed, 400_000);
+
+        let plan = CampaignPlan::sampled(
+            PlanConfig::new(golden.cycles, config.seed.wrapping_add(wi as u64)),
+            config.faults_per_workload,
+        );
+        injected_total += plan.len();
+        for f in plan.faults() {
+            let k = usize::from(f.kind.error_kind() == ErrorKind::Hard);
+            injected_per_unit[f.unit().index()][k] += 1;
+        }
+
+        let faults = plan.faults();
+        let next = AtomicUsize::new(0);
+        let sink: Mutex<Vec<ErrorRecord>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.max(1) {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= faults.len() {
+                            break;
+                        }
+                        let fault = faults[i];
+                        if let Some((detect_cycle, dsr)) = run_injection_windowed(
+                            workload,
+                            stim_seed,
+                            &trace,
+                            fault,
+                            config.capture_window,
+                        ) {
+                            local.push(ErrorRecord {
+                                workload: workload.name.to_owned(),
+                                unit_index: fault.unit().index() as u8,
+                                fault: fault.kind.into(),
+                                inject_cycle: fault.cycle,
+                                detect_cycle,
+                                dsr,
+                            });
+                        }
+                    }
+                    sink.lock().expect("no poisoned workers").extend(local);
+                });
+            }
+        });
+        let mut produced = sink.into_inner().expect("no poisoned workers");
+        // Deterministic order regardless of thread interleaving.
+        produced.sort_by_key(|r| (r.inject_cycle, r.detect_cycle, r.unit_index, r.dsr));
+        records.extend(produced);
+        golden_info.push((workload.name, golden));
+    }
+
+    CampaignResult { records, injected: injected_total, injected_per_unit, golden: golden_info }
+}
+
+/// One injection experiment against the golden trace with a one-cycle
+/// DSR capture. Returns the detection cycle and DSR, or `None` if the
+/// fault was masked for the entire benchmark run.
+pub fn run_injection(
+    workload: &Workload,
+    stim_seed: u64,
+    golden_trace: &[PortSet],
+    fault: Fault,
+) -> Option<(u64, Dsr)> {
+    run_injection_windowed(workload, stim_seed, golden_trace, fault, 1)
+}
+
+/// One injection experiment with an explicit DSR capture window: after
+/// the first divergent cycle, per-SC divergences keep accumulating for
+/// up to `window - 1` further cycles (clamped to the golden trace).
+pub fn run_injection_windowed(
+    workload: &Workload,
+    stim_seed: u64,
+    golden_trace: &[PortSet],
+    fault: Fault,
+    window: u32,
+) -> Option<(u64, Dsr)> {
+    let mut mem = workload.memory(stim_seed);
+    let mut cpu = Cpu::new(0);
+    let mut ports = PortSet::new();
+    let mut iter = golden_trace.iter().enumerate();
+    let (detect_cycle, mut dsr_bits) = loop {
+        let (i, golden) = iter.next()?;
+        let cycle = i as u64;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, cycle));
+        let diff = ports.diff_mask(golden);
+        if diff != 0 {
+            break (cycle, diff);
+        }
+    };
+    for _ in 1..window {
+        let Some((i, golden)) = iter.next() else {
+            break;
+        };
+        let cycle = i as u64;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, cycle));
+        dsr_bits |= ports.diff_mask(golden);
+    }
+    Some((detect_cycle, Dsr::from_bits(dsr_bits)))
+}
+
+/// Sanity accessor used by tests: total flip-flops under test.
+pub fn flop_count() -> u32 {
+    flops::total_flops()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_fault::FaultKind;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            workloads: vec![Workload::find("rspeed").unwrap(), Workload::find("idctrn").unwrap()],
+            faults_per_workload: 150,
+            seed: 2024,
+            threads: 4,
+            capture_window: DEFAULT_CAPTURE_WINDOW,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_manifested_errors() {
+        let res = run_campaign(&tiny_config());
+        assert_eq!(res.injected, 300);
+        assert!(!res.records.is_empty(), "some faults must manifest");
+        assert!(res.records.len() < res.injected, "some faults must be masked");
+        for r in &res.records {
+            assert!(r.detect_cycle >= r.inject_cycle);
+            assert!(!r.dsr.is_empty());
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(&tiny_config());
+        let b = run_campaign(&tiny_config());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.injected_per_unit, b.injected_per_unit);
+    }
+
+    #[test]
+    fn hard_faults_manifest_more_than_soft() {
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 400;
+        let res = run_campaign(&cfg);
+        let manifested = res.manifested_per_unit();
+        let injected = &res.injected_per_unit;
+        let (mut soft_m, mut soft_i, mut hard_m, mut hard_i) = (0u64, 0u64, 0u64, 0u64);
+        for u in 0..13 {
+            soft_m += manifested[u][0];
+            hard_m += manifested[u][1];
+            soft_i += injected[u][0];
+            hard_i += injected[u][1];
+        }
+        let soft_rate = soft_m as f64 / soft_i.max(1) as f64;
+        let hard_rate = hard_m as f64 / hard_i.max(1) as f64;
+        // Paper: 40% hard vs 5% soft. Our mini-CPU's state is a far
+        // larger fraction architecturally hot than the R5's (which has
+        // big cold buffer structures), so soft rates sit higher; the
+        // invariant that drives the phenomenon is hard >> soft.
+        assert!(
+            hard_rate > 1.4 * soft_rate,
+            "hard {hard_rate:.3} must clearly exceed soft {soft_rate:.3} (paper: 40% vs 5%)"
+        );
+    }
+
+    #[test]
+    fn manifestation_rates_have_unit_count_entries() {
+        let res = run_campaign(&tiny_config());
+        assert_eq!(res.manifestation_rates(Granularity::Coarse).len(), 7);
+        assert_eq!(res.manifestation_rates(Granularity::Fine).len(), 13);
+        let rates = res.manifestation_rates(Granularity::Coarse);
+        assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn injection_agrees_with_live_harness() {
+        // Cross-check: the golden-trace fast path and the live DMR
+        // harness must detect the same fault at the same cycle.
+        let w = Workload::find("rspeed").unwrap();
+        let seed = 99;
+        let trace = w.golden_trace(seed, 400_000);
+        let flop = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.4").unwrap();
+        let fault = Fault::new(flop, FaultKind::Transient, 500);
+
+        // The first divergent cycle is bit-identical between the golden-
+        // trace fast path and the live DMR harness. (Inside the capture
+        // window the two models legitimately differ: the live redundant
+        // CPU consumes the *faulted* main's bus responses, while the fast
+        // path compares against the fault-free trace.)
+        let fast = run_injection(w, seed, &trace, fault).expect("must manifest");
+        let windowed =
+            run_injection_windowed(w, seed, &trace, fault, 8).expect("must manifest");
+        assert_eq!(fast.0, windowed.0, "window must not change the detection cycle");
+        assert_eq!(
+            windowed.1.bits() & fast.1.bits(),
+            fast.1.bits(),
+            "windowed DSR accumulates on top of the first-cycle DSR"
+        );
+
+        let mut sys = lockstep_core::LockstepSystem::dmr(w.memory(seed));
+        sys.set_capture_window(1);
+        sys.inject(0, fault);
+        match sys.run(400_000) {
+            lockstep_core::LockstepEvent::ErrorDetected { dsr, cycle, .. } => {
+                assert_eq!((cycle, dsr), fast, "fast path must match live lockstep");
+            }
+            other => panic!("live harness saw {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_cycles_looked_up_per_workload() {
+        let res = run_campaign(&tiny_config());
+        assert!(res.restart_cycles("rspeed") > 1000);
+        assert_eq!(res.restart_cycles("missing"), 10_000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--faults N` — fault injections per workload (default 2000);
+//! * `--seed S` — campaign master seed (default 2018, the paper's year);
+//! * `--threads T` — worker threads (default: available parallelism);
+//! * `--workloads a,b,c` — subset of kernels (default: full suite).
+
+use lockstep_workloads::Workload;
+
+use crate::campaign::{CampaignConfig, DEFAULT_CAPTURE_WINDOW};
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Faults per workload.
+    pub faults: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Selected workloads.
+    pub workloads: Vec<&'static Workload>,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args()`-style arguments (the program name in
+    /// position 0 is ignored). Unknown flags abort with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> CommonArgs {
+        let mut out = CommonArgs {
+            faults: 2000,
+            seed: 2018,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            workloads: Workload::all().iter().collect(),
+        };
+        let mut it = args.into_iter().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().unwrap_or_else(|| die(&format!("{flag} requires a value")))
+            };
+            match flag.as_str() {
+                "--faults" => {
+                    out.faults = value("--faults").parse().unwrap_or_else(|_| die("bad --faults"))
+                }
+                "--seed" => {
+                    out.seed = value("--seed").parse().unwrap_or_else(|_| die("bad --seed"))
+                }
+                "--threads" => {
+                    out.threads =
+                        value("--threads").parse().unwrap_or_else(|_| die("bad --threads"))
+                }
+                "--workloads" => {
+                    let list = value("--workloads");
+                    out.workloads = list
+                        .split(',')
+                        .map(|name| {
+                            Workload::find(name.trim())
+                                .unwrap_or_else(|| die(&format!("unknown workload `{name}`")))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c]"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag `{other}`")),
+            }
+        }
+        out
+    }
+
+    /// Builds the campaign configuration these args describe.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            workloads: self.workloads.clone(),
+            faults_per_workload: self.faults,
+            seed: self.seed,
+            threads: self.threads,
+            capture_window: DEFAULT_CAPTURE_WINDOW,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        let mut v = vec!["prog".to_owned()];
+        v.extend(args.iter().map(|s| (*s).to_owned()));
+        CommonArgs::parse(v)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.faults, 2000);
+        assert_eq!(a.seed, 2018);
+        assert_eq!(a.workloads.len(), 12);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&["--faults", "500", "--seed", "7", "--threads", "2"]);
+        assert_eq!(a.faults, 500);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn workload_subset() {
+        let a = parse(&["--workloads", "rspeed,ttsprk"]);
+        assert_eq!(a.workloads.len(), 2);
+        assert_eq!(a.workloads[0].name, "rspeed");
+    }
+
+    #[test]
+    fn campaign_config_mirrors_args() {
+        let a = parse(&["--faults", "9", "--seed", "3"]);
+        let c = a.campaign_config();
+        assert_eq!(c.faults_per_workload, 9);
+        assert_eq!(c.seed, 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figures 11 and 14: average LERT per error for all five models
+//! (coarse 7-unit and fine 13-unit organizations).
+
+use lockstep_bist::Model;
+use lockstep_cpu::Granularity;
+
+use crate::campaign::CampaignResult;
+use crate::lertsim::{evaluate, EvalConfig, LertEvaluation};
+use crate::render::{bar_chart, cycles, Table};
+
+/// Runs the model comparison at `granularity` (Coarse → Figure 11,
+/// Fine → Figure 14).
+pub fn run(result: &CampaignResult, granularity: Granularity, seed: u64) -> (LertEvaluation, String) {
+    let eval = evaluate(result, &EvalConfig::new(granularity, seed));
+    let figure = match granularity {
+        Granularity::Coarse => "Figure 11 (7 units)",
+        Granularity::Fine => "Figure 14 (13 units)",
+    };
+    let mut report = format!("== {figure}: average LERT per error ==\n\n");
+    let mut t = Table::new(vec!["Model", "avg LERT (cycles)", "avg units tested"]);
+    for m in &eval.per_model {
+        t.row(vec![
+            m.model.name().to_owned(),
+            cycles(m.mean_lert),
+            format!("{:.1}", m.mean_units_tested),
+        ]);
+    }
+    report.push_str(&t.render());
+    report.push('\n');
+    let bars: Vec<(String, f64)> =
+        eval.per_model.iter().map(|m| (m.model.name().to_owned(), m.mean_lert)).collect();
+    report.push_str(&bar_chart(&bars, 50));
+
+    let (p_manifest, p_ascend, p_loc) = match granularity {
+        Granularity::Coarse => (65.0, 64.0, 39.0),
+        Granularity::Fine => (64.0, 42.0, 34.0),
+    };
+    report.push_str(&format!(
+        "\npred-comb speedup vs base-manifest:       {:5.1}%  (paper {p_manifest:.0}%)\n",
+        eval.speedup_pct(Model::PredComb, Model::BaseManifest)
+    ));
+    report.push_str(&format!(
+        "pred-comb speedup vs base-ascending:      {:5.1}%  (paper {p_ascend:.0}%)\n",
+        eval.speedup_pct(Model::PredComb, Model::BaseAscending)
+    ));
+    report.push_str(&format!(
+        "pred-comb speedup vs pred-location-only:  {:5.1}%  (paper {p_loc:.0}%)\n",
+        eval.speedup_pct(Model::PredComb, Model::PredLocationOnly)
+    ));
+    if granularity == Granularity::Coarse {
+        report.push_str(&format!(
+            "pred-location-only speedup vs base-manifest:  {:5.1}%  (paper 43%)\n",
+            eval.speedup_pct(Model::PredLocationOnly, Model::BaseManifest)
+        ));
+        report.push_str(&format!(
+            "pred-location-only speedup vs base-ascending: {:5.1}%  (paper 40%)\n",
+            eval.speedup_pct(Model::PredLocationOnly, Model::BaseAscending)
+        ));
+    }
+    report.push_str(&format!(
+        "\nPrediction table: {:.0} entries on average, PTAR {} bits (paper ~1200 entries, 11 bits)\n",
+        eval.mean_table_entries, eval.ptar_bits
+    ));
+    report.push_str(&format!(
+        "pred-comb skipped the SBIST on {:.0}% of errors (paper: 43% fewer invocations)\n",
+        100.0 * eval.sbist_skipped_frac
+    ));
+    (eval, report)
+}

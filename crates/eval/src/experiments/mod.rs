@@ -1,0 +1,19 @@
+//! One module per paper table/figure (see DESIGN.md for the index).
+//!
+//! Every experiment takes a completed [`crate::campaign::CampaignResult`]
+//! (plus options) and returns both a printable report and structured
+//! numbers, so binaries print and tests assert on the same code path.
+//! Reports quote the paper's reference values next to the measured ones;
+//! EXPERIMENTS.md records a full paper-vs-measured run.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig45;
+pub mod inventory;
+pub mod sec5b;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+pub mod topk;

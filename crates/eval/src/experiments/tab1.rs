@@ -1,0 +1,56 @@
+//! Table I: fault-injection statistics.
+
+use crate::analysis::{manifestation_stats, ManifestationStats};
+use crate::campaign::CampaignResult;
+use crate::render::Table;
+
+/// Runs the Table I analysis and renders the report.
+pub fn run(result: &CampaignResult) -> (ManifestationStats, String) {
+    let stats = manifestation_stats(result);
+    let mut t = Table::new(vec!["Statistic", "[Min, Mean, Max] measured", "Paper"]);
+    t.row(vec![
+        "Soft Error Manifestation Rate".to_owned(),
+        triple_pct(&stats.soft_rate),
+        "[0.2%, 5%, 27%]".to_owned(),
+    ]);
+    t.row(vec![
+        "Hard Error Manifestation Rate".to_owned(),
+        triple_pct(&stats.hard_rate),
+        "[3%, 40%, 88%]".to_owned(),
+    ]);
+    t.row(vec![
+        "Soft Error Manifestation Time".to_owned(),
+        stats.soft_time.triple_string(),
+        "[2, 700, 80k] cyc".to_owned(),
+    ]);
+    t.row(vec![
+        "Hard Error Manifestation Time".to_owned(),
+        stats.hard_time.triple_string(),
+        "[2, 1800, 130k] cyc".to_owned(),
+    ]);
+    let mut report = String::from("== Table I: fault injection statistics ==\n\n");
+    report.push_str(&t.render());
+    report.push_str(&format!(
+        "\nOverall manifestation rate: {:.1}% (paper ~20%)\n",
+        100.0 * stats.overall_rate
+    ));
+    report.push_str(&format!(
+        "Mean manifestation time over all errors: {:.0} cycles (paper ~1300)\n",
+        stats.overall_mean_time
+    ));
+    report.push_str(&format!(
+        "Errors logged: {} of {} injected faults\n",
+        result.records.len(),
+        result.injected
+    ));
+    (stats, report)
+}
+
+fn triple_pct(s: &lockstep_stats::Summary) -> String {
+    match (s.min(), s.mean(), s.max()) {
+        (Some(lo), Some(m), Some(hi)) => {
+            format!("[{:.1}%, {:.1}%, {:.1}%]", lo * 100.0, m * 100.0, hi * 100.0)
+        }
+        _ => "[-, -, -]".to_owned(),
+    }
+}

@@ -1,0 +1,56 @@
+//! Table II: the latencies used by the models.
+
+use lockstep_bist::{latency, LatencyModel};
+use lockstep_cpu::Granularity;
+use lockstep_stats::Summary;
+
+use crate::campaign::CampaignResult;
+use crate::render::{cycles, Table};
+
+/// Renders the Table II report: table access times, calibrated STL
+/// latencies and the measured restart latencies.
+pub fn run(result: &CampaignResult, granularity: Granularity) -> (LatencyModel, String) {
+    let model = LatencyModel::calibrated(granularity);
+    let stl: Summary = model.stl_latencies().iter().map(|&c| c as f64).collect();
+    let restart: Summary = result.golden.iter().map(|(_, g)| g.cycles as f64).collect();
+
+    let mut t = Table::new(vec!["Name", "Measured", "Paper"]);
+    t.row(vec![
+        "Prediction Table Access (on-chip)".to_owned(),
+        format!("{} cycles", latency::TABLE_ACCESS_ONCHIP),
+        "2 cycles".to_owned(),
+    ]);
+    t.row(vec![
+        "Prediction Table Access (off-chip)".to_owned(),
+        format!("{} cycles", latency::TABLE_ACCESS_OFFCHIP),
+        "100 cycles".to_owned(),
+    ]);
+    t.row(vec![
+        "STL Latency Range".to_owned(),
+        stl.triple_string(),
+        "[25k, 170k, 700k]".to_owned(),
+    ]);
+    t.row(vec![
+        "Restart Latency Range".to_owned(),
+        restart.triple_string(),
+        "[2k, 10k, 36k]".to_owned(),
+    ]);
+    let mut report = format!(
+        "== Table II: model latencies ({} units) ==\n\n{}",
+        granularity.unit_count(),
+        t.render()
+    );
+    report.push_str("\nPer-unit STL latencies (calibrated from flip-flop counts):\n");
+    for (i, &lat) in model.stl_latencies().iter().enumerate() {
+        report.push_str(&format!(
+            "  {:5}  {:>9} cycles\n",
+            granularity.unit_name(i),
+            cycles(lat as f64)
+        ));
+    }
+    report.push_str("\nPer-workload restart latencies (golden runtimes):\n");
+    for (name, g) in &result.golden {
+        report.push_str(&format!("  {:8} {:>7} cycles\n", name, cycles(g.cycles as f64)));
+    }
+    (model, report)
+}

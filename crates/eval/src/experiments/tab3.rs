@@ -1,0 +1,24 @@
+//! Table III: error-type prediction accuracy of `pred-comb`.
+
+use lockstep_cpu::Granularity;
+
+use crate::campaign::CampaignResult;
+use crate::lertsim::{evaluate, EvalConfig, TypeAccuracy};
+use crate::render::{pct, Table};
+
+/// Runs the type-accuracy analysis.
+pub fn run(result: &CampaignResult, seed: u64) -> (TypeAccuracy, String) {
+    let eval = evaluate(result, &EvalConfig::new(Granularity::Coarse, seed));
+    let acc = eval.type_accuracy;
+    let mut t = Table::new(vec!["Error Type", "Prediction Accuracy", "Paper"]);
+    t.row(vec!["Soft".to_owned(), pct(acc.soft()), "86%".to_owned()]);
+    t.row(vec!["Hard".to_owned(), pct(acc.hard()), "49%".to_owned()]);
+    t.row(vec!["Overall".to_owned(), pct(acc.overall()), "67%".to_owned()]);
+    let mut report = String::from("== Table III: error type prediction accuracy ==\n\n");
+    report.push_str(&t.render());
+    report.push_str(&format!(
+        "\n({} soft and {} hard test errors across 5 folds)\n",
+        acc.soft_total, acc.hard_total
+    ));
+    (acc, report)
+}

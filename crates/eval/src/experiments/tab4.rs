@@ -1,0 +1,45 @@
+//! Table IV: predictor area and power overhead.
+
+use lockstep_hwcost::{checker_gates, CostModel, Netlist, Table4};
+
+use crate::render::Table;
+
+/// Runs the hardware-cost analysis for a PTAR of `ptar_bits`: the
+/// predictor datapath is *elaborated* as a gate netlist (the analogue of
+/// the paper's Verilog model) and costed from its exact instance counts.
+pub fn run(ptar_bits: u32) -> (Table4, String) {
+    let model = CostModel::default_32nm();
+    let netlist = Netlist::elaborate(ptar_bits);
+    let t4 = model.table4_with(netlist.predictor_only_counts());
+    let mut report = String::from("== Table IV: area and power overhead ==\n\n");
+    let mut t = Table::new(vec!["Relative to", "Area", "Power", "Paper (area/power)"]);
+    t.row(vec![
+        "Dual-CPU LR5 lockstep".to_owned(),
+        format!("{:.1}%", t4.area_vs_dual_pct),
+        format!("{:.1}%", t4.power_vs_dual_pct),
+        "0.6% / 1.8%".to_owned(),
+    ]);
+    t.row(vec![
+        "A single LR5 CPU".to_owned(),
+        format!("{:.1}%", t4.area_vs_single_pct),
+        format!("{:.1}%", t4.power_vs_single_pct),
+        "1.4% / 4.2%".to_owned(),
+    ]);
+    report.push_str(&t.render());
+    let chk = checker_gates();
+    let prd = netlist.predictor_only_counts();
+    report.push_str(&format!(
+        "\nPredictor logic (elaborated netlist): {:.0} GE ({} DSR+PTAR flops, {} mapping XORs) ≈ {:.0} µm² at 32 nm\n",
+        t4.predictor_ge, prd.dff, prd.xor2, t4.predictor_area_um2
+    ));
+    report.push_str(&format!(
+        "Checker (shared, not counted as overhead): {:.0} GE over {} compared signals\n",
+        chk.total_ge(),
+        lockstep_cpu::ports::total_signals()
+    ));
+    report.push_str(&format!(
+        "CPU budget assumption: {:.0} GE per core (see lockstep-hwcost docs)\n",
+        model.cpu_ge
+    ));
+    (t4, report)
+}

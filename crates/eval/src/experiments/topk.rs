@@ -1,0 +1,95 @@
+//! Figures 12/13 (7 units) and 15/16 (13 units): location-prediction
+//! accuracy and average LERT as the number of predicted units varies.
+
+use lockstep_bist::Model;
+use lockstep_cpu::Granularity;
+
+use crate::campaign::CampaignResult;
+use crate::lertsim::{evaluate, EvalConfig};
+use crate::render::{cycles, pct, Table};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKPoint {
+    /// Number of predicted units stored per table entry.
+    pub k: usize,
+    /// Location prediction accuracy (faulty unit in the stored list).
+    pub location_accuracy: f64,
+    /// Mean `pred-comb` LERT.
+    pub lert: f64,
+    /// Speedup vs `base-ascending`, percent.
+    pub speedup_vs_ascending_pct: f64,
+    /// Prediction-table storage, bits.
+    pub table_bits: f64,
+}
+
+/// Runs the top-K sweep from 1 to all units.
+pub fn sweep(result: &CampaignResult, granularity: Granularity, seed: u64) -> Vec<TopKPoint> {
+    let n = granularity.unit_count();
+    (1..=n)
+        .map(|k| {
+            let mut cfg = EvalConfig::new(granularity, seed);
+            cfg.top_k = Some(k);
+            let eval = evaluate(result, &cfg);
+            TopKPoint {
+                k,
+                location_accuracy: eval.location_accuracy,
+                lert: eval.lert(Model::PredComb),
+                speedup_vs_ascending_pct: eval.speedup_pct(Model::PredComb, Model::BaseAscending),
+                table_bits: eval.mean_table_bits,
+            }
+        })
+        .collect()
+}
+
+/// Renders the accuracy view (Figure 12 / Figure 15).
+pub fn render_accuracy(points: &[TopKPoint], granularity: Granularity) -> String {
+    let figure = match granularity {
+        Granularity::Coarse => "Figure 12 (7 units; paper: 70% @1, 85% @2, 95% @3, ~99% after)",
+        Granularity::Fine => "Figure 15 (13 units; paper: 42% @1, ~95% @7, flat after 8)",
+    };
+    let mut report = format!("== {figure} ==\n\n");
+    let mut t = Table::new(vec!["predicted units", "location accuracy", "table size"]);
+    for p in points {
+        t.row(vec![
+            p.k.to_string(),
+            pct(p.location_accuracy),
+            format!("{:.1} KB", p.table_bits / 8.0 / 1024.0),
+        ]);
+    }
+    report.push_str(&t.render());
+    report
+}
+
+/// Renders the LERT view (Figure 13 / Figure 16).
+pub fn render_lert(points: &[TopKPoint], granularity: Granularity) -> String {
+    let figure = match granularity {
+        Granularity::Coarse => "Figure 13 (7 units; paper sweet spot: 3-4 units, 60-63% speedup)",
+        Granularity::Fine => "Figure 16 (13 units; paper sweet spot: 7-8 units, 36-39% speedup)",
+    };
+    let mut report = format!("== {figure} ==\n\n");
+    let mut t =
+        Table::new(vec!["predicted units", "avg LERT (cycles)", "speedup vs base-ascending"]);
+    for p in points {
+        t.row(vec![
+            p.k.to_string(),
+            cycles(p.lert),
+            format!("{:.1}%", p.speedup_vs_ascending_pct),
+        ]);
+    }
+    report.push_str(&t.render());
+    // Identify the sweet spot: smallest K within 2% of the best speedup.
+    if let Some(best) =
+        points.iter().map(|p| p.speedup_vs_ascending_pct).reduce(f64::max)
+    {
+        if let Some(spot) =
+            points.iter().find(|p| p.speedup_vs_ascending_pct >= best - 2.0)
+        {
+            report.push_str(&format!(
+                "\nSweet spot: predicting {} unit(s) reaches {:.1}% speedup (best {best:.1}%)\n",
+                spot.k, spot.speedup_vs_ascending_pct
+            ));
+        }
+    }
+    report
+}

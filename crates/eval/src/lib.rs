@@ -1,0 +1,42 @@
+//! The evaluation framework of Figure 7: fault injection → error
+//! detection → data logging → model development → model evaluation.
+//!
+//! * [`campaign`] — the fault-injection engine. For each workload it
+//!   records one fault-free **golden port trace**, then replays every
+//!   planned fault on a fresh CPU, comparing output ports against the
+//!   golden trace cycle by cycle; the first mismatch is the lockstep
+//!   detection event and its per-SC difference is the captured DSR.
+//!   (Up to the first divergence a faulted CPU has issued exactly the
+//!   same bus traffic as the golden run, so comparing against the
+//!   recorded trace is bit-equivalent to running two live CPUs — and
+//!   twice as fast. The live path in `lockstep-core::harness` exists too
+//!   and the two are cross-checked in the integration tests.)
+//! * [`dataset`] — train/test splitting with 5-fold cross-validation and
+//!   conversion of error records into predictor training records.
+//! * [`analysis`] — Table I statistics, per-unit signature histograms,
+//!   Bhattacharyya similarity (Figures 4/5), type-signature evidence
+//!   (Section III-B).
+//! * [`lertsim`] — evaluation of the five LERT models on held-out test
+//!   errors (Figures 11–16, Table III).
+//! * [`archive`] — durable JSON campaign archives so one injection run
+//!   can feed many analyses (the logging stage of Figure 7).
+//! * [`render`] — ASCII tables and bar charts for experiment binaries.
+//! * [`experiments`] — one module per paper table/figure; the
+//!   `src/bin/*.rs` binaries are thin wrappers (see DESIGN.md for the
+//!   index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod archive;
+pub mod campaign;
+pub mod cli;
+pub mod dataset;
+pub mod experiments;
+pub mod lertsim;
+pub mod render;
+
+pub use archive::CampaignArchive;
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use dataset::Dataset;

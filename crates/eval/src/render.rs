@@ -1,0 +1,144 @@
+//! ASCII rendering for experiment binaries: aligned tables and
+//! horizontal bar charts.
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(&self.rows);
+        for row in all {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal bar chart: one labelled bar per entry, scaled to
+/// `width` characters at the maximum value, with the value annotated.
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.0}\n",
+            "#".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a cycle count with thousands separators.
+pub fn cycles(x: f64) -> String {
+    let v = x.round() as i64;
+    let s = v.abs().to_string();
+    let mut grouped = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            grouped.push(',');
+        }
+        grouped.push(c);
+    }
+    if v < 0 {
+        format!("-{grouped}")
+    } else {
+        grouped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+        // Value column aligned.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(
+            &[("small".to_owned(), 10.0), ("big".to_owned(), 100.0)],
+            20,
+        );
+        let small_bar = out.lines().next().unwrap().matches('#').count();
+        let big_bar = out.lines().nth(1).unwrap().matches('#').count();
+        assert_eq!(big_bar, 20);
+        assert_eq!(small_bar, 2);
+    }
+
+    #[test]
+    fn bar_chart_handles_zeroes() {
+        let out = bar_chart(&[("zero".to_owned(), 0.0)], 10);
+        assert!(out.contains("zero"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.425), "42.5%");
+        assert_eq!(cycles(1234567.0), "1,234,567");
+        assert_eq!(cycles(999.0), "999");
+        assert_eq!(cycles(-1000.0), "-1,000");
+    }
+}

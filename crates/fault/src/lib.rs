@@ -1,0 +1,198 @@
+//! Fault models and fault-injection campaign plans.
+//!
+//! The paper (Section IV-A) injects two kinds of random hardware faults
+//! into every flip-flop of the CPU:
+//!
+//! * a **soft (transient) fault** "is simulated by inverting the value
+//!   stored in a flip-flop for a simulation clock cycle";
+//! * a **hard (permanent) fault** "is simulated by keeping a stuck-at
+//!   value on the flip-flop until the end of simulation (i.e., covering
+//!   both stuck-at 0 and 1 faults)".
+//!
+//! [`Fault`] describes one such event at a specific [`FlopId`] and cycle;
+//! [`Fault::overlay`] applies it to a committing CPU state, which is how
+//! it enters the machine through [`lockstep_cpu::Cpu::step_with_overlay`].
+//! [`plan`] generates campaign fault lists mirroring the paper's
+//! benchmark-interval methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+
+use std::fmt;
+
+use lockstep_cpu::{flops, CpuState, FlopId, UnitId};
+
+pub use plan::{CampaignPlan, PlanConfig};
+
+/// The fault type dichotomy at the heart of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Error caused by a transient fault — recoverable by reset & restart.
+    Soft,
+    /// Error caused by a permanent (stuck-at) fault — unrecoverable.
+    Hard,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Soft => "soft",
+            ErrorKind::Hard => "hard",
+        })
+    }
+}
+
+/// A concrete fault model applied to one flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// One-cycle bit inversion.
+    Transient,
+    /// Output stuck at logic 0 from the injection cycle onwards.
+    StuckAt0,
+    /// Output stuck at logic 1 from the injection cycle onwards.
+    StuckAt1,
+}
+
+impl FaultKind {
+    /// The three fault kinds of the paper's methodology.
+    pub const ALL: [FaultKind; 3] = [FaultKind::Transient, FaultKind::StuckAt0, FaultKind::StuckAt1];
+
+    /// The error class a manifestation of this fault belongs to.
+    pub fn error_kind(self) -> ErrorKind {
+        match self {
+            FaultKind::Transient => ErrorKind::Soft,
+            FaultKind::StuckAt0 | FaultKind::StuckAt1 => ErrorKind::Hard,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Transient => "transient",
+            FaultKind::StuckAt0 => "stuck-at-0",
+            FaultKind::StuckAt1 => "stuck-at-1",
+        })
+    }
+}
+
+/// One fault-injection experiment: a kind, a flip-flop and a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The targeted flip-flop.
+    pub flop: FlopId,
+    /// The fault model.
+    pub kind: FaultKind,
+    /// The cycle at which the fault strikes (transient) or from which the
+    /// output sticks (permanent).
+    pub cycle: u64,
+}
+
+impl Fault {
+    /// Creates a fault.
+    pub fn new(flop: FlopId, kind: FaultKind, cycle: u64) -> Fault {
+        Fault { flop, kind, cycle }
+    }
+
+    /// The CPU unit the fault resides in.
+    pub fn unit(&self) -> UnitId {
+        flops::unit_of(self.flop)
+    }
+
+    /// Applies the fault to a state being committed at `cycle`.
+    ///
+    /// Call once per cycle, after next-state computation (the overlay hook
+    /// of `Cpu::step_with_overlay`).
+    pub fn overlay(&self, state: &mut CpuState, cycle: u64) {
+        match self.kind {
+            FaultKind::Transient => {
+                if cycle == self.cycle {
+                    flops::flip_bit(state, self.flop);
+                }
+            }
+            FaultKind::StuckAt0 => {
+                if cycle >= self.cycle {
+                    flops::set_bit(state, self.flop, false);
+                }
+            }
+            FaultKind::StuckAt1 => {
+                if cycle >= self.cycle {
+                    flops::set_bit(state, self.flop, true);
+                }
+            }
+        }
+    }
+
+    /// Human-readable description, e.g.
+    /// `"stuck-at-1 @ RF.regs[3].17 from cycle 4096"`.
+    pub fn describe(&self) -> String {
+        format!("{} @ {} from cycle {}", self.kind, flops::label_of(self.flop), self.cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::flops::{all_flops, get_bit};
+
+    fn some_flop() -> FlopId {
+        all_flops().nth(50).unwrap()
+    }
+
+    #[test]
+    fn transient_flips_exactly_once() {
+        let id = some_flop();
+        let mut state = CpuState::reset(0);
+        let before = get_bit(&state, id);
+        let fault = Fault::new(id, FaultKind::Transient, 10);
+        fault.overlay(&mut state, 9);
+        assert_eq!(get_bit(&state, id), before);
+        fault.overlay(&mut state, 10);
+        assert_eq!(get_bit(&state, id), !before);
+        // Subsequent cycles do not re-flip (logic would rewrite the flop).
+        fault.overlay(&mut state, 11);
+        assert_eq!(get_bit(&state, id), !before);
+    }
+
+    #[test]
+    fn stuck_at_applies_from_cycle_onwards() {
+        let id = some_flop();
+        let mut state = CpuState::reset(0);
+        let fault = Fault::new(id, FaultKind::StuckAt1, 5);
+        fault.overlay(&mut state, 4);
+        assert!(!get_bit(&state, id));
+        fault.overlay(&mut state, 5);
+        assert!(get_bit(&state, id));
+        // Logic "rewrites" the flop; the stuck-at forces it again.
+        lockstep_cpu::flops::set_bit(&mut state, id, false);
+        fault.overlay(&mut state, 6);
+        assert!(get_bit(&state, id));
+    }
+
+    #[test]
+    fn stuck_at_zero_forces_low() {
+        let id = some_flop();
+        let mut state = CpuState::reset(0);
+        lockstep_cpu::flops::set_bit(&mut state, id, true);
+        let fault = Fault::new(id, FaultKind::StuckAt0, 0);
+        fault.overlay(&mut state, 0);
+        assert!(!get_bit(&state, id));
+    }
+
+    #[test]
+    fn kinds_map_to_error_classes() {
+        assert_eq!(FaultKind::Transient.error_kind(), ErrorKind::Soft);
+        assert_eq!(FaultKind::StuckAt0.error_kind(), ErrorKind::Hard);
+        assert_eq!(FaultKind::StuckAt1.error_kind(), ErrorKind::Hard);
+    }
+
+    #[test]
+    fn describe_mentions_unit_and_kind() {
+        let f = Fault::new(some_flop(), FaultKind::StuckAt1, 42);
+        let d = f.describe();
+        assert!(d.contains("stuck-at-1"));
+        assert!(d.contains("42"));
+    }
+}

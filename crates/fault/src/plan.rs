@@ -1,0 +1,177 @@
+//! Campaign plan generation.
+//!
+//! The paper divides each benchmark's run into 64 equal intervals and
+//! injects exactly one fault per experiment, repeating over every
+//! flip-flop and every fault kind (Section IV-A). [`CampaignPlan`]
+//! reproduces that structure; because 10-million-fault exhaustive sweeps
+//! need a server cluster, it also supports uniform random sampling of the
+//! same (flop × interval × kind) space — the distributions converge long
+//! before exhaustion at our CPU's flop count.
+
+use lockstep_cpu::flops;
+use lockstep_stats::Xoshiro256;
+
+use crate::{Fault, FaultKind};
+
+/// Configuration for a fault-injection campaign over one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Length of the fault-free (golden) run in cycles; injection cycles
+    /// are drawn from `[1, run_cycles)`.
+    pub run_cycles: u64,
+    /// Number of equal injection intervals (the paper uses 64).
+    pub intervals: u32,
+    /// RNG seed for interval selection / sampling.
+    pub seed: u64,
+}
+
+impl PlanConfig {
+    /// A plan over `run_cycles` with the paper's 64 intervals.
+    pub fn new(run_cycles: u64, seed: u64) -> PlanConfig {
+        PlanConfig { run_cycles, intervals: 64, seed }
+    }
+}
+
+/// A generated list of fault-injection experiments.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    faults: Vec<Fault>,
+}
+
+impl CampaignPlan {
+    /// The paper's exhaustive sweep: every flip-flop × every fault kind,
+    /// each at one random cycle within each of `per_flop_intervals`
+    /// distinct intervals.
+    ///
+    /// The full methodology uses all 64 intervals per flop; passing a
+    /// smaller `per_flop_intervals` subsamples intervals while keeping
+    /// flop coverage exhaustive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.run_cycles < config.intervals` or
+    /// `per_flop_intervals` is zero or exceeds `config.intervals`.
+    pub fn exhaustive(config: PlanConfig, per_flop_intervals: u32) -> CampaignPlan {
+        assert!(config.run_cycles >= u64::from(config.intervals), "run too short");
+        assert!(
+            per_flop_intervals >= 1 && per_flop_intervals <= config.intervals,
+            "per_flop_intervals out of range"
+        );
+        let mut rng = Xoshiro256::seed_from(config.seed);
+        let interval_len = config.run_cycles / u64::from(config.intervals);
+        let mut faults = Vec::new();
+        let mut intervals: Vec<u32> = (0..config.intervals).collect();
+        for flop in flops::all_flops() {
+            rng.shuffle(&mut intervals);
+            for &interval in intervals.iter().take(per_flop_intervals as usize) {
+                let base = u64::from(interval) * interval_len;
+                for kind in FaultKind::ALL {
+                    let cycle = (base + rng.below(interval_len)).max(1);
+                    faults.push(Fault::new(flop, kind, cycle));
+                }
+            }
+        }
+        CampaignPlan { faults }
+    }
+
+    /// Uniform random sample of `n` experiments from the
+    /// (flop × interval × kind) space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.run_cycles < config.intervals`.
+    pub fn sampled(config: PlanConfig, n: usize) -> CampaignPlan {
+        assert!(config.run_cycles >= u64::from(config.intervals), "run too short");
+        let mut rng = Xoshiro256::seed_from(config.seed);
+        let all: Vec<_> = flops::all_flops().collect();
+        let interval_len = config.run_cycles / u64::from(config.intervals);
+        let faults = (0..n)
+            .map(|_| {
+                let flop = *rng.choose(&all).expect("cpu has flops");
+                let kind = FaultKind::ALL[rng.below(3) as usize];
+                let interval = rng.below(u64::from(config.intervals));
+                let cycle = (interval * interval_len + rng.below(interval_len)).max(1);
+                Fault::new(flop, kind, cycle)
+            })
+            .collect();
+        CampaignPlan { faults }
+    }
+
+    /// The planned experiments.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of experiments.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl IntoIterator for CampaignPlan {
+    type Item = Fault;
+    type IntoIter = std::vec::IntoIter<Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::UnitId;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exhaustive_covers_every_flop_and_kind() {
+        let plan = CampaignPlan::exhaustive(PlanConfig::new(6400, 1), 1);
+        assert_eq!(plan.len() as u32, flops::total_flops() * 3);
+        let flops_seen: HashSet<_> = plan.faults().iter().map(|f| f.flop).collect();
+        assert_eq!(flops_seen.len() as u32, flops::total_flops());
+        let kinds: HashSet<_> = plan.faults().iter().map(|f| f.kind).collect();
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn cycles_lie_within_run() {
+        let cfg = PlanConfig::new(6400, 9);
+        for f in CampaignPlan::sampled(cfg, 2000).faults() {
+            assert!(f.cycle >= 1 && f.cycle < 6400, "cycle {} out of range", f.cycle);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cfg = PlanConfig::new(6400, 5);
+        let a = CampaignPlan::sampled(cfg, 100);
+        let b = CampaignPlan::sampled(cfg, 100);
+        assert_eq!(a.faults(), b.faults());
+        let c = CampaignPlan::sampled(PlanConfig::new(6400, 6), 100);
+        assert_ne!(a.faults(), c.faults());
+    }
+
+    #[test]
+    fn sample_hits_all_units_eventually() {
+        let plan = CampaignPlan::sampled(PlanConfig::new(6400, 3), 5000);
+        let units: HashSet<UnitId> = plan.faults().iter().map(Fault::unit).collect();
+        assert_eq!(units.len(), UnitId::ALL.len(), "missing units: {units:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "run too short")]
+    fn short_run_panics() {
+        let _ = CampaignPlan::sampled(PlanConfig::new(10, 0), 1);
+    }
+
+    #[test]
+    fn into_iterator_yields_all() {
+        let plan = CampaignPlan::sampled(PlanConfig::new(6400, 2), 17);
+        assert_eq!(plan.clone().into_iter().count(), plan.len());
+    }
+}

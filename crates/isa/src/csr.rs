@@ -1,0 +1,133 @@
+//! Control and status registers of the system control unit (SCU).
+
+use std::fmt;
+
+macro_rules! csrs {
+    ($( $name:ident = $code:expr, $text:expr, $doc:expr ; )+) => {
+        /// A control/status register address, accessed with `csrr`/`csrw`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum Csr {
+            $( #[doc = $doc] $name = $code, )+
+        }
+
+        impl Csr {
+            /// All CSRs in address order.
+            pub const ALL: &'static [Csr] = &[ $( Csr::$name, )+ ];
+
+            /// Decodes the 8-bit CSR address field.
+            pub fn from_bits(bits: u32) -> Option<Csr> {
+                match bits {
+                    $( $code => Some(Csr::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The assembly-level name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( Csr::$name => $text, )+
+                }
+            }
+
+            /// Looks a CSR up by its assembly-level name.
+            pub fn parse(s: &str) -> Option<Csr> {
+                match s {
+                    $( $text => Some(Csr::$name), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+csrs! {
+    Cycle    = 0x00, "cycle",    "Free-running cycle counter (low 32 bits), read-only.";
+    Instret  = 0x01, "instret",  "Retired-instruction counter (low 32 bits), read-only.";
+    Status   = 0x02, "status",   "Processor status word.";
+    Cause    = 0x03, "cause",    "Cause code of the most recent trap.";
+    Epc      = 0x04, "epc",      "PC of the instruction that trapped.";
+    Tvec     = 0x05, "tvec",     "Trap vector; zero selects the default vector.";
+    Scratch0 = 0x06, "scratch0", "Scratch register for handler software.";
+    Scratch1 = 0x07, "scratch1", "Second scratch register.";
+    Misr     = 0x08, "misr",     "Signature register: writes fold the value into a rotating MISR, used by software test libraries.";
+    Hartid   = 0x09, "hartid",   "Identity of this CPU inside the lockstep pair, read-only.";
+}
+
+impl Csr {
+    /// The raw 8-bit address encoding.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// `true` if software writes are ignored.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, Csr::Cycle | Csr::Instret | Csr::Hartid)
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Folds a written value into a multiple-input signature register value,
+/// mirroring the SCU's hardware behaviour for [`Csr::Misr`] writes.
+///
+/// The fold is `misr' = rotl(misr, 1) ^ value ^ 0x9E3779B9`, a cheap
+/// diffusion that makes the final signature sensitive to both the values
+/// and the order in which a software test library produced them.
+#[inline]
+pub fn misr_fold(misr: u32, value: u32) -> u32 {
+    misr.rotate_left(1) ^ value ^ 0x9E37_79B9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for &c in Csr::ALL {
+            assert_eq!(Csr::from_bits(c.bits()), Some(c));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for &c in Csr::ALL {
+            assert_eq!(Csr::parse(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert_eq!(Csr::from_bits(0xFF), None);
+        assert_eq!(Csr::parse("bogus"), None);
+    }
+
+    #[test]
+    fn read_only_set() {
+        assert!(Csr::Cycle.is_read_only());
+        assert!(Csr::Hartid.is_read_only());
+        assert!(!Csr::Scratch0.is_read_only());
+        assert!(!Csr::Misr.is_read_only());
+    }
+
+    #[test]
+    fn misr_fold_order_sensitive() {
+        let a = misr_fold(misr_fold(0, 1), 2);
+        let b = misr_fold(misr_fold(0, 2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn misr_fold_value_sensitive() {
+        let base = misr_fold(0x1234_5678, 0);
+        for bit in 0..32 {
+            assert_ne!(misr_fold(0x1234_5678, 1 << bit), base);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Decoded instructions, binary encoding and disassembly.
+
+use std::fmt;
+
+use crate::csr::Csr;
+use crate::opcode::{Format, Opcode};
+use crate::reg::Reg;
+
+/// A decoded LR5 instruction.
+///
+/// The flat field layout (`rd`, `rs1`, `rs2`, `imm`) mirrors what the
+/// decode unit latches in hardware; fields not used by the instruction's
+/// [`Format`] are zero by convention.
+///
+/// # Example
+///
+/// ```
+/// use lockstep_isa::{Instr, Opcode, Reg};
+/// let i = Instr::ri(Opcode::Addi, Reg::A0, Reg::ZERO, 42);
+/// assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The major opcode.
+    pub op: Opcode,
+    /// Destination register (data register for stores).
+    pub rd: Reg,
+    /// First source register (base register for loads/stores).
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate operand. Branch and jump immediates are in *words*
+    /// relative to the instruction's own PC; CSR instructions carry the
+    /// CSR address here.
+    pub imm: i32,
+}
+
+/// Errors produced by [`Instr::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 6-bit major opcode field does not name an instruction.
+    IllegalOpcode {
+        /// The offending opcode field value.
+        bits: u32,
+    },
+    /// A `csrr`/`csrw` instruction names an unknown CSR.
+    IllegalCsr {
+        /// The offending CSR address field value.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::IllegalOpcode { bits } => {
+                write!(f, "illegal opcode field {bits:#04x}")
+            }
+            DecodeError::IllegalCsr { bits } => write!(f, "illegal csr address {bits:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const IMM16_MIN: i32 = -(1 << 15);
+const IMM16_MAX: i32 = (1 << 15) - 1;
+const IMM21_MIN: i32 = -(1 << 20);
+const IMM21_MAX: i32 = (1 << 20) - 1;
+
+impl Instr {
+    /// Builds a three-register ALU instruction `op rd, rs1, rs2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not an R-format opcode.
+    pub fn rrr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+        assert_eq!(op.format(), Format::R, "{op} is not an R-format opcode");
+        Instr { op, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// Builds a register-immediate instruction `op rd, rs1, imm`
+    /// (also used for `jalr rd, rs1, imm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not an I-format opcode or `imm` exceeds 16 signed
+    /// bits.
+    pub fn ri(op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        assert_eq!(op.format(), Format::I, "{op} is not an I-format opcode");
+        assert!((IMM16_MIN..=IMM16_MAX).contains(&imm), "imm16 out of range: {imm}");
+        Instr { op, rd, rs1, rs2: Reg::ZERO, imm }
+    }
+
+    /// Builds a load `op rd, offset(base)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a load or `offset` exceeds 16 signed bits.
+    pub fn load(op: Opcode, rd: Reg, base: Reg, offset: i32) -> Instr {
+        assert_eq!(op.format(), Format::Load, "{op} is not a load opcode");
+        assert!((IMM16_MIN..=IMM16_MAX).contains(&offset), "offset out of range: {offset}");
+        Instr { op, rd, rs1: base, rs2: Reg::ZERO, imm: offset }
+    }
+
+    /// Builds a store `op data, offset(base)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a store or `offset` exceeds 16 signed bits.
+    pub fn store(op: Opcode, data: Reg, base: Reg, offset: i32) -> Instr {
+        assert_eq!(op.format(), Format::Store, "{op} is not a store opcode");
+        assert!((IMM16_MIN..=IMM16_MAX).contains(&offset), "offset out of range: {offset}");
+        Instr { op, rd: data, rs1: base, rs2: Reg::ZERO, imm: offset }
+    }
+
+    /// Builds a conditional branch `op rs1, rs2, imm` where `imm` is the
+    /// branch displacement in words relative to this instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a branch or `imm` exceeds 16 signed bits.
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, imm_words: i32) -> Instr {
+        assert_eq!(op.format(), Format::B, "{op} is not a branch opcode");
+        assert!((IMM16_MIN..=IMM16_MAX).contains(&imm_words), "branch offset out of range");
+        Instr { op, rd: Reg::ZERO, rs1, rs2, imm: imm_words }
+    }
+
+    /// Builds `jal rd, imm` where `imm` is the displacement in words
+    /// relative to this instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 21 signed bits.
+    pub fn jal(rd: Reg, imm_words: i32) -> Instr {
+        assert!((IMM21_MIN..=IMM21_MAX).contains(&imm_words), "jump offset out of range");
+        Instr { op: Opcode::Jal, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: imm_words }
+    }
+
+    /// Builds `lui rd, imm16` (`rd = imm << 16`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` does not fit in 16 unsigned bits.
+    pub fn lui(rd: Reg, imm: u32) -> Instr {
+        assert!(imm <= 0xFFFF, "lui immediate out of range: {imm:#x}");
+        Instr { op: Opcode::Lui, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: imm as i32 }
+    }
+
+    /// Builds `csrr rd, csr`.
+    pub fn csrr(rd: Reg, csr: Csr) -> Instr {
+        Instr { op: Opcode::Csrr, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: csr.bits() as i32 }
+    }
+
+    /// Builds `csrw csr, rs1`.
+    pub fn csrw(csr: Csr, rs1: Reg) -> Instr {
+        Instr { op: Opcode::Csrw, rd: Reg::ZERO, rs1, rs2: Reg::ZERO, imm: csr.bits() as i32 }
+    }
+
+    /// Builds `ecall` (used by programs to signal completion).
+    pub fn ecall() -> Instr {
+        Instr { op: Opcode::Ecall, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 }
+    }
+
+    /// Builds `ebreak`.
+    pub fn ebreak() -> Instr {
+        Instr { op: Opcode::Ebreak, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 }
+    }
+
+    /// The canonical no-operation (`addi zero, zero, 0`).
+    pub fn nop() -> Instr {
+        Instr::ri(Opcode::Addi, Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// The CSR addressed by a `csrr`/`csrw` instruction.
+    ///
+    /// Returns `None` for other opcodes (or a corrupted CSR field).
+    pub fn csr(&self) -> Option<Csr> {
+        match self.op {
+            Opcode::Csrr | Opcode::Csrw => Csr::from_bits(self.imm as u32 & 0xFF),
+            _ => None,
+        }
+    }
+
+    /// Encodes into a 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        let op = self.op.bits() << 26;
+        match self.op.format() {
+            Format::R => op | self.rd.bits() << 21 | self.rs1.bits() << 16 | self.rs2.bits() << 11,
+            Format::I | Format::Load => {
+                op | self.rd.bits() << 21 | self.rs1.bits() << 16 | (self.imm as u32 & 0xFFFF)
+            }
+            Format::Store => {
+                op | self.rd.bits() << 21 | self.rs1.bits() << 16 | (self.imm as u32 & 0xFFFF)
+            }
+            Format::B => {
+                op | self.rs1.bits() << 21 | self.rs2.bits() << 16 | (self.imm as u32 & 0xFFFF)
+            }
+            Format::J => op | self.rd.bits() << 21 | (self.imm as u32 & 0x001F_FFFF),
+            Format::U => op | self.rd.bits() << 21 | (self.imm as u32 & 0xFFFF),
+            Format::Sys => match self.op {
+                Opcode::Csrr => op | self.rd.bits() << 21 | (self.imm as u32 & 0xFF),
+                Opcode::Csrw => op | self.rs1.bits() << 16 | (self.imm as u32 & 0xFF),
+                _ => op,
+            },
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::IllegalOpcode`] when the major opcode field
+    /// is unassigned and [`DecodeError::IllegalCsr`] when a CSR
+    /// instruction names an unknown register. These become
+    /// illegal-instruction traps in the pipeline, which matters for fault
+    /// injection: a corrupted fetch must take a *defined* path through the
+    /// CPU rather than aborting simulation.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let op_bits = word >> 26;
+        let op = Opcode::from_bits(op_bits).ok_or(DecodeError::IllegalOpcode { bits: op_bits })?;
+        let f21 = Reg::new(((word >> 21) & 0x1F) as u8);
+        let f16 = Reg::new(((word >> 16) & 0x1F) as u8);
+        let f11 = Reg::new(((word >> 11) & 0x1F) as u8);
+        let imm16 = (word & 0xFFFF) as u16 as i16 as i32;
+        Ok(match op.format() {
+            Format::R => Instr { op, rd: f21, rs1: f16, rs2: f11, imm: 0 },
+            Format::I | Format::Load => {
+                Instr { op, rd: f21, rs1: f16, rs2: Reg::ZERO, imm: imm16 }
+            }
+            Format::Store => Instr { op, rd: f21, rs1: f16, rs2: Reg::ZERO, imm: imm16 },
+            Format::B => Instr { op, rd: Reg::ZERO, rs1: f21, rs2: f16, imm: imm16 },
+            Format::J => {
+                // Sign-extend the 21-bit field.
+                let raw = word & 0x001F_FFFF;
+                let imm = ((raw << 11) as i32) >> 11;
+                Instr { op, rd: f21, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+            }
+            Format::U => {
+                Instr { op, rd: f21, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: (word & 0xFFFF) as i32 }
+            }
+            Format::Sys => {
+                let csr_bits = word & 0xFF;
+                match op {
+                    Opcode::Csrr => {
+                        Csr::from_bits(csr_bits)
+                            .ok_or(DecodeError::IllegalCsr { bits: csr_bits })?;
+                        Instr {
+                            op,
+                            rd: f21,
+                            rs1: Reg::ZERO,
+                            rs2: Reg::ZERO,
+                            imm: csr_bits as i32,
+                        }
+                    }
+                    Opcode::Csrw => {
+                        Csr::from_bits(csr_bits)
+                            .ok_or(DecodeError::IllegalCsr { bits: csr_bits })?;
+                        Instr {
+                            op,
+                            rd: Reg::ZERO,
+                            rs1: f16,
+                            rs2: Reg::ZERO,
+                            imm: csr_bits as i32,
+                        }
+                    }
+                    _ => Instr { op, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 },
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.format() {
+            Format::R => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            Format::I => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            Format::Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            Format::Store => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            Format::B => write!(f, "{m} {}, {}, {:+}", self.rs1, self.rs2, self.imm),
+            Format::J => write!(f, "{m} {}, {:+}", self.rd, self.imm),
+            Format::U => write!(f, "{m} {}, {:#x}", self.rd, self.imm),
+            Format::Sys => match self.op {
+                Opcode::Csrr => match self.csr() {
+                    Some(c) => write!(f, "{m} {}, {c}", self.rd),
+                    None => write!(f, "{m} {}, csr#{}", self.rd, self.imm),
+                },
+                Opcode::Csrw => match self.csr() {
+                    Some(c) => write!(f, "{m} {c}, {}", self.rs1),
+                    None => write!(f, "{m} csr#{}, {}", self.imm, self.rs1),
+                },
+                _ => f.write_str(m),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instr) {
+        assert_eq!(Instr::decode(i.encode()), Ok(i), "round trip failed for {i}");
+    }
+
+    #[test]
+    fn round_trip_r_format() {
+        round_trip(Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2));
+        round_trip(Instr::rrr(Opcode::Mul, Reg::T6, Reg::ZERO, Reg::S11));
+        round_trip(Instr::rrr(Opcode::Remu, Reg::S0, Reg::S0, Reg::S0));
+    }
+
+    #[test]
+    fn round_trip_i_format_extremes() {
+        round_trip(Instr::ri(Opcode::Addi, Reg::A0, Reg::A1, -32768));
+        round_trip(Instr::ri(Opcode::Addi, Reg::A0, Reg::A1, 32767));
+        round_trip(Instr::ri(Opcode::Xori, Reg::T0, Reg::T1, -1));
+        round_trip(Instr::ri(Opcode::Jalr, Reg::RA, Reg::A0, 16));
+    }
+
+    #[test]
+    fn round_trip_memory() {
+        round_trip(Instr::load(Opcode::Lw, Reg::A0, Reg::SP, -4));
+        round_trip(Instr::load(Opcode::Lbu, Reg::T3, Reg::GP, 255));
+        round_trip(Instr::store(Opcode::Sw, Reg::A0, Reg::SP, -8));
+        round_trip(Instr::store(Opcode::Sb, Reg::T6, Reg::ZERO, 1));
+    }
+
+    #[test]
+    fn round_trip_control() {
+        round_trip(Instr::branch(Opcode::Beq, Reg::A0, Reg::A1, -100));
+        round_trip(Instr::branch(Opcode::Bgeu, Reg::T0, Reg::T1, 32767));
+        round_trip(Instr::jal(Reg::RA, -1_048_576));
+        round_trip(Instr::jal(Reg::ZERO, 1_048_575));
+    }
+
+    #[test]
+    fn round_trip_system() {
+        round_trip(Instr::lui(Reg::A0, 0xFFFF));
+        round_trip(Instr::csrr(Reg::A0, Csr::Cycle));
+        round_trip(Instr::csrw(Csr::Misr, Reg::A1));
+        round_trip(Instr::ecall());
+        round_trip(Instr::ebreak());
+        round_trip(Instr::nop());
+    }
+
+    #[test]
+    fn illegal_opcode_detected() {
+        let word = 0x3Fu32 << 26;
+        assert_eq!(Instr::decode(word), Err(DecodeError::IllegalOpcode { bits: 0x3F }));
+    }
+
+    #[test]
+    fn illegal_csr_detected() {
+        let word = Opcode::Csrr.bits() << 26 | 0xEE;
+        assert_eq!(Instr::decode(word), Err(DecodeError::IllegalCsr { bits: 0xEE }));
+    }
+
+    #[test]
+    fn disassembly_smoke() {
+        assert_eq!(Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2).to_string(), "add a0, a1, a2");
+        assert_eq!(Instr::ri(Opcode::Addi, Reg::A0, Reg::ZERO, -5).to_string(), "addi a0, zero, -5");
+        assert_eq!(Instr::load(Opcode::Lw, Reg::A0, Reg::SP, 8).to_string(), "lw a0, 8(sp)");
+        assert_eq!(Instr::store(Opcode::Sw, Reg::A0, Reg::SP, 8).to_string(), "sw a0, 8(sp)");
+        assert_eq!(Instr::branch(Opcode::Bne, Reg::A0, Reg::A1, -2).to_string(), "bne a0, a1, -2");
+        assert_eq!(Instr::jal(Reg::RA, 4).to_string(), "jal ra, +4");
+        assert_eq!(Instr::csrr(Reg::A0, Csr::Cycle).to_string(), "csrr a0, cycle");
+        assert_eq!(Instr::csrw(Csr::Misr, Reg::A1).to_string(), "csrw misr, a1");
+        assert_eq!(Instr::ecall().to_string(), "ecall");
+    }
+
+    #[test]
+    #[should_panic(expected = "imm16 out of range")]
+    fn oversized_imm_panics() {
+        let _ = Instr::ri(Opcode::Addi, Reg::A0, Reg::A0, 40000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an R-format")]
+    fn wrong_format_ctor_panics() {
+        let _ = Instr::rrr(Opcode::Addi, Reg::A0, Reg::A0, Reg::A0);
+    }
+
+    #[test]
+    fn exhaustive_opcode_round_trip() {
+        // Every opcode encodes and decodes with representative operands.
+        for &op in Opcode::ALL {
+            let i = match op.format() {
+                Format::R => Instr::rrr(op, Reg::A3, Reg::T2, Reg::S5),
+                Format::I => Instr::ri(op, Reg::A3, Reg::T2, -7),
+                Format::Load => Instr::load(op, Reg::A3, Reg::T2, 12),
+                Format::Store => Instr::store(op, Reg::A3, Reg::T2, 12),
+                Format::B => Instr::branch(op, Reg::A3, Reg::T2, 9),
+                Format::J => Instr::jal(Reg::A3, 1234),
+                Format::U => Instr::lui(Reg::A3, 0xBEEF),
+                Format::Sys => match op {
+                    Opcode::Csrr => Instr::csrr(Reg::A3, Csr::Epc),
+                    Opcode::Csrw => Instr::csrw(Csr::Epc, Reg::T2),
+                    Opcode::Ecall => Instr::ecall(),
+                    _ => Instr::ebreak(),
+                },
+            };
+            round_trip(i);
+        }
+    }
+}

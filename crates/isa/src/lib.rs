@@ -1,0 +1,71 @@
+//! The LR5 instruction set architecture.
+//!
+//! LR5 is a small 32-bit RISC ISA designed for this reproduction as a
+//! stand-in for the Arm Cortex-R5's instruction set. The paper's phenomenon
+//! does not depend on ISA specifics (Section VII: "the concept does not rely
+//! on the specifics of the ISA or microarchitecture"), so LR5 keeps the
+//! properties that matter — a classic register machine with loads/stores,
+//! branches, multi-cycle multiply/divide and system registers — while being
+//! fully implementable from scratch.
+//!
+//! * 32 general-purpose registers, `r0` hardwired to zero ([`Reg`]).
+//! * Fixed 32-bit instruction words, 6-bit major opcode ([`Opcode`]).
+//! * Formats: register (R), immediate (I), load/store, branch (B),
+//!   jump (J), upper-immediate (U) and system/CSR ([`Format`]).
+//! * Control and status registers for the system control unit ([`Csr`]),
+//!   including a `MISR` signature register used by the software test
+//!   libraries in `lockstep-bist`.
+//!
+//! # Example
+//!
+//! ```
+//! use lockstep_isa::{Instr, Opcode, Reg};
+//!
+//! let add = Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2);
+//! let word = add.encode();
+//! let back = Instr::decode(word).unwrap();
+//! assert_eq!(add, back);
+//! assert_eq!(back.to_string(), "add a0, a1, a2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod instr;
+pub mod opcode;
+pub mod reg;
+
+pub use csr::Csr;
+pub use instr::{DecodeError, Instr};
+pub use opcode::{Format, Opcode};
+pub use reg::Reg;
+
+/// The architectural reset value of the program counter.
+pub const RESET_PC: u32 = 0x0000_0000;
+
+/// The default trap vector (used when CSR `TVEC` is zero).
+pub const DEFAULT_TRAP_VECTOR: u32 = 0x0000_0008;
+
+/// Trap cause codes written to CSR `CAUSE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum TrapCause {
+    /// An instruction word failed to decode.
+    IllegalInstruction = 1,
+    /// A load or store address was not aligned to its access size.
+    MisalignedAccess = 2,
+    /// A bus access terminated with an error response.
+    BusError = 3,
+    /// An `ecall` instruction was executed.
+    EnvironmentCall = 4,
+    /// An `ebreak` instruction was executed.
+    Breakpoint = 5,
+}
+
+impl TrapCause {
+    /// The numeric cause code as stored in the `CAUSE` CSR.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+}

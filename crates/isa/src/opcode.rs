@@ -1,0 +1,289 @@
+//! Major opcodes and instruction formats.
+
+use std::fmt;
+
+/// Instruction encoding formats.
+///
+/// The 6-bit major opcode sits in bits `[31:26]` of every instruction
+/// word; the remaining 26 bits are laid out per format:
+///
+/// | Format | `[25:21]` | `[20:16]` | `[15:0]` |
+/// |--------|-----------|-----------|----------|
+/// | R      | rd        | rs1       | rs2 in `[15:11]` |
+/// | I      | rd        | rs1       | imm16 (sign-extended) |
+/// | Load   | rd        | rs1 (base)| offset16 |
+/// | Store  | rs2 (data)| rs1 (base)| offset16 |
+/// | B      | rs1       | rs2       | word offset16 (PC-relative) |
+/// | J      | rd        | imm21 in `[20:0]` (word offset) | |
+/// | U      | rd        | —         | imm16 (`rd = imm << 16`) |
+/// | Sys    | rd        | rs1       | csr in `[7:0]` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Three-register ALU operation: `op rd, rs1, rs2`.
+    R,
+    /// Register-immediate ALU operation: `op rd, rs1, imm`.
+    I,
+    /// Load: `op rd, imm(rs1)`.
+    Load,
+    /// Store: `op rs2, imm(rs1)`.
+    Store,
+    /// Conditional branch: `op rs1, rs2, target`.
+    B,
+    /// Unconditional jump-and-link: `jal rd, target`.
+    J,
+    /// Upper immediate: `lui rd, imm`.
+    U,
+    /// System / CSR operations.
+    Sys,
+}
+
+macro_rules! opcodes {
+    ($( $name:ident = $code:expr, $mnemonic:expr, $format:ident ; )+) => {
+        /// An LR5 major opcode.
+        ///
+        /// Each opcode fully determines the instruction's behaviour; there
+        /// are no secondary function fields, which keeps the decode unit
+        /// small and the fault-injection surface easy to reason about.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $( $name = $code, )+
+        }
+
+        impl Opcode {
+            /// All opcodes in encoding order.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$name, )+ ];
+
+            /// Decodes the 6-bit major opcode field.
+            pub fn from_bits(bits: u32) -> Option<Opcode> {
+                match bits {
+                    $( $code => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$name => $mnemonic, )+
+                }
+            }
+
+            /// Looks an opcode up by mnemonic.
+            pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+                match s {
+                    $( $mnemonic => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The instruction format this opcode uses.
+            pub fn format(self) -> Format {
+                match self {
+                    $( Opcode::$name => Format::$format, )+
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ALU register-register.
+    Add   = 0x00, "add",   R;
+    Sub   = 0x01, "sub",   R;
+    And   = 0x02, "and",   R;
+    Or    = 0x03, "or",    R;
+    Xor   = 0x04, "xor",   R;
+    Sll   = 0x05, "sll",   R;
+    Srl   = 0x06, "srl",   R;
+    Sra   = 0x07, "sra",   R;
+    Slt   = 0x08, "slt",   R;
+    Sltu  = 0x09, "sltu",  R;
+    // Multi-cycle multiply/divide (executed in the MDV sub-unit).
+    Mul   = 0x0A, "mul",   R;
+    Mulh  = 0x0B, "mulh",  R;
+    Mulhu = 0x0C, "mulhu", R;
+    Div   = 0x0D, "div",   R;
+    Divu  = 0x0E, "divu",  R;
+    Rem   = 0x0F, "rem",   R;
+    Remu  = 0x10, "remu",  R;
+    // ALU register-immediate.
+    Addi  = 0x11, "addi",  I;
+    Andi  = 0x12, "andi",  I;
+    Ori   = 0x13, "ori",   I;
+    Xori  = 0x14, "xori",  I;
+    Slli  = 0x15, "slli",  I;
+    Srli  = 0x16, "srli",  I;
+    Srai  = 0x17, "srai",  I;
+    Slti  = 0x18, "slti",  I;
+    Sltiu = 0x19, "sltiu", I;
+    Lui   = 0x1A, "lui",   U;
+    // Loads.
+    Lw    = 0x1B, "lw",    Load;
+    Lh    = 0x1C, "lh",    Load;
+    Lhu   = 0x1D, "lhu",   Load;
+    Lb    = 0x1E, "lb",    Load;
+    Lbu   = 0x1F, "lbu",   Load;
+    // Stores.
+    Sw    = 0x20, "sw",    Store;
+    Sh    = 0x21, "sh",    Store;
+    Sb    = 0x22, "sb",    Store;
+    // Branches.
+    Beq   = 0x23, "beq",   B;
+    Bne   = 0x24, "bne",   B;
+    Blt   = 0x25, "blt",   B;
+    Bge   = 0x26, "bge",   B;
+    Bltu  = 0x27, "bltu",  B;
+    Bgeu  = 0x28, "bgeu",  B;
+    // Jumps.
+    Jal   = 0x29, "jal",   J;
+    Jalr  = 0x2A, "jalr",  I;
+    // System.
+    Csrr  = 0x2B, "csrr",  Sys;
+    Csrw  = 0x2C, "csrw",  Sys;
+    Ecall = 0x2D, "ecall", Sys;
+    Ebreak= 0x2E, "ebreak",Sys;
+}
+
+impl Opcode {
+    /// The raw 6-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// `true` for `lw/lh/lhu/lb/lbu`.
+    pub fn is_load(self) -> bool {
+        self.format() == Format::Load
+    }
+
+    /// `true` for `sw/sh/sb`.
+    pub fn is_store(self) -> bool {
+        self.format() == Format::Store
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_branch(self) -> bool {
+        self.format() == Format::B
+    }
+
+    /// `true` for `jal`/`jalr`.
+    pub fn is_jump(self) -> bool {
+        matches!(self, Opcode::Jal | Opcode::Jalr)
+    }
+
+    /// `true` for the multi-cycle multiply/divide group.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            Opcode::Mul
+                | Opcode::Mulh
+                | Opcode::Mulhu
+                | Opcode::Div
+                | Opcode::Divu
+                | Opcode::Rem
+                | Opcode::Remu
+        )
+    }
+
+    /// `true` for the divide/remainder group (longest latency).
+    pub fn is_div(self) -> bool {
+        matches!(self, Opcode::Div | Opcode::Divu | Opcode::Rem | Opcode::Remu)
+    }
+
+    /// Number of bytes accessed by a load/store opcode (1, 2 or 4);
+    /// `None` for non-memory opcodes.
+    pub fn access_size(self) -> Option<u32> {
+        match self {
+            Opcode::Lw | Opcode::Sw => Some(4),
+            Opcode::Lh | Opcode::Lhu | Opcode::Sh => Some(2),
+            Opcode::Lb | Opcode::Lbu | Opcode::Sb => Some(1),
+            _ => None,
+        }
+    }
+
+    /// `true` if the opcode writes a destination register.
+    pub fn writes_rd(self) -> bool {
+        matches!(
+            self.format(),
+            Format::R | Format::I | Format::Load | Format::U
+        ) || matches!(self, Opcode::Jal | Opcode::Csrr)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op.bits()), Some(op));
+        }
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn unknown_bits_rejected() {
+        assert_eq!(Opcode::from_bits(0x3F), None);
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.bits()), "duplicate encoding for {op}");
+            assert!(op.bits() < 64, "opcode {op} does not fit in 6 bits");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Opcode::Lw.is_load());
+        assert!(!Opcode::Lw.is_store());
+        assert!(Opcode::Sb.is_store());
+        assert!(Opcode::Beq.is_branch());
+        assert!(Opcode::Jal.is_jump());
+        assert!(Opcode::Jalr.is_jump());
+        assert!(Opcode::Div.is_muldiv());
+        assert!(Opcode::Div.is_div());
+        assert!(Opcode::Mul.is_muldiv());
+        assert!(!Opcode::Mul.is_div());
+        assert!(!Opcode::Add.is_muldiv());
+    }
+
+    #[test]
+    fn access_sizes() {
+        assert_eq!(Opcode::Lw.access_size(), Some(4));
+        assert_eq!(Opcode::Lhu.access_size(), Some(2));
+        assert_eq!(Opcode::Sb.access_size(), Some(1));
+        assert_eq!(Opcode::Add.access_size(), None);
+    }
+
+    #[test]
+    fn writes_rd_classification() {
+        assert!(Opcode::Add.writes_rd());
+        assert!(Opcode::Lw.writes_rd());
+        assert!(Opcode::Jal.writes_rd());
+        assert!(Opcode::Jalr.writes_rd());
+        assert!(Opcode::Csrr.writes_rd());
+        assert!(!Opcode::Sw.writes_rd());
+        assert!(!Opcode::Beq.writes_rd());
+        assert!(!Opcode::Ecall.writes_rd());
+        assert!(!Opcode::Csrw.writes_rd());
+    }
+}

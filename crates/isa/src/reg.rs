@@ -1,0 +1,199 @@
+//! General-purpose register identifiers.
+
+use std::fmt;
+
+/// One of the 32 LR5 general-purpose registers.
+///
+/// `r0` (alias `zero`) is architecturally hardwired to zero: writes are
+/// ignored, reads return 0. The remaining registers follow a RISC-style
+/// ABI naming convention used by the assembler and disassembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register `r1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `r2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `r3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `r4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `t0` = `r5`.
+    pub const T0: Reg = Reg(5);
+    /// Temporary `t1` = `r6`.
+    pub const T1: Reg = Reg(6);
+    /// Temporary `t2` = `r7`.
+    pub const T2: Reg = Reg(7);
+    /// Saved register `s0` = `r8`.
+    pub const S0: Reg = Reg(8);
+    /// Saved register `s1` = `r9`.
+    pub const S1: Reg = Reg(9);
+    /// Argument/result register `a0` = `r10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument register `a1` = `r11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument register `a2` = `r12`.
+    pub const A2: Reg = Reg(12);
+    /// Argument register `a3` = `r13`.
+    pub const A3: Reg = Reg(13);
+    /// Argument register `a4` = `r14`.
+    pub const A4: Reg = Reg(14);
+    /// Argument register `a5` = `r15`.
+    pub const A5: Reg = Reg(15);
+    /// Argument register `a6` = `r16`.
+    pub const A6: Reg = Reg(16);
+    /// Argument register `a7` = `r17`.
+    pub const A7: Reg = Reg(17);
+    /// Saved register `s2` = `r18`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `s3` = `r19`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `s4` = `r20`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `s5` = `r21`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `s6` = `r22`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `s7` = `r23`.
+    pub const S7: Reg = Reg(23);
+    /// Saved register `s8` = `r24`.
+    pub const S8: Reg = Reg(24);
+    /// Saved register `s9` = `r25`.
+    pub const S9: Reg = Reg(25);
+    /// Saved register `s10` = `r26`.
+    pub const S10: Reg = Reg(26);
+    /// Saved register `s11` = `r27`.
+    pub const S11: Reg = Reg(27);
+    /// Temporary `t3` = `r28`.
+    pub const T3: Reg = Reg(28);
+    /// Temporary `t4` = `r29`.
+    pub const T4: Reg = Reg(29);
+    /// Temporary `t5` = `r30`.
+    pub const T5: Reg = Reg(30);
+    /// Temporary `t6` = `r31`.
+    pub const T6: Reg = Reg(31);
+
+    /// Constructs a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Constructs a register from its index, returning `None` if out of
+    /// range.
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register index (0–31).
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The raw 5-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// `true` for the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI name used in assembly text (e.g. `"a0"`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+
+    /// Parses a register name: either an ABI name (`a0`, `sp`, `zero`) or
+    /// a raw name (`r7`, `x7`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(i) = ABI_NAMES.iter().position(|&n| n == name) {
+            return Some(Reg(i as u8));
+        }
+        let rest = name.strip_prefix('r').or_else(|| name.strip_prefix('x'))?;
+        let idx: u8 = rest.parse().ok()?;
+        Reg::try_new(idx)
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn raw_names_parse() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("x31"), Some(Reg::T6));
+        assert_eq!(Reg::parse("r31"), Some(Reg::T6));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("q1"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("rr"), None);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for instruction encode/decode.
+
+use lockstep_isa::{Csr, Format, Instr, Opcode, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let ops = proptest::sample::select(Opcode::ALL.to_vec());
+    (ops, arb_reg(), arb_reg(), arb_reg(), -32768i32..=32767, -1_048_576i32..=1_048_575).prop_map(
+        |(op, a, b, c, imm16, imm21)| match op.format() {
+            Format::R => Instr::rrr(op, a, b, c),
+            Format::I => Instr::ri(op, a, b, imm16),
+            Format::Load => Instr::load(op, a, b, imm16),
+            Format::Store => Instr::store(op, a, b, imm16),
+            Format::B => Instr::branch(op, a, b, imm16),
+            Format::J => Instr::jal(a, imm21),
+            Format::U => Instr::lui(a, (imm16 as u32) & 0xFFFF),
+            Format::Sys => match op {
+                Opcode::Csrr => {
+                    Instr::csrr(a, Csr::ALL[(imm16.unsigned_abs() as usize) % Csr::ALL.len()])
+                }
+                Opcode::Csrw => {
+                    Instr::csrw(Csr::ALL[(imm16.unsigned_abs() as usize) % Csr::ALL.len()], b)
+                }
+                Opcode::Ecall => Instr::ecall(),
+                _ => Instr::ebreak(),
+            },
+        },
+    )
+}
+
+proptest! {
+    /// encode → decode is the identity for every constructible instruction.
+    #[test]
+    fn encode_decode_round_trip(i in arb_instr()) {
+        prop_assert_eq!(Instr::decode(i.encode()), Ok(i));
+    }
+
+    /// decode never panics on arbitrary words — corrupted fetches must take
+    /// a defined illegal-instruction path, not crash the simulator.
+    #[test]
+    fn decode_is_total(word in any::<u32>()) {
+        let _ = Instr::decode(word);
+    }
+
+    /// Any word that decodes re-encodes to a word that decodes to the same
+    /// instruction (canonicalization is idempotent).
+    #[test]
+    fn reencode_stable(word in any::<u32>()) {
+        if let Ok(i) = Instr::decode(word) {
+            prop_assert_eq!(Instr::decode(i.encode()), Ok(i));
+        }
+    }
+
+    /// Disassembly never panics.
+    #[test]
+    fn display_is_total(i in arb_instr()) {
+        let _ = i.to_string();
+    }
+}

@@ -1,0 +1,285 @@
+//! The system bus and memory map.
+//!
+//! | Region | Base | Behaviour |
+//! |---|---|---|
+//! | ECC RAM | `0x0000_0000` | code + data, SECDED-protected |
+//! | Sensors | [`SENSOR_BASE`] | word channels of deterministic stimulus |
+//! | Outputs | [`OUTPUT_BASE`] | write-capture for kernel results |
+//!
+//! The CPU core accesses memory exclusively through [`MemoryPort`], so the
+//! lockstep harness (and tests) can interpose or replace the memory system.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ecc::EccStatus;
+use crate::ram::{EccRam, EccStats};
+use crate::stimulus::{SensorBlock, SENSOR_CHANNELS};
+
+/// Base address of the sensor-stimulus block.
+pub const SENSOR_BASE: u32 = 0xFFFF_0000;
+/// Base address of the output-capture block.
+pub const OUTPUT_BASE: u32 = 0xFFFF_8000;
+/// Size of each MMIO block in bytes.
+const MMIO_SIZE: u32 = (SENSOR_CHANNELS as u32) * 4;
+
+/// A failed bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusFault {
+    /// No device decodes this address.
+    OutOfRange {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// ECC reported an uncorrectable double-bit error.
+    Uncorrectable {
+        /// The offending byte address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::OutOfRange { addr } => write!(f, "bus error at {addr:#010x}"),
+            BusFault::Uncorrectable { addr } => {
+                write!(f, "uncorrectable memory error at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// The interface the CPU core uses for instruction fetch and data access.
+///
+/// Addresses are byte addresses; data transfers are whole words with byte
+/// strobes (the LSU performs lane extraction/insertion).
+pub trait MemoryPort {
+    /// Fetches the instruction word at `addr` (word-aligned by the PFU).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] if the address does not decode or the ECC
+    /// hit an uncorrectable error.
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault>;
+
+    /// Reads the data word containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryPort::fetch`].
+    fn read(&mut self, addr: u32) -> Result<u32, BusFault>;
+
+    /// Writes bytes of the word containing `addr` selected by `byte_mask`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryPort::fetch`].
+    fn write(&mut self, addr: u32, data: u32, byte_mask: u8) -> Result<(), BusFault>;
+}
+
+/// The full memory system: ECC RAM + sensor stimulus + output capture.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    ram: EccRam,
+    sensors: SensorBlock,
+    outputs: BTreeMap<u32, u32>,
+    output_log: Vec<(u32, u32)>,
+    output_checksum: u32,
+}
+
+impl Memory {
+    /// Creates a memory system with `ram_bytes` of ECC RAM and sensor
+    /// stimulus derived from `stimulus_seed`.
+    pub fn new(ram_bytes: usize, stimulus_seed: u64) -> Memory {
+        Memory {
+            ram: EccRam::new(ram_bytes),
+            sensors: SensorBlock::new(stimulus_seed),
+            outputs: BTreeMap::new(),
+            output_log: Vec::new(),
+            output_checksum: 0,
+        }
+    }
+
+    /// Loads a little-endian byte image at address zero.
+    pub fn load_image(&mut self, image: &[u8]) {
+        for (i, chunk) in image.chunks(4).enumerate() {
+            let mut b = [0u8; 4];
+            b[..chunk.len()].copy_from_slice(chunk);
+            self.ram.write_word_masked(i as u32 * 4, u32::from_le_bytes(b), 0xF);
+        }
+    }
+
+    /// The underlying ECC RAM (e.g. for error injection in examples).
+    pub fn ram_mut(&mut self) -> &mut EccRam {
+        &mut self.ram
+    }
+
+    /// ECC event counters.
+    pub fn ecc_stats(&self) -> EccStats {
+        self.ram.stats()
+    }
+
+    /// Every `(offset, value)` write captured by the output block, in
+    /// program order.
+    pub fn output_log(&self) -> &[(u32, u32)] {
+        &self.output_log
+    }
+
+    /// Rolling checksum over the output log — the "golden output" used to
+    /// check that a workload computed the right results.
+    pub fn output_checksum(&self) -> u32 {
+        self.output_checksum
+    }
+
+    /// Clears output capture and restarts sensor sequences (benchmark
+    /// restart).
+    pub fn reset_io(&mut self) {
+        self.outputs.clear();
+        self.output_log.clear();
+        self.output_checksum = 0;
+        self.sensors.reset();
+    }
+
+    fn ram_read(&mut self, addr: u32) -> Result<u32, BusFault> {
+        match self.ram.read_word(addr) {
+            Some((data, EccStatus::DoubleError)) => {
+                let _ = data;
+                Err(BusFault::Uncorrectable { addr })
+            }
+            Some((data, _)) => Ok(data),
+            None => Err(BusFault::OutOfRange { addr }),
+        }
+    }
+}
+
+impl MemoryPort for Memory {
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.ram_read(addr)
+    }
+
+    fn read(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if (SENSOR_BASE..SENSOR_BASE + MMIO_SIZE).contains(&addr) {
+            let channel = ((addr - SENSOR_BASE) / 4) as usize;
+            return Ok(self.sensors.read(channel));
+        }
+        if (OUTPUT_BASE..OUTPUT_BASE + MMIO_SIZE).contains(&addr) {
+            let offset = (addr - OUTPUT_BASE) & !3;
+            return Ok(self.outputs.get(&offset).copied().unwrap_or(0));
+        }
+        self.ram_read(addr)
+    }
+
+    fn write(&mut self, addr: u32, data: u32, byte_mask: u8) -> Result<(), BusFault> {
+        if (OUTPUT_BASE..OUTPUT_BASE + MMIO_SIZE).contains(&addr) {
+            let offset = (addr - OUTPUT_BASE) & !3;
+            self.outputs.insert(offset, data);
+            self.output_log.push((offset, data));
+            self.output_checksum =
+                self.output_checksum.rotate_left(5) ^ data ^ offset.wrapping_mul(0x9E37);
+            return Ok(());
+        }
+        if (SENSOR_BASE..SENSOR_BASE + MMIO_SIZE).contains(&addr) {
+            // Sensor block is read-only; writes are ignored (like real
+            // input peripherals latching externally driven values).
+            return Ok(());
+        }
+        if self.ram.write_word_masked(addr, data, byte_mask) {
+            Ok(())
+        } else {
+            Err(BusFault::OutOfRange { addr })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_write_through_port() {
+        let mut m = Memory::new(256, 0);
+        m.write(16, 0x5555_AAAA, 0xF).unwrap();
+        assert_eq!(m.read(16), Ok(0x5555_AAAA));
+        assert_eq!(m.fetch(16), Ok(0x5555_AAAA));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = Memory::new(64, 0);
+        assert_eq!(m.read(0x1000), Err(BusFault::OutOfRange { addr: 0x1000 }));
+        assert_eq!(m.write(0x1000, 1, 0xF), Err(BusFault::OutOfRange { addr: 0x1000 }));
+        assert_eq!(m.fetch(0x1000), Err(BusFault::OutOfRange { addr: 0x1000 }));
+    }
+
+    #[test]
+    fn sensors_served_and_sequenced() {
+        let mut m = Memory::new(64, 42);
+        let a = m.read(SENSOR_BASE).unwrap();
+        let b = m.read(SENSOR_BASE).unwrap();
+        assert_ne!(a, b);
+        // Write to sensor region ignored.
+        m.write(SENSOR_BASE, 0xFFFF_FFFF, 0xF).unwrap();
+    }
+
+    #[test]
+    fn outputs_captured_with_checksum() {
+        let mut m = Memory::new(64, 0);
+        m.write(OUTPUT_BASE, 7, 0xF).unwrap();
+        m.write(OUTPUT_BASE + 4, 9, 0xF).unwrap();
+        assert_eq!(m.output_log(), &[(0, 7), (4, 9)]);
+        assert_ne!(m.output_checksum(), 0);
+        assert_eq!(m.read(OUTPUT_BASE + 4), Ok(9));
+        assert_eq!(m.read(OUTPUT_BASE + 8), Ok(0));
+    }
+
+    #[test]
+    fn output_checksum_order_sensitive() {
+        let mut a = Memory::new(64, 0);
+        a.write(OUTPUT_BASE, 1, 0xF).unwrap();
+        a.write(OUTPUT_BASE, 2, 0xF).unwrap();
+        let mut b = Memory::new(64, 0);
+        b.write(OUTPUT_BASE, 2, 0xF).unwrap();
+        b.write(OUTPUT_BASE, 1, 0xF).unwrap();
+        assert_ne!(a.output_checksum(), b.output_checksum());
+    }
+
+    #[test]
+    fn uncorrectable_error_becomes_bus_fault() {
+        let mut m = Memory::new(64, 0);
+        m.write(0, 0x1234_5678, 0xF).unwrap();
+        m.ram_mut().inject_bit_error(0, 1);
+        m.ram_mut().inject_bit_error(0, 2);
+        assert_eq!(m.read(0), Err(BusFault::Uncorrectable { addr: 0 }));
+    }
+
+    #[test]
+    fn single_bit_memory_error_invisible_to_cpu() {
+        // The lockstep paper's premise: memory faults are ECC's job.
+        let mut m = Memory::new(64, 0);
+        m.write(0, 0xDEAD_BEEF, 0xF).unwrap();
+        m.ram_mut().inject_bit_error(0, 17);
+        assert_eq!(m.read(0), Ok(0xDEAD_BEEF));
+        assert_eq!(m.ecc_stats().corrected, 1);
+    }
+
+    #[test]
+    fn reset_io_restarts_streams() {
+        let mut m = Memory::new(64, 5);
+        let first = m.read(SENSOR_BASE).unwrap();
+        m.write(OUTPUT_BASE, 3, 0xF).unwrap();
+        m.reset_io();
+        assert_eq!(m.read(SENSOR_BASE), Ok(first));
+        assert!(m.output_log().is_empty());
+        assert_eq!(m.output_checksum(), 0);
+    }
+
+    #[test]
+    fn load_image_places_words() {
+        let mut m = Memory::new(64, 0);
+        m.load_image(&[0xEF, 0xBE, 0xAD, 0xDE, 0x0D, 0xF0]);
+        assert_eq!(m.read(0), Ok(0xDEAD_BEEF));
+        assert_eq!(m.read(4), Ok(0x0000_F00D));
+    }
+}

@@ -1,0 +1,33 @@
+//! Memory substrate — everything *outside* the sphere of replication.
+//!
+//! In CPU-level lockstepping (paper Figure 1c) the caches and memories are
+//! **not** replicated: they sit outside the sphere of replication and are
+//! protected by ECC instead of by the lockstep checker (Section II: "CPUs
+//! share the caches that are protected by some form of ECC mechanism").
+//! This crate provides that world:
+//!
+//! * [`ecc`] — a SECDED Hamming(39,32) codec: single-error correction,
+//!   double-error detection per 32-bit word.
+//! * [`ram`] — ECC-protected word RAM with error-injection hooks, plus a
+//!   plain RAM for images.
+//! * [`bus`] — the system bus with a fixed memory map: ECC RAM at the
+//!   bottom of the address space, a deterministic sensor-stimulus block
+//!   (the "operating conditions from the ECU" the AutoBench kernels read)
+//!   and an output-capture block (where kernels publish their results).
+//! * [`stimulus`] — the deterministic sensor waveform generator.
+//!
+//! The CPU crate talks to all of this through the [`bus::MemoryPort`]
+//! trait, which also lets the lockstep harness interpose on transactions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod ecc;
+pub mod ram;
+pub mod stimulus;
+
+pub use bus::{BusFault, Memory, MemoryPort, OUTPUT_BASE, SENSOR_BASE};
+pub use ecc::{EccStatus, SecDed};
+pub use ram::{EccRam, Ram};
+pub use stimulus::SensorBlock;

@@ -1,0 +1,128 @@
+//! Deterministic sensor stimulus.
+//!
+//! The EEMBC AutoBench kernels model ECU tasks that read "operating
+//! conditions" (crank angle, wheel-pulse intervals, knock-sensor samples…)
+//! every outer-loop iteration. [`SensorBlock`] is the memory-mapped device
+//! that supplies those inputs in our simulation.
+//!
+//! Determinism is essential for lockstepping: the value a channel returns
+//! depends only on the campaign seed, the channel number and **how many
+//! times that channel has been read**. Two fault-free CPUs (or a faulted
+//! CPU before its first divergence, which by definition has issued the
+//! exact same reads) therefore observe identical input sequences.
+
+use lockstep_stats::rng::splitmix64;
+
+/// Number of distinct sensor channels (word-addressed).
+pub const SENSOR_CHANNELS: usize = 64;
+
+/// A block of deterministic sensor channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorBlock {
+    seed: u64,
+    read_counts: [u32; SENSOR_CHANNELS],
+}
+
+impl SensorBlock {
+    /// Creates a sensor block for a given campaign seed.
+    pub fn new(seed: u64) -> SensorBlock {
+        SensorBlock { seed, read_counts: [0; SENSOR_CHANNELS] }
+    }
+
+    /// Reads channel `channel`, advancing its sequence.
+    ///
+    /// Values mix a slow sawtooth (plausible physical quantity) with
+    /// pseudo-random low bits (measurement noise) so kernels exercise both
+    /// arithmetic and control paths.
+    pub fn read(&mut self, channel: usize) -> u32 {
+        let channel = channel % SENSOR_CHANNELS;
+        let n = self.read_counts[channel];
+        self.read_counts[channel] = n.wrapping_add(1);
+        Self::value_at(self.seed, channel, n)
+    }
+
+    /// The value the `n`-th read of `channel` returns — pure function used
+    /// by golden models and tests.
+    pub fn value_at(seed: u64, channel: usize, n: u32) -> u32 {
+        let channel = channel % SENSOR_CHANNELS;
+        let mut mix = seed ^ (channel as u64) << 32 ^ u64::from(n / 16);
+        let noise = (splitmix64(&mut mix) & 0xFF) as u32;
+        let sawtooth = (n.wrapping_mul(13 + channel as u32)) & 0x7FFF;
+        sawtooth << 8 | noise
+    }
+
+    /// Number of reads served on `channel` so far.
+    pub fn reads(&self, channel: usize) -> u32 {
+        self.read_counts[channel % SENSOR_CHANNELS]
+    }
+
+    /// Resets all channel sequences (used when a benchmark restarts).
+    pub fn reset(&mut self) {
+        self.read_counts = [0; SENSOR_CHANNELS];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_deterministic_per_seed() {
+        let mut a = SensorBlock::new(99);
+        let mut b = SensorBlock::new(99);
+        for ch in 0..8 {
+            for _ in 0..10 {
+                assert_eq!(a.read(ch), b.read(ch));
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_advances() {
+        let mut s = SensorBlock::new(1);
+        let v0 = s.read(3);
+        let v1 = s.read(3);
+        assert_ne!(v0, v1);
+        assert_eq!(s.reads(3), 2);
+    }
+
+    #[test]
+    fn channels_independent() {
+        let mut s = SensorBlock::new(1);
+        let a0 = s.read(0);
+        let mut t = SensorBlock::new(1);
+        let _ = t.read(5); // interleave a different channel first
+        let a0_again = t.read(0);
+        assert_eq!(a0, a0_again, "channel 0 sequence must not depend on channel 5 reads");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let va: Vec<u32> = {
+            let mut s = SensorBlock::new(1);
+            (0..16).map(|_| s.read(0)).collect()
+        };
+        let vb: Vec<u32> = {
+            let mut s = SensorBlock::new(2);
+            (0..16).map(|_| s.read(0)).collect()
+        };
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn reset_restarts_sequences() {
+        let mut s = SensorBlock::new(7);
+        let first = s.read(2);
+        let _ = s.read(2);
+        s.reset();
+        assert_eq!(s.read(2), first);
+    }
+
+    #[test]
+    fn value_at_matches_read() {
+        let mut s = SensorBlock::new(42);
+        for n in 0..20 {
+            assert_eq!(s.read(9), SensorBlock::value_at(42, 9, n));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the SECDED codec and ECC RAM.
+
+use lockstep_mem::{EccRam, EccStatus, SecDed};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every word round-trips through encode/decode.
+    #[test]
+    fn clean_round_trip(data in any::<u32>()) {
+        let cw = SecDed::encode(data);
+        prop_assert_eq!(SecDed::decode(cw), (data, EccStatus::Clean));
+    }
+
+    /// Every single-bit error on every word is corrected to the original.
+    #[test]
+    fn single_bit_corrected(data in any::<u32>(), bit in 0u32..39) {
+        let corrupted = SecDed::flip_bit(SecDed::encode(data), bit);
+        let (decoded, status) = SecDed::decode(corrupted);
+        prop_assert_eq!(decoded, data);
+        prop_assert!(matches!(status, EccStatus::Corrected(_)));
+    }
+
+    /// Every double-bit error is flagged uncorrectable.
+    #[test]
+    fn double_bit_detected(data in any::<u32>(), b1 in 0u32..39, b2 in 0u32..39) {
+        prop_assume!(b1 != b2);
+        let corrupted =
+            SecDed::flip_bit(SecDed::flip_bit(SecDed::encode(data), b1), b2);
+        let (_, status) = SecDed::decode(corrupted);
+        prop_assert_eq!(status, EccStatus::DoubleError);
+    }
+
+    /// Distinct data words never produce the same codeword (injectivity).
+    #[test]
+    fn encode_injective(a in any::<u32>(), b in any::<u32>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(SecDed::encode(a), SecDed::encode(b));
+    }
+
+    /// RAM writes with arbitrary byte masks read back the merged value.
+    #[test]
+    fn ram_masked_writes(
+        old in any::<u32>(),
+        new in any::<u32>(),
+        mask in 0u8..16,
+    ) {
+        let mut ram = EccRam::new(16);
+        ram.write_word_masked(0, old, 0xF);
+        ram.write_word_masked(0, new, mask);
+        let mut expect = old;
+        for lane in 0..4 {
+            if mask & (1 << lane) != 0 {
+                let m = 0xFFu32 << (lane * 8);
+                expect = (expect & !m) | (new & m);
+            }
+        }
+        prop_assert_eq!(ram.read_word(0).unwrap().0, expect);
+    }
+
+    /// A scrub after a single-bit hit leaves the array clean forever.
+    #[test]
+    fn scrub_heals(data in any::<u32>(), bit in 0u32..39) {
+        let mut ram = EccRam::new(16);
+        ram.write_word_masked(4, data, 0xF);
+        ram.inject_bit_error(4, bit);
+        let _ = ram.read_word(4);
+        prop_assert_eq!(ram.read_word(4), Some((data, EccStatus::Clean)));
+    }
+}

@@ -1,0 +1,224 @@
+//! Discrete probability distributions and the Bhattacharyya coefficient.
+//!
+//! Section III-A of the paper quantifies how similar two units' error
+//! signatures are with the **Bhattacharyya coefficient**
+//! `BC(p, q) = Σ_x sqrt(p(x) · q(x))`, which is 1 for identical
+//! distributions and 0 for distributions with disjoint support.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A discrete probability distribution over keys of type `K`.
+///
+/// Probabilities are not required to sum exactly to one (empirical
+/// distributions carry floating-point error); [`Distribution::total_mass`]
+/// exposes the actual sum.
+#[derive(Debug, Clone)]
+pub struct Distribution<K> {
+    probs: HashMap<K, f64>,
+}
+
+impl<K> Default for Distribution<K> {
+    fn default() -> Self {
+        Distribution { probs: HashMap::new() }
+    }
+}
+
+impl<K: Eq + Hash> Distribution<K> {
+    /// Builds a distribution directly from `(key, probability)` pairs.
+    ///
+    /// Later duplicates overwrite earlier ones.
+    pub fn from_probabilities<I: IntoIterator<Item = (K, f64)>>(pairs: I) -> Self {
+        Distribution { probs: pairs.into_iter().collect() }
+    }
+
+    /// Builds a normalized distribution from raw weights.
+    ///
+    /// Zero or negative weights are dropped. Returns an empty distribution
+    /// if no positive weight exists.
+    pub fn from_weights<I: IntoIterator<Item = (K, f64)>>(pairs: I) -> Self {
+        let kept: Vec<(K, f64)> = pairs.into_iter().filter(|&(_, w)| w > 0.0).collect();
+        let total: f64 = kept.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return Distribution::default();
+        }
+        Distribution { probs: kept.into_iter().map(|(k, w)| (k, w / total)).collect() }
+    }
+
+    /// Probability of `key` (zero if absent).
+    pub fn probability(&self, key: &K) -> f64 {
+        self.probs.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all stored probabilities.
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Number of keys with non-zero stored probability.
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` if the distribution has no support.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Iterates over `(key, probability)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, f64)> {
+        self.probs.iter().map(|(k, &p)| (k, p))
+    }
+
+    /// The key with maximum probability, if any. Ties are broken by `Ord`
+    /// on the key so results are deterministic.
+    pub fn mode(&self) -> Option<&K>
+    where
+        K: Ord,
+    {
+        self.probs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then_with(|| b.0.cmp(a.0)))
+            .map(|(k, _)| k)
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        -self
+            .probs
+            .values()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+}
+
+/// The Bhattacharyya coefficient between two distributions:
+/// `BC(p, q) = Σ_x sqrt(p(x) · q(x))`.
+///
+/// Returns a value in `[0, 1]` (up to floating-point error): 0 when the
+/// supports are disjoint, 1 when the distributions are identical.
+///
+/// # Example
+///
+/// ```
+/// use lockstep_stats::{Distribution, bhattacharyya};
+/// let p = Distribution::from_weights([("a", 1.0), ("b", 1.0)]);
+/// let q = Distribution::from_weights([("a", 1.0), ("b", 1.0)]);
+/// assert!((bhattacharyya(&p, &q) - 1.0).abs() < 1e-12);
+/// ```
+pub fn bhattacharyya<K: Eq + Hash>(p: &Distribution<K>, q: &Distribution<K>) -> f64 {
+    let mut bc = 0.0;
+    for (k, pp) in p.iter() {
+        let qq = q.probability(k);
+        if pp > 0.0 && qq > 0.0 {
+            bc += (pp * qq).sqrt();
+        }
+    }
+    bc.clamp(0.0, 1.0)
+}
+
+/// Mean pairwise Bhattacharyya coefficient of one distribution against a
+/// set of others — the per-unit "average BC across all other units" the
+/// paper reports under Figures 4 and 5.
+///
+/// Returns `None` when `others` is empty.
+pub fn mean_bhattacharyya_against<K: Eq + Hash>(
+    subject: &Distribution<K>,
+    others: &[&Distribution<K>],
+) -> Option<f64> {
+    if others.is_empty() {
+        return None;
+    }
+    let sum: f64 = others.iter().map(|o| bhattacharyya(subject, o)).sum();
+    Some(sum / others.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_bc_one() {
+        let p = Distribution::from_weights([(1u8, 2.0), (2, 3.0), (3, 5.0)]);
+        assert!((bhattacharyya(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_bc_zero() {
+        let p = Distribution::from_weights([(1u8, 1.0)]);
+        let q = Distribution::from_weights([(2u8, 1.0)]);
+        assert_eq!(bhattacharyya(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let p = Distribution::from_weights([(1u8, 1.0), (2, 1.0)]);
+        let q = Distribution::from_weights([(2u8, 1.0), (3, 1.0)]);
+        let bc = bhattacharyya(&p, &q);
+        assert!(bc > 0.0 && bc < 1.0);
+        // Overlap only on key 2 with p=q=0.5 -> BC = 0.5.
+        assert!((bc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bc_is_symmetric() {
+        let p = Distribution::from_weights([(1u8, 1.0), (2, 4.0), (3, 2.0)]);
+        let q = Distribution::from_weights([(2u8, 1.0), (3, 1.0), (4, 9.0)]);
+        assert!((bhattacharyya(&p, &q) - bhattacharyya(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_normalizes_and_drops_nonpositive() {
+        let d = Distribution::from_weights([("a", 3.0), ("b", 1.0), ("c", 0.0), ("d", -1.0)]);
+        assert_eq!(d.support_size(), 2);
+        assert!((d.probability(&"a") - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_all_zero_is_empty() {
+        let d = Distribution::from_weights([("a", 0.0)]);
+        assert!(d.is_empty());
+        assert_eq!(d.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn mode_is_max_probability() {
+        let d = Distribution::from_weights([(1u8, 1.0), (2, 5.0), (3, 2.0)]);
+        assert_eq!(d.mode(), Some(&2));
+    }
+
+    #[test]
+    fn mode_tie_is_deterministic() {
+        let d = Distribution::from_weights([(2u8, 1.0), (1, 1.0)]);
+        assert_eq!(d.mode(), Some(&1));
+    }
+
+    #[test]
+    fn entropy_uniform_two() {
+        let d = Distribution::from_weights([(0u8, 1.0), (1, 1.0)]);
+        assert!((d.entropy_bits() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_zero() {
+        let d = Distribution::from_weights([(0u8, 1.0)]);
+        assert_eq!(d.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn mean_bc_against_empty_none() {
+        let p: Distribution<u8> = Distribution::from_weights([(1, 1.0)]);
+        assert_eq!(mean_bhattacharyya_against(&p, &[]), None);
+    }
+
+    #[test]
+    fn mean_bc_against_mixed() {
+        let p = Distribution::from_weights([(1u8, 1.0)]);
+        let same = Distribution::from_weights([(1u8, 1.0)]);
+        let disjoint = Distribution::from_weights([(2u8, 1.0)]);
+        let mean = mean_bhattacharyya_against(&p, &[&same, &disjoint]).unwrap();
+        assert!((mean - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Counting histograms over arbitrary hashable keys.
+//!
+//! The paper's predictor training (Section IV-C.2) is histogram counting:
+//! for every diverged-SC set, count how often each CPU unit and each error
+//! type produced it. [`Histogram`] is that primitive.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::distribution::Distribution;
+
+/// A counting histogram over keys of type `K`.
+///
+/// # Example
+///
+/// ```
+/// use lockstep_stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.add("alu");
+/// h.add("alu");
+/// h.add("lsu");
+/// assert_eq!(h.count(&"alu"), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram<K> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K> Default for Histogram<K> {
+    fn default() -> Self {
+        Histogram { counts: HashMap::new(), total: 0 }
+    }
+}
+
+impl<K: Eq + Hash> Histogram<K> {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the count for `key` by one.
+    pub fn add(&mut self, key: K) {
+        self.add_count(key, 1);
+    }
+
+    /// Increments the count for `key` by `n`.
+    pub fn add_count(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Returns the count recorded for `key` (zero if never seen).
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total of all counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterates over `(key, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Probability of `key` under the empirical distribution
+    /// (zero for unseen keys or an empty histogram).
+    pub fn probability(&self, key: &K) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram<K>)
+    where
+        K: Clone,
+    {
+        for (k, v) in other.iter() {
+            self.add_count(k.clone(), v);
+        }
+    }
+
+    /// Keys sorted by descending count; ties broken by the key's own order.
+    pub fn ranked(&self) -> Vec<(K, u64)>
+    where
+        K: Clone + Ord,
+    {
+        let mut v: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Converts to a normalized [`Distribution`].
+    ///
+    /// An empty histogram yields an empty distribution.
+    pub fn to_distribution(&self) -> Distribution<K>
+    where
+        K: Clone,
+    {
+        let total = self.total as f64;
+        let probs: Vec<(K, f64)> = self
+            .counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), if self.total == 0 { 0.0 } else { c as f64 / total }))
+            .collect();
+        Distribution::from_probabilities(probs)
+    }
+}
+
+impl<K: Eq + Hash> FromIterator<K> for Histogram<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for k in iter {
+            h.add(k);
+        }
+        h
+    }
+}
+
+impl<K: Eq + Hash> Extend<K> for Histogram<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for k in iter {
+            self.add(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h: Histogram<u32> = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.count(&3), 0);
+        assert_eq!(h.probability(&3), 0.0);
+    }
+
+    #[test]
+    fn counting_and_probability() {
+        let mut h = Histogram::new();
+        h.add(1u8);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.distinct(), 3);
+        assert!((h.probability(&1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_count_bulk() {
+        let mut h = Histogram::new();
+        h.add_count("x", 10);
+        h.add_count("x", 5);
+        assert_eq!(h.count(&"x"), 15);
+        assert_eq!(h.total(), 15);
+    }
+
+    #[test]
+    fn ranked_orders_by_count_then_key() {
+        let mut h = Histogram::new();
+        h.add_count(2u32, 5);
+        h.add_count(1, 5);
+        h.add_count(3, 9);
+        let r = h.ranked();
+        assert_eq!(r, vec![(3, 9), (1, 5), (2, 5)]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.add_count('x', 2);
+        let mut b = Histogram::new();
+        b.add_count('x', 3);
+        b.add_count('y', 1);
+        a.merge(&b);
+        assert_eq!(a.count(&'x'), 5);
+        assert_eq!(a.count(&'y'), 1);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn from_iterator_counts() {
+        let h: Histogram<char> = "aabbbc".chars().collect();
+        assert_eq!(h.count(&'a'), 2);
+        assert_eq!(h.count(&'b'), 3);
+        assert_eq!(h.count(&'c'), 1);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h: Histogram<u8> = Histogram::new();
+        h.extend([1, 2, 2]);
+        h.extend([2]);
+        assert_eq!(h.count(&2), 3);
+    }
+
+    #[test]
+    fn to_distribution_normalizes() {
+        let mut h = Histogram::new();
+        h.add_count(0u8, 1);
+        h.add_count(1, 3);
+        let d = h.to_distribution();
+        assert!((d.probability(&1) - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+}

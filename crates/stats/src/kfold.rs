@@ -1,0 +1,162 @@
+//! K-fold cross-validation splitting.
+//!
+//! The paper's framework (Figure 7) splits logged error data into training
+//! and test sets "using random sampling and 5-fold cross validation".
+//! [`KFold`] reproduces that: it shuffles the index space deterministically
+//! and yields `k` (train, test) index partitions.
+
+use crate::rng::Xoshiro256;
+
+/// A deterministic k-fold splitter over `n` items.
+///
+/// # Example
+///
+/// ```
+/// use lockstep_stats::KFold;
+/// let kf = KFold::new(10, 5, 42);
+/// let folds: Vec<_> = kf.folds().collect();
+/// assert_eq!(folds.len(), 5);
+/// for (train, test) in &folds {
+///     assert_eq!(train.len() + test.len(), 10);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KFold {
+    order: Vec<usize>,
+    k: usize,
+}
+
+impl KFold {
+    /// Creates a splitter over `n` items with `k` folds, shuffled with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n` (each fold must receive at least one
+    /// test item).
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= n, "cannot make {k} folds from {n} items");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Xoshiro256::seed_from(seed);
+        rng.shuffle(&mut order);
+        KFold { order, k }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items being split.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if there are no items (never true for a constructed splitter,
+    /// since `k <= n` and `k > 0` imply `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The `(train, test)` index sets of fold `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold >= k`.
+    pub fn fold(&self, fold: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.k, "fold {fold} out of range (k={})", self.k);
+        let n = self.order.len();
+        // Spread the remainder over the first (n % k) folds.
+        let base = n / self.k;
+        let extra = n % self.k;
+        let start = fold * base + fold.min(extra);
+        let size = base + usize::from(fold < extra);
+        let test: Vec<usize> = self.order[start..start + size].to_vec();
+        let train: Vec<usize> = self.order[..start]
+            .iter()
+            .chain(&self.order[start + size..])
+            .copied()
+            .collect();
+        (train, test)
+    }
+
+    /// Iterates over all `(train, test)` partitions.
+    pub fn folds(&self) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+        (0..self.k).map(move |i| self.fold(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_everything() {
+        let kf = KFold::new(23, 5, 1);
+        let mut all_test: Vec<usize> = Vec::new();
+        for (train, test) in kf.folds() {
+            let train_set: HashSet<_> = train.iter().copied().collect();
+            let test_set: HashSet<_> = test.iter().copied().collect();
+            assert!(train_set.is_disjoint(&test_set));
+            assert_eq!(train.len() + test.len(), 23);
+            all_test.extend(test);
+        }
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let kf = KFold::new(23, 5, 7);
+        let sizes: Vec<usize> = kf.folds().map(|(_, t)| t.len()).collect();
+        // 23 = 5+5+5+4+4.
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = KFold::new(50, 5, 99);
+        let b = KFold::new(50, 5, 99);
+        assert_eq!(a.fold(2), b.fold(2));
+    }
+
+    #[test]
+    fn different_seed_different_shuffle() {
+        let a = KFold::new(50, 5, 1);
+        let b = KFold::new(50, 5, 2);
+        assert_ne!(a.fold(0).1, b.fold(0).1);
+    }
+
+    #[test]
+    fn exact_division() {
+        let kf = KFold::new(20, 5, 3);
+        for (train, test) in kf.folds() {
+            assert_eq!(test.len(), 4);
+            assert_eq!(train.len(), 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot make")]
+    fn too_many_folds_panics() {
+        let _ = KFold::new(3, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_folds_panics() {
+        let _ = KFold::new(3, 0, 0);
+    }
+
+    #[test]
+    fn k_equals_n_is_leave_one_out() {
+        let kf = KFold::new(4, 4, 5);
+        for (train, test) in kf.folds() {
+            assert_eq!(test.len(), 1);
+            assert_eq!(train.len(), 3);
+        }
+    }
+}

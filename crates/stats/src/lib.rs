@@ -1,0 +1,46 @@
+//! Statistical substrate for the lockstep error-correlation-prediction
+//! reproduction.
+//!
+//! This crate gathers every piece of statistics machinery the evaluation
+//! framework of the paper needs, so the rest of the workspace never has to
+//! hand-roll a histogram or a similarity metric:
+//!
+//! * [`rng`] — a small deterministic PRNG ([`rng::Xoshiro256`], seeded via
+//!   SplitMix64) so campaigns are reproducible from a single `u64` seed.
+//! * [`histogram`] — counting histograms over arbitrary hashable keys.
+//! * [`distribution`] — discrete probability distributions and the
+//!   **Bhattacharyya coefficient** the paper uses to quantify signature
+//!   similarity (Section III-A).
+//! * [`summary`] — running min/mean/max/variance summaries, used for the
+//!   `[Min, Mean, Max]` rows of Tables I and II.
+//! * [`kfold`] — the 5-fold cross-validation splitter of Figure 7.
+//!
+//! # Example
+//!
+//! ```
+//! use lockstep_stats::{Histogram, bhattacharyya};
+//!
+//! let mut a = Histogram::new();
+//! let mut b = Histogram::new();
+//! for k in 0..10u32 {
+//!     a.add_count(k, 10 - u64::from(k));
+//!     b.add_count(k, 1 + u64::from(k));
+//! }
+//! let bc = bhattacharyya(&a.to_distribution(), &b.to_distribution());
+//! assert!(bc > 0.0 && bc < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod histogram;
+pub mod kfold;
+pub mod rng;
+pub mod summary;
+
+pub use distribution::{bhattacharyya, Distribution};
+pub use histogram::Histogram;
+pub use kfold::KFold;
+pub use rng::Xoshiro256;
+pub use summary::Summary;

@@ -1,0 +1,207 @@
+//! Running `[min, mean, max]` summaries.
+//!
+//! Tables I and II of the paper report statistics as `[Min, Mean, Max]`
+//! triples (manifestation rates/times, STL and restart latencies).
+//! [`Summary`] accumulates those online, plus count and variance (Welford),
+//! without storing samples.
+
+use std::fmt;
+
+/// Online summary of a stream of `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use lockstep_stats::Summary;
+/// let s: Summary = [2.0, 4.0, 6.0].into_iter().collect();
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.mean(), Some(4.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            if x < self.min {
+                self.min = x;
+            }
+            if x > self.max {
+                self.max = x;
+            }
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another summary into this one (parallel-reduction friendly).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Formats as the paper's `[min, mean, max]` triple.
+    pub fn triple_string(&self) -> String {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(lo), Some(m), Some(hi)) => format!("[{lo:.1}, {m:.1}, {hi:.1}]"),
+            _ => "[-, -, -]".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.triple_string())
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_none() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.variance(), Some(0.0));
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.mean(), Some(2.5));
+        assert!((s.variance().unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values() {
+        let s: Summary = [-3.0, 0.0, 3.0].into_iter().collect();
+        assert_eq!(s.min(), Some(-3.0));
+        assert_eq!(s.mean(), Some(0.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let all: Summary = (0..100).map(f64::from).collect();
+        let mut a: Summary = (0..40).map(f64::from).collect();
+        let b: Summary = (40..100).map(f64::from).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn display_triple() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.to_string(), "[1.0, 2.0, 3.0]");
+        assert_eq!(Summary::new().to_string(), "[-, -, -]");
+    }
+}

@@ -1,0 +1,6 @@
+fn main() {
+    for w in lockstep_workloads::Workload::all() {
+        let g = w.golden_run(7, 400_000);
+        println!("{:8} {:6} cycles {:5} instr", w.name, g.cycles, g.instructions);
+    }
+}

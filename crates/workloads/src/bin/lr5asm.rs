@@ -1,0 +1,98 @@
+//! `lr5asm` — assemble LR5 assembly files or disassemble word dumps.
+//!
+//! ```text
+//! lr5asm build prog.s          # assemble; print an annotated listing
+//! lr5asm build prog.s --hex    # assemble; print addr:word pairs
+//! lr5asm dis 0x44a50007 ...    # disassemble instruction words
+//! lr5asm kernels               # list the bundled workload kernels
+//! lr5asm kernels ttsprk        # print a bundled kernel's listing
+//! ```
+
+use std::process::ExitCode;
+
+use lockstep_asm::{assemble, listing};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("dis") => disassemble(&args[1..]),
+        Some("kernels") => kernels(&args[1..]),
+        _ => {
+            eprintln!("usage: lr5asm build <file.s> [--hex] | dis <word>... | kernels [name]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn build(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("build: missing input file");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--hex") {
+        for (addr, word) in program.words() {
+            println!("{addr:08x}:{word:08x}");
+        }
+    } else {
+        print!("{}", listing::render(&program));
+        println!("\n; entry = {:#010x}, {} words", program.entry(), program.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn disassemble(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("dis: need at least one instruction word");
+        return ExitCode::from(2);
+    }
+    for raw in args {
+        let cleaned = raw.trim_start_matches("0x");
+        match u32::from_str_radix(cleaned, 16) {
+            Ok(word) => match lockstep_isa::Instr::decode(word) {
+                Ok(i) => println!("{word:08x}  {i}"),
+                Err(e) => println!("{word:08x}  <{e}>"),
+            },
+            Err(_) => {
+                eprintln!("dis: `{raw}` is not a hex word");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn kernels(args: &[String]) -> ExitCode {
+    match args.first() {
+        None => {
+            for w in lockstep_workloads::Workload::all() {
+                println!("{:8} {}", w.name, w.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match lockstep_workloads::Workload::find(name) {
+            Some(w) => {
+                print!("{}", listing::render(&w.assemble()));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("kernels: unknown kernel `{name}`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

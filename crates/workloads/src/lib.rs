@@ -1,0 +1,256 @@
+//! Automotive benchmark kernels (the EEMBC *AutoBench* stand-in).
+//!
+//! The paper drives its fault-injection study with the EEMBC AutoBench
+//! suite: small real-time kernels from automotive ECUs — tooth-to-spark,
+//! road-speed calculation, CAN message handling, filters, matrix math —
+//! each structured as an outer loop that reads operating conditions,
+//! computes, and publishes outputs (Section IV-A).
+//!
+//! This crate provides twelve such kernels written in LR5 assembly. Each
+//! kernel:
+//!
+//! * reads its "sensor" inputs from the memory-mapped stimulus block,
+//! * computes in a style that exercises a characteristic mix of CPU
+//!   units (divider-heavy, shifter-heavy, pointer-chasing, …),
+//! * publishes results to the output-capture block (so correctness is
+//!   checkable via the output checksum), and
+//! * runs a fixed number of outer-loop iterations before halting, sized
+//!   so whole-benchmark runtimes land in the low-thousands-of-cycles
+//!   range the paper's Table II reports for restart latencies.
+//!
+//! # Example
+//!
+//! ```
+//! use lockstep_workloads::Workload;
+//!
+//! let w = Workload::find("ttsprk").unwrap();
+//! let golden = w.golden_run(42, 200_000);
+//! assert!(golden.halted);
+//! assert!(golden.outputs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernels;
+
+pub use kernels::extra;
+
+use lockstep_asm::{assemble, Program};
+use lockstep_cpu::{Cpu, PortSet};
+use lockstep_mem::{Memory, MemoryPort};
+
+/// Default RAM size for workload images (64 KiB, TCM-class).
+pub const RAM_BYTES: usize = 64 * 1024;
+
+/// One benchmark kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Short name (EEMBC-style), e.g. `"ttsprk"`.
+    pub name: &'static str,
+    /// What the kernel models.
+    pub description: &'static str,
+    /// LR5 assembly source.
+    pub source: &'static str,
+}
+
+/// Result of a fault-free reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldenRun {
+    /// `true` if the kernel reached its final `ecall`.
+    pub halted: bool,
+    /// Total cycles from reset to halt.
+    pub cycles: u64,
+    /// Rolling checksum of everything the kernel published.
+    pub output_checksum: u32,
+    /// Number of words the kernel published.
+    pub outputs: usize,
+    /// Number of retired instructions.
+    pub instructions: u64,
+}
+
+impl Workload {
+    /// All kernels in the suite.
+    pub fn all() -> &'static [Workload] {
+        kernels::ALL
+    }
+
+    /// Looks a kernel up by name, searching the default suite and the
+    /// extra (ablation) kernels.
+    pub fn find(name: &str) -> Option<&'static Workload> {
+        kernels::ALL
+            .iter()
+            .chain(kernels::extra())
+            .find(|w| w.name == name)
+    }
+
+    /// Assembles the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to assemble (a bug in this
+    /// crate, covered by tests).
+    pub fn assemble(&self) -> Program {
+        assemble(self.source)
+            .unwrap_or_else(|e| panic!("kernel `{}` failed to assemble: {e}", self.name))
+    }
+
+    /// Builds a loaded memory system for this kernel with the given
+    /// stimulus seed.
+    pub fn memory(&self, stimulus_seed: u64) -> Memory {
+        let mut mem = Memory::new(RAM_BYTES, stimulus_seed);
+        mem.load_image(&self.assemble().to_bytes(RAM_BYTES));
+        mem
+    }
+
+    /// Runs the kernel fault-free on a single CPU and reports timing and
+    /// the output checksum.
+    pub fn golden_run(&self, stimulus_seed: u64, max_cycles: u64) -> GoldenRun {
+        let mut mem = self.memory(stimulus_seed);
+        let mut cpu = Cpu::new(0);
+        let mut ports = PortSet::new();
+        let mut cycles = 0;
+        let mut halted = false;
+        for _ in 0..max_cycles {
+            cycles += 1;
+            if cpu.step(&mut mem, &mut ports).halted {
+                halted = true;
+                break;
+            }
+        }
+        GoldenRun {
+            halted,
+            cycles,
+            output_checksum: mem.output_checksum(),
+            outputs: mem.output_log().len(),
+            instructions: cpu.state().instret,
+        }
+    }
+
+    /// Records the full fault-free port trace (one [`PortSet`] per cycle)
+    /// until halt. This is the golden reference the fast fault-injection
+    /// path compares against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not halt within `max_cycles` — golden
+    /// traces must cover complete runs.
+    pub fn golden_trace(&self, stimulus_seed: u64, max_cycles: u64) -> Vec<PortSet> {
+        let mut mem = self.memory(stimulus_seed);
+        let mut cpu = Cpu::new(0);
+        let mut trace = Vec::new();
+        let mut ports = PortSet::new();
+        for _ in 0..max_cycles {
+            let info = cpu.step(&mut mem, &mut ports);
+            trace.push(ports);
+            if info.halted {
+                return trace;
+            }
+        }
+        panic!("kernel `{}` did not halt within {max_cycles} cycles", self.name);
+    }
+
+    /// Convenience: reads a word the kernel published at `offset` within
+    /// the output block (for example-level assertions).
+    pub fn published(mem: &mut Memory, offset: u32) -> u32 {
+        mem.read(lockstep_mem::OUTPUT_BASE + offset).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_kernels() {
+        assert_eq!(Workload::all().len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in Workload::all() {
+            assert!(seen.insert(w.name), "duplicate kernel {}", w.name);
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(Workload::find("ttsprk").is_some());
+        assert!(Workload::find("nope").is_none());
+    }
+
+    #[test]
+    fn every_kernel_assembles() {
+        for w in Workload::all() {
+            let p = w.assemble();
+            assert!(p.len() > 10, "{} suspiciously small", w.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_halts_and_publishes() {
+        for w in Workload::all() {
+            let g = w.golden_run(7, 200_000);
+            assert!(g.halted, "{} did not halt", w.name);
+            assert!(g.outputs > 10, "{} published almost nothing", w.name);
+            assert!(g.instructions > 50, "{} retired almost nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn runtimes_span_the_restart_latency_band() {
+        // Paper Table II: restart latencies [2k, ~10k, 36k] cycles.
+        let mut cycles: Vec<u64> =
+            Workload::all().iter().map(|w| w.golden_run(7, 400_000).cycles).collect();
+        cycles.sort_unstable();
+        let min = cycles[0];
+        let max = *cycles.last().unwrap();
+        let mean = cycles.iter().sum::<u64>() / cycles.len() as u64;
+        assert!(min >= 1_000, "shortest kernel {min} cycles — too trivial");
+        assert!(max <= 60_000, "longest kernel {max} cycles — too slow for campaigns");
+        assert!((4_000..25_000).contains(&mean), "mean runtime {mean} out of band");
+    }
+
+    #[test]
+    fn extra_kernels_assemble_halt_and_publish() {
+        for w in crate::extra() {
+            let g = w.golden_run(7, 400_000);
+            assert!(g.halted, "{} did not halt", w.name);
+            assert!(g.outputs >= 8, "{} published almost nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn find_covers_extras_without_polluting_the_suite() {
+        assert!(Workload::find("cacheb").is_some());
+        assert!(Workload::find("aifftr").is_some());
+        assert!(Workload::find("basefx").is_some());
+        assert!(Workload::all().iter().all(|w| w.name != "cacheb"));
+    }
+
+    #[test]
+    fn golden_runs_are_deterministic() {
+        for w in Workload::all().iter().take(4) {
+            let a = w.golden_run(3, 200_000);
+            let b = w.golden_run(3, 200_000);
+            assert_eq!(a, b, "{} nondeterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn stimulus_seed_changes_outputs() {
+        let w = Workload::find("rspeed").unwrap();
+        let a = w.golden_run(1, 200_000);
+        let b = w.golden_run(2, 200_000);
+        assert_ne!(a.output_checksum, b.output_checksum);
+    }
+
+    #[test]
+    fn golden_trace_length_matches_run() {
+        let w = Workload::find("bitmnp").unwrap();
+        let g = w.golden_run(5, 200_000);
+        let t = w.golden_trace(5, 200_000);
+        assert_eq!(t.len() as u64, g.cycles);
+    }
+}

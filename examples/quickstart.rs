@@ -1,0 +1,91 @@
+//! Quickstart: the full error-correlation-prediction story in one file.
+//!
+//! 1. Assemble an automotive kernel and run it on a dual-CPU lockstep
+//!    system — fault-free, the checker stays silent.
+//! 2. Inject a permanent (stuck-at) fault into one CPU; the checker
+//!    detects the divergence and captures the Divergence Status Register.
+//! 3. Train an error correlation predictor on a small fault-injection
+//!    campaign, then ask it where the new error probably came from and
+//!    whether it is soft or hard.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lockstep::bist::{LatencyModel, Model, SystemController};
+use lockstep::core::{LockstepEvent, LockstepSystem, Predictor, PredictorConfig};
+use lockstep::cpu::{flops, Granularity};
+use lockstep::eval::{run_campaign, CampaignConfig, Dataset};
+use lockstep::fault::{Fault, FaultKind};
+use lockstep::workloads::Workload;
+
+fn main() {
+    let workload = Workload::find("ttsprk").expect("tooth-to-spark is in the suite");
+    println!("workload: {} — {}", workload.name, workload.description);
+
+    // --- 1. fault-free lockstep execution -----------------------------
+    let mut system = LockstepSystem::dmr(workload.memory(42));
+    match system.run(100_000) {
+        LockstepEvent::Halted => println!("fault-free run: completed in lockstep ✓"),
+        other => panic!("unexpected event: {other:?}"),
+    }
+
+    // --- 2. inject a defect and detect it ------------------------------
+    let mut system = LockstepSystem::dmr(workload.memory(42));
+    let victim = flops::all_flops()
+        .find(|f| flops::label_of(*f) == "MDV.mdv_acc_lo.5")
+        .expect("divider accumulator flop");
+    let fault = Fault::new(victim, FaultKind::StuckAt1, 1_000);
+    println!("\ninjecting: {}", fault.describe());
+    system.inject(0, fault);
+    let (dsr, cycle) = match system.run(100_000) {
+        LockstepEvent::ErrorDetected { dsr, cycle, .. } => (dsr, cycle),
+        other => panic!("fault was not detected: {other:?}"),
+    };
+    println!("checker fired at cycle {cycle}");
+    println!("diverged signal categories: {dsr}");
+
+    // --- 3. train a predictor and consult it ---------------------------
+    println!("\ntraining predictor on a small campaign (this takes a few seconds)...");
+    let campaign = run_campaign(&CampaignConfig::new(800, 7));
+    println!(
+        "campaign: {} errors logged from {} injections",
+        campaign.records.len(),
+        campaign.injected
+    );
+    let dataset = Dataset::new(campaign.records.clone());
+    let all: Vec<_> = dataset.records().iter().collect();
+    let train = Dataset::to_train_records(&all, Granularity::Coarse);
+    let predictor = Predictor::train(&train, PredictorConfig::new(Granularity::Coarse));
+    println!(
+        "prediction table: {} entries, {}-bit PTAR, {:.1} KB",
+        predictor.entry_count(),
+        predictor.ptar_bits(),
+        predictor.table_bits() as f64 / 8192.0
+    );
+
+    let prediction = predictor.predict(dsr);
+    let order: Vec<&str> =
+        prediction.order.iter().map(|&u| Granularity::Coarse.unit_name(u)).collect();
+    println!("\nprediction for the detected error:");
+    println!("  type:            {:?} (truth: hard — it was a stuck-at)", prediction.kind);
+    println!("  unit order:      {} (truth: DPU — the divider lives there)", order.join(" > "));
+    println!("  from table:      {}", if prediction.table_hit { "hit" } else { "default entry" });
+
+    // --- 4. reaction time: what the prediction buys --------------------
+    let latency = LatencyModel::calibrated(Granularity::Coarse);
+    let rates = campaign.manifestation_rates(Granularity::Coarse);
+    let truth_unit = lockstep::cpu::CoarseUnit::Dpu.index();
+    let mut base =
+        SystemController::new(Model::BaseAscending, latency.clone(), rates.clone(), 1);
+    let mut pred = SystemController::new(Model::PredComb, latency, rates, 1);
+    let restart = campaign.restart_cycles(workload.name);
+    let base_out = base.handle_error(dsr, None, truth_unit, fault.kind.error_kind(), restart);
+    let pred_out =
+        pred.handle_error(dsr, Some(&predictor), truth_unit, fault.kind.error_kind(), restart);
+    println!("\nreaction time to reach the safe state:");
+    println!("  base-ascending: {:>9} cycles", base_out.lert_cycles());
+    println!("  pred-comb:      {:>9} cycles", pred_out.lert_cycles());
+    println!(
+        "  -> {:.0}% faster diagnosis with the predictor",
+        100.0 * (1.0 - pred_out.lert_cycles() as f64 / base_out.lert_cycles() as f64)
+    );
+}

@@ -1,0 +1,57 @@
+//! Functional SBIST demo: run real software test libraries on a core
+//! with an injected defect and watch the right unit's STL catch it.
+//!
+//! The paper's diagnostics run one STL per unit until a signature
+//! mismatch pinpoints the defective unit; the predictor's job is to
+//! order those STLs well. This example runs our *actual* LR5 test
+//! programs (not the latency model) against a stuck-at fault.
+//!
+//! Run with: `cargo run --release --example sbist_demo`
+
+use lockstep::bist::StlSuite;
+use lockstep::cpu::{flops, Granularity, UnitId};
+use lockstep::fault::{Fault, FaultKind};
+
+fn main() {
+    let suite = StlSuite::new(Granularity::Fine);
+
+    // An ageing defect in the barrel shifter.
+    let defect = Fault::new(
+        flops::all_flops()
+            .find(|f| flops::label_of(*f) == "SHF.shf_result.13")
+            .expect("shifter flop"),
+        FaultKind::StuckAt0,
+        0,
+    );
+    println!("hidden defect: {}\n", defect.describe());
+
+    // The predictor would put SHF first; here we sweep every unit's STL
+    // to show coverage is unit-targeted.
+    println!("{:6} {:>10} {:>12} {:>12}  verdict", "unit", "cycles", "signature", "golden");
+    let mut caught_by = Vec::new();
+    for idx in 0..suite.unit_count() {
+        let unit = Granularity::Fine.unit_name(idx);
+        let out = suite.run(idx, Some(defect));
+        let verdict = if out.detected() { "FAULT DETECTED" } else { "pass" };
+        if out.detected() {
+            caught_by.push(unit);
+        }
+        println!(
+            "{unit:6} {:>10} {:>12} {:>12}  {verdict}",
+            out.cycles,
+            out.signature.map_or("hang".to_owned(), |s| format!("{s:08x}")),
+            format!("{:08x}", out.golden),
+        );
+    }
+    println!();
+    assert!(
+        caught_by.contains(&UnitId::Shf.name()),
+        "the shifter STL must catch a shifter defect"
+    );
+    println!(
+        "units flagging the defect: {:?} — running {} first (as the predictor\n\
+         would order it) reaches the fail-stop verdict after a single STL.",
+        caught_by,
+        UnitId::Shf.name()
+    );
+}

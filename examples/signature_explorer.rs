@@ -1,0 +1,68 @@
+//! Signature explorer: see the error-correlation phenomenon with your
+//! own eyes. Runs a small campaign, then prints each unit's diverged-SC
+//! signature profile and the Bhattacharyya similarity matrix — the raw
+//! material of the paper's Figures 4 and 5.
+//!
+//! Run with: `cargo run --release --example signature_explorer`
+
+use lockstep::cpu::Granularity;
+use lockstep::eval::analysis::signature_analysis;
+use lockstep::eval::{run_campaign, CampaignConfig};
+use lockstep::fault::ErrorKind;
+use lockstep::stats::bhattacharyya;
+
+fn main() {
+    println!("running fault campaign (a few seconds)...\n");
+    let campaign = run_campaign(&CampaignConfig::new(1_000, 21));
+    println!(
+        "{} manifested errors from {} injections\n",
+        campaign.records.len(),
+        campaign.injected
+    );
+
+    let g = Granularity::Coarse;
+    for kind in [ErrorKind::Hard, ErrorKind::Soft] {
+        let analysis = signature_analysis(&campaign.records, g, kind);
+        println!("=== {kind} errors ===");
+        println!("{:6} {:>7} {:>14} {:>12}", "unit", "errors", "distinct sets", "mean BC");
+        for u in 0..g.unit_count() {
+            println!(
+                "{:6} {:>7} {:>14} {:>12}",
+                g.unit_name(u),
+                analysis.samples[u],
+                analysis.distributions[u].support_size(),
+                analysis.mean_bc[u].map_or("-".to_owned(), |b| format!("{b:.3}")),
+            );
+        }
+        println!(
+            "average BC across units: {}  (1.0 = units indistinguishable)\n",
+            analysis.overall_mean_bc().map_or("-".to_owned(), |b| format!("{b:.3}"))
+        );
+
+        // Pairwise similarity matrix.
+        println!("pairwise BC matrix (low = distinguishable):");
+        print!("      ");
+        for u in 0..g.unit_count() {
+            print!("{:>6}", g.unit_name(u));
+        }
+        println!();
+        for a in 0..g.unit_count() {
+            print!("{:6}", g.unit_name(a));
+            for b in 0..g.unit_count() {
+                if analysis.distributions[a].is_empty() || analysis.distributions[b].is_empty() {
+                    print!("{:>6}", "-");
+                } else {
+                    let bc = bhattacharyya(&analysis.distributions[a], &analysis.distributions[b]);
+                    print!("{bc:>6.2}");
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "If units show low mutual BC, the DSR at detection time carries real\n\
+         information about *where* the fault lives — that is the paper's\n\
+         error correlation prediction phenomenon."
+    );
+}

@@ -1,0 +1,59 @@
+//! Triple-modular-redundancy demo: the majority voter names the erring
+//! CPU, and forward recovery (paper Section II-2, after Iturbe et al.'s
+//! TCLS) repairs it from a healthy copy without restarting the task.
+//!
+//! Run with: `cargo run --release --example tmr_forward_recovery`
+
+use lockstep::core::{LockstepEvent, LockstepSystem};
+use lockstep::cpu::flops;
+use lockstep::fault::{Fault, FaultKind};
+use lockstep::workloads::Workload;
+
+fn main() {
+    let workload = Workload::find("iirflt").expect("IIR filter kernel");
+    println!("TMR lockstep running {} — {}\n", workload.name, workload.description);
+
+    let mut system = LockstepSystem::tmr(workload.memory(5));
+
+    // A transient upset strikes CPU 2's program counter mid-run.
+    let pc_bit = flops::all_flops()
+        .find(|f| flops::label_of(*f) == "PFU.pc.6")
+        .expect("pc bit");
+    let fault = Fault::new(pc_bit, FaultKind::Transient, 700);
+    println!("injecting {} into CPU 2", fault.describe());
+    system.inject(2, fault);
+
+    let erring = match system.run(100_000) {
+        LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu } => {
+            println!("cycle {cycle}: divergence detected");
+            println!("  diverged SCs: {dsr}");
+            match erring_cpu {
+                Some(cpu) => {
+                    println!("  majority voter blames CPU {cpu} (2 vs 1)");
+                    cpu
+                }
+                None => panic!("unvotable state — should not happen with one fault"),
+            }
+        }
+        other => panic!("fault not detected: {other:?}"),
+    };
+    assert_eq!(erring, 2, "the voter must blame the CPU we faulted");
+
+    // Forward recovery: copy a healthy CPU's architectural state over the
+    // erring one — no task restart, minimal downtime.
+    system.clear_faults();
+    system.forward_recover(erring, 0);
+    println!("\nforward recovery: CPU {erring} re-synchronized from CPU 0");
+
+    match system.run(200_000) {
+        LockstepEvent::Halted => {
+            println!("task ran to completion in lockstep after recovery ✓");
+            println!(
+                "outputs published: {} words, checksum {:#010x}",
+                system.memory().output_log().len(),
+                system.memory().output_checksum()
+            );
+        }
+        other => panic!("post-recovery divergence: {other:?}"),
+    }
+}

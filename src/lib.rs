@@ -1,0 +1,42 @@
+//! # lockstep — error correlation prediction for lockstep processors
+//!
+//! Facade crate for the reproduction of *"Error Correlation Prediction in
+//! Lockstep Processors for Safety-critical Systems"* (MICRO 2018, Arm).
+//! It re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`stats`] — histograms, Bhattacharyya coefficient, k-fold CV, RNG.
+//! * [`isa`] — the LR5 32-bit RISC instruction set.
+//! * [`asm`] — two-pass assembler for LR5 assembly text.
+//! * [`mem`] — RAM, SECDED ECC, bus and MMIO stimulus devices.
+//! * [`cpu`] — the cycle-accurate LR5 pipeline with enumerable flip-flops
+//!   and the 62-signal-category output port model.
+//! * [`fault`] — transient and stuck-at fault models and campaign plans.
+//! * [`core`] — the lockstep harness, per-SC checker, Divergence Status
+//!   Register and the **error correlation predictor** (the paper's
+//!   contribution).
+//! * [`bist`] — SBIST engine, software test libraries, the five LERT
+//!   models of Figure 9 and the safe-state system controller.
+//! * [`workloads`] — EEMBC-AutoBench-like automotive kernels.
+//! * [`hwcost`] — the Table IV area/power overhead model.
+//! * [`eval`] — fault-injection campaigns and per-table/figure experiments.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: assemble a
+//! workload, run it on a dual-CPU lockstep system, inject a fault, detect
+//! the divergence, and ask the predictor where the fault came from.
+
+#![forbid(unsafe_code)]
+
+pub use lockstep_asm as asm;
+pub use lockstep_bist as bist;
+pub use lockstep_core as core;
+pub use lockstep_cpu as cpu;
+pub use lockstep_eval as eval;
+pub use lockstep_fault as fault;
+pub use lockstep_hwcost as hwcost;
+pub use lockstep_isa as isa;
+pub use lockstep_mem as mem;
+pub use lockstep_stats as stats;
+pub use lockstep_workloads as workloads;

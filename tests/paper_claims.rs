@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the paper's headline claims must hold
+//! end-to-end on a (small-scale) reproduction run.
+//!
+//! These tests share one campaign via `OnceLock` so the whole file costs
+//! a single fault-injection run.
+
+use std::sync::OnceLock;
+
+use lockstep::bist::Model;
+use lockstep::cpu::Granularity;
+use lockstep::eval::analysis::{signature_analysis, type_evidence};
+use lockstep::eval::lertsim::{evaluate, EvalConfig};
+use lockstep::eval::{run_campaign, CampaignConfig, CampaignResult, Dataset};
+use lockstep::fault::ErrorKind;
+use lockstep::workloads::Workload;
+
+fn campaign() -> &'static CampaignResult {
+    static CAMPAIGN: OnceLock<CampaignResult> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        // Six kernels with diverse unit mixes keep this fast but honest.
+        let names = ["ttsprk", "rspeed", "canrdr", "pntrch", "matrix", "bitmnp"];
+        run_campaign(&CampaignConfig {
+            workloads: names.iter().map(|n| Workload::find(n).unwrap()).collect(),
+            faults_per_workload: 900,
+            seed: 424_242,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            capture_window: 8,
+        })
+    })
+}
+
+#[test]
+fn phenomenon_units_have_distinguishable_signatures() {
+    // Section III-A: the average BC across units is well below 1 —
+    // signatures carry location information (paper: ~0.39 hard, ~0.32
+    // soft).
+    for kind in [ErrorKind::Hard, ErrorKind::Soft] {
+        let analysis = signature_analysis(&campaign().records, Granularity::Coarse, kind);
+        let bc = analysis.overall_mean_bc().expect("campaign yields all units");
+        assert!(
+            bc < 0.75,
+            "{kind} signatures are too similar (BC {bc:.3}) — no correlation to exploit"
+        );
+    }
+}
+
+#[test]
+fn phenomenon_hard_errors_spread_over_more_sets() {
+    // Section III-B: hard errors produce more distinct diverged-SC sets
+    // than soft errors (paper: +54%).
+    let ev = type_evidence(&campaign().records, Granularity::Coarse);
+    assert!(
+        ev.hard_distinct_sets > ev.soft_distinct_sets,
+        "hard {} vs soft {}",
+        ev.hard_distinct_sets,
+        ev.soft_distinct_sets
+    );
+}
+
+#[test]
+fn headline_prediction_reduces_lert_substantially() {
+    // The abstract's claim: availability up by 42–65% relative to the
+    // baselines. At our scale, require pred-comb to beat every baseline
+    // and by a solid margin against the best one.
+    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+    let comb = eval.lert(Model::PredComb);
+    for base in [Model::BaseRandom, Model::BaseAscending, Model::BaseManifest] {
+        assert!(
+            comb < eval.lert(base),
+            "pred-comb {comb:.0} must beat {} {:.0}",
+            base.name(),
+            eval.lert(base)
+        );
+    }
+    let best_base = eval.lert(Model::BaseAscending).min(eval.lert(Model::BaseManifest));
+    let speedup = 100.0 * (1.0 - comb / best_base);
+    assert!(speedup > 25.0, "speedup vs best baseline only {speedup:.1}% (paper: 42-65%)");
+}
+
+#[test]
+fn location_only_prediction_also_wins() {
+    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+    assert!(eval.lert(Model::PredLocationOnly) < eval.lert(Model::BaseAscending));
+    assert!(eval.lert(Model::PredComb) < eval.lert(Model::PredLocationOnly));
+}
+
+#[test]
+fn type_prediction_beats_coin_flip_and_favours_soft() {
+    // Table III shape: soft accuracy > hard accuracy, overall > 50%.
+    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+    let acc = eval.type_accuracy;
+    assert!(acc.overall() > 0.5, "overall type accuracy {:.2}", acc.overall());
+    assert!(
+        acc.soft() > acc.hard(),
+        "paper shape: soft ({:.2}) predicted better than hard ({:.2})",
+        acc.soft(),
+        acc.hard()
+    );
+}
+
+#[test]
+fn fine_granularity_improves_lert() {
+    // Section V-D: finer granularity improves both baselines and
+    // prediction models.
+    let coarse = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+    let fine = evaluate(campaign(), &EvalConfig::new(Granularity::Fine, 7));
+    assert!(
+        fine.lert(Model::PredComb) < coarse.lert(Model::PredComb),
+        "fine {:.0} vs coarse {:.0}",
+        fine.lert(Model::PredComb),
+        coarse.lert(Model::PredComb)
+    );
+    assert!(fine.lert(Model::BaseAscending) < coarse.lert(Model::BaseAscending));
+}
+
+#[test]
+fn topk_accuracy_grows_with_k_and_saturates() {
+    // Figures 12/13: accuracy rises with predicted units and saturates
+    // near the full-order accuracy well before K = all.
+    let points =
+        lockstep::eval::experiments::topk::sweep(campaign(), Granularity::Coarse, 7);
+    assert_eq!(points.len(), 7);
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].location_accuracy >= pair[0].location_accuracy - 0.02,
+            "accuracy must be (weakly) monotonic in K"
+        );
+    }
+    assert!(points[0].location_accuracy > 0.3, "top-1 accuracy too low");
+    assert!(points[6].location_accuracy > 0.95, "full-order accuracy too low");
+    // Sweet spot: by K=4 we are within a few percent of the best.
+    let best = points.iter().map(|p| p.speedup_vs_ascending_pct).fold(f64::MIN, f64::max);
+    assert!(points[3].speedup_vs_ascending_pct > best - 8.0);
+}
+
+#[test]
+fn distinct_sets_are_plentiful_but_bounded() {
+    // The paper observes ~1200 distinct diverged-SC sets; our smaller
+    // CPU and campaign should still produce a rich set space that fits
+    // comfortably in a compact PTAR.
+    let ds = Dataset::new(campaign().records.clone());
+    let distinct = ds.distinct_dsr_sets();
+    assert!(distinct > 50, "only {distinct} distinct sets — signatures degenerate");
+    assert!(distinct < 4096, "{distinct} sets would not fit a 12-bit PTAR");
+}
+
+#[test]
+fn predictor_hardware_stays_under_two_percent() {
+    // Table IV headline: <2% area and power vs the dual-CPU lockstep.
+    let (t4, _) = lockstep::eval::experiments::tab4::run(11);
+    assert!(t4.area_vs_dual_pct < 2.0);
+    assert!(t4.power_vs_dual_pct < 2.0);
+}
+
+#[test]
+fn offchip_table_costs_nearly_nothing() {
+    // Section V-B: ~0.05% LERT overhead from keeping the table in DRAM.
+    let (placement, _) = lockstep::eval::experiments::sec5b::run(campaign(), 7);
+    assert!(placement.comb_overhead_pct().abs() < 1.0);
+    assert!(placement.loc_overhead_pct().abs() < 1.0);
+}
