@@ -148,10 +148,7 @@ mod tests {
     fn hex_and_binary_literals() {
         assert_eq!(tokenize_line("0xFF", 1).unwrap(), vec![Token::Int(255)]);
         assert_eq!(tokenize_line("0b101", 1).unwrap(), vec![Token::Int(5)]);
-        assert_eq!(
-            tokenize_line("0xFFFFFFFF", 1).unwrap(),
-            vec![Token::Int(0xFFFF_FFFF)]
-        );
+        assert_eq!(tokenize_line("0xFFFFFFFF", 1).unwrap(), vec![Token::Int(0xFFFF_FFFF)]);
     }
 
     #[test]

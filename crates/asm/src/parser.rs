@@ -135,7 +135,10 @@ fn handle_directive(
         "org" => {
             let v = toks.int()?;
             if v < 0 || v % 4 != 0 {
-                return Err(AsmError::new(line, ".org address must be non-negative and word-aligned"));
+                return Err(AsmError::new(
+                    line,
+                    ".org address must be non-negative and word-aligned",
+                ));
             }
             pc = v as u32;
         }
@@ -150,7 +153,10 @@ fn handle_directive(
         "space" => {
             let n = toks.int()?;
             if n < 0 || n % 4 != 0 {
-                return Err(AsmError::new(line, ".space size must be non-negative and word-aligned"));
+                return Err(AsmError::new(
+                    line,
+                    ".space size must be non-negative and word-aligned",
+                ));
             }
             pc = pc.wrapping_add(n as u32);
         }
@@ -234,7 +240,13 @@ fn parse_instruction(
             let expr = toks.expr()?;
             // Fixed two-instruction expansion keeps pass-1 sizing trivial.
             return Ok(vec![
-                Pending::Imm { op: Opcode::Lui, rd, rs1: Reg::ZERO, expr: expr.clone(), kind: ImmKind::Hi16 },
+                Pending::Imm {
+                    op: Opcode::Lui,
+                    rd,
+                    rs1: Reg::ZERO,
+                    expr: expr.clone(),
+                    kind: ImmKind::Hi16,
+                },
                 Pending::Imm { op: Opcode::Ori, rd, rs1: rd, expr, kind: ImmKind::Lo16 },
             ]);
         }
@@ -385,13 +397,19 @@ fn resolve(
             let imm = match kind {
                 ImmKind::Signed16 => {
                     if !(-32768..=32767).contains(&v) {
-                        return Err(AsmError::new(line, format!("immediate {v} out of signed 16-bit range")));
+                        return Err(AsmError::new(
+                            line,
+                            format!("immediate {v} out of signed 16-bit range"),
+                        ));
                     }
                     v as i32
                 }
                 ImmKind::Unsigned16 => {
                     if !(0..=0xFFFF).contains(&v) {
-                        return Err(AsmError::new(line, format!("immediate {v} out of unsigned 16-bit range")));
+                        return Err(AsmError::new(
+                            line,
+                            format!("immediate {v} out of unsigned 16-bit range"),
+                        ));
                     }
                     // Logical immediates are zero-extended by the CPU, but
                     // the instruction word stores raw bits; the decoded
@@ -510,7 +528,8 @@ impl Cursor {
 
     fn reg(&mut self) -> Result<Reg, AsmError> {
         let name = self.ident()?;
-        Reg::parse(&name).ok_or_else(|| AsmError::new(self.line, format!("unknown register `{name}`")))
+        Reg::parse(&name)
+            .ok_or_else(|| AsmError::new(self.line, format!("unknown register `{name}`")))
     }
 
     fn reg_reg(&mut self) -> Result<(Reg, Reg), AsmError> {
@@ -574,11 +593,7 @@ impl Cursor {
 
     /// Parses a memory operand `offset(base)`, `(base)` or `sym(base)`.
     fn mem_operand(&mut self) -> Result<(Expr, Reg), AsmError> {
-        let offset = if self.peek() == Some(&Token::LParen) {
-            Expr::Int(0)
-        } else {
-            self.expr()?
-        };
+        let offset = if self.peek() == Some(&Token::LParen) { Expr::Int(0) } else { self.expr()? };
         self.expect(Token::LParen)?;
         let base = self.reg()?;
         self.expect(Token::RParen)?;
@@ -640,10 +655,7 @@ mod tests {
     fn li_large_uses_lui_ori() {
         let p = assemble("li a0, 0x12345678").unwrap();
         assert_eq!(p.len(), 2);
-        assert_eq!(
-            Instr::decode(p.word_at(0).unwrap()).unwrap(),
-            Instr::lui(Reg::A0, 0x1234)
-        );
+        assert_eq!(Instr::decode(p.word_at(0).unwrap()).unwrap(), Instr::lui(Reg::A0, 0x1234));
         assert_eq!(
             Instr::decode(p.word_at(4).unwrap()).unwrap(),
             Instr::ri(Opcode::Ori, Reg::A0, Reg::A0, 0x5678)
@@ -788,14 +800,8 @@ mod tests {
              csrw misr, a1",
         )
         .unwrap();
-        assert_eq!(
-            Instr::decode(p.word_at(0).unwrap()).unwrap(),
-            Instr::csrr(Reg::A0, Csr::Cycle)
-        );
-        assert_eq!(
-            Instr::decode(p.word_at(4).unwrap()).unwrap(),
-            Instr::csrw(Csr::Misr, Reg::A1)
-        );
+        assert_eq!(Instr::decode(p.word_at(0).unwrap()).unwrap(), Instr::csrr(Reg::A0, Csr::Cycle));
+        assert_eq!(Instr::decode(p.word_at(4).unwrap()).unwrap(), Instr::csrw(Csr::Misr, Reg::A1));
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn campaign() -> &'static CampaignResult {
             seed: 42,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: 8,
+            checkpoint_interval: Some(4096),
         })
     })
 }
@@ -44,6 +45,7 @@ fn bench_campaign_engine(c: &mut Criterion) {
                 seed: 9,
                 threads: 4,
                 capture_window: 8,
+                checkpoint_interval: Some(4096),
             }))
         })
     });
@@ -52,9 +54,8 @@ fn bench_campaign_engine(c: &mut Criterion) {
 
 fn bench_tab1(c: &mut Criterion) {
     let result = campaign();
-    c.benchmark_group("tab1_manifestation").bench_function("analysis", |b| {
-        b.iter(|| black_box(experiments::tab1::run(result)))
-    });
+    c.benchmark_group("tab1_manifestation")
+        .bench_function("analysis", |b| b.iter(|| black_box(experiments::tab1::run(result))));
 }
 
 fn bench_tab2(c: &mut Criterion) {
@@ -115,9 +116,7 @@ fn bench_tab3(c: &mut Criterion) {
     let result = campaign();
     let mut group = c.benchmark_group("tab3_type_accuracy");
     group.sample_size(20);
-    group.bench_function("evaluation", |b| {
-        b.iter(|| black_box(experiments::tab3::run(result, 1)))
-    });
+    group.bench_function("evaluation", |b| b.iter(|| black_box(experiments::tab3::run(result, 1))));
     group.finish();
 }
 

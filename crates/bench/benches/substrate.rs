@@ -50,9 +50,8 @@ fn bench_checker(c: &mut Criterion) {
 
 fn bench_ecc(c: &mut Criterion) {
     let mut group = c.benchmark_group("ecc_secded");
-    group.bench_function("encode", |b| {
-        b.iter(|| black_box(SecDed::encode(black_box(0xDEAD_BEEF))))
-    });
+    group
+        .bench_function("encode", |b| b.iter(|| black_box(SecDed::encode(black_box(0xDEAD_BEEF)))));
     let cw = SecDed::encode(0xDEAD_BEEF);
     group.bench_function("decode_clean", |b| b.iter(|| black_box(SecDed::decode(black_box(cw)))));
     let corrupted = SecDed::flip_bit(cw, 13);

@@ -146,16 +146,14 @@ mod tests {
     #[test]
     fn baseline_hard_fail_stops() {
         let mut c = controller(Model::BaseAscending);
-        let out =
-            c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Hard, 10_000);
+        let out = c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Hard, 10_000);
         assert!(matches!(out, ControllerOutcome::FailStop { .. }));
     }
 
     #[test]
     fn baseline_soft_recovers() {
         let mut c = controller(Model::BaseAscending);
-        let out =
-            c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Soft, 10_000);
+        let out = c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Soft, 10_000);
         match out {
             ControllerOutcome::SoftRecovered { units_tested, sbist_skipped, .. } => {
                 assert_eq!(units_tested, 7, "baseline runs every STL");
@@ -169,8 +167,7 @@ mod tests {
     fn pred_comb_skips_sbist_on_predicted_soft() {
         let mut c = controller(Model::PredComb);
         let p = trained();
-        let out =
-            c.handle_error(Dsr::from_bits(0b10), Some(&p), 4, ErrorKind::Soft, 10_000);
+        let out = c.handle_error(Dsr::from_bits(0b10), Some(&p), 4, ErrorKind::Soft, 10_000);
         match out {
             ControllerOutcome::SoftRecovered { sbist_skipped, units_tested, lert_cycles } => {
                 assert!(sbist_skipped);
@@ -185,8 +182,7 @@ mod tests {
     fn pred_comb_finds_hard_fault_fast_on_hit() {
         let mut c = controller(Model::PredComb);
         let p = trained();
-        let out =
-            c.handle_error(Dsr::from_bits(0b1), Some(&p), 2, ErrorKind::Hard, 10_000);
+        let out = c.handle_error(Dsr::from_bits(0b1), Some(&p), 2, ErrorKind::Hard, 10_000);
         match out {
             ControllerOutcome::FailStop { units_tested, .. } => assert_eq!(units_tested, 1),
             other => panic!("unexpected {other:?}"),
@@ -198,8 +194,7 @@ mod tests {
         let mut c = controller(Model::PredComb);
         let p = trained();
         // Unseen set -> default entry -> hard assumed -> SBIST runs.
-        let out =
-            c.handle_error(Dsr::from_bits(0b11111), Some(&p), 6, ErrorKind::Hard, 10_000);
+        let out = c.handle_error(Dsr::from_bits(0b11111), Some(&p), 6, ErrorKind::Hard, 10_000);
         assert!(matches!(out, ControllerOutcome::FailStop { .. }));
     }
 

@@ -78,10 +78,8 @@ impl LatencyModel {
     /// (scan-in, capture, scan-out per pattern), from the unit's
     /// flip-flop chain length.
     pub fn lbist(granularity: Granularity, patterns: u64) -> LatencyModel {
-        let latencies = unit_flop_counts(granularity)
-            .iter()
-            .map(|&chain| patterns * (2 * chain + 1))
-            .collect();
+        let latencies =
+            unit_flop_counts(granularity).iter().map(|&chain| patterns * (2 * chain + 1)).collect();
         LatencyModel::from_latencies(granularity, latencies)
     }
 

@@ -201,17 +201,13 @@ mod tests {
         let mut caught = 0;
         let mut total = 0;
         for flop in flops::flops_of_unit(UnitId::Mdv).step_by(13) {
-            let out =
-                e.run(UnitId::Mdv.index(), Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
+            let out = e.run(UnitId::Mdv.index(), Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
             total += 1;
             if out.detected() {
                 caught += 1;
             }
         }
-        assert!(
-            caught * 10 >= total * 9,
-            "LBIST coverage too low: {caught}/{total} in MDV chain"
-        );
+        assert!(caught * 10 >= total * 9, "LBIST coverage too low: {caught}/{total} in MDV chain");
     }
 
     #[test]

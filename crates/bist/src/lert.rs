@@ -160,8 +160,7 @@ pub fn lert_for(
                         // treated as hard with the predicted order.
                         let order = full_order(pred, n, rng);
                         let mut out = run_sbist(&order, inputs, latency);
-                        out.cycles +=
-                            2 * latency.table_access() + inputs.restart_cycles;
+                        out.cycles += 2 * latency.table_access() + inputs.restart_cycles;
                         out
                     }
                 }
@@ -256,8 +255,7 @@ mod tests {
         let l = lat();
         // base-ascending: cheapest unit first; fault in the cheapest.
         let cheapest = (0..7).min_by_key(|&u| l.stl(u)).unwrap();
-        let out =
-            lert_for(Model::BaseAscending, hard(cheapest), &l, &rates(), None, &mut rng);
+        let out = lert_for(Model::BaseAscending, hard(cheapest), &l, &rates(), None, &mut rng);
         assert_eq!(out.units_tested, 1);
         assert_eq!(out.cycles, l.stl(cheapest));
         assert!(out.hard_found);
@@ -312,8 +310,7 @@ mod tests {
         let l = lat();
         let p = pred(vec![5, 1, 0, 2, 3, 4, 6], ErrorKind::Hard);
         let a = lert_for(Model::PredComb, hard(5), &l, &rates(), Some(&p), &mut rng1);
-        let b =
-            lert_for(Model::PredLocationOnly, hard(5), &l, &rates(), Some(&p), &mut rng2);
+        let b = lert_for(Model::PredLocationOnly, hard(5), &l, &rates(), Some(&p), &mut rng2);
         assert_eq!(a, b);
     }
 
@@ -341,7 +338,8 @@ mod tests {
             let out = lert_for(Model::PredComb, hard(unit), &l, &rates(), Some(&p), &mut rng);
             assert!(
                 out.cycles <= worst_baseline + 2 * l.table_access() + 10_000,
-                "unit {unit}: {} cycles", out.cycles
+                "unit {unit}: {} cycles",
+                out.cycles
             );
         }
     }
@@ -368,7 +366,13 @@ mod tests {
         let names: Vec<&str> = Model::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["base-random", "base-ascending", "base-manifest", "pred-location-only", "pred-comb"]
+            vec![
+                "base-random",
+                "base-ascending",
+                "base-manifest",
+                "pred-location-only",
+                "pred-comb"
+            ]
         );
     }
 }

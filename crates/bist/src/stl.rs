@@ -59,11 +59,9 @@ impl StlSuite {
     pub fn source(&self, idx: usize) -> String {
         let bodies: Vec<String> = match self.granularity {
             Granularity::Fine => vec![body(UnitId::ALL[idx])],
-            Granularity::Coarse => UnitId::ALL
-                .iter()
-                .filter(|u| u.coarse().index() == idx)
-                .map(|u| body(*u))
-                .collect(),
+            Granularity::Coarse => {
+                UnitId::ALL.iter().filter(|u| u.coarse().index() == idx).map(|u| body(*u)).collect()
+            }
         };
         let mut src = String::from(PROLOGUE);
         for b in &bodies {
@@ -81,13 +79,10 @@ impl StlSuite {
     /// Panics if the *golden* run fails to halt (an STL bug).
     pub fn run(&self, idx: usize, fault: Option<Fault>) -> StlOutcome {
         let src = self.source(idx);
-        let (golden_sig, golden_cycles) =
-            execute(&src, None).expect("golden STL run must halt");
+        let (golden_sig, golden_cycles) = execute(&src, None).expect("golden STL run must halt");
         let budget = golden_cycles * 4 + 1000;
         match execute_bounded(&src, fault, budget) {
-            Some((sig, cycles)) => {
-                StlOutcome { signature: Some(sig), golden: golden_sig, cycles }
-            }
+            Some((sig, cycles)) => StlOutcome { signature: Some(sig), golden: golden_sig, cycles },
             None => StlOutcome { signature: None, golden: golden_sig, cycles: budget },
         }
     }
@@ -480,9 +475,7 @@ mod tests {
         let suite = StlSuite::new(Granularity::Fine);
         let idx = UnitId::Mdv.index();
         // A bit of the divider's accumulator.
-        let flop = flops::all_flops()
-            .find(|f| flops::label_of(*f) == "MDV.mdv_acc_lo.3")
-            .unwrap();
+        let flop = flops::all_flops().find(|f| flops::label_of(*f) == "MDV.mdv_acc_lo.3").unwrap();
         let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
         assert!(out.detected());
     }
@@ -491,9 +484,7 @@ mod tests {
     fn shf_stl_detects_stuck_shifter_bit() {
         let suite = StlSuite::new(Granularity::Fine);
         let idx = UnitId::Shf.index();
-        let flop = flops::all_flops()
-            .find(|f| flops::label_of(*f) == "SHF.shf_result.7")
-            .unwrap();
+        let flop = flops::all_flops().find(|f| flops::label_of(*f) == "SHF.shf_result.7").unwrap();
         let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt1, 0)));
         assert!(out.detected());
     }
@@ -510,8 +501,7 @@ mod tests {
     fn stuck_pc_bit_hangs_or_mismatches() {
         let suite = StlSuite::new(Granularity::Fine);
         let idx = UnitId::Pfu.index();
-        let flop =
-            flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.2").unwrap();
+        let flop = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.2").unwrap();
         let out = suite.run(idx, Some(Fault::new(flop, FaultKind::StuckAt0, 0)));
         assert!(out.detected(), "a stuck PC bit must be caught (hang or bad signature)");
     }

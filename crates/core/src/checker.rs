@@ -57,14 +57,11 @@ impl Checker {
         assert!(ports.len() >= 3, "MMR requires at least three CPUs");
         // Find a value that at least ⌈n/2⌉+... strictly more than half share.
         for candidate in 0..ports.len() {
-            let agreeing =
-                ports.iter().filter(|p| p.diff_mask(&ports[candidate]) == 0).count();
+            let agreeing = ports.iter().filter(|p| p.diff_mask(&ports[candidate]) == 0).count();
             if agreeing * 2 > ports.len() {
                 // `candidate` holds the majority value.
-                let erring = ports
-                    .iter()
-                    .enumerate()
-                    .find(|(_, p)| p.diff_mask(&ports[candidate]) != 0);
+                let erring =
+                    ports.iter().enumerate().find(|(_, p)| p.diff_mask(&ports[candidate]) != 0);
                 return erring.map(|(idx, p)| MmrOutcome {
                     dsr: Dsr::from_bits(p.diff_mask(&ports[candidate])),
                     erring_cpu: Some(idx),
@@ -72,10 +69,7 @@ impl Checker {
             }
         }
         // No majority: flag with the 0↔1 divergence.
-        Some(MmrOutcome {
-            dsr: Dsr::from_bits(ports[0].diff_mask(&ports[1])),
-            erring_cpu: None,
-        })
+        Some(MmrOutcome { dsr: Dsr::from_bits(ports[0].diff_mask(&ports[1])), erring_cpu: None })
     }
 }
 

@@ -203,8 +203,11 @@ impl LockstepSystem {
 
         let mut ports: Vec<PortSet> = vec![PortSet::new(); self.cpus.len()];
         // Main CPU drives the real memory, recording its responses.
-        let mut recorder =
-            RecordingPort { inner: &mut self.mem, fetches: VecDeque::new(), reads: VecDeque::new() };
+        let mut recorder = RecordingPort {
+            inner: &mut self.mem,
+            fetches: VecDeque::new(),
+            reads: VecDeque::new(),
+        };
         let faults = &self.faults;
         self.cpus[0].step_with_overlay(&mut recorder, &mut ports[0], |st| {
             for (c, f) in faults {
@@ -234,7 +237,11 @@ impl LockstepSystem {
                 return LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu: None };
             }
         } else if let Some(out) = Checker::compare_mmr(&ports) {
-            return LockstepEvent::ErrorDetected { dsr: out.dsr, cycle, erring_cpu: out.erring_cpu };
+            return LockstepEvent::ErrorDetected {
+                dsr: out.dsr,
+                cycle,
+                erring_cpu: out.erring_cpu,
+            };
         }
         if self.cpus[0].is_halted() {
             LockstepEvent::Halted

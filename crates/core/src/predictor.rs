@@ -180,7 +180,10 @@ impl Predictor {
                 order.truncate(k);
             }
             let (hard, soft) = hard_counts[key];
-            entries.push(Entry { order, hard: type_bit(config.type_scoring, hard, soft, class_totals) });
+            entries.push(Entry {
+                order,
+                hard: type_bit(config.type_scoring, hard, soft, class_totals),
+            });
             index.insert(*key, i as u32);
         }
         Predictor { entries, index, config }
@@ -284,8 +287,7 @@ mod tests {
     #[test]
     fn tie_predicts_soft_only_if_hard_not_greater() {
         // Equal hard/soft counts: hard > soft is false -> soft.
-        let records =
-            vec![rec(0b1, 0, ErrorKind::Hard), rec(0b1, 0, ErrorKind::Soft)];
+        let records = vec![rec(0b1, 0, ErrorKind::Hard), rec(0b1, 0, ErrorKind::Soft)];
         let p = Predictor::train(&records, coarse());
         assert_eq!(p.predict(Dsr::from_bits(0b1)).kind, ErrorKind::Soft);
     }
@@ -302,11 +304,8 @@ mod tests {
 
     #[test]
     fn top_k_truncates_order() {
-        let records: Vec<TrainRecord> = (0..7)
-            .flat_map(|u| {
-                std::iter::repeat_n(rec(0b1, u, ErrorKind::Hard), 7 - u)
-            })
-            .collect();
+        let records: Vec<TrainRecord> =
+            (0..7).flat_map(|u| std::iter::repeat_n(rec(0b1, u, ErrorKind::Hard), 7 - u)).collect();
         let p = Predictor::train(&records, coarse().with_top_k(3));
         let pred = p.predict(Dsr::from_bits(0b1));
         assert_eq!(pred.order, vec![0, 1, 2]);

@@ -66,9 +66,7 @@ fn stuck_at_in_regfile_detected() {
 fn transient_in_pc_detected_quickly() {
     let mut sys = system(2);
     // Bit 4 of the PC: the fetch stream immediately diverges.
-    let pc_bit4 = flops::all_flops()
-        .find(|f| flops::label_of(*f) == "PFU.pc.4")
-        .unwrap();
+    let pc_bit4 = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.4").unwrap();
     sys.inject(0, Fault::new(pc_bit4, FaultKind::Transient, 300));
     match sys.run(50_000) {
         LockstepEvent::ErrorDetected { cycle, .. } => {

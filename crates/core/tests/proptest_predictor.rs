@@ -105,6 +105,6 @@ proptest! {
     #[test]
     fn ptar_covers_entries(records in arb_records(7)) {
         let p = Predictor::train(&records, PredictorConfig::new(Granularity::Coarse));
-        prop_assert!(1u64 << p.ptar_bits() >= p.entry_count() as u64 + 1);
+        prop_assert!(1u64 << p.ptar_bits() > p.entry_count() as u64);
     }
 }

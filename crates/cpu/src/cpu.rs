@@ -66,6 +66,28 @@ impl Cpu {
         self.state.halted & 1 == 1
     }
 
+    /// Captures the full sequential state — every flop, including the
+    /// cycle/instret/halted bookkeeping — as a checkpoint that
+    /// [`Cpu::restore`] or [`Cpu::from_state`] can resume from exactly.
+    pub fn snapshot(&self) -> CpuState {
+        self.state.clone()
+    }
+
+    /// Restores a previously captured snapshot. After this call the core
+    /// is cycle-for-cycle indistinguishable from one that simulated its
+    /// way to `snapshot` from reset (given identical memory contents).
+    pub fn restore(&mut self, snapshot: &CpuState) {
+        self.state = snapshot.clone();
+        self.hartid = snapshot.hartid;
+    }
+
+    /// Builds a core directly from a captured state, taking ownership of
+    /// the snapshot (avoids one clone when the caller already has one).
+    pub fn from_state(state: CpuState) -> Cpu {
+        let hartid = state.hartid;
+        Cpu { state, hartid }
+    }
+
     /// Advances one clock cycle, filling `ports` with this cycle's output
     /// port snapshot.
     pub fn step(&mut self, mem: &mut dyn MemoryPort, ports: &mut PortSet) -> StepInfo {

@@ -62,7 +62,11 @@ mod mdv {
 
 /// Computes the next state for one cycle, driving `ports` as a side
 /// effect. Pure apart from the memory-port accesses.
-pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet) -> (CpuState, StepInfo) {
+pub fn compute_next(
+    s: &CpuState,
+    mem: &mut dyn MemoryPort,
+    ports: &mut PortSet,
+) -> (CpuState, StepInfo) {
     ports.clear();
     let mut n = s.clone();
     let mut info = StepInfo::default();
@@ -75,10 +79,7 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
     if s.dmc_pending & 1 == 1 {
         ports.set_bus(Sc::DmcAddrLo, Sc::DmcAddrHi, s.dmc_addr);
         ports.set_bus(Sc::DmcWdataLo, Sc::DmcWdataHi, s.dmc_wdata);
-        ports.set(
-            Sc::DmcCtl,
-            1 | u32::from(s.dmc_mask & 0xF) << 1 | u32::from(s.dmc_err & 1) << 5,
-        );
+        ports.set(Sc::DmcCtl, 1 | u32::from(s.dmc_mask & 0xF) << 1 | u32::from(s.dmc_err & 1) << 5);
     }
     if s.biu_ctl & 1 == 1 || s.mem_wait & 1 == 1 {
         ports.set_bus(Sc::BiuAddrLo, Sc::BiuAddrHi, s.biu_addr);
@@ -255,7 +256,8 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
     if s.biu_ctl & 1 == 1 || s.mem_wait & 1 == 1 {
         ports.set(
             Sc::BiuCtl,
-            u32::from(s.biu_ctl & 3) | u32::from(s.biu_mask & 0xF) << 2
+            u32::from(s.biu_ctl & 3)
+                | u32::from(s.biu_mask & 0xF) << 2
                 | u32::from(s.mem_wait & 1) << 6,
         );
     }
@@ -321,17 +323,18 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
                     let imm = s.id_imm;
                     let imm_zx = imm & 0xFFFF;
                     match op {
-                        Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu
+                        Opcode::Beq
+                        | Opcode::Bne
+                        | Opcode::Blt
+                        | Opcode::Bge
+                        | Opcode::Bltu
                         | Opcode::Bgeu => {
                             let taken = branch_taken(op, a, b);
                             let target = s.id_pc.wrapping_add(imm << 2);
                             if taken {
                                 redirect = Some(target);
                             }
-                            ports.set(
-                                Sc::BranchCtl,
-                                1 | u32::from(taken) << 1,
-                            );
+                            ports.set(Sc::BranchCtl, 1 | u32::from(taken) << 1);
                             ports.set_bus(Sc::BtgtLo, Sc::BtgtHi, if taken { target } else { 0 });
                             fill_ex_latch(&mut n, s, op, 0, 0);
                             ex_ran = true;
@@ -376,7 +379,8 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
                             if !addr.is_multiple_of(size) {
                                 ex_trap = Some((TrapCause::MisalignedAccess, s.id_pc));
                             } else {
-                                let ctl = 1 | u8::from(op.is_store()) << 1
+                                let ctl = 1
+                                    | u8::from(op.is_store()) << 1
                                     | (size.trailing_zeros() as u8 & 3) << 2;
                                 n.ex_addr = addr;
                                 n.ex_store = b;
@@ -396,14 +400,12 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
                             let v = read_csr(s, (imm & 0xF) as u8);
                             n.ex_csr = (imm & 0xF) as u8;
                             match Csr::from_bits(imm & 0xFF) {
-                                Some(Csr::Cycle) => ports.set(
-                                    Sc::CycleChk,
-                                    (v & 0xF) | (parity8(v) & 0xF) << 4,
-                                ),
-                                Some(Csr::Instret) => ports.set(
-                                    Sc::InstretChk,
-                                    (v & 0xF) | (parity8(v) & 0xF) << 4,
-                                ),
+                                Some(Csr::Cycle) => {
+                                    ports.set(Sc::CycleChk, (v & 0xF) | (parity8(v) & 0xF) << 4)
+                                }
+                                Some(Csr::Instret) => {
+                                    ports.set(Sc::InstretChk, (v & 0xF) | (parity8(v) & 0xF) << 4)
+                                }
                                 Some(Csr::Misr) => {
                                     ports.set_bus(Sc::MisrLo, Sc::MisrHi, v);
                                 }
@@ -521,10 +523,7 @@ pub fn compute_next(s: &CpuState, mem: &mut dyn MemoryPort, ports: &mut PortSet)
         ports.set_bus(Sc::IfAddrLo, Sc::IfAddrHi, s.pc);
     }
     if n.id_valid & 1 == 1 {
-        ports.set(
-            Sc::IdCtl,
-            1 | u32::from(n.id_op & 0x3F) << 1 | u32::from(n.id_exc & 1) << 7,
-        );
+        ports.set(Sc::IdCtl, 1 | u32::from(n.id_op & 0x3F) << 1 | u32::from(n.id_exc & 1) << 7);
     }
 
     // ------------------------------------------------------------------
@@ -676,8 +675,7 @@ fn alu(op: Opcode, a: u32, b: u32) -> (u32, u8) {
     };
     let n = result >> 31 & 1 == 1;
     let z = result == 0;
-    let flags =
-        u8::from(n) << 3 | u8::from(z) << 2 | u8::from(carry) << 1 | u8::from(overflow);
+    let flags = u8::from(n) << 3 | u8::from(z) << 2 | u8::from(carry) << 1 | u8::from(overflow);
     (result, flags)
 }
 
@@ -750,13 +748,7 @@ fn apply_csr_write(n: &mut CpuState, s: &CpuState, csr_bits: u8, value: u32) {
     }
 }
 
-fn fill_ex_latch(
-    n: &mut CpuState,
-    s: &CpuState,
-    op: Opcode,
-    result: u32,
-    mem_ctl: u8,
-) {
+fn fill_ex_latch(n: &mut CpuState, s: &CpuState, op: Opcode, result: u32, mem_ctl: u8) {
     n.ex_valid = 1;
     n.ex_pc = s.id_pc;
     n.ex_op = op.bits() as u8;
@@ -766,8 +758,10 @@ fn fill_ex_latch(
     if mem_ctl == 0 {
         n.ex_mem_ctl = 0;
     }
-    if !matches!(op, Opcode::Sll | Opcode::Srl | Opcode::Sra | Opcode::Slli | Opcode::Srli | Opcode::Srai)
-    {
+    if !matches!(
+        op,
+        Opcode::Sll | Opcode::Srl | Opcode::Sra | Opcode::Slli | Opcode::Srli | Opcode::Srai
+    ) {
         n.ex_uses_shf = 0;
         n.shf_active = 0;
     } else {
@@ -811,7 +805,10 @@ fn start_mdv(n: &mut CpuState, op: Opcode, a: u32, b: u32) {
 fn mdv_iterate(s: &CpuState, n: &mut CpuState) {
     if s.mdv_op <= mdv::MULHU {
         // Radix-16 multiply: 8 iterations accumulate a*b into acc.
-        let i = u32::from(MUL_CYCLES - s.mdv_cnt);
+        // mdv_cnt is a 6-bit flop an injected fault can push outside the
+        // nominal 1..=8 range; hardware would mux a garbage digit, so the
+        // index wraps and is masked instead of being trusted.
+        let i = u32::from(MUL_CYCLES.wrapping_sub(s.mdv_cnt)) & 0x7;
         let digit = u64::from(s.mdv_b >> (4 * i) & 0xF);
         let partial = digit * u64::from(s.mdv_a);
         let acc = u64::from(s.mdv_acc_hi) << 32 | u64::from(s.mdv_acc_lo);
@@ -820,13 +817,15 @@ fn mdv_iterate(s: &CpuState, n: &mut CpuState) {
         n.mdv_acc_hi = (acc >> 32) as u32;
     } else {
         // Restoring division, MSB first. acc_hi = remainder, acc_lo = quotient.
-        let bit_index = s.mdv_cnt - 1;
+        // Same fault hardening: a corrupted counter selects a wrong (but
+        // in-range) bit rather than overflowing the shift.
+        let bit_index = u32::from(s.mdv_cnt.wrapping_sub(1)) & 0x1F;
         let bit = s.mdv_a >> bit_index & 1;
         let mut rem = u64::from(s.mdv_acc_hi) << 1 | u64::from(bit);
         let mut quot = s.mdv_acc_lo;
         if s.mdv_b != 0 && rem >= u64::from(s.mdv_b) {
             rem -= u64::from(s.mdv_b);
-            quot |= 1 << bit_index;
+            quot |= 1u32 << bit_index;
         }
         n.mdv_acc_hi = rem as u32;
         n.mdv_acc_lo = quot;

@@ -178,11 +178,8 @@ mod tests {
 
     #[test]
     fn register_bank_is_biggest_contributor() {
-        let rf: u32 = registry()
-            .iter()
-            .filter(|r| r.unit == UnitId::Rf)
-            .map(FlopReg::total_bits)
-            .sum();
+        let rf: u32 =
+            registry().iter().filter(|r| r.unit == UnitId::Rf).map(FlopReg::total_bits).sum();
         assert_eq!(rf, 31 * 32);
     }
 

@@ -248,10 +248,7 @@ mod tests {
         a.set(Sc::WbDataLo, 1);
         a.set(Sc::EventBus, 2);
         let mask = a.diff_mask(&b);
-        assert_eq!(
-            mask,
-            1 << Sc::WbDataLo.index() | 1 << Sc::EventBus.index()
-        );
+        assert_eq!(mask, 1 << Sc::WbDataLo.index() | 1 << Sc::EventBus.index());
         assert_eq!(mask, b.diff_mask(&a), "diff is symmetric");
     }
 
@@ -278,5 +275,4 @@ mod tests {
             assert!(parity8(v) <= 0xFF);
         }
     }
-
 }

@@ -229,11 +229,8 @@ mod tests {
 
     #[test]
     fn dpu_has_exactly_seven_subunits() {
-        let dpu_subs: Vec<UnitId> = UnitId::ALL
-            .iter()
-            .copied()
-            .filter(|u| u.coarse() == CoarseUnit::Dpu)
-            .collect();
+        let dpu_subs: Vec<UnitId> =
+            UnitId::ALL.iter().copied().filter(|u| u.coarse() == CoarseUnit::Dpu).collect();
         assert_eq!(dpu_subs.len(), 7);
     }
 

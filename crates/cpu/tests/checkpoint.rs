@@ -1,0 +1,78 @@
+//! Snapshot/restore exactness: a core restored from a mid-execution
+//! checkpoint (plus a copy of memory taken at the same cycle) must be
+//! cycle-for-cycle indistinguishable from the core that kept running.
+//! This is the correctness foundation of checkpoint-accelerated fault
+//! injection: if restore were lossy, replayed campaigns would diverge
+//! from the golden run even without a fault.
+
+use lockstep_cpu::{Cpu, PortSet};
+use lockstep_mem::Memory;
+use lockstep_workloads::Workload;
+
+const RAM: usize = 64 * 1024;
+
+#[test]
+fn restored_core_matches_uninterrupted_run() {
+    for workload in Workload::all() {
+        let mut mem = workload.memory(0xC0FFEE);
+        let mut cpu = Cpu::new(0);
+        let mut ports = PortSet::new();
+
+        // Run to an arbitrary mid-execution point and checkpoint.
+        for _ in 0..1_500 {
+            if cpu.step(&mut mem, &mut ports).halted {
+                break;
+            }
+        }
+        let snap_cpu = cpu.snapshot();
+        let snap_mem = mem.clone();
+        assert_eq!(snap_cpu.cycle, cpu.state().cycle);
+
+        // Continue the original core, recording every port snapshot.
+        let mut live_trace = Vec::new();
+        for _ in 0..2_000 {
+            let info = cpu.step(&mut mem, &mut ports);
+            live_trace.push(ports);
+            if info.halted {
+                break;
+            }
+        }
+
+        // Replay from the checkpoint and compare cycle by cycle.
+        let mut replay = Cpu::from_state(snap_cpu);
+        let mut replay_mem = snap_mem;
+        let mut replay_ports = PortSet::new();
+        for (i, expected) in live_trace.iter().enumerate() {
+            replay.step(&mut replay_mem, &mut replay_ports);
+            assert_eq!(
+                replay_ports.diff_mask(expected),
+                0,
+                "workload {} diverged {} cycles after restore",
+                workload.name,
+                i + 1
+            );
+        }
+        assert_eq!(replay.state(), cpu.state(), "workload {}", workload.name);
+    }
+}
+
+#[test]
+fn restore_overwrites_all_bookkeeping() {
+    let mut mem = Memory::new(RAM, 7);
+    let mut cpu = Cpu::new(0);
+    let mut ports = PortSet::new();
+    // Empty RAM decodes as illegal instructions; still advances cycle.
+    for _ in 0..10 {
+        cpu.step(&mut mem, &mut ports);
+    }
+    let snap = cpu.snapshot();
+
+    let mut other = Cpu::new(1);
+    other.restore(&snap);
+    assert_eq!(other.state(), &snap);
+    assert_eq!(other.state().cycle, 10);
+
+    // A reset after restore must return to *this* core's original hart.
+    other.reset();
+    assert_eq!(other.state().hartid, snap.hartid);
+}

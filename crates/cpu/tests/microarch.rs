@@ -43,11 +43,7 @@ fn ras_reports_hits_on_well_nested_calls() {
         400,
     );
     let pushes: u32 = t.iter().filter(|p| p.get(Sc::RasCtl) & 1 == 1).count() as u32;
-    let pops: Vec<u32> = t
-        .iter()
-        .map(|p| p.get(Sc::RasCtl))
-        .filter(|c| c & 2 == 2)
-        .collect();
+    let pops: Vec<u32> = t.iter().map(|p| p.get(Sc::RasCtl)).filter(|c| c & 2 == 2).collect();
     assert_eq!(pushes, 4, "four calls push");
     assert_eq!(pops.len(), 4, "four returns pop");
     assert!(pops.iter().all(|c| c & 4 == 4), "every well-nested return must hit");
@@ -64,8 +60,7 @@ fn ras_miss_on_manipulated_return_address() {
          elsewhere: ecall",
         400,
     );
-    let pops: Vec<u32> =
-        t.iter().map(|p| p.get(Sc::RasCtl)).filter(|c| c & 2 == 2).collect();
+    let pops: Vec<u32> = t.iter().map(|p| p.get(Sc::RasCtl)).filter(|c| c & 2 == 2).collect();
     assert_eq!(pops.len(), 1);
     assert_eq!(pops[0] & 4, 0, "a diverted return must miss the RAS");
 }
@@ -85,9 +80,7 @@ fn mmio_load_drives_biu_ports_while_transaction_in_flight() {
     let active: Vec<usize> = t
         .iter()
         .enumerate()
-        .filter(|(_, p)| {
-            p.get(Sc::BiuAddrLo) != 0 || p.get(Sc::BiuAddrHi) != 0
-        })
+        .filter(|(_, p)| p.get(Sc::BiuAddrLo) != 0 || p.get(Sc::BiuAddrHi) != 0)
         .map(|(i, _)| i)
         .collect();
     assert_eq!(active.len(), 1, "BIU drive cycles: {active:?}");
@@ -122,12 +115,8 @@ fn flags_port_reflects_alu_nzcv() {
         200,
     );
     // Find the cycle where the sub executed (Flags port nonzero).
-    let flags: Vec<u32> =
-        t.iter().map(|p| p.get(Sc::Flags)).filter(|&f| f != 0).collect();
-    assert!(
-        flags.contains(&0b0110),
-        "expected Z|C for 1-1, saw {flags:?}"
-    );
+    let flags: Vec<u32> = t.iter().map(|p| p.get(Sc::Flags)).filter(|&f| f != 0).collect();
+    assert!(flags.contains(&0b0110), "expected Z|C for 1-1, saw {flags:?}");
 }
 
 #[test]
@@ -139,14 +128,9 @@ fn event_bus_shows_divide_stall() {
          ecall",
         400,
     );
-    let busy_cycles =
-        t.iter().filter(|p| p.get(Sc::EventBus) >> 9 & 1 == 1).count();
-    assert!(
-        busy_cycles >= 30,
-        "a divide iterates ~32 cycles in the MDV; saw {busy_cycles}"
-    );
-    let stall_cycles =
-        t.iter().filter(|p| p.get(Sc::StallCause) >> 1 & 1 == 1).count();
+    let busy_cycles = t.iter().filter(|p| p.get(Sc::EventBus) >> 9 & 1 == 1).count();
+    assert!(busy_cycles >= 30, "a divide iterates ~32 cycles in the MDV; saw {busy_cycles}");
+    let stall_cycles = t.iter().filter(|p| p.get(Sc::StallCause) >> 1 & 1 == 1).count();
     assert!(stall_cycles >= 30, "the pipeline stalls while MDV is busy");
 }
 
@@ -182,10 +166,7 @@ fn misr_port_driven_only_on_csr_traffic() {
          ecall",
         200,
     );
-    let driven = t
-        .iter()
-        .filter(|p| p.get(Sc::MisrLo) != 0 || p.get(Sc::MisrHi) != 0)
-        .count();
+    let driven = t.iter().filter(|p| p.get(Sc::MisrLo) != 0 || p.get(Sc::MisrHi) != 0).count();
     assert_eq!(driven, 1, "MISR is a gated DFT output, not a free-running bus");
 }
 

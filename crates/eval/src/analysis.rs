@@ -93,12 +93,8 @@ impl SignatureAnalysis {
     /// Indices of the (min, median, max) mean-BC units — the three units
     /// shown in Figures 4/5.
     pub fn min_median_max_units(&self) -> Option<(usize, usize, usize)> {
-        let mut defined: Vec<(usize, f64)> = self
-            .mean_bc
-            .iter()
-            .enumerate()
-            .filter_map(|(u, bc)| bc.map(|v| (u, v)))
-            .collect();
+        let mut defined: Vec<(usize, f64)> =
+            self.mean_bc.iter().enumerate().filter_map(|(u, bc)| bc.map(|v| (u, v))).collect();
         if defined.is_empty() {
             return None;
         }
@@ -242,9 +238,8 @@ mod tests {
 
     #[test]
     fn identical_units_have_bc_one() {
-        let records: Vec<ErrorRecord> = (0..20)
-            .map(|i| rec(if i % 2 == 0 { 0 } else { 3 }, 7, true, 0, 5))
-            .collect();
+        let records: Vec<ErrorRecord> =
+            (0..20).map(|i| rec(if i % 2 == 0 { 0 } else { 3 }, 7, true, 0, 5)).collect();
         let a = signature_analysis(&records, Granularity::Fine, ErrorKind::Hard);
         assert!((a.mean_bc[0].unwrap() - 1.0).abs() < 1e-12);
     }
@@ -295,6 +290,7 @@ mod tests {
                 v
             },
             golden: vec![],
+            stats: crate::campaign::CampaignStats::default(),
         };
         let s = manifestation_stats(&result);
         assert_eq!(s.overall_rate, 0.03);

@@ -13,7 +13,7 @@ use std::path::Path;
 use lockstep_core::ErrorRecord;
 use serde::{Deserialize, Serialize};
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{CampaignResult, CampaignStats};
 
 /// Serializable mirror of a workload's golden-run data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +39,8 @@ pub struct CampaignArchive {
     pub injected_per_unit: Vec<[u64; 2]>,
     /// Per-workload golden data.
     pub golden: Vec<(String, GoldenRunRepr)>,
+    /// Throughput instrumentation of the producing run (v2+).
+    pub stats: CampaignStats,
 }
 
 /// Errors from loading an archive.
@@ -76,8 +78,9 @@ impl From<serde_json::Error> for ArchiveError {
     }
 }
 
-/// Current archive format version.
-pub const ARCHIVE_VERSION: u32 = 1;
+/// Current archive format version. v2 added the `stats` block
+/// (campaign throughput instrumentation).
+pub const ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
     /// Captures a campaign result.
@@ -101,6 +104,7 @@ impl CampaignArchive {
                     )
                 })
                 .collect(),
+            stats: result.stats.clone(),
         }
     }
 
@@ -135,6 +139,7 @@ impl CampaignArchive {
             injected: self.injected,
             injected_per_unit: self.injected_per_unit,
             golden,
+            stats: self.stats,
         }
     }
 
@@ -180,6 +185,7 @@ mod tests {
             seed: 5,
             threads: 2,
             capture_window: 8,
+            checkpoint_interval: Some(1024),
         })
     }
 
@@ -191,6 +197,7 @@ mod tests {
         let back: CampaignArchive = serde_json::from_str(&json).unwrap();
         let restored = back.into_result();
         assert_eq!(restored.records, result.records);
+        assert_eq!(restored.stats, result.stats);
         assert_eq!(restored.injected, result.injected);
         assert_eq!(restored.injected_per_unit, result.injected_per_unit);
         assert_eq!(restored.restart_cycles("idctrn"), result.restart_cycles("idctrn"));

@@ -10,11 +10,12 @@ fn main() {
         args.seed
     );
     let result = lockstep_eval::run_campaign(&args.campaign_config());
-    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
-    let (_, report) = lockstep_eval::experiments::fig10::run(
-        &result,
-        lockstep_cpu::Granularity::Coarse,
-        20,
+    eprintln!(
+        "campaign done: {} errors from {} injections\n",
+        result.records.len(),
+        result.injected
     );
+    let (_, report) =
+        lockstep_eval::experiments::fig10::run(&result, lockstep_cpu::Granularity::Coarse, 20);
     println!("{report}");
 }

@@ -10,7 +10,11 @@ fn main() {
         args.seed
     );
     let result = lockstep_eval::run_campaign(&args.campaign_config());
-    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    eprintln!(
+        "campaign done: {} errors from {} injections\n",
+        result.records.len(),
+        result.injected
+    );
     let points = lockstep_eval::experiments::topk::sweep(
         &result,
         lockstep_cpu::Granularity::Coarse,
@@ -18,6 +22,9 @@ fn main() {
     );
     println!(
         "{}",
-        lockstep_eval::experiments::topk::render_accuracy(&points, lockstep_cpu::Granularity::Coarse)
+        lockstep_eval::experiments::topk::render_accuracy(
+            &points,
+            lockstep_cpu::Granularity::Coarse
+        )
     );
 }

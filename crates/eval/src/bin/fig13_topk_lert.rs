@@ -10,7 +10,11 @@ fn main() {
         args.seed
     );
     let result = lockstep_eval::run_campaign(&args.campaign_config());
-    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    eprintln!(
+        "campaign done: {} errors from {} injections\n",
+        result.records.len(),
+        result.injected
+    );
     let points = lockstep_eval::experiments::topk::sweep(
         &result,
         lockstep_cpu::Granularity::Coarse,

@@ -10,7 +10,11 @@ fn main() {
         args.seed
     );
     let result = lockstep_eval::run_campaign(&args.campaign_config());
-    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    eprintln!(
+        "campaign done: {} errors from {} injections\n",
+        result.records.len(),
+        result.injected
+    );
     let (_, report) = lockstep_eval::experiments::fig45::run_signatures(
         &result,
         lockstep_cpu::Granularity::Coarse,

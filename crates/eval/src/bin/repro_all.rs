@@ -26,12 +26,14 @@ fn main() {
     let start = std::time::Instant::now();
     let result = lockstep_eval::run_campaign(&args.campaign_config());
     eprintln!(
-        "campaign done in {:.0?}: {} errors from {} injections\n",
+        "campaign done in {:.0?}: {} errors from {} injections ({:.0} injections/sec)\n",
         start.elapsed(),
         result.records.len(),
-        result.injected
+        result.injected,
+        result.stats.injections_per_sec
     );
 
+    println!("{}", result.stats.render());
     println!("{}", exp::tab1::run(&result).1);
     println!("{}", exp::tab2::run(&result, Granularity::Coarse).1);
     println!("{}", exp::fig45::run_signatures(&result, Granularity::Coarse, ErrorKind::Hard).1);

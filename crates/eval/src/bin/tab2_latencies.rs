@@ -10,11 +10,14 @@ fn main() {
         args.seed
     );
     let result = lockstep_eval::run_campaign(&args.campaign_config());
-    eprintln!("campaign done: {} errors from {} injections\n", result.records.len(), result.injected);
+    eprintln!(
+        "campaign done: {} errors from {} injections\n",
+        result.records.len(),
+        result.injected
+    );
     let (_, report) =
         lockstep_eval::experiments::tab2::run(&result, lockstep_cpu::Granularity::Coarse);
     println!("{report}");
-    let (_, fine) =
-        lockstep_eval::experiments::tab2::run(&result, lockstep_cpu::Granularity::Fine);
+    let (_, fine) = lockstep_eval::experiments::tab2::run(&result, lockstep_cpu::Granularity::Fine);
     println!("{fine}");
 }

@@ -1,16 +1,40 @@
 //! The fault-injection campaign engine.
+//!
+//! # Campaign performance model
+//!
+//! A from-reset injection experiment costs `inject_cycle + detection
+//! latency` simulated cycles (plus a full kernel re-assembly for the
+//! memory image). The checkpointed path restores the golden-run
+//! snapshot nearest below the injection cycle instead, so the cost
+//! drops to `hit_distance + detection latency + capture window`, where
+//! `hit_distance < checkpoint_interval`. Correctness rests on two
+//! facts, both covered by tests:
+//!
+//! * restore is exact — a core resumed from a snapshot is
+//!   cycle-for-cycle identical to one that simulated its way there
+//!   (`crates/cpu/tests/checkpoint.rs`), and
+//! * every [`lockstep_fault::FaultKind`] overlay is the identity before
+//!   `fault.cycle`, so the pre-fault prefix can neither be perturbed
+//!   nor diverge, and the engine skips both the overlay and the
+//!   golden-trace comparison until the injection cycle.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use lockstep_core::{Dsr, ErrorRecord};
 use lockstep_cpu::{flops, Cpu, Granularity, PortSet};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
-use lockstep_workloads::{GoldenRun, Workload};
+use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
+use serde::{Deserialize, Serialize};
 
 /// Default DSR capture window (cycles from first divergence until the
 /// CPUs are architecturally stopped).
 pub const DEFAULT_CAPTURE_WINDOW: u32 = 16;
+
+/// Default golden-run checkpoint spacing (re-exported from the
+/// workloads crate so campaign callers need only one import).
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = lockstep_workloads::DEFAULT_CHECKPOINT_INTERVAL;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -29,6 +53,11 @@ pub struct CampaignConfig {
     /// more SCs in that window than one-shot transients, which is what
     /// makes the error *type* predictable (Section III-B).
     pub capture_window: u32,
+    /// Golden-run checkpoint spacing in cycles. `None` disables
+    /// checkpointing: every injection replays from reset and rebuilds
+    /// its memory image (the pre-optimization behaviour, kept as the
+    /// baseline the `campaign` benchmark compares against).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -41,7 +70,128 @@ impl CampaignConfig {
             seed,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: DEFAULT_CAPTURE_WINDOW,
+            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
         }
+    }
+}
+
+/// Throughput and cost accounting for one workload's injections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Workload name.
+    pub workload: String,
+    /// Faults injected into this workload.
+    pub injected: u64,
+    /// Injections that produced a detectable divergence.
+    pub manifested: u64,
+    /// Injections masked for the whole run (`injected - manifested`).
+    pub masked: u64,
+    /// Golden runtime in cycles (the per-injection cost ceiling).
+    pub golden_cycles: u64,
+    /// Cycles actually simulated across all injections.
+    pub replayed_cycles: u64,
+    /// Cycles skipped by resuming from checkpoints instead of reset.
+    pub skipped_cycles: u64,
+    /// Snapshots captured for this workload.
+    pub checkpoint_count: u64,
+    /// Approximate bytes held by those snapshots.
+    pub checkpoint_bytes: u64,
+    /// Sum over injections of (inject cycle − checkpoint cycle).
+    pub hit_distance_sum: u64,
+    /// Worst-case replay distance from a checkpoint to its injection.
+    pub hit_distance_max: u64,
+    /// Wall time spent injecting into this workload, summed over
+    /// worker threads.
+    pub wall_nanos: u64,
+}
+
+impl WorkloadStats {
+    /// Mean cycles replayed between the restored checkpoint and the
+    /// injection cycle (< checkpoint interval by construction).
+    pub fn mean_hit_distance(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.hit_distance_sum as f64 / self.injected as f64
+        }
+    }
+}
+
+/// Whole-campaign throughput instrumentation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Checkpoint spacing used, or 0 if checkpointing was disabled.
+    pub checkpoint_interval: u64,
+    /// Total faults injected.
+    pub injected: u64,
+    /// Faults that manifested as detected errors.
+    pub manifested: u64,
+    /// Faults masked for the entire run.
+    pub masked: u64,
+    /// Wall time of the golden capture phase (reference runs +
+    /// checkpointing), in nanoseconds.
+    pub golden_nanos: u64,
+    /// Wall time of the injection phase, in nanoseconds.
+    pub injection_nanos: u64,
+    /// End-to-end campaign wall time, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Injection throughput over the injection phase.
+    pub injections_per_sec: f64,
+    /// Per-workload breakdown, in campaign order.
+    pub per_workload: Vec<WorkloadStats>,
+}
+
+impl CampaignStats {
+    /// Renders the throughput report `repro_all` prints: the phase
+    /// split, injection rate, and per-workload replay/checkpoint cost.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== Campaign throughput (checkpoint interval: {}) ==\n\n\
+             {} injections ({} manifested, {} masked) at {:.0} injections/sec\n\
+             golden capture {:.1} ms, injection phase {:.1} ms, total {:.1} ms\n\n",
+            if self.checkpoint_interval == 0 {
+                "off".to_owned()
+            } else {
+                format!("{} cycles", self.checkpoint_interval)
+            },
+            self.injected,
+            self.manifested,
+            self.masked,
+            self.injections_per_sec,
+            self.golden_nanos as f64 / 1e6,
+            self.injection_nanos as f64 / 1e6,
+            self.wall_nanos as f64 / 1e6,
+        );
+        let mut t = crate::render::Table::new(vec![
+            "workload",
+            "injected",
+            "manifested",
+            "golden cyc",
+            "ckpts",
+            "ckpt KiB",
+            "mean hit",
+            "max hit",
+            "replayed Mcyc",
+            "skipped Mcyc",
+            "wall ms",
+        ]);
+        for w in &self.per_workload {
+            t.row(vec![
+                w.workload.clone(),
+                w.injected.to_string(),
+                w.manifested.to_string(),
+                w.golden_cycles.to_string(),
+                w.checkpoint_count.to_string(),
+                format!("{:.0}", w.checkpoint_bytes as f64 / 1024.0),
+                format!("{:.0}", w.mean_hit_distance()),
+                w.hit_distance_max.to_string(),
+                format!("{:.2}", w.replayed_cycles as f64 / 1e6),
+                format!("{:.2}", w.skipped_cycles as f64 / 1e6),
+                format!("{:.1}", w.wall_nanos as f64 / 1e6),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
     }
 }
 
@@ -57,6 +207,8 @@ pub struct CampaignResult {
     pub injected_per_unit: Vec<[u64; 2]>,
     /// Per-workload golden run data (`name`, timing/outputs).
     pub golden: Vec<(&'static str, GoldenRun)>,
+    /// Throughput instrumentation for the run that produced this.
+    pub stats: CampaignStats,
 }
 
 impl CampaignResult {
@@ -93,83 +245,251 @@ impl CampaignResult {
 
     /// The restart penalty of a workload: its measured golden runtime
     /// (the paper's restart latencies are "the actual execution times of
-    /// the EEMBC AutoBench").
+    /// the EEMBC AutoBench"). A workload this campaign never ran falls
+    /// back to the mean measured golden runtime (logged), so the
+    /// penalty stays tied to this campaign's workload population rather
+    /// than a magic constant.
     pub fn restart_cycles(&self, workload: &str) -> u64 {
-        self.golden
-            .iter()
-            .find(|(n, _)| *n == workload)
-            .map(|(_, g)| g.cycles)
-            .unwrap_or(10_000)
+        if let Some((_, g)) = self.golden.iter().find(|(n, _)| *n == workload) {
+            return g.cycles;
+        }
+        let total: u64 = self.golden.iter().map(|(_, g)| g.cycles).sum();
+        let mean = total / self.golden.len().max(1) as u64;
+        eprintln!(
+            "restart_cycles: workload `{workload}` was not in this campaign; \
+             using mean golden runtime {mean} cycles"
+        );
+        mean
     }
 }
 
-/// Runs a full campaign: per workload, a golden trace plus
-/// `faults_per_workload` injection experiments, parallelized over
-/// threads.
+/// Per-workload atomic counters the injection workers update.
+#[derive(Default)]
+struct WorkCounters {
+    manifested: AtomicU64,
+    replayed_cycles: AtomicU64,
+    skipped_cycles: AtomicU64,
+    hit_distance_sum: AtomicU64,
+    hit_distance_max: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+/// Runs a full campaign: one golden reference pass per workload
+/// (statistics, port trace, and checkpoints captured together), then a
+/// single flat queue of (workload, fault) injection experiments shared
+/// by all worker threads.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
-    let mut records = Vec::new();
+    let campaign_start = Instant::now();
+    let window = config.capture_window;
+
+    // ------------------------------------------------------------------
+    // Phase 1: golden captures, parallel over workloads. One simulation
+    // per kernel yields the run stats, the golden trace, and the
+    // checkpoints (the engine used to simulate each kernel twice here).
+    // ------------------------------------------------------------------
+    let capture_interval = config.checkpoint_interval.unwrap_or(u64::MAX);
+    let stim_seeds: Vec<u64> =
+        (0..config.workloads.len()).map(|wi| config.seed ^ (wi as u64) << 32).collect();
+    let captures: Vec<GoldenCapture> = {
+        let slots: Vec<Mutex<Option<GoldenCapture>>> =
+            config.workloads.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.max(1).min(config.workloads.len().max(1)) {
+                scope.spawn(|| loop {
+                    let wi = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(workload) = config.workloads.get(wi) else {
+                        break;
+                    };
+                    let cap = workload.golden_capture(stim_seeds[wi], 400_000, capture_interval);
+                    *slots[wi].lock().expect("no poisoned capture slot") = Some(cap);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .zip(&config.workloads)
+            .map(|(slot, w)| {
+                slot.into_inner()
+                    .expect("no poisoned capture slot")
+                    .unwrap_or_else(|| panic!("golden capture for {} missing", w.name))
+            })
+            .collect()
+    };
+    for (workload, cap) in config.workloads.iter().zip(&captures) {
+        assert!(cap.run.halted, "{} golden run did not halt", workload.name);
+    }
+    let golden_nanos = elapsed_nanos(campaign_start);
+
+    // ------------------------------------------------------------------
+    // Fault plans and the flat work queue: injection i maps to the
+    // workload whose [offset, offset + plan.len()) range contains it.
+    // ------------------------------------------------------------------
     let mut injected_per_unit = vec![[0u64; 2]; 13];
-    let mut golden_info = Vec::new();
+    let mut plans = Vec::with_capacity(config.workloads.len());
+    let mut offsets = Vec::with_capacity(config.workloads.len());
     let mut injected_total = 0usize;
-
-    for (wi, workload) in config.workloads.iter().enumerate() {
-        let stim_seed = config.seed ^ (wi as u64) << 32;
-        let golden = workload.golden_run(stim_seed, 400_000);
-        assert!(golden.halted, "{} golden run did not halt", workload.name);
-        let trace = workload.golden_trace(stim_seed, 400_000);
-
+    for (wi, cap) in captures.iter().enumerate() {
         let plan = CampaignPlan::sampled(
-            PlanConfig::new(golden.cycles, config.seed.wrapping_add(wi as u64)),
+            PlanConfig::new(cap.run.cycles, config.seed.wrapping_add(wi as u64)),
             config.faults_per_workload,
         );
-        injected_total += plan.len();
         for f in plan.faults() {
             let k = usize::from(f.kind.error_kind() == ErrorKind::Hard);
             injected_per_unit[f.unit().index()][k] += 1;
         }
+        offsets.push(injected_total);
+        injected_total += plan.len();
+        plans.push(plan);
+    }
 
-        let faults = plan.faults();
-        let next = AtomicUsize::new(0);
-        let sink: Mutex<Vec<ErrorRecord>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..config.threads.max(1) {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= faults.len() {
-                            break;
-                        }
-                        let fault = faults[i];
-                        if let Some((detect_cycle, dsr)) = run_injection_windowed(
-                            workload,
-                            stim_seed,
-                            &trace,
+    // ------------------------------------------------------------------
+    // Phase 2: every (workload, fault) pair goes through one shared
+    // queue, so a long-running workload no longer serializes the tail of
+    // the campaign behind a per-workload thread barrier.
+    // ------------------------------------------------------------------
+    let injection_start = Instant::now();
+    let counters: Vec<WorkCounters> =
+        config.workloads.iter().map(|_| WorkCounters::default()).collect();
+    let next = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, ErrorRecord)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= injected_total {
+                        break;
+                    }
+                    let wi = match offsets.binary_search(&i) {
+                        Ok(w) => w,
+                        Err(w) => w - 1,
+                    };
+                    let workload = config.workloads[wi];
+                    let cap = &captures[wi];
+                    let fault = plans[wi].faults()[i - offsets[wi]];
+                    let t0 = Instant::now();
+                    let outcome = if config.checkpoint_interval.is_some() {
+                        let (outcome, cost) = run_injection_from_checkpoint(
+                            &cap.checkpoints,
+                            &cap.trace,
                             fault,
-                            config.capture_window,
-                        ) {
-                            local.push(ErrorRecord {
+                            window,
+                        );
+                        let c = &counters[wi];
+                        c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
+                        c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
+                        c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
+                        c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
+                        outcome
+                    } else {
+                        counters[wi].replayed_cycles.fetch_add(
+                            cap.run.cycles.min(fault.cycle + u64::from(window)),
+                            Ordering::Relaxed,
+                        );
+                        run_injection_windowed(workload, stim_seeds[wi], &cap.trace, fault, window)
+                    };
+                    counters[wi].wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
+                    if let Some((detect_cycle, dsr)) = outcome {
+                        counters[wi].manifested.fetch_add(1, Ordering::Relaxed);
+                        local.push((
+                            wi,
+                            ErrorRecord {
                                 workload: workload.name.to_owned(),
                                 unit_index: fault.unit().index() as u8,
                                 fault: fault.kind.into(),
                                 inject_cycle: fault.cycle,
                                 detect_cycle,
                                 dsr,
-                            });
-                        }
+                            },
+                        ));
                     }
-                    sink.lock().expect("no poisoned workers").extend(local);
-                });
-            }
-        });
-        let mut produced = sink.into_inner().expect("no poisoned workers");
-        // Deterministic order regardless of thread interleaving.
+                }
+                sink.lock().expect("no poisoned workers").extend(local);
+            });
+        }
+    });
+    let injection_nanos = elapsed_nanos(injection_start);
+
+    // Deterministic order regardless of thread interleaving: group by
+    // workload in campaign order, then the stable per-workload sort the
+    // per-workload engine used.
+    let mut grouped: Vec<Vec<ErrorRecord>> = config.workloads.iter().map(|_| Vec::new()).collect();
+    for (wi, record) in sink.into_inner().expect("no poisoned workers") {
+        grouped[wi].push(record);
+    }
+    let mut records = Vec::new();
+    for produced in &mut grouped {
         produced.sort_by_key(|r| (r.inject_cycle, r.detect_cycle, r.unit_index, r.dsr));
-        records.extend(produced);
-        golden_info.push((workload.name, golden));
+        records.append(produced);
     }
 
-    CampaignResult { records, injected: injected_total, injected_per_unit, golden: golden_info }
+    let golden_info: Vec<(&'static str, GoldenRun)> =
+        config.workloads.iter().zip(&captures).map(|(w, cap)| (w.name, cap.run)).collect();
+
+    let per_workload: Vec<WorkloadStats> = config
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let c = &counters[wi];
+            let injected = plans[wi].len() as u64;
+            let manifested = c.manifested.load(Ordering::Relaxed);
+            WorkloadStats {
+                workload: w.name.to_owned(),
+                injected,
+                manifested,
+                masked: injected - manifested,
+                golden_cycles: captures[wi].run.cycles,
+                replayed_cycles: c.replayed_cycles.load(Ordering::Relaxed),
+                skipped_cycles: c.skipped_cycles.load(Ordering::Relaxed),
+                checkpoint_count: if config.checkpoint_interval.is_some() {
+                    captures[wi].checkpoints.points.len() as u64
+                } else {
+                    0
+                },
+                checkpoint_bytes: if config.checkpoint_interval.is_some() {
+                    captures[wi].checkpoints.approx_bytes() as u64
+                } else {
+                    0
+                },
+                hit_distance_sum: c.hit_distance_sum.load(Ordering::Relaxed),
+                hit_distance_max: c.hit_distance_max.load(Ordering::Relaxed),
+                wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+
+    let manifested_total = records.len() as u64;
+    let injection_secs = injection_nanos as f64 / 1e9;
+    let stats = CampaignStats {
+        checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        injected: injected_total as u64,
+        manifested: manifested_total,
+        masked: injected_total as u64 - manifested_total,
+        golden_nanos,
+        injection_nanos,
+        wall_nanos: elapsed_nanos(campaign_start),
+        injections_per_sec: if injection_secs > 0.0 {
+            injected_total as f64 / injection_secs
+        } else {
+            0.0
+        },
+        per_workload,
+    };
+
+    CampaignResult {
+        records,
+        injected: injected_total,
+        injected_per_unit,
+        golden: golden_info,
+        stats,
+    }
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One injection experiment against the golden trace with a one-cycle
@@ -187,6 +507,11 @@ pub fn run_injection(
 /// One injection experiment with an explicit DSR capture window: after
 /// the first divergent cycle, per-SC divergences keep accumulating for
 /// up to `window - 1` further cycles (clamped to the golden trace).
+///
+/// This is the from-reset reference path: it rebuilds the memory image
+/// and replays every cycle from cycle 0. Campaigns use
+/// [`run_injection_from_checkpoint`] instead, which produces
+/// bit-identical results starting from a golden-run snapshot.
 pub fn run_injection_windowed(
     workload: &Workload,
     stim_seed: u64,
@@ -218,6 +543,91 @@ pub fn run_injection_windowed(
     Some((detect_cycle, Dsr::from_bits(dsr_bits)))
 }
 
+/// Replay-cost accounting for one checkpointed injection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayCost {
+    /// Cycle of the checkpoint the replay resumed from.
+    pub checkpoint_cycle: u64,
+    /// Cycles replayed between the checkpoint and the injection cycle.
+    pub hit_distance: u64,
+    /// Total cycles simulated for this injection.
+    pub replayed_cycles: u64,
+    /// Cycles a from-reset replay would have simulated but this one
+    /// did not.
+    pub skipped_cycles: u64,
+}
+
+/// One injection experiment resumed from the nearest golden checkpoint
+/// at or before the injection cycle. Bit-identical to
+/// [`run_injection_windowed`] (see the campaign equivalence property
+/// test) at a cost proportional to `hit distance + detection latency +
+/// capture window` instead of `inject cycle + detection latency`.
+///
+/// Pre-fault cycles are replayed without the fault overlay (it is the
+/// identity there) and without golden-trace comparison (an exactly
+/// restored core cannot diverge before the fault lands).
+pub fn run_injection_from_checkpoint(
+    checkpoints: &GoldenCheckpoints,
+    golden_trace: &[PortSet],
+    fault: Fault,
+    window: u32,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
+    let trace_len = golden_trace.len() as u64;
+    if fault.cycle >= trace_len {
+        // The fault lands after the benchmark halts: masked by
+        // construction (the from-reset path replays the whole run to
+        // discover the same thing).
+        let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
+        return (None, cost);
+    }
+    let cp = checkpoints
+        .nearest_at(fault.cycle)
+        .expect("golden captures always include the cycle-0 checkpoint");
+    let mut cpu = Cpu::from_state(cp.cpu.clone());
+    let mut mem = cp.mem.clone();
+    let mut ports = PortSet::new();
+    let mut cost = ReplayCost {
+        checkpoint_cycle: cp.cycle,
+        hit_distance: fault.cycle - cp.cycle,
+        replayed_cycles: 0,
+        skipped_cycles: cp.cycle,
+    };
+
+    let mut cycle = cp.cycle;
+    while cycle < fault.cycle {
+        cpu.step(&mut mem, &mut ports);
+        cycle += 1;
+        cost.replayed_cycles += 1;
+    }
+
+    let (detect_cycle, mut dsr_bits) = loop {
+        if cycle >= trace_len {
+            return (None, cost);
+        }
+        let golden = &golden_trace[cycle as usize];
+        let at = cycle;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        let diff = ports.diff_mask(golden);
+        if diff != 0 {
+            break (at, diff);
+        }
+    };
+    for _ in 1..window {
+        if cycle >= trace_len {
+            break;
+        }
+        let golden = &golden_trace[cycle as usize];
+        let at = cycle;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        dsr_bits |= ports.diff_mask(golden);
+    }
+    (Some((detect_cycle, Dsr::from_bits(dsr_bits))), cost)
+}
+
 /// Sanity accessor used by tests: total flip-flops under test.
 pub fn flop_count() -> u32 {
     flops::total_flops()
@@ -235,6 +645,7 @@ mod tests {
             seed: 2024,
             threads: 4,
             capture_window: DEFAULT_CAPTURE_WINDOW,
+            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
         }
     }
 
@@ -309,8 +720,7 @@ mod tests {
         // CPU consumes the *faulted* main's bus responses, while the fast
         // path compares against the fault-free trace.)
         let fast = run_injection(w, seed, &trace, fault).expect("must manifest");
-        let windowed =
-            run_injection_windowed(w, seed, &trace, fault, 8).expect("must manifest");
+        let windowed = run_injection_windowed(w, seed, &trace, fault, 8).expect("must manifest");
         assert_eq!(fast.0, windowed.0, "window must not change the detection cycle");
         assert_eq!(
             windowed.1.bits() & fast.1.bits(),
@@ -333,6 +743,54 @@ mod tests {
     fn restart_cycles_looked_up_per_workload() {
         let res = run_campaign(&tiny_config());
         assert!(res.restart_cycles("rspeed") > 1000);
-        assert_eq!(res.restart_cycles("missing"), 10_000);
+        // Unknown workloads get the mean measured golden runtime, not a
+        // magic constant.
+        let mean = res.golden.iter().map(|(_, g)| g.cycles).sum::<u64>() / res.golden.len() as u64;
+        assert_eq!(res.restart_cycles("missing"), mean);
+    }
+
+    #[test]
+    fn stats_account_for_every_injection() {
+        let res = run_campaign(&tiny_config());
+        let s = &res.stats;
+        assert_eq!(s.injected, 300);
+        assert_eq!(s.manifested as usize, res.records.len());
+        assert_eq!(s.injected, s.manifested + s.masked);
+        assert_eq!(s.checkpoint_interval, DEFAULT_CHECKPOINT_INTERVAL);
+        assert!(s.injections_per_sec > 0.0);
+        assert!(s.wall_nanos >= s.injection_nanos);
+        assert_eq!(s.per_workload.len(), 2);
+        for w in &s.per_workload {
+            assert_eq!(w.injected, 150);
+            assert_eq!(w.injected, w.manifested + w.masked);
+            assert!(w.checkpoint_count >= 1);
+            assert!(w.checkpoint_bytes > 0);
+            assert!(
+                w.hit_distance_max
+                    < DEFAULT_CHECKPOINT_INTERVAL + u64::from(DEFAULT_CAPTURE_WINDOW)
+            );
+            assert!(w.mean_hit_distance() <= w.hit_distance_max as f64);
+            assert!(w.replayed_cycles > 0);
+        }
+        let manifested_sum: u64 = s.per_workload.iter().map(|w| w.manifested).sum();
+        assert_eq!(manifested_sum, s.manifested);
+    }
+
+    #[test]
+    fn disabling_checkpoints_changes_cost_not_results() {
+        let mut off = tiny_config();
+        off.faults_per_workload = 40;
+        off.checkpoint_interval = None;
+        let mut on = off.clone();
+        on.checkpoint_interval = Some(512);
+        let res_off = run_campaign(&off);
+        let res_on = run_campaign(&on);
+        assert_eq!(res_off.records, res_on.records);
+        assert_eq!(res_off.stats.checkpoint_interval, 0);
+        assert_eq!(res_on.stats.checkpoint_interval, 512);
+        assert!(res_off.stats.per_workload.iter().all(|w| w.checkpoint_count == 0));
+        // The checkpointed run skips the pre-fault prefix.
+        let skipped: u64 = res_on.stats.per_workload.iter().map(|w| w.skipped_cycles).sum();
+        assert!(skipped > 0, "checkpointing must skip replay work");
     }
 }

@@ -5,11 +5,14 @@
 //! * `--faults N` — fault injections per workload (default 2000);
 //! * `--seed S` — campaign master seed (default 2018, the paper's year);
 //! * `--threads T` — worker threads (default: available parallelism);
-//! * `--workloads a,b,c` — subset of kernels (default: full suite).
+//! * `--workloads a,b,c` — subset of kernels (default: full suite);
+//! * `--checkpoint-interval K` — golden checkpoint spacing in cycles
+//!   (default 4096; `0` disables checkpointing and replays every
+//!   injection from reset).
 
 use lockstep_workloads::Workload;
 
-use crate::campaign::{CampaignConfig, DEFAULT_CAPTURE_WINDOW};
+use crate::campaign::{CampaignConfig, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL};
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -22,6 +25,8 @@ pub struct CommonArgs {
     pub threads: usize,
     /// Selected workloads.
     pub workloads: Vec<&'static Workload>,
+    /// Checkpoint spacing (`None` = from-reset replay).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl CommonArgs {
@@ -33,12 +38,12 @@ impl CommonArgs {
             seed: 2018,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             workloads: Workload::all().iter().collect(),
+            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |flag: &str| {
-                it.next().unwrap_or_else(|| die(&format!("{flag} requires a value")))
-            };
+            let mut value =
+                |flag: &str| it.next().unwrap_or_else(|| die(&format!("{flag} requires a value")));
             match flag.as_str() {
                 "--faults" => {
                     out.faults = value("--faults").parse().unwrap_or_else(|_| die("bad --faults"))
@@ -60,9 +65,16 @@ impl CommonArgs {
                         })
                         .collect();
                 }
+                "--checkpoint-interval" => {
+                    let k: u64 = value("--checkpoint-interval")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --checkpoint-interval"));
+                    out.checkpoint_interval = (k != 0).then_some(k);
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c]"
+                        "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c] \
+                         [--checkpoint-interval K (0 = off)]"
                     );
                     std::process::exit(0);
                 }
@@ -80,6 +92,7 @@ impl CommonArgs {
             seed: self.seed,
             threads: self.threads,
             capture_window: DEFAULT_CAPTURE_WINDOW,
+            checkpoint_interval: self.checkpoint_interval,
         }
     }
 }
@@ -105,6 +118,7 @@ mod tests {
         assert_eq!(a.faults, 2000);
         assert_eq!(a.seed, 2018);
         assert_eq!(a.workloads.len(), 12);
+        assert_eq!(a.checkpoint_interval, Some(DEFAULT_CHECKPOINT_INTERVAL));
     }
 
     #[test]
@@ -128,5 +142,12 @@ mod tests {
         let c = a.campaign_config();
         assert_eq!(c.faults_per_workload, 9);
         assert_eq!(c.seed, 3);
+        assert_eq!(c.checkpoint_interval, Some(DEFAULT_CHECKPOINT_INTERVAL));
+    }
+
+    #[test]
+    fn checkpoint_interval_zero_disables() {
+        assert_eq!(parse(&["--checkpoint-interval", "0"]).checkpoint_interval, None);
+        assert_eq!(parse(&["--checkpoint-interval", "512"]).checkpoint_interval, Some(512));
     }
 }

@@ -52,7 +52,10 @@ impl Dataset {
 
     /// Converts records to predictor training records under a unit
     /// organization.
-    pub fn to_train_records(records: &[&ErrorRecord], granularity: Granularity) -> Vec<TrainRecord> {
+    pub fn to_train_records(
+        records: &[&ErrorRecord],
+        granularity: Granularity,
+    ) -> Vec<TrainRecord> {
         records
             .iter()
             .map(|r| TrainRecord {

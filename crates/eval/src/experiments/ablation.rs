@@ -44,18 +44,13 @@ pub fn run_dynamic(result: &CampaignResult, seed: u64) -> (DynamicAblation, Stri
     let train_records = Dataset::to_train_records(&train, granularity);
     let static_pred = Predictor::train(&train_records, PredictorConfig::new(granularity));
     let mut dyn_cold = DynamicPredictor::new(PredictorConfig::new(granularity));
-    let mut dyn_warm =
-        DynamicPredictor::warmed(&train_records, PredictorConfig::new(granularity));
+    let mut dyn_warm = DynamicPredictor::warmed(&train_records, PredictorConfig::new(granularity));
 
     let mut hits = [0u64; 3];
     for &i in stream_idx {
         let r = &dataset.records()[i];
         let truth = granularity.index_of(r.unit());
-        let preds = [
-            static_pred.predict(r.dsr),
-            dyn_cold.predict(r.dsr),
-            dyn_warm.predict(r.dsr),
-        ];
+        let preds = [static_pred.predict(r.dsr), dyn_cold.predict(r.dsr), dyn_warm.predict(r.dsr)];
         for (h, p) in hits.iter_mut().zip(&preds) {
             if p.order.first() == Some(&truth) {
                 *h += 1;

@@ -18,10 +18,17 @@ pub fn run(result: &CampaignResult, granularity: Granularity, show: usize) -> (P
     let train = Dataset::to_train_records(&all, granularity);
     let predictor = Predictor::train(&train, PredictorConfig::new(granularity));
 
-    // Frequency of each diverged-SC set, to show the busiest entries.
+    // Frequency of each diverged-SC set, to show the busiest entries,
+    // plus the class totals the class-balanced type bit normalizes by.
     let mut set_freq: Histogram<Dsr> = Histogram::new();
+    let (mut hard_total, mut soft_total) = (0u64, 0u64);
     for r in dataset.records() {
         set_freq.add(r.dsr);
+        if r.kind() == ErrorKind::Hard {
+            hard_total += 1;
+        } else {
+            soft_total += 1;
+        }
     }
     let mut report = format!(
         "== Figure 10: prediction table contents ({} entries, PTAR {} bits) ==\n\n",
@@ -44,14 +51,19 @@ pub fn run(result: &CampaignResult, granularity: Granularity, show: usize) -> (P
         let order: Vec<String> = unit_hist
             .ranked()
             .into_iter()
-            .map(|(u, c)| {
-                format!("{}({:.2})", granularity.unit_name(u), c as f64 / total as f64)
-            })
+            .map(|(u, c)| format!("{}({:.2})", granularity.unit_name(u), c as f64 / total as f64))
             .collect();
         let pred = predictor.predict(dsr);
+        // The default predictor votes hard iff the set's share of all
+        // hard errors beats its share of all soft errors (class-balanced
+        // scoring) — NOT a raw within-set majority, which inherits the
+        // campaign's 2:1 hard:soft injection mix as a prior.
+        let soft = total - hard;
+        let hard_share = if hard_total == 0 { 0.0 } else { hard as f64 / hard_total as f64 };
+        let soft_share = if soft_total == 0 { 0.0 } else { soft as f64 / soft_total as f64 };
         debug_assert_eq!(
             pred.kind == ErrorKind::Hard,
-            hard * 2 > total,
+            hard_share > soft_share,
             "displayed scores must match the trained entry"
         );
         t.row(vec![

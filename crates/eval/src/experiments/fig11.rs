@@ -10,7 +10,11 @@ use crate::render::{bar_chart, cycles, Table};
 
 /// Runs the model comparison at `granularity` (Coarse → Figure 11,
 /// Fine → Figure 14).
-pub fn run(result: &CampaignResult, granularity: Granularity, seed: u64) -> (LertEvaluation, String) {
+pub fn run(
+    result: &CampaignResult,
+    granularity: Granularity,
+    seed: u64,
+) -> (LertEvaluation, String) {
     let eval = evaluate(result, &EvalConfig::new(granularity, seed));
     let figure = match granularity {
         Granularity::Coarse => "Figure 11 (7 units)",

@@ -15,7 +15,8 @@ pub fn run_signatures(
     kind: ErrorKind,
 ) -> (SignatureAnalysis, String) {
     let analysis = signature_analysis(&result.records, granularity, kind);
-    let figure = if kind == ErrorKind::Hard { "Figure 4 (hard errors)" } else { "Figure 5 (soft errors)" };
+    let figure =
+        if kind == ErrorKind::Hard { "Figure 4 (hard errors)" } else { "Figure 5 (soft errors)" };
     let paper_bc = if kind == ErrorKind::Hard { 0.39 } else { 0.32 };
     let mut report = format!("== {figure}: per-unit signature distributions ==\n\n");
     let mut t = Table::new(vec!["Unit", "errors", "distinct sets", "mean BC vs others"]);

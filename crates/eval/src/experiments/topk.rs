@@ -71,20 +71,12 @@ pub fn render_lert(points: &[TopKPoint], granularity: Granularity) -> String {
     let mut t =
         Table::new(vec!["predicted units", "avg LERT (cycles)", "speedup vs base-ascending"]);
     for p in points {
-        t.row(vec![
-            p.k.to_string(),
-            cycles(p.lert),
-            format!("{:.1}%", p.speedup_vs_ascending_pct),
-        ]);
+        t.row(vec![p.k.to_string(), cycles(p.lert), format!("{:.1}%", p.speedup_vs_ascending_pct)]);
     }
     report.push_str(&t.render());
     // Identify the sweet spot: smallest K within 2% of the best speedup.
-    if let Some(best) =
-        points.iter().map(|p| p.speedup_vs_ascending_pct).reduce(f64::max)
-    {
-        if let Some(spot) =
-            points.iter().find(|p| p.speedup_vs_ascending_pct >= best - 2.0)
-        {
+    if let Some(best) = points.iter().map(|p| p.speedup_vs_ascending_pct).reduce(f64::max) {
+        if let Some(spot) = points.iter().find(|p| p.speedup_vs_ascending_pct >= best - 2.0) {
             report.push_str(&format!(
                 "\nSweet spot: predicting {} unit(s) reaches {:.1}% speedup (best {best:.1}%)\n",
                 spot.k, spot.speedup_vs_ascending_pct

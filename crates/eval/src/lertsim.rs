@@ -250,6 +250,7 @@ mod tests {
                 seed: 77,
                 threads: 8,
                 capture_window: 8,
+                checkpoint_interval: Some(4096),
             };
             run_campaign(&cfg)
         })
@@ -261,10 +262,7 @@ mod tests {
         let eval = evaluate(result, &EvalConfig::new(Granularity::Coarse, 1));
         let base = eval.lert(Model::BaseAscending).min(eval.lert(Model::BaseManifest));
         let pred = eval.lert(Model::PredComb);
-        assert!(
-            pred < base,
-            "pred-comb ({pred:.0}) must beat the best baseline ({base:.0})"
-        );
+        assert!(pred < base, "pred-comb ({pred:.0}) must beat the best baseline ({base:.0})");
         assert!(eval.lert(Model::PredLocationOnly) < eval.lert(Model::BaseRandom));
     }
 

@@ -59,10 +59,7 @@ pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
     let mut out = String::new();
     for (label, value) in entries {
         let bar_len = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
-        out.push_str(&format!(
-            "{label:<label_w$} |{} {value:.0}\n",
-            "#".repeat(bar_len),
-        ));
+        out.push_str(&format!("{label:<label_w$} |{} {value:.0}\n", "#".repeat(bar_len),));
     }
     out
 }
@@ -118,10 +115,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let out = bar_chart(
-            &[("small".to_owned(), 10.0), ("big".to_owned(), 100.0)],
-            20,
-        );
+        let out = bar_chart(&[("small".to_owned(), 10.0), ("big".to_owned(), 100.0)], 20);
         let small_bar = out.lines().next().unwrap().matches('#').count();
         let big_bar = out.lines().nth(1).unwrap().matches('#').count();
         assert_eq!(big_bar, 20);

@@ -23,6 +23,7 @@ fn campaign() -> &'static CampaignResult {
             seed: 31415,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: 16,
+            checkpoint_interval: Some(4096),
         })
     })
 }
@@ -49,8 +50,7 @@ fn tab2_reports_both_granularities() {
 #[test]
 fn fig45_reports_for_both_classes() {
     for kind in [ErrorKind::Hard, ErrorKind::Soft] {
-        let (analysis, report) =
-            exp::fig45::run_signatures(campaign(), Granularity::Coarse, kind);
+        let (analysis, report) = exp::fig45::run_signatures(campaign(), Granularity::Coarse, kind);
         assert!(report.contains("mean BC vs others"));
         assert!(analysis.overall_mean_bc().is_some());
         assert!(report.contains("Average BC across units"));

@@ -57,7 +57,8 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// The three fault kinds of the paper's methodology.
-    pub const ALL: [FaultKind; 3] = [FaultKind::Transient, FaultKind::StuckAt0, FaultKind::StuckAt1];
+    pub const ALL: [FaultKind; 3] =
+        [FaultKind::Transient, FaultKind::StuckAt0, FaultKind::StuckAt1];
 
     /// The error class a manifestation of this fault belongs to.
     pub fn error_kind(self) -> ErrorKind {

@@ -80,12 +80,7 @@ pub fn checker_gates() -> GateCounts {
     let signals = u64::from(ports::total_signals());
     let sc_count = Sc::ALL.len() as u64;
     // Each SC's (width-1) OR2s sum to (signals - sc_count).
-    GateCounts {
-        xor2: signals,
-        or2: (signals - sc_count) + (sc_count - 1),
-        and2: 0,
-        dff: 0,
-    }
+    GateCounts { xor2: signals, or2: (signals - sc_count) + (sc_count - 1), and2: 0, dff: 0 }
 }
 
 /// Gate inventory of the *additional* prediction logic (Section V-E):
@@ -173,8 +168,8 @@ impl CostModel {
 
         let p_pred = self.power(predictor, self.checker_activity);
         let p_single = self.power(single_cpu, self.cpu_activity);
-        let p_dual =
-            self.power(2.0 * self.cpu_ge, self.cpu_activity) + self.power(checker, self.checker_activity);
+        let p_dual = self.power(2.0 * self.cpu_ge, self.cpu_activity)
+            + self.power(checker, self.checker_activity);
 
         Table4 {
             area_vs_dual_pct: 100.0 * predictor / dual_lockstep,

@@ -73,11 +73,7 @@ impl Netlist {
                     match pair {
                         [a, b] => {
                             let out = format!("or_{name}_l{level}_{i}");
-                            gates.push(Gate::Or2 {
-                                out: out.clone(),
-                                a: a.clone(),
-                                b: b.clone(),
-                            });
+                            gates.push(Gate::Or2 { out: out.clone(), a: a.clone(), b: b.clone() });
                             next.push(out);
                         }
                         [single] => next.push(single.clone()),
@@ -114,11 +110,7 @@ impl Netlist {
         // DSR: one enable-gated, OR-accumulating flop per SC.
         for (i, sc_out) in sc_outputs.iter().enumerate() {
             let hold = format!("dsr_hold_{i}");
-            gates.push(Gate::Or2 {
-                out: hold.clone(),
-                a: format!("dsr_q_{i}"),
-                b: sc_out.clone(),
-            });
+            gates.push(Gate::Or2 { out: hold.clone(), a: format!("dsr_q_{i}"), b: sc_out.clone() });
             gates.push(Gate::And2 {
                 out: format!("dsr_en_{i}"),
                 a: error.clone(),
@@ -147,11 +139,7 @@ impl Netlist {
                     match pair {
                         [a, b] => {
                             let out = format!("map_{out_bit}_l{level}_{i}");
-                            gates.push(Gate::Xor2 {
-                                out: out.clone(),
-                                a: a.clone(),
-                                b: b.clone(),
-                            });
+                            gates.push(Gate::Xor2 { out: out.clone(), a: a.clone(), b: b.clone() });
                             next.push(out);
                         }
                         [single] => next.push(single.clone()),
@@ -162,11 +150,7 @@ impl Netlist {
                 level += 1;
             }
             let d = terms.pop().unwrap_or_else(|| "1'b0".to_owned());
-            gates.push(Gate::Dff {
-                q: format!("ptar_q_{out_bit}"),
-                d,
-                enable: error.clone(),
-            });
+            gates.push(Gate::Dff { q: format!("ptar_q_{out_bit}"), d, enable: error.clone() });
         }
 
         Netlist { gates, ptar_bits }
@@ -193,14 +177,13 @@ impl Netlist {
         let mut c = GateCounts::default();
         for g in &self.gates {
             let name = match g {
-                Gate::Xor2 { out, .. }
-                | Gate::Or2 { out, .. }
-                | Gate::And2 { out, .. } => out.as_str(),
+                Gate::Xor2 { out, .. } | Gate::Or2 { out, .. } | Gate::And2 { out, .. } => {
+                    out.as_str()
+                }
                 Gate::Dff { q, .. } => q.as_str(),
             };
-            let is_predictor = name.starts_with("dsr_")
-                || name.starts_with("map_")
-                || name.starts_with("ptar_");
+            let is_predictor =
+                name.starts_with("dsr_") || name.starts_with("map_") || name.starts_with("ptar_");
             if is_predictor {
                 match g {
                     Gate::Xor2 { .. } => c.xor2 += 1,
@@ -298,8 +281,7 @@ mod tests {
 
     #[test]
     fn mapping_taps_are_roughly_half() {
-        let taps: usize =
-            (0..62).filter(|&i| tap_selected(i, 3)).count();
+        let taps: usize = (0..62).filter(|&i| tap_selected(i, 3)).count();
         assert!((15..=47).contains(&taps), "{taps} taps is too skewed");
     }
 

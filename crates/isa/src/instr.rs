@@ -225,9 +225,7 @@ impl Instr {
         let imm16 = (word & 0xFFFF) as u16 as i16 as i32;
         Ok(match op.format() {
             Format::R => Instr { op, rd: f21, rs1: f16, rs2: f11, imm: 0 },
-            Format::I | Format::Load => {
-                Instr { op, rd: f21, rs1: f16, rs2: Reg::ZERO, imm: imm16 }
-            }
+            Format::I | Format::Load => Instr { op, rd: f21, rs1: f16, rs2: Reg::ZERO, imm: imm16 },
             Format::Store => Instr { op, rd: f21, rs1: f16, rs2: Reg::ZERO, imm: imm16 },
             Format::B => Instr { op, rd: Reg::ZERO, rs1: f21, rs2: f16, imm: imm16 },
             Format::J => {
@@ -245,24 +243,12 @@ impl Instr {
                     Opcode::Csrr => {
                         Csr::from_bits(csr_bits)
                             .ok_or(DecodeError::IllegalCsr { bits: csr_bits })?;
-                        Instr {
-                            op,
-                            rd: f21,
-                            rs1: Reg::ZERO,
-                            rs2: Reg::ZERO,
-                            imm: csr_bits as i32,
-                        }
+                        Instr { op, rd: f21, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: csr_bits as i32 }
                     }
                     Opcode::Csrw => {
                         Csr::from_bits(csr_bits)
                             .ok_or(DecodeError::IllegalCsr { bits: csr_bits })?;
-                        Instr {
-                            op,
-                            rd: Reg::ZERO,
-                            rs1: f16,
-                            rs2: Reg::ZERO,
-                            imm: csr_bits as i32,
-                        }
+                        Instr { op, rd: Reg::ZERO, rs1: f16, rs2: Reg::ZERO, imm: csr_bits as i32 }
                     }
                     _ => Instr { op, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 },
                 }
@@ -360,8 +346,14 @@ mod tests {
 
     #[test]
     fn disassembly_smoke() {
-        assert_eq!(Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2).to_string(), "add a0, a1, a2");
-        assert_eq!(Instr::ri(Opcode::Addi, Reg::A0, Reg::ZERO, -5).to_string(), "addi a0, zero, -5");
+        assert_eq!(
+            Instr::rrr(Opcode::Add, Reg::A0, Reg::A1, Reg::A2).to_string(),
+            "add a0, a1, a2"
+        );
+        assert_eq!(
+            Instr::ri(Opcode::Addi, Reg::A0, Reg::ZERO, -5).to_string(),
+            "addi a0, zero, -5"
+        );
         assert_eq!(Instr::load(Opcode::Lw, Reg::A0, Reg::SP, 8).to_string(), "lw a0, 8(sp)");
         assert_eq!(Instr::store(Opcode::Sw, Reg::A0, Reg::SP, 8).to_string(), "sw a0, 8(sp)");
         assert_eq!(Instr::branch(Opcode::Bne, Reg::A0, Reg::A1, -2).to_string(), "bne a0, a1, -2");

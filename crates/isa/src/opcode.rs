@@ -205,10 +205,8 @@ impl Opcode {
 
     /// `true` if the opcode writes a destination register.
     pub fn writes_rd(self) -> bool {
-        matches!(
-            self.format(),
-            Format::R | Format::I | Format::Load | Format::U
-        ) || matches!(self, Opcode::Jal | Opcode::Csrr)
+        matches!(self.format(), Format::R | Format::I | Format::Load | Format::U)
+            || matches!(self, Opcode::Jal | Opcode::Csrr)
     }
 }
 

@@ -218,11 +218,7 @@ mod tests {
             for b2 in (b1 + 1)..CODEWORD_BITS {
                 let corrupted = SecDed::flip_bit(SecDed::flip_bit(cw, b1), b2);
                 let (_, status) = SecDed::decode(corrupted);
-                assert_eq!(
-                    status,
-                    EccStatus::DoubleError,
-                    "double error {b1},{b2} not detected"
-                );
+                assert_eq!(status, EccStatus::DoubleError, "double error {b1},{b2} not detected");
             }
         }
     }

@@ -84,12 +84,7 @@ impl<K: Eq + Hash> Distribution<K> {
 
     /// Shannon entropy in bits.
     pub fn entropy_bits(&self) -> f64 {
-        -self
-            .probs
-            .values()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.log2())
-            .sum::<f64>()
+        -self.probs.values().filter(|&&p| p > 0.0).map(|&p| p * p.log2()).sum::<f64>()
     }
 }
 

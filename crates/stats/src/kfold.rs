@@ -73,11 +73,8 @@ impl KFold {
         let start = fold * base + fold.min(extra);
         let size = base + usize::from(fold < extra);
         let test: Vec<usize> = self.order[start..start + size].to_vec();
-        let train: Vec<usize> = self.order[..start]
-            .iter()
-            .chain(&self.order[start + size..])
-            .copied()
-            .collect();
+        let train: Vec<usize> =
+            self.order[..start].iter().chain(&self.order[start + size..]).copied().collect();
         (train, test)
     }
 

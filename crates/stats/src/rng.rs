@@ -41,12 +41,8 @@ impl Xoshiro256 {
     /// Creates a generator by expanding `seed` with SplitMix64.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Xoshiro256 { s }
     }
 

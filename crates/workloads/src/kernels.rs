@@ -512,7 +512,6 @@ low:
     ecall
 ";
 
-
 /// 8-point real-input DFT with a Q14 cosine table: per bin, 16 MACs and
 /// a magnitude-squared — the `aifftr` frequency-analysis stand-in
 /// (MDV + table-lookup heavy).

@@ -37,11 +37,18 @@ mod kernels;
 pub use kernels::extra;
 
 use lockstep_asm::{assemble, Program};
-use lockstep_cpu::{Cpu, PortSet};
+use lockstep_cpu::{Cpu, CpuState, PortSet};
 use lockstep_mem::{Memory, MemoryPort};
 
 /// Default RAM size for workload images (64 KiB, TCM-class).
 pub const RAM_BYTES: usize = 64 * 1024;
+
+/// Default spacing between golden-run checkpoints, in cycles.
+///
+/// At the suite's 4k–25k-cycle runtimes this keeps a handful of
+/// snapshots per kernel (~64 KiB of RAM image each) while bounding the
+/// replay distance from a restored checkpoint to any injection cycle.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4096;
 
 /// One benchmark kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +59,66 @@ pub struct Workload {
     pub description: &'static str,
     /// LR5 assembly source.
     pub source: &'static str,
+}
+
+/// One resumable point in a golden run: the complete machine state
+/// after `cycle` steps from reset. Restoring the CPU flops and this
+/// memory image puts the simulation exactly where the golden run was
+/// about to execute the step that produces golden-trace entry `cycle`.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Number of steps taken from reset when the snapshot was captured
+    /// (equals the golden-trace index of the next step).
+    pub cycle: u64,
+    /// Every CPU flip-flop, including cycle/instret/halted bookkeeping.
+    pub cpu: CpuState,
+    /// The full memory system: RAM image, stimulus generator state, and
+    /// output-capture log.
+    pub mem: Memory,
+}
+
+/// Evenly spaced [`Checkpoint`]s captured during a golden run.
+#[derive(Debug, Clone)]
+pub struct GoldenCheckpoints {
+    /// Spacing between snapshots in cycles (cycle 0 is always present).
+    pub interval: u64,
+    /// Snapshots in ascending `cycle` order.
+    pub points: Vec<Checkpoint>,
+}
+
+impl GoldenCheckpoints {
+    /// The latest checkpoint at or before `cycle`, i.e. the cheapest
+    /// resume point for a fault injected at `cycle`. `None` only if no
+    /// checkpoints were captured at all.
+    pub fn nearest_at(&self, cycle: u64) -> Option<&Checkpoint> {
+        match self.points.binary_search_by_key(&cycle, |p| p.cycle) {
+            Ok(i) => Some(&self.points[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.points[i - 1]),
+        }
+    }
+
+    /// Rough memory footprint of the stored snapshots, for campaign
+    /// observability (RAM image dominates; bookkeeping is approximated).
+    pub fn approx_bytes(&self) -> usize {
+        self.points.len() * (RAM_BYTES + std::mem::size_of::<CpuState>() + 64)
+    }
+}
+
+/// Everything one fault-free reference pass produces: run statistics,
+/// the per-cycle output-port trace, and resumable checkpoints. Produced
+/// by [`Workload::golden_capture`] in a single simulation — campaigns
+/// previously simulated every kernel twice (once for [`GoldenRun`], once
+/// for the trace).
+#[derive(Debug, Clone)]
+pub struct GoldenCapture {
+    /// Timing/output statistics, as [`Workload::golden_run`] reports.
+    pub run: GoldenRun,
+    /// One [`PortSet`] per cycle until halt, as
+    /// [`Workload::golden_trace`] reports.
+    pub trace: Vec<PortSet>,
+    /// Snapshots every `interval` cycles, starting at cycle 0.
+    pub checkpoints: GoldenCheckpoints,
 }
 
 /// Result of a fault-free reference run.
@@ -78,10 +145,7 @@ impl Workload {
     /// Looks a kernel up by name, searching the default suite and the
     /// extra (ablation) kernels.
     pub fn find(name: &str) -> Option<&'static Workload> {
-        kernels::ALL
-            .iter()
-            .chain(kernels::extra())
-            .find(|w| w.name == name)
+        kernels::ALL.iter().chain(kernels::extra()).find(|w| w.name == name)
     }
 
     /// Assembles the kernel.
@@ -136,18 +200,58 @@ impl Workload {
     /// Panics if the kernel does not halt within `max_cycles` — golden
     /// traces must cover complete runs.
     pub fn golden_trace(&self, stimulus_seed: u64, max_cycles: u64) -> Vec<PortSet> {
+        // One checkpoint (cycle 0) is captured and discarded; the
+        // single-pass engine below is the only simulation loop.
+        self.golden_capture(stimulus_seed, max_cycles, u64::MAX).trace
+    }
+
+    /// Runs the kernel fault-free **once** and returns everything a
+    /// campaign needs: run statistics, the golden port trace, and
+    /// resumable checkpoints every `checkpoint_interval` cycles
+    /// (cycle 0 always included; an interval of 0 is treated as 1).
+    ///
+    /// Campaigns previously paid for two full simulations per kernel —
+    /// [`Workload::golden_run`] and then [`Workload::golden_trace`];
+    /// this merges them and adds checkpoint capture in the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not halt within `max_cycles` — golden
+    /// references must cover complete runs.
+    pub fn golden_capture(
+        &self,
+        stimulus_seed: u64,
+        max_cycles: u64,
+        checkpoint_interval: u64,
+    ) -> GoldenCapture {
+        let interval = checkpoint_interval.max(1);
         let mut mem = self.memory(stimulus_seed);
         let mut cpu = Cpu::new(0);
-        let mut trace = Vec::new();
         let mut ports = PortSet::new();
-        for _ in 0..max_cycles {
+        let mut trace = Vec::new();
+        let mut points = Vec::new();
+        let mut halted = false;
+        while (trace.len() as u64) < max_cycles {
+            let cycle = trace.len() as u64;
+            if cycle.is_multiple_of(interval) {
+                points.push(Checkpoint { cycle, cpu: cpu.snapshot(), mem: mem.clone() });
+            }
             let info = cpu.step(&mut mem, &mut ports);
             trace.push(ports);
             if info.halted {
-                return trace;
+                halted = true;
+                break;
             }
         }
-        panic!("kernel `{}` did not halt within {max_cycles} cycles", self.name);
+        assert!(halted, "kernel `{}` did not halt within {max_cycles} cycles", self.name);
+        let run = GoldenRun {
+            halted,
+            cycles: trace.len() as u64,
+            output_checksum: mem.output_checksum(),
+            outputs: mem.output_log().len(),
+            instructions: cpu.state().instret,
+        };
+        GoldenCapture { run, trace, checkpoints: GoldenCheckpoints { interval, points } }
     }
 
     /// Convenience: reads a word the kernel published at `offset` within
@@ -252,5 +356,49 @@ mod tests {
         let g = w.golden_run(5, 200_000);
         let t = w.golden_trace(5, 200_000);
         assert_eq!(t.len() as u64, g.cycles);
+    }
+
+    #[test]
+    fn golden_capture_agrees_with_separate_passes() {
+        let w = Workload::find("canrdr").unwrap();
+        let cap = w.golden_capture(11, 200_000, 2048);
+        assert_eq!(cap.run, w.golden_run(11, 200_000));
+        assert_eq!(cap.trace, w.golden_trace(11, 200_000));
+    }
+
+    #[test]
+    fn checkpoints_are_spaced_and_start_at_zero() {
+        let w = Workload::find("ttsprk").unwrap();
+        let cap = w.golden_capture(7, 200_000, 1000);
+        let points = &cap.checkpoints.points;
+        assert_eq!(points[0].cycle, 0);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.cycle, 1000 * i as u64);
+            assert_eq!(p.cpu.cycle, p.cycle, "snapshot bookkeeping out of sync");
+            assert!(p.cycle < cap.run.cycles);
+        }
+        let expected = cap.run.cycles.div_ceil(1000);
+        assert_eq!(points.len() as u64, expected);
+        assert!(cap.checkpoints.approx_bytes() >= points.len() * RAM_BYTES);
+    }
+
+    #[test]
+    fn nearest_checkpoint_is_latest_at_or_before() {
+        let w = Workload::find("ttsprk").unwrap();
+        let cap = w.golden_capture(7, 200_000, 1000);
+        assert_eq!(cap.checkpoints.nearest_at(0).unwrap().cycle, 0);
+        assert_eq!(cap.checkpoints.nearest_at(999).unwrap().cycle, 0);
+        assert_eq!(cap.checkpoints.nearest_at(1000).unwrap().cycle, 1000);
+        assert_eq!(cap.checkpoints.nearest_at(2500).unwrap().cycle, 2000);
+        let last = cap.checkpoints.points.last().unwrap().cycle;
+        assert_eq!(cap.checkpoints.nearest_at(u64::MAX).unwrap().cycle, last);
+    }
+
+    #[test]
+    fn zero_interval_is_clamped_not_divide_by_zero() {
+        let w = Workload::find("bitmnp").unwrap();
+        let cap = w.golden_capture(5, 200_000, 0);
+        assert_eq!(cap.checkpoints.interval, 1);
+        assert_eq!(cap.checkpoints.points.len() as u64, cap.run.cycles);
     }
 }

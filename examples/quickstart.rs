@@ -74,8 +74,7 @@ fn main() {
     let latency = LatencyModel::calibrated(Granularity::Coarse);
     let rates = campaign.manifestation_rates(Granularity::Coarse);
     let truth_unit = lockstep::cpu::CoarseUnit::Dpu.index();
-    let mut base =
-        SystemController::new(Model::BaseAscending, latency.clone(), rates.clone(), 1);
+    let mut base = SystemController::new(Model::BaseAscending, latency.clone(), rates.clone(), 1);
     let mut pred = SystemController::new(Model::PredComb, latency, rates, 1);
     let restart = campaign.restart_cycles(workload.name);
     let base_out = base.handle_error(dsr, None, truth_unit, fault.kind.error_kind(), restart);

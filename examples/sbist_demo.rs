@@ -44,10 +44,7 @@ fn main() {
         );
     }
     println!();
-    assert!(
-        caught_by.contains(&UnitId::Shf.name()),
-        "the shifter STL must catch a shifter defect"
-    );
+    assert!(caught_by.contains(&UnitId::Shf.name()), "the shifter STL must catch a shifter defect");
     println!(
         "units flagging the defect: {:?} — running {} first (as the predictor\n\
          would order it) reaches the fail-stop verdict after a single STL.",

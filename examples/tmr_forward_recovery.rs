@@ -16,9 +16,7 @@ fn main() {
     let mut system = LockstepSystem::tmr(workload.memory(5));
 
     // A transient upset strikes CPU 2's program counter mid-run.
-    let pc_bit = flops::all_flops()
-        .find(|f| flops::label_of(*f) == "PFU.pc.6")
-        .expect("pc bit");
+    let pc_bit = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.6").expect("pc bit");
     let fault = Fault::new(pc_bit, FaultKind::Transient, 700);
     println!("injecting {} into CPU 2", fault.describe());
     system.inject(2, fault);

@@ -24,6 +24,7 @@ fn one_error_full_lifecycle() {
         seed: 99,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         capture_window: 8,
+        checkpoint_interval: Some(4096),
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());
@@ -37,11 +38,8 @@ fn one_error_full_lifecycle() {
     // --- runtime: a defect appears in the field ------------------------
     let workload = Workload::find("ttsprk").unwrap();
     let mut system = LockstepSystem::dmr(workload.memory(5));
-    let defect = Fault::new(
-        flops::flops_of_unit(UnitId::Mdv).nth(70).unwrap(),
-        FaultKind::StuckAt1,
-        400,
-    );
+    let defect =
+        Fault::new(flops::flops_of_unit(UnitId::Mdv).nth(70).unwrap(), FaultKind::StuckAt1, 400);
     system.inject(0, defect);
     let dsr = match system.run(200_000) {
         LockstepEvent::ErrorDetected { dsr, .. } => dsr,

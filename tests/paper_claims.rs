@@ -25,6 +25,7 @@ fn campaign() -> &'static CampaignResult {
             seed: 424_242,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: 8,
+            checkpoint_interval: Some(4096),
         })
     })
 }
@@ -117,8 +118,7 @@ fn fine_granularity_improves_lert() {
 fn topk_accuracy_grows_with_k_and_saturates() {
     // Figures 12/13: accuracy rises with predicted units and saturates
     // near the full-order accuracy well before K = all.
-    let points =
-        lockstep::eval::experiments::topk::sweep(campaign(), Granularity::Coarse, 7);
+    let points = lockstep::eval::experiments::topk::sweep(campaign(), Granularity::Coarse, 7);
     assert_eq!(points.len(), 7);
     for pair in points.windows(2) {
         assert!(

@@ -1,0 +1,436 @@
+//! A minimal JSON value model with a recursive-descent parser and an
+//! escaping writer — the engine behind the `serde`/`serde_json` stubs.
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`.
+    UInt(u64),
+    /// A negative integer that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, with key order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A parse or shape error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Error {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if this is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!("expected object with `{name}`, got {other:?}"))),
+        }
+    }
+
+    /// Indexes into an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if this is not an array or the index is out of
+    /// bounds.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        self.as_array()?.get(i).ok_or_else(|| Error::new(format!("array index {i} out of bounds")))
+    }
+
+    /// The elements of an array value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if this is not an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// The contents of a string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if this is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for non-numbers, negatives and non-integral
+    /// floats.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            other => Err(Error::new(format!("expected unsigned integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for non-numbers and out-of-range magnitudes.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::new(format!("{n} out of range for i64")))
+            }
+            other => Err(Error::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly up to 2^53).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for non-numbers.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            // `f64::serialize` writes non-finite values as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if this is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+/// Appends `text` to `out` as a quoted, escaped JSON string.
+pub fn write_escaped(text: &str, out: &mut String) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(Error::new(format!("unexpected `{}` at byte {}", other as char, self.pos)))
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::new("unterminated escape sequence"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // workspace's writers; reject them clearly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::new("unsupported \\u escape"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(n).map(|v| -v) {
+                        return Ok(Value::Int(neg));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(Value::parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(Value::parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(Value::parse("\"a b\"").unwrap(), Value::Str("a b".into()));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v = Value::parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().index(0).unwrap(), &Value::UInt(1));
+        assert_eq!(
+            v.field("a").unwrap().index(1).unwrap().field("b").unwrap().as_str().unwrap(),
+            "x"
+        );
+        assert_eq!(v.field("c").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("1 2").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("nulL").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "line\nbreak \"quoted\" back\\slash \u{1} unicode é";
+        let mut text = String::new();
+        write_escaped(original, &mut text);
+        assert_eq!(Value::parse(&text).unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn u64_boundary() {
+        let max = u64::MAX.to_string();
+        assert_eq!(Value::parse(&max).unwrap(), Value::UInt(u64::MAX));
+    }
+}

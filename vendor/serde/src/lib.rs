@@ -1,0 +1,289 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a minimal serde work-alike with the exact API surface the lockstep
+//! crates use: `Serialize`/`Deserialize` traits, derive macros (see
+//! `vendor/serde_derive`), and a JSON value model in [`json`] that the
+//! sibling `serde_json` stub drives.
+//!
+//! The wire format is plain JSON. It is self-consistent (everything this
+//! stub writes, it reads back) but intentionally *not* guaranteed to be
+//! bit-compatible with upstream serde_json for exotic types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Types that can reconstruct themselves from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape or range does not match.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ---
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest round-trippable float formatting; force a
+            // fractional part so the value re-parses as a float.
+            let text = self.to_string();
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            // JSON has no Inf/NaN; null is the conventional fallback.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        f64::from(*self).serialize(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64()? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str()?.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::new(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                Ok(($($name::deserialize(value.index($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(value)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_string<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize(&mut s);
+        s
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let text = to_string(&v);
+        let value = Value::parse(&text).unwrap();
+        assert_eq!(T::deserialize(&value).unwrap(), v, "round-tripping {text}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(String::from("hé\"llo\n\\"));
+        round_trip(1.5f64);
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip([5u64, 6]);
+        round_trip(vec![[1u64, 2], [3, 4]]);
+        round_trip((String::from("a"), 9u64));
+        round_trip(vec![(String::from("x"), 1u32), (String::from("y"), 2)]);
+    }
+
+    #[test]
+    fn u8_range_checked() {
+        let value = Value::parse("300").unwrap();
+        assert!(u8::deserialize(&value).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal serde work-alike (see `vendor/serde`). This crate
+//! provides the matching `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros, hand-written on top of `proc_macro` alone (no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (serialized as JSON objects),
+//! * tuple structs (newtypes serialize as their inner value, wider tuples
+//!   as arrays),
+//! * enums with unit variants only (serialized as the variant name).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is
+//! a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum of unit variants: variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// `true` for the two tokens of an attribute (`#` + `[...]`), consuming
+/// them from position `*i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive stub: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive stub: expected variant name, got {:?}", tokens[i]);
+        };
+        variants.push(name.to_string());
+        i += 1;
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => panic!(
+                    "serde_derive stub: only unit enum variants are supported, got {other:?}"
+                ),
+            }
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && k + 1 < tokens.len() =>
+            {
+                fields += 1;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (deriving on `{name}`)");
+    }
+    let TokenTree::Group(group) = &tokens[i] else {
+        panic!("serde_derive stub: expected item body for `{name}`");
+    };
+    let shape = match (kind.as_str(), group.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(group)),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(group)),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_unit_variants(group)),
+        _ => panic!("serde_derive stub: unsupported item shape for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut b = String::from("out.push('{');");
+            for (k, f) in fields.iter().enumerate() {
+                if k > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\
+                     ::serde::Serialize::serialize(&self.{f}, out);"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Shape::Tuple(1) => String::from("::serde::Serialize::serialize(&self.0, out);"),
+        Shape::Tuple(n) => {
+            let mut b = String::from("out.push('[');");
+            for k in 0..*n {
+                if k > 0 {
+                    b.push_str("out.push(',');");
+                }
+                b.push_str(&format!("::serde::Serialize::serialize(&self.{k}, out);"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),"))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize(&self, out: &mut ::std::string::String) {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(value.index({k})?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({inits}))")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match value.as_str()? {{ {arms} other => ::std::result::Result::Err(\
+                     ::serde::json::Error::new(::std::format!(\
+                         \"unknown variant `{{other}}` for {name}\"))), }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deserialize(value: &::serde::json::Value)\
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}

@@ -1,0 +1,88 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Thin front over the JSON engine in the vendored `serde` stub: the
+//! same `to_string`/`from_str` entry points the real crate provides, for
+//! the subset of types this workspace serializes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::json::{Error, Value};
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for the types this workspace uses; the `Result` mirrors
+/// the real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text)?;
+    T::deserialize(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        name: String,
+        count: u64,
+        tags: Vec<u32>,
+        ratio: f64,
+        flag: bool,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[test]
+    fn derived_struct_round_trip() {
+        let s = Sample {
+            name: "hello \"world\"".into(),
+            count: 9_000_000_000,
+            tags: vec![1, 2, 3],
+            ratio: 0.25,
+            flag: true,
+        };
+        let text = to_string(&s).unwrap();
+        assert_eq!(from_str::<Sample>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn derived_enum_round_trip() {
+        for k in [Kind::Alpha, Kind::Beta] {
+            let text = to_string(&k).unwrap();
+            assert_eq!(from_str::<Kind>(&text).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapper(17)).unwrap(), "17");
+        assert_eq!(from_str::<Wrapper>("17").unwrap(), Wrapper(17));
+    }
+
+    #[test]
+    fn missing_field_is_error() {
+        assert!(from_str::<Sample>(r#"{"name":"x"}"#).is_err());
+    }
+}
