@@ -29,6 +29,8 @@ fn config(checkpoint_interval: Option<u64>) -> CampaignConfig {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         capture_window: 16,
         checkpoint_interval,
+        events: None,
+        trace_window: None,
     }
 }
 

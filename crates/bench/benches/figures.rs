@@ -29,6 +29,8 @@ fn campaign() -> &'static CampaignResult {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: 8,
             checkpoint_interval: Some(4096),
+            events: None,
+            trace_window: None,
         })
     })
 }
@@ -46,6 +48,8 @@ fn bench_campaign_engine(c: &mut Criterion) {
                 threads: 4,
                 capture_window: 8,
                 checkpoint_interval: Some(4096),
+                events: None,
+                trace_window: None,
             }))
         })
     });

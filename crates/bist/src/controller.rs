@@ -7,8 +7,12 @@
 //! restart) or *fail stop* (hard error: alert the system). The cycle
 //! accounting is the LERT of [`crate::lert`].
 
+use std::sync::Arc;
+
 use lockstep_core::{Dsr, Prediction, Predictor};
+use lockstep_cpu::Granularity;
 use lockstep_fault::ErrorKind;
+use lockstep_obs::{Event, EventSink};
 use lockstep_stats::Xoshiro256;
 
 use crate::latency::LatencyModel;
@@ -54,6 +58,7 @@ pub struct SystemController {
     latency: LatencyModel,
     manifestation_rates: Vec<f64>,
     rng: Xoshiro256,
+    events: Option<Arc<dyn EventSink>>,
 }
 
 impl SystemController {
@@ -67,12 +72,26 @@ impl SystemController {
         manifestation_rates: Vec<f64>,
         seed: u64,
     ) -> SystemController {
-        SystemController { model, latency, manifestation_rates, rng: Xoshiro256::seed_from(seed) }
+        SystemController {
+            model,
+            latency,
+            manifestation_rates,
+            rng: Xoshiro256::seed_from(seed),
+            events: None,
+        }
     }
 
     /// The configured handling model.
     pub fn model(&self) -> Model {
         self.model
+    }
+
+    /// Installs an observability event sink: each handled error is then
+    /// bracketed by [`Event::BistStart`]/[`Event::BistStop`], with an
+    /// [`Event::Prediction`] in between when the model consults the
+    /// predictor. `None` (the default) emits nothing.
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.events = sink;
     }
 
     /// Handles one detected lockstep error.
@@ -94,11 +113,31 @@ impl SystemController {
         true_kind: ErrorKind,
         restart_cycles: u64,
     ) -> ControllerOutcome {
+        if let Some(sink) = &self.events {
+            sink.emit(&Event::BistStart {
+                model: self.model.name().to_owned(),
+                dsr_bits: dsr.bits(),
+            });
+        }
         let prediction: Option<Prediction> = if self.model.uses_predictor() {
             Some(predictor.expect("prediction model requires a predictor").predict(dsr))
         } else {
             None
         };
+        if let (Some(sink), Some(p)) = (&self.events, &prediction) {
+            // The controller's unit universe is whatever granularity its
+            // rate table was built for; name units accordingly.
+            let gran = if self.manifestation_rates.len() == Granularity::Fine.unit_count() {
+                Granularity::Fine
+            } else {
+                Granularity::Coarse
+            };
+            sink.emit(&Event::Prediction {
+                dsr_bits: dsr.bits(),
+                order: p.order.iter().map(|&u| gran.unit_name(u).to_owned()).collect(),
+                hard: p.kind == ErrorKind::Hard,
+            });
+        }
         let inputs = LertInputs { true_unit, true_kind, restart_cycles };
         let out = lert_for(
             self.model,
@@ -108,6 +147,14 @@ impl SystemController {
             prediction.as_ref(),
             &mut self.rng,
         );
+        if let Some(sink) = &self.events {
+            sink.emit(&Event::BistStop {
+                model: self.model.name().to_owned(),
+                units_tested: out.units_tested,
+                lert_cycles: out.cycles,
+                fail_stop: out.hard_found,
+            });
+        }
         if out.hard_found {
             ControllerOutcome::FailStop { lert_cycles: out.cycles, units_tested: out.units_tested }
         } else {
@@ -203,5 +250,49 @@ mod tests {
     fn prediction_model_without_predictor_panics() {
         let mut c = controller(Model::PredLocationOnly);
         let _ = c.handle_error(Dsr::from_bits(1), None, 0, ErrorKind::Hard, 1000);
+    }
+
+    #[test]
+    fn events_bracket_the_diagnostic_flow() {
+        use lockstep_obs::{Event, MemorySink};
+
+        let sink = Arc::new(MemorySink::new());
+        let mut c = controller(Model::PredComb);
+        c.set_event_sink(Some(sink.clone()));
+        let p = trained();
+        let out = c.handle_error(Dsr::from_bits(0b1), Some(&p), 2, ErrorKind::Hard, 10_000);
+        let events = sink.take();
+        assert_eq!(events.len(), 3, "start, prediction, stop: {events:?}");
+        assert!(
+            matches!(&events[0], Event::BistStart { model, dsr_bits: 0b1 } if model == "pred-comb")
+        );
+        match &events[1] {
+            Event::Prediction { order, hard, .. } => {
+                assert_eq!(order[0], "LSU", "coarse unit 2 is the LSU");
+                assert!(hard);
+            }
+            other => panic!("expected prediction, got {other:?}"),
+        }
+        match &events[2] {
+            Event::BistStop { units_tested, lert_cycles, fail_stop, .. } => {
+                assert_eq!(*units_tested, 1);
+                assert_eq!(*lert_cycles, out.lert_cycles());
+                assert!(fail_stop);
+            }
+            other => panic!("expected stop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_models_emit_no_prediction_event() {
+        use lockstep_obs::{Event, MemorySink};
+
+        let sink = Arc::new(MemorySink::new());
+        let mut c = controller(Model::BaseAscending);
+        c.set_event_sink(Some(sink.clone()));
+        c.handle_error(Dsr::from_bits(0b1), None, 2, ErrorKind::Soft, 10_000);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(!events.iter().any(|e| matches!(e, Event::Prediction { .. })));
     }
 }

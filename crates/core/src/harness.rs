@@ -9,10 +9,12 @@
 //! exist only to be compared.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use lockstep_cpu::{Cpu, CpuState, PortSet};
 use lockstep_fault::Fault;
 use lockstep_mem::{BusFault, Memory, MemoryPort};
+use lockstep_obs::{Event, EventSink};
 
 use crate::checker::Checker;
 use crate::dsr::Dsr;
@@ -91,6 +93,8 @@ pub struct LockstepSystem {
     faults: Vec<(usize, Fault)>,
     cycle: u64,
     capture_window: u32,
+    label: String,
+    events: Option<Arc<dyn EventSink>>,
 }
 
 impl LockstepSystem {
@@ -111,7 +115,23 @@ impl LockstepSystem {
             faults: Vec::new(),
             cycle: 0,
             capture_window: 8,
+            label: "lockstep".to_owned(),
+            events: None,
         }
+    }
+
+    /// Installs an observability event sink: the harness announces every
+    /// checker detection as an [`Event::Detect`] (tagged with the
+    /// system's [`label`](LockstepSystem::set_label)). `None` (the
+    /// default) emits nothing and costs nothing.
+    pub fn set_event_sink(&mut self, sink: Option<Arc<dyn EventSink>>) {
+        self.events = sink;
+    }
+
+    /// Names this system in emitted events (defaults to `"lockstep"`;
+    /// campaigns use the workload name).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
     }
 
     /// Sets the DSR capture window: after the first divergent cycle the
@@ -170,6 +190,14 @@ impl LockstepSystem {
     /// Panics if `cpu` is out of range.
     pub fn inject(&mut self, cpu: usize, fault: Fault) {
         assert!(cpu < self.cpus.len(), "no CPU {cpu}");
+        if let Some(sink) = &self.events {
+            sink.emit(&Event::Inject {
+                workload: self.label.clone(),
+                unit: fault.unit().name().to_owned(),
+                fault: fault.describe(),
+                cycle: fault.cycle,
+            });
+        }
         self.faults.push((cpu, fault));
     }
 
@@ -189,6 +217,14 @@ impl LockstepSystem {
                     if let LockstepEvent::ErrorDetected { dsr, .. } = self.step_once() {
                         bits |= dsr.bits();
                     }
+                }
+                if let Some(sink) = &self.events {
+                    sink.emit(&Event::Detect {
+                        workload: self.label.clone(),
+                        inject_cycle: self.faults.iter().map(|(_, f)| f.cycle).min().unwrap_or(0),
+                        detect_cycle: cycle,
+                        dsr_bits: bits,
+                    });
                 }
                 LockstepEvent::ErrorDetected { dsr: Dsr::from_bits(bits), cycle, erring_cpu }
             }

@@ -166,6 +166,42 @@ fn stuck_at_reappears_after_restart() {
 }
 
 #[test]
+fn harness_emits_inject_and_detect_events() {
+    use lockstep_obs::{Event, MemorySink};
+    use std::sync::Arc;
+
+    let sink = Arc::new(MemorySink::new());
+    let mut sys = system(2);
+    sys.set_event_sink(Some(sink.clone()));
+    sys.set_label("loop_kernel");
+    let pc_bit4 = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.4").unwrap();
+    sys.inject(0, Fault::new(pc_bit4, FaultKind::Transient, 300));
+    let detected = match sys.run(50_000) {
+        LockstepEvent::ErrorDetected { dsr, cycle, .. } => (cycle, dsr),
+        other => panic!("expected detection, got {other:?}"),
+    };
+    let events = sink.take();
+    assert_eq!(events.len(), 2, "one inject + one detect, got {events:?}");
+    match &events[0] {
+        Event::Inject { workload, unit, cycle, .. } => {
+            assert_eq!(workload, "loop_kernel");
+            assert_eq!(unit, "PFU");
+            assert_eq!(*cycle, 300);
+        }
+        other => panic!("expected inject event, got {other:?}"),
+    }
+    match &events[1] {
+        Event::Detect { workload, inject_cycle, detect_cycle, dsr_bits } => {
+            assert_eq!(workload, "loop_kernel");
+            assert_eq!(*inject_cycle, 300);
+            assert_eq!(*detect_cycle, detected.0);
+            assert_eq!(*dsr_bits, detected.1.bits(), "event DSR must match the returned DSR");
+        }
+        other => panic!("expected detect event, got {other:?}"),
+    }
+}
+
+#[test]
 fn memory_errors_do_not_trip_the_checker() {
     // Memory is outside the sphere of replication: a single-bit RAM error
     // is corrected by ECC and must not cause lockstep divergence.

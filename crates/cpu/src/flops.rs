@@ -152,6 +152,26 @@ pub fn flip_bit(state: &mut CpuState, id: FlopId) {
     set_bit(state, id, !v);
 }
 
+/// The trace hook of the observability layer: counts, per fine-grain
+/// unit, how many flip-flops changed value between two committed
+/// states — one XOR + popcount per register lane, no per-bit walk.
+///
+/// Divergence trace recorders call this once per replayed cycle with
+/// the previous and current [`CpuState`] to watch a fault's
+/// microarchitectural footprint spread through the units before it
+/// reaches any output port.
+pub fn unit_flip_deltas(prev: &CpuState, cur: &CpuState) -> [u16; UnitId::ALL.len()] {
+    let mut deltas = [0u16; UnitId::ALL.len()];
+    for reg in registry() {
+        let unit = reg.unit.index();
+        for lane in 0..reg.lanes as usize {
+            let diff = reg.read(prev, lane) ^ reg.read(cur, lane);
+            deltas[unit] += diff.count_ones() as u16;
+        }
+    }
+    deltas
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +245,24 @@ mod tests {
         let id = FlopId { reg: 0, lane: 0, bit: 3 };
         let label = label_of(id);
         assert!(label.contains('.'));
+    }
+
+    #[test]
+    fn unit_flip_deltas_counts_exactly_the_flipped_bits() {
+        let base = CpuState::reset(0);
+        assert_eq!(unit_flip_deltas(&base, &base), [0u16; UnitId::ALL.len()]);
+        let mut state = base.clone();
+        let ids: Vec<FlopId> = all_flops().step_by(97).collect();
+        for &id in &ids {
+            flip_bit(&mut state, id);
+        }
+        let deltas = unit_flip_deltas(&base, &state);
+        let total: u32 = deltas.iter().map(|&n| u32::from(n)).sum();
+        assert_eq!(total as usize, ids.len());
+        for (u, unit) in UnitId::ALL.iter().enumerate() {
+            let expected = ids.iter().filter(|&&id| unit_of(id) == *unit).count();
+            assert_eq!(deltas[u] as usize, expected, "{unit} delta wrong");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! `tests/lockstep_equivalence.rs`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cpu;
 pub mod exec;

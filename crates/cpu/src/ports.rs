@@ -21,9 +21,11 @@ macro_rules! signal_categories {
         /// A signal category: one compared group of output port signals.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         #[repr(u8)]
-        #[allow(missing_docs)]
         pub enum Sc {
-            $( $variant = $idx, )+
+            $(
+                #[doc = concat!("The `", $name, "` signal category (", stringify!($width), " signals).")]
+                $variant = $idx,
+            )+
         }
 
         impl Sc {

@@ -3,8 +3,9 @@
 //! Every field of [`CpuState`] is a hardware register; there is no hidden
 //! simulator state. The pipeline logic in [`crate::exec`] computes a full
 //! next-state each cycle, and fault models overlay committed state bits.
-//! The [`build_registry`] function exposes every field (and every lane of
-//! the register bank) to the flip-flop registry in [`crate::flops`].
+//! The crate-private `build_registry` function exposes every field (and
+//! every lane of the register bank) to the flip-flop registry in
+//! [`crate::flops`].
 
 use lockstep_isa::RESET_PC;
 

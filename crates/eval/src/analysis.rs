@@ -291,6 +291,8 @@ mod tests {
             },
             golden: vec![],
             stats: crate::campaign::CampaignStats::default(),
+            traces: vec![],
+            events: None,
         };
         let s = manifestation_stats(&result);
         assert_eq!(s.overall_rate, 0.03);

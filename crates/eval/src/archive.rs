@@ -11,6 +11,8 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use lockstep_core::ErrorRecord;
+use lockstep_obs::DivergenceTrace;
+use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::{CampaignResult, CampaignStats};
@@ -27,7 +29,11 @@ pub struct GoldenRunRepr {
 }
 
 /// A complete, serializable campaign result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Deserialize` is written by hand (rather than derived) so that the
+/// fields added in later format versions are *optional on read*: a v3
+/// reader loads a v2 file by defaulting the missing `traces` to empty.
+#[derive(Debug, Clone, Serialize)]
 pub struct CampaignArchive {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -41,6 +47,28 @@ pub struct CampaignArchive {
     pub golden: Vec<(String, GoldenRunRepr)>,
     /// Throughput instrumentation of the producing run (v2+).
     pub stats: CampaignStats,
+    /// Divergence trace blobs aligned with `records` (v3+; empty when
+    /// the campaign ran without tracing or the file predates v3).
+    pub traces: Vec<Option<DivergenceTrace>>,
+}
+
+impl Deserialize for CampaignArchive {
+    fn deserialize(value: &Value) -> Result<CampaignArchive, JsonError> {
+        Ok(CampaignArchive {
+            version: u32::try_from(value.field("version")?.as_u64()?)
+                .map_err(|_| JsonError::new("version out of range"))?,
+            records: Deserialize::deserialize(value.field("records")?)?,
+            injected: usize::try_from(value.field("injected")?.as_u64()?)
+                .map_err(|_| JsonError::new("injected out of range"))?,
+            injected_per_unit: Deserialize::deserialize(value.field("injected_per_unit")?)?,
+            golden: Deserialize::deserialize(value.field("golden")?)?,
+            stats: Deserialize::deserialize(value.field("stats")?)?,
+            traces: match value.field("traces") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => Vec::new(), // pre-v3 file
+            },
+        })
+    }
 }
 
 /// Errors from loading an archive.
@@ -79,8 +107,13 @@ impl From<serde_json::Error> for ArchiveError {
 }
 
 /// Current archive format version. v2 added the `stats` block
-/// (campaign throughput instrumentation).
-pub const ARCHIVE_VERSION: u32 = 2;
+/// (campaign throughput instrumentation); v3 added the optional
+/// `traces` blobs (divergence trace recorder).
+pub const ARCHIVE_VERSION: u32 = 3;
+
+/// Oldest format version [`CampaignArchive::load`] still accepts. v2
+/// files simply have no trace blobs.
+pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
     /// Captures a campaign result.
@@ -105,6 +138,7 @@ impl CampaignArchive {
                 })
                 .collect(),
             stats: result.stats.clone(),
+            traces: result.traces.clone(),
         }
     }
 
@@ -140,6 +174,8 @@ impl CampaignArchive {
             injected_per_unit: self.injected_per_unit,
             golden,
             stats: self.stats,
+            traces: self.traces,
+            events: None,
         }
     }
 
@@ -165,7 +201,7 @@ impl CampaignArchive {
         let mut text = String::new();
         std::fs::File::open(path)?.read_to_string(&mut text)?;
         let archive: CampaignArchive = serde_json::from_str(&text)?;
-        if archive.version != ARCHIVE_VERSION {
+        if !(MIN_ARCHIVE_VERSION..=ARCHIVE_VERSION).contains(&archive.version) {
             return Err(ArchiveError::Version(archive.version));
         }
         Ok(archive)
@@ -186,6 +222,8 @@ mod tests {
             threads: 2,
             capture_window: 8,
             checkpoint_interval: Some(1024),
+            events: None,
+            trace_window: None,
         })
     }
 
@@ -212,6 +250,74 @@ mod tests {
         CampaignArchive::from_result(&result).save(&path).unwrap();
         let loaded = CampaignArchive::load(&path).unwrap();
         assert_eq!(loaded.records.len(), result.records.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_round_trip_preserves_trace_blobs() {
+        let mut cfg = CampaignConfig {
+            workloads: vec![Workload::find("idctrn").unwrap()],
+            faults_per_workload: 120,
+            seed: 5,
+            threads: 2,
+            capture_window: 8,
+            checkpoint_interval: Some(1024),
+            events: None,
+            trace_window: None,
+        };
+        cfg.trace_window = Some(16);
+        let result = run_campaign(&cfg);
+        assert!(!result.records.is_empty());
+        let archive = CampaignArchive::from_result(&result);
+        assert_eq!(archive.version, ARCHIVE_VERSION);
+        let json = serde_json::to_string(&archive).unwrap();
+        let back: CampaignArchive = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.traces, result.traces);
+        let restored = back.into_result();
+        assert_eq!(restored.traces.len(), restored.records.len());
+        for (r, t) in restored.records.iter().zip(&restored.traces) {
+            assert_eq!(t.as_ref().unwrap().final_dsr_bits(), r.dsr.bits());
+        }
+    }
+
+    #[test]
+    fn v2_archive_without_traces_still_loads() {
+        // A v2 writer serialized exactly these fields — no `traces`.
+        #[derive(Serialize)]
+        struct ArchiveV2 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: CampaignStats,
+        }
+        let result = small_result();
+        let v2 = ArchiveV2 {
+            version: 2,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: result.stats.clone(),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v2).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v3 reader must accept v2 files");
+        assert_eq!(loaded.version, 2);
+        assert!(loaded.traces.is_empty(), "pre-v3 files default to no traces");
+        assert_eq!(loaded.records, result.records);
+        let restored = loaded.into_result();
+        assert_eq!(restored.restart_cycles("idctrn"), result.restart_cycles("idctrn"));
         std::fs::remove_file(&path).ok();
     }
 

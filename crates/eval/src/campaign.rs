@@ -19,18 +19,23 @@
 //!   golden-trace comparison until the injection cycle.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lockstep_core::{Dsr, ErrorRecord};
 use lockstep_cpu::{flops, Cpu, Granularity, PortSet};
-use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
+use lockstep_fault::{CampaignPlan, ErrorKind, Fault, FaultKind, PlanConfig};
+use lockstep_obs::{DivergenceTrace, Event, EventSink, TraceRing, TraceSample};
 use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Default DSR capture window (cycles from first divergence until the
 /// CPUs are architecturally stopped).
 pub const DEFAULT_CAPTURE_WINDOW: u32 = 16;
+
+/// Default pre-detection retention of the divergence trace recorder
+/// (samples kept between injection and detection when tracing is on).
+pub const DEFAULT_TRACE_WINDOW: u32 = 64;
 
 /// Default golden-run checkpoint spacing (re-exported from the
 /// workloads crate so campaign callers need only one import).
@@ -58,6 +63,17 @@ pub struct CampaignConfig {
     /// its memory image (the pre-optimization behaviour, kept as the
     /// baseline the `campaign` benchmark compares against).
     pub checkpoint_interval: Option<u64>,
+    /// Structured event sink. `None` (the default) skips event
+    /// construction entirely, so an untraced campaign pays nothing for
+    /// the observability layer (the `obs` benchmark proves it).
+    pub events: Option<Arc<dyn EventSink>>,
+    /// Divergence trace recording: `Some(pre_window)` records, for each
+    /// manifested error, the last `pre_window` pre-detection cycles plus
+    /// the whole capture window ([`DivergenceTrace`]). `None` (the
+    /// default) records nothing. Tracing requires the checkpointed
+    /// injection path (`checkpoint_interval` set); with checkpointing
+    /// off the option is ignored.
+    pub trace_window: Option<u32>,
 }
 
 impl CampaignConfig {
@@ -71,6 +87,8 @@ impl CampaignConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: DEFAULT_CAPTURE_WINDOW,
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
+            events: None,
+            trace_window: None,
         }
     }
 }
@@ -209,6 +227,13 @@ pub struct CampaignResult {
     pub golden: Vec<(&'static str, GoldenRun)>,
     /// Throughput instrumentation for the run that produced this.
     pub stats: CampaignStats,
+    /// Divergence traces aligned 1:1 with `records` when the campaign
+    /// ran with [`CampaignConfig::trace_window`] set; empty otherwise.
+    pub traces: Vec<Option<DivergenceTrace>>,
+    /// The event sink the campaign ran with, kept so post-campaign
+    /// queries (e.g. [`CampaignResult::restart_cycles`]) log to the same
+    /// stream.
+    pub events: Option<Arc<dyn EventSink>>,
 }
 
 impl CampaignResult {
@@ -255,10 +280,14 @@ impl CampaignResult {
         }
         let total: u64 = self.golden.iter().map(|(_, g)| g.cycles).sum();
         let mean = total / self.golden.len().max(1) as u64;
-        eprintln!(
-            "restart_cycles: workload `{workload}` was not in this campaign; \
-             using mean golden runtime {mean} cycles"
-        );
+        if let Some(sink) = &self.events {
+            sink.emit(&Event::RestartFallback { workload: workload.to_owned(), mean_cycles: mean });
+        } else {
+            eprintln!(
+                "restart_cycles: workload `{workload}` was not in this campaign; \
+                 using mean golden runtime {mean} cycles"
+            );
+        }
         mean
     }
 }
@@ -320,6 +349,21 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         assert!(cap.run.halted, "{} golden run did not halt", workload.name);
     }
     let golden_nanos = elapsed_nanos(campaign_start);
+    if let Some(sink) = &config.events {
+        for (workload, cap) in config.workloads.iter().zip(&captures) {
+            sink.emit(&Event::GoldenPass {
+                workload: workload.name.to_owned(),
+                cycles: cap.run.cycles,
+                instructions: cap.run.instructions,
+                checkpoints: if config.checkpoint_interval.is_some() {
+                    cap.checkpoints.points.len() as u64
+                } else {
+                    0
+                },
+            });
+        }
+        sink.emit(&Event::Span { name: "golden_capture".to_owned(), nanos: golden_nanos });
+    }
 
     // ------------------------------------------------------------------
     // Fault plans and the flat work queue: injection i maps to the
@@ -352,7 +396,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let counters: Vec<WorkCounters> =
         config.workloads.iter().map(|_| WorkCounters::default()).collect();
     let next = AtomicUsize::new(0);
-    let sink: Mutex<Vec<(usize, ErrorRecord)>> = Mutex::new(Vec::new());
+    type Produced = (usize, ErrorRecord, Option<DivergenceTrace>);
+    let sink: Mutex<Vec<Produced>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..config.threads.max(1) {
             scope.spawn(|| {
@@ -370,27 +415,83 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                     let cap = &captures[wi];
                     let fault = plans[wi].faults()[i - offsets[wi]];
                     let t0 = Instant::now();
-                    let outcome = if config.checkpoint_interval.is_some() {
-                        let (outcome, cost) = run_injection_from_checkpoint(
-                            &cap.checkpoints,
-                            &cap.trace,
-                            fault,
-                            window,
-                        );
+                    let (outcome, trace) = if config.checkpoint_interval.is_some() {
+                        let (outcome, trace, cost) = if let Some(pre) = config.trace_window {
+                            let (out, cost) = run_injection_traced(
+                                &cap.checkpoints,
+                                &cap.trace,
+                                fault,
+                                window,
+                                pre,
+                            );
+                            match out {
+                                Some((cycle, dsr, trace)) => {
+                                    (Some((cycle, dsr)), Some(trace), cost)
+                                }
+                                None => (None, None, cost),
+                            }
+                        } else {
+                            let (out, cost) = run_injection_from_checkpoint(
+                                &cap.checkpoints,
+                                &cap.trace,
+                                fault,
+                                window,
+                            );
+                            (out, None, cost)
+                        };
                         let c = &counters[wi];
                         c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
                         c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
                         c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
                         c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
-                        outcome
+                        if let Some(events) = &config.events {
+                            // A fault past the golden runtime never restores
+                            // a snapshot, so no hit to report for it.
+                            if fault.cycle < cap.run.cycles {
+                                events.emit(&Event::CheckpointHit {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                    checkpoint_cycle: cost.checkpoint_cycle,
+                                    hit_distance: cost.hit_distance,
+                                });
+                            }
+                        }
+                        (outcome, trace)
                     } else {
                         counters[wi].replayed_cycles.fetch_add(
                             cap.run.cycles.min(fault.cycle + u64::from(window)),
                             Ordering::Relaxed,
                         );
-                        run_injection_windowed(workload, stim_seeds[wi], &cap.trace, fault, window)
+                        let out = run_injection_windowed(
+                            workload,
+                            stim_seeds[wi],
+                            &cap.trace,
+                            fault,
+                            window,
+                        );
+                        (out, None)
                     };
                     counters[wi].wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
+                    if let Some(events) = &config.events {
+                        events.emit(&Event::Inject {
+                            workload: workload.name.to_owned(),
+                            unit: fault.unit().name().to_owned(),
+                            fault: fault.describe(),
+                            cycle: fault.cycle,
+                        });
+                        match outcome {
+                            Some((detect_cycle, dsr)) => events.emit(&Event::Detect {
+                                workload: workload.name.to_owned(),
+                                inject_cycle: fault.cycle,
+                                detect_cycle,
+                                dsr_bits: dsr.bits(),
+                            }),
+                            None => events.emit(&Event::Masked {
+                                workload: workload.name.to_owned(),
+                                inject_cycle: fault.cycle,
+                            }),
+                        }
+                    }
                     if let Some((detect_cycle, dsr)) = outcome {
                         counters[wi].manifested.fetch_add(1, Ordering::Relaxed);
                         local.push((
@@ -403,6 +504,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                                 detect_cycle,
                                 dsr,
                             },
+                            trace,
                         ));
                     }
                 }
@@ -411,18 +513,42 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         }
     });
     let injection_nanos = elapsed_nanos(injection_start);
+    if let Some(events) = &config.events {
+        events.emit(&Event::Span { name: "injection".to_owned(), nanos: injection_nanos });
+    }
 
     // Deterministic order regardless of thread interleaving: group by
     // workload in campaign order, then the stable per-workload sort the
-    // per-workload engine used.
-    let mut grouped: Vec<Vec<ErrorRecord>> = config.workloads.iter().map(|_| Vec::new()).collect();
-    for (wi, record) in sink.into_inner().expect("no poisoned workers") {
-        grouped[wi].push(record);
+    // per-workload engine used. Traces ride along under the same key so
+    // `traces[i]` always describes `records[i]`.
+    let mut grouped: Vec<Vec<(ErrorRecord, Option<DivergenceTrace>)>> =
+        config.workloads.iter().map(|_| Vec::new()).collect();
+    for (wi, record, trace) in sink.into_inner().expect("no poisoned workers") {
+        grouped[wi].push((record, trace));
     }
     let mut records = Vec::new();
+    let mut traces = Vec::new();
     for produced in &mut grouped {
-        produced.sort_by_key(|r| (r.inject_cycle, r.detect_cycle, r.unit_index, r.dsr));
-        records.append(produced);
+        produced.sort_by(|(a, _), (b, _)| {
+            (a.inject_cycle, a.detect_cycle, a.unit_index, a.dsr).cmp(&(
+                b.inject_cycle,
+                b.detect_cycle,
+                b.unit_index,
+                b.dsr,
+            ))
+        });
+        for (record, trace) in produced.drain(..) {
+            records.push(record);
+            traces.push(trace);
+        }
+    }
+    if config.trace_window.is_none() || config.checkpoint_interval.is_none() {
+        traces.clear();
+    }
+    for (i, trace) in traces.iter_mut().enumerate() {
+        if let Some(t) = trace {
+            t.record = i as u64;
+        }
     }
 
     let golden_info: Vec<(&'static str, GoldenRun)> =
@@ -485,6 +611,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         injected_per_unit,
         golden: golden_info,
         stats,
+        traces,
+        events: config.events.clone(),
     }
 }
 
@@ -628,6 +756,111 @@ pub fn run_injection_from_checkpoint(
     (Some((detect_cycle, Dsr::from_bits(dsr_bits))), cost)
 }
 
+/// Whether `fault`'s overlay is non-identity at `cycle`: a transient
+/// only on its strike cycle, a stuck-at from its strike cycle onwards.
+fn fault_active(fault: Fault, cycle: u64) -> bool {
+    match fault.kind {
+        FaultKind::Transient => cycle == fault.cycle,
+        FaultKind::StuckAt0 | FaultKind::StuckAt1 => cycle >= fault.cycle,
+    }
+}
+
+/// [`run_injection_from_checkpoint`] with the divergence trace recorder
+/// attached: identical replay, identical detection cycle and DSR (the
+/// campaign trace-consistency test asserts record equality), plus a
+/// [`DivergenceTrace`] holding the last `pre_window` pre-detection
+/// samples and every capture-window sample.
+///
+/// Recording starts at the fault cycle — before it the overlay is the
+/// identity and an exactly restored core cannot diverge, so there is
+/// nothing to observe. Each sample costs one [`lockstep_cpu::CpuState`]
+/// diff (for the per-unit flip deltas), which is why tracing is opt-in
+/// per campaign rather than always on.
+pub fn run_injection_traced(
+    checkpoints: &GoldenCheckpoints,
+    golden_trace: &[PortSet],
+    fault: Fault,
+    window: u32,
+    pre_window: u32,
+) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
+    let trace_len = golden_trace.len() as u64;
+    if fault.cycle >= trace_len {
+        let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
+        return (None, cost);
+    }
+    let cp = checkpoints
+        .nearest_at(fault.cycle)
+        .expect("golden captures always include the cycle-0 checkpoint");
+    let mut cpu = Cpu::from_state(cp.cpu.clone());
+    let mut mem = cp.mem.clone();
+    let mut ports = PortSet::new();
+    let mut cost = ReplayCost {
+        checkpoint_cycle: cp.cycle,
+        hit_distance: fault.cycle - cp.cycle,
+        replayed_cycles: 0,
+        skipped_cycles: cp.cycle,
+    };
+
+    let mut cycle = cp.cycle;
+    while cycle < fault.cycle {
+        cpu.step(&mut mem, &mut ports);
+        cycle += 1;
+        cost.replayed_cycles += 1;
+    }
+
+    let mut ring = TraceRing::new(pre_window as usize);
+    let mut prev = cpu.state().clone();
+    let sample_at = |at: u64, diff: u64, prev: &mut lockstep_cpu::CpuState, cpu: &Cpu| {
+        let sample = TraceSample {
+            cycle: at,
+            diverged: diff,
+            fault_active: fault_active(fault, at),
+            unit_flips: flops::unit_flip_deltas(prev, cpu.state()),
+        };
+        prev.clone_from(cpu.state());
+        sample
+    };
+    let (detect_cycle, mut dsr_bits, detect_sample) = loop {
+        if cycle >= trace_len {
+            return (None, cost);
+        }
+        let golden = &golden_trace[cycle as usize];
+        let at = cycle;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        let diff = ports.diff_mask(golden);
+        let sample = sample_at(at, diff, &mut prev, &cpu);
+        if diff != 0 {
+            break (at, diff, sample);
+        }
+        ring.push(sample);
+    };
+    let mut samples = ring.into_samples();
+    samples.push(detect_sample);
+    for _ in 1..window {
+        if cycle >= trace_len {
+            break;
+        }
+        let golden = &golden_trace[cycle as usize];
+        let at = cycle;
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        let diff = ports.diff_mask(golden);
+        dsr_bits |= diff;
+        samples.push(sample_at(at, diff, &mut prev, &cpu));
+    }
+    let trace = DivergenceTrace {
+        record: 0, // renumbered by `run_campaign` once the order is fixed
+        pre_window,
+        capture_window: window,
+        detect_cycle,
+        samples,
+    };
+    (Some((detect_cycle, Dsr::from_bits(dsr_bits), trace)), cost)
+}
+
 /// Sanity accessor used by tests: total flip-flops under test.
 pub fn flop_count() -> u32 {
     flops::total_flops()
@@ -646,6 +879,8 @@ mod tests {
             threads: 4,
             capture_window: DEFAULT_CAPTURE_WINDOW,
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
+            events: None,
+            trace_window: None,
         }
     }
 
@@ -774,6 +1009,89 @@ mod tests {
         }
         let manifested_sum: u64 = s.per_workload.iter().map(|w| w.manifested).sum();
         assert_eq!(manifested_sum, s.manifested);
+    }
+
+    #[test]
+    fn tracing_preserves_records_and_reproduces_the_dsr() {
+        let mut plain = tiny_config();
+        plain.faults_per_workload = 60;
+        let mut traced = plain.clone();
+        traced.trace_window = Some(32);
+        let a = run_campaign(&plain);
+        let b = run_campaign(&traced);
+        assert_eq!(a.records, b.records, "tracing must not perturb campaign results");
+        assert!(a.traces.is_empty(), "untraced campaigns carry no trace blobs");
+        assert_eq!(b.traces.len(), b.records.len(), "one trace slot per record");
+        assert!(!b.records.is_empty(), "fixture must manifest errors");
+        for (i, (r, t)) in b.records.iter().zip(&b.traces).enumerate() {
+            let t = t.as_ref().expect("checkpointed tracing records every manifestation");
+            assert_eq!(t.record, i as u64, "trace must be renumbered to its record");
+            assert_eq!(t.detect_cycle, r.detect_cycle);
+            assert_eq!(t.pre_window, 32);
+            assert_eq!(t.capture_window, DEFAULT_CAPTURE_WINDOW);
+            assert_eq!(
+                t.final_dsr_bits(),
+                r.dsr.bits(),
+                "per-cycle DSR evolution must end in the record's DSR"
+            );
+            assert!(t.samples.iter().all(|s| s.cycle >= r.inject_cycle));
+            assert!(t.capture_phase().count() <= DEFAULT_CAPTURE_WINDOW as usize);
+            assert!(t.pre_detection().count() <= 32);
+            // The detection-cycle sample must exist and diverge.
+            let det = t.samples.iter().find(|s| s.cycle == r.detect_cycle).unwrap();
+            assert_ne!(det.diverged, 0);
+        }
+    }
+
+    #[test]
+    fn campaign_emits_structured_events() {
+        use lockstep_obs::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 40;
+        cfg.events = Some(sink.clone());
+        let res = run_campaign(&cfg);
+        let events = sink.take();
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+        assert_eq!(count("golden_pass"), 2, "one golden pass per workload");
+        assert_eq!(count("inject"), res.injected);
+        assert_eq!(count("detect"), res.records.len());
+        assert_eq!(count("masked"), res.injected - res.records.len());
+        assert_eq!(count("span"), 2, "golden_capture and injection phases");
+        assert!(count("checkpoint_hit") <= res.injected);
+        assert!(count("checkpoint_hit") > 0);
+        for e in &events {
+            if let Event::CheckpointHit { inject_cycle, checkpoint_cycle, hit_distance, .. } = e {
+                assert_eq!(inject_cycle - checkpoint_cycle, *hit_distance);
+                assert!(*hit_distance < DEFAULT_CHECKPOINT_INTERVAL);
+            }
+        }
+    }
+
+    #[test]
+    fn restart_fallback_goes_through_the_event_log() {
+        use lockstep_obs::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 10;
+        cfg.events = Some(sink.clone());
+        let res = run_campaign(&cfg);
+        sink.take(); // discard campaign events; watch only the query below
+        let mean = res.restart_cycles("missing");
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::RestartFallback { workload, mean_cycles } => {
+                assert_eq!(workload, "missing");
+                assert_eq!(*mean_cycles, mean);
+            }
+            other => panic!("expected restart_fallback, got {other:?}"),
+        }
+        // Known workloads emit nothing.
+        res.restart_cycles("rspeed");
+        assert!(sink.take().is_empty());
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //! * `--workloads a,b,c` — subset of kernels (default: full suite);
 //! * `--checkpoint-interval K` — golden checkpoint spacing in cycles
 //!   (default 4096; `0` disables checkpointing and replays every
-//!   injection from reset).
+//!   injection from reset);
+//! * `--events PATH` — write the structured campaign event log (one
+//!   JSON object per line) to `PATH` (default: no event log);
+//! * `--trace-window N` — record a divergence trace per manifested
+//!   error, keeping the last `N` pre-detection cycles (`0` disables;
+//!   default off).
 
+use std::sync::Arc;
+
+use lockstep_obs::{EventSink, JsonlSink};
 use lockstep_workloads::Workload;
 
 use crate::campaign::{CampaignConfig, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL};
@@ -27,6 +35,10 @@ pub struct CommonArgs {
     pub workloads: Vec<&'static Workload>,
     /// Checkpoint spacing (`None` = from-reset replay).
     pub checkpoint_interval: Option<u64>,
+    /// Structured event log sink (`--events PATH`; `None` = no log).
+    pub events: Option<Arc<dyn EventSink>>,
+    /// Divergence-trace pre-detection window (`None` = tracing off).
+    pub trace_window: Option<u32>,
 }
 
 impl CommonArgs {
@@ -39,6 +51,8 @@ impl CommonArgs {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             workloads: Workload::all().iter().collect(),
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
+            events: None,
+            trace_window: None,
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
@@ -71,10 +85,23 @@ impl CommonArgs {
                         .unwrap_or_else(|_| die("bad --checkpoint-interval"));
                     out.checkpoint_interval = (k != 0).then_some(k);
                 }
+                "--events" => {
+                    let path = value("--events");
+                    let sink = JsonlSink::create(std::path::Path::new(&path))
+                        .unwrap_or_else(|e| die(&format!("cannot create event log `{path}`: {e}")));
+                    out.events = Some(Arc::new(sink));
+                }
+                "--trace-window" => {
+                    let n: u32 = value("--trace-window")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --trace-window"));
+                    out.trace_window = (n != 0).then_some(n);
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c] \
-                         [--checkpoint-interval K (0 = off)]"
+                         [--checkpoint-interval K (0 = off)] [--events PATH] \
+                         [--trace-window N (0 = off)]"
                     );
                     std::process::exit(0);
                 }
@@ -93,6 +120,8 @@ impl CommonArgs {
             threads: self.threads,
             capture_window: DEFAULT_CAPTURE_WINDOW,
             checkpoint_interval: self.checkpoint_interval,
+            events: self.events.clone(),
+            trace_window: self.trace_window,
         }
     }
 }
@@ -149,5 +178,28 @@ mod tests {
     fn checkpoint_interval_zero_disables() {
         assert_eq!(parse(&["--checkpoint-interval", "0"]).checkpoint_interval, None);
         assert_eq!(parse(&["--checkpoint-interval", "512"]).checkpoint_interval, Some(512));
+    }
+
+    #[test]
+    fn trace_window_zero_disables() {
+        assert_eq!(parse(&[]).trace_window, None);
+        assert_eq!(parse(&["--trace-window", "0"]).trace_window, None);
+        assert_eq!(parse(&["--trace-window", "48"]).trace_window, Some(48));
+        assert_eq!(parse(&["--trace-window", "48"]).campaign_config().trace_window, Some(48));
+    }
+
+    #[test]
+    fn events_flag_installs_a_jsonl_sink() {
+        let dir = std::env::temp_dir().join("lockstep_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let a = parse(&["--events", path.to_str().unwrap()]);
+        let sink = a.events.as_ref().expect("sink installed");
+        sink.emit(&lockstep_obs::Event::Span { name: "t".into(), nanos: 1 });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"type\":\"span\""));
+        assert!(a.campaign_config().events.is_some());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -17,3 +17,4 @@ pub mod tab2;
 pub mod tab3;
 pub mod tab4;
 pub mod topk;
+pub mod trace;

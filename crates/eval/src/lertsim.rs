@@ -251,6 +251,8 @@ mod tests {
                 threads: 8,
                 capture_window: 8,
                 checkpoint_interval: Some(4096),
+                events: None,
+                trace_window: None,
             };
             run_campaign(&cfg)
         })

@@ -82,6 +82,8 @@ fn campaign_records_identical_for_all_intervals() {
         threads: 4,
         capture_window: DEFAULT_CAPTURE_WINDOW,
         checkpoint_interval: None,
+        events: None,
+        trace_window: None,
     };
     let reference = run_campaign(&base);
     assert!(!reference.records.is_empty(), "reference campaign must manifest errors");

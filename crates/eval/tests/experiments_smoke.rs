@@ -24,6 +24,8 @@ fn campaign() -> &'static CampaignResult {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             capture_window: 16,
             checkpoint_interval: Some(4096),
+            events: None,
+            trace_window: None,
         })
     })
 }

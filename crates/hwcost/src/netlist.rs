@@ -1,7 +1,7 @@
 //! Structural netlist generation for the checker + predictor datapath.
 //!
-//! The paper "build[s] a Verilog model of the error correlation
-//! prediction logic and synthesize[s] it with Synopsys Design Compiler"
+//! The paper "build\[s\] a Verilog model of the error correlation
+//! prediction logic and synthesize\[s\] it with Synopsys Design Compiler"
 //! (Section V-E). This module does the structural half of that flow in
 //! Rust: it elaborates the actual gate-level netlist of
 //!

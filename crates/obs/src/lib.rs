@@ -1,0 +1,38 @@
+//! Observability for the lockstep reproduction: a structured event log
+//! and a cycle-level divergence trace recorder.
+//!
+//! The campaign engine and experiment binaries historically exposed only
+//! their end products — an [`ErrorRecord`]-shaped summary per manifested
+//! fault and a coarse wall-time split. That makes two questions
+//! unanswerable: *how does a divergence signature evolve between
+//! injection and detection* (the substance of the paper's Figures 4/5),
+//! and *where does campaign wall time actually go*. This crate supplies
+//! the missing substrate:
+//!
+//! * [`event`] — a typed, serializable [`Event`] stream (golden pass,
+//!   checkpoint hit, inject, detect, BIST phase, prediction, span
+//!   timing) written as JSON Lines by [`JsonlSink`], collected in memory
+//!   by [`MemorySink`], or discarded for free by [`NullSink`];
+//! * [`sink`] — the [`EventSink`] abstraction those sinks implement,
+//!   plus [`SpanTimer`] for attributing phase wall time;
+//! * [`trace`] — the per-cycle divergence recorder: [`TraceSample`]s
+//!   (diverged-SC bitmap, fault-active flag, per-unit flop-flip deltas)
+//!   kept in a bounded [`TraceRing`] and assembled into a
+//!   [`DivergenceTrace`] windowed around the detection cycle.
+//!
+//! Everything here is opt-in: with no sink installed and tracing
+//! disabled the instrumented code paths do no extra work (the
+//! `obs_overhead` bench in `crates/bench` holds this to ≤2%).
+//!
+//! [`ErrorRecord`]: https://docs.rs/lockstep-core
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod sink;
+pub mod trace;
+
+pub use event::Event;
+pub use sink::{EventSink, JsonlSink, MemorySink, NullSink, SpanTimer};
+pub use trace::{DivergenceTrace, TraceRing, TraceSample, UNIT_COUNT};

@@ -1,0 +1,262 @@
+//! The cycle-level divergence trace recorder.
+//!
+//! An [`ErrorRecord`]'s DSR is the *end state* of a divergence: the OR
+//! of every per-cycle diverged-SC map across the capture window. The
+//! paper's signature argument (Figures 4/5, Section III-B) is about how
+//! that end state is *reached* — a stuck-at in the divider first
+//! corrupts MDV state, then leaks into writeback, then onto the data
+//! bus. This module records exactly that evolution:
+//!
+//! * a [`TraceSample`] per cycle — the diverged-SC bitmap against the
+//!   golden run, whether the fault overlay was active, and how many
+//!   flip-flops of each fine-grain unit changed value that cycle;
+//! * a [`TraceRing`] — a bounded ring the recorder pushes into while
+//!   waiting for detection, so only the last `pre_window` pre-detection
+//!   cycles are retained (truncation is deterministic: always the
+//!   oldest samples fall out);
+//! * a [`DivergenceTrace`] — the assembled artifact: the surviving
+//!   pre-detection samples plus every capture-window sample, ending in
+//!   the exact DSR the campaign recorded.
+//!
+//! [`ErrorRecord`]: https://docs.rs/lockstep-core
+
+use std::collections::VecDeque;
+
+use lockstep_cpu::{Sc, UnitId};
+use serde::{Deserialize, Serialize};
+
+/// Number of fine-grain units a sample's flip deltas are bucketed into.
+pub const UNIT_COUNT: usize = 13;
+
+const _: () = assert!(UNIT_COUNT == UnitId::ALL.len());
+
+/// One cycle of a divergence trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulation cycle this sample describes.
+    pub cycle: u64,
+    /// Per-SC divergence bitmap against the golden run for this cycle
+    /// (bit *i* ↔ signal category *i*; `0` = ports still agree).
+    pub diverged: u64,
+    /// `true` if the fault overlay was non-identity this cycle (a
+    /// transient on its strike cycle; a stuck-at from its strike cycle
+    /// onwards).
+    pub fault_active: bool,
+    /// Number of flip-flops per fine-grain unit whose committed value
+    /// differs from the previous cycle's — the fault's microarchitectural
+    /// footprint spreading before it reaches any output port.
+    pub unit_flips: [u16; UNIT_COUNT],
+}
+
+impl TraceSample {
+    /// Iterates over the signal categories diverged in this sample.
+    pub fn diverged_scs(&self) -> impl Iterator<Item = Sc> + '_ {
+        Sc::ALL.iter().copied().filter(|sc| self.diverged >> sc.index() & 1 == 1)
+    }
+
+    /// Total flop flips across all units this cycle.
+    pub fn total_flips(&self) -> u32 {
+        self.unit_flips.iter().map(|&n| u32::from(n)).sum()
+    }
+}
+
+/// A bounded ring of the most recent [`TraceSample`]s.
+///
+/// The recorder pushes one sample per replayed cycle; once `capacity`
+/// samples are held, each push evicts the oldest. Truncation is thus a
+/// pure function of the push sequence — two identical replays always
+/// retain identical windows (unit-tested below).
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    capacity: usize,
+    samples: VecDeque<TraceSample>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` samples. Capacity 0 records
+    /// nothing (every push is dropped).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing { capacity, samples: VecDeque::with_capacity(capacity) }
+    }
+
+    /// The retention bound this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pushes a sample, evicting the oldest if the ring is full.
+    pub fn push(&mut self, sample: TraceSample) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// The retained samples in chronological order.
+    pub fn samples(&self) -> impl Iterator<Item = &TraceSample> {
+        self.samples.iter()
+    }
+
+    /// Consumes the ring into a chronological `Vec`.
+    pub fn into_samples(self) -> Vec<TraceSample> {
+        self.samples.into()
+    }
+}
+
+/// A complete recorded divergence: the trace window around one
+/// detection event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceTrace {
+    /// Index of the [`ErrorRecord`] this trace belongs to, in the
+    /// producing campaign's record order.
+    ///
+    /// [`ErrorRecord`]: https://docs.rs/lockstep-core
+    pub record: u64,
+    /// Pre-detection retention bound the recorder ran with.
+    pub pre_window: u32,
+    /// DSR capture window of the producing campaign.
+    pub capture_window: u32,
+    /// Cycle of first divergence (the detection cycle).
+    pub detect_cycle: u64,
+    /// Retained samples in chronological order: up to `pre_window`
+    /// cycles before detection, then the detection cycle and up to
+    /// `capture_window - 1` further capture cycles.
+    pub samples: Vec<TraceSample>,
+}
+
+impl DivergenceTrace {
+    /// The cumulative DSR bitmap: the OR of every capture-phase
+    /// sample's divergence map. Equals the `ErrorRecord` DSR by
+    /// construction (integration-tested in `lockstep-eval`).
+    pub fn final_dsr_bits(&self) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.cycle >= self.detect_cycle)
+            .fold(0u64, |acc, s| acc | s.diverged)
+    }
+
+    /// Samples strictly before the detection cycle (the incubation
+    /// phase: fault active, state corrupted, ports still agreeing).
+    pub fn pre_detection(&self) -> impl Iterator<Item = &TraceSample> {
+        self.samples.iter().filter(move |s| s.cycle < self.detect_cycle)
+    }
+
+    /// Samples from the detection cycle onwards (the capture phase).
+    pub fn capture_phase(&self) -> impl Iterator<Item = &TraceSample> {
+        self.samples.iter().filter(move |s| s.cycle >= self.detect_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64) -> TraceSample {
+        let mut unit_flips = [0u16; UNIT_COUNT];
+        unit_flips[(cycle % UNIT_COUNT as u64) as usize] = 1;
+        TraceSample { cycle, diverged: cycle % 4, fault_active: cycle % 2 == 0, unit_flips }
+    }
+
+    #[test]
+    fn ring_truncates_deterministically_at_window_boundary() {
+        let mut a = TraceRing::new(16);
+        let mut b = TraceRing::new(16);
+        for c in 0..100 {
+            a.push(sample(c));
+            b.push(sample(c));
+        }
+        assert_eq!(a.len(), 16);
+        let cycles: Vec<u64> = a.samples().map(|s| s.cycle).collect();
+        // Exactly the newest 16, in order — the oldest 84 fell out.
+        assert_eq!(cycles, (84..100).collect::<Vec<_>>());
+        assert_eq!(a.into_samples(), b.into_samples(), "truncation must be deterministic");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut r = TraceRing::new(8);
+        for c in 0..5 {
+            r.push(sample(c));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.samples().map(|s| s.cycle).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut r = TraceRing::new(0);
+        for c in 0..10 {
+            r.push(sample(c));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 0);
+    }
+
+    #[test]
+    fn final_dsr_ors_only_capture_phase() {
+        let trace = DivergenceTrace {
+            record: 0,
+            pre_window: 2,
+            capture_window: 2,
+            detect_cycle: 10,
+            samples: vec![
+                TraceSample {
+                    cycle: 9,
+                    diverged: 0b1000, // pre-detection noise must not leak in
+                    fault_active: true,
+                    unit_flips: [0; UNIT_COUNT],
+                },
+                TraceSample {
+                    cycle: 10,
+                    diverged: 0b0001,
+                    fault_active: true,
+                    unit_flips: [0; UNIT_COUNT],
+                },
+                TraceSample {
+                    cycle: 11,
+                    diverged: 0b0110,
+                    fault_active: true,
+                    unit_flips: [0; UNIT_COUNT],
+                },
+            ],
+        };
+        assert_eq!(trace.final_dsr_bits(), 0b0111);
+        assert_eq!(trace.pre_detection().count(), 1);
+        assert_eq!(trace.capture_phase().count(), 2);
+    }
+
+    #[test]
+    fn sample_accessors() {
+        let mut s = sample(5);
+        s.diverged = 0b11;
+        assert_eq!(s.diverged_scs().count(), 2);
+        assert_eq!(s.total_flips(), 1);
+    }
+
+    #[test]
+    fn trace_serde_round_trip() {
+        let trace = DivergenceTrace {
+            record: 3,
+            pre_window: 4,
+            capture_window: 8,
+            detect_cycle: 42,
+            samples: (40..44).map(sample).collect(),
+        };
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: DivergenceTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

@@ -25,6 +25,8 @@ fn one_error_full_lifecycle() {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         capture_window: 8,
         checkpoint_interval: Some(4096),
+        events: None,
+        trace_window: None,
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());

@@ -297,7 +297,7 @@ impl From<usize> for SizeRange {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
