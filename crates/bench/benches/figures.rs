@@ -31,6 +31,8 @@ fn campaign() -> &'static CampaignResult {
             checkpoint_interval: Some(4096),
             events: None,
             trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
         })
     })
 }
@@ -50,6 +52,8 @@ fn bench_campaign_engine(c: &mut Criterion) {
                 checkpoint_interval: Some(4096),
                 events: None,
                 trace_window: None,
+                replay_mode: Default::default(),
+                cpus: 2,
             }))
         })
     });

@@ -34,6 +34,8 @@ fn config() -> CampaignConfig {
         checkpoint_interval: Some(4096),
         events: None,
         trace_window: None,
+        replay_mode: Default::default(),
+        cpus: 2,
     }
 }
 

@@ -1,12 +1,22 @@
 //! A live lockstep system: redundant CPUs, replicated inputs, per-cycle
 //! checking and recovery mechanics.
 //!
-//! The sphere of replication contains only the CPUs (CPU-level
-//! lockstepping, Figure 1c). The **main** CPU (index 0) drives the shared
-//! memory system; its bus responses are recorded and replayed to the
-//! redundant CPUs, which is how real DCLS replicates inputs at the sphere
-//! boundary. Redundant CPUs' writes never reach memory — their outputs
-//! exist only to be compared.
+//! Two memory models are supported, mirroring the paper's Figure 1:
+//!
+//! * [`MemoryModel::SharedBus`] (the default) — the sphere of
+//!   replication contains only the CPUs (CPU-level lockstepping,
+//!   Figure 1c). The **main** CPU (index 0) drives the shared memory
+//!   system; its bus responses are recorded and replayed to the
+//!   redundant CPUs, which is how real DCLS replicates inputs at the
+//!   sphere boundary. Redundant CPUs' writes never reach memory — their
+//!   outputs exist only to be compared.
+//! * [`MemoryModel::Replicated`] — board-level lockstepping
+//!   (Figure 1a): every CPU drives its own private copy of the memory
+//!   system, so a faulty CPU cannot contaminate the inputs of the
+//!   fault-free ones. This is the reference model the campaign's
+//!   full-lockstep replay mode simulates, and the model under which a
+//!   fault-free CPU's ports are a pure function of the workload — the
+//!   fact [`ShadowLockstep`](crate::ShadowLockstep) exploits.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -18,6 +28,18 @@ use lockstep_obs::{Event, EventSink};
 
 use crate::checker::Checker;
 use crate::dsr::Dsr;
+
+/// How memory is organized around the redundant CPUs (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// CPU-level lockstep (Figure 1c): one shared memory driven by the
+    /// main CPU, whose bus responses are replayed to the redundant CPUs.
+    #[default]
+    SharedBus,
+    /// Board-level lockstep (Figure 1a): every CPU drives its own
+    /// private copy of the memory system.
+    Replicated,
+}
 
 /// What a lockstep step observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,11 +107,17 @@ impl MemoryPort for ReplayPort {
     }
 }
 
-/// A lockstep processor: N redundant CPUs around one shared memory.
+/// A lockstep processor: N redundant CPUs around a shared or replicated
+/// memory system.
 #[derive(Debug)]
 pub struct LockstepSystem {
     cpus: Vec<Cpu>,
+    /// The main CPU's memory (the only memory under [`MemoryModel::SharedBus`]).
     mem: Memory,
+    /// Private memories of CPUs `1..n` under [`MemoryModel::Replicated`];
+    /// empty under [`MemoryModel::SharedBus`].
+    replicas: Vec<Memory>,
+    model: MemoryModel,
     faults: Vec<(usize, Fault)>,
     cycle: u64,
     capture_window: u32,
@@ -98,7 +126,8 @@ pub struct LockstepSystem {
 }
 
 impl LockstepSystem {
-    /// Creates an `n`-CPU lockstep system over `mem`.
+    /// Creates an `n`-CPU lockstep system over `mem` with the shared-bus
+    /// memory model (Figure 1c, the paper's DCLS configuration).
     ///
     /// All CPUs reset to identical state (including `hartid` 0: in real
     /// DCLS the redundant CPU is fed the main CPU's identity so that
@@ -108,16 +137,43 @@ impl LockstepSystem {
     ///
     /// Panics if `n < 2`.
     pub fn new(n: usize, mem: Memory) -> LockstepSystem {
+        LockstepSystem::with_model(n, mem, MemoryModel::SharedBus)
+    }
+
+    /// Creates an `n`-CPU board-level lockstep system (Figure 1a): each
+    /// CPU gets its own clone of `mem`, so every CPU's inputs stay
+    /// fault-free regardless of what the others do. This is the model
+    /// the campaign's full-lockstep replay simulates per injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new_replicated(n: usize, mem: Memory) -> LockstepSystem {
+        LockstepSystem::with_model(n, mem, MemoryModel::Replicated)
+    }
+
+    fn with_model(n: usize, mem: Memory, model: MemoryModel) -> LockstepSystem {
         assert!(n >= 2, "lockstep needs at least two CPUs");
+        let replicas = match model {
+            MemoryModel::SharedBus => Vec::new(),
+            MemoryModel::Replicated => (1..n).map(|_| mem.clone()).collect(),
+        };
         LockstepSystem {
             cpus: (0..n).map(|_| Cpu::new(0)).collect(),
             mem,
+            replicas,
+            model,
             faults: Vec::new(),
             cycle: 0,
             capture_window: 8,
             label: "lockstep".to_owned(),
             events: None,
         }
+    }
+
+    /// The memory model this system was built with.
+    pub fn memory_model(&self) -> MemoryModel {
+        self.model
     }
 
     /// Installs an observability event sink: the harness announces every
@@ -210,26 +266,19 @@ impl LockstepSystem {
     /// continues stepping for the rest of the capture window so the DSR
     /// accumulates exactly as the hardware register would.
     pub fn step(&mut self) -> LockstepEvent {
-        match self.step_once() {
-            LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu } => {
-                let mut bits = dsr.bits();
-                for _ in 1..self.capture_window {
-                    if let LockstepEvent::ErrorDetected { dsr, .. } = self.step_once() {
-                        bits |= dsr.bits();
-                    }
-                }
-                if let Some(sink) = &self.events {
-                    sink.emit(&Event::Detect {
-                        workload: self.label.clone(),
-                        inject_cycle: self.faults.iter().map(|(_, f)| f.cycle).min().unwrap_or(0),
-                        detect_cycle: cycle,
-                        dsr_bits: bits,
-                    });
-                }
-                LockstepEvent::ErrorDetected { dsr: Dsr::from_bits(bits), cycle, erring_cpu }
+        let first = self.step_once();
+        let merged = accumulate_capture_window(first, self.capture_window, || self.step_once());
+        if let LockstepEvent::ErrorDetected { dsr, cycle, .. } = &merged {
+            if let Some(sink) = &self.events {
+                sink.emit(&Event::Detect {
+                    workload: self.label.clone(),
+                    inject_cycle: self.faults.iter().map(|(_, f)| f.cycle).min().unwrap_or(0),
+                    detect_cycle: *cycle,
+                    dsr_bits: dsr.bits(),
+                });
             }
-            other => other,
         }
+        merged
     }
 
     /// One raw cycle: step every CPU and compare ports.
@@ -238,33 +287,53 @@ impl LockstepSystem {
         self.cycle += 1;
 
         let mut ports: Vec<PortSet> = vec![PortSet::new(); self.cpus.len()];
-        // Main CPU drives the real memory, recording its responses.
-        let mut recorder = RecordingPort {
-            inner: &mut self.mem,
-            fetches: VecDeque::new(),
-            reads: VecDeque::new(),
-        };
-        let faults = &self.faults;
-        self.cpus[0].step_with_overlay(&mut recorder, &mut ports[0], |st| {
-            for (c, f) in faults {
-                if *c == 0 {
-                    f.overlay(st, cycle);
+        match self.model {
+            MemoryModel::SharedBus => {
+                // Main CPU drives the real memory, recording its responses.
+                let mut recorder = RecordingPort {
+                    inner: &mut self.mem,
+                    fetches: VecDeque::new(),
+                    reads: VecDeque::new(),
+                };
+                let faults = &self.faults;
+                self.cpus[0].step_with_overlay(&mut recorder, &mut ports[0], |st| {
+                    for (c, f) in faults {
+                        if *c == 0 {
+                            f.overlay(st, cycle);
+                        }
+                    }
+                });
+                let (fetches, reads) = (recorder.fetches, recorder.reads);
+
+                // Redundant CPUs consume the replicated inputs.
+                for (i, (cpu, port)) in
+                    self.cpus.iter_mut().zip(ports.iter_mut()).enumerate().skip(1)
+                {
+                    let mut replay = ReplayPort { fetches: fetches.clone(), reads: reads.clone() };
+                    let faults = &self.faults;
+                    cpu.step_with_overlay(&mut replay, port, |st| {
+                        for (c, f) in faults {
+                            if *c == i {
+                                f.overlay(st, cycle);
+                            }
+                        }
+                    });
                 }
             }
-        });
-        let (fetches, reads) = (recorder.fetches, recorder.reads);
-
-        // Redundant CPUs consume the replicated inputs.
-        for (i, (cpu, port)) in self.cpus.iter_mut().zip(ports.iter_mut()).enumerate().skip(1) {
-            let mut replay = ReplayPort { fetches: fetches.clone(), reads: reads.clone() };
-            let faults = &self.faults;
-            cpu.step_with_overlay(&mut replay, port, |st| {
-                for (c, f) in faults {
-                    if *c == i {
-                        f.overlay(st, cycle);
-                    }
+            MemoryModel::Replicated => {
+                // Every CPU drives its own private memory copy.
+                for (i, (cpu, port)) in self.cpus.iter_mut().zip(ports.iter_mut()).enumerate() {
+                    let mem = if i == 0 { &mut self.mem } else { &mut self.replicas[i - 1] };
+                    let faults = &self.faults;
+                    cpu.step_with_overlay(mem, port, |st| {
+                        for (c, f) in faults {
+                            if *c == i {
+                                f.overlay(st, cycle);
+                            }
+                        }
+                    });
                 }
-            });
+            }
         }
 
         // Checker.
@@ -306,6 +375,9 @@ impl LockstepSystem {
             cpu.reset();
         }
         self.mem.reset_io();
+        for mem in &mut self.replicas {
+            mem.reset_io();
+        }
     }
 
     /// TMR forward recovery (Section II-2): copies the architectural
@@ -322,4 +394,27 @@ impl LockstepSystem {
         let donor: CpuState = self.cpus[healthy_cpu].state().clone();
         *self.cpus[erring_cpu].state_mut() = donor;
     }
+}
+
+/// DSR capture-window accumulation, shared by every harness variant:
+/// after a first divergent cycle the hardware keeps OR-ing per-SC
+/// divergences into the DSR for `window - 1` further cycles while the
+/// CPUs are being stopped. Non-detecting first events pass through
+/// unchanged; follow-up cycles that do not diverge (or that end the
+/// replay) contribute nothing.
+pub(crate) fn accumulate_capture_window(
+    first: LockstepEvent,
+    window: u32,
+    mut step_once: impl FnMut() -> LockstepEvent,
+) -> LockstepEvent {
+    let LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu } = first else {
+        return first;
+    };
+    let mut bits = dsr.bits();
+    for _ in 1..window {
+        if let LockstepEvent::ErrorDetected { dsr, .. } = step_once() {
+            bits |= dsr.bits();
+        }
+    }
+    LockstepEvent::ErrorDetected { dsr: Dsr::from_bits(bits), cycle, erring_cpu }
 }

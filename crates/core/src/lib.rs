@@ -16,8 +16,11 @@
 //! * [`dynamic`] — the online-updating predictor variant discussed (and
 //!   argued unnecessary) in Section VII, for the static-vs-dynamic
 //!   ablation;
-//! * [`harness`] — a live lockstep system (redundant CPUs, replicated
-//!   inputs, per-cycle checking, reset & restart recovery);
+//! * [`harness`] — a live lockstep system (redundant CPUs, shared-bus or
+//!   replicated memory, per-cycle checking, reset & restart recovery);
+//! * [`shadow`] — the shadow-golden harness: one live CPU checked
+//!   against a recorded golden port trace, the semantics behind the
+//!   campaign engine's fast replay mode;
 //! * [`log`] — the lockstep error data logging of Figure 7.
 //!
 //! # Example
@@ -48,10 +51,12 @@ pub mod dynamic;
 pub mod harness;
 pub mod log;
 pub mod predictor;
+pub mod shadow;
 
 pub use checker::{Checker, MmrOutcome};
 pub use dsr::Dsr;
 pub use dynamic::DynamicPredictor;
-pub use harness::{LockstepEvent, LockstepSystem};
+pub use harness::{LockstepEvent, LockstepSystem, MemoryModel};
 pub use log::ErrorRecord;
 pub use predictor::{Prediction, Predictor, PredictorConfig, TrainRecord, TypeScoring};
+pub use shadow::ShadowLockstep;

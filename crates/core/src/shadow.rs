@@ -1,0 +1,174 @@
+//! Shadow-golden lockstep: one live CPU checked against a recorded
+//! golden port trace.
+//!
+//! Under board-level lockstep ([`MemoryModel::Replicated`]) a fault-free
+//! CPU's output ports are a pure function of the workload: its inputs
+//! come from its own private memory, which nothing can perturb. The
+//! golden twin of every injection experiment therefore produces the
+//! *same* per-cycle [`PortSet`] stream — so it can be simulated once,
+//! recorded into a [`PortTrace`], and replayed to the checker for every
+//! subsequent injection. [`ShadowLockstep`] is that replay harness: it
+//! steps only the (potentially faulty) shadowed CPU and feeds the
+//! checker the recorded golden ports, reusing the same [`Checker`]
+//! comparison and capture-window accumulation as [`LockstepSystem`].
+//!
+//! Semantics relative to [`LockstepSystem`]:
+//!
+//! * Within the golden trace, a DMR replicated-memory system with a
+//!   fault in either CPU produces cycle-for-cycle identical
+//!   [`LockstepEvent`]s (the checker's XOR compare is symmetric) — the
+//!   property test `tests/proptest_shadow.rs` pins this down.
+//! * When the trace is exhausted (the golden run halted), the replay is
+//!   over: `step` reports [`LockstepEvent::Halted`] and any undetected
+//!   fault stands masked. A live system would keep comparing a halted
+//!   golden twin against the faulty CPU; by then the experiment's
+//!   outcome is already decided, so the shadow harness stops instead.
+//! * Shadow replay is inherently DMR: with one live CPU there is no
+//!   majority to vote an erring CPU out of, so detections carry
+//!   `erring_cpu: None` exactly like a DMR [`LockstepSystem`]. N>2
+//!   configurations need real CPUs (the campaign falls back to full
+//!   lockstep replay for those).
+//!
+//! [`MemoryModel::Replicated`]: crate::harness::MemoryModel::Replicated
+//! [`LockstepSystem`]: crate::harness::LockstepSystem
+
+use lockstep_cpu::{Cpu, CpuState, PortSet, PortTrace};
+use lockstep_fault::Fault;
+use lockstep_mem::Memory;
+
+use crate::checker::Checker;
+use crate::harness::{accumulate_capture_window, LockstepEvent};
+
+/// A shadow-golden lockstep harness: one live CPU, one recorded trace.
+///
+/// The trace is borrowed, not owned — campaigns share one golden trace
+/// across thousands of injections.
+#[derive(Debug)]
+pub struct ShadowLockstep<'t> {
+    cpu: Cpu,
+    mem: Memory,
+    golden: &'t PortTrace,
+    faults: Vec<Fault>,
+    cycle: u64,
+    capture_window: u32,
+}
+
+impl<'t> ShadowLockstep<'t> {
+    /// Creates a shadow harness from reset over `mem`, checked against
+    /// `golden` (entry `c` = the fault-free ports of cycle `c`).
+    pub fn new(mem: Memory, golden: &'t PortTrace) -> ShadowLockstep<'t> {
+        ShadowLockstep {
+            cpu: Cpu::new(0),
+            mem,
+            golden,
+            faults: Vec::new(),
+            cycle: 0,
+            capture_window: 8,
+        }
+    }
+
+    /// Resumes a shadow harness mid-run from checkpointed state: the CPU
+    /// flops and memory image captured at `cycle` of the golden run.
+    pub fn resume(
+        state: CpuState,
+        mem: Memory,
+        cycle: u64,
+        golden: &'t PortTrace,
+    ) -> ShadowLockstep<'t> {
+        ShadowLockstep {
+            cpu: Cpu::from_state(state),
+            mem,
+            golden,
+            faults: Vec::new(),
+            cycle,
+            capture_window: 8,
+        }
+    }
+
+    /// Arms a fault in the shadowed CPU.
+    pub fn inject(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Removes all armed faults.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Sets the DSR capture window (see
+    /// [`LockstepSystem::set_capture_window`](crate::harness::LockstepSystem::set_capture_window)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_capture_window(&mut self, window: u32) {
+        assert!(window >= 1, "capture window must be at least one cycle");
+        self.capture_window = window;
+    }
+
+    /// Current cycle count (equals the next golden-trace index).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The shadowed CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The shadowed CPU's memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Advances the shadowed CPU one cycle against the recorded golden
+    /// ports. On divergence, keeps stepping for the rest of the capture
+    /// window so the DSR accumulates exactly as
+    /// [`LockstepSystem::step`](crate::harness::LockstepSystem::step)
+    /// does.
+    pub fn step(&mut self) -> LockstepEvent {
+        let first = self.step_once();
+        accumulate_capture_window(first, self.capture_window, || self.step_once())
+    }
+
+    /// One raw cycle: step the shadowed CPU and compare against the
+    /// recorded ports. Mirrors `LockstepSystem::step_once` with the
+    /// golden twin's simulation replaced by a trace lookup.
+    fn step_once(&mut self) -> LockstepEvent {
+        let cycle = self.cycle;
+        let Some(golden) = self.golden.get(cycle) else {
+            // Golden run complete: the replay domain ends here.
+            return LockstepEvent::Halted;
+        };
+        self.cycle += 1;
+
+        let mut ports = PortSet::new();
+        let faults = &self.faults;
+        self.cpu.step_with_overlay(&mut self.mem, &mut ports, |st| {
+            for f in faults {
+                f.overlay(st, cycle);
+            }
+        });
+
+        if let Some(dsr) = Checker::compare(&ports, golden) {
+            return LockstepEvent::ErrorDetected { dsr, cycle, erring_cpu: None };
+        }
+        if self.cpu.is_halted() {
+            LockstepEvent::Halted
+        } else {
+            LockstepEvent::Running
+        }
+    }
+
+    /// Runs until an error is detected, the replay domain ends, or
+    /// `max_cycles` elapse. Returns the final event.
+    pub fn run(&mut self, max_cycles: u64) -> LockstepEvent {
+        for _ in 0..max_cycles {
+            match self.step() {
+                LockstepEvent::Running => continue,
+                other => return other,
+            }
+        }
+        LockstepEvent::Running
+    }
+}

@@ -118,6 +118,64 @@ fn tmr_identifies_the_erring_cpu() {
 }
 
 #[test]
+fn tmr_attributes_whichever_cpu_errs() {
+    // The DMR/TMR gap the shadow replay engine cannot cross: majority
+    // voting names the erring CPU, whichever of the three it is. (A
+    // recorded golden trace has no majority to vote with, which is why
+    // campaigns with `cpus > 2` fall back to full lockstep replay.)
+    for erring in 0..3usize {
+        let mut sys = system(3);
+        let flop = flop_in(UnitId::Alu, 40);
+        sys.inject(erring, Fault::new(flop, FaultKind::StuckAt1, 100));
+        match sys.run(50_000) {
+            LockstepEvent::ErrorDetected { erring_cpu, .. } => {
+                assert_eq!(erring_cpu, Some(erring), "majority voter must name CPU {erring}");
+            }
+            other => panic!("fault in CPU {erring} not detected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn replicated_tmr_attributes_like_shared_bus() {
+    // Same attribution under the board-level (replicated-memory) model:
+    // the checker sees only ports, not the memory topology.
+    let program = assemble(LOOP_KERNEL).unwrap();
+    let mut mem = Memory::new(RAM, 1234);
+    mem.load_image(&program.to_bytes(RAM));
+    for erring in 0..3usize {
+        let mut sys = LockstepSystem::new_replicated(3, mem.clone());
+        let flop = flop_in(UnitId::Iss, 5);
+        sys.inject(erring, Fault::new(flop, FaultKind::StuckAt1, 150));
+        match sys.run(50_000) {
+            LockstepEvent::ErrorDetected { erring_cpu, .. } => {
+                assert_eq!(erring_cpu, Some(erring));
+            }
+            other => panic!("fault in CPU {erring} not detected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dmr_detects_but_cannot_attribute() {
+    // Two CPUs disagree; neither model has a majority to blame anyone.
+    let program = assemble(LOOP_KERNEL).unwrap();
+    let mut mem = Memory::new(RAM, 1234);
+    mem.load_image(&program.to_bytes(RAM));
+    for sys in [LockstepSystem::new(2, mem.clone()), LockstepSystem::new_replicated(2, mem)] {
+        let mut sys = sys;
+        let flop = flop_in(UnitId::Alu, 40);
+        sys.inject(1, Fault::new(flop, FaultKind::StuckAt1, 100));
+        match sys.run(50_000) {
+            LockstepEvent::ErrorDetected { erring_cpu, .. } => {
+                assert_eq!(erring_cpu, None, "DMR has no majority vote");
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn tmr_forward_recovery_rejoins_lockstep() {
     let mut sys = system(3);
     let flop = flops::all_flops().find(|f| flops::label_of(*f) == "PFU.pc.4").unwrap();

@@ -15,6 +15,9 @@
 //!   organizations that fault locations and predictions refer to.
 //! * [`ports`] — the output-port model: 62 signal categories compared by
 //!   the lockstep checker every cycle.
+//! * [`porttrace`] — chunked per-cycle recording of those ports, the
+//!   golden reference that shadow replays compare against instead of
+//!   stepping a second CPU.
 //!
 //! Lockstep invariant: two `Cpu`s reset to the same state and stepped
 //! against identical memory contents/stimulus produce bit-identical
@@ -28,6 +31,7 @@ mod cpu;
 pub mod exec;
 pub mod flops;
 pub mod ports;
+pub mod porttrace;
 pub mod state;
 pub mod units;
 
@@ -35,5 +39,6 @@ pub use cpu::Cpu;
 pub use exec::StepInfo;
 pub use flops::{FlopId, FlopReg};
 pub use ports::{PortSet, Sc, SC_COUNT};
+pub use porttrace::PortTrace;
 pub use state::CpuState;
 pub use units::{CoarseUnit, Granularity, UnitId};

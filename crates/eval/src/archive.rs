@@ -108,11 +108,13 @@ impl From<serde_json::Error> for ArchiveError {
 
 /// Current archive format version. v2 added the `stats` block
 /// (campaign throughput instrumentation); v3 added the optional
-/// `traces` blobs (divergence trace recorder).
-pub const ARCHIVE_VERSION: u32 = 3;
+/// `traces` blobs (divergence trace recorder); v4 records the replay
+/// mode in the stats block.
+pub const ARCHIVE_VERSION: u32 = 4;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
-/// files simply have no trace blobs.
+/// files simply have no trace blobs, and pre-v4 stats blocks default to
+/// shadow replay (the only mode that existed before v4).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -224,6 +226,8 @@ mod tests {
             checkpoint_interval: Some(1024),
             events: None,
             trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
         })
     }
 
@@ -264,6 +268,8 @@ mod tests {
             checkpoint_interval: Some(1024),
             events: None,
             trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
         };
         cfg.trace_window = Some(16);
         let result = run_campaign(&cfg);
@@ -318,6 +324,70 @@ mod tests {
         assert_eq!(loaded.records, result.records);
         let restored = loaded.into_result();
         assert_eq!(restored.restart_cycles("idctrn"), result.restart_cycles("idctrn"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_v4_stats_without_replay_mode_defaults_to_shadow() {
+        // v2/v3 writers predate replay modes: their stats block has no
+        // `replay_mode` field. Those runs were all shadow replays.
+        #[derive(Serialize)]
+        struct StatsV3 {
+            checkpoint_interval: u64,
+            injected: u64,
+            manifested: u64,
+            masked: u64,
+            golden_nanos: u64,
+            injection_nanos: u64,
+            wall_nanos: u64,
+            injections_per_sec: f64,
+            per_workload: Vec<crate::campaign::WorkloadStats>,
+        }
+        #[derive(Serialize)]
+        struct ArchiveV3 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: StatsV3,
+            traces: Vec<Option<lockstep_obs::DivergenceTrace>>,
+        }
+        let result = small_result();
+        let s = &result.stats;
+        let v3 = ArchiveV3 {
+            version: 3,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: StatsV3 {
+                checkpoint_interval: s.checkpoint_interval,
+                injected: s.injected,
+                manifested: s.manifested,
+                masked: s.masked,
+                golden_nanos: s.golden_nanos,
+                injection_nanos: s.injection_nanos,
+                wall_nanos: s.wall_nanos,
+                injections_per_sec: s.injections_per_sec,
+                per_workload: s.per_workload.clone(),
+            },
+            traces: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v3_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v3).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v4 reader must accept v3 files");
+        assert_eq!(loaded.stats.replay_mode, "shadow");
+        assert_eq!(loaded.stats.injected, s.injected);
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,16 +17,37 @@
 //!   `fault.cycle`, so the pre-fault prefix can neither be perturbed
 //!   nor diverge, and the engine skips both the overlay and the
 //!   golden-trace comparison until the injection cycle.
+//!
+//! # Replay modes
+//!
+//! On top of the checkpoint choice, [`ReplayMode`] selects what the
+//! faulty CPU is compared against each replayed cycle:
+//!
+//! * [`ReplayMode::Shadow`] (the default) — the recorded golden
+//!   [`PortTrace`] from the single golden pass. One CPU and one memory
+//!   clone per injection.
+//! * [`ReplayMode::Lockstep`] — live fault-free golden-twin CPUs, each
+//!   with its own clone of the checkpoint memory (board-level lockstep,
+//!   the paper's Figure 1a). N CPUs and N memory clones per injection.
+//!
+//! The two are bit-identical: under replicated memory a fault-free twin
+//! restored from the same snapshot deterministically re-produces the
+//! recorded trace, so comparing against the recording *is* comparing
+//! against the twin. The differential suite
+//! (`crates/eval/tests/replay_equivalence.rs`) asserts byte-identical
+//! archives across modes; shadow mode simply skips re-simulating the
+//! machine half whose behaviour is already known.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lockstep_core::{Dsr, ErrorRecord};
-use lockstep_cpu::{flops, Cpu, Granularity, PortSet};
+use lockstep_cpu::{flops, Cpu, Granularity, PortSet, PortTrace};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, FaultKind, PlanConfig};
 use lockstep_obs::{DivergenceTrace, Event, EventSink, TraceRing, TraceSample};
-use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
+use lockstep_workloads::{Checkpoint, GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
+use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 /// Default DSR capture window (cycles from first divergence until the
@@ -40,6 +61,46 @@ pub const DEFAULT_TRACE_WINDOW: u32 = 64;
 /// Default golden-run checkpoint spacing (re-exported from the
 /// workloads crate so campaign callers need only one import).
 pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = lockstep_workloads::DEFAULT_CHECKPOINT_INTERVAL;
+
+/// What the faulty CPU is compared against during injection replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Shadow-golden replay (the default): step only the faulty CPU and
+    /// feed the checker the recorded golden port trace. Costs one CPU
+    /// and one memory clone per injection.
+    #[default]
+    Shadow,
+    /// Full lockstep replay: step the faulty CPU *and* live fault-free
+    /// golden-twin CPUs, each driving its own clone of the checkpoint
+    /// memory (board-level lockstep, Figure 1a). The semantics anchor
+    /// shadow mode is differentially tested against; roughly 2x the
+    /// simulation work in DMR.
+    Lockstep,
+}
+
+impl ReplayMode {
+    /// Canonical flag/stat spelling (`"shadow"` / `"lockstep"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayMode::Shadow => "shadow",
+            ReplayMode::Lockstep => "lockstep",
+        }
+    }
+
+    /// Parses a `--replay-mode` flag value.
+    pub fn from_flag(s: &str) -> Option<ReplayMode> {
+        match s {
+            "shadow" => Some(ReplayMode::Shadow),
+            "lockstep" => Some(ReplayMode::Lockstep),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`ReplayMode::Lockstep`].
+    pub fn is_lockstep(self) -> bool {
+        self == ReplayMode::Lockstep
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -74,6 +135,15 @@ pub struct CampaignConfig {
     /// injection path (`checkpoint_interval` set); with checkpointing
     /// off the option is ignored.
     pub trace_window: Option<u32>,
+    /// What injection replays compare the faulty CPU against (default:
+    /// [`ReplayMode::Shadow`]). See [`CampaignConfig::effective_replay_mode`]
+    /// for the N>2 fallback.
+    pub replay_mode: ReplayMode,
+    /// Redundant CPUs per lockstep unit (default 2, the paper's DCLS).
+    /// Shadow replay is inherently DMR — one live CPU against one
+    /// recorded twin — so configurations with more CPUs fall back to
+    /// full lockstep replay.
+    pub cpus: usize,
 }
 
 impl CampaignConfig {
@@ -89,6 +159,23 @@ impl CampaignConfig {
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
             events: None,
             trace_window: None,
+            replay_mode: ReplayMode::default(),
+            cpus: 2,
+        }
+    }
+
+    /// The replay mode the engine will actually use: the configured one,
+    /// except that shadow requests with more than two CPUs fall back to
+    /// full lockstep replay (shadow is DMR-only — a recorded trace
+    /// cannot stand in for several live twins in a majority vote).
+    /// For a single fault the records are identical either way: all
+    /// fault-free twins agree, so the majority compare degenerates to
+    /// the DMR pairwise compare.
+    pub fn effective_replay_mode(&self) -> ReplayMode {
+        if self.cpus > 2 {
+            ReplayMode::Lockstep
+        } else {
+            self.replay_mode
         }
     }
 }
@@ -136,10 +223,18 @@ impl WorkloadStats {
 }
 
 /// Whole-campaign throughput instrumentation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is written by hand so that `replay_mode` — added after
+/// archives of this struct already existed — is optional on read: files
+/// that predate the field were produced by the recorded-trace path,
+/// i.e. shadow replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct CampaignStats {
     /// Checkpoint spacing used, or 0 if checkpointing was disabled.
     pub checkpoint_interval: u64,
+    /// Replay mode label of the producing run (`"shadow"` /
+    /// `"lockstep"`; see [`ReplayMode::label`]).
+    pub replay_mode: String,
     /// Total faults injected.
     pub injected: u64,
     /// Faults that manifested as detected errors.
@@ -159,12 +254,34 @@ pub struct CampaignStats {
     pub per_workload: Vec<WorkloadStats>,
 }
 
+impl Deserialize for CampaignStats {
+    fn deserialize(value: &Value) -> Result<CampaignStats, JsonError> {
+        Ok(CampaignStats {
+            checkpoint_interval: Deserialize::deserialize(value.field("checkpoint_interval")?)?,
+            replay_mode: match value.field("replay_mode") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                // Archives that predate the field were produced by the
+                // recorded-trace path — shadow replay by construction.
+                Err(_) => ReplayMode::Shadow.label().to_owned(),
+            },
+            injected: Deserialize::deserialize(value.field("injected")?)?,
+            manifested: Deserialize::deserialize(value.field("manifested")?)?,
+            masked: Deserialize::deserialize(value.field("masked")?)?,
+            golden_nanos: Deserialize::deserialize(value.field("golden_nanos")?)?,
+            injection_nanos: Deserialize::deserialize(value.field("injection_nanos")?)?,
+            wall_nanos: Deserialize::deserialize(value.field("wall_nanos")?)?,
+            injections_per_sec: Deserialize::deserialize(value.field("injections_per_sec")?)?,
+            per_workload: Deserialize::deserialize(value.field("per_workload")?)?,
+        })
+    }
+}
+
 impl CampaignStats {
     /// Renders the throughput report `repro_all` prints: the phase
     /// split, injection rate, and per-workload replay/checkpoint cost.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "== Campaign throughput (checkpoint interval: {}) ==\n\n\
+            "== Campaign throughput (checkpoint interval: {}, replay mode: {}) ==\n\n\
              {} injections ({} manifested, {} masked) at {:.0} injections/sec\n\
              golden capture {:.1} ms, injection phase {:.1} ms, total {:.1} ms\n\n",
             if self.checkpoint_interval == 0 {
@@ -172,6 +289,7 @@ impl CampaignStats {
             } else {
                 format!("{} cycles", self.checkpoint_interval)
             },
+            if self.replay_mode.is_empty() { "shadow" } else { &self.replay_mode },
             self.injected,
             self.manifested,
             self.masked,
@@ -310,6 +428,8 @@ struct WorkCounters {
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let campaign_start = Instant::now();
     let window = config.capture_window;
+    let mode = config.effective_replay_mode();
+    assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
 
     // ------------------------------------------------------------------
     // Phase 1: golden captures, parallel over workloads. One simulation
@@ -415,45 +535,78 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                     let cap = &captures[wi];
                     let fault = plans[wi].faults()[i - offsets[wi]];
                     let t0 = Instant::now();
-                    let (outcome, trace) = if config.checkpoint_interval.is_some() {
-                        let (outcome, trace, cost) = if let Some(pre) = config.trace_window {
-                            let (out, cost) = run_injection_traced(
-                                &cap.checkpoints,
-                                &cap.trace,
-                                fault,
-                                window,
-                                pre,
-                            );
-                            match out {
-                                Some((cycle, dsr, trace)) => {
-                                    (Some((cycle, dsr)), Some(trace), cost)
-                                }
-                                None => (None, None, cost),
+                    // Full lockstep replay always resumes from the golden
+                    // store (with checkpointing off only the mandatory
+                    // cycle-0 snapshot exists, i.e. replay-from-reset).
+                    let resumes = config.checkpoint_interval.is_some() || mode.is_lockstep();
+                    let (outcome, trace) = if resumes {
+                        let (outcome, trace, cost) = match (mode, config.trace_window) {
+                            // Tracing rides the checkpointed path only
+                            // (mirrored from shadow mode's contract).
+                            (ReplayMode::Shadow, Some(pre))
+                                if config.checkpoint_interval.is_some() =>
+                            {
+                                let (out, cost) = run_injection_traced(
+                                    &cap.checkpoints,
+                                    &cap.trace,
+                                    fault,
+                                    window,
+                                    pre,
+                                );
+                                let (outcome, trace) = split_traced(out);
+                                (outcome, trace, cost)
                             }
-                        } else {
-                            let (out, cost) = run_injection_from_checkpoint(
-                                &cap.checkpoints,
-                                &cap.trace,
-                                fault,
-                                window,
-                            );
-                            (out, None, cost)
+                            (ReplayMode::Shadow, _) => {
+                                let (out, cost) = run_injection_from_checkpoint(
+                                    &cap.checkpoints,
+                                    &cap.trace,
+                                    fault,
+                                    window,
+                                );
+                                (out, None, cost)
+                            }
+                            (ReplayMode::Lockstep, Some(pre))
+                                if config.checkpoint_interval.is_some() =>
+                            {
+                                let (out, cost) = run_injection_lockstep_traced(
+                                    &cap.checkpoints,
+                                    cap.run.cycles,
+                                    fault,
+                                    window,
+                                    pre,
+                                    config.cpus,
+                                );
+                                let (outcome, trace) = split_traced(out);
+                                (outcome, trace, cost)
+                            }
+                            (ReplayMode::Lockstep, _) => {
+                                let (out, cost) = run_injection_lockstep(
+                                    &cap.checkpoints,
+                                    cap.run.cycles,
+                                    fault,
+                                    window,
+                                    config.cpus,
+                                );
+                                (out, None, cost)
+                            }
                         };
                         let c = &counters[wi];
                         c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
                         c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
-                        c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
-                        c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
-                        if let Some(events) = &config.events {
-                            // A fault past the golden runtime never restores
-                            // a snapshot, so no hit to report for it.
-                            if fault.cycle < cap.run.cycles {
-                                events.emit(&Event::CheckpointHit {
-                                    workload: workload.name.to_owned(),
-                                    inject_cycle: fault.cycle,
-                                    checkpoint_cycle: cost.checkpoint_cycle,
-                                    hit_distance: cost.hit_distance,
-                                });
+                        if config.checkpoint_interval.is_some() {
+                            c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
+                            c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
+                            if let Some(events) = &config.events {
+                                // A fault past the golden runtime never restores
+                                // a snapshot, so no hit to report for it.
+                                if fault.cycle < cap.run.cycles {
+                                    events.emit(&Event::CheckpointHit {
+                                        workload: workload.name.to_owned(),
+                                        inject_cycle: fault.cycle,
+                                        checkpoint_cycle: cost.checkpoint_cycle,
+                                        hit_distance: cost.hit_distance,
+                                    });
+                                }
                             }
                         }
                         (outcome, trace)
@@ -591,6 +744,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let injection_secs = injection_nanos as f64 / 1e9;
     let stats = CampaignStats {
         checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        replay_mode: mode.label().to_owned(),
         injected: injected_total as u64,
         manifested: manifested_total,
         masked: injected_total as u64 - manifested_total,
@@ -626,7 +780,7 @@ fn elapsed_nanos(since: Instant) -> u64 {
 pub fn run_injection(
     workload: &Workload,
     stim_seed: u64,
-    golden_trace: &[PortSet],
+    golden_trace: &PortTrace,
     fault: Fault,
 ) -> Option<(u64, Dsr)> {
     run_injection_windowed(workload, stim_seed, golden_trace, fault, 1)
@@ -643,7 +797,7 @@ pub fn run_injection(
 pub fn run_injection_windowed(
     workload: &Workload,
     stim_seed: u64,
-    golden_trace: &[PortSet],
+    golden_trace: &PortTrace,
     fault: Fault,
     window: u32,
 ) -> Option<(u64, Dsr)> {
@@ -678,29 +832,106 @@ pub struct ReplayCost {
     pub checkpoint_cycle: u64,
     /// Cycles replayed between the checkpoint and the injection cycle.
     pub hit_distance: u64,
-    /// Total cycles simulated for this injection.
+    /// CPU-cycles actually simulated for this injection (each golden
+    /// twin of a full-lockstep replay counts its own cycles).
     pub replayed_cycles: u64,
     /// Cycles a from-reset replay would have simulated but this one
     /// did not.
     pub skipped_cycles: u64,
 }
 
-/// One injection experiment resumed from the nearest golden checkpoint
-/// at or before the injection cycle. Bit-identical to
-/// [`run_injection_windowed`] (see the campaign equivalence property
-/// test) at a cost proportional to `hit distance + detection latency +
-/// capture window` instead of `inject cycle + detection latency`.
-///
-/// Pre-fault cycles are replayed without the fault overlay (it is the
-/// identity there) and without golden-trace comparison (an exactly
-/// restored core cannot diverge before the fault lands).
-pub fn run_injection_from_checkpoint(
+/// The golden reference an injection replay compares the faulty CPU
+/// against each cycle — either the recorded trace (shadow mode) or live
+/// fault-free twin CPUs (full-lockstep mode). Monomorphized into the
+/// replay engines, so shadow replay pays nothing for the abstraction.
+trait GoldenRef {
+    /// CPUs simulated per replayed cycle (1 shadow, N full lockstep).
+    fn cpus_per_cycle(&self) -> u64;
+    /// Advances the reference through one pre-fault cycle (no
+    /// comparison needed: an exactly restored faulty core cannot
+    /// diverge before the fault lands).
+    fn advance(&mut self);
+    /// Advances the reference through `cycle` and returns the faulty
+    /// CPU's per-SC diff mask against it.
+    fn diff_against(&mut self, cycle: u64, ports: &PortSet) -> u64;
+}
+
+/// Shadow mode's reference: the recorded golden port trace.
+struct RecordedGolden<'a> {
+    trace: &'a PortTrace,
+}
+
+impl GoldenRef for RecordedGolden<'_> {
+    fn cpus_per_cycle(&self) -> u64 {
+        1
+    }
+
+    fn advance(&mut self) {}
+
+    fn diff_against(&mut self, cycle: u64, ports: &PortSet) -> u64 {
+        ports.diff_mask(self.trace.get(cycle).expect("cycle within golden trace"))
+    }
+}
+
+/// Full-lockstep mode's reference: live fault-free golden-twin CPUs,
+/// each driving its own clone of the checkpoint memory (board-level
+/// lockstep, Figure 1a).
+struct TwinGolden {
+    twins: Vec<(Cpu, lockstep_mem::Memory)>,
+}
+
+impl TwinGolden {
+    fn from_checkpoint(cp: &Checkpoint, count: usize) -> TwinGolden {
+        TwinGolden {
+            twins: (0..count).map(|_| (Cpu::from_state(cp.cpu.clone()), cp.mem.clone())).collect(),
+        }
+    }
+}
+
+impl GoldenRef for TwinGolden {
+    fn cpus_per_cycle(&self) -> u64 {
+        1 + self.twins.len() as u64
+    }
+
+    fn advance(&mut self) {
+        let mut ports = PortSet::new();
+        for (cpu, mem) in &mut self.twins {
+            cpu.step(mem, &mut ports);
+        }
+    }
+
+    fn diff_against(&mut self, _cycle: u64, ports: &PortSet) -> u64 {
+        // Every twin is fault-free, drives a private memory, and resumed
+        // from the same snapshot, so all agree cycle-for-cycle
+        // (debug-asserted): the MMR majority compare against the faulty
+        // CPU degenerates to a pairwise diff with any one twin.
+        let mut first = PortSet::new();
+        let mut diff = 0u64;
+        for (i, (cpu, mem)) in self.twins.iter_mut().enumerate() {
+            let mut tp = PortSet::new();
+            cpu.step(mem, &mut tp);
+            if i == 0 {
+                diff = ports.diff_mask(&tp);
+                first = tp;
+            } else {
+                debug_assert_eq!(tp.diff_mask(&first), 0, "fault-free twins diverged");
+            }
+        }
+        diff
+    }
+}
+
+/// The resumed-replay engine shared by both replay modes: restore the
+/// nearest checkpoint, fast-forward to the fault, then compare the
+/// faulty CPU against the golden reference until detection (plus the
+/// capture window) or the end of the golden run.
+fn replay_resumed<G: GoldenRef>(
     checkpoints: &GoldenCheckpoints,
-    golden_trace: &[PortSet],
+    trace_len: u64,
     fault: Fault,
     window: u32,
+    make_golden: impl FnOnce(&Checkpoint) -> G,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
-    let trace_len = golden_trace.len() as u64;
     if fault.cycle >= trace_len {
         // The fault lands after the benchmark halts: masked by
         // construction (the from-reset path replays the whole run to
@@ -711,6 +942,8 @@ pub fn run_injection_from_checkpoint(
     let cp = checkpoints
         .nearest_at(fault.cycle)
         .expect("golden captures always include the cycle-0 checkpoint");
+    let mut golden = make_golden(cp);
+    let per_cycle = golden.cpus_per_cycle();
     let mut cpu = Cpu::from_state(cp.cpu.clone());
     let mut mem = cp.mem.clone();
     let mut ports = PortSet::new();
@@ -724,20 +957,20 @@ pub fn run_injection_from_checkpoint(
     let mut cycle = cp.cycle;
     while cycle < fault.cycle {
         cpu.step(&mut mem, &mut ports);
+        golden.advance();
         cycle += 1;
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
     }
 
     let (detect_cycle, mut dsr_bits) = loop {
         if cycle >= trace_len {
             return (None, cost);
         }
-        let golden = &golden_trace[cycle as usize];
         let at = cycle;
         cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
         cycle += 1;
-        let diff = ports.diff_mask(golden);
+        let diff = golden.diff_against(at, &ports);
         if diff != 0 {
             break (at, diff);
         }
@@ -746,14 +979,59 @@ pub fn run_injection_from_checkpoint(
         if cycle >= trace_len {
             break;
         }
-        let golden = &golden_trace[cycle as usize];
         let at = cycle;
         cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
         cycle += 1;
-        dsr_bits |= ports.diff_mask(golden);
+        dsr_bits |= golden.diff_against(at, &ports);
     }
     (Some((detect_cycle, Dsr::from_bits(dsr_bits))), cost)
+}
+
+/// One injection experiment resumed from the nearest golden checkpoint
+/// at or before the injection cycle, in shadow mode. Bit-identical to
+/// [`run_injection_windowed`] (see the campaign equivalence property
+/// test) at a cost proportional to `hit distance + detection latency +
+/// capture window` instead of `inject cycle + detection latency`.
+///
+/// Pre-fault cycles are replayed without the fault overlay (it is the
+/// identity there) and without golden-trace comparison (an exactly
+/// restored core cannot diverge before the fault lands).
+pub fn run_injection_from_checkpoint(
+    checkpoints: &GoldenCheckpoints,
+    golden_trace: &PortTrace,
+    fault: Fault,
+    window: u32,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
+    replay_resumed(checkpoints, golden_trace.len(), fault, window, |_| RecordedGolden {
+        trace: golden_trace,
+    })
+}
+
+/// [`run_injection_from_checkpoint`] in full-lockstep mode: instead of
+/// the recorded trace, `cpus - 1` live fault-free golden twins are
+/// restored from the same checkpoint and stepped alongside the faulty
+/// CPU, each with its own memory clone. `golden_cycles` is the golden
+/// run's length (the replay domain).
+///
+/// This is the reference semantics shadow mode is differentially tested
+/// against; it returns bit-identical outcomes at roughly `cpus` times
+/// the simulation cost.
+///
+/// # Panics
+///
+/// Panics if `cpus < 2`.
+pub fn run_injection_lockstep(
+    checkpoints: &GoldenCheckpoints,
+    golden_cycles: u64,
+    fault: Fault,
+    window: u32,
+    cpus: usize,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
+    assert!(cpus >= 2, "lockstep needs at least two CPUs");
+    replay_resumed(checkpoints, golden_cycles, fault, window, |cp| {
+        TwinGolden::from_checkpoint(cp, cpus - 1)
+    })
 }
 
 /// Whether `fault`'s overlay is non-identity at `cycle`: a transient
@@ -765,25 +1043,16 @@ fn fault_active(fault: Fault, cycle: u64) -> bool {
     }
 }
 
-/// [`run_injection_from_checkpoint`] with the divergence trace recorder
-/// attached: identical replay, identical detection cycle and DSR (the
-/// campaign trace-consistency test asserts record equality), plus a
-/// [`DivergenceTrace`] holding the last `pre_window` pre-detection
-/// samples and every capture-window sample.
-///
-/// Recording starts at the fault cycle — before it the overlay is the
-/// identity and an exactly restored core cannot diverge, so there is
-/// nothing to observe. Each sample costs one [`lockstep_cpu::CpuState`]
-/// diff (for the per-unit flip deltas), which is why tracing is opt-in
-/// per campaign rather than always on.
-pub fn run_injection_traced(
+/// The traced twin of [`replay_resumed`]: identical replay, identical
+/// detection cycle and DSR, plus the divergence trace recorder.
+fn replay_resumed_traced<G: GoldenRef>(
     checkpoints: &GoldenCheckpoints,
-    golden_trace: &[PortSet],
+    trace_len: u64,
     fault: Fault,
     window: u32,
     pre_window: u32,
+    make_golden: impl FnOnce(&Checkpoint) -> G,
 ) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
-    let trace_len = golden_trace.len() as u64;
     if fault.cycle >= trace_len {
         let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
         return (None, cost);
@@ -791,6 +1060,8 @@ pub fn run_injection_traced(
     let cp = checkpoints
         .nearest_at(fault.cycle)
         .expect("golden captures always include the cycle-0 checkpoint");
+    let mut golden = make_golden(cp);
+    let per_cycle = golden.cpus_per_cycle();
     let mut cpu = Cpu::from_state(cp.cpu.clone());
     let mut mem = cp.mem.clone();
     let mut ports = PortSet::new();
@@ -804,8 +1075,9 @@ pub fn run_injection_traced(
     let mut cycle = cp.cycle;
     while cycle < fault.cycle {
         cpu.step(&mut mem, &mut ports);
+        golden.advance();
         cycle += 1;
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
     }
 
     let mut ring = TraceRing::new(pre_window as usize);
@@ -824,12 +1096,11 @@ pub fn run_injection_traced(
         if cycle >= trace_len {
             return (None, cost);
         }
-        let golden = &golden_trace[cycle as usize];
         let at = cycle;
         cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
         cycle += 1;
-        let diff = ports.diff_mask(golden);
+        let diff = golden.diff_against(at, &ports);
         let sample = sample_at(at, diff, &mut prev, &cpu);
         if diff != 0 {
             break (at, diff, sample);
@@ -842,12 +1113,11 @@ pub fn run_injection_traced(
         if cycle >= trace_len {
             break;
         }
-        let golden = &golden_trace[cycle as usize];
         let at = cycle;
         cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += 1;
+        cost.replayed_cycles += per_cycle;
         cycle += 1;
-        let diff = ports.diff_mask(golden);
+        let diff = golden.diff_against(at, &ports);
         dsr_bits |= diff;
         samples.push(sample_at(at, diff, &mut prev, &cpu));
     }
@@ -859,6 +1129,61 @@ pub fn run_injection_traced(
         samples,
     };
     (Some((detect_cycle, Dsr::from_bits(dsr_bits), trace)), cost)
+}
+
+/// [`run_injection_from_checkpoint`] with the divergence trace recorder
+/// attached: identical replay, identical detection cycle and DSR (the
+/// campaign trace-consistency test asserts record equality), plus a
+/// [`DivergenceTrace`] holding the last `pre_window` pre-detection
+/// samples and every capture-window sample.
+///
+/// Recording starts at the fault cycle — before it the overlay is the
+/// identity and an exactly restored core cannot diverge, so there is
+/// nothing to observe. Each sample costs one [`lockstep_cpu::CpuState`]
+/// diff (for the per-unit flip deltas), which is why tracing is opt-in
+/// per campaign rather than always on.
+pub fn run_injection_traced(
+    checkpoints: &GoldenCheckpoints,
+    golden_trace: &PortTrace,
+    fault: Fault,
+    window: u32,
+    pre_window: u32,
+) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
+    replay_resumed_traced(checkpoints, golden_trace.len(), fault, window, pre_window, |_| {
+        RecordedGolden { trace: golden_trace }
+    })
+}
+
+/// [`run_injection_lockstep`] with the divergence trace recorder
+/// attached — the full-lockstep twin of [`run_injection_traced`]. The
+/// trace samples observe the faulty CPU, which both modes step
+/// identically, so recorded traces are bit-identical across modes too.
+///
+/// # Panics
+///
+/// Panics if `cpus < 2`.
+pub fn run_injection_lockstep_traced(
+    checkpoints: &GoldenCheckpoints,
+    golden_cycles: u64,
+    fault: Fault,
+    window: u32,
+    pre_window: u32,
+    cpus: usize,
+) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
+    assert!(cpus >= 2, "lockstep needs at least two CPUs");
+    replay_resumed_traced(checkpoints, golden_cycles, fault, window, pre_window, |cp| {
+        TwinGolden::from_checkpoint(cp, cpus - 1)
+    })
+}
+
+/// Splits a traced outcome into the record outcome and the trace blob.
+fn split_traced(
+    out: Option<(u64, Dsr, DivergenceTrace)>,
+) -> (Option<(u64, Dsr)>, Option<DivergenceTrace>) {
+    match out {
+        Some((cycle, dsr, trace)) => (Some((cycle, dsr)), Some(trace)),
+        None => (None, None),
+    }
 }
 
 /// Sanity accessor used by tests: total flip-flops under test.
@@ -881,6 +1206,8 @@ mod tests {
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
             events: None,
             trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
         }
     }
 

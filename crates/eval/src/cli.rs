@@ -13,14 +13,21 @@
 //!   JSON object per line) to `PATH` (default: no event log);
 //! * `--trace-window N` — record a divergence trace per manifested
 //!   error, keeping the last `N` pre-detection cycles (`0` disables;
-//!   default off).
+//!   default off);
+//! * `--replay-mode {shadow,lockstep}` — what the faulty CPU is
+//!   compared against during injection replay: the recorded golden
+//!   port trace (`shadow`, the default) or live fault-free golden-twin
+//!   CPUs (`lockstep`). Both yield bit-identical campaign results; see
+//!   [`crate::campaign::ReplayMode`].
 
 use std::sync::Arc;
 
 use lockstep_obs::{EventSink, JsonlSink};
 use lockstep_workloads::Workload;
 
-use crate::campaign::{CampaignConfig, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL};
+use crate::campaign::{
+    CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
+};
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -39,6 +46,8 @@ pub struct CommonArgs {
     pub events: Option<Arc<dyn EventSink>>,
     /// Divergence-trace pre-detection window (`None` = tracing off).
     pub trace_window: Option<u32>,
+    /// Injection replay mode (`--replay-mode`; default shadow).
+    pub replay_mode: ReplayMode,
 }
 
 impl CommonArgs {
@@ -53,6 +62,7 @@ impl CommonArgs {
             checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
             events: None,
             trace_window: None,
+            replay_mode: ReplayMode::default(),
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
@@ -97,11 +107,17 @@ impl CommonArgs {
                         .unwrap_or_else(|_| die("bad --trace-window"));
                     out.trace_window = (n != 0).then_some(n);
                 }
+                "--replay-mode" => {
+                    let m = value("--replay-mode");
+                    out.replay_mode = ReplayMode::from_flag(&m).unwrap_or_else(|| {
+                        die(&format!("bad --replay-mode `{m}` (expected shadow or lockstep)"))
+                    });
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
-                         [--trace-window N (0 = off)]"
+                         [--trace-window N (0 = off)] [--replay-mode shadow|lockstep]"
                     );
                     std::process::exit(0);
                 }
@@ -122,6 +138,8 @@ impl CommonArgs {
             checkpoint_interval: self.checkpoint_interval,
             events: self.events.clone(),
             trace_window: self.trace_window,
+            replay_mode: self.replay_mode,
+            cpus: 2,
         }
     }
 }
@@ -148,6 +166,7 @@ mod tests {
         assert_eq!(a.seed, 2018);
         assert_eq!(a.workloads.len(), 12);
         assert_eq!(a.checkpoint_interval, Some(DEFAULT_CHECKPOINT_INTERVAL));
+        assert_eq!(a.replay_mode, ReplayMode::Shadow);
     }
 
     #[test]
@@ -178,6 +197,16 @@ mod tests {
     fn checkpoint_interval_zero_disables() {
         assert_eq!(parse(&["--checkpoint-interval", "0"]).checkpoint_interval, None);
         assert_eq!(parse(&["--checkpoint-interval", "512"]).checkpoint_interval, Some(512));
+    }
+
+    #[test]
+    fn replay_mode_flag() {
+        assert_eq!(parse(&["--replay-mode", "shadow"]).replay_mode, ReplayMode::Shadow);
+        let a = parse(&["--replay-mode", "lockstep"]);
+        assert_eq!(a.replay_mode, ReplayMode::Lockstep);
+        let c = a.campaign_config();
+        assert_eq!(c.replay_mode, ReplayMode::Lockstep);
+        assert_eq!(c.cpus, 2);
     }
 
     #[test]

@@ -226,6 +226,8 @@ mod tests {
             checkpoint_interval: Some(4096),
             events: None,
             trace_window: Some(48),
+            replay_mode: Default::default(),
+            cpus: 2,
         })
     }
 

@@ -253,6 +253,8 @@ mod tests {
                 checkpoint_interval: Some(4096),
                 events: None,
                 trace_window: None,
+                replay_mode: Default::default(),
+                cpus: 2,
             };
             run_campaign(&cfg)
         })

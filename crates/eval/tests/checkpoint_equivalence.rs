@@ -84,6 +84,8 @@ fn campaign_records_identical_for_all_intervals() {
         checkpoint_interval: None,
         events: None,
         trace_window: None,
+        replay_mode: Default::default(),
+        cpus: 2,
     };
     let reference = run_campaign(&base);
     assert!(!reference.records.is_empty(), "reference campaign must manifest errors");

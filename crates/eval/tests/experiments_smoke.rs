@@ -21,11 +21,13 @@ fn campaign() -> &'static CampaignResult {
             ],
             faults_per_workload: 600,
             seed: 31415,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: 4,
             capture_window: 16,
             checkpoint_interval: Some(4096),
             events: None,
             trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
         })
     })
 }

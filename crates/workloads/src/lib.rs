@@ -37,7 +37,7 @@ mod kernels;
 pub use kernels::extra;
 
 use lockstep_asm::{assemble, Program};
-use lockstep_cpu::{Cpu, CpuState, PortSet};
+use lockstep_cpu::{Cpu, CpuState, PortSet, PortTrace};
 use lockstep_mem::{Memory, MemoryPort};
 
 /// Default RAM size for workload images (64 KiB, TCM-class).
@@ -110,13 +110,18 @@ impl GoldenCheckpoints {
 /// by [`Workload::golden_capture`] in a single simulation — campaigns
 /// previously simulated every kernel twice (once for [`GoldenRun`], once
 /// for the trace).
+///
+/// This is the campaign golden store (v3): v1 was the bare trace, v2
+/// added checkpoints, v3 stores the trace chunked ([`PortTrace`]) so
+/// recording never re-copies the multi-megabyte prefix and shadow
+/// replays index it by cycle.
 #[derive(Debug, Clone)]
 pub struct GoldenCapture {
     /// Timing/output statistics, as [`Workload::golden_run`] reports.
     pub run: GoldenRun,
     /// One [`PortSet`] per cycle until halt, as
     /// [`Workload::golden_trace`] reports.
-    pub trace: Vec<PortSet>,
+    pub trace: PortTrace,
     /// Snapshots every `interval` cycles, starting at cycle 0.
     pub checkpoints: GoldenCheckpoints,
 }
@@ -199,7 +204,7 @@ impl Workload {
     ///
     /// Panics if the kernel does not halt within `max_cycles` — golden
     /// traces must cover complete runs.
-    pub fn golden_trace(&self, stimulus_seed: u64, max_cycles: u64) -> Vec<PortSet> {
+    pub fn golden_trace(&self, stimulus_seed: u64, max_cycles: u64) -> PortTrace {
         // One checkpoint (cycle 0) is captured and discarded; the
         // single-pass engine below is the only simulation loop.
         self.golden_capture(stimulus_seed, max_cycles, u64::MAX).trace
@@ -228,11 +233,11 @@ impl Workload {
         let mut mem = self.memory(stimulus_seed);
         let mut cpu = Cpu::new(0);
         let mut ports = PortSet::new();
-        let mut trace = Vec::new();
+        let mut trace = PortTrace::new();
         let mut points = Vec::new();
         let mut halted = false;
-        while (trace.len() as u64) < max_cycles {
-            let cycle = trace.len() as u64;
+        while trace.len() < max_cycles {
+            let cycle = trace.len();
             if cycle.is_multiple_of(interval) {
                 points.push(Checkpoint { cycle, cpu: cpu.snapshot(), mem: mem.clone() });
             }
@@ -246,7 +251,7 @@ impl Workload {
         assert!(halted, "kernel `{}` did not halt within {max_cycles} cycles", self.name);
         let run = GoldenRun {
             halted,
-            cycles: trace.len() as u64,
+            cycles: trace.len(),
             output_checksum: mem.output_checksum(),
             outputs: mem.output_log().len(),
             instructions: cpu.state().instret,
@@ -355,7 +360,7 @@ mod tests {
         let w = Workload::find("bitmnp").unwrap();
         let g = w.golden_run(5, 200_000);
         let t = w.golden_trace(5, 200_000);
-        assert_eq!(t.len() as u64, g.cycles);
+        assert_eq!(t.len(), g.cycles);
     }
 
     #[test]

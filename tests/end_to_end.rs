@@ -20,13 +20,17 @@ fn one_error_full_lifecycle() {
             Workload::find("canrdr").unwrap(),
             Workload::find("matrix").unwrap(),
         ],
-        faults_per_workload: 600,
+        faults_per_workload: 400,
         seed: 99,
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        // Pinned thread count: records are thread-independent, and a
+        // fixed pool keeps the timing envelope machine-independent.
+        threads: 4,
         capture_window: 8,
         checkpoint_interval: Some(4096),
         events: None,
         trace_window: None,
+        replay_mode: Default::default(),
+        cpus: 2,
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());

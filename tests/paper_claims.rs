@@ -1,8 +1,12 @@
 //! Cross-crate integration tests: the paper's headline claims must hold
 //! end-to-end on a (small-scale) reproduction run.
 //!
-//! These tests share one campaign via `OnceLock` so the whole file costs
-//! a single fault-injection run.
+//! Each claim is a function over a [`CampaignResult`], so the same
+//! assertions run at two scales: the fast default campaign shared via
+//! `OnceLock` (one fault-injection run for the whole file), and the
+//! full-scale campaign gated behind the `slow-tests` feature +
+//! `#[ignore]` (the tier-2 CI job runs it with
+//! `--features slow-tests -- --ignored`).
 
 use std::sync::OnceLock;
 
@@ -14,31 +18,44 @@ use lockstep::eval::{run_campaign, CampaignConfig, CampaignResult, Dataset};
 use lockstep::fault::ErrorKind;
 use lockstep::workloads::Workload;
 
-fn campaign() -> &'static CampaignResult {
-    static CAMPAIGN: OnceLock<CampaignResult> = OnceLock::new();
-    CAMPAIGN.get_or_init(|| {
-        // Six kernels with diverse unit mixes keep this fast but honest.
-        let names = ["ttsprk", "rspeed", "canrdr", "pntrch", "matrix", "bitmnp"];
-        run_campaign(&CampaignConfig {
-            workloads: names.iter().map(|n| Workload::find(n).unwrap()).collect(),
-            faults_per_workload: 900,
-            seed: 424_242,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-            capture_window: 8,
-            checkpoint_interval: Some(4096),
-            events: None,
-            trace_window: None,
-        })
+/// Six kernels with diverse unit mixes keep the campaign fast but
+/// honest. Thread count is pinned so the timing envelope does not
+/// depend on the host's core count (records are thread-independent
+/// either way — see `checkpoint_equivalence.rs`).
+fn run_scaled(faults_per_workload: usize) -> CampaignResult {
+    let names = ["ttsprk", "rspeed", "canrdr", "pntrch", "matrix", "bitmnp"];
+    run_campaign(&CampaignConfig {
+        workloads: names.iter().map(|n| Workload::find(n).unwrap()).collect(),
+        faults_per_workload,
+        seed: 424_242,
+        threads: 4,
+        capture_window: 8,
+        checkpoint_interval: Some(4096),
+        events: None,
+        trace_window: None,
+        replay_mode: Default::default(),
+        cpus: 2,
     })
 }
 
-#[test]
-fn phenomenon_units_have_distinguishable_signatures() {
-    // Section III-A: the average BC across units is well below 1 —
-    // signatures carry location information (paper: ~0.39 hard, ~0.32
-    // soft).
+fn campaign() -> &'static CampaignResult {
+    static CAMPAIGN: OnceLock<CampaignResult> = OnceLock::new();
+    // 900/workload is the floor at which every claim holds with margin
+    // at this seed; smaller campaigns leave the type-accuracy and
+    // LERT-speedup claims inside the statistical noise.
+    CAMPAIGN.get_or_init(|| run_scaled(900))
+}
+
+// ---------------------------------------------------------------------
+// The claims, as scale-independent assertions.
+// ---------------------------------------------------------------------
+
+/// Section III-A: the average BC across units is well below 1 —
+/// signatures carry location information (paper: ~0.39 hard, ~0.32
+/// soft).
+fn claim_distinguishable_signatures(c: &CampaignResult) {
     for kind in [ErrorKind::Hard, ErrorKind::Soft] {
-        let analysis = signature_analysis(&campaign().records, Granularity::Coarse, kind);
+        let analysis = signature_analysis(&c.records, Granularity::Coarse, kind);
         let bc = analysis.overall_mean_bc().expect("campaign yields all units");
         assert!(
             bc < 0.75,
@@ -47,11 +64,10 @@ fn phenomenon_units_have_distinguishable_signatures() {
     }
 }
 
-#[test]
-fn phenomenon_hard_errors_spread_over_more_sets() {
-    // Section III-B: hard errors produce more distinct diverged-SC sets
-    // than soft errors (paper: +54%).
-    let ev = type_evidence(&campaign().records, Granularity::Coarse);
+/// Section III-B: hard errors produce more distinct diverged-SC sets
+/// than soft errors (paper: +54%).
+fn claim_hard_errors_spread_over_more_sets(c: &CampaignResult) {
+    let ev = type_evidence(&c.records, Granularity::Coarse);
     assert!(
         ev.hard_distinct_sets > ev.soft_distinct_sets,
         "hard {} vs soft {}",
@@ -60,12 +76,11 @@ fn phenomenon_hard_errors_spread_over_more_sets() {
     );
 }
 
-#[test]
-fn headline_prediction_reduces_lert_substantially() {
-    // The abstract's claim: availability up by 42–65% relative to the
-    // baselines. At our scale, require pred-comb to beat every baseline
-    // and by a solid margin against the best one.
-    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+/// The abstract's claim: availability up by 42–65% relative to the
+/// baselines. At our scale, require pred-comb to beat every baseline
+/// and by a solid margin against the best one.
+fn claim_prediction_reduces_lert(c: &CampaignResult) {
+    let eval = evaluate(c, &EvalConfig::new(Granularity::Coarse, 7));
     let comb = eval.lert(Model::PredComb);
     for base in [Model::BaseRandom, Model::BaseAscending, Model::BaseManifest] {
         assert!(
@@ -80,17 +95,15 @@ fn headline_prediction_reduces_lert_substantially() {
     assert!(speedup > 25.0, "speedup vs best baseline only {speedup:.1}% (paper: 42-65%)");
 }
 
-#[test]
-fn location_only_prediction_also_wins() {
-    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+fn claim_location_only_prediction_wins(c: &CampaignResult) {
+    let eval = evaluate(c, &EvalConfig::new(Granularity::Coarse, 7));
     assert!(eval.lert(Model::PredLocationOnly) < eval.lert(Model::BaseAscending));
     assert!(eval.lert(Model::PredComb) < eval.lert(Model::PredLocationOnly));
 }
 
-#[test]
-fn type_prediction_beats_coin_flip_and_favours_soft() {
-    // Table III shape: soft accuracy > hard accuracy, overall > 50%.
-    let eval = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
+/// Table III shape: soft accuracy > hard accuracy, overall > 50%.
+fn claim_type_prediction_beats_coin_flip(c: &CampaignResult) {
+    let eval = evaluate(c, &EvalConfig::new(Granularity::Coarse, 7));
     let acc = eval.type_accuracy;
     assert!(acc.overall() > 0.5, "overall type accuracy {:.2}", acc.overall());
     assert!(
@@ -101,12 +114,11 @@ fn type_prediction_beats_coin_flip_and_favours_soft() {
     );
 }
 
-#[test]
-fn fine_granularity_improves_lert() {
-    // Section V-D: finer granularity improves both baselines and
-    // prediction models.
-    let coarse = evaluate(campaign(), &EvalConfig::new(Granularity::Coarse, 7));
-    let fine = evaluate(campaign(), &EvalConfig::new(Granularity::Fine, 7));
+/// Section V-D: finer granularity improves both baselines and
+/// prediction models.
+fn claim_fine_granularity_improves_lert(c: &CampaignResult) {
+    let coarse = evaluate(c, &EvalConfig::new(Granularity::Coarse, 7));
+    let fine = evaluate(c, &EvalConfig::new(Granularity::Fine, 7));
     assert!(
         fine.lert(Model::PredComb) < coarse.lert(Model::PredComb),
         "fine {:.0} vs coarse {:.0}",
@@ -116,11 +128,10 @@ fn fine_granularity_improves_lert() {
     assert!(fine.lert(Model::BaseAscending) < coarse.lert(Model::BaseAscending));
 }
 
-#[test]
-fn topk_accuracy_grows_with_k_and_saturates() {
-    // Figures 12/13: accuracy rises with predicted units and saturates
-    // near the full-order accuracy well before K = all.
-    let points = lockstep::eval::experiments::topk::sweep(campaign(), Granularity::Coarse, 7);
+/// Figures 12/13: accuracy rises with predicted units and saturates
+/// near the full-order accuracy well before K = all.
+fn claim_topk_accuracy_grows_and_saturates(c: &CampaignResult) {
+    let points = lockstep::eval::experiments::topk::sweep(c, Granularity::Coarse, 7);
     assert_eq!(points.len(), 7);
     for pair in points.windows(2) {
         assert!(
@@ -135,15 +146,58 @@ fn topk_accuracy_grows_with_k_and_saturates() {
     assert!(points[3].speedup_vs_ascending_pct > best - 8.0);
 }
 
-#[test]
-fn distinct_sets_are_plentiful_but_bounded() {
-    // The paper observes ~1200 distinct diverged-SC sets; our smaller
-    // CPU and campaign should still produce a rich set space that fits
-    // comfortably in a compact PTAR.
-    let ds = Dataset::new(campaign().records.clone());
+/// The paper observes ~1200 distinct diverged-SC sets; our smaller CPU
+/// and campaign should still produce a rich set space that fits
+/// comfortably in a compact PTAR.
+fn claim_distinct_sets_plentiful_but_bounded(c: &CampaignResult) {
+    let ds = Dataset::new(c.records.clone());
     let distinct = ds.distinct_dsr_sets();
     assert!(distinct > 50, "only {distinct} distinct sets — signatures degenerate");
     assert!(distinct < 4096, "{distinct} sets would not fit a 12-bit PTAR");
+}
+
+// ---------------------------------------------------------------------
+// Fast tier-1 tests: every claim against the shared default campaign.
+// ---------------------------------------------------------------------
+
+#[test]
+fn phenomenon_units_have_distinguishable_signatures() {
+    claim_distinguishable_signatures(campaign());
+}
+
+#[test]
+fn phenomenon_hard_errors_spread_over_more_sets() {
+    claim_hard_errors_spread_over_more_sets(campaign());
+}
+
+#[test]
+fn headline_prediction_reduces_lert_substantially() {
+    claim_prediction_reduces_lert(campaign());
+}
+
+#[test]
+fn location_only_prediction_also_wins() {
+    claim_location_only_prediction_wins(campaign());
+}
+
+#[test]
+fn type_prediction_beats_coin_flip_and_favours_soft() {
+    claim_type_prediction_beats_coin_flip(campaign());
+}
+
+#[test]
+fn fine_granularity_improves_lert() {
+    claim_fine_granularity_improves_lert(campaign());
+}
+
+#[test]
+fn topk_accuracy_grows_with_k_and_saturates() {
+    claim_topk_accuracy_grows_and_saturates(campaign());
+}
+
+#[test]
+fn distinct_sets_are_plentiful_but_bounded() {
+    claim_distinct_sets_plentiful_but_bounded(campaign());
 }
 
 #[test]
@@ -160,4 +214,26 @@ fn offchip_table_costs_nearly_nothing() {
     let (placement, _) = lockstep::eval::experiments::sec5b::run(campaign(), 7);
     assert!(placement.comb_overhead_pct().abs() < 1.0);
     assert!(placement.loc_overhead_pct().abs() < 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Full-scale variant, tier-2 only.
+// ---------------------------------------------------------------------
+
+/// The same claims at twice the injection count: confirms the fast
+/// campaign's margins are not a small-sample accident. One campaign,
+/// every claim.
+#[cfg(feature = "slow-tests")]
+#[test]
+#[ignore = "full-scale campaign; run with --features slow-tests -- --ignored"]
+fn full_scale_campaign_upholds_every_claim() {
+    let c = run_scaled(1800);
+    claim_distinguishable_signatures(&c);
+    claim_hard_errors_spread_over_more_sets(&c);
+    claim_prediction_reduces_lert(&c);
+    claim_location_only_prediction_wins(&c);
+    claim_type_prediction_beats_coin_flip(&c);
+    claim_fine_granularity_improves_lert(&c);
+    claim_topk_accuracy_grows_and_saturates(&c);
+    claim_distinct_sets_plentiful_but_bounded(&c);
 }
