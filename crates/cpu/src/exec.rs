@@ -163,6 +163,27 @@ pub fn compute_next(
         ports.set_bus(Sc::CsrWdataLo, Sc::CsrWdataHi, csr_write_value);
     }
 
+    // Write-through into the held ID operand latch. An instruction can
+    // wait in ID across the writeback of one of its sources (e.g. stuck
+    // behind a two-cycle MMIO load in MEM); the EX forwarding network
+    // only covers MEM and the same-cycle WB bypass, so without this the
+    // instruction would eventually issue with the operand it latched at
+    // decode time. If the front end advances this cycle the refresh is
+    // simply overwritten by the new decode.
+    if let Some((rd, v)) = rf_write {
+        if s.id_valid & 1 == 1 && s.id_exc & 3 == 0 {
+            if let Some(op) = Opcode::from_bits(u32::from(s.id_op)) {
+                let (src1, src2) = used_sources(op, s.id_rs1, s.id_rs2, s.id_rd);
+                if src1 == Some(rd) {
+                    n.iss_rv1 = v;
+                }
+                if src2 == Some(rd) {
+                    n.iss_rv2 = v;
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // MEM stage.
     // ------------------------------------------------------------------

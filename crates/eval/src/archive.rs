@@ -28,6 +28,20 @@ pub struct GoldenRunRepr {
     pub instructions: u64,
 }
 
+/// Fuzz-generated workload provenance: one seeded generator sweep the
+/// campaign drew programs from (v5+).
+///
+/// With this on record, `--workloads fuzz:<seed>:<count>` reproduces
+/// the exact program set of an archived campaign — the generator is a
+/// pure function of `(seed, index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzSpecRepr {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of generated programs from this seed.
+    pub count: u32,
+}
+
 /// A complete, serializable campaign result.
 ///
 /// `Deserialize` is written by hand (rather than derived) so that the
@@ -50,6 +64,10 @@ pub struct CampaignArchive {
     /// Divergence trace blobs aligned with `records` (v3+; empty when
     /// the campaign ran without tracing or the file predates v3).
     pub traces: Vec<Option<DivergenceTrace>>,
+    /// Fuzz generator seeds behind any `fuzz*` workloads (v5+; empty
+    /// for kernel-only campaigns or files that predate v5). Sorted by
+    /// seed.
+    pub fuzz: Vec<FuzzSpecRepr>,
 }
 
 impl Deserialize for CampaignArchive {
@@ -66,6 +84,10 @@ impl Deserialize for CampaignArchive {
             traces: match value.field("traces") {
                 Ok(v) => Deserialize::deserialize(v)?,
                 Err(_) => Vec::new(), // pre-v3 file
+            },
+            fuzz: match value.field("fuzz") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => Vec::new(), // pre-v5 file
             },
         })
     }
@@ -109,12 +131,14 @@ impl From<serde_json::Error> for ArchiveError {
 /// Current archive format version. v2 added the `stats` block
 /// (campaign throughput instrumentation); v3 added the optional
 /// `traces` blobs (divergence trace recorder); v4 records the replay
-/// mode in the stats block.
-pub const ARCHIVE_VERSION: u32 = 4;
+/// mode in the stats block; v5 records the generator seeds of
+/// fuzz-generated workloads.
+pub const ARCHIVE_VERSION: u32 = 5;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
-/// files simply have no trace blobs, and pre-v4 stats blocks default to
-/// shadow replay (the only mode that existed before v4).
+/// files simply have no trace blobs, pre-v4 stats blocks default to
+/// shadow replay (the only mode that existed before v4), and pre-v5
+/// files default to no fuzz provenance.
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -141,6 +165,7 @@ impl CampaignArchive {
                 .collect(),
             stats: result.stats.clone(),
             traces: result.traces.clone(),
+            fuzz: fuzz_provenance(result),
         }
     }
 
@@ -181,6 +206,12 @@ impl CampaignArchive {
         }
     }
 
+    /// The fuzz spec string (`fuzz:<seed>:<count>`) reproducing each
+    /// generated-workload sweep this archive drew from, if any.
+    pub fn fuzz_spec_strings(&self) -> Vec<String> {
+        self.fuzz.iter().map(|f| format!("fuzz:{}:{}", f.seed, f.count)).collect()
+    }
+
     /// Writes the archive as JSON.
     ///
     /// # Errors
@@ -208,6 +239,19 @@ impl CampaignArchive {
         }
         Ok(archive)
     }
+}
+
+/// Derives fuzz provenance from the campaign's golden workload names:
+/// `fuzzS_III` names group by seed, with `count` the number of programs
+/// seen per seed. Kernel workloads contribute nothing.
+fn fuzz_provenance(result: &CampaignResult) -> Vec<FuzzSpecRepr> {
+    let mut per_seed: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+    for (name, _) in &result.golden {
+        if let Some((seed, _index)) = lockstep_workloads::fuzz::parse_name(name) {
+            *per_seed.entry(seed).or_insert(0) += 1;
+        }
+    }
+    per_seed.into_iter().map(|(seed, count)| FuzzSpecRepr { seed, count }).collect()
 }
 
 #[cfg(test)]
@@ -389,6 +433,81 @@ mod tests {
         assert_eq!(loaded.stats.replay_mode, "shadow");
         assert_eq!(loaded.stats.injected, s.injected);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v4_archive_without_fuzz_provenance_still_loads() {
+        // A v4 writer serialized everything except the `fuzz` field.
+        #[derive(Serialize)]
+        struct ArchiveV4 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: CampaignStats,
+            traces: Vec<Option<DivergenceTrace>>,
+        }
+        let result = small_result();
+        let v4 = ArchiveV4 {
+            version: 4,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: result.stats.clone(),
+            traces: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v4_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v4).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v5 reader must accept v4 files");
+        assert_eq!(loaded.version, 4);
+        assert!(loaded.fuzz.is_empty(), "pre-v5 files default to no fuzz provenance");
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fuzz_campaigns_record_their_generator_seed() {
+        let spec = lockstep_workloads::fuzz::FuzzSpec { seed: 42, count: 3 };
+        let result = run_campaign(&CampaignConfig {
+            workloads: spec.workloads(),
+            faults_per_workload: 40,
+            seed: 5,
+            threads: 2,
+            capture_window: 8,
+            checkpoint_interval: Some(1024),
+            events: None,
+            trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
+        });
+        let archive = CampaignArchive::from_result(&result);
+        assert_eq!(archive.version, ARCHIVE_VERSION);
+        assert_eq!(archive.fuzz, vec![FuzzSpecRepr { seed: 42, count: 3 }]);
+        assert_eq!(archive.fuzz_spec_strings(), vec!["fuzz:42:3".to_owned()]);
+
+        // Round-trips through JSON, and `into_result` regenerates the
+        // same interned workloads from the archived names.
+        let json = serde_json::to_string(&archive).unwrap();
+        let back: CampaignArchive = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fuzz, archive.fuzz);
+        let restored = back.into_result();
+        assert_eq!(restored.golden.len(), 3);
+        assert_eq!(restored.golden[0].0, "fuzz42_000");
+
+        // Kernel-only campaigns stay provenance-free.
+        let plain = CampaignArchive::from_result(&small_result());
+        assert!(plain.fuzz.is_empty());
     }
 
     #[test]

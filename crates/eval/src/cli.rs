@@ -5,7 +5,11 @@
 //! * `--faults N` — fault injections per workload (default 2000);
 //! * `--seed S` — campaign master seed (default 2018, the paper's year);
 //! * `--threads T` — worker threads (default: available parallelism);
-//! * `--workloads a,b,c` — subset of kernels (default: full suite);
+//! * `--workloads a,b,c` — subset of kernels (default: full suite).
+//!   A token of the form `fuzz:<seed>[:<count>]` expands to `count`
+//!   (default 8) deterministic fuzz-generated programs from the seeded
+//!   generator, e.g. `--workloads fuzz:42:16` or mixed with kernels as
+//!   `--workloads rspeed,fuzz:42`;
 //! * `--checkpoint-interval K` — golden checkpoint spacing in cycles
 //!   (default 4096; `0` disables checkpointing and replays every
 //!   injection from reset);
@@ -23,7 +27,7 @@
 use std::sync::Arc;
 
 use lockstep_obs::{EventSink, JsonlSink};
-use lockstep_workloads::Workload;
+use lockstep_workloads::{fuzz, Workload};
 
 use crate::campaign::{
     CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
@@ -81,13 +85,25 @@ impl CommonArgs {
                 }
                 "--workloads" => {
                     let list = value("--workloads");
-                    out.workloads = list
-                        .split(',')
-                        .map(|name| {
-                            Workload::find(name.trim())
-                                .unwrap_or_else(|| die(&format!("unknown workload `{name}`")))
-                        })
-                        .collect();
+                    out.workloads = Vec::new();
+                    for name in list.split(',') {
+                        let name = name.trim();
+                        // `fuzz:<seed>[:<count>]` expands to generated
+                        // workloads (see lockstep_workloads::fuzz).
+                        if let Some(spec) = name.strip_prefix("fuzz:") {
+                            let spec = fuzz::FuzzSpec::parse(spec).unwrap_or_else(|| {
+                                die(&format!(
+                                    "bad fuzz spec `{name}` (expected fuzz:<seed>[:<count>])"
+                                ))
+                            });
+                            out.workloads.extend(spec.workloads());
+                        } else {
+                            out.workloads.push(
+                                Workload::find(name)
+                                    .unwrap_or_else(|| die(&format!("unknown workload `{name}`"))),
+                            );
+                        }
+                    }
                 }
                 "--checkpoint-interval" => {
                     let k: u64 = value("--checkpoint-interval")
@@ -115,7 +131,8 @@ impl CommonArgs {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: [--faults N] [--seed S] [--threads T] [--workloads a,b,c] \
+                        "usage: [--faults N] [--seed S] [--threads T] \
+                         [--workloads a,b,c | fuzz:<seed>[:<count>]] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
                          [--trace-window N (0 = off)] [--replay-mode shadow|lockstep]"
                     );
@@ -182,6 +199,22 @@ mod tests {
         let a = parse(&["--workloads", "rspeed,ttsprk"]);
         assert_eq!(a.workloads.len(), 2);
         assert_eq!(a.workloads[0].name, "rspeed");
+    }
+
+    #[test]
+    fn fuzz_workload_specs_expand() {
+        let a = parse(&["--workloads", "fuzz:42"]);
+        assert_eq!(a.workloads.len(), fuzz::DEFAULT_FUZZ_COUNT as usize);
+        assert_eq!(a.workloads[0].name, "fuzz42_000");
+
+        let a = parse(&["--workloads", "rspeed,fuzz:7:3"]);
+        assert_eq!(a.workloads.len(), 4);
+        assert_eq!(a.workloads[0].name, "rspeed");
+        assert_eq!(a.workloads[3].name, "fuzz7_002");
+
+        // Same spec twice → the same interned instances.
+        let b = parse(&["--workloads", "fuzz:7:3"]);
+        assert!(std::ptr::eq(a.workloads[1], b.workloads[0]));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Differential fuzzing driver: LR5 pipeline vs. reference ISS.
+//!
+//! ```text
+//! fuzz_differential --seed 42 --count 500 [--threads N] [--repro-dir DIR] [--emit IDX]
+//! ```
+//!
+//! Runs `count` generated programs through both executors. On any
+//! mismatch the program is minimized, written to `--repro-dir`
+//! (default `tests/repros/`), and the process exits 1 — which is what
+//! the nightly CI lane keys its artifact upload on. `--emit IDX`
+//! prints one generated program and exits, for eyeballing the corpus.
+
+use lockstep_iss::diff::{run_fuzz, stimulus_seed, DiffVerdict};
+use lockstep_iss::minimize::{minimize, write_repro};
+use lockstep_workloads::fuzz::generate_source;
+
+struct Args {
+    seed: u64,
+    count: u32,
+    threads: usize,
+    repro_dir: std::path::PathBuf,
+    emit: Option<u32>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: fuzz_differential --seed N --count N [--threads N] [--repro-dir DIR] [--emit IDX]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        count: 500,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        repro_dir: std::path::PathBuf::from("tests/repros"),
+        emit: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value =
+            || -> String { argv.next().unwrap_or_else(|| die(&format!("{flag} needs a value"))) };
+        match flag.as_str() {
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| die("bad --seed")),
+            "--count" => args.count = value().parse().unwrap_or_else(|_| die("bad --count")),
+            "--threads" => args.threads = value().parse().unwrap_or_else(|_| die("bad --threads")),
+            "--repro-dir" => args.repro_dir = value().into(),
+            "--emit" => args.emit = Some(value().parse().unwrap_or_else(|_| die("bad --emit"))),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.count == 0 {
+        die("--count must be at least 1");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(index) = args.emit {
+        print!("{}", generate_source(args.seed, index));
+        return;
+    }
+
+    eprintln!("fuzz: seed {} x {} programs on {} thread(s)", args.seed, args.count, args.threads);
+    let report = run_fuzz(args.seed, args.count, args.threads, None);
+    let mismatches = report.mismatches();
+    eprintln!(
+        "fuzz: {} programs, {} instructions retired, {} mismatch(es)",
+        report.cases.len(),
+        report.total_retired(),
+        mismatches.len()
+    );
+
+    if mismatches.is_empty() {
+        return;
+    }
+    for &index in &mismatches {
+        let case = &report.cases[index as usize];
+        if let DiffVerdict::Mismatch(detail) = &case.outcome.verdict {
+            eprintln!("MISMATCH seed {} program {index}: {detail}", args.seed);
+        }
+        let src = generate_source(args.seed, index);
+        let stim = stimulus_seed(args.seed, index);
+        match minimize(&src, args.seed, index, stim, None) {
+            Some(repro) => match write_repro(&repro, &args.repro_dir) {
+                Ok(path) => eprintln!(
+                    "  minimized to {} instruction(s): {}",
+                    repro.instructions,
+                    path.display()
+                ),
+                Err(e) => eprintln!("  failed to write repro: {e}"),
+            },
+            None => eprintln!("  mismatch did not reproduce under the minimizer"),
+        }
+    }
+    std::process::exit(1);
+}

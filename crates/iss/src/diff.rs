@@ -1,0 +1,345 @@
+//! The differential runner: LR5 pipeline vs. reference interpreter.
+//!
+//! Both executors run the same assembled program against their own copy
+//! of the memory system (same stimulus seed → identical sensor streams,
+//! since sensor values depend only on per-channel read counts). The
+//! comparison covers:
+//!
+//! * the **retired-instruction effect stream** — `(pc, raw, rd, value)`
+//!   per retire, read from the pipeline's architectural retire/writeback
+//!   ports and from the interpreter's step results;
+//! * **final architectural state** — all 31 registers, the CSR file,
+//!   and the retired-instruction count;
+//! * **memory effects** — the output-capture log and checksum, and the
+//!   RAM scratch window fuzz programs store into.
+//!
+//! Any difference is a [`DiffVerdict::Mismatch`] with a deterministic,
+//! human-readable detail string (no timestamps, no pointers), so the
+//! same program always produces byte-identical verdicts — including
+//! across worker-thread counts in [`run_fuzz`].
+
+use lockstep_cpu::{Cpu, PortSet, Sc};
+use lockstep_mem::MemoryPort;
+use lockstep_workloads::fuzz::{generate_source, SCRATCH_BASE, SCRATCH_BYTES};
+use lockstep_workloads::RAM_BYTES;
+
+use crate::interp::{Interp, Quirk, Retired};
+
+/// Default cycle budget for the pipelined model (well above any
+/// generated program's runtime).
+pub const DEFAULT_MAX_CYCLES: u64 = 400_000;
+
+/// How a differential run of one program ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffVerdict {
+    /// Both executors halted with identical retire streams, final
+    /// architectural state and memory effects.
+    Match,
+    /// The executors disagreed; the string pinpoints the first
+    /// difference.
+    Mismatch(String),
+    /// The program failed to assemble (only possible for minimizer
+    /// candidates and hand-written repros).
+    AsmError(String),
+    /// One executor failed to halt within its budget — reported
+    /// separately from [`DiffVerdict::Mismatch`] so the minimizer never
+    /// "simplifies" a divergence into a program that merely runs off
+    /// the end.
+    NoHalt(String),
+}
+
+impl DiffVerdict {
+    /// `true` only for a genuine semantic divergence.
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, DiffVerdict::Mismatch(_))
+    }
+}
+
+/// Outcome of one differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// The verdict.
+    pub verdict: DiffVerdict,
+    /// Instructions the interpreter retired.
+    pub iss_retired: u64,
+    /// Cycles the pipeline ran.
+    pub lr5_cycles: u64,
+}
+
+/// Runs `source` on both executors and compares them.
+///
+/// `quirk` installs a deliberate interpreter perturbation (test-only).
+pub fn run_differential(
+    source: &str,
+    stimulus_seed: u64,
+    max_cycles: u64,
+    quirk: Option<Quirk>,
+) -> DiffOutcome {
+    let program = match lockstep_asm::assemble(source) {
+        Ok(p) => p,
+        Err(e) => {
+            return DiffOutcome {
+                verdict: DiffVerdict::AsmError(e.to_string()),
+                iss_retired: 0,
+                lr5_cycles: 0,
+            }
+        }
+    };
+    let image = program.to_bytes(RAM_BYTES);
+
+    // --- reference interpreter ---
+    let mut iss_mem = lockstep_mem::Memory::new(RAM_BYTES, stimulus_seed);
+    iss_mem.load_image(&image);
+    let mut iss = match quirk {
+        Some(q) => Interp::with_quirk(0, q),
+        None => Interp::new(0),
+    };
+    let iss_stream = iss.run(&mut iss_mem, max_cycles);
+    let iss_retired = iss.instret;
+
+    // --- pipelined model under test ---
+    let mut lr5_mem = lockstep_mem::Memory::new(RAM_BYTES, stimulus_seed);
+    lr5_mem.load_image(&image);
+    let mut cpu = Cpu::new(0);
+    let mut ports = PortSet::new();
+    let mut lr5_stream: Vec<Retired> = Vec::new();
+    let mut lr5_cycles = 0u64;
+    let mut lr5_halted = false;
+    while lr5_cycles < max_cycles {
+        lr5_cycles += 1;
+        let info = cpu.step(&mut lr5_mem, &mut ports);
+        if ports.get(Sc::RetCtl) & 1 == 1 {
+            let wb_ctl = ports.get(Sc::WbCtl);
+            lr5_stream.push(Retired {
+                pc: bus(&ports, Sc::RetPcLo, Sc::RetPcHi),
+                raw: bus(&ports, Sc::RetInstrLo, Sc::RetInstrHi),
+                writes_rd: wb_ctl & 1 == 1,
+                rd: (wb_ctl >> 1 & 0x1F) as u8,
+                value: bus(&ports, Sc::WbDataLo, Sc::WbDataHi),
+            });
+        }
+        if info.halted {
+            lr5_halted = true;
+            break;
+        }
+    }
+
+    let outcome = |verdict| DiffOutcome { verdict, iss_retired, lr5_cycles };
+
+    if !iss.halted {
+        return outcome(DiffVerdict::NoHalt(format!(
+            "ISS did not halt within {max_cycles} instructions (pc={:#x})",
+            iss.pc
+        )));
+    }
+    if !lr5_halted {
+        return outcome(DiffVerdict::NoHalt(format!(
+            "LR5 did not halt within {max_cycles} cycles"
+        )));
+    }
+
+    // --- retire streams ---
+    let n = iss_stream.len().min(lr5_stream.len());
+    for k in 0..n {
+        if iss_stream[k] != lr5_stream[k] {
+            return outcome(DiffVerdict::Mismatch(format!(
+                "retire #{k}: iss {:?} vs lr5 {:?}",
+                iss_stream[k], lr5_stream[k]
+            )));
+        }
+    }
+    if iss_stream.len() != lr5_stream.len() {
+        return outcome(DiffVerdict::Mismatch(format!(
+            "retire stream length: iss {} vs lr5 {}",
+            iss_stream.len(),
+            lr5_stream.len()
+        )));
+    }
+
+    // --- final architectural state ---
+    let s = cpu.state();
+    for idx in 1..32usize {
+        if iss.reg(idx) != s.reg(idx) {
+            return outcome(DiffVerdict::Mismatch(format!(
+                "final r{idx}: iss {:#x} vs lr5 {:#x}",
+                iss.reg(idx),
+                s.reg(idx)
+            )));
+        }
+    }
+    let csrs = [
+        ("status", iss.csr_status, s.csr_status),
+        ("cause", iss.csr_cause, s.csr_cause),
+        ("epc", iss.csr_epc, s.csr_epc),
+        ("tvec", iss.csr_tvec, s.csr_tvec),
+        ("scratch0", iss.csr_scratch0, s.csr_scratch0),
+        ("scratch1", iss.csr_scratch1, s.csr_scratch1),
+        ("misr", iss.csr_misr, s.csr_misr),
+    ];
+    for (name, i, l) in csrs {
+        if i != l {
+            return outcome(DiffVerdict::Mismatch(format!(
+                "final csr {name}: iss {i:#x} vs lr5 {l:#x}"
+            )));
+        }
+    }
+    if iss.instret != s.instret {
+        return outcome(DiffVerdict::Mismatch(format!(
+            "instret: iss {} vs lr5 {}",
+            iss.instret, s.instret
+        )));
+    }
+
+    // --- memory effects ---
+    if iss_mem.output_log() != lr5_mem.output_log()
+        || iss_mem.output_checksum() != lr5_mem.output_checksum()
+    {
+        return outcome(DiffVerdict::Mismatch(format!(
+            "output capture: iss {} writes (checksum {:#x}) vs lr5 {} writes (checksum {:#x})",
+            iss_mem.output_log().len(),
+            iss_mem.output_checksum(),
+            lr5_mem.output_log().len(),
+            lr5_mem.output_checksum()
+        )));
+    }
+    for off in (0..SCRATCH_BYTES).step_by(4) {
+        let addr = SCRATCH_BASE + off;
+        let a = iss_mem.read(addr).unwrap_or(0);
+        let b = lr5_mem.read(addr).unwrap_or(0);
+        if a != b {
+            return outcome(DiffVerdict::Mismatch(format!(
+                "scratch word {addr:#x}: iss {a:#x} vs lr5 {b:#x}"
+            )));
+        }
+    }
+
+    outcome(DiffVerdict::Match)
+}
+
+fn bus(ports: &PortSet, lo: Sc, hi: Sc) -> u32 {
+    ports.get(lo) | ports.get(hi) << 16
+}
+
+/// One generated program's differential result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Program index within the seed.
+    pub index: u32,
+    /// Differential outcome.
+    pub outcome: DiffOutcome,
+}
+
+/// Aggregate result of a fuzz sweep over `count` generated programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Generator seed.
+    pub seed: u64,
+    /// Per-program outcomes, in index order (thread-count independent).
+    pub cases: Vec<FuzzCase>,
+}
+
+impl FuzzReport {
+    /// Indices of the programs whose executors disagreed.
+    pub fn mismatches(&self) -> Vec<u32> {
+        self.cases.iter().filter(|c| c.outcome.verdict.is_mismatch()).map(|c| c.index).collect()
+    }
+
+    /// Total instructions the interpreter retired across the sweep.
+    pub fn total_retired(&self) -> u64 {
+        self.cases.iter().map(|c| c.outcome.iss_retired).sum()
+    }
+}
+
+/// Runs the differential check over `count` programs generated from
+/// `seed`, spread across `threads` workers.
+///
+/// The report is **identical for every thread count**: programs are
+/// generated per-index (never from shared RNG state) and results are
+/// reassembled in index order. The same stimulus seed is derived from
+/// the generator seed, so the whole sweep is a pure function of
+/// `(seed, count)`.
+pub fn run_fuzz(seed: u64, count: u32, threads: usize, quirk: Option<Quirk>) -> FuzzReport {
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicU32::new(0);
+    let mut cases: Vec<Option<FuzzCase>> = vec![None; count as usize];
+    let slots = std::sync::Mutex::new(&mut cases);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count as usize).max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= count {
+                    return;
+                }
+                let source = generate_source(seed, index);
+                let outcome = run_differential(
+                    &source,
+                    stimulus_seed(seed, index),
+                    DEFAULT_MAX_CYCLES,
+                    quirk,
+                );
+                let case = FuzzCase { index, outcome };
+                slots.lock().expect("fuzz slots poisoned")[index as usize] = Some(case);
+            });
+        }
+    });
+    FuzzReport { seed, cases: cases.into_iter().map(|c| c.expect("every index ran")).collect() }
+}
+
+/// The stimulus seed a fuzz program is checked under (also what the
+/// repro files record).
+pub fn stimulus_seed(seed: u64, index: u32) -> u64 {
+    seed.rotate_left(17) ^ u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_kernels_match() {
+        // The hand-written suite is the strongest anchor: every kernel
+        // must agree between the two executors.
+        for w in lockstep_workloads::Workload::all().iter().take(4) {
+            let out = run_differential(w.source, 7, DEFAULT_MAX_CYCLES, None);
+            assert_eq!(out.verdict, DiffVerdict::Match, "{} diverged: {:?}", w.name, out.verdict);
+            assert!(out.iss_retired > 50);
+        }
+    }
+
+    #[test]
+    fn generated_programs_match() {
+        let report = run_fuzz(2018, 16, 4, None);
+        assert_eq!(report.mismatches(), Vec::<u32>::new());
+        assert!(report.total_retired() > 1000);
+    }
+
+    #[test]
+    fn quirk_is_detected() {
+        // With a perturbed interpreter, some generated program must
+        // expose the difference (sub is common in the pool).
+        let report = run_fuzz(2018, 8, 2, Some(Quirk::SubOffByOne));
+        assert!(!report.mismatches().is_empty(), "seeded bug went undetected");
+    }
+
+    #[test]
+    fn verdicts_are_thread_count_independent() {
+        let a = run_fuzz(99, 10, 1, None);
+        let b = run_fuzz(99, 10, 4, None);
+        let c = run_fuzz(99, 10, 8, None);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn asm_errors_are_reported_not_panicked() {
+        let out = run_differential("bogus instruction\n", 7, 1000, None);
+        assert!(matches!(out.verdict, DiffVerdict::AsmError(_)));
+    }
+
+    #[test]
+    fn missing_ecall_is_no_halt() {
+        let out = run_differential("nop\nnop\n", 7, 2000, None);
+        assert!(matches!(out.verdict, DiffVerdict::NoHalt(_)));
+        assert!(!out.verdict.is_mismatch());
+    }
+}

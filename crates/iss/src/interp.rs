@@ -1,0 +1,434 @@
+//! The architectural reference interpreter (ISS).
+//!
+//! A straight-line, non-pipelined executor for the LR5 instruction set:
+//! fetch → decode → execute → retire, one instruction at a time, in
+//! program order. It depends only on `lockstep-isa` (the instruction
+//! definitions) and `lockstep-mem` (the memory port trait) and shares
+//! **no code** with the pipelined executor in `lockstep-cpu` — every
+//! semantic (ALU, shifts, multiply/divide, load lanes, store strobes,
+//! CSR behaviour, trap vectoring) is written down a second time, from
+//! the ISA documentation rather than from the pipeline. That
+//! independence is what makes agreement between the two executors
+//! meaningful evidence of correctness (see DESIGN.md §9).
+//!
+//! The ISS models *architectural* state only: the 31 writable registers,
+//! the PC, the CSR file, and the retired-instruction counter. It has no
+//! cycle counter — `csrr cycle` is documented as microarchitectural and
+//! excluded from differential comparison (the fuzz generator never emits
+//! it).
+
+use lockstep_isa::{Csr, Instr, Opcode, TrapCause, DEFAULT_TRAP_VECTOR, RESET_PC};
+use lockstep_mem::MemoryPort;
+
+/// A deliberate, test-only semantic perturbation.
+///
+/// The minimizer test suite injects one of these to prove the harness
+/// detects and shrinks a real divergence; production differential runs
+/// always use `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quirk {
+    /// `sub` computes `a - b + 1`.
+    SubOffByOne,
+    /// `sra` loses its sign extension (behaves as `srl`).
+    SraAsSrl,
+}
+
+/// The effect of one retired instruction, as both executors report it:
+/// where it was, what it was, and what it wrote back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// PC of the retired instruction.
+    pub pc: u32,
+    /// Raw 32-bit encoding.
+    pub raw: u32,
+    /// `true` if the opcode class writes a destination register.
+    pub writes_rd: bool,
+    /// Destination register index (0 when none).
+    pub rd: u8,
+    /// The writeback value reported on the retire interface (the
+    /// architectural result; 0 for branches, stores and `ecall`; the
+    /// written value for `csrw`).
+    pub value: u32,
+}
+
+/// What one [`Interp::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IssStep {
+    /// The instruction that retired this step, if any (traps don't
+    /// retire).
+    pub retired: Option<Retired>,
+    /// A trap was taken, redirecting to the vector.
+    pub trap: Option<TrapCause>,
+    /// The interpreter is halted (`ecall` retired).
+    pub halted: bool,
+}
+
+/// The architectural machine state of the reference interpreter.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    regs: [u32; 31],
+    /// Next instruction address.
+    pub pc: u32,
+    /// Retired instructions.
+    pub instret: u64,
+    /// `true` once an `ecall` has retired.
+    pub halted: bool,
+    /// `status` CSR.
+    pub csr_status: u32,
+    /// `cause` CSR.
+    pub csr_cause: u32,
+    /// `epc` CSR.
+    pub csr_epc: u32,
+    /// `tvec` CSR.
+    pub csr_tvec: u32,
+    /// `scratch0` CSR.
+    pub csr_scratch0: u32,
+    /// `scratch1` CSR.
+    pub csr_scratch1: u32,
+    /// `misr` signature CSR.
+    pub csr_misr: u32,
+    hartid: u8,
+    quirk: Option<Quirk>,
+}
+
+impl Interp {
+    /// A reset interpreter for `hartid`, fetching from [`RESET_PC`].
+    pub fn new(hartid: u8) -> Interp {
+        Interp {
+            regs: [0; 31],
+            pc: RESET_PC,
+            instret: 0,
+            halted: false,
+            csr_status: 0,
+            csr_cause: 0,
+            csr_epc: 0,
+            csr_tvec: 0,
+            csr_scratch0: 0,
+            csr_scratch1: 0,
+            csr_misr: 0,
+            hartid,
+            quirk: None,
+        }
+    }
+
+    /// A reset interpreter with a deliberate semantic perturbation
+    /// installed (test-only; see [`Quirk`]).
+    pub fn with_quirk(hartid: u8, quirk: Quirk) -> Interp {
+        Interp { quirk: Some(quirk), ..Interp::new(hartid) }
+    }
+
+    /// Reads register `idx` (0 is hardwired zero).
+    pub fn reg(&self, idx: usize) -> u32 {
+        if idx == 0 {
+            0
+        } else {
+            self.regs[idx - 1]
+        }
+    }
+
+    fn set_reg(&mut self, idx: usize, value: u32) {
+        if idx != 0 {
+            self.regs[idx - 1] = value;
+        }
+    }
+
+    fn read_csr(&self, bits: u32) -> u32 {
+        match Csr::from_bits(bits) {
+            // The ISS has no cycle counter; `cycle` reads are
+            // microarchitectural and excluded from comparison.
+            Some(Csr::Cycle) => 0,
+            Some(Csr::Instret) => self.instret as u32,
+            Some(Csr::Status) => self.csr_status,
+            Some(Csr::Cause) => self.csr_cause,
+            Some(Csr::Epc) => self.csr_epc,
+            Some(Csr::Tvec) => self.csr_tvec,
+            Some(Csr::Scratch0) => self.csr_scratch0,
+            Some(Csr::Scratch1) => self.csr_scratch1,
+            Some(Csr::Misr) => self.csr_misr,
+            Some(Csr::Hartid) => u32::from(self.hartid & 3),
+            None => 0,
+        }
+    }
+
+    fn write_csr(&mut self, bits: u32, value: u32) {
+        match Csr::from_bits(bits) {
+            Some(Csr::Status) => self.csr_status = value,
+            Some(Csr::Cause) => self.csr_cause = value,
+            Some(Csr::Epc) => self.csr_epc = value,
+            Some(Csr::Tvec) => self.csr_tvec = value,
+            Some(Csr::Scratch0) => self.csr_scratch0 = value,
+            Some(Csr::Scratch1) => self.csr_scratch1 = value,
+            Some(Csr::Misr) => self.csr_misr = lockstep_isa::csr::misr_fold(self.csr_misr, value),
+            // Read-only and unknown CSRs ignore writes.
+            _ => {}
+        }
+    }
+
+    fn trap(&mut self, cause: TrapCause, epc: u32) -> IssStep {
+        self.csr_cause = cause.code();
+        self.csr_epc = epc;
+        self.pc = if self.csr_tvec != 0 { self.csr_tvec & !3 } else { DEFAULT_TRAP_VECTOR };
+        IssStep { retired: None, trap: Some(cause), halted: false }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Fetches from `self.pc`, decodes, executes architecturally, and
+    /// either retires (advancing `instret`) or traps to the vector.
+    /// Once halted, further steps are no-ops reporting `halted`.
+    pub fn step(&mut self, mem: &mut dyn MemoryPort) -> IssStep {
+        if self.halted {
+            return IssStep { retired: None, trap: None, halted: true };
+        }
+        let pc = self.pc;
+        let Ok(raw) = mem.fetch(pc & !3) else {
+            return self.trap(TrapCause::BusError, pc);
+        };
+        let Ok(i) = Instr::decode(raw) else {
+            return self.trap(TrapCause::IllegalInstruction, pc);
+        };
+        let a = self.reg(i.rs1.index());
+        let b = self.reg(i.rs2.index());
+        let imm = i.imm as u32;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut halted = false;
+
+        // The architectural result, as the retire interface reports it.
+        let value = match i.op {
+            Opcode::Add => a.wrapping_add(b),
+            Opcode::Sub => {
+                let r = a.wrapping_sub(b);
+                if self.quirk == Some(Quirk::SubOffByOne) {
+                    r.wrapping_add(1)
+                } else {
+                    r
+                }
+            }
+            Opcode::And => a & b,
+            Opcode::Or => a | b,
+            Opcode::Xor => a ^ b,
+            Opcode::Slt => u32::from((a as i32) < (b as i32)),
+            Opcode::Sltu => u32::from(a < b),
+            Opcode::Sll => a.wrapping_shl(b & 31),
+            Opcode::Srl => a.wrapping_shr(b & 31),
+            Opcode::Sra => self.sra(a, b & 31),
+            Opcode::Mul => a.wrapping_mul(b),
+            Opcode::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+            Opcode::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+            Opcode::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    (a as i32).wrapping_div(b as i32) as u32
+                }
+            }
+            Opcode::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            Opcode::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    (a as i32).wrapping_rem(b as i32) as u32
+                }
+            }
+            Opcode::Remu => a.checked_rem(b).unwrap_or(a),
+            Opcode::Addi => a.wrapping_add(imm),
+            Opcode::Slti => u32::from((a as i32) < (i.imm)),
+            Opcode::Sltiu => u32::from(a < imm),
+            Opcode::Andi => a & (imm & 0xFFFF),
+            Opcode::Ori => a | (imm & 0xFFFF),
+            Opcode::Xori => a ^ (imm & 0xFFFF),
+            Opcode::Slli => a.wrapping_shl(imm & 31),
+            Opcode::Srli => a.wrapping_shr(imm & 31),
+            Opcode::Srai => self.sra(a, imm & 31),
+            Opcode::Lui => imm << 16,
+            Opcode::Lb | Opcode::Lbu | Opcode::Lh | Opcode::Lhu | Opcode::Lw => {
+                let addr = a.wrapping_add(imm);
+                let size = i.op.access_size().expect("load");
+                if !addr.is_multiple_of(size) {
+                    return self.trap(TrapCause::MisalignedAccess, pc);
+                }
+                let Ok(word) = mem.read(addr & !3) else {
+                    return self.trap(TrapCause::BusError, pc);
+                };
+                load_value(i.op, word, addr)
+            }
+            Opcode::Sb | Opcode::Sh | Opcode::Sw => {
+                let addr = a.wrapping_add(imm);
+                let size = i.op.access_size().expect("store");
+                if !addr.is_multiple_of(size) {
+                    return self.trap(TrapCause::MisalignedAccess, pc);
+                }
+                let data = self.reg(i.rd.index());
+                let (wdata, mask) = store_value(size, addr, data);
+                if mem.write(addr & !3, wdata, mask).is_err() {
+                    return self.trap(TrapCause::BusError, pc);
+                }
+                0
+            }
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu => {
+                let taken = match i.op {
+                    Opcode::Beq => a == b,
+                    Opcode::Bne => a != b,
+                    Opcode::Blt => (a as i32) < (b as i32),
+                    Opcode::Bge => (a as i32) >= (b as i32),
+                    Opcode::Bltu => a < b,
+                    _ => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(imm.wrapping_shl(2)) & !3;
+                }
+                0
+            }
+            Opcode::Jal => {
+                next_pc = pc.wrapping_add(imm.wrapping_shl(2)) & !3;
+                pc.wrapping_add(4)
+            }
+            Opcode::Jalr => {
+                next_pc = a.wrapping_add(imm) & !3;
+                pc.wrapping_add(4)
+            }
+            // The SCU decodes a 4-bit CSR select, exactly as the
+            // pipeline's serialized CSR unit does.
+            Opcode::Csrr => self.read_csr(imm & 0xF),
+            Opcode::Csrw => {
+                self.write_csr(imm & 0xF, a);
+                a
+            }
+            Opcode::Ecall => {
+                halted = true;
+                0
+            }
+            Opcode::Ebreak => {
+                return self.trap(TrapCause::Breakpoint, pc);
+            }
+        };
+
+        let writes_rd = i.op.writes_rd();
+        if writes_rd {
+            self.set_reg(i.rd.index(), value);
+        }
+        self.pc = next_pc;
+        self.instret += 1;
+        self.halted = halted;
+        IssStep {
+            retired: Some(Retired { pc, raw, writes_rd, rd: i.rd.index() as u8, value }),
+            trap: None,
+            halted,
+        }
+    }
+
+    /// Runs until halt, trap-loop exhaustion, or `max_instrs` retires.
+    /// Returns the retired-effect stream.
+    pub fn run(&mut self, mem: &mut dyn MemoryPort, max_instrs: u64) -> Vec<Retired> {
+        let mut retired = Vec::new();
+        while !self.halted && (retired.len() as u64) < max_instrs {
+            let s = self.step(mem);
+            if let Some(r) = s.retired {
+                retired.push(r);
+            }
+            if s.halted {
+                break;
+            }
+        }
+        retired
+    }
+
+    fn sra(&self, a: u32, sh: u32) -> u32 {
+        if self.quirk == Some(Quirk::SraAsSrl) {
+            a.wrapping_shr(sh)
+        } else {
+            ((a as i32) >> sh) as u32
+        }
+    }
+}
+
+/// Extracts a load result from the fetched word by access size, address
+/// lane and signedness.
+fn load_value(op: Opcode, word: u32, addr: u32) -> u32 {
+    match op {
+        Opcode::Lw => word,
+        Opcode::Lh => (word >> (8 * (addr & 2))) as u16 as i16 as i32 as u32,
+        Opcode::Lhu => (word >> (8 * (addr & 2))) & 0xFFFF,
+        Opcode::Lb => (word >> (8 * (addr & 3))) as u8 as i8 as i32 as u32,
+        _ => (word >> (8 * (addr & 3))) & 0xFF,
+    }
+}
+
+/// Positions store data in its byte lanes with the matching strobe mask.
+fn store_value(size: u32, addr: u32, data: u32) -> (u32, u8) {
+    match size {
+        4 => (data, 0b1111),
+        2 => ((data & 0xFFFF) << (8 * (addr & 2)), 0b0011 << (addr & 2)),
+        _ => ((data & 0xFF) << (8 * (addr & 3)), 1 << (addr & 3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_mem::Memory;
+
+    fn run_asm(src: &str) -> (Interp, Memory) {
+        let p = lockstep_asm::assemble(src).expect("assembles");
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&p.to_bytes(64 * 1024));
+        let mut iss = Interp::new(0);
+        iss.run(&mut mem, 100_000);
+        (iss, mem)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (iss, _) = run_asm("li a0, 20\nli a1, 22\nadd a2, a0, a1\necall\n");
+        assert_eq!(iss.reg(12), 42);
+        assert!(iss.halted);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let (iss, _) = run_asm(
+            "li t0, 0x4000\nli t1, 0x12345678\nsw t1, 0(t0)\nlb a0, 1(t0)\nlhu a1, 2(t0)\necall\n",
+        );
+        assert_eq!(iss.reg(10), 0x56);
+        assert_eq!(iss.reg(11), 0x1234);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let (iss, _) = run_asm("li a0, 17\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\necall\n");
+        assert_eq!(iss.reg(12), u32::MAX);
+        assert_eq!(iss.reg(13), 17);
+    }
+
+    #[test]
+    fn misr_folds_like_the_scu() {
+        let (iss, _) = run_asm("li t0, 5\ncsrw misr, t0\ncsrw misr, t0\necall\n");
+        let expect = lockstep_isa::csr::misr_fold(lockstep_isa::csr::misr_fold(0, 5), 5);
+        assert_eq!(iss.csr_misr, expect);
+    }
+
+    #[test]
+    fn ebreak_traps_to_default_vector() {
+        let mut mem = Memory::new(64 * 1024, 7);
+        let p = lockstep_asm::assemble("nop\nebreak\n").unwrap();
+        mem.load_image(&p.to_bytes(64 * 1024));
+        let mut iss = Interp::new(0);
+        assert!(iss.step(&mut mem).retired.is_some());
+        let s = iss.step(&mut mem);
+        assert_eq!(s.trap, Some(TrapCause::Breakpoint));
+        assert_eq!(iss.pc, lockstep_isa::DEFAULT_TRAP_VECTOR);
+        assert_eq!(iss.csr_epc, 4);
+    }
+
+    #[test]
+    fn quirk_perturbs_sub_only() {
+        let src = "li a0, 9\nli a1, 4\nsub a2, a0, a1\nadd a3, a0, a1\necall\n";
+        let p = lockstep_asm::assemble(src).unwrap();
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&p.to_bytes(64 * 1024));
+        let mut iss = Interp::with_quirk(0, Quirk::SubOffByOne);
+        iss.run(&mut mem, 1000);
+        assert_eq!(iss.reg(12), 6, "quirked sub is off by one");
+        assert_eq!(iss.reg(13), 13, "add unaffected");
+    }
+}

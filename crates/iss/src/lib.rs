@@ -1,0 +1,32 @@
+//! Architectural reference interpreter and differential fuzzer for LR5.
+//!
+//! The paper's methodology (Section IV) treats the pipelined CPU as
+//! ground truth for lockstep comparison — but nothing validates the
+//! pipeline's *architectural* behaviour itself. This crate closes that
+//! gap with a classic ISS-vs-RTL differential setup:
+//!
+//! * [`interp`] — a standalone instruction-set simulator built purely on
+//!   `lockstep-isa` + `lockstep-mem`. It shares **no execution code**
+//!   with `lockstep-cpu`; every instruction's semantics are
+//!   re-implemented from the ISA definition, so a bug in the pipeline's
+//!   `exec.rs` cannot silently agree with itself.
+//! * [`diff`] — runs a program on both executors and compares retired
+//!   instruction effects, final architectural state, and memory
+//!   side effects, with a deterministic verdict.
+//! * [`mod@minimize`] — shrinks a mismatching generated program to a short
+//!   standalone `.asm` repro suitable for committing as a regression
+//!   test.
+//!
+//! Program generation lives in `lockstep_workloads::fuzz` so campaigns
+//! can run fuzz-generated workloads without depending on this crate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diff;
+pub mod interp;
+pub mod minimize;
+
+pub use diff::{run_differential, run_fuzz, DiffOutcome, DiffVerdict, FuzzReport};
+pub use interp::{Interp, IssStep, Quirk, Retired};
+pub use minimize::{minimize, write_repro};

@@ -1,0 +1,197 @@
+//! Shrinks a mismatching fuzz program to a small standalone repro.
+//!
+//! The minimizer is a multi-pass delta debugger over assembly *lines*:
+//! it repeatedly tries deleting chunks (then single lines) and keeps a
+//! deletion only when the candidate still assembles **and still
+//! mismatches** ([`DiffVerdict::Mismatch`] — a candidate that merely
+//! stops halting is rejected, which naturally protects the final
+//! `ecall`). Labels that lose all their users are swept in a final
+//! pass. Because generated programs have forward-only internal control
+//! flow plus one backward loop branch, line deletion keeps candidates
+//! well-formed: a deleted label makes its users fail to assemble, and
+//! the candidate is simply rejected.
+//!
+//! The result is written to `tests/repros/` as a self-describing `.asm`
+//! file whose header records the generator seed, program index,
+//! stimulus seed, and the verdict it reproduces, so the repro can be
+//! replayed forever without the generator.
+
+use crate::diff::{run_differential, DiffVerdict, DEFAULT_MAX_CYCLES};
+use crate::interp::Quirk;
+
+/// A minimized repro: the shrunk source plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Minimized assembly source (still mismatching).
+    pub source: String,
+    /// Generator seed the original program came from.
+    pub seed: u64,
+    /// Program index within the seed.
+    pub index: u32,
+    /// Stimulus seed the mismatch reproduces under.
+    pub stimulus_seed: u64,
+    /// The verdict detail of the minimized program.
+    pub detail: String,
+    /// Instruction count of the minimized program (assembled words).
+    pub instructions: usize,
+}
+
+fn still_mismatches(source: &str, stimulus_seed: u64, quirk: Option<Quirk>) -> Option<String> {
+    match run_differential(source, stimulus_seed, DEFAULT_MAX_CYCLES, quirk).verdict {
+        DiffVerdict::Mismatch(detail) => Some(detail),
+        _ => None,
+    }
+}
+
+/// Lines that are candidates for deletion (everything except the
+/// directives the program skeleton needs).
+fn deletable(line: &str) -> bool {
+    let t = line.trim();
+    !(t.is_empty() || t.starts_with('.'))
+}
+
+fn assembled_len(source: &str) -> usize {
+    lockstep_asm::assemble(source).map(|p| p.words().count()).unwrap_or(usize::MAX)
+}
+
+/// Shrinks `source` (which must mismatch under `stimulus_seed`) to a
+/// smaller program with the same property.
+///
+/// Returns `None` if the input does not mismatch in the first place.
+pub fn minimize(
+    source: &str,
+    seed: u64,
+    index: u32,
+    stimulus_seed: u64,
+    quirk: Option<Quirk>,
+) -> Option<Repro> {
+    let mut detail = still_mismatches(source, stimulus_seed, quirk)?;
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+
+    // Chunked then single-line deletion passes, repeated to fixpoint.
+    loop {
+        let mut progressed = false;
+        let mut chunk = (lines.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < lines.len() {
+                let end = (start + chunk).min(lines.len());
+                if lines[start..end].iter().any(|l| deletable(l)) {
+                    let mut candidate = lines.clone();
+                    candidate.drain(start..end);
+                    let cand_src = candidate.join("\n") + "\n";
+                    if let Some(d) = still_mismatches(&cand_src, stimulus_seed, quirk) {
+                        lines = candidate;
+                        detail = d;
+                        progressed = true;
+                        continue; // same start, shorter vec
+                    }
+                }
+                start = end;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Sweep labels and comments that survived but no longer matter.
+    let mut swept: Vec<String> = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with(';') {
+            continue;
+        }
+        if let Some(label) = t.strip_suffix(':') {
+            let used = lines
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .any(|(_, l)| l.split(';').next().unwrap_or("").contains(label));
+            if !used {
+                continue;
+            }
+        }
+        swept.push(line.clone());
+    }
+    let swept_src = swept.join("\n") + "\n";
+    let source = if still_mismatches(&swept_src, stimulus_seed, quirk).is_some() {
+        swept_src
+    } else {
+        lines.join("\n") + "\n"
+    };
+
+    let instructions = assembled_len(&source);
+    Some(Repro { source, seed, index, stimulus_seed, detail, instructions })
+}
+
+/// Writes `repro` as a standalone `.asm` file under `dir`, returning
+/// the path.
+///
+/// The header makes the file self-describing: replaying it needs only
+/// the recorded stimulus seed, not the generator.
+pub fn write_repro(repro: &Repro, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = format!("fuzz_seed{}_prog{:03}.asm", repro.seed, repro.index);
+    let path = dir.join(name);
+    let mut text = String::new();
+    text.push_str("; Minimized differential-fuzzing repro (LR5 vs reference ISS).\n");
+    text.push_str(&format!("; generator seed: {}  program index: {}\n", repro.seed, repro.index));
+    text.push_str(&format!("; stimulus seed: {}\n", repro.stimulus_seed));
+    text.push_str(&format!("; first divergence: {}\n", repro.detail));
+    text.push_str(&format!("; instructions: {}\n", repro.instructions));
+    text.push_str(&repro.source);
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_workloads::fuzz::generate_source;
+
+    #[test]
+    fn matching_program_is_not_minimized() {
+        let src = generate_source(5, 0);
+        let stim = crate::diff::stimulus_seed(5, 0);
+        assert!(minimize(&src, 5, 0, stim, None).is_none());
+    }
+
+    #[test]
+    fn minimizer_preserves_the_mismatch() {
+        // Find a program the quirked ISS disagrees on, then shrink it.
+        let quirk = Some(Quirk::SubOffByOne);
+        let report = crate::diff::run_fuzz(2018, 8, 2, quirk);
+        let idx = *report.mismatches().first().expect("quirk must surface");
+        let src = generate_source(2018, idx);
+        let stim = crate::diff::stimulus_seed(2018, idx);
+        let before = src.lines().filter(|l| deletable(l)).count();
+        let repro = minimize(&src, 2018, idx, stim, quirk).expect("still mismatching");
+        let after = repro.source.lines().filter(|l| deletable(l)).count();
+        assert!(after < before, "minimizer failed to shrink ({before} -> {after})");
+        assert!(still_mismatches(&repro.source, stim, quirk).is_some());
+    }
+
+    #[test]
+    fn repro_files_are_self_describing() {
+        let dir = std::env::temp_dir().join(format!("lr5-repros-{}", std::process::id()));
+        let repro = Repro {
+            source: "li t0, 1\necall\n".to_string(),
+            seed: 1,
+            index: 2,
+            stimulus_seed: 3,
+            detail: "final r5: iss 0x1 vs lr5 0x2".to_string(),
+            instructions: 2,
+        };
+        let path = write_repro(&repro, &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("stimulus seed: 3"));
+        assert!(text.contains("first divergence: final r5"));
+        assert!(text.ends_with("ecall\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

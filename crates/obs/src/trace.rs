@@ -167,7 +167,12 @@ mod tests {
     fn sample(cycle: u64) -> TraceSample {
         let mut unit_flips = [0u16; UNIT_COUNT];
         unit_flips[(cycle % UNIT_COUNT as u64) as usize] = 1;
-        TraceSample { cycle, diverged: cycle % 4, fault_active: cycle.is_multiple_of(2), unit_flips }
+        TraceSample {
+            cycle,
+            diverged: cycle % 4,
+            fault_active: cycle.is_multiple_of(2),
+            unit_flips,
+        }
     }
 
     #[test]

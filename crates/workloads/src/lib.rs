@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 mod kernels;
 
 pub use kernels::extra;
@@ -147,10 +148,17 @@ impl Workload {
         kernels::ALL
     }
 
-    /// Looks a kernel up by name, searching the default suite and the
-    /// extra (ablation) kernels.
+    /// Looks a kernel up by name, searching the default suite, the extra
+    /// (ablation) kernels, and — for `fuzz<seed>_<index>` names — the
+    /// deterministic generated-program registry (see [`fuzz`]), so
+    /// archives recorded over fuzz workloads re-resolve to identical
+    /// programs.
     pub fn find(name: &str) -> Option<&'static Workload> {
-        kernels::ALL.iter().chain(kernels::extra()).find(|w| w.name == name)
+        if let Some(w) = kernels::ALL.iter().chain(kernels::extra()).find(|w| w.name == name) {
+            return Some(w);
+        }
+        let (seed, index) = fuzz::parse_name(name)?;
+        Some(fuzz::generated(seed, index))
     }
 
     /// Assembles the kernel.
@@ -287,6 +295,15 @@ mod tests {
     fn find_by_name() {
         assert!(Workload::find("ttsprk").is_some());
         assert!(Workload::find("nope").is_none());
+    }
+
+    #[test]
+    fn find_resolves_fuzz_names() {
+        let w = Workload::find("fuzz42_001").expect("fuzz names resolve");
+        assert_eq!(w.name, "fuzz42_001");
+        assert!(std::ptr::eq(w, fuzz::generated(42, 1)));
+        assert!(Workload::find("fuzzbad_name").is_none());
+        assert!(Workload::all().iter().all(|w| !w.name.starts_with("fuzz")));
     }
 
     #[test]

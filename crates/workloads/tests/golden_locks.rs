@@ -13,10 +13,17 @@ use lockstep_workloads::Workload;
 const SEED: u64 = 0xA5;
 
 /// (kernel, golden cycles, output checksum, retired instructions).
+// Regenerated when the held-ID-latch write-through fix landed in the
+// pipeline: differential fuzzing against the reference ISS showed that
+// an instruction stalled in ID behind a two-cycle MMIO load could issue
+// with a stale source operand (tests/repros/ has the minimized case).
+// Cycle and instruction counts were unaffected — the fix adds no
+// stalls — but four kernels' output values were architecturally wrong
+// before it, so their checksums moved.
 const LOCKS: &[(&str, u64, u32, u64)] = &[
-    ("ttsprk", 5850, 0x8550aef4, 1928),
-    ("rspeed", 3070, 0xc7ef1f13, 668),
-    ("a2time", 4978, 0x00005e2c, 986),
+    ("ttsprk", 5850, 0x06ae38f5, 1928),
+    ("rspeed", 3070, 0x29c28cd3, 668),
+    ("a2time", 4978, 0x92213b69, 986),
     ("canrdr", 14093, 0x4318ed35, 9415),
     ("tblook", 4271, 0x664db419, 2682),
     ("pntrch", 7562, 0x3abf7152, 4869),
@@ -24,9 +31,7 @@ const LOCKS: &[(&str, u64, u32, u64)] = &[
     ("aifirf", 10883, 0x3d4415eb, 5724),
     ("iirflt", 2680, 0xbfa48d81, 1286),
     ("bitmnp", 11960, 0xab604324, 8394),
-    // idctrn's checksum folds to zero at this seed by coincidence of its
-    // periodic outputs — the cycle/instruction pins still bind it.
-    ("idctrn", 2408, 0x00000000, 1110),
+    ("idctrn", 2408, 0x0274a54a, 1110),
     ("puwmod", 16276, 0x69898d19, 8504),
 ];
 
@@ -48,5 +53,5 @@ fn locks_are_seed_sensitive() {
     // Sanity: the pins actually depend on the stimulus.
     let w = Workload::find("rspeed").unwrap();
     let other = w.golden_run(SEED + 1, 400_000);
-    assert_ne!(other.output_checksum, 0xc7ef1f13);
+    assert_ne!(other.output_checksum, 0x29c28cd3);
 }

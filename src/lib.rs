@@ -17,7 +17,10 @@
 //!   contribution).
 //! * [`bist`] — SBIST engine, software test libraries, the five LERT
 //!   models of Figure 9 and the safe-state system controller.
-//! * [`workloads`] — EEMBC-AutoBench-like automotive kernels.
+//! * [`workloads`] — EEMBC-AutoBench-like automotive kernels plus the
+//!   seeded fuzz program generator.
+//! * [`iss`] — architectural reference interpreter and the differential
+//!   fuzzer that checks the pipeline against it.
 //! * [`hwcost`] — the Table IV area/power overhead model.
 //! * [`eval`] — fault-injection campaigns and per-table/figure experiments.
 //!
@@ -37,6 +40,7 @@ pub use lockstep_eval as eval;
 pub use lockstep_fault as fault;
 pub use lockstep_hwcost as hwcost;
 pub use lockstep_isa as isa;
+pub use lockstep_iss as iss;
 pub use lockstep_mem as mem;
 pub use lockstep_stats as stats;
 pub use lockstep_workloads as workloads;

@@ -1,0 +1,55 @@
+//! Replays every `.asm` file under `tests/repros/` through the
+//! differential runner: the pipelined CPU and the reference ISS must
+//! agree exactly. See `tests/repros/README.md` for what lives there.
+
+use lockstep::iss::diff::{run_differential, DiffVerdict, DEFAULT_MAX_CYCLES};
+
+/// The `; stimulus seed: N` header every repro file carries.
+fn stimulus_seed_of(source: &str) -> u64 {
+    source
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("; stimulus seed:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("repro file must carry a `; stimulus seed: N` header line")
+}
+
+#[test]
+fn every_repro_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/repros exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "asm"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "repro corpus is empty");
+
+    for path in entries {
+        let source = std::fs::read_to_string(&path).unwrap();
+        let seed = stimulus_seed_of(&source);
+        let outcome = run_differential(&source, seed, DEFAULT_MAX_CYCLES, None);
+        assert_eq!(
+            outcome.verdict,
+            DiffVerdict::Match,
+            "{} diverged between pipeline and ISS",
+            path.display()
+        );
+        assert!(outcome.iss_retired > 0, "{} retired nothing", path.display());
+    }
+}
+
+#[test]
+fn pinned_corpus_matches_the_generator() {
+    // The pinned fuzz corpus must stay byte-identical to what the
+    // generator emits today — generator drift silently breaks archived
+    // campaign reproducibility, so it has to be a loud test failure.
+    for index in 0..3u32 {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("tests/repros/fuzz_seed42_prog{index:03}.asm"));
+        let pinned = std::fs::read_to_string(&path).unwrap();
+        let generated = lockstep::workloads::fuzz::generate_source(42, index);
+        let body = pinned.split_once("; stimulus seed:").map(|(_, rest)| rest).unwrap();
+        let body = &body[body.find('\n').unwrap() + 1..];
+        assert_eq!(body, generated, "{} drifted from the generator", path.display());
+    }
+}

@@ -1,0 +1,24 @@
+; Differential-fuzzing repro (LR5 pipeline vs reference ISS).
+;
+; The first real divergence the differential lane caught, hand-minimized
+; from the ttsprk kernel: an instruction held in ID across the writeback
+; of one of its sources — here `srli`, stuck behind the two-cycle MMIO
+; load of a1 occupying MEM — issued with the operand value it latched at
+; decode time. On the second loop iteration the srli consumed the *first*
+; iteration's a0: the EX forwarding network covered MEM and the
+; same-cycle WB bypass, but not a writeback that happened while the
+; consumer was stalled in ID. Fixed by the held-ID-latch write-through
+; in the pipeline's WB stage (crates/cpu/src/exec.rs).
+;
+; stimulus seed: 7
+    li s0, 0xFFFF0000       ; sensor block
+    li s3, 0x4000           ; scratch
+    li s2, 2                ; two iterations: the second one diverged
+loop:
+    sw s2, 0(s3)            ; keep the DMCU write buffer busy
+    lw a0, 0(s0)            ; two-cycle MMIO load
+    lw a1, 4(s0)            ; occupies MEM while a0 writes back
+    srli t0, a0, 10         ; held in ID across a0's writeback
+    addi s2, s2, -1
+    bnez s2, loop
+    ecall
