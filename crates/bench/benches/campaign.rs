@@ -37,6 +37,7 @@ fn config(checkpoint_interval: Option<u64>) -> CampaignConfig {
         trace_window: None,
         replay_mode: Default::default(),
         cpus: 2,
+        batch: None,
     }
 }
 

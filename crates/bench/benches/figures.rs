@@ -33,6 +33,7 @@ fn campaign() -> &'static CampaignResult {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         })
     })
 }
@@ -54,6 +55,7 @@ fn bench_campaign_engine(c: &mut Criterion) {
                 trace_window: None,
                 replay_mode: Default::default(),
                 cpus: 2,
+                batch: None,
             }))
         })
     });

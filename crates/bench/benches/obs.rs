@@ -36,6 +36,7 @@ fn config() -> CampaignConfig {
         trace_window: None,
         replay_mode: Default::default(),
         cpus: 2,
+        batch: None,
     }
 }
 

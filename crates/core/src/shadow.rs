@@ -121,6 +121,27 @@ impl<'t> ShadowLockstep<'t> {
         &self.mem
     }
 
+    /// Early-out hook for batched campaigns: `true` when the shadowed
+    /// CPU has provably re-converged with the golden run whose state at
+    /// the *current* cycle is `golden_state`, so the remaining replay
+    /// can be skipped and the experiment scored masked.
+    ///
+    /// Sound because every armed fault must have a provably inert
+    /// future — only a transient past its strike cycle qualifies (its
+    /// overlay is the identity from here on; a stuck-at keeps forcing
+    /// its bit and may diverge again later, so it never does) — and
+    /// because the machine is closed: all memory traffic is
+    /// port-visible and the ports have matched so far, so equal flop
+    /// files imply equal memories and therefore an identical,
+    /// fault-free future.
+    pub fn masked_from(&self, golden_state: &CpuState) -> bool {
+        let all_inert = self
+            .faults
+            .iter()
+            .all(|f| f.kind == lockstep_fault::FaultKind::Transient && self.cycle > f.cycle);
+        all_inert && self.cpu.state() == golden_state
+    }
+
     /// Advances the shadowed CPU one cycle against the recorded golden
     /// ports. On divergence, keeps stepping for the rest of the capture
     /// window so the DSR accumulates exactly as

@@ -169,3 +169,69 @@ fn fault_free_shadow_runs_to_trace_end_then_halts() {
     assert_eq!(shadow.step(), LockstepEvent::Halted, "trace exhaustion is sticky");
     assert_eq!(shadow.cycle(), TRACE_CYCLES, "no cycles consumed past the trace");
 }
+
+/// The batched engine's early-out hook: once `masked_from` reports
+/// convergence with the live golden state, replaying the rest of the
+/// trace must never produce a detection — and the hook must stay
+/// conservative (never true while a fault's future is not provably
+/// inert: before a transient strikes, or ever for a stuck-at).
+#[test]
+fn masked_from_is_sound_and_conservative() {
+    let mem = memory(
+        "li gp, 0x4000\nloop: addi a0, a0, 1\nxor a1, a0, a0\nsw a1, 0(gp)\nlw a2, 0(gp)\nj loop\n",
+        7,
+    );
+    let golden = golden_trace(&mem);
+    let strike = 50u64;
+
+    let mut early_outs = 0usize;
+    for (i, flop) in flops::all_flops().enumerate() {
+        if i % 37 != 0 {
+            continue;
+        }
+        let fault = Fault::new(flop, FaultKind::Transient, strike);
+        let mut shadow = ShadowLockstep::new(mem.clone(), &golden);
+        shadow.set_capture_window(1);
+        shadow.inject(fault);
+
+        // Live golden twin tracking the fault-free state cycle by cycle.
+        let mut gcpu = Cpu::new(0);
+        let mut gmem = mem.clone();
+        let mut gports = PortSet::new();
+
+        let mut converged_at = None;
+        let mut detected = false;
+        while shadow.cycle() < TRACE_CYCLES {
+            let at = shadow.cycle();
+            let event = shadow.step();
+            gcpu.step(&mut gmem, &mut gports);
+            if matches!(event, LockstepEvent::ErrorDetected { .. }) {
+                detected = true;
+                break;
+            }
+            let masked = shadow.masked_from(gcpu.state());
+            assert!(!masked || at >= strike, "masked_from fired before the transient struck");
+            if masked && converged_at.is_none() {
+                converged_at = Some(shadow.cycle());
+            }
+        }
+        if let Some(c) = converged_at {
+            early_outs += 1;
+            assert!(!detected, "detection after masked_from fired at cycle {c}");
+        }
+    }
+    assert!(early_outs > 0, "no sampled transient ever re-converged");
+
+    // Stuck-ats never qualify: their overlay keeps forcing the bit.
+    let flop = flops::all_flops().next().unwrap();
+    let mut shadow = ShadowLockstep::new(mem.clone(), &golden);
+    shadow.inject(Fault::new(flop, FaultKind::StuckAt0, strike));
+    let mut gcpu = Cpu::new(0);
+    let mut gmem = mem.clone();
+    let mut gports = PortSet::new();
+    for _ in 0..5 {
+        let _ = shadow.step();
+        gcpu.step(&mut gmem, &mut gports);
+        assert!(!shadow.masked_from(gcpu.state()), "stuck-at must never early-out");
+    }
+}

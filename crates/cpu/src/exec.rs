@@ -597,6 +597,61 @@ pub fn compute_next(
     (n, info)
 }
 
+/// The architectural registers the *next* [`compute_next`] call may
+/// read from the register file, as a bitmask with bit `r - 1` set for
+/// register `r`.
+///
+/// The register file has exactly one read site — the ID stage's operand
+/// fetch (`decode_into`), whose source indices are decoded from the
+/// pre-cycle `if_instr` latch — so the candidate set is computable from
+/// the pre-cycle state alone, before the cycle executes. The mask is a
+/// tight *superset* of the registers actually read: a front-end stall,
+/// a trap, or the same-cycle WB write-through may suppress or satisfy a
+/// read without touching the file. Batched fault simulation uses this
+/// to keep faults parked while the machine provably cannot observe
+/// their registers; over-approximation only ever costs a spurious
+/// wake-up, never a missed one.
+pub fn rf_read_candidates(s: &CpuState) -> u32 {
+    if s.halted & 1 == 1 || s.if_valid & 1 == 0 || s.if_err & 1 == 1 {
+        return 0;
+    }
+    let Ok(i) = lockstep_isa::Instr::decode(s.if_instr) else {
+        return 0;
+    };
+    let (src1, src2) =
+        used_sources(i.op, i.rs1.bits() as u8, i.rs2.bits() as u8, i.rd.bits() as u8);
+    let mut mask = 0u32;
+    for src in [src1, src2].into_iter().flatten() {
+        if src != 0 {
+            mask |= 1 << (src - 1);
+        }
+    }
+    mask
+}
+
+/// The register-file write the *next* [`compute_next`] call will
+/// perform, as `(register, value)` — or `None` when no write will
+/// retire. Unlike [`rf_read_candidates`] this is *exact*: the WB stage
+/// runs unconditionally ahead of every stall decision, and its operands
+/// (opcode, destination, load data) are all pre-cycle latches.
+pub fn rf_write_of(s: &CpuState) -> Option<(u8, u32)> {
+    if s.halted & 1 == 1 || s.wb_valid & 1 != 1 {
+        return None;
+    }
+    let op = Opcode::from_bits(u32::from(s.wb_op));
+    if !op.is_some_and(Opcode::writes_rd) || s.wb_rd & 0x1F == 0 {
+        return None;
+    }
+    let value = match op {
+        Some(o) if o.is_load() => {
+            let word = if s.wb_mmio & 1 == 1 { s.biu_rdata } else { s.dmc_rdata };
+            extract_load(word, s.wb_lane & 3, o)
+        }
+        _ => s.wb_value,
+    };
+    Some((s.wb_rd & 0x1F, value))
+}
+
 /// Operand forwarding: newest value of register `src` as seen from EX.
 /// `fwd_code` reports the selected source (0 none, 1 EX/MEM, 2 WB).
 fn forward(

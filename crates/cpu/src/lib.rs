@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 mod cpu;
+pub mod dirty;
 pub mod exec;
 pub mod flops;
 pub mod ports;
@@ -36,7 +37,8 @@ pub mod state;
 pub mod units;
 
 pub use cpu::Cpu;
-pub use exec::StepInfo;
+pub use dirty::{converged, rf_confined, rf_registry_index, DirtyWitness, LaneWatch};
+pub use exec::{rf_read_candidates, rf_write_of, StepInfo};
 pub use flops::{FlopId, FlopReg};
 pub use ports::{PortSet, Sc, SC_COUNT};
 pub use porttrace::PortTrace;

@@ -132,13 +132,16 @@ impl From<serde_json::Error> for ArchiveError {
 /// (campaign throughput instrumentation); v3 added the optional
 /// `traces` blobs (divergence trace recorder); v4 records the replay
 /// mode in the stats block; v5 records the generator seeds of
-/// fuzz-generated workloads.
-pub const ARCHIVE_VERSION: u32 = 5;
+/// fuzz-generated workloads; v6 records batch-mode provenance in the
+/// stats block (`batch_mode` plus the early-out/parked-lane savings
+/// counters).
+pub const ARCHIVE_VERSION: u32 = 6;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
 /// files simply have no trace blobs, pre-v4 stats blocks default to
-/// shadow replay (the only mode that existed before v4), and pre-v5
-/// files default to no fuzz provenance.
+/// shadow replay (the only mode that existed before v4), pre-v5 files
+/// default to no fuzz provenance, and pre-v6 stats blocks default to
+/// batch mode `"off"` (the scalar engines were all that existed).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -272,6 +275,7 @@ mod tests {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         })
     }
 
@@ -314,6 +318,7 @@ mod tests {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         };
         cfg.trace_window = Some(16);
         let result = run_campaign(&cfg);
@@ -477,6 +482,80 @@ mod tests {
     }
 
     #[test]
+    fn pre_v6_stats_without_batch_fields_defaults_to_off() {
+        // v5 writers predate batch mode: their stats block has no
+        // `batch_mode` or savings counters. Those runs were all scalar
+        // per-fault replays.
+        #[derive(Serialize)]
+        struct StatsV5 {
+            checkpoint_interval: u64,
+            replay_mode: String,
+            injected: u64,
+            manifested: u64,
+            masked: u64,
+            golden_nanos: u64,
+            injection_nanos: u64,
+            wall_nanos: u64,
+            injections_per_sec: f64,
+            per_workload: Vec<crate::campaign::WorkloadStats>,
+        }
+        #[derive(Serialize)]
+        struct ArchiveV5 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: StatsV5,
+            traces: Vec<Option<DivergenceTrace>>,
+            fuzz: Vec<FuzzSpecRepr>,
+        }
+        let result = small_result();
+        let s = &result.stats;
+        let v5 = ArchiveV5 {
+            version: 5,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: StatsV5 {
+                checkpoint_interval: s.checkpoint_interval,
+                replay_mode: s.replay_mode.clone(),
+                injected: s.injected,
+                manifested: s.manifested,
+                masked: s.masked,
+                golden_nanos: s.golden_nanos,
+                injection_nanos: s.injection_nanos,
+                wall_nanos: s.wall_nanos,
+                injections_per_sec: s.injections_per_sec,
+                per_workload: s.per_workload.clone(),
+            },
+            traces: Vec::new(),
+            fuzz: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v5_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v5).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v6 reader must accept v5 files");
+        assert_eq!(loaded.version, 5);
+        assert_eq!(loaded.stats.batch_mode, "off", "pre-v6 runs were scalar");
+        assert_eq!(loaded.stats.masked_early_out, 0);
+        assert_eq!(loaded.stats.early_out_cycles_saved, 0);
+        assert_eq!(loaded.stats.parked_masked, 0);
+        assert_eq!(loaded.stats.lane_activations, 0);
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn fuzz_campaigns_record_their_generator_seed() {
         let spec = lockstep_workloads::fuzz::FuzzSpec { seed: 42, count: 3 };
         let result = run_campaign(&CampaignConfig {
@@ -490,6 +569,7 @@ mod tests {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         });
         let archive = CampaignArchive::from_result(&result);
         assert_eq!(archive.version, ARCHIVE_VERSION);

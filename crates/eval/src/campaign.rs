@@ -37,6 +37,17 @@
 //! (`crates/eval/tests/replay_equivalence.rs`) asserts byte-identical
 //! archives across modes; shadow mode simply skips re-simulating the
 //! machine half whose behaviour is already known.
+//!
+//! # Batch mode
+//!
+//! Orthogonally to the replay mode, [`CampaignConfig::batch`] swaps the
+//! per-fault scalar replay for the batched engine of [`crate::batch`]:
+//! every fault restoring from the same checkpoint shares one fault-free
+//! walker replay, transients retire the moment their dirty set empties,
+//! and agreeing stuck-ats wait in bit-parallel watch masks at zero
+//! simulation cost. Outcomes are bit-identical to the scalar engines in
+//! either replay mode (`tests/batch_equivalence.rs` asserts
+//! byte-identical archives), so batch mode is purely a throughput knob.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,9 +57,11 @@ use lockstep_core::{Dsr, ErrorRecord};
 use lockstep_cpu::{flops, Cpu, Granularity, PortSet, PortTrace};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, FaultKind, PlanConfig};
 use lockstep_obs::{DivergenceTrace, Event, EventSink, TraceRing, TraceSample};
-use lockstep_workloads::{Checkpoint, GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
+use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
+
+use crate::batch::{run_batch_group, total_cost, BatchConfig, BatchCost};
 
 /// Default DSR capture window (cycles from first divergence until the
 /// CPUs are architecturally stopped).
@@ -144,6 +157,13 @@ pub struct CampaignConfig {
     /// recorded twin — so configurations with more CPUs fall back to
     /// full lockstep replay.
     pub cpus: usize,
+    /// Batched fault simulation: `Some(layers)` runs the batched engine
+    /// of [`crate::batch`] with the given layer combination instead of
+    /// one scalar replay per fault; `None` (the default) keeps the
+    /// scalar engines. Outcomes are bit-identical either way. Ignored
+    /// when divergence tracing is on (see
+    /// [`CampaignConfig::effective_batch`]).
+    pub batch: Option<BatchConfig>,
 }
 
 impl CampaignConfig {
@@ -161,6 +181,7 @@ impl CampaignConfig {
             trace_window: None,
             replay_mode: ReplayMode::default(),
             cpus: 2,
+            batch: None,
         }
     }
 
@@ -176,6 +197,18 @@ impl CampaignConfig {
             ReplayMode::Lockstep
         } else {
             self.replay_mode
+        }
+    }
+
+    /// The batch layers the engine will actually use: the configured
+    /// ones, except that divergence tracing forces the scalar per-fault
+    /// path (the trace recorder samples one dedicated faulty CPU per
+    /// injection, which is exactly what batching shares away).
+    pub fn effective_batch(&self) -> Option<BatchConfig> {
+        if self.trace_window.is_some() {
+            None
+        } else {
+            self.batch
         }
     }
 }
@@ -224,10 +257,12 @@ impl WorkloadStats {
 
 /// Whole-campaign throughput instrumentation.
 ///
-/// `Deserialize` is written by hand so that `replay_mode` — added after
-/// archives of this struct already existed — is optional on read: files
-/// that predate the field were produced by the recorded-trace path,
-/// i.e. shadow replay.
+/// `Deserialize` is written by hand so that fields added after archives
+/// of this struct already existed are optional on read: `replay_mode`
+/// defaults to shadow (files that predate it were produced by the
+/// recorded-trace path) and the batch-mode fields default to `"off"` /
+/// zero (files that predate them were produced by the scalar per-fault
+/// engines).
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct CampaignStats {
     /// Checkpoint spacing used, or 0 if checkpointing was disabled.
@@ -250,6 +285,21 @@ pub struct CampaignStats {
     pub wall_nanos: u64,
     /// Injection throughput over the injection phase.
     pub injections_per_sec: f64,
+    /// Batch-mode label of the producing run (`"off"` for scalar
+    /// per-fault replay; see [`BatchConfig::label`]).
+    pub batch_mode: String,
+    /// Transients the batched engine scored masked via the dirty-set
+    /// early-out before the end of the golden run.
+    pub masked_early_out: u64,
+    /// Simulated cycles the early-out avoided, summed over early-out
+    /// faults.
+    pub early_out_cycles_saved: u64,
+    /// Stuck-ats that sat parked in a bit-parallel watch to the end of
+    /// the golden run — masked at zero simulation cost.
+    pub parked_masked: u64,
+    /// Scalar fault lanes the batched engine materialized (strike
+    /// admissions plus watch wakes).
+    pub lane_activations: u64,
     /// Per-workload breakdown, in campaign order.
     pub per_workload: Vec<WorkloadStats>,
 }
@@ -271,6 +321,28 @@ impl Deserialize for CampaignStats {
             injection_nanos: Deserialize::deserialize(value.field("injection_nanos")?)?,
             wall_nanos: Deserialize::deserialize(value.field("wall_nanos")?)?,
             injections_per_sec: Deserialize::deserialize(value.field("injections_per_sec")?)?,
+            // Archives that predate batch mode were produced by the
+            // scalar per-fault engines.
+            batch_mode: match value.field("batch_mode") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => "off".to_owned(),
+            },
+            masked_early_out: match value.field("masked_early_out") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => 0,
+            },
+            early_out_cycles_saved: match value.field("early_out_cycles_saved") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => 0,
+            },
+            parked_masked: match value.field("parked_masked") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => 0,
+            },
+            lane_activations: match value.field("lane_activations") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => 0,
+            },
             per_workload: Deserialize::deserialize(value.field("per_workload")?)?,
         })
     }
@@ -298,6 +370,17 @@ impl CampaignStats {
             self.injection_nanos as f64 / 1e6,
             self.wall_nanos as f64 / 1e6,
         );
+        if !(self.batch_mode.is_empty() || self.batch_mode == "off") {
+            out.push_str(&format!(
+                "batch mode {}: {} early-out masked ({:.2} Mcyc saved), \
+                 {} parked masked, {} lanes activated\n\n",
+                self.batch_mode,
+                self.masked_early_out,
+                self.early_out_cycles_saved as f64 / 1e6,
+                self.parked_masked,
+                self.lane_activations,
+            ));
+        }
         let mut t = crate::render::Table::new(vec![
             "workload",
             "injected",
@@ -515,156 +598,162 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let injection_start = Instant::now();
     let counters: Vec<WorkCounters> =
         config.workloads.iter().map(|_| WorkCounters::default()).collect();
-    let next = AtomicUsize::new(0);
     type Produced = (usize, ErrorRecord, Option<DivergenceTrace>);
     let sink: Mutex<Vec<Produced>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= injected_total {
-                        break;
-                    }
-                    let wi = match offsets.binary_search(&i) {
-                        Ok(w) => w,
-                        Err(w) => w - 1,
-                    };
-                    let workload = config.workloads[wi];
-                    let cap = &captures[wi];
-                    let fault = plans[wi].faults()[i - offsets[wi]];
-                    let t0 = Instant::now();
-                    // Full lockstep replay always resumes from the golden
-                    // store (with checkpointing off only the mandatory
-                    // cycle-0 snapshot exists, i.e. replay-from-reset).
-                    let resumes = config.checkpoint_interval.is_some() || mode.is_lockstep();
-                    let (outcome, trace) = if resumes {
-                        let (outcome, trace, cost) = match (mode, config.trace_window) {
-                            // Tracing rides the checkpointed path only
-                            // (mirrored from shadow mode's contract).
-                            (ReplayMode::Shadow, Some(pre))
-                                if config.checkpoint_interval.is_some() =>
-                            {
-                                let (out, cost) = run_injection_traced(
-                                    &cap.checkpoints,
-                                    &cap.trace,
-                                    fault,
-                                    window,
-                                    pre,
-                                );
-                                let (outcome, trace) = split_traced(out);
-                                (outcome, trace, cost)
-                            }
-                            (ReplayMode::Shadow, _) => {
-                                let (out, cost) = run_injection_from_checkpoint(
-                                    &cap.checkpoints,
-                                    &cap.trace,
-                                    fault,
-                                    window,
-                                );
-                                (out, None, cost)
-                            }
-                            (ReplayMode::Lockstep, Some(pre))
-                                if config.checkpoint_interval.is_some() =>
-                            {
-                                let (out, cost) = run_injection_lockstep_traced(
-                                    &cap.checkpoints,
-                                    cap.run.cycles,
-                                    fault,
-                                    window,
-                                    pre,
-                                    config.cpus,
-                                );
-                                let (outcome, trace) = split_traced(out);
-                                (outcome, trace, cost)
-                            }
-                            (ReplayMode::Lockstep, _) => {
-                                let (out, cost) = run_injection_lockstep(
-                                    &cap.checkpoints,
-                                    cap.run.cycles,
-                                    fault,
-                                    window,
-                                    config.cpus,
-                                );
-                                (out, None, cost)
-                            }
+    let batch_layers = config.effective_batch();
+    let batch_cost = if let Some(layers) = batch_layers {
+        run_batch_phase(config, &captures, &plans, &counters, &sink, layers, window)
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.max(1) {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= injected_total {
+                            break;
+                        }
+                        let wi = match offsets.binary_search(&i) {
+                            Ok(w) => w,
+                            Err(w) => w - 1,
                         };
-                        let c = &counters[wi];
-                        c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
-                        c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
-                        if config.checkpoint_interval.is_some() {
-                            c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
-                            c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
-                            if let Some(events) = &config.events {
-                                // A fault past the golden runtime never restores
-                                // a snapshot, so no hit to report for it.
-                                if fault.cycle < cap.run.cycles {
-                                    events.emit(&Event::CheckpointHit {
-                                        workload: workload.name.to_owned(),
-                                        inject_cycle: fault.cycle,
-                                        checkpoint_cycle: cost.checkpoint_cycle,
-                                        hit_distance: cost.hit_distance,
-                                    });
+                        let workload = config.workloads[wi];
+                        let cap = &captures[wi];
+                        let fault = plans[wi].faults()[i - offsets[wi]];
+                        let t0 = Instant::now();
+                        // Full lockstep replay always resumes from the golden
+                        // store (with checkpointing off only the mandatory
+                        // cycle-0 snapshot exists, i.e. replay-from-reset).
+                        let resumes = config.checkpoint_interval.is_some() || mode.is_lockstep();
+                        let (outcome, trace) = if resumes {
+                            let (outcome, trace, cost) = match (mode, config.trace_window) {
+                                // Tracing rides the checkpointed path only
+                                // (mirrored from shadow mode's contract).
+                                (ReplayMode::Shadow, Some(pre))
+                                    if config.checkpoint_interval.is_some() =>
+                                {
+                                    let (out, cost) = run_injection_traced(
+                                        &cap.checkpoints,
+                                        &cap.trace,
+                                        fault,
+                                        window,
+                                        pre,
+                                    );
+                                    let (outcome, trace) = split_traced(out);
+                                    (outcome, trace, cost)
+                                }
+                                (ReplayMode::Shadow, _) => {
+                                    let (out, cost) = run_injection_from_checkpoint(
+                                        &cap.checkpoints,
+                                        &cap.trace,
+                                        fault,
+                                        window,
+                                    );
+                                    (out, None, cost)
+                                }
+                                (ReplayMode::Lockstep, Some(pre))
+                                    if config.checkpoint_interval.is_some() =>
+                                {
+                                    let (out, cost) = run_injection_lockstep_traced(
+                                        &cap.checkpoints,
+                                        cap.run.cycles,
+                                        fault,
+                                        window,
+                                        pre,
+                                        config.cpus,
+                                    );
+                                    let (outcome, trace) = split_traced(out);
+                                    (outcome, trace, cost)
+                                }
+                                (ReplayMode::Lockstep, _) => {
+                                    let (out, cost) = run_injection_lockstep(
+                                        &cap.checkpoints,
+                                        cap.run.cycles,
+                                        fault,
+                                        window,
+                                        config.cpus,
+                                    );
+                                    (out, None, cost)
+                                }
+                            };
+                            let c = &counters[wi];
+                            c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
+                            c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
+                            if config.checkpoint_interval.is_some() {
+                                c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
+                                c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
+                                if let Some(events) = &config.events {
+                                    // A fault past the golden runtime never restores
+                                    // a snapshot, so no hit to report for it.
+                                    if fault.cycle < cap.run.cycles {
+                                        events.emit(&Event::CheckpointHit {
+                                            workload: workload.name.to_owned(),
+                                            inject_cycle: fault.cycle,
+                                            checkpoint_cycle: cost.checkpoint_cycle,
+                                            hit_distance: cost.hit_distance,
+                                        });
+                                    }
                                 }
                             }
+                            (outcome, trace)
+                        } else {
+                            let (out, cost) = run_injection_engine(
+                                ReplayStart::Reset { workload, stim_seed: stim_seeds[wi] },
+                                cap.trace.len(),
+                                fault,
+                                window,
+                                &mut NoObserver,
+                                |_, _| RecordedGolden { trace: &cap.trace },
+                            );
+                            counters[wi]
+                                .replayed_cycles
+                                .fetch_add(cost.replayed_cycles, Ordering::Relaxed);
+                            (out, None)
+                        };
+                        counters[wi].wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
+                        if let Some(events) = &config.events {
+                            events.emit(&Event::Inject {
+                                workload: workload.name.to_owned(),
+                                unit: fault.unit().name().to_owned(),
+                                fault: fault.describe(),
+                                cycle: fault.cycle,
+                            });
+                            match outcome {
+                                Some((detect_cycle, dsr)) => events.emit(&Event::Detect {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                    detect_cycle,
+                                    dsr_bits: dsr.bits(),
+                                }),
+                                None => events.emit(&Event::Masked {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                }),
+                            }
                         }
-                        (outcome, trace)
-                    } else {
-                        counters[wi].replayed_cycles.fetch_add(
-                            cap.run.cycles.min(fault.cycle + u64::from(window)),
-                            Ordering::Relaxed,
-                        );
-                        let out = run_injection_windowed(
-                            workload,
-                            stim_seeds[wi],
-                            &cap.trace,
-                            fault,
-                            window,
-                        );
-                        (out, None)
-                    };
-                    counters[wi].wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
-                    if let Some(events) = &config.events {
-                        events.emit(&Event::Inject {
-                            workload: workload.name.to_owned(),
-                            unit: fault.unit().name().to_owned(),
-                            fault: fault.describe(),
-                            cycle: fault.cycle,
-                        });
-                        match outcome {
-                            Some((detect_cycle, dsr)) => events.emit(&Event::Detect {
-                                workload: workload.name.to_owned(),
-                                inject_cycle: fault.cycle,
-                                detect_cycle,
-                                dsr_bits: dsr.bits(),
-                            }),
-                            None => events.emit(&Event::Masked {
-                                workload: workload.name.to_owned(),
-                                inject_cycle: fault.cycle,
-                            }),
+                        if let Some((detect_cycle, dsr)) = outcome {
+                            counters[wi].manifested.fetch_add(1, Ordering::Relaxed);
+                            local.push((
+                                wi,
+                                ErrorRecord {
+                                    workload: workload.name.to_owned(),
+                                    unit_index: fault.unit().index() as u8,
+                                    fault: fault.kind.into(),
+                                    inject_cycle: fault.cycle,
+                                    detect_cycle,
+                                    dsr,
+                                },
+                                trace,
+                            ));
                         }
                     }
-                    if let Some((detect_cycle, dsr)) = outcome {
-                        counters[wi].manifested.fetch_add(1, Ordering::Relaxed);
-                        local.push((
-                            wi,
-                            ErrorRecord {
-                                workload: workload.name.to_owned(),
-                                unit_index: fault.unit().index() as u8,
-                                fault: fault.kind.into(),
-                                inject_cycle: fault.cycle,
-                                detect_cycle,
-                                dsr,
-                            },
-                            trace,
-                        ));
-                    }
-                }
-                sink.lock().expect("no poisoned workers").extend(local);
-            });
-        }
-    });
+                    sink.lock().expect("no poisoned workers").extend(local);
+                });
+            }
+        });
+        BatchCost::default()
+    };
     let injection_nanos = elapsed_nanos(injection_start);
     if let Some(events) = &config.events {
         events.emit(&Event::Span { name: "injection".to_owned(), nanos: injection_nanos });
@@ -756,6 +845,11 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         } else {
             0.0
         },
+        batch_mode: batch_layers.map_or("off", BatchConfig::label).to_owned(),
+        masked_early_out: batch_cost.masked_early_out,
+        early_out_cycles_saved: batch_cost.early_out_cycles_saved,
+        parked_masked: batch_cost.parked_masked,
+        lane_activations: batch_cost.lane_activations,
         per_workload,
     };
 
@@ -772,6 +866,124 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
 
 fn elapsed_nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Phase 2 in batch mode: each workload's faults are sorted by strike
+/// cycle and partitioned into groups restoring from the same golden
+/// checkpoint, and each (workload, span) group becomes one work item
+/// sharing a single walker replay (see [`run_batch_group`]). Per-fault
+/// checkpoint hits are not reported — the restore is shared — so the
+/// hit-distance stats stay zero in batch mode.
+fn run_batch_phase(
+    config: &CampaignConfig,
+    captures: &[GoldenCapture],
+    plans: &[CampaignPlan],
+    counters: &[WorkCounters],
+    sink: &Mutex<Vec<(usize, ErrorRecord, Option<DivergenceTrace>)>>,
+    layers: BatchConfig,
+    window: u32,
+) -> BatchCost {
+    struct Group {
+        wi: usize,
+        faults: Vec<Fault>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for (wi, plan) in plans.iter().enumerate() {
+        let cps = &captures[wi].checkpoints;
+        let mut faults = plan.faults().to_vec();
+        faults.sort_by_key(|f| f.cycle);
+        let mut current_key = None;
+        let mut current: Vec<Fault> = Vec::new();
+        for f in faults {
+            let key = cps
+                .nearest_at(f.cycle)
+                .expect("golden captures always include the cycle-0 checkpoint")
+                .cycle;
+            if current_key != Some(key) && !current.is_empty() {
+                groups.push(Group { wi, faults: std::mem::take(&mut current) });
+            }
+            current_key = Some(key);
+            current.push(f);
+        }
+        if !current.is_empty() {
+            groups.push(Group { wi, faults: current });
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let total = Mutex::new(BatchCost::default());
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, ErrorRecord, Option<DivergenceTrace>)> = Vec::new();
+                let mut local_cost = BatchCost::default();
+                loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(g) else {
+                        break;
+                    };
+                    let workload = config.workloads[group.wi];
+                    let cap = &captures[group.wi];
+                    let t0 = Instant::now();
+                    let (outcomes, cost) = run_batch_group(
+                        &cap.checkpoints,
+                        &cap.trace,
+                        &group.faults,
+                        window,
+                        layers,
+                    );
+                    let c = &counters[group.wi];
+                    c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
+                    c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
+                    c.wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
+                    local_cost = total_cost([local_cost, cost]);
+                    if let Some(events) = &config.events {
+                        for (fault, outcome) in group.faults.iter().zip(&outcomes) {
+                            events.emit(&Event::Inject {
+                                workload: workload.name.to_owned(),
+                                unit: fault.unit().name().to_owned(),
+                                fault: fault.describe(),
+                                cycle: fault.cycle,
+                            });
+                            match outcome {
+                                Some((detect_cycle, dsr)) => events.emit(&Event::Detect {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                    detect_cycle: *detect_cycle,
+                                    dsr_bits: dsr.bits(),
+                                }),
+                                None => events.emit(&Event::Masked {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                }),
+                            }
+                        }
+                    }
+                    for (fault, outcome) in group.faults.iter().zip(&outcomes) {
+                        if let Some((detect_cycle, dsr)) = *outcome {
+                            c.manifested.fetch_add(1, Ordering::Relaxed);
+                            local.push((
+                                group.wi,
+                                ErrorRecord {
+                                    workload: workload.name.to_owned(),
+                                    unit_index: fault.unit().index() as u8,
+                                    fault: fault.kind.into(),
+                                    inject_cycle: fault.cycle,
+                                    detect_cycle,
+                                    dsr,
+                                },
+                                None,
+                            ));
+                        }
+                    }
+                }
+                sink.lock().expect("no poisoned workers").extend(local);
+                let mut t = total.lock().expect("no poisoned workers");
+                *t = total_cost([*t, local_cost]);
+            });
+        }
+    });
+    total.into_inner().expect("no poisoned workers")
 }
 
 /// One injection experiment against the golden trace with a one-cycle
@@ -791,9 +1003,12 @@ pub fn run_injection(
 /// up to `window - 1` further cycles (clamped to the golden trace).
 ///
 /// This is the from-reset reference path: it rebuilds the memory image
-/// and replays every cycle from cycle 0. Campaigns use
-/// [`run_injection_from_checkpoint`] instead, which produces
-/// bit-identical results starting from a golden-run snapshot.
+/// and replays every cycle from cycle 0 (pre-fault cycles without
+/// comparison — the overlay is the identity there, and a deterministic
+/// CPU from reset over the same image cannot diverge from its own
+/// recording). Campaigns use [`run_injection_from_checkpoint`] instead,
+/// which produces bit-identical results starting from a golden-run
+/// snapshot.
 pub fn run_injection_windowed(
     workload: &Workload,
     stim_seed: u64,
@@ -801,28 +1016,15 @@ pub fn run_injection_windowed(
     fault: Fault,
     window: u32,
 ) -> Option<(u64, Dsr)> {
-    let mut mem = workload.memory(stim_seed);
-    let mut cpu = Cpu::new(0);
-    let mut ports = PortSet::new();
-    let mut iter = golden_trace.iter().enumerate();
-    let (detect_cycle, mut dsr_bits) = loop {
-        let (i, golden) = iter.next()?;
-        let cycle = i as u64;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, cycle));
-        let diff = ports.diff_mask(golden);
-        if diff != 0 {
-            break (cycle, diff);
-        }
-    };
-    for _ in 1..window {
-        let Some((i, golden)) = iter.next() else {
-            break;
-        };
-        let cycle = i as u64;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, cycle));
-        dsr_bits |= ports.diff_mask(golden);
-    }
-    Some((detect_cycle, Dsr::from_bits(dsr_bits)))
+    run_injection_engine(
+        ReplayStart::Reset { workload, stim_seed },
+        golden_trace.len(),
+        fault,
+        window,
+        &mut NoObserver,
+        |_, _| RecordedGolden { trace: golden_trace },
+    )
+    .0
 }
 
 /// Replay-cost accounting for one checkpointed injection.
@@ -881,9 +1083,13 @@ struct TwinGolden {
 }
 
 impl TwinGolden {
-    fn from_checkpoint(cp: &Checkpoint, count: usize) -> TwinGolden {
+    fn from_parts(
+        state: &lockstep_cpu::CpuState,
+        mem: &lockstep_mem::Memory,
+        count: usize,
+    ) -> TwinGolden {
         TwinGolden {
-            twins: (0..count).map(|_| (Cpu::from_state(cp.cpu.clone()), cp.mem.clone())).collect(),
+            twins: (0..count).map(|_| (Cpu::from_state(state.clone()), mem.clone())).collect(),
         }
     }
 }
@@ -921,40 +1127,143 @@ impl GoldenRef for TwinGolden {
     }
 }
 
-/// The resumed-replay engine shared by both replay modes: restore the
-/// nearest checkpoint, fast-forward to the fault, then compare the
-/// faulty CPU against the golden reference until detection (plus the
-/// capture window) or the end of the golden run.
-fn replay_resumed<G: GoldenRef>(
-    checkpoints: &GoldenCheckpoints,
+/// Where an injection replay starts: from reset with a freshly built
+/// memory image, or from the golden checkpoint nearest the fault.
+enum ReplayStart<'a> {
+    /// Rebuild the workload's memory image and replay from cycle 0.
+    Reset {
+        /// The workload whose image to rebuild.
+        workload: &'a Workload,
+        /// Stimulus seed the golden trace was captured with.
+        stim_seed: u64,
+    },
+    /// Restore the checkpoint at or below the fault cycle.
+    Checkpoint(&'a GoldenCheckpoints),
+}
+
+/// Hooks the consolidated injection engine calls as it steps the faulty
+/// CPU. Monomorphized: an untraced replay instantiates [`NoObserver`]
+/// and pays nothing for the abstraction.
+trait ReplayObserver {
+    /// Called once with the faulty CPU as of the fault cycle, before
+    /// the first compared step.
+    fn begin(&mut self, cpu: &Cpu);
+    /// Called after every compared cycle `at` with its per-SC diff.
+    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &Cpu);
+}
+
+/// The observer of a plain (untraced) replay: does nothing.
+struct NoObserver;
+
+impl ReplayObserver for NoObserver {
+    fn begin(&mut self, _: &Cpu) {}
+    fn observe(&mut self, _: u64, _: u64, _: Fault, _: &Cpu) {}
+}
+
+/// The divergence trace recorder as an engine observer: keeps the last
+/// `pre_window` pre-detection samples in a ring, then every sample from
+/// detection through the capture window. Each sample costs one
+/// [`lockstep_cpu::CpuState`] diff (for the per-unit flip deltas),
+/// which is why tracing is opt-in per campaign rather than always on.
+struct TraceObserver {
+    ring: TraceRing,
+    samples: Vec<TraceSample>,
+    prev: lockstep_cpu::CpuState,
+    detected: bool,
+    pre_window: u32,
+}
+
+impl TraceObserver {
+    fn new(pre_window: u32) -> TraceObserver {
+        TraceObserver {
+            ring: TraceRing::new(pre_window as usize),
+            samples: Vec::new(),
+            prev: lockstep_cpu::CpuState::reset(0),
+            detected: false,
+            pre_window,
+        }
+    }
+
+    fn finish(self, detect_cycle: u64, window: u32) -> DivergenceTrace {
+        DivergenceTrace {
+            record: 0, // renumbered by `run_campaign` once the order is fixed
+            pre_window: self.pre_window,
+            capture_window: window,
+            detect_cycle,
+            samples: self.samples,
+        }
+    }
+}
+
+impl ReplayObserver for TraceObserver {
+    fn begin(&mut self, cpu: &Cpu) {
+        self.prev.clone_from(cpu.state());
+    }
+
+    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &Cpu) {
+        let sample = TraceSample {
+            cycle: at,
+            diverged: diff,
+            fault_active: fault_active(fault, at),
+            unit_flips: flops::unit_flip_deltas(&self.prev, cpu.state()),
+        };
+        self.prev.clone_from(cpu.state());
+        if self.detected {
+            self.samples.push(sample);
+        } else if diff != 0 {
+            self.detected = true;
+            self.samples = std::mem::replace(&mut self.ring, TraceRing::new(0)).into_samples();
+            self.samples.push(sample);
+        } else {
+            self.ring.push(sample);
+        }
+    }
+}
+
+/// The single scalar injection engine behind every `run_injection*`
+/// wrapper: resolve the start (reset or nearest checkpoint),
+/// fast-forward fault-free to the injection cycle, then overlay-step
+/// against the golden reference until detection plus the capture
+/// window, or the end of the replay domain.
+///
+/// Pre-fault cycles are replayed without comparison in every mode: the
+/// fault overlay is the identity before `fault.cycle`, and a
+/// deterministic CPU resumed exactly (or reset over the same memory
+/// image) cannot diverge from its own recording. A fault landing after
+/// the benchmark halts is masked by construction and skips the replay
+/// entirely.
+fn run_injection_engine<G: GoldenRef, O: ReplayObserver>(
+    start: ReplayStart<'_>,
     trace_len: u64,
     fault: Fault,
     window: u32,
-    make_golden: impl FnOnce(&Checkpoint) -> G,
+    observer: &mut O,
+    make_golden: impl FnOnce(&lockstep_cpu::CpuState, &lockstep_mem::Memory) -> G,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
     if fault.cycle >= trace_len {
-        // The fault lands after the benchmark halts: masked by
-        // construction (the from-reset path replays the whole run to
-        // discover the same thing).
         let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
         return (None, cost);
     }
-    let cp = checkpoints
-        .nearest_at(fault.cycle)
-        .expect("golden captures always include the cycle-0 checkpoint");
-    let mut golden = make_golden(cp);
+    let (mut cpu, mut mem, start_cycle) = match start {
+        ReplayStart::Reset { workload, stim_seed } => (Cpu::new(0), workload.memory(stim_seed), 0),
+        ReplayStart::Checkpoint(checkpoints) => {
+            let cp = checkpoints
+                .nearest_at(fault.cycle)
+                .expect("golden captures always include the cycle-0 checkpoint");
+            (Cpu::from_state(cp.cpu.clone()), cp.mem.clone(), cp.cycle)
+        }
+    };
+    let mut golden = make_golden(cpu.state(), &mem);
     let per_cycle = golden.cpus_per_cycle();
-    let mut cpu = Cpu::from_state(cp.cpu.clone());
-    let mut mem = cp.mem.clone();
     let mut ports = PortSet::new();
     let mut cost = ReplayCost {
-        checkpoint_cycle: cp.cycle,
-        hit_distance: fault.cycle - cp.cycle,
+        checkpoint_cycle: start_cycle,
+        hit_distance: fault.cycle - start_cycle,
         replayed_cycles: 0,
-        skipped_cycles: cp.cycle,
+        skipped_cycles: start_cycle,
     };
 
-    let mut cycle = cp.cycle;
+    let mut cycle = start_cycle;
     while cycle < fault.cycle {
         cpu.step(&mut mem, &mut ports);
         golden.advance();
@@ -962,6 +1271,7 @@ fn replay_resumed<G: GoldenRef>(
         cost.replayed_cycles += per_cycle;
     }
 
+    observer.begin(&cpu);
     let (detect_cycle, mut dsr_bits) = loop {
         if cycle >= trace_len {
             return (None, cost);
@@ -971,6 +1281,7 @@ fn replay_resumed<G: GoldenRef>(
         cost.replayed_cycles += per_cycle;
         cycle += 1;
         let diff = golden.diff_against(at, &ports);
+        observer.observe(at, diff, fault, &cpu);
         if diff != 0 {
             break (at, diff);
         }
@@ -983,7 +1294,9 @@ fn replay_resumed<G: GoldenRef>(
         cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
         cost.replayed_cycles += per_cycle;
         cycle += 1;
-        dsr_bits |= golden.diff_against(at, &ports);
+        let diff = golden.diff_against(at, &ports);
+        dsr_bits |= diff;
+        observer.observe(at, diff, fault, &cpu);
     }
     (Some((detect_cycle, Dsr::from_bits(dsr_bits))), cost)
 }
@@ -1003,9 +1316,14 @@ pub fn run_injection_from_checkpoint(
     fault: Fault,
     window: u32,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
-    replay_resumed(checkpoints, golden_trace.len(), fault, window, |_| RecordedGolden {
-        trace: golden_trace,
-    })
+    run_injection_engine(
+        ReplayStart::Checkpoint(checkpoints),
+        golden_trace.len(),
+        fault,
+        window,
+        &mut NoObserver,
+        |_, _| RecordedGolden { trace: golden_trace },
+    )
 }
 
 /// [`run_injection_from_checkpoint`] in full-lockstep mode: instead of
@@ -1029,9 +1347,14 @@ pub fn run_injection_lockstep(
     cpus: usize,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
     assert!(cpus >= 2, "lockstep needs at least two CPUs");
-    replay_resumed(checkpoints, golden_cycles, fault, window, |cp| {
-        TwinGolden::from_checkpoint(cp, cpus - 1)
-    })
+    run_injection_engine(
+        ReplayStart::Checkpoint(checkpoints),
+        golden_cycles,
+        fault,
+        window,
+        &mut NoObserver,
+        |state, mem| TwinGolden::from_parts(state, mem, cpus - 1),
+    )
 }
 
 /// Whether `fault`'s overlay is non-identity at `cycle`: a transient
@@ -1041,94 +1364,6 @@ fn fault_active(fault: Fault, cycle: u64) -> bool {
         FaultKind::Transient => cycle == fault.cycle,
         FaultKind::StuckAt0 | FaultKind::StuckAt1 => cycle >= fault.cycle,
     }
-}
-
-/// The traced twin of [`replay_resumed`]: identical replay, identical
-/// detection cycle and DSR, plus the divergence trace recorder.
-fn replay_resumed_traced<G: GoldenRef>(
-    checkpoints: &GoldenCheckpoints,
-    trace_len: u64,
-    fault: Fault,
-    window: u32,
-    pre_window: u32,
-    make_golden: impl FnOnce(&Checkpoint) -> G,
-) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
-    if fault.cycle >= trace_len {
-        let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
-        return (None, cost);
-    }
-    let cp = checkpoints
-        .nearest_at(fault.cycle)
-        .expect("golden captures always include the cycle-0 checkpoint");
-    let mut golden = make_golden(cp);
-    let per_cycle = golden.cpus_per_cycle();
-    let mut cpu = Cpu::from_state(cp.cpu.clone());
-    let mut mem = cp.mem.clone();
-    let mut ports = PortSet::new();
-    let mut cost = ReplayCost {
-        checkpoint_cycle: cp.cycle,
-        hit_distance: fault.cycle - cp.cycle,
-        replayed_cycles: 0,
-        skipped_cycles: cp.cycle,
-    };
-
-    let mut cycle = cp.cycle;
-    while cycle < fault.cycle {
-        cpu.step(&mut mem, &mut ports);
-        golden.advance();
-        cycle += 1;
-        cost.replayed_cycles += per_cycle;
-    }
-
-    let mut ring = TraceRing::new(pre_window as usize);
-    let mut prev = cpu.state().clone();
-    let sample_at = |at: u64, diff: u64, prev: &mut lockstep_cpu::CpuState, cpu: &Cpu| {
-        let sample = TraceSample {
-            cycle: at,
-            diverged: diff,
-            fault_active: fault_active(fault, at),
-            unit_flips: flops::unit_flip_deltas(prev, cpu.state()),
-        };
-        prev.clone_from(cpu.state());
-        sample
-    };
-    let (detect_cycle, mut dsr_bits, detect_sample) = loop {
-        if cycle >= trace_len {
-            return (None, cost);
-        }
-        let at = cycle;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += per_cycle;
-        cycle += 1;
-        let diff = golden.diff_against(at, &ports);
-        let sample = sample_at(at, diff, &mut prev, &cpu);
-        if diff != 0 {
-            break (at, diff, sample);
-        }
-        ring.push(sample);
-    };
-    let mut samples = ring.into_samples();
-    samples.push(detect_sample);
-    for _ in 1..window {
-        if cycle >= trace_len {
-            break;
-        }
-        let at = cycle;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
-        cost.replayed_cycles += per_cycle;
-        cycle += 1;
-        let diff = golden.diff_against(at, &ports);
-        dsr_bits |= diff;
-        samples.push(sample_at(at, diff, &mut prev, &cpu));
-    }
-    let trace = DivergenceTrace {
-        record: 0, // renumbered by `run_campaign` once the order is fixed
-        pre_window,
-        capture_window: window,
-        detect_cycle,
-        samples,
-    };
-    (Some((detect_cycle, Dsr::from_bits(dsr_bits), trace)), cost)
 }
 
 /// [`run_injection_from_checkpoint`] with the divergence trace recorder
@@ -1149,9 +1384,19 @@ pub fn run_injection_traced(
     window: u32,
     pre_window: u32,
 ) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
-    replay_resumed_traced(checkpoints, golden_trace.len(), fault, window, pre_window, |_| {
-        RecordedGolden { trace: golden_trace }
-    })
+    let mut observer = TraceObserver::new(pre_window);
+    let (out, cost) = run_injection_engine(
+        ReplayStart::Checkpoint(checkpoints),
+        golden_trace.len(),
+        fault,
+        window,
+        &mut observer,
+        |_, _| RecordedGolden { trace: golden_trace },
+    );
+    match out {
+        Some((cycle, dsr)) => (Some((cycle, dsr, observer.finish(cycle, window))), cost),
+        None => (None, cost),
+    }
 }
 
 /// [`run_injection_lockstep`] with the divergence trace recorder
@@ -1171,9 +1416,19 @@ pub fn run_injection_lockstep_traced(
     cpus: usize,
 ) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
     assert!(cpus >= 2, "lockstep needs at least two CPUs");
-    replay_resumed_traced(checkpoints, golden_cycles, fault, window, pre_window, |cp| {
-        TwinGolden::from_checkpoint(cp, cpus - 1)
-    })
+    let mut observer = TraceObserver::new(pre_window);
+    let (out, cost) = run_injection_engine(
+        ReplayStart::Checkpoint(checkpoints),
+        golden_cycles,
+        fault,
+        window,
+        &mut observer,
+        |state, mem| TwinGolden::from_parts(state, mem, cpus - 1),
+    );
+    match out {
+        Some((cycle, dsr)) => (Some((cycle, dsr, observer.finish(cycle, window))), cost),
+        None => (None, cost),
+    }
 }
 
 /// Splits a traced outcome into the record outcome and the trace blob.
@@ -1208,6 +1463,7 @@ mod tests {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         }
     }
 
@@ -1419,6 +1675,54 @@ mod tests {
         // Known workloads emit nothing.
         res.restart_cycles("rspeed");
         assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn batch_mode_reproduces_scalar_outcomes() {
+        let scalar = run_campaign(&tiny_config());
+        for layers in
+            [BatchConfig::FAN_OUT, BatchConfig::EARLY_OUT, BatchConfig::LANES, BatchConfig::FULL]
+        {
+            let mut cfg = tiny_config();
+            cfg.batch = Some(layers);
+            let batched = run_campaign(&cfg);
+            assert_eq!(scalar.records, batched.records, "`{}` records differ", layers.label());
+            assert_eq!(scalar.injected_per_unit, batched.injected_per_unit);
+            assert_eq!(batched.stats.batch_mode, layers.label());
+        }
+    }
+
+    #[test]
+    fn batch_counters_surface_the_savings() {
+        let mut cfg = tiny_config();
+        cfg.batch = Some(BatchConfig::FULL);
+        let res = run_campaign(&cfg);
+        let s = &res.stats;
+        assert_eq!(s.batch_mode, "full");
+        assert!(
+            s.masked_early_out + s.parked_masked > 0,
+            "a tiny campaign must retire some fault early"
+        );
+        assert!(s.lane_activations > 0, "manifesting faults need scalar lanes");
+        assert!(s.render().contains("batch mode full"));
+        // Scalar campaigns report no batch activity at all.
+        let scalar = run_campaign(&tiny_config());
+        assert_eq!(scalar.stats.batch_mode, "off");
+        assert_eq!(scalar.stats.masked_early_out, 0);
+        assert_eq!(scalar.stats.lane_activations, 0);
+        assert!(!scalar.stats.render().contains("batch mode"));
+    }
+
+    #[test]
+    fn tracing_downgrades_batch_to_scalar() {
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 60;
+        cfg.batch = Some(BatchConfig::FULL);
+        cfg.trace_window = Some(32);
+        assert_eq!(cfg.effective_batch(), None);
+        let res = run_campaign(&cfg);
+        assert_eq!(res.stats.batch_mode, "off");
+        assert_eq!(res.traces.len(), res.records.len(), "tracing must still work");
     }
 
     #[test]

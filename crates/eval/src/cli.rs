@@ -22,13 +22,19 @@
 //!   compared against during injection replay: the recorded golden
 //!   port trace (`shadow`, the default) or live fault-free golden-twin
 //!   CPUs (`lockstep`). Both yield bit-identical campaign results; see
-//!   [`crate::campaign::ReplayMode`].
+//!   [`crate::campaign::ReplayMode`];
+//! * `--batch-mode {off,fanout,earlyout,lanes,full}` — batched fault
+//!   simulation layers (default `full`; `off` replays every fault on
+//!   its own scalar engine). All spellings yield bit-identical campaign
+//!   results; see [`crate::batch::BatchConfig`]. Ignored when
+//!   `--trace-window` is on (tracing needs the scalar per-fault path).
 
 use std::sync::Arc;
 
 use lockstep_obs::{EventSink, JsonlSink};
 use lockstep_workloads::{fuzz, Workload};
 
+use crate::batch::BatchConfig;
 use crate::campaign::{
     CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
 };
@@ -52,6 +58,9 @@ pub struct CommonArgs {
     pub trace_window: Option<u32>,
     /// Injection replay mode (`--replay-mode`; default shadow).
     pub replay_mode: ReplayMode,
+    /// Batched fault-simulation layers (`--batch-mode`; default full,
+    /// `None` = scalar per-fault replay).
+    pub batch: Option<BatchConfig>,
 }
 
 impl CommonArgs {
@@ -67,6 +76,7 @@ impl CommonArgs {
             events: None,
             trace_window: None,
             replay_mode: ReplayMode::default(),
+            batch: Some(BatchConfig::FULL),
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
@@ -129,12 +139,22 @@ impl CommonArgs {
                         die(&format!("bad --replay-mode `{m}` (expected shadow or lockstep)"))
                     });
                 }
+                "--batch-mode" => {
+                    let m = value("--batch-mode");
+                    out.batch = BatchConfig::from_flag(&m).unwrap_or_else(|| {
+                        die(&format!(
+                            "bad --batch-mode `{m}` \
+                             (expected off, fanout, earlyout, lanes, or full)"
+                        ))
+                    });
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] \
                          [--workloads a,b,c | fuzz:<seed>[:<count>]] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
-                         [--trace-window N (0 = off)] [--replay-mode shadow|lockstep]"
+                         [--trace-window N (0 = off)] [--replay-mode shadow|lockstep] \
+                         [--batch-mode off|fanout|earlyout|lanes|full]"
                     );
                     std::process::exit(0);
                 }
@@ -157,6 +177,7 @@ impl CommonArgs {
             trace_window: self.trace_window,
             replay_mode: self.replay_mode,
             cpus: 2,
+            batch: self.batch,
         }
     }
 }
@@ -240,6 +261,18 @@ mod tests {
         let c = a.campaign_config();
         assert_eq!(c.replay_mode, ReplayMode::Lockstep);
         assert_eq!(c.cpus, 2);
+    }
+
+    #[test]
+    fn batch_mode_flag() {
+        assert_eq!(parse(&[]).batch, Some(BatchConfig::FULL), "batching is the default");
+        assert_eq!(parse(&["--batch-mode", "off"]).batch, None);
+        assert_eq!(parse(&["--batch-mode", "fanout"]).batch, Some(BatchConfig::FAN_OUT));
+        assert_eq!(parse(&["--batch-mode", "earlyout"]).batch, Some(BatchConfig::EARLY_OUT));
+        assert_eq!(parse(&["--batch-mode", "lanes"]).batch, Some(BatchConfig::LANES));
+        let c = parse(&["--batch-mode", "full"]).campaign_config();
+        assert_eq!(c.batch, Some(BatchConfig::FULL));
+        assert_eq!(c.effective_batch(), Some(BatchConfig::FULL));
     }
 
     #[test]

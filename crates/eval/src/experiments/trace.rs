@@ -228,6 +228,7 @@ mod tests {
             trace_window: Some(48),
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         })
     }
 

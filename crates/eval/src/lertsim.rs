@@ -255,6 +255,7 @@ mod tests {
                 trace_window: None,
                 replay_mode: Default::default(),
                 cpus: 2,
+                batch: None,
             };
             run_campaign(&cfg)
         })

@@ -11,6 +11,11 @@
 //!   recorded trace is bit-equivalent to running two live CPUs — and
 //!   twice as fast. The live path in `lockstep-core::harness` exists too
 //!   and the two are cross-checked in the integration tests.)
+//! * [`batch`] — the batched fault-simulation engine: one fault-free
+//!   walker replay shared by every fault in a checkpoint span, dirty-set
+//!   early-out for masked transients, and bit-parallel watch masks for
+//!   parked stuck-ats. Bit-identical outcomes to [`campaign`]'s scalar
+//!   replay at a fraction of the simulated cycles (`--batch-mode`).
 //! * [`dataset`] — train/test splitting with 5-fold cross-validation and
 //!   conversion of error records into predictor training records.
 //! * [`analysis`] — Table I statistics, per-unit signature histograms,
@@ -30,6 +35,7 @@
 
 pub mod analysis;
 pub mod archive;
+pub mod batch;
 pub mod campaign;
 pub mod cli;
 pub mod dataset;
@@ -38,5 +44,6 @@ pub mod lertsim;
 pub mod render;
 
 pub use archive::CampaignArchive;
+pub use batch::BatchConfig;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use dataset::Dataset;

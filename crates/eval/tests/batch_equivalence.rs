@@ -1,0 +1,270 @@
+//! The batched fault-simulation engine's correctness contract: a
+//! campaign run in `--batch-mode` — shared walker fan-out, dirty-set
+//! early-out, bit-parallel parked lanes — must be **byte-identical** to
+//! the same campaign replayed per fault on the scalar shadow engine,
+//! for every layer combination, checkpoint spacing, thread count, and
+//! replay mode. The order-of-magnitude saving is only usable because
+//! this equivalence is exact.
+//!
+//! Two granularities:
+//!
+//! * group level — [`run_batch_group`] against one
+//!   [`run_injection_from_checkpoint`] call per fault, over
+//!   property-sampled fault sets (duplicates and past-end strikes
+//!   included);
+//! * campaign level — archives compared as serialized bytes with the
+//!   stats block normalized out (stats carry wall-clock timings and the
+//!   batch-mode label itself, which are *supposed* to differ).
+
+use std::sync::OnceLock;
+
+use lockstep_cpu::flops;
+use lockstep_eval::archive::CampaignArchive;
+use lockstep_eval::batch::{run_batch_group, BatchConfig};
+use lockstep_eval::campaign::{
+    run_campaign, run_injection_from_checkpoint, CampaignConfig, CampaignResult, CampaignStats,
+    ReplayMode, DEFAULT_CAPTURE_WINDOW,
+};
+use lockstep_fault::{Fault, FaultKind};
+use lockstep_workloads::{GoldenCapture, Workload};
+use proptest::prelude::*;
+
+const SEED: u64 = 61;
+
+const ALL_LAYERS: [BatchConfig; 4] =
+    [BatchConfig::FAN_OUT, BatchConfig::EARLY_OUT, BatchConfig::LANES, BatchConfig::FULL];
+
+type CaptureCache = std::sync::Mutex<Vec<((&'static str, u64), &'static GoldenCapture)>>;
+
+/// Golden captures are expensive; share one per (workload, interval).
+fn capture(name: &'static str, interval: u64) -> &'static GoldenCapture {
+    static CACHE: OnceLock<CaptureCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(Vec::new()));
+    let mut cache = cache.lock().unwrap();
+    if let Some((_, cap)) = cache.iter().find(|(k, _)| *k == (name, interval)) {
+        return cap;
+    }
+    let w = Workload::find(name).unwrap();
+    let cap: &'static GoldenCapture =
+        Box::leak(Box::new(w.golden_capture(SEED, 400_000, interval)));
+    cache.push(((name, interval), cap));
+    cap
+}
+
+fn base_config() -> CampaignConfig {
+    CampaignConfig {
+        workloads: vec![Workload::find("rspeed").unwrap(), Workload::find("idctrn").unwrap()],
+        faults_per_workload: 40,
+        seed: 2024,
+        threads: 4,
+        capture_window: DEFAULT_CAPTURE_WINDOW,
+        checkpoint_interval: Some(4096),
+        events: None,
+        trace_window: None,
+        replay_mode: ReplayMode::Shadow,
+        cpus: 2,
+        batch: None,
+    }
+}
+
+/// The archive bytes of a result with the throughput stats zeroed out:
+/// everything an analysis consumes — records, injection counts, golden
+/// data, trace blobs — byte-for-byte.
+fn archive_bytes(result: &CampaignResult) -> String {
+    let mut archive = CampaignArchive::from_result(result);
+    archive.stats = CampaignStats::default();
+    serde_json::to_string(&archive).expect("archive serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Group-level equivalence: one batched group call returns exactly
+    /// the per-fault scalar outcomes, for every layer combination, over
+    /// fault sets that mix kinds, repeat flops (duplicate faults share
+    /// a lane), and strike past the end of the run.
+    #[test]
+    fn batch_group_matches_per_fault_scalar_replay(
+        picks in proptest::collection::vec((0usize..10_000, 0u8..3, 0u64..1100), 1..40),
+        window in 1u32..=24,
+        interval in proptest::sample::select(vec![512u64, 1024, 4096]),
+        layers in proptest::sample::select(ALL_LAYERS.to_vec()),
+        workload in proptest::sample::select(vec!["rspeed", "pntrch"]),
+    ) {
+        let cap = capture(workload, interval);
+        let flop_count = flops::all_flops().count();
+        let faults: Vec<Fault> = picks
+            .iter()
+            .map(|&(flop_pick, kind, cycle_frac)| {
+                let flop = flops::all_flops().nth(flop_pick % flop_count).unwrap();
+                let kind = match kind {
+                    0 => FaultKind::Transient,
+                    1 => FaultKind::StuckAt0,
+                    _ => FaultKind::StuckAt1,
+                };
+                Fault::new(flop, kind, cap.run.cycles * cycle_frac / 1000)
+            })
+            .collect();
+
+        let (outcomes, cost) =
+            run_batch_group(&cap.checkpoints, &cap.trace, &faults, window, layers);
+        prop_assert_eq!(outcomes.len(), faults.len());
+        for (fault, batched) in faults.iter().zip(&outcomes) {
+            let (scalar, _) =
+                run_injection_from_checkpoint(&cap.checkpoints, &cap.trace, *fault, window);
+            prop_assert_eq!(
+                *batched, scalar,
+                "`{}` diverged from scalar replay for {:?}", layers.label(), fault
+            );
+        }
+        // Counter sanity: disabled layers must not report savings.
+        if !layers.early_out {
+            prop_assert_eq!(cost.masked_early_out, 0);
+            prop_assert_eq!(cost.early_out_cycles_saved, 0);
+        }
+        if !layers.parked_lanes {
+            prop_assert_eq!(cost.parked_masked, 0);
+        }
+    }
+}
+
+proptest! {
+    // Whole campaigns are expensive; a handful of sampled
+    // (seed, faults, interval, threads) points on top of the exhaustive
+    // fixed-grid tests below.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Campaign-level equivalence, the satellite contract: batched
+    /// archives byte-identical to per-fault shadow replay across
+    /// checkpoint intervals × thread counts (seed and campaign size
+    /// sampled too).
+    #[test]
+    fn batched_archives_byte_identical_to_scalar(
+        seed in 1u64..10_000,
+        faults in 10usize..50,
+        interval in proptest::sample::select(vec![512u64, 1024, 4096, 8192]),
+        threads in 1usize..=4,
+        layers in proptest::sample::select(ALL_LAYERS.to_vec()),
+    ) {
+        let mut cfg = base_config();
+        cfg.seed = seed;
+        cfg.faults_per_workload = faults;
+        cfg.checkpoint_interval = Some(interval);
+        cfg.threads = threads;
+        let scalar = run_campaign(&cfg);
+        cfg.batch = Some(layers);
+        let batched = run_campaign(&cfg);
+        prop_assert_eq!(
+            archive_bytes(&scalar),
+            archive_bytes(&batched),
+            "`{}` changed the archive (seed {}, {} faults, interval {}, {} threads)",
+            layers.label(), seed, faults, interval, threads
+        );
+    }
+}
+
+/// The fixed-grid version of the archive contract: every layer
+/// combination, checkpointing off/dense/default — including `None`,
+/// where the only checkpoint is the mandatory cycle-0 snapshot and the
+/// whole campaign is one group per workload.
+#[test]
+fn archives_byte_identical_across_batch_layers_and_intervals() {
+    for interval in [None, Some(512), Some(4096)] {
+        let mut cfg = base_config();
+        cfg.checkpoint_interval = interval;
+        let scalar = run_campaign(&cfg);
+        assert!(!scalar.records.is_empty(), "campaign must manifest errors");
+        let reference = archive_bytes(&scalar);
+        for layers in ALL_LAYERS {
+            let mut c = cfg.clone();
+            c.batch = Some(layers);
+            let batched = run_campaign(&c);
+            assert_eq!(
+                archive_bytes(&batched),
+                reference,
+                "`{}` changed the archive at checkpoint interval {interval:?}",
+                layers.label()
+            );
+            assert_eq!(batched.stats.batch_mode, layers.label());
+        }
+    }
+}
+
+/// Thread-count independence: batched groups drain from a shared queue
+/// in arbitrary order, but the record stream is re-sorted into campaign
+/// order, so worker count must not leak into the archive.
+#[test]
+fn batched_archives_byte_identical_across_thread_counts() {
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 25;
+    cfg.batch = Some(BatchConfig::FULL);
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let bytes = archive_bytes(&run_campaign(&c));
+        match &reference {
+            Some(r) => assert_eq!(&bytes, r, "batched archive depends on thread count"),
+            None => reference = Some(bytes),
+        }
+    }
+}
+
+/// Batch mode composes with lockstep replay: the walker doubles as the
+/// live golden twin, so the batched engine serves both modes and the
+/// archives stay byte-identical to scalar lockstep replay.
+#[test]
+fn batched_lockstep_replay_matches_scalar_lockstep() {
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 25;
+    cfg.replay_mode = ReplayMode::Lockstep;
+    let scalar = run_campaign(&cfg);
+    assert_eq!(scalar.stats.replay_mode, "lockstep");
+    cfg.batch = Some(BatchConfig::FULL);
+    let batched = run_campaign(&cfg);
+    assert_eq!(batched.stats.replay_mode, "lockstep");
+    assert_eq!(batched.stats.batch_mode, "full");
+    assert_eq!(archive_bytes(&scalar), archive_bytes(&batched));
+}
+
+/// The savings counters tell a consistent story: a full-layer campaign
+/// simulates strictly fewer cycles than fan-out alone, and what it
+/// saves is accounted to the early-out and parked-lane counters.
+#[test]
+fn full_layers_simulate_fewer_cycles_than_fanout() {
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 60;
+    cfg.batch = Some(BatchConfig::FAN_OUT);
+    let fanout = run_campaign(&cfg);
+    cfg.batch = Some(BatchConfig::FULL);
+    let full = run_campaign(&cfg);
+    assert_eq!(archive_bytes(&fanout), archive_bytes(&full));
+    let cycles = |r: &CampaignResult| -> u64 {
+        r.stats.per_workload.iter().map(|w| w.replayed_cycles).sum()
+    };
+    assert!(
+        cycles(&full) < cycles(&fanout),
+        "full layers must shed simulation work ({} vs {})",
+        cycles(&full),
+        cycles(&fanout)
+    );
+    assert!(full.stats.masked_early_out + full.stats.parked_masked > 0);
+    assert_eq!(fanout.stats.masked_early_out, 0, "fan-out alone never early-outs");
+    assert_eq!(fanout.stats.parked_masked, 0, "fan-out alone never parks");
+}
+
+/// Full-suite sweep, tier-2 only: every workload, scalar vs full-layer
+/// batch, byte-identical.
+#[cfg(feature = "slow-tests")]
+#[test]
+#[ignore = "full-suite sweep; run with --features slow-tests -- --ignored"]
+fn full_suite_archives_byte_identical_with_batching() {
+    let mut cfg = base_config();
+    cfg.workloads = Workload::all().iter().collect();
+    cfg.faults_per_workload = 100;
+    let scalar = run_campaign(&cfg);
+    cfg.batch = Some(BatchConfig::FULL);
+    let batched = run_campaign(&cfg);
+    assert!(scalar.records.len() > 100, "sweep too sparse");
+    assert_eq!(archive_bytes(&scalar), archive_bytes(&batched));
+}

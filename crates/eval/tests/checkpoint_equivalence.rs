@@ -86,6 +86,7 @@ fn campaign_records_identical_for_all_intervals() {
         trace_window: None,
         replay_mode: Default::default(),
         cpus: 2,
+        batch: None,
     };
     let reference = run_campaign(&base);
     assert!(!reference.records.is_empty(), "reference campaign must manifest errors");

@@ -28,6 +28,7 @@ fn campaign() -> &'static CampaignResult {
             trace_window: None,
             replay_mode: Default::default(),
             cpus: 2,
+            batch: None,
         })
     })
 }

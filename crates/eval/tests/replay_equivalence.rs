@@ -32,6 +32,7 @@ fn base_config() -> CampaignConfig {
         trace_window: None,
         replay_mode: ReplayMode::Shadow,
         cpus: 2,
+        batch: None,
     }
 }
 

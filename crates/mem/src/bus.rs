@@ -133,6 +133,19 @@ impl Memory {
         self.output_checksum
     }
 
+    /// Overwrites this memory system with `src`'s state, reusing the
+    /// existing allocations where possible. Batched fault simulation
+    /// forks thousands of short-lived memory images off one golden
+    /// image; recycling retired images through this method instead of
+    /// cloning fresh ones keeps the allocator out of the hot loop.
+    pub fn copy_from(&mut self, src: &Memory) {
+        self.ram.copy_from(&src.ram);
+        self.sensors = src.sensors.clone();
+        self.outputs.clone_from(&src.outputs);
+        self.output_log.clone_from(&src.output_log);
+        self.output_checksum = src.output_checksum;
+    }
+
     /// Clears output capture and restarts sensor sequences (benchmark
     /// restart).
     pub fn reset_io(&mut self) {
@@ -150,6 +163,149 @@ impl Memory {
             }
             Some((data, _)) => Ok(data),
             None => Err(BusFault::OutOfRange { addr }),
+        }
+    }
+
+    /// Replays the side effects a speculative step recorded through a
+    /// [`TrialView`] onto this memory. Calling this on a clone of the
+    /// view's base image yields exactly the image a non-speculative
+    /// step would have produced.
+    pub fn apply_trial(&mut self, log: &TrialLog) {
+        for &channel in &log.sensor_reads {
+            let _ = self.sensors.read(channel);
+        }
+        for &(addr, data, byte_mask) in &log.writes {
+            let _ = self.write(addr, data, byte_mask);
+        }
+    }
+}
+
+/// Side effects of one speculative CPU step made through a
+/// [`TrialView`]: accepted writes and sensor-sequence advances, in
+/// issue order. If the step turns out to matter (a batched fault lane
+/// diverges), [`Memory::apply_trial`] replays the log onto a real
+/// image; if not, the log is simply cleared and the base image was
+/// never touched.
+#[derive(Debug, Default)]
+pub struct TrialLog {
+    writes: Vec<(u32, u32, u8)>,
+    sensor_reads: Vec<usize>,
+}
+
+impl TrialLog {
+    /// An empty log ready for one speculative step.
+    pub fn new() -> TrialLog {
+        TrialLog::default()
+    }
+
+    /// Discards the recorded side effects, keeping the allocations for
+    /// the next step.
+    pub fn clear(&mut self) {
+        self.writes.clear();
+        self.sensor_reads.clear();
+    }
+}
+
+/// A side-effect-free [`MemoryPort`] over a shared base image.
+///
+/// Reads observe exactly what the base [`Memory`] would return — same
+/// data, same [`BusFault`]s — but mutate nothing: sensor sequences are
+/// peeked, ECC counters and scrubs are skipped, and writes are buffered
+/// into a [`TrialLog`] instead of being applied (reads within the same
+/// step see the buffered bytes, preserving read-own-write ordering).
+///
+/// This is what makes *memoryless fault lanes* possible in the batched
+/// simulation engine: while a faulty machine's port activity still
+/// matches golden, its memory image is provably identical to the
+/// golden one, so it can execute against the golden image through this
+/// view and only fork a private copy at the moment it diverges.
+#[derive(Debug)]
+pub struct TrialView<'a> {
+    base: &'a Memory,
+    log: &'a mut TrialLog,
+}
+
+impl<'a> TrialView<'a> {
+    /// Wraps `base` for one speculative step, recording into `log`
+    /// (which the caller should [`TrialLog::clear`] between steps).
+    pub fn new(base: &'a Memory, log: &'a mut TrialLog) -> TrialView<'a> {
+        TrialView { base, log }
+    }
+
+    fn ram_peek(&self, addr: u32) -> Result<u32, BusFault> {
+        let Some((mut data, status)) = self.base.ram.peek_word(addr) else {
+            return Err(BusFault::OutOfRange { addr });
+        };
+        // Merge this step's buffered writes to the same word (oldest
+        // first), exactly as the RAM's read-modify-write would have.
+        let mut rewritten = false;
+        for &(waddr, wdata, wmask) in &self.log.writes {
+            if waddr < SENSOR_BASE && (waddr & !3) == (addr & !3) {
+                let mask = byte_lane_mask(wmask);
+                data = (data & !mask) | (wdata & mask);
+                rewritten = true;
+            }
+        }
+        // A buffered write would have re-encoded the codeword, clearing
+        // any latent error; only a word we never wrote keeps its fault.
+        if !rewritten && status == EccStatus::DoubleError {
+            return Err(BusFault::Uncorrectable { addr });
+        }
+        Ok(data)
+    }
+}
+
+/// Expands a byte strobe into a 32-bit merge mask.
+fn byte_lane_mask(byte_mask: u8) -> u32 {
+    let mut mask = 0u32;
+    for lane in 0..4 {
+        if byte_mask & (1 << lane) != 0 {
+            mask |= 0xFF << (lane * 8);
+        }
+    }
+    mask
+}
+
+impl MemoryPort for TrialView<'_> {
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.ram_peek(addr)
+    }
+
+    fn read(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if (SENSOR_BASE..SENSOR_BASE + MMIO_SIZE).contains(&addr) {
+            let channel = ((addr - SENSOR_BASE) / 4) as usize;
+            self.log.sensor_reads.push(channel);
+            return Ok(self.base.sensors.peek(channel));
+        }
+        if (OUTPUT_BASE..OUTPUT_BASE + MMIO_SIZE).contains(&addr) {
+            let offset = (addr - OUTPUT_BASE) & !3;
+            // Buffered output writes shadow the base capture block.
+            for &(waddr, wdata, _) in self.log.writes.iter().rev() {
+                if (OUTPUT_BASE..OUTPUT_BASE + MMIO_SIZE).contains(&waddr)
+                    && (waddr - OUTPUT_BASE) & !3 == offset
+                {
+                    return Ok(wdata);
+                }
+            }
+            return Ok(self.base.outputs.get(&offset).copied().unwrap_or(0));
+        }
+        self.ram_peek(addr)
+    }
+
+    fn write(&mut self, addr: u32, data: u32, byte_mask: u8) -> Result<(), BusFault> {
+        if (OUTPUT_BASE..OUTPUT_BASE + MMIO_SIZE).contains(&addr) {
+            self.log.writes.push((addr, data, byte_mask));
+            return Ok(());
+        }
+        if (SENSOR_BASE..SENSOR_BASE + MMIO_SIZE).contains(&addr) {
+            // Ignored by the real bus too; nothing to buffer.
+            return Ok(());
+        }
+        if (addr as usize / 4) < self.base.ram.size_bytes() / 4 {
+            self.log.writes.push((addr, data, byte_mask));
+            Ok(())
+        } else {
+            Err(BusFault::OutOfRange { addr })
         }
     }
 }
@@ -273,6 +429,66 @@ mod tests {
         assert_eq!(m.read(SENSOR_BASE), Ok(first));
         assert!(m.output_log().is_empty());
         assert_eq!(m.output_checksum(), 0);
+    }
+
+    #[test]
+    fn trial_view_observes_without_mutating() {
+        let mut base = Memory::new(256, 7);
+        base.write(0, 0x1111_2222, 0xF).unwrap();
+        let snapshot = format!("{base:?}");
+        let mut log = TrialLog::new();
+        let mut view = TrialView::new(&base, &mut log);
+        // Reads match the base exactly.
+        assert_eq!(view.read(0), Ok(0x1111_2222));
+        assert_eq!(view.fetch(0), Ok(0x1111_2222));
+        let s = view.read(SENSOR_BASE + 8).unwrap();
+        // Writes are buffered and visible to later reads in the step.
+        view.write(4, 0xAABB_CCDD, 0xF).unwrap();
+        assert_eq!(view.read(4), Ok(0xAABB_CCDD));
+        view.write(4, 0x0000_0011, 0x1).unwrap();
+        assert_eq!(view.read(4), Ok(0xAABB_CC11));
+        view.write(OUTPUT_BASE, 99, 0xF).unwrap();
+        assert_eq!(view.read(OUTPUT_BASE), Ok(99));
+        // Faults decode like the base.
+        assert_eq!(view.read(0x1000), Err(BusFault::OutOfRange { addr: 0x1000 }));
+        assert_eq!(view.write(0x1000, 0, 0xF), Err(BusFault::OutOfRange { addr: 0x1000 }));
+        // The base image was never touched.
+        assert_eq!(format!("{base:?}"), snapshot);
+        // The same sensor value is served by a real read afterwards.
+        assert_eq!(base.read(SENSOR_BASE + 8), Ok(s));
+    }
+
+    #[test]
+    fn apply_trial_matches_direct_execution() {
+        let mk = || {
+            let mut m = Memory::new(256, 3);
+            m.write(8, 0xDEAD_0000, 0xF).unwrap();
+            m
+        };
+        // Direct: one "step" of activity against a real memory.
+        let mut direct = mk();
+        let _ = direct.read(SENSOR_BASE + 4).unwrap();
+        let _ = direct.read(SENSOR_BASE + 4).unwrap();
+        direct.write(8, 0x0000_BEEF, 0x3).unwrap();
+        direct.write(OUTPUT_BASE + 12, 41, 0xF).unwrap();
+        direct.write(OUTPUT_BASE + 12, 42, 0xF).unwrap();
+        // Speculative: same activity through a view, then replayed.
+        let base = mk();
+        let mut log = TrialLog::new();
+        let mut view = TrialView::new(&base, &mut log);
+        let _ = view.read(SENSOR_BASE + 4).unwrap();
+        let _ = view.read(SENSOR_BASE + 4).unwrap();
+        view.write(8, 0x0000_BEEF, 0x3).unwrap();
+        view.write(OUTPUT_BASE + 12, 41, 0xF).unwrap();
+        view.write(OUTPUT_BASE + 12, 42, 0xF).unwrap();
+        let mut replayed = mk();
+        replayed.apply_trial(&log);
+        assert_eq!(replayed.read(8), Ok(0xDEAD_BEEF));
+        assert_eq!(direct.read(8), Ok(0xDEAD_BEEF));
+        assert_eq!(replayed.output_log(), direct.output_log());
+        assert_eq!(replayed.output_checksum(), direct.output_checksum());
+        assert_eq!(replayed.sensors.reads(1), direct.sensors.reads(1));
+        assert_eq!(format!("{replayed:?}"), format!("{direct:?}"));
     }
 
     #[test]

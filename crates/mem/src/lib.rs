@@ -27,7 +27,7 @@ pub mod ecc;
 pub mod ram;
 pub mod stimulus;
 
-pub use bus::{BusFault, Memory, MemoryPort, OUTPUT_BASE, SENSOR_BASE};
+pub use bus::{BusFault, Memory, MemoryPort, TrialLog, TrialView, OUTPUT_BASE, SENSOR_BASE};
 pub use ecc::{EccStatus, SecDed};
 pub use ram::{EccRam, Ram};
 pub use stimulus::SensorBlock;

@@ -117,6 +117,16 @@ impl EccRam {
         Some((data, status))
     }
 
+    /// Reads and ECC-decodes the word containing byte address `addr`
+    /// without side effects: no counter update, no scrub. Speculative
+    /// readers (batched fault lanes sharing a golden image) use this so
+    /// the owner's ECC bookkeeping stays exactly what its own reads
+    /// produce.
+    pub fn peek_word(&self, addr: u32) -> Option<(u32, EccStatus)> {
+        let cw = *self.codewords.get(addr as usize / 4)?;
+        Some(SecDed::decode(cw))
+    }
+
     /// Writes bytes selected by `byte_mask` (read-modify-write on the
     /// decoded payload, then re-encode). Returns `false` if out of range.
     pub fn write_word_masked(&mut self, addr: u32, data: u32, byte_mask: u8) -> bool {
@@ -150,6 +160,13 @@ impl EccRam {
     /// ECC event counters.
     pub fn stats(&self) -> EccStats {
         self.stats
+    }
+
+    /// Overwrites this RAM with `src`'s contents, reusing the existing
+    /// codeword buffer when the capacities match (no allocation).
+    pub fn copy_from(&mut self, src: &EccRam) {
+        self.codewords.clone_from(&src.codewords);
+        self.stats = src.stats;
     }
 }
 

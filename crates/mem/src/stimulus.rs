@@ -51,6 +51,15 @@ impl SensorBlock {
         sawtooth << 8 | noise
     }
 
+    /// The value the *next* read of `channel` would return, without
+    /// advancing the sequence. Speculative execution (batched fault
+    /// lanes reading through a shared golden image) uses this to
+    /// observe the stimulus without perturbing it.
+    pub fn peek(&self, channel: usize) -> u32 {
+        let channel = channel % SENSOR_CHANNELS;
+        Self::value_at(self.seed, channel, self.read_counts[channel])
+    }
+
     /// Number of reads served on `channel` so far.
     pub fn reads(&self, channel: usize) -> u32 {
         self.read_counts[channel % SENSOR_CHANNELS]

@@ -31,6 +31,7 @@ fn one_error_full_lifecycle() {
         trace_window: None,
         replay_mode: Default::default(),
         cpus: 2,
+        batch: None,
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());

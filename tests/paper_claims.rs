@@ -35,6 +35,7 @@ fn run_scaled(faults_per_workload: usize) -> CampaignResult {
         trace_window: None,
         replay_mode: Default::default(),
         cpus: 2,
+        batch: None,
     })
 }
 
