@@ -16,6 +16,7 @@ use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::{CampaignResult, CampaignStats};
+use crate::shard::ShardRepr;
 
 /// Serializable mirror of a workload's golden-run data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +69,11 @@ pub struct CampaignArchive {
     /// for kernel-only campaigns or files that predate v5). Sorted by
     /// seed.
     pub fuzz: Vec<FuzzSpecRepr>,
+    /// Shard provenance (v7+). `Some` marks a *partial* archive — one
+    /// shard of a larger job, mergeable with its siblings via
+    /// [`crate::shard::merge_shard_archives`]. `None` for single-shot
+    /// and merged archives, and for files that predate v7.
+    pub shard: Option<ShardRepr>,
 }
 
 impl Deserialize for CampaignArchive {
@@ -88,6 +94,10 @@ impl Deserialize for CampaignArchive {
             fuzz: match value.field("fuzz") {
                 Ok(v) => Deserialize::deserialize(v)?,
                 Err(_) => Vec::new(), // pre-v5 file
+            },
+            shard: match value.field("shard") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => None, // pre-v7 file
             },
         })
     }
@@ -134,14 +144,17 @@ impl From<serde_json::Error> for ArchiveError {
 /// mode in the stats block; v5 records the generator seeds of
 /// fuzz-generated workloads; v6 records batch-mode provenance in the
 /// stats block (`batch_mode` plus the early-out/parked-lane savings
-/// counters).
-pub const ARCHIVE_VERSION: u32 = 6;
+/// counters); v7 adds the optional `shard` provenance block marking
+/// partial archives produced by [`crate::shard::run_shard`].
+pub const ARCHIVE_VERSION: u32 = 7;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
 /// files simply have no trace blobs, pre-v4 stats blocks default to
 /// shadow replay (the only mode that existed before v4), pre-v5 files
-/// default to no fuzz provenance, and pre-v6 stats blocks default to
-/// batch mode `"off"` (the scalar engines were all that existed).
+/// default to no fuzz provenance, pre-v6 stats blocks default to
+/// batch mode `"off"` (the scalar engines were all that existed), and
+/// pre-v7 files default to no shard provenance (they are complete
+/// single-shot archives by construction).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -169,6 +182,7 @@ impl CampaignArchive {
             stats: result.stats.clone(),
             traces: result.traces.clone(),
             fuzz: fuzz_provenance(result),
+            shard: None,
         }
     }
 
@@ -248,8 +262,16 @@ impl CampaignArchive {
 /// `fuzzS_III` names group by seed, with `count` the number of programs
 /// seen per seed. Kernel workloads contribute nothing.
 fn fuzz_provenance(result: &CampaignResult) -> Vec<FuzzSpecRepr> {
+    fuzz_provenance_from_names(result.golden.iter().map(|(name, _)| *name))
+}
+
+/// [`fuzz_provenance`] over bare workload names — shared with the
+/// shard merge, which reconstructs provenance from merged golden data.
+pub(crate) fn fuzz_provenance_from_names<'a>(
+    names: impl Iterator<Item = &'a str>,
+) -> Vec<FuzzSpecRepr> {
     let mut per_seed: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
-    for (name, _) in &result.golden {
+    for name in names {
         if let Some((seed, _index)) = lockstep_workloads::fuzz::parse_name(name) {
             *per_seed.entry(seed).or_insert(0) += 1;
         }
@@ -551,6 +573,49 @@ mod tests {
         assert_eq!(loaded.stats.early_out_cycles_saved, 0);
         assert_eq!(loaded.stats.parked_masked, 0);
         assert_eq!(loaded.stats.lane_activations, 0);
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v6_archive_without_shard_provenance_still_loads() {
+        // A v6 writer serialized everything except the `shard` field.
+        #[derive(Serialize)]
+        struct ArchiveV6 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: CampaignStats,
+            traces: Vec<Option<DivergenceTrace>>,
+            fuzz: Vec<FuzzSpecRepr>,
+        }
+        let result = small_result();
+        let v6 = ArchiveV6 {
+            version: 6,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: result.stats.clone(),
+            traces: Vec::new(),
+            fuzz: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v6_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v6).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v7 reader must accept v6 files");
+        assert_eq!(loaded.version, 6);
+        assert!(loaded.shard.is_none(), "pre-v7 files are complete single-shot archives");
         assert_eq!(loaded.records, result.records);
         std::fs::remove_file(&path).ok();
     }

@@ -495,7 +495,7 @@ impl CampaignResult {
 
 /// Per-workload atomic counters the injection workers update.
 #[derive(Default)]
-struct WorkCounters {
+pub(crate) struct WorkCounters {
     manifested: AtomicU64,
     replayed_cycles: AtomicU64,
     skipped_cycles: AtomicU64,
@@ -504,69 +504,99 @@ struct WorkCounters {
     wall_nanos: AtomicU64,
 }
 
+/// One produced record: workload index, the error record, and its
+/// optional divergence trace.
+pub(crate) type Produced = (usize, ErrorRecord, Option<DivergenceTrace>);
+
+/// Canonicalizes worker output into the archive record order:
+/// grouped by workload in campaign order, then the stable per-workload
+/// sort the per-workload engine used. Traces ride along under the same
+/// key so `traces[i]` always describes `records[i]`. The order is a
+/// pure function of the record set, so any partition of a campaign into
+/// shards reassembles to the identical sequence.
+pub(crate) fn order_produced(
+    workload_count: usize,
+    produced: Vec<Produced>,
+) -> (Vec<ErrorRecord>, Vec<Option<DivergenceTrace>>) {
+    let mut grouped: Vec<Vec<(ErrorRecord, Option<DivergenceTrace>)>> =
+        (0..workload_count).map(|_| Vec::new()).collect();
+    for (wi, record, trace) in produced {
+        grouped[wi].push((record, trace));
+    }
+    let mut records = Vec::new();
+    let mut traces = Vec::new();
+    for produced in &mut grouped {
+        produced.sort_by(|(a, _), (b, _)| {
+            (a.inject_cycle, a.detect_cycle, a.unit_index, a.dsr).cmp(&(
+                b.inject_cycle,
+                b.detect_cycle,
+                b.unit_index,
+                b.dsr,
+            ))
+        });
+        for (record, trace) in produced.drain(..) {
+            records.push(record);
+            traces.push(trace);
+        }
+    }
+    (records, traces)
+}
+
+/// Builds the per-workload throughput stats from the worker counters.
+/// `fault_counts[wi]` is the number of faults actually injected into
+/// workload `wi` by this run (a shard injects a subrange of the plan).
+pub(crate) fn collect_workload_stats(
+    config: &CampaignConfig,
+    captures: &[GoldenCapture],
+    fault_counts: &[u64],
+    counters: &[WorkCounters],
+) -> Vec<WorkloadStats> {
+    config
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let c = &counters[wi];
+            let injected = fault_counts[wi];
+            let manifested = c.manifested.load(Ordering::Relaxed);
+            WorkloadStats {
+                workload: w.name.to_owned(),
+                injected,
+                manifested,
+                masked: injected - manifested,
+                golden_cycles: captures[wi].run.cycles,
+                replayed_cycles: c.replayed_cycles.load(Ordering::Relaxed),
+                skipped_cycles: c.skipped_cycles.load(Ordering::Relaxed),
+                checkpoint_count: if config.checkpoint_interval.is_some() {
+                    captures[wi].checkpoints.points.len() as u64
+                } else {
+                    0
+                },
+                checkpoint_bytes: if config.checkpoint_interval.is_some() {
+                    captures[wi].checkpoints.approx_bytes() as u64
+                } else {
+                    0
+                },
+                hit_distance_sum: c.hit_distance_sum.load(Ordering::Relaxed),
+                hit_distance_max: c.hit_distance_max.load(Ordering::Relaxed),
+                wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
 /// Runs a full campaign: one golden reference pass per workload
 /// (statistics, port trace, and checkpoints captured together), then a
 /// single flat queue of (workload, fault) injection experiments shared
 /// by all worker threads.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let campaign_start = Instant::now();
-    let window = config.capture_window;
     let mode = config.effective_replay_mode();
     assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
 
-    // ------------------------------------------------------------------
-    // Phase 1: golden captures, parallel over workloads. One simulation
-    // per kernel yields the run stats, the golden trace, and the
-    // checkpoints (the engine used to simulate each kernel twice here).
-    // ------------------------------------------------------------------
-    let capture_interval = config.checkpoint_interval.unwrap_or(u64::MAX);
     let stim_seeds: Vec<u64> =
         (0..config.workloads.len()).map(|wi| config.seed ^ (wi as u64) << 32).collect();
-    let captures: Vec<GoldenCapture> = {
-        let slots: Vec<Mutex<Option<GoldenCapture>>> =
-            config.workloads.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..config.threads.max(1).min(config.workloads.len().max(1)) {
-                scope.spawn(|| loop {
-                    let wi = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(workload) = config.workloads.get(wi) else {
-                        break;
-                    };
-                    let cap = workload.golden_capture(stim_seeds[wi], 400_000, capture_interval);
-                    *slots[wi].lock().expect("no poisoned capture slot") = Some(cap);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .zip(&config.workloads)
-            .map(|(slot, w)| {
-                slot.into_inner()
-                    .expect("no poisoned capture slot")
-                    .unwrap_or_else(|| panic!("golden capture for {} missing", w.name))
-            })
-            .collect()
-    };
-    for (workload, cap) in config.workloads.iter().zip(&captures) {
-        assert!(cap.run.halted, "{} golden run did not halt", workload.name);
-    }
-    let golden_nanos = elapsed_nanos(campaign_start);
-    if let Some(sink) = &config.events {
-        for (workload, cap) in config.workloads.iter().zip(&captures) {
-            sink.emit(&Event::GoldenPass {
-                workload: workload.name.to_owned(),
-                cycles: cap.run.cycles,
-                instructions: cap.run.instructions,
-                checkpoints: if config.checkpoint_interval.is_some() {
-                    cap.checkpoints.points.len() as u64
-                } else {
-                    0
-                },
-            });
-        }
-        sink.emit(&Event::Span { name: "golden_capture".to_owned(), nanos: golden_nanos });
-    }
+    let (captures, golden_nanos) = run_golden_phase(config, &stim_seeds);
 
     // ------------------------------------------------------------------
     // Fault plans and the flat work queue: injection i maps to the
@@ -598,11 +628,158 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let injection_start = Instant::now();
     let counters: Vec<WorkCounters> =
         config.workloads.iter().map(|_| WorkCounters::default()).collect();
-    type Produced = (usize, ErrorRecord, Option<DivergenceTrace>);
     let sink: Mutex<Vec<Produced>> = Mutex::new(Vec::new());
-    let batch_layers = config.effective_batch();
-    let batch_cost = if let Some(layers) = batch_layers {
-        run_batch_phase(config, &captures, &plans, &counters, &sink, layers, window)
+    let fault_sets: Vec<Vec<Fault>> = plans.iter().map(|p| p.faults().to_vec()).collect();
+    let batch_cost =
+        run_injection_phase(config, &captures, &stim_seeds, &fault_sets, &counters, &sink);
+    let injection_nanos = elapsed_nanos(injection_start);
+    if let Some(events) = &config.events {
+        events.emit(&Event::Span { name: "injection".to_owned(), nanos: injection_nanos });
+    }
+
+    let (records, mut traces) =
+        order_produced(config.workloads.len(), sink.into_inner().expect("no poisoned workers"));
+    if config.trace_window.is_none() || config.checkpoint_interval.is_none() {
+        traces.clear();
+    }
+    for (i, trace) in traces.iter_mut().enumerate() {
+        if let Some(t) = trace {
+            t.record = i as u64;
+        }
+    }
+
+    let golden_info: Vec<(&'static str, GoldenRun)> =
+        config.workloads.iter().zip(&captures).map(|(w, cap)| (w.name, cap.run)).collect();
+
+    let fault_counts: Vec<u64> = plans.iter().map(|p| p.len() as u64).collect();
+    let per_workload = collect_workload_stats(config, &captures, &fault_counts, &counters);
+
+    let manifested_total = records.len() as u64;
+    let injection_secs = injection_nanos as f64 / 1e9;
+    let stats = CampaignStats {
+        checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        replay_mode: mode.label().to_owned(),
+        injected: injected_total as u64,
+        manifested: manifested_total,
+        masked: injected_total as u64 - manifested_total,
+        golden_nanos,
+        injection_nanos,
+        wall_nanos: elapsed_nanos(campaign_start),
+        injections_per_sec: if injection_secs > 0.0 {
+            injected_total as f64 / injection_secs
+        } else {
+            0.0
+        },
+        batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+        masked_early_out: batch_cost.masked_early_out,
+        early_out_cycles_saved: batch_cost.early_out_cycles_saved,
+        parked_masked: batch_cost.parked_masked,
+        lane_activations: batch_cost.lane_activations,
+        per_workload,
+    };
+
+    CampaignResult {
+        records,
+        injected: injected_total,
+        injected_per_unit,
+        golden: golden_info,
+        stats,
+        traces,
+        events: config.events.clone(),
+    }
+}
+
+/// Phase 1 of a campaign or shard: golden captures, parallel over
+/// workloads. One simulation per kernel yields the run stats, the
+/// golden trace, and the checkpoints (the engine used to simulate each
+/// kernel twice here). `stim_seeds[wi]` seeds `workloads[wi]`'s
+/// stimulus; a shard passes the seeds of its covered global workload
+/// indices so its captures are bit-identical to the full campaign's.
+///
+/// Returns the captures plus the phase's wall time in nanoseconds.
+pub(crate) fn run_golden_phase(
+    config: &CampaignConfig,
+    stim_seeds: &[u64],
+) -> (Vec<GoldenCapture>, u64) {
+    let phase_start = Instant::now();
+    let capture_interval = config.checkpoint_interval.unwrap_or(u64::MAX);
+    let captures: Vec<GoldenCapture> = {
+        let slots: Vec<Mutex<Option<GoldenCapture>>> =
+            config.workloads.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.max(1).min(config.workloads.len().max(1)) {
+                scope.spawn(|| loop {
+                    let wi = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(workload) = config.workloads.get(wi) else {
+                        break;
+                    };
+                    let cap = workload.golden_capture(stim_seeds[wi], 400_000, capture_interval);
+                    *slots[wi].lock().expect("no poisoned capture slot") = Some(cap);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .zip(&config.workloads)
+            .map(|(slot, w)| {
+                slot.into_inner()
+                    .expect("no poisoned capture slot")
+                    .unwrap_or_else(|| panic!("golden capture for {} missing", w.name))
+            })
+            .collect()
+    };
+    for (workload, cap) in config.workloads.iter().zip(&captures) {
+        assert!(cap.run.halted, "{} golden run did not halt", workload.name);
+    }
+    let golden_nanos = elapsed_nanos(phase_start);
+    if let Some(sink) = &config.events {
+        for (workload, cap) in config.workloads.iter().zip(&captures) {
+            sink.emit(&Event::GoldenPass {
+                workload: workload.name.to_owned(),
+                cycles: cap.run.cycles,
+                instructions: cap.run.instructions,
+                checkpoints: if config.checkpoint_interval.is_some() {
+                    cap.checkpoints.points.len() as u64
+                } else {
+                    0
+                },
+            });
+        }
+        sink.emit(&Event::Span { name: "golden_capture".to_owned(), nanos: golden_nanos });
+    }
+    (captures, golden_nanos)
+}
+
+/// Phase 2 of a campaign or shard: injects every fault of
+/// `fault_sets[wi]` into `config.workloads[wi]`, pushing one
+/// [`Produced`] entry per manifested error into `sink`. Dispatches to
+/// the batched engine when [`CampaignConfig::effective_batch`] says so,
+/// otherwise to the flat scalar work queue shared by all worker
+/// threads. `stim_seeds[wi]` is only consulted by the from-reset path
+/// (checkpointing off).
+///
+/// Outcomes are a pure per-fault function, so any partition of a
+/// campaign's fault sets across calls — including the resumable shards
+/// of [`crate::shard`] — produces the same records.
+pub(crate) fn run_injection_phase(
+    config: &CampaignConfig,
+    captures: &[GoldenCapture],
+    stim_seeds: &[u64],
+    fault_sets: &[Vec<Fault>],
+    counters: &[WorkCounters],
+    sink: &Mutex<Vec<Produced>>,
+) -> BatchCost {
+    let window = config.capture_window;
+    let mode = config.effective_replay_mode();
+    let mut offsets = Vec::with_capacity(fault_sets.len());
+    let mut injected_total = 0usize;
+    for set in fault_sets {
+        offsets.push(injected_total);
+        injected_total += set.len();
+    }
+    if let Some(layers) = config.effective_batch() {
+        run_batch_phase(config, captures, fault_sets, counters, sink, layers, window)
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -620,7 +797,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                         };
                         let workload = config.workloads[wi];
                         let cap = &captures[wi];
-                        let fault = plans[wi].faults()[i - offsets[wi]];
+                        let fault = fault_sets[wi][i - offsets[wi]];
                         let t0 = Instant::now();
                         // Full lockstep replay always resumes from the golden
                         // store (with checkpointing off only the mandatory
@@ -753,118 +930,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
             }
         });
         BatchCost::default()
-    };
-    let injection_nanos = elapsed_nanos(injection_start);
-    if let Some(events) = &config.events {
-        events.emit(&Event::Span { name: "injection".to_owned(), nanos: injection_nanos });
-    }
-
-    // Deterministic order regardless of thread interleaving: group by
-    // workload in campaign order, then the stable per-workload sort the
-    // per-workload engine used. Traces ride along under the same key so
-    // `traces[i]` always describes `records[i]`.
-    let mut grouped: Vec<Vec<(ErrorRecord, Option<DivergenceTrace>)>> =
-        config.workloads.iter().map(|_| Vec::new()).collect();
-    for (wi, record, trace) in sink.into_inner().expect("no poisoned workers") {
-        grouped[wi].push((record, trace));
-    }
-    let mut records = Vec::new();
-    let mut traces = Vec::new();
-    for produced in &mut grouped {
-        produced.sort_by(|(a, _), (b, _)| {
-            (a.inject_cycle, a.detect_cycle, a.unit_index, a.dsr).cmp(&(
-                b.inject_cycle,
-                b.detect_cycle,
-                b.unit_index,
-                b.dsr,
-            ))
-        });
-        for (record, trace) in produced.drain(..) {
-            records.push(record);
-            traces.push(trace);
-        }
-    }
-    if config.trace_window.is_none() || config.checkpoint_interval.is_none() {
-        traces.clear();
-    }
-    for (i, trace) in traces.iter_mut().enumerate() {
-        if let Some(t) = trace {
-            t.record = i as u64;
-        }
-    }
-
-    let golden_info: Vec<(&'static str, GoldenRun)> =
-        config.workloads.iter().zip(&captures).map(|(w, cap)| (w.name, cap.run)).collect();
-
-    let per_workload: Vec<WorkloadStats> = config
-        .workloads
-        .iter()
-        .enumerate()
-        .map(|(wi, w)| {
-            let c = &counters[wi];
-            let injected = plans[wi].len() as u64;
-            let manifested = c.manifested.load(Ordering::Relaxed);
-            WorkloadStats {
-                workload: w.name.to_owned(),
-                injected,
-                manifested,
-                masked: injected - manifested,
-                golden_cycles: captures[wi].run.cycles,
-                replayed_cycles: c.replayed_cycles.load(Ordering::Relaxed),
-                skipped_cycles: c.skipped_cycles.load(Ordering::Relaxed),
-                checkpoint_count: if config.checkpoint_interval.is_some() {
-                    captures[wi].checkpoints.points.len() as u64
-                } else {
-                    0
-                },
-                checkpoint_bytes: if config.checkpoint_interval.is_some() {
-                    captures[wi].checkpoints.approx_bytes() as u64
-                } else {
-                    0
-                },
-                hit_distance_sum: c.hit_distance_sum.load(Ordering::Relaxed),
-                hit_distance_max: c.hit_distance_max.load(Ordering::Relaxed),
-                wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
-            }
-        })
-        .collect();
-
-    let manifested_total = records.len() as u64;
-    let injection_secs = injection_nanos as f64 / 1e9;
-    let stats = CampaignStats {
-        checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
-        replay_mode: mode.label().to_owned(),
-        injected: injected_total as u64,
-        manifested: manifested_total,
-        masked: injected_total as u64 - manifested_total,
-        golden_nanos,
-        injection_nanos,
-        wall_nanos: elapsed_nanos(campaign_start),
-        injections_per_sec: if injection_secs > 0.0 {
-            injected_total as f64 / injection_secs
-        } else {
-            0.0
-        },
-        batch_mode: batch_layers.map_or("off", BatchConfig::label).to_owned(),
-        masked_early_out: batch_cost.masked_early_out,
-        early_out_cycles_saved: batch_cost.early_out_cycles_saved,
-        parked_masked: batch_cost.parked_masked,
-        lane_activations: batch_cost.lane_activations,
-        per_workload,
-    };
-
-    CampaignResult {
-        records,
-        injected: injected_total,
-        injected_per_unit,
-        golden: golden_info,
-        stats,
-        traces,
-        events: config.events.clone(),
     }
 }
 
-fn elapsed_nanos(since: Instant) -> u64 {
+pub(crate) fn elapsed_nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -877,7 +946,7 @@ fn elapsed_nanos(since: Instant) -> u64 {
 fn run_batch_phase(
     config: &CampaignConfig,
     captures: &[GoldenCapture],
-    plans: &[CampaignPlan],
+    fault_sets: &[Vec<Fault>],
     counters: &[WorkCounters],
     sink: &Mutex<Vec<(usize, ErrorRecord, Option<DivergenceTrace>)>>,
     layers: BatchConfig,
@@ -888,9 +957,9 @@ fn run_batch_phase(
         faults: Vec<Fault>,
     }
     let mut groups: Vec<Group> = Vec::new();
-    for (wi, plan) in plans.iter().enumerate() {
+    for (wi, set) in fault_sets.iter().enumerate() {
         let cps = &captures[wi].checkpoints;
-        let mut faults = plan.faults().to_vec();
+        let mut faults = set.clone();
         faults.sort_by_key(|f| f.cycle);
         let mut current_key = None;
         let mut current: Vec<Fault> = Vec::new();

@@ -25,13 +25,17 @@
 //!   errors (Figures 11–16, Table III).
 //! * [`archive`] — durable JSON campaign archives so one injection run
 //!   can feed many analyses (the logging stage of Figure 7).
+//! * [`shard`] — resumable campaign shards: cut the fault queue into
+//!   contiguous slices, run each independently, and merge the partial
+//!   archives back into one byte-identical to the single-shot run
+//!   (archive v7; the substrate of the `lockstep-serve` service).
 //! * [`render`] — ASCII tables and bar charts for experiment binaries.
 //! * [`experiments`] — one module per paper table/figure; the
 //!   `src/bin/*.rs` binaries are thin wrappers (see DESIGN.md for the
 //!   index).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod archive;
@@ -42,8 +46,10 @@ pub mod dataset;
 pub mod experiments;
 pub mod lertsim;
 pub mod render;
+pub mod shard;
 
 pub use archive::CampaignArchive;
 pub use batch::BatchConfig;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use dataset::Dataset;
+pub use shard::{merge_shard_archives, plan_shards, run_shard, ShardError, ShardRepr, ShardSpec};

@@ -1,0 +1,611 @@
+//! Resumable campaign shards with merge-on-read archives (archive v7).
+//!
+//! A campaign's flat work queue — `workloads.len() × faults_per_workload`
+//! injections, workload-major — can be cut into contiguous **shards** and
+//! each shard run independently, on different threads, processes, or
+//! machines, producing one [`CampaignArchive`] per shard. Because every
+//! injection outcome is a pure function of `(workload capture, fault,
+//! replay knobs)` and both the stimulus seed (`seed ^ wi << 32`) and the
+//! fault-plan seed (`seed + wi`) are derived from the **global** workload
+//! index, a shard reproduces exactly the fault subset and golden state
+//! the full campaign would have given those queue positions. Merging the
+//! shard archives back with [`merge_shard_archives`] therefore yields an
+//! archive byte-identical (stats aside) to the single-shot
+//! [`run_campaign`](crate::campaign::run_campaign) archive — the
+//! property `tests/shard_resume.rs` pins across shard cuts, thread
+//! counts, replay modes, and batch modes.
+//!
+//! This is the substrate of the `lockstep-serve` campaign service: jobs
+//! are split with [`plan_shards`], shards are leased to workers and
+//! retried on timeout, completed shards persist as archives, and a
+//! restarted server resumes from whatever shard files survived — the
+//! merge is pure, so partial progress is never wasted.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lockstep_core::ErrorRecord;
+use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
+use lockstep_obs::DivergenceTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::archive::{fuzz_provenance_from_names, CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
+use crate::batch::BatchConfig;
+use crate::campaign::{
+    collect_workload_stats, elapsed_nanos, order_produced, run_golden_phase, run_injection_phase,
+    CampaignConfig, CampaignResult, CampaignStats, WorkCounters, WorkloadStats,
+};
+
+/// One contiguous slice `[fault_lo, fault_hi)` of a campaign's global
+/// fault queue, to be run by [`run_shard`].
+///
+/// Queue position `i` maps to fault `i % faults_per_workload` of
+/// workload `i / faults_per_workload` — workload-major, the same layout
+/// the single-shot engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Shard index within the job, `0..count`.
+    pub index: u32,
+    /// Total shards the job was split into.
+    pub count: u32,
+    /// First global queue position covered (inclusive).
+    pub fault_lo: u64,
+    /// One past the last global queue position covered (exclusive).
+    pub fault_hi: u64,
+}
+
+/// Splits a campaign into `shard_count` near-equal contiguous shards.
+///
+/// The actual shard count is `min(shard_count, total faults)` — a shard
+/// always covers at least one injection. Concatenating the returned
+/// ranges in order reproduces `[0, total)` exactly.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero, the config has no workloads, or
+/// `faults_per_workload` is zero (an empty queue cannot be sharded).
+pub fn plan_shards(config: &CampaignConfig, shard_count: usize) -> Vec<ShardSpec> {
+    assert!(shard_count >= 1, "shard_count must be at least 1");
+    assert!(!config.workloads.is_empty(), "campaign has no workloads");
+    assert!(config.faults_per_workload >= 1, "faults_per_workload must be at least 1");
+    let total = config.workloads.len() as u64 * config.faults_per_workload as u64;
+    let count = (shard_count as u64).min(total);
+    let base = total / count;
+    let extra = total % count;
+    let mut specs = Vec::with_capacity(count as usize);
+    let mut lo = 0u64;
+    for index in 0..count {
+        let len = base + u64::from(index < extra);
+        specs.push(ShardSpec {
+            index: index as u32,
+            count: count as u32,
+            fault_lo: lo,
+            fault_hi: lo + len,
+        });
+        lo += len;
+    }
+    specs
+}
+
+/// Shard provenance stored in a v7 archive: the shard's queue range plus
+/// a fingerprint of every campaign parameter that shapes the records,
+/// so [`merge_shard_archives`] can refuse to mix shards of different
+/// jobs.
+///
+/// Merged and single-shot archives carry no `ShardRepr` (the field is
+/// `None`): its presence marks a *partial* archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRepr {
+    /// Shard index within the job, `0..count`.
+    pub index: u32,
+    /// Total shards the job was split into.
+    pub count: u32,
+    /// First global queue position covered (inclusive).
+    pub fault_lo: u64,
+    /// One past the last global queue position covered (exclusive).
+    pub fault_hi: u64,
+    /// Full campaign workload list, in campaign order (not just the
+    /// workloads this shard touched — the merge needs the global order).
+    pub workloads: Vec<String>,
+    /// Fault injections per workload.
+    pub faults_per_workload: u64,
+    /// Master campaign seed (stimulus and fault sampling).
+    pub seed: u64,
+    /// DSR capture window in cycles.
+    pub capture_window: u32,
+    /// Golden checkpoint spacing in cycles, 0 when checkpointing is off.
+    pub checkpoint_interval: u64,
+    /// Divergence-trace pre-window in cycles, 0 when tracing is off.
+    pub trace_window: u64,
+    /// Effective replay mode label (`"shadow"` / `"lockstep"`).
+    pub replay_mode: String,
+    /// Effective batch mode label (`"off"`, `"fanout"`, ... `"full"`).
+    pub batch_mode: String,
+}
+
+impl ShardRepr {
+    /// Captures the provenance of running `spec` under `config`.
+    pub fn new(config: &CampaignConfig, spec: &ShardSpec) -> ShardRepr {
+        ShardRepr {
+            index: spec.index,
+            count: spec.count,
+            fault_lo: spec.fault_lo,
+            fault_hi: spec.fault_hi,
+            workloads: config.workloads.iter().map(|w| w.name.to_owned()).collect(),
+            faults_per_workload: config.faults_per_workload as u64,
+            seed: config.seed,
+            capture_window: config.capture_window,
+            checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+            trace_window: config.trace_window.map_or(0, u64::from),
+            replay_mode: config.effective_replay_mode().label().to_owned(),
+            batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+        }
+    }
+
+    /// `true` when `other` is a shard of the same job: every field but
+    /// the shard's own identity (`index`, `fault_lo`, `fault_hi`)
+    /// matches.
+    pub fn same_job(&self, other: &ShardRepr) -> bool {
+        self.count == other.count
+            && self.workloads == other.workloads
+            && self.faults_per_workload == other.faults_per_workload
+            && self.seed == other.seed
+            && self.capture_window == other.capture_window
+            && self.checkpoint_interval == other.checkpoint_interval
+            && self.trace_window == other.trace_window
+            && self.replay_mode == other.replay_mode
+            && self.batch_mode == other.batch_mode
+    }
+
+    /// `true` when tracing was active for this job (trace blobs ride in
+    /// the shard archives and must be merged).
+    fn tracing(&self) -> bool {
+        self.trace_window > 0 && self.checkpoint_interval > 0
+    }
+}
+
+/// Runs one shard of a campaign and returns its partial archive
+/// (version [`ARCHIVE_VERSION`], `shard` set to the shard's
+/// [`ShardRepr`]).
+///
+/// Only the workloads whose queue ranges intersect the shard are
+/// golden-captured, but their stimulus and fault-plan seeds come from
+/// their **global** workload indices, so the shard's records are
+/// bit-identical to the corresponding slice of a single-shot campaign.
+///
+/// # Panics
+///
+/// Panics if `spec`'s range is empty or out of bounds for `config`, or
+/// if `faults_per_workload` is zero.
+pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
+    let shard_start = Instant::now();
+    assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
+    assert!(config.faults_per_workload >= 1, "faults_per_workload must be at least 1");
+    let fpw = config.faults_per_workload as u64;
+    let total = config.workloads.len() as u64 * fpw;
+    assert!(
+        spec.fault_lo < spec.fault_hi && spec.fault_hi <= total,
+        "shard range [{}, {}) out of bounds for {} queued faults",
+        spec.fault_lo,
+        spec.fault_hi,
+        total
+    );
+    let wi_lo = (spec.fault_lo / fpw) as usize;
+    let wi_hi = ((spec.fault_hi - 1) / fpw) as usize + 1;
+
+    // Sub-campaign over the covered workloads only; everything indexed
+    // per-workload below is in local (covered-slice) order.
+    let mut sub = config.clone();
+    sub.workloads = config.workloads[wi_lo..wi_hi].to_vec();
+    let stim_seeds: Vec<u64> = (wi_lo..wi_hi).map(|wi| config.seed ^ (wi as u64) << 32).collect();
+    let (captures, golden_nanos) = run_golden_phase(&sub, &stim_seeds);
+
+    // Re-derive each covered workload's full fault plan from its global
+    // seed, then slice out the queue positions this shard owns.
+    let mut injected_per_unit = vec![[0u64; 2]; 13];
+    let mut fault_sets: Vec<Vec<Fault>> = Vec::with_capacity(captures.len());
+    for (li, cap) in captures.iter().enumerate() {
+        let wi = (wi_lo + li) as u64;
+        let plan = CampaignPlan::sampled(
+            PlanConfig::new(cap.run.cycles, config.seed.wrapping_add(wi)),
+            config.faults_per_workload,
+        );
+        let lo = (spec.fault_lo.max(wi * fpw) - wi * fpw) as usize;
+        let hi = (spec.fault_hi.min((wi + 1) * fpw) - wi * fpw) as usize;
+        let slice = plan.faults()[lo..hi].to_vec();
+        for f in &slice {
+            let k = usize::from(f.kind.error_kind() == ErrorKind::Hard);
+            injected_per_unit[f.unit().index()][k] += 1;
+        }
+        fault_sets.push(slice);
+    }
+
+    let injection_start = Instant::now();
+    let counters: Vec<WorkCounters> =
+        sub.workloads.iter().map(|_| WorkCounters::default()).collect();
+    let produced = Mutex::new(Vec::new());
+    let batch_cost =
+        run_injection_phase(&sub, &captures, &stim_seeds, &fault_sets, &counters, &produced);
+    let injection_nanos = elapsed_nanos(injection_start);
+
+    let (records, mut traces) =
+        order_produced(sub.workloads.len(), produced.into_inner().expect("no poisoned workers"));
+    if sub.trace_window.is_none() || sub.checkpoint_interval.is_none() {
+        traces.clear();
+    }
+    for (i, trace) in traces.iter_mut().enumerate() {
+        if let Some(t) = trace {
+            t.record = i as u64;
+        }
+    }
+
+    let fault_counts: Vec<u64> = fault_sets.iter().map(|s| s.len() as u64).collect();
+    let per_workload = collect_workload_stats(&sub, &captures, &fault_counts, &counters);
+    let injected_total = spec.fault_hi - spec.fault_lo;
+    let manifested_total = records.len() as u64;
+    let injection_secs = injection_nanos as f64 / 1e9;
+    let stats = CampaignStats {
+        checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        replay_mode: config.effective_replay_mode().label().to_owned(),
+        injected: injected_total,
+        manifested: manifested_total,
+        masked: injected_total - manifested_total,
+        golden_nanos,
+        injection_nanos,
+        wall_nanos: elapsed_nanos(shard_start),
+        injections_per_sec: if injection_secs > 0.0 {
+            injected_total as f64 / injection_secs
+        } else {
+            0.0
+        },
+        batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+        masked_early_out: batch_cost.masked_early_out,
+        early_out_cycles_saved: batch_cost.early_out_cycles_saved,
+        parked_masked: batch_cost.parked_masked,
+        lane_activations: batch_cost.lane_activations,
+        per_workload,
+    };
+
+    let result = CampaignResult {
+        records,
+        injected: injected_total as usize,
+        injected_per_unit,
+        golden: sub.workloads.iter().zip(&captures).map(|(w, cap)| (w.name, cap.run)).collect(),
+        stats,
+        traces,
+        events: config.events.clone(),
+    };
+    let mut archive = CampaignArchive::from_result(&result);
+    archive.shard = Some(ShardRepr::new(config, spec));
+    archive
+}
+
+/// Why a set of shard archives refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// No archives were given.
+    Empty,
+    /// Archive `i` carries no shard provenance (it is a single-shot or
+    /// already-merged archive).
+    NotAShard(usize),
+    /// Archive `i`'s job fingerprint differs from the first archive's.
+    JobMismatch(usize),
+    /// The given shards are not exactly one full disjoint cover of the
+    /// job's fault queue (missing, duplicated, or overlapping ranges).
+    Coverage {
+        /// Shards the job was split into.
+        expected: u32,
+        /// Archives actually given.
+        got: usize,
+    },
+    /// Two shards disagree on a workload's golden run — they cannot be
+    /// from the same deterministic campaign.
+    GoldenMismatch(String),
+    /// A record names a workload absent from the job's workload list,
+    /// or a covered workload produced no golden entry.
+    UnknownWorkload(String),
+    /// Archive `i` ran with tracing on but its trace blobs do not align
+    /// 1:1 with its records.
+    TraceMisaligned(usize),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Empty => write!(f, "no shard archives to merge"),
+            ShardError::NotAShard(i) => write!(f, "archive {i} has no shard provenance"),
+            ShardError::JobMismatch(i) => {
+                write!(f, "archive {i} belongs to a different job (fingerprint mismatch)")
+            }
+            ShardError::Coverage { expected, got } => write!(
+                f,
+                "shards do not cover the fault queue exactly once ({expected} expected, {got} given)"
+            ),
+            ShardError::GoldenMismatch(w) => {
+                write!(f, "shards disagree on the golden run of workload `{w}`")
+            }
+            ShardError::UnknownWorkload(w) => {
+                write!(f, "workload `{w}` is not part of the job")
+            }
+            ShardError::TraceMisaligned(i) => {
+                write!(f, "archive {i} has trace blobs misaligned with its records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Merges a complete set of shard archives into one archive equivalent
+/// to the single-shot campaign's (`shard` cleared, records re-sorted
+/// into canonical order, counters summed).
+///
+/// The input may be in any order. With `stats` zeroed the merged
+/// archive serializes byte-identically to the uninterrupted
+/// [`run_campaign`](crate::campaign::run_campaign) archive — the
+/// equivalence `tests/shard_resume.rs` property-tests.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] when the set is empty, mixes jobs, fails to
+/// cover the fault queue exactly once, or is internally inconsistent.
+pub fn merge_shard_archives(shards: &[CampaignArchive]) -> Result<CampaignArchive, ShardError> {
+    let job =
+        shards.first().ok_or(ShardError::Empty)?.shard.as_ref().ok_or(ShardError::NotAShard(0))?;
+    let mut reprs = Vec::with_capacity(shards.len());
+    for (i, s) in shards.iter().enumerate() {
+        let r = s.shard.as_ref().ok_or(ShardError::NotAShard(i))?;
+        if !r.same_job(job) {
+            return Err(ShardError::JobMismatch(i));
+        }
+        reprs.push(r);
+    }
+
+    // Exactly-once coverage: `count` distinct shard indices whose sorted
+    // ranges tile `[0, total)` with no gap or overlap.
+    let count = job.count as usize;
+    let total = job.workloads.len() as u64 * job.faults_per_workload;
+    let coverage = ShardError::Coverage { expected: job.count, got: shards.len() };
+    if shards.len() != count {
+        return Err(coverage);
+    }
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| reprs[i].fault_lo);
+    let mut seen = vec![false; count];
+    let mut cursor = 0u64;
+    for &i in &order {
+        let r = reprs[i];
+        if r.index as usize >= count || std::mem::replace(&mut seen[r.index as usize], true) {
+            return Err(coverage);
+        }
+        if r.fault_lo != cursor || r.fault_hi <= r.fault_lo {
+            return Err(coverage);
+        }
+        cursor = r.fault_hi;
+    }
+    if cursor != total {
+        return Err(coverage);
+    }
+
+    // Golden data: shards sharing a workload captured the same golden
+    // run (captures are a pure function of the global stimulus seed), so
+    // any disagreement means the inputs are corrupt.
+    let mut golden_by_name: BTreeMap<&str, GoldenRunRepr> = BTreeMap::new();
+    for s in shards {
+        for (name, g) in &s.golden {
+            match golden_by_name.get(name.as_str()) {
+                Some(prev) if prev != g => return Err(ShardError::GoldenMismatch(name.clone())),
+                _ => {
+                    golden_by_name.insert(name, *g);
+                }
+            }
+        }
+    }
+    let golden: Vec<(String, GoldenRunRepr)> = job
+        .workloads
+        .iter()
+        .map(|name| {
+            golden_by_name
+                .get(name.as_str())
+                .map(|g| (name.clone(), *g))
+                .ok_or_else(|| ShardError::UnknownWorkload(name.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Records: bucket per global workload, then the canonical
+    // per-workload sort the single-shot engine uses. Ties under the sort
+    // key are byte-equal records (the 62-bit DSR disambiguates distinct
+    // faults), so bucket insertion order cannot leak into the output —
+    // the same argument that makes single-shot archives independent of
+    // thread interleaving.
+    let windex: BTreeMap<&str, usize> =
+        job.workloads.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let tracing = job.tracing();
+    let mut buckets: Vec<Vec<(ErrorRecord, Option<DivergenceTrace>)>> =
+        (0..job.workloads.len()).map(|_| Vec::new()).collect();
+    for (i, s) in shards.iter().enumerate() {
+        if tracing && s.traces.len() != s.records.len() {
+            return Err(ShardError::TraceMisaligned(i));
+        }
+        for (j, r) in s.records.iter().enumerate() {
+            let wi = *windex
+                .get(r.workload.as_str())
+                .ok_or_else(|| ShardError::UnknownWorkload(r.workload.clone()))?;
+            let trace = if tracing { s.traces[j].clone() } else { None };
+            buckets[wi].push((r.clone(), trace));
+        }
+    }
+    let mut records = Vec::new();
+    let mut traces = Vec::new();
+    for bucket in &mut buckets {
+        bucket.sort_by(|(a, _), (b, _)| {
+            (a.inject_cycle, a.detect_cycle, a.unit_index, a.dsr).cmp(&(
+                b.inject_cycle,
+                b.detect_cycle,
+                b.unit_index,
+                b.dsr,
+            ))
+        });
+        for (record, trace) in bucket.drain(..) {
+            records.push(record);
+            traces.push(trace);
+        }
+    }
+    if !tracing {
+        traces.clear();
+    }
+    for (i, trace) in traces.iter_mut().enumerate() {
+        if let Some(t) = trace {
+            t.record = i as u64;
+        }
+    }
+
+    let mut injected_per_unit = vec![[0u64; 2]; 13];
+    for s in shards {
+        for (unit, counts) in s.injected_per_unit.iter().enumerate().take(13) {
+            injected_per_unit[unit][0] += counts[0];
+            injected_per_unit[unit][1] += counts[1];
+        }
+    }
+
+    let per_workload: Vec<WorkloadStats> = job
+        .workloads
+        .iter()
+        .map(|name| {
+            let parts: Vec<&WorkloadStats> = shards
+                .iter()
+                .flat_map(|s| s.stats.per_workload.iter())
+                .filter(|w| &w.workload == name)
+                .collect();
+            merge_workload_stats(name, &parts)
+        })
+        .collect();
+    let manifested_total = records.len() as u64;
+    let injection_nanos: u64 = shards.iter().map(|s| s.stats.injection_nanos).sum();
+    let injection_secs = injection_nanos as f64 / 1e9;
+    let stats = CampaignStats {
+        checkpoint_interval: job.checkpoint_interval,
+        replay_mode: job.replay_mode.clone(),
+        injected: total,
+        manifested: manifested_total,
+        masked: total - manifested_total,
+        golden_nanos: shards.iter().map(|s| s.stats.golden_nanos).sum(),
+        injection_nanos,
+        wall_nanos: shards.iter().map(|s| s.stats.wall_nanos).sum(),
+        injections_per_sec: if injection_secs > 0.0 { total as f64 / injection_secs } else { 0.0 },
+        batch_mode: job.batch_mode.clone(),
+        masked_early_out: shards.iter().map(|s| s.stats.masked_early_out).sum(),
+        early_out_cycles_saved: shards.iter().map(|s| s.stats.early_out_cycles_saved).sum(),
+        parked_masked: shards.iter().map(|s| s.stats.parked_masked).sum(),
+        lane_activations: shards.iter().map(|s| s.stats.lane_activations).sum(),
+        per_workload,
+    };
+
+    let fuzz = fuzz_provenance_from_names(golden.iter().map(|(name, _)| name.as_str()));
+    Ok(CampaignArchive {
+        version: ARCHIVE_VERSION,
+        records,
+        injected: total as usize,
+        injected_per_unit,
+        golden,
+        stats,
+        traces,
+        fuzz,
+        shard: None,
+    })
+}
+
+/// Sums the per-shard slices of one workload's stats. Capture-derived
+/// fields (golden cycles, checkpoint counts/bytes) are identical across
+/// shards — every shard captured the same golden run — so they are taken
+/// from the first slice; counters accumulated while injecting are
+/// summed.
+fn merge_workload_stats(name: &str, parts: &[&WorkloadStats]) -> WorkloadStats {
+    let first = parts.first().copied();
+    WorkloadStats {
+        workload: name.to_owned(),
+        injected: parts.iter().map(|w| w.injected).sum(),
+        manifested: parts.iter().map(|w| w.manifested).sum(),
+        masked: parts.iter().map(|w| w.masked).sum(),
+        golden_cycles: first.map_or(0, |w| w.golden_cycles),
+        replayed_cycles: parts.iter().map(|w| w.replayed_cycles).sum(),
+        skipped_cycles: parts.iter().map(|w| w.skipped_cycles).sum(),
+        checkpoint_count: first.map_or(0, |w| w.checkpoint_count),
+        checkpoint_bytes: first.map_or(0, |w| w.checkpoint_bytes),
+        hit_distance_sum: parts.iter().map(|w| w.hit_distance_sum).sum(),
+        hit_distance_max: parts.iter().map(|w| w.hit_distance_max).max().unwrap_or(0),
+        wall_nanos: parts.iter().map(|w| w.wall_nanos).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_workloads::Workload;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            workloads: vec![Workload::find("idctrn").unwrap(), Workload::find("rspeed").unwrap()],
+            faults_per_workload: 30,
+            seed: 9,
+            threads: 2,
+            capture_window: 8,
+            checkpoint_interval: Some(1024),
+            events: None,
+            trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
+            batch: None,
+        }
+    }
+
+    #[test]
+    fn plan_shards_tiles_the_queue_exactly() {
+        let config = tiny_config();
+        for n in [1, 2, 3, 7, 59, 60, 61, 1000] {
+            let shards = plan_shards(&config, n);
+            assert_eq!(shards.len(), n.min(60));
+            let mut cursor = 0;
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.index as usize, i);
+                assert_eq!(s.count as usize, shards.len());
+                assert_eq!(s.fault_lo, cursor);
+                assert!(s.fault_hi > s.fault_lo);
+                cursor = s.fault_hi;
+            }
+            assert_eq!(cursor, 60);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_bad_sets() {
+        let config = tiny_config();
+        let shards = plan_shards(&config, 3);
+        let archives: Vec<CampaignArchive> = shards.iter().map(|s| run_shard(&config, s)).collect();
+
+        assert_eq!(merge_shard_archives(&[]).unwrap_err(), ShardError::Empty);
+        assert_eq!(
+            merge_shard_archives(&archives[..2]).unwrap_err(),
+            ShardError::Coverage { expected: 3, got: 2 }
+        );
+        let duplicated = vec![archives[0].clone(), archives[0].clone(), archives[2].clone()];
+        assert_eq!(
+            merge_shard_archives(&duplicated).unwrap_err(),
+            ShardError::Coverage { expected: 3, got: 3 }
+        );
+        let mut other_job = archives.clone();
+        other_job[1].shard.as_mut().unwrap().seed ^= 1;
+        assert_eq!(merge_shard_archives(&other_job).unwrap_err(), ShardError::JobMismatch(1));
+        let mut not_a_shard = archives.clone();
+        not_a_shard[2].shard = None;
+        assert_eq!(merge_shard_archives(&not_a_shard).unwrap_err(), ShardError::NotAShard(2));
+
+        // The untampered set merges, in any order.
+        let mut shuffled = archives;
+        shuffled.rotate_left(1);
+        let merged = merge_shard_archives(&shuffled).unwrap();
+        assert_eq!(merged.injected, 60);
+        assert!(merged.shard.is_none());
+    }
+}

@@ -111,6 +111,72 @@ pub enum Event {
         /// Wall-clock duration in nanoseconds.
         nanos: u64,
     },
+    /// The campaign service accepted a job and queued its shards.
+    JobSubmitted {
+        /// Service-assigned job identifier.
+        job: String,
+        /// Shards the job was split into.
+        shards: u64,
+        /// Total faults across the job's fault queue.
+        faults: u64,
+    },
+    /// A worker leased one shard of a job.
+    ShardLeased {
+        /// Job identifier.
+        job: String,
+        /// Shard index within the job.
+        shard: u64,
+        /// Lease attempt number, starting at 1 (retries increment).
+        attempt: u64,
+    },
+    /// A leased shard completed and its archive was persisted.
+    ShardCompleted {
+        /// Job identifier.
+        job: String,
+        /// Shard index within the job.
+        shard: u64,
+        /// Faults the shard injected.
+        injected: u64,
+        /// Injections that manifested as detected errors.
+        manifested: u64,
+        /// Shard wall time in nanoseconds.
+        nanos: u64,
+    },
+    /// A shard lease expired or its worker failed; the shard went back
+    /// on the queue.
+    ShardRequeued {
+        /// Job identifier.
+        job: String,
+        /// Shard index within the job.
+        shard: u64,
+        /// Why the lease was revoked (`"timeout"` / `"panic"`).
+        reason: String,
+    },
+    /// Every shard of a job completed; the merged result is servable.
+    JobCompleted {
+        /// Job identifier.
+        job: String,
+        /// Manifested error records in the merged archive.
+        records: u64,
+    },
+    /// A job was abandoned after exhausting its shard retry budget.
+    JobFailed {
+        /// Job identifier.
+        job: String,
+        /// Index of the shard that exhausted its attempts.
+        shard: u64,
+        /// Human-readable failure description.
+        error: String,
+    },
+    /// The prediction endpoint answered a diagnosis query.
+    PredictionServed {
+        /// DSR bits the query carried.
+        dsr_bits: u64,
+        /// Jobs whose merged records trained the serving table.
+        jobs: u64,
+        /// `true` if the DSR hit a trained table entry.
+        table_hit: bool,
+    },
 }
 
 impl Event {
@@ -127,6 +193,13 @@ impl Event {
             Event::Prediction { .. } => "prediction",
             Event::RestartFallback { .. } => "restart_fallback",
             Event::Span { .. } => "span",
+            Event::JobSubmitted { .. } => "job_submitted",
+            Event::ShardLeased { .. } => "shard_leased",
+            Event::ShardCompleted { .. } => "shard_completed",
+            Event::ShardRequeued { .. } => "shard_requeued",
+            Event::JobCompleted { .. } => "job_completed",
+            Event::JobFailed { .. } => "job_failed",
+            Event::PredictionServed { .. } => "prediction_served",
         }
     }
 }
@@ -196,6 +269,42 @@ impl Serialize for Event {
                 field(out, "name", name);
                 field(out, "nanos", nanos);
             }
+            Event::JobSubmitted { job, shards, faults } => {
+                field(out, "job", job);
+                field(out, "shards", shards);
+                field(out, "faults", faults);
+            }
+            Event::ShardLeased { job, shard, attempt } => {
+                field(out, "job", job);
+                field(out, "shard", shard);
+                field(out, "attempt", attempt);
+            }
+            Event::ShardCompleted { job, shard, injected, manifested, nanos } => {
+                field(out, "job", job);
+                field(out, "shard", shard);
+                field(out, "injected", injected);
+                field(out, "manifested", manifested);
+                field(out, "nanos", nanos);
+            }
+            Event::ShardRequeued { job, shard, reason } => {
+                field(out, "job", job);
+                field(out, "shard", shard);
+                field(out, "reason", reason);
+            }
+            Event::JobCompleted { job, records } => {
+                field(out, "job", job);
+                field(out, "records", records);
+            }
+            Event::JobFailed { job, shard, error } => {
+                field(out, "job", job);
+                field(out, "shard", shard);
+                field(out, "error", error);
+            }
+            Event::PredictionServed { dsr_bits, jobs, table_hit } => {
+                field(out, "dsr_bits", dsr_bits);
+                field(out, "jobs", jobs);
+                field(out, "table_hit", table_hit);
+            }
         }
         out.push('}');
     }
@@ -253,6 +362,37 @@ impl Deserialize for Event {
                 mean_cycles: u("mean_cycles")?,
             }),
             "span" => Ok(Event::Span { name: s("name")?, nanos: u("nanos")? }),
+            "job_submitted" => Ok(Event::JobSubmitted {
+                job: s("job")?,
+                shards: u("shards")?,
+                faults: u("faults")?,
+            }),
+            "shard_leased" => Ok(Event::ShardLeased {
+                job: s("job")?,
+                shard: u("shard")?,
+                attempt: u("attempt")?,
+            }),
+            "shard_completed" => Ok(Event::ShardCompleted {
+                job: s("job")?,
+                shard: u("shard")?,
+                injected: u("injected")?,
+                manifested: u("manifested")?,
+                nanos: u("nanos")?,
+            }),
+            "shard_requeued" => Ok(Event::ShardRequeued {
+                job: s("job")?,
+                shard: u("shard")?,
+                reason: s("reason")?,
+            }),
+            "job_completed" => Ok(Event::JobCompleted { job: s("job")?, records: u("records")? }),
+            "job_failed" => {
+                Ok(Event::JobFailed { job: s("job")?, shard: u("shard")?, error: s("error")? })
+            }
+            "prediction_served" => Ok(Event::PredictionServed {
+                dsr_bits: u("dsr_bits")?,
+                jobs: u("jobs")?,
+                table_hit: b("table_hit")?,
+            }),
             other => Err(Error::new(format!("unknown event type `{other}`"))),
         }
     }
@@ -303,6 +443,23 @@ mod tests {
             },
             Event::RestartFallback { workload: "missing".into(), mean_cycles: 9000 },
             Event::Span { name: "golden_capture".into(), nanos: 1_500_000 },
+            Event::JobSubmitted { job: "job-000001".into(), shards: 8, faults: 4000 },
+            Event::ShardLeased { job: "job-000001".into(), shard: 3, attempt: 2 },
+            Event::ShardCompleted {
+                job: "job-000001".into(),
+                shard: 3,
+                injected: 500,
+                manifested: 361,
+                nanos: 2_000_000,
+            },
+            Event::ShardRequeued { job: "job-000001".into(), shard: 3, reason: "timeout".into() },
+            Event::JobCompleted { job: "job-000001".into(), records: 2888 },
+            Event::JobFailed {
+                job: "job-000002".into(),
+                shard: 0,
+                error: "shard 0 exhausted 3 attempts".into(),
+            },
+            Event::PredictionServed { dsr_bits: 0b1011, jobs: 2, table_hit: true },
         ]
     }
 

@@ -1,0 +1,81 @@
+//! The campaign service daemon.
+//!
+//! Binds the line-delimited JSON-over-TCP endpoint, resumes any
+//! unfinished jobs found in the data directory, and serves until a
+//! `shutdown` command arrives. See `docs/CAMPAIGN_SERVICE.md` for the
+//! protocol and `lockstep_client` for the matching CLI.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lockstep_obs::JsonlSink;
+use lockstep_serve::{serve, SchedulerConfig, ServiceConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7117".to_owned();
+    let mut data_dir = PathBuf::from("lockstep-serve-data");
+    let mut config = ServiceConfig {
+        scheduler: SchedulerConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| (n.get() / 2).max(1)),
+            ..SchedulerConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |flag: &str| it.next().unwrap_or_else(|| die(&format!("{flag} requires a value")));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--data-dir" => data_dir = PathBuf::from(value("--data-dir")),
+            "--workers" => {
+                config.scheduler.workers =
+                    value("--workers").parse().unwrap_or_else(|_| die("bad --workers"))
+            }
+            "--queue" => {
+                config.scheduler.queue_capacity =
+                    value("--queue").parse().unwrap_or_else(|_| die("bad --queue"))
+            }
+            "--timeout-secs" => {
+                let secs: u64 =
+                    value("--timeout-secs").parse().unwrap_or_else(|_| die("bad --timeout-secs"));
+                config.scheduler.shard_timeout = Duration::from_secs(secs);
+            }
+            "--attempts" => {
+                config.scheduler.max_attempts =
+                    value("--attempts").parse().unwrap_or_else(|_| die("bad --attempts"))
+            }
+            "--events" => {
+                let path = value("--events");
+                let sink = JsonlSink::create(std::path::Path::new(&path))
+                    .unwrap_or_else(|e| die(&format!("cannot create event log `{path}`: {e}")));
+                config.events = Some(Arc::new(sink));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lockstep_serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
+                     [--queue N] [--timeout-secs N] [--attempts N] [--events PATH]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let handle = serve(&addr, &data_dir, config)
+        .unwrap_or_else(|e| die(&format!("cannot start on {addr}: {e}")));
+    // Scripts (and the CI smoke job) parse this line for the bound
+    // port, so it must reach the pipe before the first client connects.
+    println!("lockstep-serve listening on {}", handle.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    handle.join();
+    println!("lockstep-serve stopped");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,454 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` field
+//! selecting the operation (`ping` / `submit` / `status` / `predict` /
+//! `shutdown`); every response is one JSON object on one line with an
+//! `"ok"` boolean. The full schema, including defaults and example
+//! transcripts, is documented in `docs/CAMPAIGN_SERVICE.md`.
+//!
+//! Requests are parsed by hand from the JSON value model (fields the
+//! client omits take documented defaults); responses are plain structs
+//! the client and tests deserialize back.
+
+use lockstep_cpu::Granularity;
+use lockstep_eval::campaign::{
+    CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
+};
+use lockstep_workloads::Workload;
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+/// A campaign job as submitted over the wire, with every default
+/// resolved — this is what the registry persists, so a restarted server
+/// re-runs exactly the job the client asked for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Workload names, in campaign order (`rspeed`, `fuzz7_002`, ...).
+    pub workloads: Vec<String>,
+    /// Fault injections per workload.
+    pub faults_per_workload: u64,
+    /// Master campaign seed (stimulus and fault sampling).
+    pub seed: u64,
+    /// Requested shard count (the planner clamps to the queue size).
+    pub shards: u64,
+    /// Replay mode flag value (`"shadow"` / `"lockstep"`).
+    pub replay_mode: String,
+    /// Batch engine flag value (`"off"` / `"fanout"` / `"earlyout"` /
+    /// `"lanes"` / `"full"`).
+    pub batch_mode: String,
+}
+
+impl JobSpec {
+    /// Total fault queue length of this job.
+    pub fn total_faults(&self) -> u64 {
+        self.workloads.len() as u64 * self.faults_per_workload
+    }
+
+    /// Checks every field against the compiled-in workload suite and
+    /// flag vocabularies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workloads.is_empty() {
+            return Err("job has no workloads".to_owned());
+        }
+        for name in &self.workloads {
+            if Workload::find(name).is_none() {
+                return Err(format!("unknown workload `{name}`"));
+            }
+        }
+        if self.faults_per_workload == 0 {
+            return Err("faults_per_workload must be at least 1".to_owned());
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".to_owned());
+        }
+        if ReplayMode::from_flag(&self.replay_mode).is_none() {
+            return Err(format!("unknown replay mode `{}`", self.replay_mode));
+        }
+        if lockstep_eval::batch::BatchConfig::from_flag(&self.batch_mode).is_none() {
+            return Err(format!("unknown batch mode `{}`", self.batch_mode));
+        }
+        Ok(())
+    }
+
+    /// Builds the campaign configuration a worker runs one shard of
+    /// this job under. Shards run single-threaded — the service's
+    /// parallelism is worker-per-shard — and the merged result is
+    /// byte-identical to any other thread count by the shard
+    /// equivalence property.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same messages as [`JobSpec::validate`].
+    pub fn campaign_config(&self) -> Result<CampaignConfig, String> {
+        self.validate()?;
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|name| Workload::find(name).expect("validated above"))
+            .collect();
+        Ok(CampaignConfig {
+            workloads,
+            faults_per_workload: self.faults_per_workload as usize,
+            seed: self.seed,
+            threads: 1,
+            capture_window: DEFAULT_CAPTURE_WINDOW,
+            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
+            events: None,
+            trace_window: None,
+            replay_mode: ReplayMode::from_flag(&self.replay_mode).expect("validated above"),
+            cpus: 2,
+            batch: lockstep_eval::batch::BatchConfig::from_flag(&self.batch_mode)
+                .expect("validated above"),
+        })
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit a campaign job.
+    Submit(JobSpec),
+    /// Report job states — all jobs, or one when `job` is given.
+    Status {
+        /// Restrict the report to this job id.
+        job: Option<String>,
+    },
+    /// Diagnose a DSR against the table trained on completed jobs.
+    Predict {
+        /// The 62-bit divergence signature to diagnose.
+        dsr: u64,
+        /// Unit organization of the answer (7-unit coarse or 13-unit
+        /// fine).
+        granularity: Granularity,
+    },
+    /// Stop accepting work and exit once in-flight shards settle.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message for malformed JSON, a missing or
+    /// unknown `cmd`, or invalid fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Value::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let cmd = value
+            .field("cmd")
+            .and_then(Value::as_str)
+            .map_err(|_| "request needs a string `cmd` field".to_owned())?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "submit" => Ok(Request::Submit(parse_job_spec(&value)?)),
+            "status" => {
+                let job = match value.field("job") {
+                    Ok(v) => Some(
+                        v.as_str().map_err(|_| "`job` must be a string".to_owned())?.to_owned(),
+                    ),
+                    Err(_) => None,
+                };
+                Ok(Request::Status { job })
+            }
+            "predict" => Ok(Request::Predict {
+                dsr: parse_dsr(&value)?,
+                granularity: parse_granularity(&value)?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Submit-request defaults, spelled once (and documented in
+/// `docs/CAMPAIGN_SERVICE.md`).
+const DEFAULT_SEED: u64 = 1;
+const DEFAULT_SHARDS: u64 = 4;
+const DEFAULT_REPLAY_MODE: &str = "shadow";
+const DEFAULT_BATCH_MODE: &str = "full";
+
+fn parse_job_spec(value: &Value) -> Result<JobSpec, String> {
+    let workloads = value
+        .field("workloads")
+        .and_then(Value::as_array)
+        .map_err(|_| "submit needs a `workloads` array".to_owned())?
+        .iter()
+        .map(|v| v.as_str().map(str::to_owned))
+        .collect::<Result<Vec<String>, _>>()
+        .map_err(|_| "`workloads` entries must be strings".to_owned())?;
+    let faults_per_workload = value
+        .field("faults_per_workload")
+        .and_then(Value::as_u64)
+        .map_err(|_| "submit needs an integer `faults_per_workload`".to_owned())?;
+    let u64_field = |name: &str, default: u64| match value.field(name) {
+        Ok(v) => v.as_u64().map_err(|_| format!("`{name}` must be an unsigned integer")),
+        Err(_) => Ok(default),
+    };
+    let str_field = |name: &str, default: &str| match value.field(name) {
+        Ok(v) => v.as_str().map(str::to_owned).map_err(|_| format!("`{name}` must be a string")),
+        Err(_) => Ok(default.to_owned()),
+    };
+    let spec = JobSpec {
+        workloads,
+        faults_per_workload,
+        seed: u64_field("seed", DEFAULT_SEED)?,
+        shards: u64_field("shards", DEFAULT_SHARDS)?,
+        replay_mode: str_field("replay_mode", DEFAULT_REPLAY_MODE)?,
+        batch_mode: str_field("batch_mode", DEFAULT_BATCH_MODE)?,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Accepts the DSR as a JSON integer or a hex string (`"0x2400801"`) —
+/// 62-bit signatures are awkward as bare JSON numbers in some tooling.
+fn parse_dsr(value: &Value) -> Result<u64, String> {
+    let field = value.field("dsr").map_err(|_| "predict needs a `dsr` field".to_owned())?;
+    if let Ok(bits) = field.as_u64() {
+        return Ok(bits);
+    }
+    let text = field.as_str().map_err(|_| "`dsr` must be an integer or hex string".to_owned())?;
+    let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")).unwrap_or(text);
+    u64::from_str_radix(digits, 16).map_err(|_| format!("`dsr` is not a hex number: `{text}`"))
+}
+
+fn parse_granularity(value: &Value) -> Result<Granularity, String> {
+    match value.field("granularity") {
+        Ok(v) => match v.as_str() {
+            Ok("coarse") => Ok(Granularity::Coarse),
+            Ok("fine") => Ok(Granularity::Fine),
+            _ => Err("`granularity` must be \"coarse\" or \"fine\"".to_owned()),
+        },
+        Err(_) => Ok(Granularity::Coarse),
+    }
+}
+
+/// Spells a granularity the way the protocol does.
+pub fn granularity_label(granularity: Granularity) -> &'static str {
+    match granularity {
+        Granularity::Coarse => "coarse",
+        Granularity::Fine => "fine",
+    }
+}
+
+/// The failure response, for any request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Always `false`.
+    pub ok: bool,
+    /// Client-facing reason.
+    pub error: String,
+}
+
+/// Serializes the standard error line for `msg`.
+pub fn error_line(msg: &str) -> String {
+    serde_json::to_string(&ErrorResponse { ok: false, error: msg.to_owned() })
+        .expect("error response serializes")
+}
+
+/// Response to `ping`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PongResponse {
+    /// Always `true`.
+    pub ok: bool,
+    /// Service name, `"lockstep-serve"`.
+    pub service: String,
+    /// Archive format version completed shards are persisted as.
+    pub archive_version: u64,
+}
+
+/// Response to a successful `submit`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// Always `true`.
+    pub ok: bool,
+    /// Assigned job id (`job-000001`, ...).
+    pub job: String,
+    /// Shards the job was split into (after clamping to the queue
+    /// size).
+    pub shards: u64,
+    /// Total fault injections queued.
+    pub faults: u64,
+}
+
+/// One job's state within a `status` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: String,
+    /// `"running"`, `"done"` or `"failed"`.
+    pub state: String,
+    /// Shards whose archives are persisted.
+    pub shards_done: u64,
+    /// Shards the job was split into.
+    pub shards_total: u64,
+    /// Total fault injections in the job.
+    pub injected: u64,
+    /// Manifested error records across completed shards (merged count
+    /// once `"done"`, `0` while running).
+    pub records: u64,
+    /// Failure reason when `state` is `"failed"`, empty otherwise.
+    pub error: String,
+}
+
+/// Response to `status`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Always `true`.
+    pub ok: bool,
+    /// Pending shards in the scheduler queue (all jobs).
+    pub queued_shards: u64,
+    /// Reported jobs, in id order.
+    pub jobs: Vec<JobStatus>,
+}
+
+/// Response to a successful `predict`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Always `true`.
+    pub ok: bool,
+    /// The diagnosed DSR, as a zero-padded hex string.
+    pub dsr: String,
+    /// `"coarse"` or `"fine"`.
+    pub granularity: String,
+    /// Unit names, most-suspect first — the paper's ranked checking
+    /// order.
+    pub order: Vec<String>,
+    /// Predicted error type, `"hard"` or `"soft"`.
+    pub kind: String,
+    /// `true` when the DSR had a trained table entry; `false` means the
+    /// default order and type were returned.
+    pub table_hit: bool,
+    /// Error records the table was trained on.
+    pub trained_records: u64,
+    /// Completed jobs the training set was merged from.
+    pub trained_jobs: u64,
+}
+
+/// Response to `shutdown`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShutdownResponse {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `true`: the server stops accepting connections after
+    /// this line.
+    pub stopping: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command_with_defaults() {
+        assert_eq!(Request::parse(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(Request::parse(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(Request::parse(r#"{"cmd":"status"}"#).unwrap(), Request::Status { job: None });
+        assert_eq!(
+            Request::parse(r#"{"cmd":"status","job":"job-000002"}"#).unwrap(),
+            Request::Status { job: Some("job-000002".to_owned()) }
+        );
+        let submit = Request::parse(
+            r#"{"cmd":"submit","workloads":["rspeed","idctrn"],"faults_per_workload":30}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            submit,
+            Request::Submit(JobSpec {
+                workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
+                faults_per_workload: 30,
+                seed: DEFAULT_SEED,
+                shards: DEFAULT_SHARDS,
+                replay_mode: DEFAULT_REPLAY_MODE.to_owned(),
+                batch_mode: DEFAULT_BATCH_MODE.to_owned(),
+            })
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"predict","dsr":"0x2400801"}"#).unwrap(),
+            Request::Predict { dsr: 0x2400801, granularity: Granularity::Coarse }
+        );
+        assert_eq!(
+            Request::parse(r#"{"cmd":"predict","dsr":37748737,"granularity":"fine"}"#).unwrap(),
+            Request::Predict { dsr: 37748737, granularity: Granularity::Fine }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "malformed"),
+            (r#"{"cmd":"warp"}"#, "unknown command"),
+            (r#"{"verb":"ping"}"#, "cmd"),
+            (r#"{"cmd":"submit","faults_per_workload":5}"#, "workloads"),
+            (
+                r#"{"cmd":"submit","workloads":["nope"],"faults_per_workload":5}"#,
+                "unknown workload",
+            ),
+            (r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":0}"#, "at least 1"),
+            (
+                r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"shards":0}"#,
+                "shards",
+            ),
+            (
+                r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"batch_mode":"x"}"#,
+                "batch mode",
+            ),
+            (r#"{"cmd":"predict"}"#, "dsr"),
+            (r#"{"cmd":"predict","dsr":"0xzz"}"#, "hex"),
+            (r#"{"cmd":"predict","dsr":1,"granularity":"medium"}"#, "granularity"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` → `{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_and_builds_a_config() {
+        let spec = JobSpec {
+            workloads: vec!["idctrn".to_owned(), "rspeed".to_owned()],
+            faults_per_workload: 30,
+            seed: 9,
+            shards: 3,
+            replay_mode: "lockstep".to_owned(),
+            batch_mode: "off".to_owned(),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.total_faults(), 60);
+        let config = spec.campaign_config().unwrap();
+        assert_eq!(config.workloads.len(), 2);
+        assert_eq!(config.faults_per_workload, 30);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.threads, 1, "shards run single-threaded");
+        assert_eq!(config.replay_mode, ReplayMode::Lockstep);
+        assert!(config.batch.is_none());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let status = StatusResponse {
+            ok: true,
+            queued_shards: 2,
+            jobs: vec![JobStatus {
+                job: "job-000001".to_owned(),
+                state: "running".to_owned(),
+                shards_done: 1,
+                shards_total: 4,
+                injected: 60,
+                records: 0,
+                error: String::new(),
+            }],
+        };
+        let back: StatusResponse =
+            serde_json::from_str(&serde_json::to_string(&status).unwrap()).unwrap();
+        assert_eq!(back, status);
+        assert!(error_line("queue full").contains("\"ok\":false"));
+    }
+}

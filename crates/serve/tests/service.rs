@@ -1,0 +1,455 @@
+//! End-to-end service tests, each against a real TCP server on an
+//! ephemeral port: the full submit → shard → merge → predict loop, the
+//! restart-resume path, and every graceful-degradation contract
+//! (backpressure, lease timeout requeue, retry-then-fail).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lockstep_core::{Dsr, ErrorRecord, Predictor, PredictorConfig};
+use lockstep_cpu::Granularity;
+use lockstep_eval::archive::{CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
+use lockstep_eval::campaign::{run_campaign, CampaignStats};
+use lockstep_eval::dataset::Dataset;
+use lockstep_eval::shard::{merge_shard_archives, plan_shards, run_shard};
+use lockstep_fault::ErrorKind;
+use lockstep_obs::{Event, EventSink, MemorySink};
+use lockstep_serve::proto::{PredictResponse, StatusResponse, SubmitResponse};
+use lockstep_serve::{serve, JobSpec, Registry, SchedulerConfig, ServerHandle, ServiceConfig};
+use serde::json::Value;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lockstep_serve_test_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn small_spec() -> JobSpec {
+    JobSpec {
+        workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
+        faults_per_workload: 30,
+        seed: 77,
+        shards: 5,
+        replay_mode: "shadow".to_owned(),
+        batch_mode: "full".to_owned(),
+    }
+}
+
+/// One request, one response, one connection.
+fn send(handle: &ServerHandle, line: &str) -> String {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(format!("{line}\n").as_bytes()).expect("send");
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).expect("receive");
+    response.trim_end().to_owned()
+}
+
+fn send_ok<T: serde::Deserialize>(handle: &ServerHandle, line: &str) -> T {
+    let response = send(handle, line);
+    assert!(
+        Value::parse(&response).unwrap().field("ok").unwrap().as_bool().unwrap(),
+        "server refused `{line}`: {response}"
+    );
+    serde_json::from_str(&response)
+        .unwrap_or_else(|e| panic!("unexpected response `{response}`: {e}"))
+}
+
+fn submit_line(spec: &JobSpec) -> String {
+    let mut body = serde_json::to_string(spec).expect("spec serializes");
+    body.replace_range(0..1, r#"{"cmd":"submit","#);
+    body
+}
+
+/// Polls until the job leaves `"running"`, returning its final state.
+fn wait_for(
+    handle: &ServerHandle,
+    job: &str,
+    timeout: Duration,
+) -> lockstep_serve::proto::JobStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let status: StatusResponse =
+            send_ok(handle, &format!(r#"{{"cmd":"status","job":"{job}"}}"#));
+        let job_status = status.jobs.into_iter().next().expect("job listed");
+        if job_status.state != "running" || Instant::now() >= deadline {
+            return job_status;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Serialized archive with throughput stats normalized out, the
+/// byte-identity convention of the eval test suite.
+fn archive_bytes(mut archive: CampaignArchive) -> String {
+    archive.stats = CampaignStats::default();
+    serde_json::to_string(&archive).expect("archive serializes")
+}
+
+/// A structurally valid, instantly produced shard archive for
+/// scheduler behavior tests that do not need real campaign data. It
+/// carries honest shard provenance so sibling shards still merge.
+fn dummy_archive(spec: &JobSpec, shard: &lockstep_eval::shard::ShardSpec) -> CampaignArchive {
+    let config = spec.campaign_config().expect("valid spec");
+    let golden = config
+        .workloads
+        .iter()
+        .map(|w| {
+            let g = GoldenRunRepr { cycles: 1000, output_checksum: 0, instructions: 500 };
+            (w.name.to_owned(), g)
+        })
+        .collect();
+    CampaignArchive {
+        version: ARCHIVE_VERSION,
+        records: Vec::new(),
+        injected: 0,
+        injected_per_unit: vec![[0u64; 2]; 13],
+        golden,
+        stats: CampaignStats::default(),
+        traces: Vec::new(),
+        fuzz: Vec::new(),
+        shard: Some(lockstep_eval::shard::ShardRepr::new(&config, shard)),
+    }
+}
+
+fn event_kinds(sink: &MemorySink) -> Vec<&'static str> {
+    sink.events().iter().map(Event::kind).collect()
+}
+
+/// The tentpole contract end to end: a submitted job completes and the
+/// prediction endpoint answers **exactly** like the offline-trained
+/// table, for every DSR the campaign manifested, at both granularities,
+/// plus a guaranteed table miss.
+#[test]
+fn submitted_job_completes_and_predictions_match_offline() {
+    let dir = temp_dir("predict");
+    let sink = Arc::new(MemorySink::new());
+    let config = ServiceConfig {
+        scheduler: SchedulerConfig { workers: 3, ..SchedulerConfig::default() },
+        events: Some(sink.clone() as Arc<dyn EventSink>),
+        runner: None,
+    };
+    let handle = serve("127.0.0.1:0", &dir, config).expect("server starts");
+
+    let spec = small_spec();
+    let submitted: SubmitResponse = send_ok(&handle, &submit_line(&spec));
+    assert_eq!(submitted.job, "job-000001");
+    assert_eq!(submitted.shards, 5);
+    assert_eq!(submitted.faults, 60);
+
+    let status = wait_for(&handle, &submitted.job, Duration::from_secs(300));
+    assert_eq!(status.state, "done", "job must complete: {status:?}");
+    assert_eq!(status.shards_done, 5);
+
+    // Offline reference: identical campaign, identical training call.
+    let mut campaign = spec.campaign_config().unwrap();
+    campaign.threads = 4;
+    let result = run_campaign(&campaign);
+    assert_eq!(status.records, result.records.len() as u64, "service merged the same records");
+
+    for granularity in [Granularity::Coarse, Granularity::Fine] {
+        let records: Vec<&ErrorRecord> = result.records.iter().collect();
+        let train = Dataset::to_train_records(&records, granularity);
+        let offline = Predictor::train(&train, PredictorConfig::new(granularity));
+        let mut dsrs: Vec<u64> = result.records.iter().map(|r| r.dsr.bits()).collect();
+        dsrs.sort_unstable();
+        dsrs.dedup();
+        assert!(!dsrs.is_empty());
+        let miss = (0..u64::MAX).find(|b| dsrs.binary_search(b).is_err()).unwrap();
+        dsrs.push(miss);
+        let label = lockstep_serve::proto::granularity_label(granularity);
+        for &bits in &dsrs {
+            let expected = offline.predict(Dsr::from_bits(bits));
+            let got: PredictResponse = send_ok(
+                &handle,
+                &format!(r#"{{"cmd":"predict","dsr":"{bits:#x}","granularity":"{label}"}}"#),
+            );
+            let expected_order: Vec<String> =
+                expected.order.iter().map(|&u| granularity.unit_name(u).to_owned()).collect();
+            assert_eq!(got.order, expected_order, "dsr {bits:016x} ({label})");
+            assert_eq!(
+                got.kind,
+                match expected.kind {
+                    ErrorKind::Hard => "hard",
+                    ErrorKind::Soft => "soft",
+                },
+                "dsr {bits:016x} ({label})"
+            );
+            assert_eq!(got.table_hit, expected.table_hit, "dsr {bits:016x} ({label})");
+            assert_eq!(got.trained_jobs, 1);
+            assert_eq!(got.trained_records, result.records.len() as u64);
+        }
+    }
+
+    // The obs sink saw the whole job lifecycle.
+    let kinds = event_kinds(&sink);
+    for expected in
+        ["job_submitted", "shard_leased", "shard_completed", "job_completed", "prediction_served"]
+    {
+        assert!(kinds.contains(&expected), "missing `{expected}` in {kinds:?}");
+    }
+
+    send_ok::<lockstep_serve::proto::ShutdownResponse>(&handle, r#"{"cmd":"shutdown"}"#);
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A server killed mid-job resumes from the registry: whatever shard
+/// archives reached disk are kept, the rest are requeued, and the
+/// merged result is byte-identical to the uninterrupted single-shot
+/// campaign.
+#[test]
+fn restarted_server_resumes_incomplete_jobs() {
+    let dir = temp_dir("resume");
+    let spec = JobSpec { seed: 11, faults_per_workload: 24, shards: 6, ..small_spec() };
+    let campaign = spec.campaign_config().unwrap();
+    let specs = plan_shards(&campaign, 6);
+
+    // Lifetime 1: register the job and complete two shards, then die
+    // (drop everything; only the data directory survives).
+    {
+        let registry = Registry::open(&dir).expect("registry opens");
+        let job = registry.create_job(&spec, specs.len() as u64).expect("job registers");
+        assert_eq!(job.id, "job-000001");
+        for shard_spec in &specs[..2] {
+            let archive = run_shard(&campaign, shard_spec);
+            assert!(registry.complete_shard(&job.id, shard_spec.index, &archive).unwrap());
+        }
+    }
+
+    // Lifetime 2: a fresh server on the same data directory finishes
+    // the job without being asked.
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServiceConfig {
+            scheduler: SchedulerConfig { workers: 2, ..SchedulerConfig::default() },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("server restarts");
+    let status = wait_for(&handle, "job-000001", Duration::from_secs(300));
+    assert_eq!(status.state, "done", "resumed job must complete: {status:?}");
+
+    let registry = Registry::open(&dir).unwrap();
+    let merged = merge_shard_archives(&registry.load_completed("job-000001").unwrap()).unwrap();
+    let mut single_config = spec.campaign_config().unwrap();
+    single_config.threads = 4;
+    let single = CampaignArchive::from_result(&run_campaign(&single_config));
+    assert_eq!(
+        archive_bytes(merged),
+        archive_bytes(single),
+        "resumed merge must be byte-identical to the uninterrupted campaign"
+    );
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The bounded queue rejects submits it cannot hold instead of
+/// accepting work it would starve.
+#[test]
+fn full_queue_rejects_new_jobs_with_backpressure() {
+    let dir = temp_dir("backpressure");
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServiceConfig {
+            scheduler: SchedulerConfig {
+                workers: 0, // nothing drains the queue
+                queue_capacity: 4,
+                ..SchedulerConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let spec = JobSpec { shards: 4, ..small_spec() };
+    let first: SubmitResponse = send_ok(&handle, &submit_line(&spec));
+    assert_eq!(first.shards, 4);
+
+    let refused = send(&handle, &submit_line(&spec));
+    let value = Value::parse(&refused).unwrap();
+    assert!(!value.field("ok").unwrap().as_bool().unwrap());
+    let error = value.field("error").unwrap().as_str().unwrap().to_owned();
+    assert!(error.contains("queue full"), "want backpressure error, got `{error}`");
+
+    // The rejected job is marked failed, not left to resurrect on
+    // restart.
+    let status = wait_for(&handle, "job-000002", Duration::from_secs(5));
+    assert_eq!(status.state, "failed");
+    assert!(status.error.contains("queue full"));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shard that overruns its lease is requeued by the watchdog and
+/// completed by another attempt; the late original is dropped by
+/// first-writer-wins (shard reruns are byte-identical, so either
+/// archive is the right one).
+#[test]
+fn timed_out_shards_are_requeued_and_the_job_still_completes() {
+    let dir = temp_dir("timeout");
+    let sink = Arc::new(MemorySink::new());
+    let slow_done = Arc::new(AtomicBool::new(false));
+    let slow_flag = Arc::clone(&slow_done);
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServiceConfig {
+            scheduler: SchedulerConfig {
+                workers: 2,
+                shard_timeout: Duration::from_millis(100),
+                ..SchedulerConfig::default()
+            },
+            events: Some(sink.clone() as Arc<dyn EventSink>),
+            runner: Some(Arc::new(move |spec, shard| {
+                // First lease of shard 0 sleeps well past its lease.
+                if shard.index == 0 && !slow_flag.swap(true, Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                dummy_archive(spec, shard)
+            })),
+        },
+    )
+    .expect("server starts");
+
+    let spec = JobSpec { shards: 3, ..small_spec() };
+    let submitted: SubmitResponse = send_ok(&handle, &submit_line(&spec));
+    let status = wait_for(&handle, &submitted.job, Duration::from_secs(60));
+    assert_eq!(status.state, "done", "{status:?}");
+    assert_eq!(status.shards_done, 3);
+
+    let requeued = sink
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::ShardRequeued { shard: 0, reason, .. } if reason == "timeout"));
+    assert!(requeued, "watchdog must requeue the overrunning shard: {:?}", event_kinds(&sink));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shard that keeps panicking fails its job after the attempt limit
+/// with the panic message on record — and the service keeps serving
+/// other jobs.
+#[test]
+fn repeatedly_panicking_shard_fails_its_job_but_not_the_service() {
+    let dir = temp_dir("panic");
+    let sink = Arc::new(MemorySink::new());
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServiceConfig {
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_attempts: 2,
+                ..SchedulerConfig::default()
+            },
+            events: Some(sink.clone() as Arc<dyn EventSink>),
+            runner: Some(Arc::new(|spec, shard| {
+                // Seed 13 marks the poisoned job; its shard 1 always dies.
+                if spec.seed == 13 && shard.index == 1 {
+                    panic!("injected shard failure");
+                }
+                dummy_archive(spec, shard)
+            })),
+        },
+    )
+    .expect("server starts");
+
+    let poisoned: SubmitResponse =
+        send_ok(&handle, &submit_line(&JobSpec { seed: 13, shards: 3, ..small_spec() }));
+    let status = wait_for(&handle, &poisoned.job, Duration::from_secs(60));
+    assert_eq!(status.state, "failed", "{status:?}");
+    assert!(status.error.contains("injected shard failure"), "error: {}", status.error);
+    assert!(status.error.contains("after 2 attempts"), "error: {}", status.error);
+    let kinds = event_kinds(&sink);
+    assert!(kinds.contains(&"shard_requeued"), "first attempt requeues: {kinds:?}");
+    assert!(kinds.contains(&"job_failed"), "second attempt fails the job: {kinds:?}");
+
+    // The service is still healthy for the next job.
+    let healthy: SubmitResponse =
+        send_ok(&handle, &submit_line(&JobSpec { seed: 14, shards: 3, ..small_spec() }));
+    let status = wait_for(&handle, &healthy.job, Duration::from_secs(60));
+    assert_eq!(status.state, "done", "{status:?}");
+
+    // Dummy archives carry no records, so the predictor has nothing to
+    // train on — the endpoint degrades with an error, not a panic.
+    let refused = send(&handle, r#"{"cmd":"predict","dsr":"0x1"}"#);
+    let value = Value::parse(&refused).unwrap();
+    assert!(!value.field("ok").unwrap().as_bool().unwrap());
+    let predict_error = value.field("error").unwrap().as_str().unwrap().to_owned();
+    assert!(predict_error.contains("no trained table"), "got `{predict_error}`");
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Protocol robustness on one persistent connection: bad requests get
+/// error lines, good requests still work afterwards, and a request
+/// split across TCP writes is reassembled.
+#[test]
+fn malformed_requests_get_error_lines_and_the_connection_survives() {
+    let dir = temp_dir("proto");
+    let handle = serve(
+        "127.0.0.1:0",
+        &dir,
+        ServiceConfig {
+            scheduler: SchedulerConfig { workers: 0, ..SchedulerConfig::default() },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: &str| -> Value {
+        writer.write_all(format!("{line}\n").as_bytes()).expect("send");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("receive");
+        Value::parse(response.trim_end()).expect("response parses")
+    };
+
+    for bad in [
+        "this is not json",
+        r#"{"cmd":"warp"}"#,
+        r#"{"no_cmd":true}"#,
+        r#"{"cmd":"submit","workloads":["not_a_workload"],"faults_per_workload":5}"#,
+        r#"{"cmd":"status","job":"job-999999"}"#,
+        r#"{"cmd":"predict","dsr":"0x1"}"#,
+    ] {
+        let value = roundtrip(bad);
+        assert!(!value.field("ok").unwrap().as_bool().unwrap(), "`{bad}` must be refused");
+        assert!(!value.field("error").unwrap().as_str().unwrap().is_empty());
+    }
+
+    // Same connection still serves good requests...
+    let pong = roundtrip(r#"{"cmd":"ping"}"#);
+    assert!(pong.field("ok").unwrap().as_bool().unwrap());
+    assert_eq!(pong.field("service").unwrap().as_str().unwrap(), "lockstep-serve");
+
+    // ...including one dribbled in across two TCP writes.
+    writer.write_all(br#"{"cmd":"#).expect("send head");
+    writer.flush().ok();
+    std::thread::sleep(Duration::from_millis(30));
+    writer.write_all(b"\"ping\"}\n").expect("send tail");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    assert!(Value::parse(response.trim_end()).unwrap().field("ok").unwrap().as_bool().unwrap());
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

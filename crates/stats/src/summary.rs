@@ -7,7 +7,13 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Online summary of a stream of `f64` samples.
+///
+/// Serializes as its five accumulator fields, so a summary built on one
+/// machine (e.g. per-shard wall times inside the campaign service) can
+/// ship over the wire and keep merging on another.
 ///
 /// # Example
 ///
@@ -18,7 +24,7 @@ use std::fmt;
 /// assert_eq!(s.mean(), Some(4.0));
 /// assert_eq!(s.max(), Some(6.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Summary {
     count: u64,
     min: f64,
@@ -196,6 +202,20 @@ mod tests {
         let mut e = Summary::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_merging() {
+        let a: Summary = (0..40).map(f64::from).collect();
+        let json = serde_json::to_string(&a).unwrap();
+        let mut back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        // A deserialized summary is a live accumulator, not a snapshot.
+        let b: Summary = (40..100).map(f64::from).collect();
+        back.merge(&b);
+        let all: Summary = (0..100).map(f64::from).collect();
+        assert_eq!(back.count(), all.count());
+        assert!((back.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   fuzzer that checks the pipeline against it.
 //! * [`hwcost`] — the Table IV area/power overhead model.
 //! * [`eval`] — fault-injection campaigns and per-table/figure experiments.
+//! * [`serve`] — the campaign service: sharded fault-injection jobs and
+//!   the prediction endpoint over line-delimited JSON-over-TCP.
 //!
 //! # Quickstart
 //!
@@ -42,5 +44,6 @@ pub use lockstep_hwcost as hwcost;
 pub use lockstep_isa as isa;
 pub use lockstep_iss as iss;
 pub use lockstep_mem as mem;
+pub use lockstep_serve as serve;
 pub use lockstep_stats as stats;
 pub use lockstep_workloads as workloads;
