@@ -38,6 +38,7 @@ fn config(batch: Option<BatchConfig>) -> CampaignConfig {
         replay_mode: Default::default(),
         cpus: 2,
         batch,
+        core: lockstep_cpu::CoreKind::Lr5,
     }
 }
 

@@ -38,6 +38,7 @@ fn config(checkpoint_interval: Option<u64>) -> CampaignConfig {
         replay_mode: Default::default(),
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     }
 }
 

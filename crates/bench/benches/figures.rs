@@ -34,6 +34,7 @@ fn campaign() -> &'static CampaignResult {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: lockstep_cpu::CoreKind::Lr5,
         })
     })
 }
@@ -56,6 +57,7 @@ fn bench_campaign_engine(c: &mut Criterion) {
                 replay_mode: Default::default(),
                 cpus: 2,
                 batch: None,
+                core: lockstep_cpu::CoreKind::Lr5,
             }))
         })
     });

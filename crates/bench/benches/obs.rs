@@ -37,6 +37,7 @@ fn config() -> CampaignConfig {
         replay_mode: Default::default(),
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     }
 }
 

@@ -101,23 +101,28 @@ impl LbistEngine {
         let mut ports = PortSet::new();
         let mut pattern_state = self.seed ^ 0xD1A6_0057;
         for p in 0..self.patterns {
-            let mut cpu = Cpu::new(0);
-            // Deterministic background state + pattern into the chain.
-            load_background(cpu.state_mut(), self.seed ^ u64::from(p));
-            for (i, &flop) in chain.iter().enumerate() {
+            // Deterministic background state + pattern into the chain,
+            // assembled outside the core and installed via `from_state`:
+            // scan access is a state-construction operation, not a
+            // mutation of a live core.
+            let mut state = CpuState::reset(0);
+            load_background(&mut state, self.seed ^ u64::from(p));
+            for &flop in &chain {
                 let bit = splitmix64(&mut pattern_state) & 1 == 1;
-                flops::set_bit(cpu.state_mut(), flop, bit);
-                let _ = i;
+                flops::set_bit(&mut state, flop, bit);
             }
             // Scan-in cost: one cycle per chain bit.
             cycles += chain.len() as u64;
             // One functional capture cycle, with the defect active.
             let capture_cycle = cycles;
+            if let Some(f) = fault {
+                // The defect also corrupts the scanned-in state, as a
+                // real stuck-at in a scan flop would.
+                f.overlay(&mut state, capture_cycle);
+            }
+            let mut cpu = Cpu::from_state(state);
             match fault {
                 Some(f) => {
-                    // The defect also corrupts the scanned-in state, as a
-                    // real stuck-at in a scan flop would.
-                    f.overlay(cpu.state_mut(), capture_cycle);
                     cpu.step_with_overlay(&mut mem, &mut ports, |st| {
                         f.overlay(st, capture_cycle + 1);
                     });

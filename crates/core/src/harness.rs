@@ -21,7 +21,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use lockstep_cpu::{Cpu, CpuState, PortSet};
+use lockstep_cpu::{CoreModel, Cpu, PortSet};
 use lockstep_fault::Fault;
 use lockstep_mem::{BusFault, Memory, MemoryPort};
 use lockstep_obs::{Event, EventSink};
@@ -109,9 +109,14 @@ impl MemoryPort for ReplayPort {
 
 /// A lockstep processor: N redundant CPUs around a shared or replicated
 /// memory system.
+///
+/// Generic over the [`CoreModel`] being replicated (LR5's [`Cpu`] by
+/// default); the checker, DSR capture and recovery mechanics are
+/// identical for every core because they act only on port snapshots and
+/// the `CoreModel` surface.
 #[derive(Debug)]
-pub struct LockstepSystem {
-    cpus: Vec<Cpu>,
+pub struct LockstepSystem<C: CoreModel = Cpu> {
+    cpus: Vec<C>,
     /// The main CPU's memory (the only memory under [`MemoryModel::SharedBus`]).
     mem: Memory,
     /// Private memories of CPUs `1..n` under [`MemoryModel::Replicated`];
@@ -126,8 +131,9 @@ pub struct LockstepSystem {
 }
 
 impl LockstepSystem {
-    /// Creates an `n`-CPU lockstep system over `mem` with the shared-bus
-    /// memory model (Figure 1c, the paper's DCLS configuration).
+    /// Creates an `n`-CPU LR5 lockstep system over `mem` with the
+    /// shared-bus memory model (Figure 1c, the paper's DCLS
+    /// configuration). Shorthand for [`LockstepSystem::new_for`].
     ///
     /// All CPUs reset to identical state (including `hartid` 0: in real
     /// DCLS the redundant CPU is fed the main CPU's identity so that
@@ -137,29 +143,60 @@ impl LockstepSystem {
     ///
     /// Panics if `n < 2`.
     pub fn new(n: usize, mem: Memory) -> LockstepSystem {
-        LockstepSystem::with_model(n, mem, MemoryModel::SharedBus)
+        LockstepSystem::new_for(n, mem)
     }
 
-    /// Creates an `n`-CPU board-level lockstep system (Figure 1a): each
-    /// CPU gets its own clone of `mem`, so every CPU's inputs stay
+    /// Creates an `n`-CPU board-level LR5 lockstep system (Figure 1a):
+    /// each CPU gets its own clone of `mem`, so every CPU's inputs stay
     /// fault-free regardless of what the others do. This is the model
     /// the campaign's full-lockstep replay simulates per injection.
+    /// Shorthand for [`LockstepSystem::new_replicated_for`].
     ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     pub fn new_replicated(n: usize, mem: Memory) -> LockstepSystem {
+        LockstepSystem::new_replicated_for(n, mem)
+    }
+
+    /// Dual-modular redundancy (the paper's main configuration).
+    pub fn dmr(mem: Memory) -> LockstepSystem {
+        LockstepSystem::new(2, mem)
+    }
+
+    /// Triple-modular redundancy with majority voting.
+    pub fn tmr(mem: Memory) -> LockstepSystem {
+        LockstepSystem::new(3, mem)
+    }
+}
+
+impl<C: CoreModel> LockstepSystem<C> {
+    /// [`LockstepSystem::new`] over core model `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new_for(n: usize, mem: Memory) -> LockstepSystem<C> {
+        LockstepSystem::with_model(n, mem, MemoryModel::SharedBus)
+    }
+
+    /// [`LockstepSystem::new_replicated`] over core model `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new_replicated_for(n: usize, mem: Memory) -> LockstepSystem<C> {
         LockstepSystem::with_model(n, mem, MemoryModel::Replicated)
     }
 
-    fn with_model(n: usize, mem: Memory, model: MemoryModel) -> LockstepSystem {
+    fn with_model(n: usize, mem: Memory, model: MemoryModel) -> LockstepSystem<C> {
         assert!(n >= 2, "lockstep needs at least two CPUs");
         let replicas = match model {
             MemoryModel::SharedBus => Vec::new(),
             MemoryModel::Replicated => (1..n).map(|_| mem.clone()).collect(),
         };
         LockstepSystem {
-            cpus: (0..n).map(|_| Cpu::new(0)).collect(),
+            cpus: (0..n).map(|_| C::new(0)).collect(),
             mem,
             replicas,
             model,
@@ -204,16 +241,6 @@ impl LockstepSystem {
         self.capture_window = window;
     }
 
-    /// Dual-modular redundancy (the paper's main configuration).
-    pub fn dmr(mem: Memory) -> LockstepSystem {
-        LockstepSystem::new(2, mem)
-    }
-
-    /// Triple-modular redundancy with majority voting.
-    pub fn tmr(mem: Memory) -> LockstepSystem {
-        LockstepSystem::new(3, mem)
-    }
-
     /// Number of redundant CPUs.
     pub fn cpu_count(&self) -> usize {
         self.cpus.len()
@@ -235,7 +262,7 @@ impl LockstepSystem {
     }
 
     /// The main CPU.
-    pub fn main_cpu(&self) -> &Cpu {
+    pub fn main_cpu(&self) -> &C {
         &self.cpus[0]
     }
 
@@ -249,8 +276,8 @@ impl LockstepSystem {
         if let Some(sink) = &self.events {
             sink.emit(&Event::Inject {
                 workload: self.label.clone(),
-                unit: fault.unit().name().to_owned(),
-                fault: fault.describe(),
+                unit: fault.unit_for::<C>().name().to_owned(),
+                fault: fault.describe_for::<C>(),
                 cycle: fault.cycle,
             });
         }
@@ -299,7 +326,7 @@ impl LockstepSystem {
                 self.cpus[0].step_with_overlay(&mut recorder, &mut ports[0], |st| {
                     for (c, f) in faults {
                         if *c == 0 {
-                            f.overlay(st, cycle);
+                            f.overlay_for::<C>(st, cycle);
                         }
                     }
                 });
@@ -314,7 +341,7 @@ impl LockstepSystem {
                     cpu.step_with_overlay(&mut replay, port, |st| {
                         for (c, f) in faults {
                             if *c == i {
-                                f.overlay(st, cycle);
+                                f.overlay_for::<C>(st, cycle);
                             }
                         }
                     });
@@ -328,7 +355,7 @@ impl LockstepSystem {
                     cpu.step_with_overlay(mem, port, |st| {
                         for (c, f) in faults {
                             if *c == i {
-                                f.overlay(st, cycle);
+                                f.overlay_for::<C>(st, cycle);
                             }
                         }
                     });
@@ -371,8 +398,9 @@ impl LockstepSystem {
     /// and restart the task (I/O streams restart; memory image persists,
     /// so the program re-enters at the reset vector).
     pub fn reset_and_restart(&mut self) {
+        let reset = C::reset_state(0);
         for cpu in &mut self.cpus {
-            cpu.reset();
+            cpu.restore(&reset);
         }
         self.mem.reset_io();
         for mem in &mut self.replicas {
@@ -391,8 +419,8 @@ impl LockstepSystem {
         assert!(self.cpus.len() >= 3, "forward recovery requires MMR");
         assert!(erring_cpu < self.cpus.len() && healthy_cpu < self.cpus.len());
         assert_ne!(erring_cpu, healthy_cpu);
-        let donor: CpuState = self.cpus[healthy_cpu].state().clone();
-        *self.cpus[erring_cpu].state_mut() = donor;
+        let donor = self.cpus[healthy_cpu].snapshot();
+        self.cpus[erring_cpu].restore(&donor);
     }
 }
 

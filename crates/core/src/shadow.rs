@@ -32,7 +32,7 @@
 //! [`MemoryModel::Replicated`]: crate::harness::MemoryModel::Replicated
 //! [`LockstepSystem`]: crate::harness::LockstepSystem
 
-use lockstep_cpu::{Cpu, CpuState, PortSet, PortTrace};
+use lockstep_cpu::{CoreModel, Cpu, PortSet, PortTrace};
 use lockstep_fault::Fault;
 use lockstep_mem::Memory;
 
@@ -42,10 +42,12 @@ use crate::harness::{accumulate_capture_window, LockstepEvent};
 /// A shadow-golden lockstep harness: one live CPU, one recorded trace.
 ///
 /// The trace is borrowed, not owned — campaigns share one golden trace
-/// across thousands of injections.
+/// across thousands of injections. Generic over the [`CoreModel`] being
+/// shadowed (LR5's [`Cpu`] by default); the recorded golden trace must
+/// of course come from the same core model.
 #[derive(Debug)]
-pub struct ShadowLockstep<'t> {
-    cpu: Cpu,
+pub struct ShadowLockstep<'t, C: CoreModel = Cpu> {
+    cpu: C,
     mem: Memory,
     golden: &'t PortTrace,
     faults: Vec<Fault>,
@@ -53,12 +55,12 @@ pub struct ShadowLockstep<'t> {
     capture_window: u32,
 }
 
-impl<'t> ShadowLockstep<'t> {
+impl<'t, C: CoreModel> ShadowLockstep<'t, C> {
     /// Creates a shadow harness from reset over `mem`, checked against
     /// `golden` (entry `c` = the fault-free ports of cycle `c`).
-    pub fn new(mem: Memory, golden: &'t PortTrace) -> ShadowLockstep<'t> {
+    pub fn new(mem: Memory, golden: &'t PortTrace) -> ShadowLockstep<'t, C> {
         ShadowLockstep {
-            cpu: Cpu::new(0),
+            cpu: C::new(0),
             mem,
             golden,
             faults: Vec::new(),
@@ -70,13 +72,13 @@ impl<'t> ShadowLockstep<'t> {
     /// Resumes a shadow harness mid-run from checkpointed state: the CPU
     /// flops and memory image captured at `cycle` of the golden run.
     pub fn resume(
-        state: CpuState,
+        state: C::State,
         mem: Memory,
         cycle: u64,
         golden: &'t PortTrace,
-    ) -> ShadowLockstep<'t> {
+    ) -> ShadowLockstep<'t, C> {
         ShadowLockstep {
-            cpu: Cpu::from_state(state),
+            cpu: C::from_state(state),
             mem,
             golden,
             faults: Vec::new(),
@@ -112,7 +114,7 @@ impl<'t> ShadowLockstep<'t> {
     }
 
     /// The shadowed CPU.
-    pub fn cpu(&self) -> &Cpu {
+    pub fn cpu(&self) -> &C {
         &self.cpu
     }
 
@@ -134,7 +136,7 @@ impl<'t> ShadowLockstep<'t> {
     /// port-visible and the ports have matched so far, so equal flop
     /// files imply equal memories and therefore an identical,
     /// fault-free future.
-    pub fn masked_from(&self, golden_state: &CpuState) -> bool {
+    pub fn masked_from(&self, golden_state: &C::State) -> bool {
         let all_inert = self
             .faults
             .iter()
@@ -167,7 +169,7 @@ impl<'t> ShadowLockstep<'t> {
         let faults = &self.faults;
         self.cpu.step_with_overlay(&mut self.mem, &mut ports, |st| {
             for f in faults {
-                f.overlay(st, cycle);
+                f.overlay_for::<C>(st, cycle);
             }
         });
 

@@ -104,7 +104,7 @@ proptest! {
         live.set_capture_window(window);
         live.inject(0, fault);
 
-        let mut shadow = ShadowLockstep::new(mem, &golden);
+        let mut shadow: ShadowLockstep = ShadowLockstep::new(mem, &golden);
         shadow.set_capture_window(window);
         shadow.inject(fault);
 
@@ -138,7 +138,7 @@ proptest! {
         live.set_capture_window(8);
         live.inject(1, fault);
 
-        let mut shadow = ShadowLockstep::new(mem, &golden);
+        let mut shadow: ShadowLockstep = ShadowLockstep::new(mem, &golden);
         shadow.set_capture_window(8);
         shadow.inject(fault);
 
@@ -160,7 +160,7 @@ proptest! {
 fn fault_free_shadow_runs_to_trace_end_then_halts() {
     let mem = memory("li gp, 0x4000\naddi a0, a0, 1\nhere: j here\n", 3);
     let golden = golden_trace(&mem);
-    let mut shadow = ShadowLockstep::new(mem, &golden);
+    let mut shadow: ShadowLockstep = ShadowLockstep::new(mem, &golden);
     for _ in 0..TRACE_CYCLES {
         assert_eq!(shadow.step(), LockstepEvent::Running);
     }
@@ -190,7 +190,7 @@ fn masked_from_is_sound_and_conservative() {
             continue;
         }
         let fault = Fault::new(flop, FaultKind::Transient, strike);
-        let mut shadow = ShadowLockstep::new(mem.clone(), &golden);
+        let mut shadow: ShadowLockstep = ShadowLockstep::new(mem.clone(), &golden);
         shadow.set_capture_window(1);
         shadow.inject(fault);
 
@@ -224,7 +224,7 @@ fn masked_from_is_sound_and_conservative() {
 
     // Stuck-ats never qualify: their overlay keeps forcing the bit.
     let flop = flops::all_flops().next().unwrap();
-    let mut shadow = ShadowLockstep::new(mem.clone(), &golden);
+    let mut shadow: ShadowLockstep = ShadowLockstep::new(mem.clone(), &golden);
     shadow.inject(Fault::new(flop, FaultKind::StuckAt0, strike));
     let mut gcpu = Cpu::new(0);
     let mut gmem = mem.clone();

@@ -6,14 +6,23 @@
 //! a registry of [`FlopReg`] descriptors — one per architectural register
 //! of the design, each tagged with the [`UnitId`] it belongs to — and a
 //! [`FlopId`] addresses one bit of one (lane of one) register.
+//!
+//! The registry is generic over the sequential-state type: LR5's
+//! [`CpuState`] and LR7's `Lr7State` each publish their own
+//! `&'static [FlopReg<S>]` (via [`crate::CoreModel::registry`]), and the
+//! `*_in` helpers below operate on any such slice. The un-suffixed free
+//! functions remain the LR5 shorthand they always were.
 
 use std::sync::OnceLock;
 
 use crate::state::CpuState;
 use crate::units::UnitId;
 
-/// Descriptor of one named state register (or register array) of the CPU.
-pub struct FlopReg {
+/// Descriptor of one named state register (or register array) of a core.
+///
+/// The state type `S` defaults to LR5's [`CpuState`]; other cores
+/// instantiate it with their own state struct.
+pub struct FlopReg<S = CpuState> {
     /// Field name in the RTL-level state (e.g. `"pc"`, `"regs"`).
     pub name: &'static str,
     /// The logical unit the register belongss to.
@@ -22,11 +31,11 @@ pub struct FlopReg {
     pub width: u8,
     /// Number of lanes (1 for scalars, 31 for the register bank).
     pub lanes: u16,
-    pub(crate) get: fn(&CpuState, usize) -> u64,
-    pub(crate) set: fn(&mut CpuState, usize, u64),
+    pub(crate) get: fn(&S, usize) -> u64,
+    pub(crate) set: fn(&mut S, usize, u64),
 }
 
-impl std::fmt::Debug for FlopReg {
+impl<S> std::fmt::Debug for FlopReg<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlopReg")
             .field("name", &self.name)
@@ -37,19 +46,19 @@ impl std::fmt::Debug for FlopReg {
     }
 }
 
-impl FlopReg {
+impl<S> FlopReg<S> {
     /// Total flip-flops in this register (width × lanes).
     pub fn total_bits(&self) -> u32 {
         u32::from(self.width) * u32::from(self.lanes)
     }
 
     /// Reads lane `lane`, masked to `width` bits.
-    pub fn read(&self, state: &CpuState, lane: usize) -> u64 {
+    pub fn read(&self, state: &S, lane: usize) -> u64 {
         (self.get)(state, lane) & mask(self.width)
     }
 
     /// Writes lane `lane`; the value is masked to `width` bits.
-    pub fn write(&self, state: &mut CpuState, lane: usize, value: u64) {
+    pub fn write(&self, state: &mut S, lane: usize, value: u64) {
         (self.set)(state, lane, value & mask(self.width));
     }
 }
@@ -64,9 +73,12 @@ fn mask(width: u8) -> u64 {
 }
 
 /// Address of a single flip-flop: a register, a lane within it, and a bit.
+///
+/// An id is only meaningful relative to one core's registry — LR5's
+/// `{reg: 0, ...}` and LR7's `{reg: 0, ...}` name different flops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlopId {
-    /// Index into [`registry`].
+    /// Index into the core's registry.
     pub reg: u16,
     /// Lane within the register (always 0 for scalars).
     pub lane: u16,
@@ -74,43 +86,42 @@ pub struct FlopId {
     pub bit: u8,
 }
 
-/// The full flip-flop registry of the CPU, built once.
-pub fn registry() -> &'static [FlopReg] {
-    static REGISTRY: OnceLock<Vec<FlopReg>> = OnceLock::new();
-    REGISTRY.get_or_init(crate::state::build_registry)
+// --- registry-parameterized helpers (any core) ---
+
+/// Total number of flip-flops described by `regs`.
+pub fn total_flops_in<S>(regs: &[FlopReg<S>]) -> u32 {
+    regs.iter().map(FlopReg::total_bits).sum()
 }
 
-/// Total number of flip-flops in the CPU.
-pub fn total_flops() -> u32 {
-    registry().iter().map(FlopReg::total_bits).sum()
-}
-
-/// Iterates over every flip-flop of the CPU in registry order.
-pub fn all_flops() -> impl Iterator<Item = FlopId> {
-    registry().iter().enumerate().flat_map(|(r, reg)| {
+/// Iterates over every flip-flop of `regs` in registry order.
+pub fn all_flops_in<S>(regs: &'static [FlopReg<S>]) -> impl Iterator<Item = FlopId> {
+    regs.iter().enumerate().flat_map(|(r, reg)| {
         (0..reg.lanes).flat_map(move |lane| {
             (0..reg.width).map(move |bit| FlopId { reg: r as u16, lane, bit })
         })
     })
 }
 
-/// Iterates over the flip-flops belonging to `unit`.
-pub fn flops_of_unit(unit: UnitId) -> impl Iterator<Item = FlopId> {
-    all_flops().filter(move |id| unit_of(*id) == unit)
+/// Iterates over the flip-flops of `regs` belonging to `unit`.
+pub fn flops_of_unit_in<S>(
+    regs: &'static [FlopReg<S>],
+    unit: UnitId,
+) -> impl Iterator<Item = FlopId> {
+    all_flops_in(regs).filter(move |id| unit_of_in(regs, *id) == unit)
 }
 
-/// The unit a flip-flop belongs to.
+/// The unit a flip-flop of `regs` belongs to.
 ///
 /// # Panics
 ///
 /// Panics if `id.reg` is out of range.
-pub fn unit_of(id: FlopId) -> UnitId {
-    registry()[id.reg as usize].unit
+pub fn unit_of_in<S>(regs: &[FlopReg<S>], id: FlopId) -> UnitId {
+    regs[id.reg as usize].unit
 }
 
 /// Human-readable label, e.g. `"RF.regs[4].7"`.
-pub fn label_of(id: FlopId) -> String {
-    let reg = &registry()[id.reg as usize];
+pub fn label_of_in<S>(regs: &[FlopReg<S>], id: FlopId) -> String {
+    let reg = &regs[id.reg as usize];
     if reg.lanes > 1 {
         format!("{}.{}[{}].{}", reg.unit, reg.name, id.lane, id.bit)
     } else {
@@ -118,38 +129,117 @@ pub fn label_of(id: FlopId) -> String {
     }
 }
 
-/// Reads one flip-flop.
+/// Reads one flip-flop of `state` through `regs`.
 ///
 /// # Panics
 ///
 /// Panics if the id is out of range.
-pub fn get_bit(state: &CpuState, id: FlopId) -> bool {
-    let reg = &registry()[id.reg as usize];
+pub fn get_bit_in<S>(regs: &[FlopReg<S>], state: &S, id: FlopId) -> bool {
+    let reg = &regs[id.reg as usize];
     assert!(id.bit < reg.width && id.lane < reg.lanes, "flop id out of range: {id:?}");
     reg.read(state, id.lane as usize) >> id.bit & 1 == 1
 }
 
-/// Writes one flip-flop.
+/// Writes one flip-flop of `state` through `regs`.
 ///
 /// # Panics
 ///
 /// Panics if the id is out of range.
-pub fn set_bit(state: &mut CpuState, id: FlopId, value: bool) {
-    let reg = &registry()[id.reg as usize];
+pub fn set_bit_in<S>(regs: &[FlopReg<S>], state: &mut S, id: FlopId, value: bool) {
+    let reg = &regs[id.reg as usize];
     assert!(id.bit < reg.width && id.lane < reg.lanes, "flop id out of range: {id:?}");
     let cur = reg.read(state, id.lane as usize);
     let next = if value { cur | 1 << id.bit } else { cur & !(1 << id.bit) };
     reg.write(state, id.lane as usize, next);
 }
 
-/// Inverts one flip-flop.
+/// Inverts one flip-flop of `state` through `regs`.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn flip_bit_in<S>(regs: &[FlopReg<S>], state: &mut S, id: FlopId) {
+    let v = get_bit_in(regs, state, id);
+    set_bit_in(regs, state, id, !v);
+}
+
+/// Counts, per fine-grain unit, how many flip-flops of `regs` changed
+/// value between two committed states — one XOR + popcount per register
+/// lane, no per-bit walk.
+pub fn unit_flip_deltas_in<S>(regs: &[FlopReg<S>], prev: &S, cur: &S) -> [u16; UnitId::ALL.len()] {
+    let mut deltas = [0u16; UnitId::ALL.len()];
+    for reg in regs {
+        let unit = reg.unit.index();
+        for lane in 0..reg.lanes as usize {
+            let diff = reg.read(prev, lane) ^ reg.read(cur, lane);
+            deltas[unit] += diff.count_ones() as u16;
+        }
+    }
+    deltas
+}
+
+// --- LR5 shorthand (the historical API) ---
+
+/// The full flip-flop registry of the LR5 CPU, built once.
+pub fn registry() -> &'static [FlopReg] {
+    static REGISTRY: OnceLock<Vec<FlopReg>> = OnceLock::new();
+    REGISTRY.get_or_init(crate::state::build_registry)
+}
+
+/// Total number of flip-flops in the LR5 CPU.
+pub fn total_flops() -> u32 {
+    total_flops_in(registry())
+}
+
+/// Iterates over every flip-flop of the LR5 CPU in registry order.
+pub fn all_flops() -> impl Iterator<Item = FlopId> {
+    all_flops_in(registry())
+}
+
+/// Iterates over the LR5 flip-flops belonging to `unit`.
+pub fn flops_of_unit(unit: UnitId) -> impl Iterator<Item = FlopId> {
+    flops_of_unit_in(registry(), unit)
+}
+
+/// The unit an LR5 flip-flop belongs to.
+///
+/// # Panics
+///
+/// Panics if `id.reg` is out of range.
+pub fn unit_of(id: FlopId) -> UnitId {
+    unit_of_in(registry(), id)
+}
+
+/// Human-readable label, e.g. `"RF.regs[4].7"`.
+pub fn label_of(id: FlopId) -> String {
+    label_of_in(registry(), id)
+}
+
+/// Reads one LR5 flip-flop.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn get_bit(state: &CpuState, id: FlopId) -> bool {
+    get_bit_in(registry(), state, id)
+}
+
+/// Writes one LR5 flip-flop.
+///
+/// # Panics
+///
+/// Panics if the id is out of range.
+pub fn set_bit(state: &mut CpuState, id: FlopId, value: bool) {
+    set_bit_in(registry(), state, id, value)
+}
+
+/// Inverts one LR5 flip-flop.
 ///
 /// # Panics
 ///
 /// Panics if the id is out of range.
 pub fn flip_bit(state: &mut CpuState, id: FlopId) {
-    let v = get_bit(state, id);
-    set_bit(state, id, !v);
+    flip_bit_in(registry(), state, id)
 }
 
 /// The trace hook of the observability layer: counts, per fine-grain
@@ -161,15 +251,7 @@ pub fn flip_bit(state: &mut CpuState, id: FlopId) {
 /// microarchitectural footprint spread through the units before it
 /// reaches any output port.
 pub fn unit_flip_deltas(prev: &CpuState, cur: &CpuState) -> [u16; UnitId::ALL.len()] {
-    let mut deltas = [0u16; UnitId::ALL.len()];
-    for reg in registry() {
-        let unit = reg.unit.index();
-        for lane in 0..reg.lanes as usize {
-            let diff = reg.read(prev, lane) ^ reg.read(cur, lane);
-            deltas[unit] += diff.count_ones() as u16;
-        }
-    }
-    deltas
+    unit_flip_deltas_in(registry(), prev, cur)
 }
 
 #[cfg(test)]

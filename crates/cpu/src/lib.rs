@@ -27,19 +27,23 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod core_model;
 mod cpu;
 pub mod dirty;
 pub mod exec;
 pub mod flops;
+pub mod lr7;
 pub mod ports;
 pub mod porttrace;
 pub mod state;
 pub mod units;
 
+pub use core_model::{ArchCsrs, CoreKind, CoreModel};
 pub use cpu::Cpu;
 pub use dirty::{converged, rf_confined, rf_registry_index, DirtyWitness, LaneWatch};
 pub use exec::{rf_read_candidates, rf_write_of, StepInfo};
 pub use flops::{FlopId, FlopReg};
+pub use lr7::{Lr7, Lr7State};
 pub use ports::{PortSet, Sc, SC_COUNT};
 pub use porttrace::PortTrace;
 pub use state::CpuState;

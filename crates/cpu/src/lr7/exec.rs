@@ -1,0 +1,901 @@
+//! The LR7 next-state function: one clock cycle of the out-of-order
+//! machine.
+//!
+//! Like LR5's executor, [`compute_next`] is pure over `(state, memory)`:
+//! it builds a complete next [`Lr7State`] and fills the 62-SC port set,
+//! and the caller commits the next state (optionally after a fault
+//! overlay). Stage order inside a cycle, oldest work first:
+//!
+//! 1. **commit** — the ROB head retires (or traps); stores write memory
+//!    here and nowhere else, mispredicted control flow flushes here;
+//! 2. **CDB broadcast** — one result per cycle (MDV > LSU > SHF > ALU)
+//!    completes a ROB entry and wakes reservation stations;
+//! 3. **issue/execute** — the oldest ready non-memory entry executes
+//!    into a result latch; the oldest ready memory entry runs the AGU;
+//! 4. **load execute** — the LSQ head load reads memory speculatively
+//!    (MMIO loads only at the ROB head, so device reads are exactly-once);
+//! 5. **dispatch** — decode + rename from the fetch buffer into ROB/RS/LSQ;
+//! 6. **fetch** — refill the fetch buffer, predicting the next PC via
+//!    the BTB.
+//!
+//! Every array index computed from state is masked before use, so an
+//! injected fault can corrupt behaviour but never crash the simulator.
+
+use lockstep_isa::{csr::misr_fold, Csr, Format, Instr, Opcode, TrapCause, DEFAULT_TRAP_VECTOR};
+use lockstep_mem::MemoryPort;
+
+use crate::exec::StepInfo;
+use crate::lr7::state::{Lr7State, LSQ_ENTRIES, RS_ENTRIES};
+use crate::ports::{parity8, PortSet, Sc};
+
+const MUL_CYCLES: u8 = 8;
+const DIV_CYCLES: u8 = 32;
+const MMIO_BASE: u32 = 0xFFFF_0000;
+const CYCLE_MASK: u64 = (1 << 48) - 1;
+
+// ROB entry flags (rob_flags, 6 bits).
+const F_WR: u8 = 1;
+const F_STORE: u8 = 1 << 1;
+const F_LOAD: u8 = 1 << 2;
+const F_CTL: u8 = 1 << 3;
+const F_CSR: u8 = 1 << 4;
+const F_HALT: u8 = 1 << 5;
+
+// EventBus bits (16-bit activity summary).
+const EV_FETCH: u32 = 1;
+const EV_DISPATCH: u32 = 1 << 1;
+const EV_ISSUE: u32 = 1 << 2;
+const EV_AGU: u32 = 1 << 3;
+const EV_CDB: u32 = 1 << 4;
+const EV_LOAD: u32 = 1 << 5;
+const EV_STORE: u32 = 1 << 6;
+const EV_RETIRE: u32 = 1 << 7;
+const EV_TRAP: u32 = 1 << 8;
+const EV_FLUSH: u32 = 1 << 9;
+const EV_STALL: u32 = 1 << 10;
+const EV_HALTED: u32 = 1 << 13;
+
+/// Computes the next state and this cycle's output ports.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn compute_next(
+    s: &Lr7State,
+    mem: &mut dyn MemoryPort,
+    ports: &mut PortSet,
+) -> (Lr7State, StepInfo) {
+    ports.clear();
+    let mut info = StepInfo::default();
+    let mut n = s.clone();
+
+    ports.set(Sc::PcChk, parity8(s.pc));
+    ports.set(Sc::DbgStatus, u32::from(s.halted & 1) | (u32::from(s.rob_count & 0x1F) << 1));
+    // Registered bus transactions from the previous cycle.
+    if s.dmc_valid & 1 == 1 {
+        ports.set_bus(Sc::DmcAddrLo, Sc::DmcAddrHi, s.dmc_addr);
+        ports.set_bus(Sc::DmcWdataLo, Sc::DmcWdataHi, s.dmc_wdata);
+        ports.set(
+            Sc::DmcCtl,
+            1 | (u32::from(s.dmc_strb & 0xF) << 1) | (u32::from(s.dmc_err & 1) << 5),
+        );
+    }
+    if s.biu_ctl & 1 == 1 {
+        ports.set_bus(Sc::BiuAddrLo, Sc::BiuAddrHi, s.biu_addr);
+        ports.set_bus(Sc::BiuWdataLo, Sc::BiuWdataHi, s.biu_data);
+        ports.set(Sc::BiuCtl, u32::from(s.biu_ctl));
+        ports.set(Sc::BiuRchk, parity8(s.biu_data));
+    }
+    if s.mdv_busy & 1 == 1 {
+        ports.set(Sc::MdvStatus, 1 | (u32::from(s.mdv_cnt) << 1));
+        ports.set(Sc::MdvChk, parity8(s.mdv_val));
+    }
+
+    if s.halted & 1 == 1 {
+        ports.set(Sc::EventBus, EV_HALTED);
+        info.halted = true;
+        return (n, info);
+    }
+    n.cycle = (s.cycle + 1) & CYCLE_MASK;
+
+    let mut event: u32 = 0;
+    let mut flushed = false;
+
+    // ---- 1. COMMIT: retire (or trap on) the ROB head ----
+    if s.rob_count > 0 && (s.rob_done >> (s.rob_head & 15)) & 1 == 1 {
+        let h = usize::from(s.rob_head & 15);
+        let exc = s.rob_exc[h] & 7;
+        let op = Opcode::from_bits(u32::from(s.rob_op[h]) & 0x3F);
+        let flags = s.rob_flags[h];
+        let rd = usize::from(s.rob_rd[h] & 0x1F);
+        let value = s.rob_val[h];
+        let mut trapped = exc != 0;
+        let mut cause = cause_of(exc);
+        let mut csr_write = 0u32;
+
+        if !trapped && flags & F_STORE != 0 {
+            // The store performs its write now, at commit: it can no
+            // longer be squashed, and program order is preserved because
+            // commits are in order.
+            let li = usize::from(s.lsq_head & 7);
+            if s.lsq_count > 0 && s.lsq_rob[li] & 15 == s.rob_head & 15 {
+                let addr = s.lsq_addr[li];
+                let size = op.and_then(Opcode::access_size).unwrap_or(4);
+                let (wdata, strobe) = store_lanes(size, addr, s.lsq_data[li]);
+                match mem.write(addr & !3, wdata, strobe) {
+                    Ok(()) => {
+                        ports.set_bus(Sc::DAddrLo, Sc::DAddrHi, addr);
+                        ports.set_bus(Sc::DWdataLo, Sc::DWdataHi, wdata);
+                        ports.set(Sc::DCtl, 1 | (1 << 1) | ((size & 7) << 2));
+                        ports.set(Sc::DStrb, u32::from(strobe));
+                        ports.set(Sc::StoreChk, parity8(wdata));
+                        n.dmc_valid = 1;
+                        n.dmc_addr = addr;
+                        n.dmc_wdata = wdata;
+                        n.dmc_strb = strobe;
+                        n.dmc_rdata = 0;
+                        n.dmc_err = 0;
+                        n.biu_addr = addr;
+                        n.biu_data = wdata;
+                        n.biu_ctl = 0b0011;
+                        pop_lsq(&mut n, li);
+                        event |= EV_STORE;
+                    }
+                    Err(_) => {
+                        trapped = true;
+                        cause = TrapCause::BusError;
+                    }
+                }
+            }
+        }
+
+        if trapped {
+            take_trap(&mut n, ports, cause, s.rob_pc[h]);
+            info.trap = Some(cause);
+            info.redirect = Some(n.pc);
+            flushed = true;
+            event |= EV_TRAP | EV_FLUSH;
+        } else {
+            if flags & F_CSR != 0 {
+                csr_write = commit_csr(&mut n, ports, s.rob_raw[h], value);
+            }
+            if flags & F_HALT != 0 {
+                n.halted = 1;
+                info.halted = true;
+            }
+            let writes = flags & F_WR != 0;
+            if writes && rd != 0 {
+                n.set_reg(rd, value);
+                ports.set(Sc::RfWpCtl, 1 | ((rd as u32) << 1));
+                ports.set(Sc::RfWpChk, parity8(value));
+            }
+            if rd != 0 && (n.rat_busy >> rd) & 1 == 1 && usize::from(n.rat_tag[rd] & 15) == h {
+                n.rat_busy &= !(1u32 << rd);
+            }
+            if flags & F_LOAD != 0 {
+                let li = usize::from(s.lsq_head & 7);
+                if s.lsq_count > 0 && s.lsq_rob[li] & 15 == s.rob_head & 15 {
+                    pop_lsq(&mut n, li);
+                }
+            }
+            let npc = s.rob_npc[h];
+            if flags & F_CTL != 0 {
+                train_btb(&mut n, s.rob_pc[h], npc);
+            }
+            // Retire ports, exactly the LR5 conventions.
+            ports.set(Sc::RetCtl, 1 | (csr_write << 1) | (u32::from(n.halted & 1) << 2));
+            ports.set_bus(Sc::RetPcLo, Sc::RetPcHi, s.rob_pc[h]);
+            ports.set_bus(Sc::RetInstrLo, Sc::RetInstrHi, s.rob_raw[h]);
+            ports.set(Sc::WbCtl, u32::from(writes) | ((rd as u32) << 1));
+            ports.set_bus(Sc::WbDataLo, Sc::WbDataHi, value);
+            n.instret = (s.instret + 1) & CYCLE_MASK;
+            info.retired = true;
+            event |= EV_RETIRE;
+            // Pop the entry.
+            n.rob_head = (s.rob_head.wrapping_add(1)) & 15;
+            n.rob_count = s.rob_count.saturating_sub(1);
+            n.rob_done &= !(1u16 << h);
+            if flags & F_HALT != 0 {
+                // Quiesce: nothing in flight survives the final retire.
+                flush(&mut n);
+                flushed = true;
+            } else if npc != s.rob_ppc[h] {
+                // Mis-speculation: every younger in-flight instruction is
+                // squashed. Committed architectural state is already
+                // correct, so recovery is a front-end redirect.
+                flush(&mut n);
+                n.pc = npc;
+                n.flushes = (s.flushes.wrapping_add(1)) & 0xFFFF;
+                ports.set(Sc::FlushCtl, 1 | (1 << 2));
+                info.redirect = Some(npc);
+                flushed = true;
+                event |= EV_FLUSH;
+            }
+        }
+    }
+
+    if !flushed {
+        // ---- 2. CDB broadcast: one completed result per cycle ----
+        let grant = if n.mdv_busy & 1 == 1 && n.mdv_cnt == 0 {
+            Some((n.mdv_rob & 15, n.mdv_val, 3u32))
+        } else if n.lsu_valid & 1 == 1 {
+            Some((n.lsu_rob & 15, n.lsu_val, 2))
+        } else if n.shf_valid & 1 == 1 {
+            Some((n.shf_rob & 15, n.shf_val, 1))
+        } else if n.alu_valid & 1 == 1 {
+            Some((n.alu_rob & 15, n.alu_val, 0))
+        } else {
+            None
+        };
+        if let Some((tag, value, unit)) = grant {
+            let t = usize::from(tag);
+            n.rob_val[t] = value;
+            n.rob_done |= 1u16 << t;
+            for i in 0..RS_ENTRIES {
+                if (n.rs_valid >> i) & 1 == 0 {
+                    continue;
+                }
+                if (n.rs_r1 >> i) & 1 == 0 && n.rs_t1[i] & 15 == tag {
+                    n.rs_v1[i] = value;
+                    n.rs_r1 |= 1 << i;
+                }
+                if (n.rs_r2 >> i) & 1 == 0 && n.rs_t2[i] & 15 == tag {
+                    n.rs_v2[i] = value;
+                    n.rs_r2 |= 1 << i;
+                }
+            }
+            match unit {
+                3 => n.mdv_busy = 0,
+                2 => n.lsu_valid = 0,
+                1 => n.shf_valid = 0,
+                _ => n.alu_valid = 0,
+            }
+            ports.set(Sc::FwdCtl, 1 | (u32::from(tag) << 1) | (unit << 5));
+            event |= EV_CDB;
+        }
+        if n.mdv_busy & 1 == 1 && n.mdv_cnt > 0 {
+            n.mdv_cnt -= 1;
+        }
+
+        // ---- 3a. ISSUE: oldest ready non-memory entry executes ----
+        if let Some(i) = pick_ready(&n, false) {
+            issue_exec(&mut n, ports, i);
+            event |= EV_ISSUE;
+        }
+        // ---- 3b. AGU: oldest ready memory entry computes its address ----
+        if let Some(i) = pick_ready(&n, true) {
+            run_agu(&mut n, ports, i);
+            event |= EV_AGU;
+        }
+
+        // ---- 4. LOAD EXECUTE: the LSQ head load reads memory ----
+        event |= exec_load(&mut n, mem, ports);
+
+        // ---- 5. DISPATCH: fetch buffer -> ROB/RS/LSQ ----
+        event |= dispatch(&mut n, s, ports);
+
+        // ---- 6. FETCH: refill the fetch buffer, BTB-predicted ----
+        if n.fb_valid & 1 == 0 && n.halted & 1 == 0 {
+            do_fetch(&mut n, mem, ports);
+            event |= EV_FETCH;
+        }
+    }
+
+    ports.set(Sc::EventBus, event & 0xFFFF);
+    (n, info)
+}
+
+/// Pops LSQ slot `li` (must be the head).
+fn pop_lsq(n: &mut Lr7State, li: usize) {
+    n.lsq_head = (n.lsq_head.wrapping_add(1)) & 7;
+    n.lsq_count = n.lsq_count.saturating_sub(1);
+    n.lsq_ready &= !(1u8 << li);
+}
+
+/// Squashes all in-flight (uncommitted) work. Architectural state —
+/// registers, CSRs, counters, memory — is untouched, which is exactly
+/// why recovery is sound: nothing speculative ever reached it.
+fn flush(n: &mut Lr7State) {
+    n.fb_valid = 0;
+    n.fb_err = 0;
+    n.rat_busy = 0;
+    n.rs_valid = 0;
+    n.rs_r1 = 0;
+    n.rs_r2 = 0;
+    n.rob_head = 0;
+    n.rob_tail = 0;
+    n.rob_count = 0;
+    n.rob_done = 0;
+    n.lsq_head = 0;
+    n.lsq_tail = 0;
+    n.lsq_count = 0;
+    n.lsq_ready = 0;
+    n.alu_valid = 0;
+    n.shf_valid = 0;
+    n.mdv_busy = 0;
+    n.mdv_cnt = 0;
+    n.lsu_valid = 0;
+}
+
+fn take_trap(n: &mut Lr7State, ports: &mut PortSet, cause: TrapCause, epc: u32) {
+    n.csr_cause = cause.code();
+    n.csr_epc = epc;
+    n.pc = if n.csr_tvec != 0 { n.csr_tvec & !3 } else { DEFAULT_TRAP_VECTOR };
+    flush(n);
+    n.flushes = (n.flushes.wrapping_add(1)) & 0xFFFF;
+    ports.set(Sc::ExcCtl, 1 | (cause.code() << 1));
+    ports.set_bus(Sc::ExcEpcLo, Sc::ExcEpcHi, epc);
+    ports.set(Sc::FlushCtl, 1 | (1 << 1));
+}
+
+fn cause_of(code: u8) -> TrapCause {
+    match code {
+        2 => TrapCause::MisalignedAccess,
+        3 => TrapCause::BusError,
+        4 => TrapCause::EnvironmentCall,
+        5 => TrapCause::Breakpoint,
+        _ => TrapCause::IllegalInstruction,
+    }
+}
+
+/// Applies the CSR side effects of a retiring `csrr`/`csrw` and drives
+/// the SCU ports; returns 1 for a CSR write (feeds `RetCtl`).
+fn commit_csr(n: &mut Lr7State, ports: &mut PortSet, raw: u32, value: u32) -> u32 {
+    let Ok(i) = Instr::decode(raw) else {
+        return 0;
+    };
+    let sel = (i.imm as u32) & 0xF;
+    if i.op == Opcode::Csrw {
+        write_csr(n, sel, value);
+        ports.set(Sc::CsrCtl, (1 << 1) | (sel << 2));
+        ports.set_bus(Sc::CsrWdataLo, Sc::CsrWdataHi, value);
+        if sel == Csr::Misr.bits() {
+            ports.set_bus(Sc::MisrLo, Sc::MisrHi, n.csr_misr);
+        }
+        1
+    } else {
+        ports.set(Sc::CsrCtl, 1 | (sel << 2));
+        match sel {
+            s if s == Csr::Cycle.bits() => {
+                ports.set(Sc::CycleChk, (value & 0xF) | ((parity8(value) & 0xF) << 4));
+            }
+            s if s == Csr::Instret.bits() => {
+                ports.set(Sc::InstretChk, (value & 0xF) | ((parity8(value) & 0xF) << 4));
+            }
+            s if s == Csr::Misr.bits() => {
+                ports.set_bus(Sc::MisrLo, Sc::MisrHi, value);
+            }
+            _ => {}
+        }
+        0
+    }
+}
+
+fn read_csr(n: &Lr7State, sel: u32) -> u32 {
+    match sel & 0xF {
+        0x0 => n.cycle as u32,
+        0x1 => n.instret as u32,
+        0x2 => n.csr_status,
+        0x3 => n.csr_cause,
+        0x4 => n.csr_epc,
+        0x5 => n.csr_tvec,
+        0x6 => n.csr_scratch0,
+        0x7 => n.csr_scratch1,
+        0x8 => n.csr_misr,
+        0x9 => u32::from(n.hartid & 3),
+        _ => 0,
+    }
+}
+
+fn write_csr(n: &mut Lr7State, sel: u32, value: u32) {
+    match sel & 0xF {
+        0x2 => n.csr_status = value,
+        0x3 => n.csr_cause = value,
+        0x4 => n.csr_epc = value,
+        0x5 => n.csr_tvec = value,
+        0x6 => n.csr_scratch0 = value,
+        0x7 => n.csr_scratch1 = value,
+        0x8 => n.csr_misr = misr_fold(n.csr_misr, value),
+        _ => {}
+    }
+}
+
+/// Trains the BTB at commit time with the actual control-flow outcome.
+fn train_btb(n: &mut Lr7State, pc: u32, npc: u32) {
+    let idx = ((pc >> 2) & 15) as usize;
+    let taken = npc != pc.wrapping_add(4);
+    let hit = (n.btb_valid >> idx) & 1 == 1 && n.btb_tag[idx] == pc;
+    if taken {
+        if hit {
+            n.btb_tgt[idx] = npc;
+            n.btb_ctr[idx] = (n.btb_ctr[idx] & 3).saturating_add(1).min(3);
+        } else {
+            n.btb_valid |= 1u16 << idx;
+            n.btb_tag[idx] = pc;
+            n.btb_tgt[idx] = npc;
+            n.btb_ctr[idx] = 2;
+        }
+    } else if hit {
+        n.btb_ctr[idx] = (n.btb_ctr[idx] & 3).saturating_sub(1);
+    }
+}
+
+/// Selects the oldest (in ROB age) ready reservation station; `mem`
+/// selects between the AGU port (loads/stores) and the execute port.
+fn pick_ready(n: &Lr7State, mem: bool) -> Option<usize> {
+    let mut best: Option<(u8, usize)> = None;
+    for i in 0..RS_ENTRIES {
+        if (n.rs_valid >> i) & 1 == 0 || (n.rs_r1 >> i) & 1 == 0 || (n.rs_r2 >> i) & 1 == 0 {
+            continue;
+        }
+        let op = Opcode::from_bits(u32::from(n.rs_op[i]) & 0x3F).unwrap_or(Opcode::Add);
+        let is_mem = op.is_load() || op.is_store();
+        if is_mem != mem {
+            continue;
+        }
+        if !mem {
+            // The target result latch must be free.
+            let free = if op.is_muldiv() {
+                n.mdv_busy & 1 == 0
+            } else if is_shift(op) {
+                n.shf_valid & 1 == 0
+            } else {
+                n.alu_valid & 1 == 0
+            };
+            if !free {
+                continue;
+            }
+        }
+        let age = (n.rs_rob[i].wrapping_sub(n.rob_head)) & 15;
+        if best.is_none_or(|(b, _)| age < b) {
+            best = Some((age, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+fn is_shift(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Sll | Opcode::Srl | Opcode::Sra | Opcode::Slli | Opcode::Srli | Opcode::Srai
+    )
+}
+
+/// Executes reservation station `i` into its result latch (stage 3a).
+fn issue_exec(n: &mut Lr7State, ports: &mut PortSet, i: usize) {
+    let op = Opcode::from_bits(u32::from(n.rs_op[i]) & 0x3F).unwrap_or(Opcode::Add);
+    let tag = n.rs_rob[i] & 15;
+    let a = n.rs_v1[i];
+    let b = n.rs_v2[i];
+    let imm = n.rs_imm[i] as i32;
+    let pc = n.rs_pc[i];
+    let unit;
+    if op.is_muldiv() {
+        n.mdv_busy = 1;
+        n.mdv_rob = tag;
+        n.mdv_op = op.bits() as u8;
+        n.mdv_cnt = if op.is_div() { DIV_CYCLES } else { MUL_CYCLES };
+        n.mdv_val = exec_value(op, a, b, imm, pc).0;
+        unit = 3;
+    } else {
+        let (value, npc) = exec_value(op, a, b, imm, pc);
+        if let Some(t) = npc {
+            n.rob_npc[usize::from(tag)] = t;
+        }
+        if is_shift(op) {
+            n.shf_valid = 1;
+            n.shf_rob = tag;
+            n.shf_val = value;
+            ports.set(Sc::ShfChk, parity8(value));
+            unit = 1;
+        } else {
+            n.alu_valid = 1;
+            n.alu_rob = tag;
+            n.alu_val = value;
+            ports.set(Sc::AluChk, parity8(value));
+            ports.set(Sc::Flags, u32::from(value == 0) | ((value >> 31) << 1));
+            unit = 0;
+        }
+    }
+    ports.set(Sc::ExecCtl, 1 | ((i as u32) << 1) | (unit << 4));
+    n.rs_valid &= !(1u8 << i);
+    n.rs_r1 &= !(1u8 << i);
+    n.rs_r2 &= !(1u8 << i);
+}
+
+/// The value (and control-flow target, for branches/jumps) of a
+/// non-memory operation — exactly the ISS architectural semantics.
+fn exec_value(op: Opcode, a: u32, b: u32, imm: i32, pc: u32) -> (u32, Option<u32>) {
+    let uimm = imm as u32;
+    let btarget = pc.wrapping_add(uimm.wrapping_shl(2)) & !3;
+    let fall = pc.wrapping_add(4);
+    let branch = |taken: bool| (0, Some(if taken { btarget } else { fall }));
+    match op {
+        Opcode::Add => (a.wrapping_add(b), None),
+        Opcode::Sub => (a.wrapping_sub(b), None),
+        Opcode::And => (a & b, None),
+        Opcode::Or => (a | b, None),
+        Opcode::Xor => (a ^ b, None),
+        Opcode::Sll => (a.wrapping_shl(b & 31), None),
+        Opcode::Srl => (a.wrapping_shr(b & 31), None),
+        Opcode::Sra => (((a as i32) >> (b & 31)) as u32, None),
+        Opcode::Slt => (u32::from((a as i32) < (b as i32)), None),
+        Opcode::Sltu => (u32::from(a < b), None),
+        Opcode::Mul => (a.wrapping_mul(b), None),
+        Opcode::Mulh => (((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32, None),
+        Opcode::Mulhu => (((u64::from(a) * u64::from(b)) >> 32) as u32, None),
+        Opcode::Div => {
+            let v = if b == 0 { u32::MAX } else { (a as i32).wrapping_div(b as i32) as u32 };
+            (v, None)
+        }
+        Opcode::Divu => (a.checked_div(b).unwrap_or(u32::MAX), None),
+        Opcode::Rem => {
+            let v = if b == 0 { a } else { (a as i32).wrapping_rem(b as i32) as u32 };
+            (v, None)
+        }
+        Opcode::Remu => (a.checked_rem(b).unwrap_or(a), None),
+        Opcode::Addi => (a.wrapping_add(uimm), None),
+        Opcode::Andi => (a & (uimm & 0xFFFF), None),
+        Opcode::Ori => (a | (uimm & 0xFFFF), None),
+        Opcode::Xori => (a ^ (uimm & 0xFFFF), None),
+        Opcode::Slli => (a.wrapping_shl(uimm & 31), None),
+        Opcode::Srli => (a.wrapping_shr(uimm & 31), None),
+        Opcode::Srai => (((a as i32) >> (uimm & 31)) as u32, None),
+        Opcode::Slti => (u32::from((a as i32) < imm), None),
+        Opcode::Sltiu => (u32::from(a < uimm), None),
+        Opcode::Lui => (uimm << 16, None),
+        Opcode::Beq => branch(a == b),
+        Opcode::Bne => branch(a != b),
+        Opcode::Blt => branch((a as i32) < (b as i32)),
+        Opcode::Bge => branch((a as i32) >= (b as i32)),
+        Opcode::Bltu => branch(a < b),
+        Opcode::Bgeu => branch(a >= b),
+        Opcode::Jal => (fall, Some(btarget)),
+        Opcode::Jalr => (fall, Some(a.wrapping_add(uimm) & !3)),
+        // Loads/stores/system ops never reach the execute port.
+        _ => (0, None),
+    }
+}
+
+/// Runs the AGU for memory-op reservation station `i` (stage 3b): the
+/// address lands in the LSQ, misalignment is detected here, and stores
+/// complete (their write waits for commit).
+fn run_agu(n: &mut Lr7State, ports: &mut PortSet, i: usize) {
+    let op = Opcode::from_bits(u32::from(n.rs_op[i]) & 0x3F).unwrap_or(Opcode::Lw);
+    let tag = n.rs_rob[i] & 15;
+    let t = usize::from(tag);
+    let addr = n.rs_v1[i].wrapping_add(n.rs_imm[i]);
+    let size = op.access_size().unwrap_or(4);
+    ports.set(Sc::AguChk, parity8(addr));
+    if !addr.is_multiple_of(size) {
+        n.rob_exc[t] = TrapCause::MisalignedAccess.code() as u8;
+        n.rob_done |= 1u16 << t;
+    } else {
+        // Find this op's LSQ slot (allocated at dispatch, program order).
+        let mut slot = None;
+        for k in 0..LSQ_ENTRIES {
+            let li = usize::from((n.lsq_head.wrapping_add(k as u8)) & 7);
+            if (k as u8) < n.lsq_count && n.lsq_rob[li] & 15 == tag {
+                slot = Some(li);
+                break;
+            }
+        }
+        if let Some(li) = slot {
+            n.lsq_addr[li] = addr;
+            if op.is_store() {
+                n.lsq_data[li] = n.rs_v2[i];
+                n.rob_done |= 1u16 << t;
+            }
+            n.lsq_ready |= 1u8 << li;
+        } else {
+            // LSQ desync, only reachable under injected faults: retire
+            // the op as a no-effect bubble instead of wedging the queue.
+            n.rob_done |= 1u16 << t;
+        }
+    }
+    n.rs_valid &= !(1u8 << i);
+    n.rs_r1 &= !(1u8 << i);
+    n.rs_r2 &= !(1u8 << i);
+}
+
+/// Executes the load at the LSQ head (stage 4). RAM loads may run
+/// speculatively (reads are side-effect-free there); MMIO loads wait
+/// until their ROB entry is the head, so a device read happens exactly
+/// once and only on the committed path.
+fn exec_load(n: &mut Lr7State, mem: &mut dyn MemoryPort, ports: &mut PortSet) -> u32 {
+    if n.lsq_count == 0 || n.lsu_valid & 1 == 1 {
+        return 0;
+    }
+    let li = usize::from(n.lsq_head & 7);
+    let tag = n.lsq_rob[li] & 15;
+    let t = usize::from(tag);
+    let addr = n.lsq_addr[li];
+    if (n.lsq_ready >> li) & 1 == 0
+        || n.rob_flags[t] & F_LOAD == 0
+        || (n.rob_done >> t) & 1 == 1
+        || (addr >= MMIO_BASE && tag != n.rob_head & 15)
+    {
+        return 0;
+    }
+    let op = Opcode::from_bits(u32::from(n.rob_op[t]) & 0x3F).unwrap_or(Opcode::Lw);
+    match mem.read(addr & !3) {
+        Ok(word) => {
+            let value = load_extract(op, word, addr);
+            n.lsu_valid = 1;
+            n.lsu_rob = tag;
+            n.lsu_val = value;
+            ports.set_bus(Sc::DAddrLo, Sc::DAddrHi, addr);
+            ports.set(Sc::DCtl, 1 | ((op.access_size().unwrap_or(4) & 7) << 2));
+            ports.set(Sc::DRchk, parity8(value));
+            n.dmc_valid = 1;
+            n.dmc_addr = addr;
+            n.dmc_wdata = 0;
+            n.dmc_strb = 0;
+            n.dmc_rdata = word;
+            n.dmc_err = 0;
+            n.biu_addr = addr;
+            n.biu_data = word;
+            n.biu_ctl = 0b0001;
+            EV_LOAD
+        }
+        Err(_) => {
+            n.rob_exc[t] = TrapCause::BusError.code() as u8;
+            n.rob_done |= 1u16 << t;
+            n.dmc_valid = 1;
+            n.dmc_addr = addr;
+            n.dmc_wdata = 0;
+            n.dmc_strb = 0;
+            n.dmc_rdata = 0;
+            n.dmc_err = 1;
+            EV_LOAD
+        }
+    }
+}
+
+/// Lane extraction for a load result — exactly the ISS semantics.
+fn load_extract(op: Opcode, word: u32, addr: u32) -> u32 {
+    match op {
+        Opcode::Lh => ((word >> (8 * (addr & 2))) as u16 as i16 as i32) as u32,
+        Opcode::Lhu => (word >> (8 * (addr & 2))) & 0xFFFF,
+        Opcode::Lb => ((word >> (8 * (addr & 3))) as u8 as i8 as i32) as u32,
+        Opcode::Lbu => (word >> (8 * (addr & 3))) & 0xFF,
+        _ => word,
+    }
+}
+
+/// Byte-lane placement for a store — exactly the ISS semantics.
+fn store_lanes(size: u32, addr: u32, data: u32) -> (u32, u8) {
+    match size {
+        2 => ((data & 0xFFFF) << (8 * (addr & 2)), (0b0011 << (addr & 2)) as u8),
+        1 => ((data & 0xFF) << (8 * (addr & 3)), (1 << (addr & 3)) as u8),
+        _ => (data, 0b1111),
+    }
+}
+
+/// Dispatch (stage 5): decode + rename one instruction from the fetch
+/// buffer into the ROB (and RS/LSQ); CSR/system ops serialize on an
+/// empty ROB so they read architectural state directly.
+fn dispatch(n: &mut Lr7State, s: &Lr7State, ports: &mut PortSet) -> u32 {
+    if s.fb_valid & 1 == 0 || n.fb_valid & 1 == 0 {
+        return 0;
+    }
+    if n.rob_count >= 16 {
+        ports.set(Sc::StallCause, 1);
+        return EV_STALL;
+    }
+    if s.fb_err & 1 == 1 {
+        alloc_exc(n, s, TrapCause::BusError);
+        ports.set(Sc::IdCtl, 1);
+        return EV_DISPATCH;
+    }
+    let Ok(i) = Instr::decode(s.fb_raw) else {
+        alloc_exc(n, s, TrapCause::IllegalInstruction);
+        ports.set(Sc::IdCtl, 1);
+        return EV_DISPATCH;
+    };
+    let op = i.op;
+    let fmt = op.format();
+    let is_mem = op.is_load() || op.is_store();
+    let is_sys = matches!(fmt, Format::Sys);
+    let rs_slot = (0..RS_ENTRIES).find(|k| (n.rs_valid >> k) & 1 == 0);
+    if is_sys && n.rob_count != 0 {
+        ports.set(Sc::StallCause, 8);
+        return EV_STALL;
+    }
+    if !is_sys && rs_slot.is_none() {
+        ports.set(Sc::StallCause, 2);
+        return EV_STALL;
+    }
+    if is_mem && n.lsq_count >= 8 {
+        ports.set(Sc::StallCause, 4);
+        return EV_STALL;
+    }
+
+    let t = usize::from(n.rob_tail & 15);
+    let rd = i.rd.index();
+    let mut flags = 0u8;
+    if op.writes_rd() {
+        flags |= F_WR;
+    }
+    if op.is_store() {
+        flags |= F_STORE;
+    }
+    if op.is_load() {
+        flags |= F_LOAD;
+    }
+    if matches!(fmt, Format::B | Format::J) || op == Opcode::Jalr {
+        flags |= F_CTL;
+    }
+    n.rob_pc[t] = s.fb_pc;
+    n.rob_raw[t] = s.fb_raw;
+    n.rob_op[t] = op.bits() as u8;
+    n.rob_rd[t] = rd as u8;
+    n.rob_val[t] = 0;
+    n.rob_exc[t] = 0;
+    n.rob_npc[t] = s.fb_pc.wrapping_add(4);
+    n.rob_ppc[t] = s.fb_pred;
+    n.rob_done &= !(1u16 << t);
+
+    let mut rat_write = false;
+    if is_sys {
+        // The ROB is empty, so architectural state is current: system
+        // ops read their inputs here and complete immediately.
+        match op {
+            Opcode::Csrr => {
+                flags |= F_CSR;
+                n.rob_val[t] = read_csr(n, (i.imm as u32) & 0xF);
+                n.rob_done |= 1u16 << t;
+            }
+            Opcode::Csrw => {
+                flags |= F_CSR;
+                n.rob_val[t] = arch_read(n, i.rs1.index());
+                n.rob_done |= 1u16 << t;
+            }
+            Opcode::Ecall => {
+                flags |= F_HALT;
+                n.rob_done |= 1u16 << t;
+            }
+            _ => {
+                n.rob_exc[t] = TrapCause::Breakpoint.code() as u8;
+                n.rob_done |= 1u16 << t;
+            }
+        }
+    } else {
+        let ri = rs_slot.unwrap_or(0);
+        let (src1, src2) = source_regs(fmt, &i);
+        let (v1, r1, t1) = resolve(n, src1);
+        let (v2, r2, t2) = resolve(n, src2);
+        n.rs_rob[ri] = t as u8;
+        n.rs_op[ri] = op.bits() as u8;
+        n.rs_pc[ri] = s.fb_pc;
+        n.rs_imm[ri] = i.imm as u32;
+        n.rs_v1[ri] = v1;
+        n.rs_v2[ri] = v2;
+        n.rs_t1[ri] = t1;
+        n.rs_t2[ri] = t2;
+        n.rs_valid |= 1u8 << ri;
+        if r1 {
+            n.rs_r1 |= 1u8 << ri;
+        } else {
+            n.rs_r1 &= !(1u8 << ri);
+        }
+        if r2 {
+            n.rs_r2 |= 1u8 << ri;
+        } else {
+            n.rs_r2 &= !(1u8 << ri);
+        }
+        if is_mem {
+            let li = usize::from(n.lsq_tail & 7);
+            n.lsq_rob[li] = t as u8;
+            n.lsq_addr[li] = 0;
+            n.lsq_data[li] = 0;
+            n.lsq_ready &= !(1u8 << li);
+            n.lsq_tail = (n.lsq_tail.wrapping_add(1)) & 7;
+            n.lsq_count = (n.lsq_count.wrapping_add(1)) & 0xF;
+        }
+    }
+    if flags & F_WR != 0 && rd != 0 {
+        n.rat_busy |= 1u32 << rd;
+        n.rat_tag[rd] = t as u8;
+        rat_write = true;
+    }
+    n.rob_flags[t] = flags;
+    n.rob_tail = (n.rob_tail.wrapping_add(1)) & 15;
+    n.rob_count = (n.rob_count.wrapping_add(1)) & 0x1F;
+    n.fb_valid = 0;
+    n.dec_valid = 1;
+    n.dec_op = op.bits() as u8;
+    ports.set(Sc::IdCtl, 1 | (op.bits() << 1));
+    // LR7 has no return-address stack; the RAS SC pair carries the
+    // register-alias-table traffic instead.
+    ports.set(Sc::RasCtl, u32::from(rat_write) | (u32::from(is_sys) << 1));
+    ports.set(Sc::RasChk, parity8(n.rat_busy));
+    EV_DISPATCH
+}
+
+/// Allocates a poisoned ROB entry for a fetch/decode fault; the trap is
+/// taken when (if) the entry reaches commit.
+fn alloc_exc(n: &mut Lr7State, s: &Lr7State, cause: TrapCause) {
+    let t = usize::from(n.rob_tail & 15);
+    n.rob_pc[t] = s.fb_pc;
+    n.rob_raw[t] = s.fb_raw;
+    n.rob_op[t] = 0;
+    n.rob_rd[t] = 0;
+    n.rob_flags[t] = 0;
+    n.rob_val[t] = 0;
+    n.rob_exc[t] = cause.code() as u8;
+    n.rob_npc[t] = s.fb_pc.wrapping_add(4);
+    n.rob_ppc[t] = s.fb_pred;
+    n.rob_done |= 1u16 << t;
+    n.rob_tail = (n.rob_tail.wrapping_add(1)) & 15;
+    n.rob_count = (n.rob_count.wrapping_add(1)) & 0x1F;
+    n.fb_valid = 0;
+}
+
+/// Source registers of a decoded instruction (0 = no source / `r0`).
+fn source_regs(fmt: Format, i: &Instr) -> (usize, usize) {
+    match fmt {
+        Format::R | Format::B => (i.rs1.index(), i.rs2.index()),
+        // A store's second source is its data register, held in `rd`.
+        Format::Store => (i.rs1.index(), i.rd.index()),
+        Format::I | Format::Load => (i.rs1.index(), 0),
+        Format::U | Format::J | Format::Sys => (0, 0),
+    }
+}
+
+fn arch_read(n: &Lr7State, r: usize) -> u32 {
+    if r == 0 {
+        0
+    } else {
+        n.regs[(r - 1) & 31]
+    }
+}
+
+/// Resolves one source register against RAT/ROB/architectural state:
+/// `(value, ready, producer-tag)`.
+fn resolve(n: &Lr7State, r: usize) -> (u32, bool, u8) {
+    if r == 0 {
+        return (0, true, 0);
+    }
+    if (n.rat_busy >> r) & 1 == 1 {
+        let tag = n.rat_tag[r & 31] & 15;
+        if (n.rob_done >> tag) & 1 == 1 {
+            (n.rob_val[usize::from(tag)], true, tag)
+        } else {
+            (0, false, tag)
+        }
+    } else {
+        (n.regs[(r - 1) & 31], true, 0)
+    }
+}
+
+/// Fetch (stage 6): read the next instruction word and predict the
+/// next PC through the BTB (valid + full tag match + counter ≥ 2).
+fn do_fetch(n: &mut Lr7State, mem: &mut dyn MemoryPort, ports: &mut PortSet) {
+    let pc = n.pc;
+    let addr = pc & !3;
+    let (raw, err) = match mem.fetch(addr) {
+        Ok(w) => (w, 0u8),
+        Err(_) => (0, 1u8),
+    };
+    let idx = ((pc >> 2) & 15) as usize;
+    let hit = err == 0
+        && (n.btb_valid >> idx) & 1 == 1
+        && n.btb_tag[idx] == pc
+        && n.btb_ctr[idx] & 3 >= 2;
+    let pred = if hit { n.btb_tgt[idx] } else { pc.wrapping_add(4) };
+    n.fb_valid = 1;
+    n.fb_pc = pc;
+    n.fb_raw = raw;
+    n.fb_err = err;
+    n.fb_pred = pred;
+    n.pc = pred;
+    n.imc_valid = 1;
+    n.imc_addr = addr;
+    n.imc_rdata = raw;
+    n.imc_err = err;
+    ports.set_bus(Sc::IfAddrLo, Sc::IfAddrHi, addr);
+    ports.set(Sc::IfReq, 1 | (u32::from(err) << 1));
+    ports.set(Sc::IfRchk, parity8(raw));
+    ports.set(Sc::BranchCtl, u32::from(hit) | (u32::from(pred != pc.wrapping_add(4)) << 1));
+    if hit {
+        ports.set_bus(Sc::BtgtLo, Sc::BtgtHi, pred);
+    }
+}

@@ -145,16 +145,20 @@ impl From<serde_json::Error> for ArchiveError {
 /// fuzz-generated workloads; v6 records batch-mode provenance in the
 /// stats block (`batch_mode` plus the early-out/parked-lane savings
 /// counters); v7 adds the optional `shard` provenance block marking
-/// partial archives produced by [`crate::shard::run_shard`].
-pub const ARCHIVE_VERSION: u32 = 7;
+/// partial archives produced by [`crate::shard::run_shard`]; v8
+/// records the core model (`core` in the stats block and in shard
+/// provenance) now that campaigns can replay on either the in-order
+/// LR5 or the out-of-order LR7.
+pub const ARCHIVE_VERSION: u32 = 8;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
 /// files simply have no trace blobs, pre-v4 stats blocks default to
 /// shadow replay (the only mode that existed before v4), pre-v5 files
 /// default to no fuzz provenance, pre-v6 stats blocks default to
-/// batch mode `"off"` (the scalar engines were all that existed), and
+/// batch mode `"off"` (the scalar engines were all that existed),
 /// pre-v7 files default to no shard provenance (they are complete
-/// single-shot archives by construction).
+/// single-shot archives by construction), and pre-v8 files default the
+/// core model to `"lr5"` (the only core that existed before v8).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -283,6 +287,7 @@ pub(crate) fn fuzz_provenance_from_names<'a>(
 mod tests {
     use super::*;
     use crate::campaign::{run_campaign, CampaignConfig};
+    use lockstep_cpu::CoreKind;
     use lockstep_workloads::Workload;
 
     fn small_result() -> CampaignResult {
@@ -298,6 +303,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::Lr5,
         })
     }
 
@@ -341,6 +347,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::Lr5,
         };
         cfg.trace_window = Some(16);
         let result = run_campaign(&cfg);
@@ -621,6 +628,117 @@ mod tests {
     }
 
     #[test]
+    fn pre_v8_archive_without_core_defaults_to_lr5() {
+        // v7 writers predate the core-model axis: neither the stats
+        // block nor the shard provenance has a `core` field. Those runs
+        // all replayed on the in-order LR5.
+        #[derive(Serialize)]
+        struct StatsV7 {
+            checkpoint_interval: u64,
+            replay_mode: String,
+            injected: u64,
+            manifested: u64,
+            masked: u64,
+            golden_nanos: u64,
+            injection_nanos: u64,
+            wall_nanos: u64,
+            injections_per_sec: f64,
+            batch_mode: String,
+            masked_early_out: u64,
+            early_out_cycles_saved: u64,
+            parked_masked: u64,
+            lane_activations: u64,
+            per_workload: Vec<crate::campaign::WorkloadStats>,
+        }
+        #[derive(Serialize)]
+        struct ShardV7 {
+            index: u32,
+            count: u32,
+            fault_lo: u64,
+            fault_hi: u64,
+            workloads: Vec<String>,
+            faults_per_workload: u64,
+            seed: u64,
+            capture_window: u32,
+            checkpoint_interval: u64,
+            trace_window: u64,
+            replay_mode: String,
+            batch_mode: String,
+        }
+        #[derive(Serialize)]
+        struct ArchiveV7 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: StatsV7,
+            traces: Vec<Option<DivergenceTrace>>,
+            fuzz: Vec<FuzzSpecRepr>,
+            shard: Option<ShardV7>,
+        }
+        let result = small_result();
+        let s = &result.stats;
+        let v7 = ArchiveV7 {
+            version: 7,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: StatsV7 {
+                checkpoint_interval: s.checkpoint_interval,
+                replay_mode: s.replay_mode.clone(),
+                injected: s.injected,
+                manifested: s.manifested,
+                masked: s.masked,
+                golden_nanos: s.golden_nanos,
+                injection_nanos: s.injection_nanos,
+                wall_nanos: s.wall_nanos,
+                injections_per_sec: s.injections_per_sec,
+                batch_mode: s.batch_mode.clone(),
+                masked_early_out: s.masked_early_out,
+                early_out_cycles_saved: s.early_out_cycles_saved,
+                parked_masked: s.parked_masked,
+                lane_activations: s.lane_activations,
+                per_workload: s.per_workload.clone(),
+            },
+            traces: Vec::new(),
+            fuzz: Vec::new(),
+            shard: Some(ShardV7 {
+                index: 0,
+                count: 1,
+                fault_lo: 0,
+                fault_hi: 120,
+                workloads: vec!["idctrn".to_owned()],
+                faults_per_workload: 120,
+                seed: 5,
+                capture_window: 8,
+                checkpoint_interval: 1024,
+                trace_window: 0,
+                replay_mode: "shadow".to_owned(),
+                batch_mode: "off".to_owned(),
+            }),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v7_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v7).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v8 reader must accept v7 files");
+        assert_eq!(loaded.version, 7);
+        assert_eq!(loaded.stats.core, "lr5", "pre-v8 runs replayed on the LR5");
+        assert_eq!(loaded.shard.as_ref().unwrap().core, "lr5");
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn fuzz_campaigns_record_their_generator_seed() {
         let spec = lockstep_workloads::fuzz::FuzzSpec { seed: 42, count: 3 };
         let result = run_campaign(&CampaignConfig {
@@ -635,6 +753,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::Lr5,
         });
         let archive = CampaignArchive::from_result(&result);
         assert_eq!(archive.version, ARCHIVE_VERSION);

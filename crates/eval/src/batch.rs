@@ -60,7 +60,7 @@
 use lockstep_core::Dsr;
 use lockstep_cpu::dirty::{converged, rf_confined, rf_registry_index, DirtyWitness, LaneWatch};
 use lockstep_cpu::exec::{rf_read_candidates, rf_write_of};
-use lockstep_cpu::{flops, Cpu, CpuState, PortSet, PortTrace};
+use lockstep_cpu::{flops, CoreModel, Cpu, CpuState, Lr7, PortSet, PortTrace};
 use lockstep_fault::{Fault, FaultKind};
 use lockstep_mem::{Memory, TrialLog, TrialView};
 use lockstep_workloads::GoldenCheckpoints;
@@ -758,6 +758,204 @@ pub fn run_batch_group(
             cost.parked_masked += n;
         }
     }
+    (outcomes, cost)
+}
+
+/// Per-core batched-engine capability. The accelerator layers (dirty-
+/// set early-out, register-file parking, bit-parallel watches) are
+/// proofs about the LR5 microstructure — its single-read-site register
+/// file and decodable write-back — so only [`Cpu`] runs them. Other
+/// cores clamp to the core-agnostic fan-out substrate, which is still
+/// byte-identical to their scalar engines (the outcome of a batched
+/// group never depends on the layer set).
+pub trait CoreBatch: CoreModel {
+    /// The layer combination this core's engine actually runs when
+    /// `requested` is configured. Campaign stats record the clamped
+    /// label, so archives describe what really executed.
+    fn clamp_layers(requested: BatchConfig) -> BatchConfig;
+
+    /// Runs one batched group on this core model (see
+    /// [`run_batch_group`] for the contract).
+    fn run_batch_group(
+        checkpoints: &GoldenCheckpoints<Self::State>,
+        trace: &PortTrace,
+        faults: &[Fault],
+        window: u32,
+        layers: BatchConfig,
+    ) -> (Vec<Option<(u64, Dsr)>>, BatchCost);
+}
+
+impl CoreBatch for Cpu {
+    fn clamp_layers(requested: BatchConfig) -> BatchConfig {
+        requested
+    }
+
+    fn run_batch_group(
+        checkpoints: &GoldenCheckpoints,
+        trace: &PortTrace,
+        faults: &[Fault],
+        window: u32,
+        layers: BatchConfig,
+    ) -> (Vec<Option<(u64, Dsr)>>, BatchCost) {
+        run_batch_group(checkpoints, trace, faults, window, layers)
+    }
+}
+
+impl CoreBatch for Lr7 {
+    fn clamp_layers(_requested: BatchConfig) -> BatchConfig {
+        BatchConfig::FAN_OUT
+    }
+
+    fn run_batch_group(
+        checkpoints: &GoldenCheckpoints<<Lr7 as CoreModel>::State>,
+        trace: &PortTrace,
+        faults: &[Fault],
+        window: u32,
+        _layers: BatchConfig,
+    ) -> (Vec<Option<(u64, Dsr)>>, BatchCost) {
+        run_batch_group_fanout::<Lr7>(checkpoints, trace, faults, window)
+    }
+}
+
+/// A scalar lane of the core-agnostic fan-out engine: no convergence
+/// witness, no parking — just a faulty machine stepped to detection or
+/// the end of the trace.
+struct FanoutLane<C> {
+    cpu: C,
+    fault: Fault,
+    outs: Vec<usize>,
+}
+
+/// [`run_batch_group`] restricted to layer 1 (fan-out from a shared
+/// walker), generic over the core model. Every fault becomes a scalar
+/// lane off the walker's committed state at its strike cycle; lanes
+/// stay memoryless behind a [`TrialView`] until they first diverge.
+/// Outcomes are bit-identical to the scalar engines for any core whose
+/// checkpoints restore exactly.
+pub fn run_batch_group_fanout<C: CoreModel>(
+    checkpoints: &GoldenCheckpoints<C::State>,
+    trace: &PortTrace,
+    faults: &[Fault],
+    window: u32,
+) -> (Vec<Option<(u64, Dsr)>>, BatchCost) {
+    assert!(window >= 1, "capture window must be at least one cycle");
+    let trace_len = trace.len();
+    let mut outcomes: Vec<Option<(u64, Dsr)>> = vec![None; faults.len()];
+    let mut cost = BatchCost::default();
+
+    let mut order: Vec<usize> = (0..faults.len()).collect();
+    order.sort_by_key(|&i| faults[i].cycle);
+    let in_range: Vec<usize> = order.into_iter().filter(|&i| faults[i].cycle < trace_len).collect();
+    cost.skipped_cycles += trace_len * (faults.len() - in_range.len()) as u64;
+    let Some(&first) = in_range.first() else {
+        return (outcomes, cost);
+    };
+
+    let cp = checkpoints
+        .nearest_at(faults[first].cycle)
+        .expect("golden captures always include the cycle-0 checkpoint");
+    let mut wcpu = C::from_state(cp.cpu.clone());
+    let mut wmem = cp.mem.clone();
+    let mut wports = PortSet::new();
+    let mut cycle = cp.cycle;
+    cost.skipped_cycles += cp.cycle;
+
+    let mut pending = in_range.into_iter().peekable();
+    let mut lanes: Vec<FanoutLane<C>> = Vec::new();
+    let mut mem_pool: Vec<Memory> = Vec::new();
+    let mut lports = PortSet::new();
+    let mut log = TrialLog::new();
+
+    while cycle < trace_len {
+        if lanes.is_empty() {
+            // Idle: jump the walker forward over any checkpoint between
+            // here and the next strike.
+            let Some(&i) = pending.peek() else {
+                break;
+            };
+            let target = faults[i].cycle;
+            if target > cycle {
+                let cp = checkpoints
+                    .nearest_at(target)
+                    .expect("golden captures always include the cycle-0 checkpoint");
+                if cp.cycle > cycle {
+                    wcpu = C::from_state(cp.cpu.clone());
+                    wmem = cp.mem.clone();
+                    cost.skipped_cycles += cp.cycle - cycle;
+                    cycle = cp.cycle;
+                }
+            }
+        }
+
+        let at = cycle;
+        let gp = trace.get(at).expect("walker within the golden trace");
+
+        // Step every live lane through `at` against the walker's image
+        // (identical to the lane's own while its ports match golden); a
+        // diverging lane forks a private image and runs its capture
+        // window — exactly the scalar engines' DSR semantics.
+        let mut li = 0;
+        while li < lanes.len() {
+            let lane = &mut lanes[li];
+            let f = lane.fault;
+            log.clear();
+            let mut view = TrialView::new(&wmem, &mut log);
+            if f.kind == FaultKind::Transient {
+                lane.cpu.step(&mut view, &mut lports);
+            } else {
+                lane.cpu.step_with_overlay(&mut view, &mut lports, |st| f.overlay_for::<C>(st, at));
+            }
+            cost.replayed_cycles += 1;
+            let diff = lports.diff_mask(gp);
+            if diff == 0 {
+                li += 1;
+                continue;
+            }
+            let mut mem = fork_mem(&mut mem_pool, &wmem);
+            mem.apply_trial(&log);
+            let mut dsr_bits = diff;
+            let mut c = at + 1;
+            while c < at + u64::from(window) && c < trace_len {
+                lane.cpu.step_with_overlay(&mut mem, &mut lports, |st| f.overlay_for::<C>(st, c));
+                dsr_bits |=
+                    lports.diff_mask(trace.get(c).expect("capture within the golden trace"));
+                cost.replayed_cycles += 1;
+                c += 1;
+            }
+            let out = Some((at, Dsr::from_bits(dsr_bits)));
+            for &o in &lane.outs {
+                outcomes[o] = out;
+            }
+            mem_pool.push(mem);
+            lanes.swap_remove(li);
+        }
+
+        // Walk the fault-free golden machine through `at`.
+        wcpu.step(&mut wmem, &mut wports);
+        debug_assert_eq!(
+            wports.diff_mask(gp),
+            0,
+            "fault-free walker diverged from the recorded golden trace at cycle {at}"
+        );
+        cycle += 1;
+        cost.replayed_cycles += 1;
+        let committed = wcpu.state();
+
+        // Admit faults striking at `at` (exact duplicates share a lane).
+        while pending.peek().is_some_and(|&i| faults[i].cycle == at) {
+            let i = pending.next().expect("peeked");
+            let f = faults[i];
+            if let Some(lane) = lanes.iter_mut().find(|l| l.fault == f) {
+                lane.outs.push(i);
+                continue;
+            }
+            let mut st = committed.clone();
+            f.overlay_for::<C>(&mut st, at);
+            lanes.push(FanoutLane { cpu: C::from_state(st), fault: f, outs: vec![i] });
+            cost.lane_activations += 1;
+        }
+    }
+
     (outcomes, cost)
 }
 

@@ -1,0 +1,34 @@
+//! Cross-core transfer matrix: trains the prediction table on one core
+//! model's campaign and tests it on the other's, both directions, both
+//! granularities. Runs the same campaign (workloads, faults, seed) on
+//! the in-order LR5 and the out-of-order LR7; any `--core` flag is
+//! overridden since this experiment needs both.
+use lockstep_cpu::CoreKind;
+use lockstep_eval::cli::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args());
+    let mut config = args.campaign_config();
+    let mut results = Vec::new();
+    for core in CoreKind::ALL {
+        config.core = core;
+        eprintln!(
+            "running {} campaign: {} faults x {} workloads, seed {} ...",
+            core.label(),
+            args.faults,
+            args.workloads.len(),
+            args.seed
+        );
+        let result = lockstep_eval::run_campaign(&config);
+        eprintln!(
+            "{} done: {} errors from {} injections",
+            core.label(),
+            result.records.len(),
+            result.injected
+        );
+        results.push(result);
+    }
+    let [lr5, lr7] = &results[..] else { unreachable!("two cores") };
+    let (_, report) = lockstep_eval::experiments::crosscore::run(lr5, lr7, args.seed);
+    println!("\n{report}");
+}

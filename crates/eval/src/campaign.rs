@@ -54,14 +54,16 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lockstep_core::{Dsr, ErrorRecord};
-use lockstep_cpu::{flops, Cpu, Granularity, PortSet, PortTrace};
+use lockstep_cpu::{
+    flops, CoreKind, CoreModel, Cpu, CpuState, Granularity, Lr7, PortSet, PortTrace,
+};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, FaultKind, PlanConfig};
 use lockstep_obs::{DivergenceTrace, Event, EventSink, TraceRing, TraceSample};
 use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{run_batch_group, total_cost, BatchConfig, BatchCost};
+use crate::batch::{total_cost, BatchConfig, BatchCost, CoreBatch};
 
 /// Default DSR capture window (cycles from first divergence until the
 /// CPUs are architecturally stopped).
@@ -164,6 +166,11 @@ pub struct CampaignConfig {
     /// when divergence tracing is on (see
     /// [`CampaignConfig::effective_batch`]).
     pub batch: Option<BatchConfig>,
+    /// Core model under test (default [`CoreKind::Lr5`], the in-order
+    /// pipeline). [`CoreKind::Lr7`] runs the out-of-order core behind
+    /// the same [`CoreModel`] contracts; its batched engine clamps to
+    /// the fan-out layer (see [`CoreBatch::clamp_layers`]).
+    pub core: CoreKind,
 }
 
 impl CampaignConfig {
@@ -182,6 +189,7 @@ impl CampaignConfig {
             replay_mode: ReplayMode::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::default(),
         }
     }
 
@@ -210,6 +218,17 @@ impl CampaignConfig {
         } else {
             self.batch
         }
+    }
+
+    /// [`effective_batch`](Self::effective_batch) after the selected
+    /// core's layer clamp — the label recorded in stats and shard
+    /// provenance, describing the layers that really ran (LR7 supports
+    /// only the fan-out substrate; richer layer sets clamp down).
+    pub fn effective_batch_clamped(&self) -> Option<BatchConfig> {
+        self.effective_batch().map(|layers| match self.core {
+            CoreKind::Lr5 => <Cpu as CoreBatch>::clamp_layers(layers),
+            CoreKind::Lr7 => <Lr7 as CoreBatch>::clamp_layers(layers),
+        })
     }
 }
 
@@ -267,6 +286,9 @@ impl WorkloadStats {
 pub struct CampaignStats {
     /// Checkpoint spacing used, or 0 if checkpointing was disabled.
     pub checkpoint_interval: u64,
+    /// Core model label of the producing run (`"lr5"` / `"lr7"`; see
+    /// [`CoreKind::label`]).
+    pub core: String,
     /// Replay mode label of the producing run (`"shadow"` /
     /// `"lockstep"`; see [`ReplayMode::label`]).
     pub replay_mode: String,
@@ -308,6 +330,12 @@ impl Deserialize for CampaignStats {
     fn deserialize(value: &Value) -> Result<CampaignStats, JsonError> {
         Ok(CampaignStats {
             checkpoint_interval: Deserialize::deserialize(value.field("checkpoint_interval")?)?,
+            // Archives that predate the core-model axis were produced
+            // by the only core that existed, the in-order LR5.
+            core: match value.field("core") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => CoreKind::Lr5.label().to_owned(),
+            },
             replay_mode: match value.field("replay_mode") {
                 Ok(v) => Deserialize::deserialize(v)?,
                 // Archives that predate the field were produced by the
@@ -353,9 +381,10 @@ impl CampaignStats {
     /// split, injection rate, and per-workload replay/checkpoint cost.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "== Campaign throughput (checkpoint interval: {}, replay mode: {}) ==\n\n\
+            "== Campaign throughput (core: {}, checkpoint interval: {}, replay mode: {}) ==\n\n\
              {} injections ({} manifested, {} masked) at {:.0} injections/sec\n\
              golden capture {:.1} ms, injection phase {:.1} ms, total {:.1} ms\n\n",
+            if self.core.is_empty() { "lr5" } else { &self.core },
             if self.checkpoint_interval == 0 {
                 "off".to_owned()
             } else {
@@ -545,9 +574,9 @@ pub(crate) fn order_produced(
 /// Builds the per-workload throughput stats from the worker counters.
 /// `fault_counts[wi]` is the number of faults actually injected into
 /// workload `wi` by this run (a shard injects a subrange of the plan).
-pub(crate) fn collect_workload_stats(
+pub(crate) fn collect_workload_stats<S>(
     config: &CampaignConfig,
-    captures: &[GoldenCapture],
+    captures: &[GoldenCapture<S>],
     fault_counts: &[u64],
     counters: &[WorkCounters],
 ) -> Vec<WorkloadStats> {
@@ -588,15 +617,28 @@ pub(crate) fn collect_workload_stats(
 /// Runs a full campaign: one golden reference pass per workload
 /// (statistics, port trace, and checkpoints captured together), then a
 /// single flat queue of (workload, fault) injection experiments shared
-/// by all worker threads.
+/// by all worker threads. Dispatches on [`CampaignConfig::core`] to the
+/// generic engine, monomorphized per core model.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    match config.core {
+        CoreKind::Lr5 => run_campaign_for::<Cpu>(config),
+        CoreKind::Lr7 => run_campaign_for::<Lr7>(config),
+    }
+}
+
+/// [`run_campaign`] monomorphized for core model `C`. The engine is a
+/// pure function of the [`CoreModel`] contracts — registry-driven fault
+/// plans, snapshot/restore checkpoints, overlay stepping, and the
+/// 62-SC port comparison — so every replay mode and the fan-out batch
+/// layer work identically on any conforming core.
+pub fn run_campaign_for<C: CoreBatch>(config: &CampaignConfig) -> CampaignResult {
     let campaign_start = Instant::now();
     let mode = config.effective_replay_mode();
     assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
 
     let stim_seeds: Vec<u64> =
         (0..config.workloads.len()).map(|wi| config.seed ^ (wi as u64) << 32).collect();
-    let (captures, golden_nanos) = run_golden_phase(config, &stim_seeds);
+    let (captures, golden_nanos) = run_golden_phase::<C>(config, &stim_seeds);
 
     // ------------------------------------------------------------------
     // Fault plans and the flat work queue: injection i maps to the
@@ -607,13 +649,13 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let mut offsets = Vec::with_capacity(config.workloads.len());
     let mut injected_total = 0usize;
     for (wi, cap) in captures.iter().enumerate() {
-        let plan = CampaignPlan::sampled(
+        let plan = CampaignPlan::sampled_for::<C>(
             PlanConfig::new(cap.run.cycles, config.seed.wrapping_add(wi as u64)),
             config.faults_per_workload,
         );
         for f in plan.faults() {
             let k = usize::from(f.kind.error_kind() == ErrorKind::Hard);
-            injected_per_unit[f.unit().index()][k] += 1;
+            injected_per_unit[f.unit_for::<C>().index()][k] += 1;
         }
         offsets.push(injected_total);
         injected_total += plan.len();
@@ -631,7 +673,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let sink: Mutex<Vec<Produced>> = Mutex::new(Vec::new());
     let fault_sets: Vec<Vec<Fault>> = plans.iter().map(|p| p.faults().to_vec()).collect();
     let batch_cost =
-        run_injection_phase(config, &captures, &stim_seeds, &fault_sets, &counters, &sink);
+        run_injection_phase::<C>(config, &captures, &stim_seeds, &fault_sets, &counters, &sink);
     let injection_nanos = elapsed_nanos(injection_start);
     if let Some(events) = &config.events {
         events.emit(&Event::Span { name: "injection".to_owned(), nanos: injection_nanos });
@@ -658,6 +700,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let injection_secs = injection_nanos as f64 / 1e9;
     let stats = CampaignStats {
         checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        core: C::NAME.to_owned(),
         replay_mode: mode.label().to_owned(),
         injected: injected_total as u64,
         manifested: manifested_total,
@@ -670,7 +713,11 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         } else {
             0.0
         },
-        batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+        batch_mode: config
+            .effective_batch()
+            .map(C::clamp_layers)
+            .map_or("off", BatchConfig::label)
+            .to_owned(),
         masked_early_out: batch_cost.masked_early_out,
         early_out_cycles_saved: batch_cost.early_out_cycles_saved,
         parked_masked: batch_cost.parked_masked,
@@ -697,14 +744,14 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
 /// indices so its captures are bit-identical to the full campaign's.
 ///
 /// Returns the captures plus the phase's wall time in nanoseconds.
-pub(crate) fn run_golden_phase(
+pub(crate) fn run_golden_phase<C: CoreModel>(
     config: &CampaignConfig,
     stim_seeds: &[u64],
-) -> (Vec<GoldenCapture>, u64) {
+) -> (Vec<GoldenCapture<C::State>>, u64) {
     let phase_start = Instant::now();
     let capture_interval = config.checkpoint_interval.unwrap_or(u64::MAX);
-    let captures: Vec<GoldenCapture> = {
-        let slots: Vec<Mutex<Option<GoldenCapture>>> =
+    let captures: Vec<GoldenCapture<C::State>> = {
+        let slots: Vec<Mutex<Option<GoldenCapture<C::State>>>> =
             config.workloads.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -714,7 +761,8 @@ pub(crate) fn run_golden_phase(
                     let Some(workload) = config.workloads.get(wi) else {
                         break;
                     };
-                    let cap = workload.golden_capture(stim_seeds[wi], 400_000, capture_interval);
+                    let cap =
+                        workload.golden_capture_for::<C>(stim_seeds[wi], 400_000, capture_interval);
                     *slots[wi].lock().expect("no poisoned capture slot") = Some(cap);
                 });
             }
@@ -762,9 +810,9 @@ pub(crate) fn run_golden_phase(
 /// Outcomes are a pure per-fault function, so any partition of a
 /// campaign's fault sets across calls — including the resumable shards
 /// of [`crate::shard`] — produces the same records.
-pub(crate) fn run_injection_phase(
+pub(crate) fn run_injection_phase<C: CoreBatch>(
     config: &CampaignConfig,
-    captures: &[GoldenCapture],
+    captures: &[GoldenCapture<C::State>],
     stim_seeds: &[u64],
     fault_sets: &[Vec<Fault>],
     counters: &[WorkCounters],
@@ -779,7 +827,8 @@ pub(crate) fn run_injection_phase(
         injected_total += set.len();
     }
     if let Some(layers) = config.effective_batch() {
-        run_batch_phase(config, captures, fault_sets, counters, sink, layers, window)
+        let layers = C::clamp_layers(layers);
+        run_batch_phase::<C>(config, captures, fault_sets, counters, sink, layers, window)
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -810,7 +859,7 @@ pub(crate) fn run_injection_phase(
                                 (ReplayMode::Shadow, Some(pre))
                                     if config.checkpoint_interval.is_some() =>
                                 {
-                                    let (out, cost) = run_injection_traced(
+                                    let (out, cost) = run_injection_traced_for::<C>(
                                         &cap.checkpoints,
                                         &cap.trace,
                                         fault,
@@ -821,7 +870,7 @@ pub(crate) fn run_injection_phase(
                                     (outcome, trace, cost)
                                 }
                                 (ReplayMode::Shadow, _) => {
-                                    let (out, cost) = run_injection_from_checkpoint(
+                                    let (out, cost) = run_injection_from_checkpoint_for::<C>(
                                         &cap.checkpoints,
                                         &cap.trace,
                                         fault,
@@ -832,7 +881,7 @@ pub(crate) fn run_injection_phase(
                                 (ReplayMode::Lockstep, Some(pre))
                                     if config.checkpoint_interval.is_some() =>
                                 {
-                                    let (out, cost) = run_injection_lockstep_traced(
+                                    let (out, cost) = run_injection_lockstep_traced_for::<C>(
                                         &cap.checkpoints,
                                         cap.run.cycles,
                                         fault,
@@ -844,7 +893,7 @@ pub(crate) fn run_injection_phase(
                                     (outcome, trace, cost)
                                 }
                                 (ReplayMode::Lockstep, _) => {
-                                    let (out, cost) = run_injection_lockstep(
+                                    let (out, cost) = run_injection_lockstep_for::<C>(
                                         &cap.checkpoints,
                                         cap.run.cycles,
                                         fault,
@@ -875,7 +924,7 @@ pub(crate) fn run_injection_phase(
                             }
                             (outcome, trace)
                         } else {
-                            let (out, cost) = run_injection_engine(
+                            let (out, cost) = run_injection_engine::<C, _, _>(
                                 ReplayStart::Reset { workload, stim_seed: stim_seeds[wi] },
                                 cap.trace.len(),
                                 fault,
@@ -892,8 +941,8 @@ pub(crate) fn run_injection_phase(
                         if let Some(events) = &config.events {
                             events.emit(&Event::Inject {
                                 workload: workload.name.to_owned(),
-                                unit: fault.unit().name().to_owned(),
-                                fault: fault.describe(),
+                                unit: fault.unit_for::<C>().name().to_owned(),
+                                fault: fault.describe_for::<C>(),
                                 cycle: fault.cycle,
                             });
                             match outcome {
@@ -915,7 +964,7 @@ pub(crate) fn run_injection_phase(
                                 wi,
                                 ErrorRecord {
                                     workload: workload.name.to_owned(),
-                                    unit_index: fault.unit().index() as u8,
+                                    unit_index: fault.unit_for::<C>().index() as u8,
                                     fault: fault.kind.into(),
                                     inject_cycle: fault.cycle,
                                     detect_cycle,
@@ -943,9 +992,9 @@ pub(crate) fn elapsed_nanos(since: Instant) -> u64 {
 /// sharing a single walker replay (see [`run_batch_group`]). Per-fault
 /// checkpoint hits are not reported — the restore is shared — so the
 /// hit-distance stats stay zero in batch mode.
-fn run_batch_phase(
+fn run_batch_phase<C: CoreBatch>(
     config: &CampaignConfig,
-    captures: &[GoldenCapture],
+    captures: &[GoldenCapture<C::State>],
     fault_sets: &[Vec<Fault>],
     counters: &[WorkCounters],
     sink: &Mutex<Vec<(usize, ErrorRecord, Option<DivergenceTrace>)>>,
@@ -994,7 +1043,7 @@ fn run_batch_phase(
                     let workload = config.workloads[group.wi];
                     let cap = &captures[group.wi];
                     let t0 = Instant::now();
-                    let (outcomes, cost) = run_batch_group(
+                    let (outcomes, cost) = C::run_batch_group(
                         &cap.checkpoints,
                         &cap.trace,
                         &group.faults,
@@ -1010,8 +1059,8 @@ fn run_batch_phase(
                         for (fault, outcome) in group.faults.iter().zip(&outcomes) {
                             events.emit(&Event::Inject {
                                 workload: workload.name.to_owned(),
-                                unit: fault.unit().name().to_owned(),
-                                fault: fault.describe(),
+                                unit: fault.unit_for::<C>().name().to_owned(),
+                                fault: fault.describe_for::<C>(),
                                 cycle: fault.cycle,
                             });
                             match outcome {
@@ -1035,7 +1084,7 @@ fn run_batch_phase(
                                 group.wi,
                                 ErrorRecord {
                                     workload: workload.name.to_owned(),
-                                    unit_index: fault.unit().index() as u8,
+                                    unit_index: fault.unit_for::<C>().index() as u8,
                                     fault: fault.kind.into(),
                                     inject_cycle: fault.cycle,
                                     detect_cycle,
@@ -1085,7 +1134,7 @@ pub fn run_injection_windowed(
     fault: Fault,
     window: u32,
 ) -> Option<(u64, Dsr)> {
-    run_injection_engine(
+    run_injection_engine::<Cpu, _, _>(
         ReplayStart::Reset { workload, stim_seed },
         golden_trace.len(),
         fault,
@@ -1147,23 +1196,19 @@ impl GoldenRef for RecordedGolden<'_> {
 /// Full-lockstep mode's reference: live fault-free golden-twin CPUs,
 /// each driving its own clone of the checkpoint memory (board-level
 /// lockstep, Figure 1a).
-struct TwinGolden {
-    twins: Vec<(Cpu, lockstep_mem::Memory)>,
+struct TwinGolden<C: CoreModel = Cpu> {
+    twins: Vec<(C, lockstep_mem::Memory)>,
 }
 
-impl TwinGolden {
-    fn from_parts(
-        state: &lockstep_cpu::CpuState,
-        mem: &lockstep_mem::Memory,
-        count: usize,
-    ) -> TwinGolden {
+impl<C: CoreModel> TwinGolden<C> {
+    fn from_parts(state: &C::State, mem: &lockstep_mem::Memory, count: usize) -> TwinGolden<C> {
         TwinGolden {
-            twins: (0..count).map(|_| (Cpu::from_state(state.clone()), mem.clone())).collect(),
+            twins: (0..count).map(|_| (C::from_state(state.clone()), mem.clone())).collect(),
         }
     }
 }
 
-impl GoldenRef for TwinGolden {
+impl<C: CoreModel> GoldenRef for TwinGolden<C> {
     fn cpus_per_cycle(&self) -> u64 {
         1 + self.twins.len() as u64
     }
@@ -1198,7 +1243,7 @@ impl GoldenRef for TwinGolden {
 
 /// Where an injection replay starts: from reset with a freshly built
 /// memory image, or from the golden checkpoint nearest the fault.
-enum ReplayStart<'a> {
+enum ReplayStart<'a, S = CpuState> {
     /// Rebuild the workload's memory image and replay from cycle 0.
     Reset {
         /// The workload whose image to rebuild.
@@ -1207,26 +1252,26 @@ enum ReplayStart<'a> {
         stim_seed: u64,
     },
     /// Restore the checkpoint at or below the fault cycle.
-    Checkpoint(&'a GoldenCheckpoints),
+    Checkpoint(&'a GoldenCheckpoints<S>),
 }
 
 /// Hooks the consolidated injection engine calls as it steps the faulty
 /// CPU. Monomorphized: an untraced replay instantiates [`NoObserver`]
 /// and pays nothing for the abstraction.
-trait ReplayObserver {
+trait ReplayObserver<C: CoreModel> {
     /// Called once with the faulty CPU as of the fault cycle, before
     /// the first compared step.
-    fn begin(&mut self, cpu: &Cpu);
+    fn begin(&mut self, cpu: &C);
     /// Called after every compared cycle `at` with its per-SC diff.
-    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &Cpu);
+    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &C);
 }
 
 /// The observer of a plain (untraced) replay: does nothing.
 struct NoObserver;
 
-impl ReplayObserver for NoObserver {
-    fn begin(&mut self, _: &Cpu) {}
-    fn observe(&mut self, _: u64, _: u64, _: Fault, _: &Cpu) {}
+impl<C: CoreModel> ReplayObserver<C> for NoObserver {
+    fn begin(&mut self, _: &C) {}
+    fn observe(&mut self, _: u64, _: u64, _: Fault, _: &C) {}
 }
 
 /// The divergence trace recorder as an engine observer: keeps the last
@@ -1234,20 +1279,20 @@ impl ReplayObserver for NoObserver {
 /// detection through the capture window. Each sample costs one
 /// [`lockstep_cpu::CpuState`] diff (for the per-unit flip deltas),
 /// which is why tracing is opt-in per campaign rather than always on.
-struct TraceObserver {
+struct TraceObserver<C: CoreModel = Cpu> {
     ring: TraceRing,
     samples: Vec<TraceSample>,
-    prev: lockstep_cpu::CpuState,
+    prev: C::State,
     detected: bool,
     pre_window: u32,
 }
 
-impl TraceObserver {
-    fn new(pre_window: u32) -> TraceObserver {
+impl<C: CoreModel> TraceObserver<C> {
+    fn new(pre_window: u32) -> TraceObserver<C> {
         TraceObserver {
             ring: TraceRing::new(pre_window as usize),
             samples: Vec::new(),
-            prev: lockstep_cpu::CpuState::reset(0),
+            prev: C::reset_state(0),
             detected: false,
             pre_window,
         }
@@ -1264,17 +1309,17 @@ impl TraceObserver {
     }
 }
 
-impl ReplayObserver for TraceObserver {
-    fn begin(&mut self, cpu: &Cpu) {
+impl<C: CoreModel> ReplayObserver<C> for TraceObserver<C> {
+    fn begin(&mut self, cpu: &C) {
         self.prev.clone_from(cpu.state());
     }
 
-    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &Cpu) {
+    fn observe(&mut self, at: u64, diff: u64, fault: Fault, cpu: &C) {
         let sample = TraceSample {
             cycle: at,
             diverged: diff,
             fault_active: fault_active(fault, at),
-            unit_flips: flops::unit_flip_deltas(&self.prev, cpu.state()),
+            unit_flips: flops::unit_flip_deltas_in(C::registry(), &self.prev, cpu.state()),
         };
         self.prev.clone_from(cpu.state());
         if self.detected {
@@ -1301,25 +1346,25 @@ impl ReplayObserver for TraceObserver {
 /// image) cannot diverge from its own recording. A fault landing after
 /// the benchmark halts is masked by construction and skips the replay
 /// entirely.
-fn run_injection_engine<G: GoldenRef, O: ReplayObserver>(
-    start: ReplayStart<'_>,
+fn run_injection_engine<C: CoreModel, G: GoldenRef, O: ReplayObserver<C>>(
+    start: ReplayStart<'_, C::State>,
     trace_len: u64,
     fault: Fault,
     window: u32,
     observer: &mut O,
-    make_golden: impl FnOnce(&lockstep_cpu::CpuState, &lockstep_mem::Memory) -> G,
+    make_golden: impl FnOnce(&C::State, &lockstep_mem::Memory) -> G,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
     if fault.cycle >= trace_len {
         let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
         return (None, cost);
     }
     let (mut cpu, mut mem, start_cycle) = match start {
-        ReplayStart::Reset { workload, stim_seed } => (Cpu::new(0), workload.memory(stim_seed), 0),
+        ReplayStart::Reset { workload, stim_seed } => (C::new(0), workload.memory(stim_seed), 0),
         ReplayStart::Checkpoint(checkpoints) => {
             let cp = checkpoints
                 .nearest_at(fault.cycle)
                 .expect("golden captures always include the cycle-0 checkpoint");
-            (Cpu::from_state(cp.cpu.clone()), cp.mem.clone(), cp.cycle)
+            (C::from_state(cp.cpu.clone()), cp.mem.clone(), cp.cycle)
         }
     };
     let mut golden = make_golden(cpu.state(), &mem);
@@ -1346,7 +1391,7 @@ fn run_injection_engine<G: GoldenRef, O: ReplayObserver>(
             return (None, cost);
         }
         let at = cycle;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay_for::<C>(st, at));
         cost.replayed_cycles += per_cycle;
         cycle += 1;
         let diff = golden.diff_against(at, &ports);
@@ -1360,7 +1405,7 @@ fn run_injection_engine<G: GoldenRef, O: ReplayObserver>(
             break;
         }
         let at = cycle;
-        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay(st, at));
+        cpu.step_with_overlay(&mut mem, &mut ports, |st| fault.overlay_for::<C>(st, at));
         cost.replayed_cycles += per_cycle;
         cycle += 1;
         let diff = golden.diff_against(at, &ports);
@@ -1385,7 +1430,18 @@ pub fn run_injection_from_checkpoint(
     fault: Fault,
     window: u32,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
-    run_injection_engine(
+    run_injection_from_checkpoint_for::<Cpu>(checkpoints, golden_trace, fault, window)
+}
+
+/// [`run_injection_from_checkpoint`] generic over the core model: the
+/// checkpoints must come from a golden capture of the same core.
+pub fn run_injection_from_checkpoint_for<C: CoreModel>(
+    checkpoints: &GoldenCheckpoints<C::State>,
+    golden_trace: &PortTrace,
+    fault: Fault,
+    window: u32,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
+    run_injection_engine::<C, _, _>(
         ReplayStart::Checkpoint(checkpoints),
         golden_trace.len(),
         fault,
@@ -1415,14 +1471,29 @@ pub fn run_injection_lockstep(
     window: u32,
     cpus: usize,
 ) -> (Option<(u64, Dsr)>, ReplayCost) {
+    run_injection_lockstep_for::<Cpu>(checkpoints, golden_cycles, fault, window, cpus)
+}
+
+/// [`run_injection_lockstep`] generic over the core model.
+///
+/// # Panics
+///
+/// Panics if `cpus < 2`.
+pub fn run_injection_lockstep_for<C: CoreModel>(
+    checkpoints: &GoldenCheckpoints<C::State>,
+    golden_cycles: u64,
+    fault: Fault,
+    window: u32,
+    cpus: usize,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
     assert!(cpus >= 2, "lockstep needs at least two CPUs");
-    run_injection_engine(
+    run_injection_engine::<C, _, _>(
         ReplayStart::Checkpoint(checkpoints),
         golden_cycles,
         fault,
         window,
         &mut NoObserver,
-        |state, mem| TwinGolden::from_parts(state, mem, cpus - 1),
+        |state, mem| TwinGolden::<C>::from_parts(state, mem, cpus - 1),
     )
 }
 
@@ -1453,8 +1524,20 @@ pub fn run_injection_traced(
     window: u32,
     pre_window: u32,
 ) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
-    let mut observer = TraceObserver::new(pre_window);
-    let (out, cost) = run_injection_engine(
+    run_injection_traced_for::<Cpu>(checkpoints, golden_trace, fault, window, pre_window)
+}
+
+/// [`run_injection_traced`] generic over the core model; unit flip
+/// deltas come from `C`'s own flop registry.
+pub fn run_injection_traced_for<C: CoreModel>(
+    checkpoints: &GoldenCheckpoints<C::State>,
+    golden_trace: &PortTrace,
+    fault: Fault,
+    window: u32,
+    pre_window: u32,
+) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
+    let mut observer = TraceObserver::<C>::new(pre_window);
+    let (out, cost) = run_injection_engine::<C, _, _>(
         ReplayStart::Checkpoint(checkpoints),
         golden_trace.len(),
         fault,
@@ -1484,15 +1567,38 @@ pub fn run_injection_lockstep_traced(
     pre_window: u32,
     cpus: usize,
 ) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
+    run_injection_lockstep_traced_for::<Cpu>(
+        checkpoints,
+        golden_cycles,
+        fault,
+        window,
+        pre_window,
+        cpus,
+    )
+}
+
+/// [`run_injection_lockstep_traced`] generic over the core model.
+///
+/// # Panics
+///
+/// Panics if `cpus < 2`.
+pub fn run_injection_lockstep_traced_for<C: CoreModel>(
+    checkpoints: &GoldenCheckpoints<C::State>,
+    golden_cycles: u64,
+    fault: Fault,
+    window: u32,
+    pre_window: u32,
+    cpus: usize,
+) -> (Option<(u64, Dsr, DivergenceTrace)>, ReplayCost) {
     assert!(cpus >= 2, "lockstep needs at least two CPUs");
-    let mut observer = TraceObserver::new(pre_window);
-    let (out, cost) = run_injection_engine(
+    let mut observer = TraceObserver::<C>::new(pre_window);
+    let (out, cost) = run_injection_engine::<C, _, _>(
         ReplayStart::Checkpoint(checkpoints),
         golden_cycles,
         fault,
         window,
         &mut observer,
-        |state, mem| TwinGolden::from_parts(state, mem, cpus - 1),
+        |state, mem| TwinGolden::<C>::from_parts(state, mem, cpus - 1),
     );
     match out {
         Some((cycle, dsr)) => (Some((cycle, dsr, observer.finish(cycle, window))), cost),
@@ -1533,6 +1639,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::Lr5,
         }
     }
 

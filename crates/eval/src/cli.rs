@@ -27,17 +27,21 @@
 //!   simulation layers (default `full`; `off` replays every fault on
 //!   its own scalar engine). All spellings yield bit-identical campaign
 //!   results; see [`crate::batch::BatchConfig`]. Ignored when
-//!   `--trace-window` is on (tracing needs the scalar per-fault path).
+//!   `--trace-window` is on (tracing needs the scalar per-fault path);
+//! * `--core {lr5,lr7}` — core model under test (default `lr5`, the
+//!   in-order pipeline; `lr7` is the out-of-order core). LR7 clamps the
+//!   batched engine to its fan-out layer; campaign outcomes are
+//!   unaffected by the clamp.
 
 use std::sync::Arc;
 
+use lockstep_cpu::CoreKind;
 use lockstep_obs::{EventSink, JsonlSink};
 use lockstep_workloads::{fuzz, Workload};
 
 use crate::batch::BatchConfig;
-use crate::campaign::{
-    CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
-};
+use crate::campaign::{CampaignConfig, ReplayMode, DEFAULT_CHECKPOINT_INTERVAL};
+use crate::spec::CampaignSpec;
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -61,6 +65,8 @@ pub struct CommonArgs {
     /// Batched fault-simulation layers (`--batch-mode`; default full,
     /// `None` = scalar per-fault replay).
     pub batch: Option<BatchConfig>,
+    /// Core model under test (`--core`; default LR5).
+    pub core: CoreKind,
 }
 
 impl CommonArgs {
@@ -77,6 +83,7 @@ impl CommonArgs {
             trace_window: None,
             replay_mode: ReplayMode::default(),
             batch: Some(BatchConfig::FULL),
+            core: CoreKind::default(),
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
@@ -148,13 +155,18 @@ impl CommonArgs {
                         ))
                     });
                 }
+                "--core" => {
+                    let m = value("--core");
+                    out.core = CoreKind::from_flag(&m)
+                        .unwrap_or_else(|| die(&format!("bad --core `{m}` (expected lr5 or lr7)")));
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] \
                          [--workloads a,b,c | fuzz:<seed>[:<count>]] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
                          [--trace-window N (0 = off)] [--replay-mode shadow|lockstep] \
-                         [--batch-mode off|fanout|earlyout|lanes|full]"
+                         [--batch-mode off|fanout|earlyout|lanes|full] [--core lr5|lr7]"
                     );
                     std::process::exit(0);
                 }
@@ -164,21 +176,34 @@ impl CommonArgs {
         out
     }
 
-    /// Builds the campaign configuration these args describe.
-    pub fn campaign_config(&self) -> CampaignConfig {
-        CampaignConfig {
-            workloads: self.workloads.clone(),
-            faults_per_workload: self.faults,
+    /// The portable subset of these args as the shared
+    /// [`CampaignSpec`] — the same description a `lockstep-serve` job
+    /// carries, so a CLI invocation can be replayed through the service
+    /// (and vice versa) knob for knob.
+    pub fn spec(&self) -> CampaignSpec {
+        CampaignSpec {
+            workloads: self.workloads.iter().map(|w| w.name.to_owned()).collect(),
+            faults_per_workload: self.faults as u64,
             seed: self.seed,
-            threads: self.threads,
-            capture_window: DEFAULT_CAPTURE_WINDOW,
-            checkpoint_interval: self.checkpoint_interval,
-            events: self.events.clone(),
-            trace_window: self.trace_window,
-            replay_mode: self.replay_mode,
-            cpus: 2,
-            batch: self.batch,
+            replay_mode: self.replay_mode.label().to_owned(),
+            batch_mode: self.batch.map_or("off", BatchConfig::label).to_owned(),
+            core: self.core.label().to_owned(),
         }
+    }
+
+    /// Builds the campaign configuration these args describe: the
+    /// shared-spec resolution plus the process-local knobs only the CLI
+    /// has (thread count, checkpoint interval, event sink, trace
+    /// window).
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut config = self
+            .spec()
+            .campaign_config(self.threads)
+            .expect("flag values were validated at parse time");
+        config.checkpoint_interval = self.checkpoint_interval;
+        config.events = self.events.clone();
+        config.trace_window = self.trace_window;
+        config
     }
 }
 
@@ -273,6 +298,15 @@ mod tests {
         let c = parse(&["--batch-mode", "full"]).campaign_config();
         assert_eq!(c.batch, Some(BatchConfig::FULL));
         assert_eq!(c.effective_batch(), Some(BatchConfig::FULL));
+    }
+
+    #[test]
+    fn core_flag() {
+        assert_eq!(parse(&[]).core, CoreKind::Lr5, "LR5 is the default core");
+        assert_eq!(parse(&["--core", "lr5"]).core, CoreKind::Lr5);
+        let a = parse(&["--core", "lr7"]);
+        assert_eq!(a.core, CoreKind::Lr7);
+        assert_eq!(a.campaign_config().core, CoreKind::Lr7);
     }
 
     #[test]

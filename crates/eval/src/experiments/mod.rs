@@ -7,6 +7,7 @@
 //! EXPERIMENTS.md records a full paper-vs-measured run.
 
 pub mod ablation;
+pub mod crosscore;
 pub mod fig10;
 pub mod fig11;
 pub mod fig45;

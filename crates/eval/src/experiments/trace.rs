@@ -229,6 +229,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: lockstep_cpu::CoreKind::Lr5,
         })
     }
 

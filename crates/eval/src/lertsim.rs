@@ -256,6 +256,7 @@ mod tests {
                 replay_mode: Default::default(),
                 cpus: 2,
                 batch: None,
+                core: lockstep_cpu::CoreKind::Lr5,
             };
             run_campaign(&cfg)
         })

@@ -28,7 +28,10 @@
 //! * [`shard`] — resumable campaign shards: cut the fault queue into
 //!   contiguous slices, run each independently, and merge the partial
 //!   archives back into one byte-identical to the single-shot run
-//!   (archive v7; the substrate of the `lockstep-serve` service).
+//!   (archive v8; the substrate of the `lockstep-serve` service).
+//! * [`spec`] — the one serde description of a campaign
+//!   ([`spec::CampaignSpec`]), shared by the CLIs and the campaign
+//!   service, with typed validation errors.
 //! * [`render`] — ASCII tables and bar charts for experiment binaries.
 //! * [`experiments`] — one module per paper table/figure; the
 //!   `src/bin/*.rs` binaries are thin wrappers (see DESIGN.md for the
@@ -47,9 +50,11 @@ pub mod experiments;
 pub mod lertsim;
 pub mod render;
 pub mod shard;
+pub mod spec;
 
 pub use archive::CampaignArchive;
 pub use batch::BatchConfig;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use dataset::Dataset;
 pub use shard::{merge_shard_archives, plan_shards, run_shard, ShardError, ShardRepr, ShardSpec};
+pub use spec::{CampaignSpec, SpecError};

@@ -26,12 +26,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use lockstep_core::ErrorRecord;
+use lockstep_cpu::{CoreKind, Cpu, Lr7};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
 use lockstep_obs::DivergenceTrace;
+use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::archive::{fuzz_provenance_from_names, CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
-use crate::batch::BatchConfig;
+use crate::batch::{BatchConfig, CoreBatch};
 use crate::campaign::{
     collect_workload_stats, elapsed_nanos, order_produced, run_golden_phase, run_injection_phase,
     CampaignConfig, CampaignResult, CampaignStats, WorkCounters, WorkloadStats,
@@ -95,7 +97,7 @@ pub fn plan_shards(config: &CampaignConfig, shard_count: usize) -> Vec<ShardSpec
 ///
 /// Merged and single-shot archives carry no `ShardRepr` (the field is
 /// `None`): its presence marks a *partial* archive.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ShardRepr {
     /// Shard index within the job, `0..count`.
     pub index: u32,
@@ -118,10 +120,39 @@ pub struct ShardRepr {
     pub checkpoint_interval: u64,
     /// Divergence-trace pre-window in cycles, 0 when tracing is off.
     pub trace_window: u64,
+    /// Core model label (`"lr5"` / `"lr7"`) — shards of one job must
+    /// have replayed on the same core.
+    pub core: String,
     /// Effective replay mode label (`"shadow"` / `"lockstep"`).
     pub replay_mode: String,
-    /// Effective batch mode label (`"off"`, `"fanout"`, ... `"full"`).
+    /// Effective batch mode label (`"off"`, `"fanout"`, ... `"full"`),
+    /// after the core's layer clamp.
     pub batch_mode: String,
+}
+
+impl Deserialize for ShardRepr {
+    fn deserialize(value: &Value) -> Result<ShardRepr, JsonError> {
+        Ok(ShardRepr {
+            index: Deserialize::deserialize(value.field("index")?)?,
+            count: Deserialize::deserialize(value.field("count")?)?,
+            fault_lo: Deserialize::deserialize(value.field("fault_lo")?)?,
+            fault_hi: Deserialize::deserialize(value.field("fault_hi")?)?,
+            workloads: Deserialize::deserialize(value.field("workloads")?)?,
+            faults_per_workload: Deserialize::deserialize(value.field("faults_per_workload")?)?,
+            seed: Deserialize::deserialize(value.field("seed")?)?,
+            capture_window: Deserialize::deserialize(value.field("capture_window")?)?,
+            checkpoint_interval: Deserialize::deserialize(value.field("checkpoint_interval")?)?,
+            trace_window: Deserialize::deserialize(value.field("trace_window")?)?,
+            // Shards that predate the core-model axis ran on the only
+            // core that existed, the in-order LR5.
+            core: match value.field("core") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => CoreKind::Lr5.label().to_owned(),
+            },
+            replay_mode: Deserialize::deserialize(value.field("replay_mode")?)?,
+            batch_mode: Deserialize::deserialize(value.field("batch_mode")?)?,
+        })
+    }
 }
 
 impl ShardRepr {
@@ -138,8 +169,12 @@ impl ShardRepr {
             capture_window: config.capture_window,
             checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
             trace_window: config.trace_window.map_or(0, u64::from),
+            core: config.core.label().to_owned(),
             replay_mode: config.effective_replay_mode().label().to_owned(),
-            batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+            batch_mode: config
+                .effective_batch_clamped()
+                .map_or("off", BatchConfig::label)
+                .to_owned(),
         }
     }
 
@@ -154,6 +189,7 @@ impl ShardRepr {
             && self.capture_window == other.capture_window
             && self.checkpoint_interval == other.checkpoint_interval
             && self.trace_window == other.trace_window
+            && self.core == other.core
             && self.replay_mode == other.replay_mode
             && self.batch_mode == other.batch_mode
     }
@@ -179,7 +215,18 @@ impl ShardRepr {
 /// Panics if `spec`'s range is empty or out of bounds for `config`, or
 /// if `faults_per_workload` is zero.
 pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
+    match config.core {
+        CoreKind::Lr5 => run_shard_for::<Cpu>(config, spec),
+        CoreKind::Lr7 => run_shard_for::<Lr7>(config, spec),
+    }
+}
+
+/// [`run_shard`] monomorphized over a specific core model `C`, which
+/// must agree with `config.core` (the shard provenance records the
+/// config's label).
+pub fn run_shard_for<C: CoreBatch>(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
     let shard_start = Instant::now();
+    debug_assert_eq!(config.core.label(), C::NAME, "config.core must match the core type");
     assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
     assert!(config.faults_per_workload >= 1, "faults_per_workload must be at least 1");
     let fpw = config.faults_per_workload as u64;
@@ -199,7 +246,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
     let mut sub = config.clone();
     sub.workloads = config.workloads[wi_lo..wi_hi].to_vec();
     let stim_seeds: Vec<u64> = (wi_lo..wi_hi).map(|wi| config.seed ^ (wi as u64) << 32).collect();
-    let (captures, golden_nanos) = run_golden_phase(&sub, &stim_seeds);
+    let (captures, golden_nanos) = run_golden_phase::<C>(&sub, &stim_seeds);
 
     // Re-derive each covered workload's full fault plan from its global
     // seed, then slice out the queue positions this shard owns.
@@ -207,7 +254,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
     let mut fault_sets: Vec<Vec<Fault>> = Vec::with_capacity(captures.len());
     for (li, cap) in captures.iter().enumerate() {
         let wi = (wi_lo + li) as u64;
-        let plan = CampaignPlan::sampled(
+        let plan = CampaignPlan::sampled_for::<C>(
             PlanConfig::new(cap.run.cycles, config.seed.wrapping_add(wi)),
             config.faults_per_workload,
         );
@@ -216,7 +263,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
         let slice = plan.faults()[lo..hi].to_vec();
         for f in &slice {
             let k = usize::from(f.kind.error_kind() == ErrorKind::Hard);
-            injected_per_unit[f.unit().index()][k] += 1;
+            injected_per_unit[f.unit_for::<C>().index()][k] += 1;
         }
         fault_sets.push(slice);
     }
@@ -226,7 +273,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
         sub.workloads.iter().map(|_| WorkCounters::default()).collect();
     let produced = Mutex::new(Vec::new());
     let batch_cost =
-        run_injection_phase(&sub, &captures, &stim_seeds, &fault_sets, &counters, &produced);
+        run_injection_phase::<C>(&sub, &captures, &stim_seeds, &fault_sets, &counters, &produced);
     let injection_nanos = elapsed_nanos(injection_start);
 
     let (records, mut traces) =
@@ -247,6 +294,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
     let injection_secs = injection_nanos as f64 / 1e9;
     let stats = CampaignStats {
         checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
+        core: C::NAME.to_owned(),
         replay_mode: config.effective_replay_mode().label().to_owned(),
         injected: injected_total,
         manifested: manifested_total,
@@ -259,7 +307,7 @@ pub fn run_shard(config: &CampaignConfig, spec: &ShardSpec) -> CampaignArchive {
         } else {
             0.0
         },
-        batch_mode: config.effective_batch().map_or("off", BatchConfig::label).to_owned(),
+        batch_mode: config.effective_batch_clamped().map_or("off", BatchConfig::label).to_owned(),
         masked_early_out: batch_cost.masked_early_out,
         early_out_cycles_saved: batch_cost.early_out_cycles_saved,
         parked_masked: batch_cost.parked_masked,
@@ -486,6 +534,7 @@ pub fn merge_shard_archives(shards: &[CampaignArchive]) -> Result<CampaignArchiv
     let injection_secs = injection_nanos as f64 / 1e9;
     let stats = CampaignStats {
         checkpoint_interval: job.checkpoint_interval,
+        core: job.core.clone(),
         replay_mode: job.replay_mode.clone(),
         injected: total,
         manifested: manifested_total,
@@ -557,6 +606,7 @@ mod tests {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: CoreKind::Lr5,
         }
     }
 

@@ -64,6 +64,7 @@ fn base_config() -> CampaignConfig {
         replay_mode: ReplayMode::Shadow,
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     }
 }
 

@@ -87,6 +87,7 @@ fn campaign_records_identical_for_all_intervals() {
         replay_mode: Default::default(),
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     };
     let reference = run_campaign(&base);
     assert!(!reference.records.is_empty(), "reference campaign must manifest errors");

@@ -29,6 +29,7 @@ fn campaign() -> &'static CampaignResult {
             replay_mode: Default::default(),
             cpus: 2,
             batch: None,
+            core: lockstep_cpu::CoreKind::Lr5,
         })
     })
 }

@@ -1,0 +1,156 @@
+//! The LR7 out-of-order core's campaign contracts: behind the
+//! [`CoreModel`] trait the injection engine must treat it exactly like
+//! the LR5 — same archive whatever the thread count, replay mode, or
+//! (supported) batch mode, and the same shard/merge determinism. None
+//! of these compare LR7 *against* LR5 (the cores diverge
+//! microarchitecturally, that is the point); they pin down that every
+//! execution strategy over the *same* core is byte-identical.
+//!
+//! Archives are compared as serialized bytes with the stats block
+//! normalized out, the convention of the whole equivalence suite.
+
+use lockstep_cpu::CoreKind;
+use lockstep_eval::archive::CampaignArchive;
+use lockstep_eval::batch::BatchConfig;
+use lockstep_eval::campaign::{
+    run_campaign, CampaignConfig, CampaignResult, CampaignStats, ReplayMode, DEFAULT_CAPTURE_WINDOW,
+};
+use lockstep_eval::shard::{merge_shard_archives, plan_shards, run_shard};
+use lockstep_workloads::Workload;
+
+fn base_config() -> CampaignConfig {
+    CampaignConfig {
+        workloads: vec![Workload::find("rspeed").unwrap(), Workload::find("idctrn").unwrap()],
+        faults_per_workload: 24,
+        seed: 2024,
+        threads: 4,
+        capture_window: DEFAULT_CAPTURE_WINDOW,
+        checkpoint_interval: Some(4096),
+        events: None,
+        trace_window: None,
+        replay_mode: ReplayMode::Shadow,
+        cpus: 2,
+        batch: None,
+        core: CoreKind::Lr7,
+    }
+}
+
+/// The archive bytes of a result with the throughput stats zeroed out:
+/// everything an analysis consumes, byte-for-byte.
+fn archive_bytes(result: &CampaignResult) -> String {
+    let mut archive = CampaignArchive::from_result(result);
+    archive.stats = CampaignStats::default();
+    serde_json::to_string(&archive).expect("archive serializes")
+}
+
+/// Thread-count independence on the out-of-order core: the record
+/// stream is re-sorted into campaign order after the shared queue
+/// drains, so worker count must not leak into the archive.
+#[test]
+fn lr7_archives_byte_identical_across_thread_counts() {
+    let cfg = base_config();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let result = run_campaign(&c);
+        assert_eq!(result.stats.core, "lr7");
+        assert!(!result.records.is_empty(), "LR7 campaign must manifest errors");
+        let bytes = archive_bytes(&result);
+        match &reference {
+            Some(r) => assert_eq!(&bytes, r, "LR7 archive depends on thread count ({threads})"),
+            None => reference = Some(bytes),
+        }
+    }
+}
+
+/// Replay-mode equivalence holds for LR7 too: shadow replay against the
+/// recorded golden trace is byte-identical to full lockstep replay
+/// against live golden twins.
+#[test]
+fn lr7_archives_byte_identical_across_replay_modes() {
+    let mut cfg = base_config();
+    let shadow = run_campaign(&cfg);
+    cfg.replay_mode = ReplayMode::Lockstep;
+    let lockstep = run_campaign(&cfg);
+    assert_eq!(shadow.stats.replay_mode, "shadow");
+    assert_eq!(lockstep.stats.replay_mode, "lockstep");
+    assert_eq!(
+        archive_bytes(&shadow),
+        archive_bytes(&lockstep),
+        "replay mode changed the LR7 archive"
+    );
+}
+
+/// Checkpoint fan-out — the batch layer LR7 supports — is
+/// byte-identical to scalar replay, for checkpointing off, dense, and
+/// default spacing.
+#[test]
+fn lr7_fanout_batch_byte_identical_to_scalar() {
+    for interval in [None, Some(512), Some(4096)] {
+        let mut cfg = base_config();
+        cfg.checkpoint_interval = interval;
+        let scalar = run_campaign(&cfg);
+        cfg.batch = Some(BatchConfig::FAN_OUT);
+        let batched = run_campaign(&cfg);
+        assert_eq!(batched.stats.batch_mode, "fanout");
+        assert_eq!(
+            archive_bytes(&scalar),
+            archive_bytes(&batched),
+            "fan-out changed the LR7 archive at checkpoint interval {interval:?}"
+        );
+    }
+}
+
+/// Asking the LR7 for layers it cannot run (early-out and parked lanes
+/// assume the memoryless in-order walker) clamps to fan-out rather than
+/// silently computing wrong outcomes — and the clamped label is what
+/// the stats record.
+#[test]
+fn lr7_clamps_unsupported_batch_layers_to_fanout() {
+    let mut cfg = base_config();
+    cfg.batch = Some(BatchConfig::FULL);
+    assert_eq!(cfg.effective_batch_clamped(), Some(BatchConfig::FAN_OUT));
+    let result = run_campaign(&cfg);
+    assert_eq!(result.stats.batch_mode, "fanout", "stats must record the clamped layers");
+    cfg.batch = None;
+    let scalar = run_campaign(&cfg);
+    assert_eq!(archive_bytes(&scalar), archive_bytes(&result));
+}
+
+/// Sharded LR7 campaigns merge back byte-identical to the single-shot
+/// run, shard provenance records the core, and shards from different
+/// cores refuse to merge.
+#[test]
+fn lr7_shards_merge_byte_identical_and_refuse_foreign_cores() {
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 18;
+    let single = CampaignArchive::from_result(&run_campaign(&cfg));
+
+    let specs = plan_shards(&cfg, 3);
+    let shards: Vec<CampaignArchive> = specs.iter().map(|s| run_shard(&cfg, s)).collect();
+    for shard in &shards {
+        assert_eq!(shard.shard.as_ref().unwrap().core, "lr7");
+    }
+    let mut merged = merge_shard_archives(&shards).expect("sibling shards merge");
+    let mut single_norm = single;
+    merged.stats = CampaignStats::default();
+    single_norm.stats = CampaignStats::default();
+    assert_eq!(
+        serde_json::to_string(&merged).unwrap(),
+        serde_json::to_string(&single_norm).unwrap(),
+        "merged LR7 shards must be byte-identical to the single-shot campaign"
+    );
+
+    // An LR5 shard of the otherwise-identical campaign is a different
+    // job; merging must refuse, not silently mix cores.
+    let mut lr5_cfg = cfg.clone();
+    lr5_cfg.core = CoreKind::Lr5;
+    let lr5_specs = plan_shards(&lr5_cfg, 3);
+    let foreign = run_shard(&lr5_cfg, &lr5_specs[0]);
+    let mixed = vec![foreign, shards[1].clone(), shards[2].clone()];
+    assert!(
+        merge_shard_archives(&mixed).is_err(),
+        "shards from different core models must not merge"
+    );
+}

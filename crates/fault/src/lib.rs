@@ -16,13 +16,14 @@
 //! benchmark-interval methodology.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod plan;
 
 use std::fmt;
 
-use lockstep_cpu::{flops, CpuState, FlopId, UnitId};
+use lockstep_cpu::{flops, CoreModel, Cpu, CpuState, FlopId, UnitId};
 
 pub use plan::{CampaignPlan, PlanConfig};
 
@@ -97,39 +98,65 @@ impl Fault {
         Fault { flop, kind, cycle }
     }
 
-    /// The CPU unit the fault resides in.
+    /// The CPU unit the fault resides in (LR5 registry shorthand for
+    /// [`Fault::unit_for`]).
     pub fn unit(&self) -> UnitId {
-        flops::unit_of(self.flop)
+        self.unit_for::<Cpu>()
     }
 
-    /// Applies the fault to a state being committed at `cycle`.
+    /// The unit the fault resides in, resolved against core `C`'s
+    /// registry. The same [`FlopId`] names different flops on different
+    /// cores, so the core must be named explicitly.
+    pub fn unit_for<C: CoreModel>(&self) -> UnitId {
+        flops::unit_of_in(C::registry(), self.flop)
+    }
+
+    /// Applies the fault to a state being committed at `cycle` (LR5
+    /// shorthand for [`Fault::overlay_for`]).
     ///
     /// Call once per cycle, after next-state computation (the overlay hook
     /// of `Cpu::step_with_overlay`).
     pub fn overlay(&self, state: &mut CpuState, cycle: u64) {
+        self.overlay_for::<Cpu>(state, cycle);
+    }
+
+    /// Applies the fault to a committing state of core `C` at `cycle` —
+    /// the overlay hook of [`CoreModel::step_with_overlay`].
+    pub fn overlay_for<C: CoreModel>(&self, state: &mut C::State, cycle: u64) {
+        let regs = C::registry();
         match self.kind {
             FaultKind::Transient => {
                 if cycle == self.cycle {
-                    flops::flip_bit(state, self.flop);
+                    flops::flip_bit_in(regs, state, self.flop);
                 }
             }
             FaultKind::StuckAt0 => {
                 if cycle >= self.cycle {
-                    flops::set_bit(state, self.flop, false);
+                    flops::set_bit_in(regs, state, self.flop, false);
                 }
             }
             FaultKind::StuckAt1 => {
                 if cycle >= self.cycle {
-                    flops::set_bit(state, self.flop, true);
+                    flops::set_bit_in(regs, state, self.flop, true);
                 }
             }
         }
     }
 
     /// Human-readable description, e.g.
-    /// `"stuck-at-1 @ RF.regs[3].17 from cycle 4096"`.
+    /// `"stuck-at-1 @ RF.regs[3].17 from cycle 4096"` (LR5 registry).
     pub fn describe(&self) -> String {
-        format!("{} @ {} from cycle {}", self.kind, flops::label_of(self.flop), self.cycle)
+        self.describe_for::<Cpu>()
+    }
+
+    /// Human-readable description resolved against core `C`'s registry.
+    pub fn describe_for<C: CoreModel>(&self) -> String {
+        format!(
+            "{} @ {} from cycle {}",
+            self.kind,
+            flops::label_of_in(C::registry(), self.flop),
+            self.cycle
+        )
     }
 }
 

@@ -8,7 +8,7 @@
 //! same (flop × interval × kind) space — the distributions converge long
 //! before exhaustion at our CPU's flop count.
 
-use lockstep_cpu::flops;
+use lockstep_cpu::{flops, CoreModel, Cpu};
 use lockstep_stats::Xoshiro256;
 
 use crate::{Fault, FaultKind};
@@ -52,6 +52,18 @@ impl CampaignPlan {
     /// Panics if `config.run_cycles < config.intervals` or
     /// `per_flop_intervals` is zero or exceeds `config.intervals`.
     pub fn exhaustive(config: PlanConfig, per_flop_intervals: u32) -> CampaignPlan {
+        CampaignPlan::exhaustive_for::<Cpu>(config, per_flop_intervals)
+    }
+
+    /// [`CampaignPlan::exhaustive`] over core `C`'s flop registry.
+    ///
+    /// # Panics
+    ///
+    /// As for [`CampaignPlan::exhaustive`].
+    pub fn exhaustive_for<C: CoreModel>(
+        config: PlanConfig,
+        per_flop_intervals: u32,
+    ) -> CampaignPlan {
         assert!(config.run_cycles >= u64::from(config.intervals), "run too short");
         assert!(
             per_flop_intervals >= 1 && per_flop_intervals <= config.intervals,
@@ -61,7 +73,7 @@ impl CampaignPlan {
         let interval_len = config.run_cycles / u64::from(config.intervals);
         let mut faults = Vec::new();
         let mut intervals: Vec<u32> = (0..config.intervals).collect();
-        for flop in flops::all_flops() {
+        for flop in flops::all_flops_in(C::registry()) {
             rng.shuffle(&mut intervals);
             for &interval in intervals.iter().take(per_flop_intervals as usize) {
                 let base = u64::from(interval) * interval_len;
@@ -81,9 +93,18 @@ impl CampaignPlan {
     ///
     /// Panics if `config.run_cycles < config.intervals`.
     pub fn sampled(config: PlanConfig, n: usize) -> CampaignPlan {
+        CampaignPlan::sampled_for::<Cpu>(config, n)
+    }
+
+    /// [`CampaignPlan::sampled`] over core `C`'s flop registry.
+    ///
+    /// # Panics
+    ///
+    /// As for [`CampaignPlan::sampled`].
+    pub fn sampled_for<C: CoreModel>(config: PlanConfig, n: usize) -> CampaignPlan {
         assert!(config.run_cycles >= u64::from(config.intervals), "run too short");
         let mut rng = Xoshiro256::seed_from(config.seed);
-        let all: Vec<_> = flops::all_flops().collect();
+        let all: Vec<_> = flops::all_flops_in(C::registry()).collect();
         let interval_len = config.run_cycles / u64::from(config.intervals);
         let faults = (0..n)
             .map(|_| {
@@ -173,5 +194,28 @@ mod tests {
     fn into_iterator_yields_all() {
         let plan = CampaignPlan::sampled(PlanConfig::new(6400, 2), 17);
         assert_eq!(plan.clone().into_iter().count(), plan.len());
+    }
+
+    #[test]
+    fn lr7_exhaustive_covers_the_lr7_registry() {
+        use lockstep_cpu::Lr7;
+        let plan = CampaignPlan::exhaustive_for::<Lr7>(PlanConfig::new(6400, 1), 1);
+        let lr7_total = flops::total_flops_in(Lr7::registry());
+        assert_eq!(plan.len() as u32, lr7_total * 3);
+        assert_ne!(
+            lr7_total,
+            flops::total_flops(),
+            "LR7 and LR5 should not coincidentally share a flop count"
+        );
+        let flops_seen: HashSet<_> = plan.faults().iter().map(|f| f.flop).collect();
+        assert_eq!(flops_seen.len() as u32, lr7_total);
+    }
+
+    #[test]
+    fn lr7_sample_hits_all_units() {
+        use lockstep_cpu::Lr7;
+        let plan = CampaignPlan::sampled_for::<Lr7>(PlanConfig::new(6400, 3), 5000);
+        let units: HashSet<UnitId> = plan.faults().iter().map(|f| f.unit_for::<Lr7>()).collect();
+        assert_eq!(units.len(), UnitId::ALL.len(), "missing units: {units:?}");
     }
 }

@@ -1,22 +1,27 @@
-//! Differential fuzzing driver: LR5 pipeline vs. reference ISS.
+//! Differential fuzzing driver: pipelined core vs. reference ISS.
 //!
 //! ```text
-//! fuzz_differential --seed 42 --count 500 [--threads N] [--repro-dir DIR] [--emit IDX]
+//! fuzz_differential --seed 42 --count 500 [--core lr5|lr7] [--threads N]
+//!                   [--repro-dir DIR] [--emit IDX]
 //! ```
 //!
-//! Runs `count` generated programs through both executors. On any
-//! mismatch the program is minimized, written to `--repro-dir`
-//! (default `tests/repros/`), and the process exits 1 — which is what
-//! the nightly CI lane keys its artifact upload on. `--emit IDX`
-//! prints one generated program and exits, for eyeballing the corpus.
+//! Runs `count` generated programs through the selected core model
+//! (`--core`, default `lr5`) and the reference interpreter. On any
+//! mismatch the program is minimized against that same core, written to
+//! `--repro-dir` (default `tests/repros/`), and the process exits 1 —
+//! which is what the nightly CI lane keys its artifact upload on.
+//! `--emit IDX` prints one generated program and exits, for eyeballing
+//! the corpus.
 
-use lockstep_iss::diff::{run_fuzz, stimulus_seed, DiffVerdict};
-use lockstep_iss::minimize::{minimize, write_repro};
+use lockstep_cpu::{CoreKind, CoreModel, Cpu, Lr7};
+use lockstep_iss::diff::{run_fuzz_for, stimulus_seed, DiffVerdict};
+use lockstep_iss::minimize::{minimize_for, write_repro};
 use lockstep_workloads::fuzz::generate_source;
 
 struct Args {
     seed: u64,
     count: u32,
+    core: CoreKind,
     threads: usize,
     repro_dir: std::path::PathBuf,
     emit: Option<u32>,
@@ -25,7 +30,8 @@ struct Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: fuzz_differential --seed N --count N [--threads N] [--repro-dir DIR] [--emit IDX]"
+        "usage: fuzz_differential --seed N --count N [--core lr5|lr7] [--threads N] \
+         [--repro-dir DIR] [--emit IDX]"
     );
     std::process::exit(2);
 }
@@ -34,6 +40,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seed: 42,
         count: 500,
+        core: CoreKind::default(),
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         repro_dir: std::path::PathBuf::from("tests/repros"),
         emit: None,
@@ -45,6 +52,9 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| die("bad --seed")),
             "--count" => args.count = value().parse().unwrap_or_else(|_| die("bad --count")),
+            "--core" => {
+                args.core = CoreKind::from_flag(&value()).unwrap_or_else(|| die("bad --core"))
+            }
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| die("bad --threads")),
             "--repro-dir" => args.repro_dir = value().into(),
             "--emit" => args.emit = Some(value().parse().unwrap_or_else(|_| die("bad --emit"))),
@@ -57,16 +67,15 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-
-    if let Some(index) = args.emit {
-        print!("{}", generate_source(args.seed, index));
-        return;
-    }
-
-    eprintln!("fuzz: seed {} x {} programs on {} thread(s)", args.seed, args.count, args.threads);
-    let report = run_fuzz(args.seed, args.count, args.threads, None);
+fn fuzz_core<C: CoreModel>(args: &Args) -> i32 {
+    eprintln!(
+        "fuzz: seed {} x {} programs on {} against {} thread(s)",
+        args.seed,
+        args.count,
+        C::NAME,
+        args.threads
+    );
+    let report = run_fuzz_for::<C>(args.seed, args.count, args.threads, None);
     let mismatches = report.mismatches();
     eprintln!(
         "fuzz: {} programs, {} instructions retired, {} mismatch(es)",
@@ -76,16 +85,16 @@ fn main() {
     );
 
     if mismatches.is_empty() {
-        return;
+        return 0;
     }
     for &index in &mismatches {
         let case = &report.cases[index as usize];
         if let DiffVerdict::Mismatch(detail) = &case.outcome.verdict {
-            eprintln!("MISMATCH seed {} program {index}: {detail}", args.seed);
+            eprintln!("MISMATCH {} seed {} program {index}: {detail}", C::NAME, args.seed);
         }
         let src = generate_source(args.seed, index);
         let stim = stimulus_seed(args.seed, index);
-        match minimize(&src, args.seed, index, stim, None) {
+        match minimize_for::<C>(&src, args.seed, index, stim, None) {
             Some(repro) => match write_repro(&repro, &args.repro_dir) {
                 Ok(path) => eprintln!(
                     "  minimized to {} instruction(s): {}",
@@ -97,5 +106,20 @@ fn main() {
             None => eprintln!("  mismatch did not reproduce under the minimizer"),
         }
     }
-    std::process::exit(1);
+    1
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(index) = args.emit {
+        print!("{}", generate_source(args.seed, index));
+        return;
+    }
+
+    let code = match args.core {
+        CoreKind::Lr5 => fuzz_core::<Cpu>(&args),
+        CoreKind::Lr7 => fuzz_core::<Lr7>(&args),
+    };
+    std::process::exit(code);
 }

@@ -18,7 +18,7 @@
 //! same program always produces byte-identical verdicts — including
 //! across worker-thread counts in [`run_fuzz`].
 
-use lockstep_cpu::{Cpu, PortSet, Sc};
+use lockstep_cpu::{CoreModel, Cpu, PortSet, Sc};
 use lockstep_mem::MemoryPort;
 use lockstep_workloads::fuzz::{generate_source, SCRATCH_BASE, SCRATCH_BYTES};
 use lockstep_workloads::RAM_BYTES;
@@ -62,11 +62,13 @@ pub struct DiffOutcome {
     pub verdict: DiffVerdict,
     /// Instructions the interpreter retired.
     pub iss_retired: u64,
-    /// Cycles the pipeline ran.
+    /// Cycles the pipelined core under test ran (named for the default
+    /// LR5 target; LR7 runs report their cycle count here too).
     pub lr5_cycles: u64,
 }
 
-/// Runs `source` on both executors and compares them.
+/// Runs `source` on the LR5 pipeline and the interpreter and compares
+/// them (shorthand for [`run_differential_for`]`::<Cpu>`).
 ///
 /// `quirk` installs a deliberate interpreter perturbation (test-only).
 pub fn run_differential(
@@ -75,6 +77,21 @@ pub fn run_differential(
     max_cycles: u64,
     quirk: Option<Quirk>,
 ) -> DiffOutcome {
+    run_differential_for::<Cpu>(source, stimulus_seed, max_cycles, quirk)
+}
+
+/// Runs `source` on core model `C` and the reference interpreter and
+/// compares them. The retire stream is read from the core's
+/// architectural retire/writeback ports, so any [`CoreModel`] that
+/// claims ISS-equivalent semantics can be checked — this is the
+/// correctness oracle the out-of-order LR7 core is held to.
+pub fn run_differential_for<C: CoreModel>(
+    source: &str,
+    stimulus_seed: u64,
+    max_cycles: u64,
+    quirk: Option<Quirk>,
+) -> DiffOutcome {
+    let name = C::NAME;
     let program = match lockstep_asm::assemble(source) {
         Ok(p) => p,
         Err(e) => {
@@ -98,19 +115,19 @@ pub fn run_differential(
     let iss_retired = iss.instret;
 
     // --- pipelined model under test ---
-    let mut lr5_mem = lockstep_mem::Memory::new(RAM_BYTES, stimulus_seed);
-    lr5_mem.load_image(&image);
-    let mut cpu = Cpu::new(0);
+    let mut dut_mem = lockstep_mem::Memory::new(RAM_BYTES, stimulus_seed);
+    dut_mem.load_image(&image);
+    let mut cpu = C::new(0);
     let mut ports = PortSet::new();
-    let mut lr5_stream: Vec<Retired> = Vec::new();
-    let mut lr5_cycles = 0u64;
-    let mut lr5_halted = false;
-    while lr5_cycles < max_cycles {
-        lr5_cycles += 1;
-        let info = cpu.step(&mut lr5_mem, &mut ports);
+    let mut dut_stream: Vec<Retired> = Vec::new();
+    let mut dut_cycles = 0u64;
+    let mut dut_halted = false;
+    while dut_cycles < max_cycles {
+        dut_cycles += 1;
+        let info = cpu.step(&mut dut_mem, &mut ports);
         if ports.get(Sc::RetCtl) & 1 == 1 {
             let wb_ctl = ports.get(Sc::WbCtl);
-            lr5_stream.push(Retired {
+            dut_stream.push(Retired {
                 pc: bus(&ports, Sc::RetPcLo, Sc::RetPcHi),
                 raw: bus(&ports, Sc::RetInstrLo, Sc::RetInstrHi),
                 writes_rd: wb_ctl & 1 == 1,
@@ -119,12 +136,12 @@ pub fn run_differential(
             });
         }
         if info.halted {
-            lr5_halted = true;
+            dut_halted = true;
             break;
         }
     }
 
-    let outcome = |verdict| DiffOutcome { verdict, iss_retired, lr5_cycles };
+    let outcome = |verdict| DiffOutcome { verdict, iss_retired, lr5_cycles: dut_cycles };
 
     if !iss.halted {
         return outcome(DiffVerdict::NoHalt(format!(
@@ -132,83 +149,85 @@ pub fn run_differential(
             iss.pc
         )));
     }
-    if !lr5_halted {
+    if !dut_halted {
         return outcome(DiffVerdict::NoHalt(format!(
-            "LR5 did not halt within {max_cycles} cycles"
+            "{name} did not halt within {max_cycles} cycles"
         )));
     }
 
     // --- retire streams ---
-    let n = iss_stream.len().min(lr5_stream.len());
+    let n = iss_stream.len().min(dut_stream.len());
     for k in 0..n {
-        if iss_stream[k] != lr5_stream[k] {
+        if iss_stream[k] != dut_stream[k] {
             return outcome(DiffVerdict::Mismatch(format!(
-                "retire #{k}: iss {:?} vs lr5 {:?}",
-                iss_stream[k], lr5_stream[k]
+                "retire #{k}: iss {:?} vs {name} {:?}",
+                iss_stream[k], dut_stream[k]
             )));
         }
     }
-    if iss_stream.len() != lr5_stream.len() {
+    if iss_stream.len() != dut_stream.len() {
         return outcome(DiffVerdict::Mismatch(format!(
-            "retire stream length: iss {} vs lr5 {}",
+            "retire stream length: iss {} vs {name} {}",
             iss_stream.len(),
-            lr5_stream.len()
+            dut_stream.len()
         )));
     }
 
     // --- final architectural state ---
     let s = cpu.state();
     for idx in 1..32usize {
-        if iss.reg(idx) != s.reg(idx) {
+        if iss.reg(idx) != C::arch_reg(s, idx) {
             return outcome(DiffVerdict::Mismatch(format!(
-                "final r{idx}: iss {:#x} vs lr5 {:#x}",
+                "final r{idx}: iss {:#x} vs {name} {:#x}",
                 iss.reg(idx),
-                s.reg(idx)
+                C::arch_reg(s, idx)
             )));
         }
     }
+    let dut_csrs = C::arch_csrs(s);
     let csrs = [
-        ("status", iss.csr_status, s.csr_status),
-        ("cause", iss.csr_cause, s.csr_cause),
-        ("epc", iss.csr_epc, s.csr_epc),
-        ("tvec", iss.csr_tvec, s.csr_tvec),
-        ("scratch0", iss.csr_scratch0, s.csr_scratch0),
-        ("scratch1", iss.csr_scratch1, s.csr_scratch1),
-        ("misr", iss.csr_misr, s.csr_misr),
+        ("status", iss.csr_status, dut_csrs.status),
+        ("cause", iss.csr_cause, dut_csrs.cause),
+        ("epc", iss.csr_epc, dut_csrs.epc),
+        ("tvec", iss.csr_tvec, dut_csrs.tvec),
+        ("scratch0", iss.csr_scratch0, dut_csrs.scratch0),
+        ("scratch1", iss.csr_scratch1, dut_csrs.scratch1),
+        ("misr", iss.csr_misr, dut_csrs.misr),
     ];
-    for (name, i, l) in csrs {
+    for (csr, i, l) in csrs {
         if i != l {
             return outcome(DiffVerdict::Mismatch(format!(
-                "final csr {name}: iss {i:#x} vs lr5 {l:#x}"
+                "final csr {csr}: iss {i:#x} vs {name} {l:#x}"
             )));
         }
     }
-    if iss.instret != s.instret {
+    if iss.instret != C::arch_instret(s) {
         return outcome(DiffVerdict::Mismatch(format!(
-            "instret: iss {} vs lr5 {}",
-            iss.instret, s.instret
+            "instret: iss {} vs {name} {}",
+            iss.instret,
+            C::arch_instret(s)
         )));
     }
 
     // --- memory effects ---
-    if iss_mem.output_log() != lr5_mem.output_log()
-        || iss_mem.output_checksum() != lr5_mem.output_checksum()
+    if iss_mem.output_log() != dut_mem.output_log()
+        || iss_mem.output_checksum() != dut_mem.output_checksum()
     {
         return outcome(DiffVerdict::Mismatch(format!(
-            "output capture: iss {} writes (checksum {:#x}) vs lr5 {} writes (checksum {:#x})",
+            "output capture: iss {} writes (checksum {:#x}) vs {name} {} writes (checksum {:#x})",
             iss_mem.output_log().len(),
             iss_mem.output_checksum(),
-            lr5_mem.output_log().len(),
-            lr5_mem.output_checksum()
+            dut_mem.output_log().len(),
+            dut_mem.output_checksum()
         )));
     }
     for off in (0..SCRATCH_BYTES).step_by(4) {
         let addr = SCRATCH_BASE + off;
         let a = iss_mem.read(addr).unwrap_or(0);
-        let b = lr5_mem.read(addr).unwrap_or(0);
+        let b = dut_mem.read(addr).unwrap_or(0);
         if a != b {
             return outcome(DiffVerdict::Mismatch(format!(
-                "scratch word {addr:#x}: iss {a:#x} vs lr5 {b:#x}"
+                "scratch word {addr:#x}: iss {a:#x} vs {name} {b:#x}"
             )));
         }
     }
@@ -259,6 +278,16 @@ impl FuzzReport {
 /// the generator seed, so the whole sweep is a pure function of
 /// `(seed, count)`.
 pub fn run_fuzz(seed: u64, count: u32, threads: usize, quirk: Option<Quirk>) -> FuzzReport {
+    run_fuzz_for::<Cpu>(seed, count, threads, quirk)
+}
+
+/// [`run_fuzz`] with core model `C` as the device under test.
+pub fn run_fuzz_for<C: CoreModel>(
+    seed: u64,
+    count: u32,
+    threads: usize,
+    quirk: Option<Quirk>,
+) -> FuzzReport {
     let threads = threads.max(1);
     let next = std::sync::atomic::AtomicU32::new(0);
     let mut cases: Vec<Option<FuzzCase>> = vec![None; count as usize];
@@ -271,7 +300,7 @@ pub fn run_fuzz(seed: u64, count: u32, threads: usize, quirk: Option<Quirk>) -> 
                     return;
                 }
                 let source = generate_source(seed, index);
-                let outcome = run_differential(
+                let outcome = run_differential_for::<C>(
                     &source,
                     stimulus_seed(seed, index),
                     DEFAULT_MAX_CYCLES,
@@ -328,6 +357,32 @@ mod tests {
         let c = run_fuzz(99, 10, 8, None);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn lr7_fixed_kernels_match() {
+        use lockstep_cpu::Lr7;
+        for w in lockstep_workloads::Workload::all().iter().take(4) {
+            let out = run_differential_for::<Lr7>(w.source, 7, DEFAULT_MAX_CYCLES, None);
+            assert_eq!(out.verdict, DiffVerdict::Match, "{} diverged: {:?}", w.name, out.verdict);
+        }
+    }
+
+    #[test]
+    fn lr7_generated_programs_match() {
+        use lockstep_cpu::Lr7;
+        let report = run_fuzz_for::<Lr7>(2018, 16, 4, None);
+        assert_eq!(report.mismatches(), Vec::<u32>::new());
+        for case in &report.cases {
+            assert_eq!(case.outcome.verdict, DiffVerdict::Match, "program {} diverged", case.index);
+        }
+    }
+
+    #[test]
+    fn lr7_quirk_is_detected() {
+        use lockstep_cpu::Lr7;
+        let report = run_fuzz_for::<Lr7>(2018, 8, 2, Some(Quirk::SubOffByOne));
+        assert!(!report.mismatches().is_empty(), "seeded bug went undetected by lr7 diff");
     }
 
     #[test]

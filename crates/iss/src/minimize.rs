@@ -16,7 +16,9 @@
 //! stimulus seed, and the verdict it reproduces, so the repro can be
 //! replayed forever without the generator.
 
-use crate::diff::{run_differential, DiffVerdict, DEFAULT_MAX_CYCLES};
+use lockstep_cpu::{CoreModel, Cpu};
+
+use crate::diff::{run_differential_for, DiffVerdict, DEFAULT_MAX_CYCLES};
 use crate::interp::Quirk;
 
 /// A minimized repro: the shrunk source plus its provenance.
@@ -36,8 +38,12 @@ pub struct Repro {
     pub instructions: usize,
 }
 
-fn still_mismatches(source: &str, stimulus_seed: u64, quirk: Option<Quirk>) -> Option<String> {
-    match run_differential(source, stimulus_seed, DEFAULT_MAX_CYCLES, quirk).verdict {
+fn still_mismatches<C: CoreModel>(
+    source: &str,
+    stimulus_seed: u64,
+    quirk: Option<Quirk>,
+) -> Option<String> {
+    match run_differential_for::<C>(source, stimulus_seed, DEFAULT_MAX_CYCLES, quirk).verdict {
         DiffVerdict::Mismatch(detail) => Some(detail),
         _ => None,
     }
@@ -54,8 +60,9 @@ fn assembled_len(source: &str) -> usize {
     lockstep_asm::assemble(source).map(|p| p.words().count()).unwrap_or(usize::MAX)
 }
 
-/// Shrinks `source` (which must mismatch under `stimulus_seed`) to a
-/// smaller program with the same property.
+/// Shrinks `source` (which must mismatch under `stimulus_seed` on the
+/// LR5 pipeline) to a smaller program with the same property
+/// (shorthand for [`minimize_for`]`::<Cpu>`).
 ///
 /// Returns `None` if the input does not mismatch in the first place.
 pub fn minimize(
@@ -65,7 +72,19 @@ pub fn minimize(
     stimulus_seed: u64,
     quirk: Option<Quirk>,
 ) -> Option<Repro> {
-    let mut detail = still_mismatches(source, stimulus_seed, quirk)?;
+    minimize_for::<Cpu>(source, seed, index, stimulus_seed, quirk)
+}
+
+/// [`minimize`] with core model `C` as the device under test, so a
+/// divergence found only on one core is shrunk against that same core.
+pub fn minimize_for<C: CoreModel>(
+    source: &str,
+    seed: u64,
+    index: u32,
+    stimulus_seed: u64,
+    quirk: Option<Quirk>,
+) -> Option<Repro> {
+    let mut detail = still_mismatches::<C>(source, stimulus_seed, quirk)?;
     let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
 
     // Chunked then single-line deletion passes, repeated to fixpoint.
@@ -80,7 +99,7 @@ pub fn minimize(
                     let mut candidate = lines.clone();
                     candidate.drain(start..end);
                     let cand_src = candidate.join("\n") + "\n";
-                    if let Some(d) = still_mismatches(&cand_src, stimulus_seed, quirk) {
+                    if let Some(d) = still_mismatches::<C>(&cand_src, stimulus_seed, quirk) {
                         lines = candidate;
                         detail = d;
                         progressed = true;
@@ -119,7 +138,7 @@ pub fn minimize(
         swept.push(line.clone());
     }
     let swept_src = swept.join("\n") + "\n";
-    let source = if still_mismatches(&swept_src, stimulus_seed, quirk).is_some() {
+    let source = if still_mismatches::<C>(&swept_src, stimulus_seed, quirk).is_some() {
         swept_src
     } else {
         lines.join("\n") + "\n"
@@ -173,7 +192,7 @@ mod tests {
         let repro = minimize(&src, 2018, idx, stim, quirk).expect("still mismatching");
         let after = repro.source.lines().filter(|l| deletable(l)).count();
         assert!(after < before, "minimizer failed to shrink ({before} -> {after})");
-        assert!(still_mismatches(&repro.source, stim, quirk).is_some());
+        assert!(still_mismatches::<Cpu>(&repro.source, stim, quirk).is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! trait, which also lets the lockstep harness interpose on transactions.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(missing_docs)]
 
 pub mod bus;

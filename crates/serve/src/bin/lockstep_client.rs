@@ -14,6 +14,7 @@ use lockstep_core::{Dsr, ErrorRecord, Predictor, PredictorConfig};
 use lockstep_cpu::Granularity;
 use lockstep_eval::campaign::run_campaign;
 use lockstep_eval::dataset::Dataset;
+use lockstep_eval::spec::CampaignSpec;
 use lockstep_fault::ErrorKind;
 use lockstep_serve::proto::{JobStatus, PredictResponse, StatusResponse, SubmitResponse};
 use lockstep_serve::JobSpec;
@@ -55,8 +56,10 @@ fn main() {
         "predict" => {
             let dsr = flag_value(flags, "--dsr").unwrap_or_else(|| die("predict needs --dsr"));
             let granularity = flag_value(flags, "--granularity").unwrap_or("coarse".to_owned());
-            let line =
-                format!(r#"{{"cmd":"predict","dsr":"{dsr}","granularity":"{granularity}"}}"#);
+            let core = flag_value(flags, "--core").unwrap_or("lr5".to_owned());
+            let line = format!(
+                r#"{{"cmd":"predict","dsr":"{dsr}","granularity":"{granularity}","core":"{core}"}}"#
+            );
             println!("{}", request(&addr, &line));
         }
         "wait" => {
@@ -80,11 +83,13 @@ fn usage() -> String {
      commands:\n  \
      ping\n  \
      submit --workloads a,b[,fuzz:<seed>[:<count>]] --faults N [--seed S] [--shards K]\n         \
-     [--replay-mode shadow|lockstep] [--batch-mode off|fanout|earlyout|lanes|full]\n  \
+     [--replay-mode shadow|lockstep] [--batch-mode off|fanout|earlyout|lanes|full]\n         \
+     [--core lr5|lr7]\n  \
      status [--job job-NNNNNN]\n  \
      wait --job job-NNNNNN [--timeout-secs N]\n  \
-     predict --dsr 0xHEX [--granularity coarse|fine]\n  \
-     check --workloads a,b --faults N [--seed S] [--shards K] [--granularity coarse|fine]\n  \
+     predict --dsr 0xHEX [--granularity coarse|fine] [--core lr5|lr7]\n  \
+     check --workloads a,b --faults N [--seed S] [--shards K] [--granularity coarse|fine]\n       \
+     [--core lr5|lr7]\n  \
      shutdown"
         .to_owned()
 }
@@ -143,25 +148,30 @@ fn spec_from_flags(flags: &[String]) -> JobSpec {
         }
     }
     JobSpec {
-        workloads,
-        faults_per_workload: flag_value(flags, "--faults")
-            .unwrap_or_else(|| die("missing --faults"))
-            .parse()
-            .unwrap_or_else(|_| die("bad --faults")),
-        seed: flag_value(flags, "--seed")
-            .map_or(1, |s| s.parse().unwrap_or_else(|_| die("bad --seed"))),
+        campaign: CampaignSpec {
+            workloads,
+            faults_per_workload: flag_value(flags, "--faults")
+                .unwrap_or_else(|| die("missing --faults"))
+                .parse()
+                .unwrap_or_else(|_| die("bad --faults")),
+            seed: flag_value(flags, "--seed")
+                .map_or(1, |s| s.parse().unwrap_or_else(|_| die("bad --seed"))),
+            replay_mode: flag_value(flags, "--replay-mode").unwrap_or("shadow".to_owned()),
+            batch_mode: flag_value(flags, "--batch-mode").unwrap_or("full".to_owned()),
+            core: flag_value(flags, "--core").unwrap_or("lr5".to_owned()),
+        },
         shards: flag_value(flags, "--shards")
             .map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --shards"))),
-        replay_mode: flag_value(flags, "--replay-mode").unwrap_or("shadow".to_owned()),
-        batch_mode: flag_value(flags, "--batch-mode").unwrap_or("full".to_owned()),
     }
 }
 
 fn submit_line(spec: &JobSpec) -> String {
-    let mut body = serde_json::to_string(spec).expect("job spec serializes");
-    // Turn the serialized spec into a submit request by injecting the
-    // cmd field into the object.
+    // The wire format is one flat object, so serialize the campaign
+    // fields and inject the cmd and shard count into the object.
+    let mut body = serde_json::to_string(&spec.campaign).expect("job spec serializes");
     body.replace_range(0..1, r#"{"cmd":"submit","#);
+    body.truncate(body.len() - 1);
+    body.push_str(&format!(r#","shards":{}}}"#, spec.shards));
     body
 }
 
@@ -198,9 +208,10 @@ fn check(addr: &str, flags: &[String]) {
         .map_or(600, |s| s.parse().unwrap_or_else(|_| die("bad --timeout-secs")));
 
     eprintln!(
-        "submitting {} workloads x {} faults ...",
-        spec.workloads.len(),
-        spec.faults_per_workload
+        "submitting {} workloads x {} faults on the {} ...",
+        spec.campaign.workloads.len(),
+        spec.campaign.faults_per_workload,
+        spec.campaign.core
     );
     let submitted: SubmitResponse = request_ok(addr, &submit_line(&spec));
     eprintln!("{} accepted as {} shards; waiting ...", submitted.job, submitted.shards);
@@ -212,7 +223,7 @@ fn check(addr: &str, flags: &[String]) {
 
     // The offline path the paper's experiments use (repro_all /
     // fig10_table_contents): same records, same training call.
-    let mut config = spec.campaign_config().unwrap_or_else(|e| die(&e));
+    let mut config = spec.campaign_config().unwrap_or_else(|e| die(&e.to_string()));
     config.threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let result = run_campaign(&config);
     let records: Vec<&ErrorRecord> = result.records.iter().collect();
@@ -235,8 +246,9 @@ fn check(addr: &str, flags: &[String]) {
             ErrorKind::Soft => "soft",
         };
         let line = format!(
-            r#"{{"cmd":"predict","dsr":"{bits:#x}","granularity":"{}"}}"#,
-            lockstep_serve::proto::granularity_label(granularity)
+            r#"{{"cmd":"predict","dsr":"{bits:#x}","granularity":"{}","core":"{}"}}"#,
+            lockstep_serve::proto::granularity_label(granularity),
+            spec.campaign.core
         );
         let got: PredictResponse = request_ok(addr, &line);
         if got.order != expected_order

@@ -1,11 +1,15 @@
-//! The prediction endpoint: tables trained on completed jobs.
+//! The prediction endpoint: per-core tables trained on completed jobs.
 //!
 //! Training mirrors the offline path (`Dataset::to_train_records` +
 //! `Predictor::train`) exactly, over the merged records of every
-//! completed job — so for a given record set the service returns the
-//! same ranked-unit order and type bit as the `repro_all` /
-//! `fig10_table_contents` binaries. Both are deterministic, which is
-//! what the CI service-smoke job asserts end to end.
+//! completed job *of the requested core model* — so for a given record
+//! set the service returns the same ranked-unit order and type bit as
+//! the `repro_all` / `fig10_table_contents` binaries. Both are
+//! deterministic, which is what the CI service-smoke job asserts end
+//! to end. Tables are kept per core because trained entries do not
+//! transfer between the LR5 and LR7 netlists (the cross-core matrix in
+//! `EXPERIMENTS.md` measures the collapse): pooling records across
+//! cores would contaminate both diagnoses.
 //!
 //! Merged jobs and trained tables are cached: jobs are immutable once
 //! complete, and tables retrain only when the scheduler's completion
@@ -15,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use lockstep_core::{Dsr, ErrorRecord, Predictor, PredictorConfig};
-use lockstep_cpu::Granularity;
+use lockstep_cpu::{CoreKind, Granularity};
 use lockstep_eval::archive::CampaignArchive;
 use lockstep_eval::dataset::Dataset;
 use lockstep_eval::shard::merge_shard_archives;
@@ -39,9 +43,9 @@ pub struct PredictService {
     /// Merged archives of completed jobs, by job id (immutable once
     /// present).
     merged: Mutex<HashMap<String, Arc<CampaignArchive>>>,
-    /// Trained tables by granularity, tagged with the generation they
-    /// were trained at.
-    tables: Mutex<HashMap<&'static str, Table>>,
+    /// Trained tables by `(core, granularity)`, tagged with the
+    /// generation they were trained at.
+    tables: Mutex<HashMap<(&'static str, &'static str), Table>>,
 }
 
 impl std::fmt::Debug for PredictService {
@@ -79,33 +83,37 @@ impl PredictService {
         Ok(merged)
     }
 
-    /// Diagnoses `dsr` using the table trained at `generation` (the
-    /// scheduler's completion counter); a stale table is retrained
-    /// first.
+    /// Diagnoses `dsr` against `core`'s table trained at `generation`
+    /// (the scheduler's completion counter); a stale table is
+    /// retrained first.
     ///
     /// # Errors
     ///
-    /// Returns a message when no job has completed yet (there is
-    /// nothing to train on) or the training data is unreadable.
+    /// Returns a message when no job of `core` has completed yet
+    /// (there is nothing to train on) or the training data is
+    /// unreadable.
     pub fn predict(
         &self,
         dsr: u64,
         granularity: Granularity,
+        core: CoreKind,
         generation: u64,
     ) -> Result<PredictResponse, String> {
         let label = granularity_label(granularity);
+        let key = (core.label(), label);
         let mut tables = self.tables.lock().expect("no poisoned cache");
-        let stale = tables.get(label).is_none_or(|t| t.generation != generation);
+        let stale = tables.get(&key).is_none_or(|t| t.generation != generation);
         if stale {
-            let table = self.train(granularity, generation)?;
-            tables.insert(label, table);
+            let table = self.train(granularity, core, generation)?;
+            tables.insert(key, table);
         }
-        let table = tables.get(label).expect("just inserted");
+        let table = tables.get(&key).expect("just inserted");
         let prediction = table.predictor.predict(Dsr::from_bits(dsr));
         let response = PredictResponse {
             ok: true,
             dsr: format!("{dsr:016x}"),
             granularity: label.to_owned(),
+            core: core.label().to_owned(),
             order: prediction.order.iter().map(|&u| granularity.unit_name(u).to_owned()).collect(),
             kind: match prediction.kind {
                 ErrorKind::Hard => "hard".to_owned(),
@@ -125,10 +133,18 @@ impl PredictService {
         Ok(response)
     }
 
-    fn train(&self, granularity: Granularity, generation: u64) -> Result<Table, String> {
+    fn train(
+        &self,
+        granularity: Granularity,
+        core: CoreKind,
+        generation: u64,
+    ) -> Result<Table, String> {
         let jobs = self.registry.jobs().map_err(|e| format!("registry scan failed: {e}"))?;
         let mut archives: Vec<Arc<CampaignArchive>> = Vec::new();
         for job in &jobs {
+            if job.spec.campaign.core != core.label() {
+                continue;
+            }
             if self.registry.failure(&job.id).is_some() {
                 continue;
             }
@@ -139,9 +155,10 @@ impl PredictService {
         }
         let records: Vec<&ErrorRecord> = archives.iter().flat_map(|a| a.records.iter()).collect();
         if records.is_empty() {
-            return Err(
-                "no trained table yet: no completed job has manifested error records".to_owned()
-            );
+            return Err(format!(
+                "no trained table yet: no completed {} job has manifested error records",
+                core.label()
+            ));
         }
         let train = Dataset::to_train_records(&records, granularity);
         Ok(Table {

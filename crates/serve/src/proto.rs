@@ -10,38 +10,50 @@
 //! client omits take documented defaults); responses are plain structs
 //! the client and tests deserialize back.
 
-use lockstep_cpu::Granularity;
-use lockstep_eval::campaign::{
-    CampaignConfig, ReplayMode, DEFAULT_CAPTURE_WINDOW, DEFAULT_CHECKPOINT_INTERVAL,
-};
-use lockstep_workloads::Workload;
-use serde::json::Value;
+use lockstep_cpu::{CoreKind, Granularity};
+use lockstep_eval::campaign::CampaignConfig;
+use lockstep_eval::spec::{CampaignSpec, SpecError};
+use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
-/// A campaign job as submitted over the wire, with every default
-/// resolved — this is what the registry persists, so a restarted server
-/// re-runs exactly the job the client asked for.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A campaign job as submitted over the wire: the shared
+/// [`CampaignSpec`] plus the service-level shard count. This is what
+/// the registry persists, so a restarted server re-runs exactly the
+/// job the client asked for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct JobSpec {
-    /// Workload names, in campaign order (`rspeed`, `fuzz7_002`, ...).
-    pub workloads: Vec<String>,
-    /// Fault injections per workload.
-    pub faults_per_workload: u64,
-    /// Master campaign seed (stimulus and fault sampling).
-    pub seed: u64,
+    /// The portable campaign description (workloads, faults, seed,
+    /// replay/batch modes, core model).
+    pub campaign: CampaignSpec,
     /// Requested shard count (the planner clamps to the queue size).
     pub shards: u64,
-    /// Replay mode flag value (`"shadow"` / `"lockstep"`).
-    pub replay_mode: String,
-    /// Batch engine flag value (`"off"` / `"fanout"` / `"earlyout"` /
-    /// `"lanes"` / `"full"`).
-    pub batch_mode: String,
+}
+
+impl Deserialize for JobSpec {
+    fn deserialize(value: &Value) -> Result<JobSpec, JsonError> {
+        // Jobs persisted before the spec unification were flat: the
+        // campaign fields and `shards` lived in one object. The shared
+        // spec's own aliases cover its field renames, so the legacy
+        // layout is just "deserialize the spec from the same object".
+        let campaign = match value.field("campaign") {
+            Ok(v) => Deserialize::deserialize(v)?,
+            Err(_) => Deserialize::deserialize(value)?,
+        };
+        Ok(JobSpec {
+            campaign,
+            shards: match value.field("shards") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => DEFAULT_SHARDS,
+            },
+        })
+    }
 }
 
 impl JobSpec {
-    /// Total fault queue length of this job.
+    /// Total fault queue length of this job (after workload
+    /// expansion), `0` when the spec does not validate.
     pub fn total_faults(&self) -> u64 {
-        self.workloads.len() as u64 * self.faults_per_workload
+        self.campaign.total_faults().unwrap_or(0)
     }
 
     /// Checks every field against the compiled-in workload suite and
@@ -49,27 +61,11 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Returns a client-facing message naming the offending field.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.workloads.is_empty() {
-            return Err("job has no workloads".to_owned());
-        }
-        for name in &self.workloads {
-            if Workload::find(name).is_none() {
-                return Err(format!("unknown workload `{name}`"));
-            }
-        }
-        if self.faults_per_workload == 0 {
-            return Err("faults_per_workload must be at least 1".to_owned());
-        }
+    /// Returns the first failing field's typed [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.campaign.validate()?;
         if self.shards == 0 {
-            return Err("shards must be at least 1".to_owned());
-        }
-        if ReplayMode::from_flag(&self.replay_mode).is_none() {
-            return Err(format!("unknown replay mode `{}`", self.replay_mode));
-        }
-        if lockstep_eval::batch::BatchConfig::from_flag(&self.batch_mode).is_none() {
-            return Err(format!("unknown batch mode `{}`", self.batch_mode));
+            return Err(SpecError::ZeroShards);
         }
         Ok(())
     }
@@ -82,30 +78,55 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Returns the same messages as [`JobSpec::validate`].
-    pub fn campaign_config(&self) -> Result<CampaignConfig, String> {
+    /// Returns the same typed errors as [`JobSpec::validate`].
+    pub fn campaign_config(&self) -> Result<CampaignConfig, SpecError> {
         self.validate()?;
-        let workloads = self
-            .workloads
-            .iter()
-            .map(|name| Workload::find(name).expect("validated above"))
-            .collect();
-        Ok(CampaignConfig {
-            workloads,
-            faults_per_workload: self.faults_per_workload as usize,
-            seed: self.seed,
-            threads: 1,
-            capture_window: DEFAULT_CAPTURE_WINDOW,
-            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
-            events: None,
-            trace_window: None,
-            replay_mode: ReplayMode::from_flag(&self.replay_mode).expect("validated above"),
-            cpus: 2,
-            batch: lockstep_eval::batch::BatchConfig::from_flag(&self.batch_mode)
-                .expect("validated above"),
-        })
+        self.campaign.campaign_config(1)
     }
 }
+
+/// A refused request: a stable machine-readable code plus the
+/// human-facing message.
+///
+/// The code rides in the error response's `"code"` field so clients
+/// can react (e.g. distinguish an unknown core model from a full
+/// queue) without parsing prose. Spec validation failures carry their
+/// [`SpecError::code`]; protocol-shape problems use `"bad_request"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Machine-readable error class (`"unknown_core"`, `"bad_request"`,
+    /// `"queue_full"`, ...).
+    pub code: String,
+    /// Client-facing reason.
+    pub message: String,
+}
+
+impl RequestError {
+    /// Builds an error with an explicit code.
+    pub fn new(code: &str, message: impl Into<String>) -> RequestError {
+        RequestError { code: code.to_owned(), message: message.into() }
+    }
+
+    /// A protocol-shape error (malformed JSON, missing fields, bad
+    /// field types).
+    pub fn bad_request(message: impl Into<String>) -> RequestError {
+        RequestError::new("bad_request", message)
+    }
+}
+
+impl From<SpecError> for RequestError {
+    fn from(e: SpecError) -> RequestError {
+        RequestError { code: e.code().to_owned(), message: e.to_string() }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.code)
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,13 +140,17 @@ pub enum Request {
         /// Restrict the report to this job id.
         job: Option<String>,
     },
-    /// Diagnose a DSR against the table trained on completed jobs.
+    /// Diagnose a DSR against the table trained on completed jobs of
+    /// one core model.
     Predict {
         /// The 62-bit divergence signature to diagnose.
         dsr: u64,
         /// Unit organization of the answer (7-unit coarse or 13-unit
         /// fine).
         granularity: Granularity,
+        /// Core model whose completed jobs the table is trained on —
+        /// tables do not transfer across cores (see `EXPERIMENTS.md`).
+        core: CoreKind,
     },
     /// Stop accepting work and exit once in-flight shards settle.
     Shutdown,
@@ -136,21 +161,24 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a client-facing message for malformed JSON, a missing or
-    /// unknown `cmd`, or invalid fields.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let value = Value::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    /// Returns a typed [`RequestError`] for malformed JSON, a missing
+    /// or unknown `cmd`, or invalid fields.
+    pub fn parse(line: &str) -> Result<Request, RequestError> {
+        let value = Value::parse(line)
+            .map_err(|e| RequestError::bad_request(format!("malformed request: {e}")))?;
         let cmd = value
             .field("cmd")
             .and_then(Value::as_str)
-            .map_err(|_| "request needs a string `cmd` field".to_owned())?;
+            .map_err(|_| RequestError::bad_request("request needs a string `cmd` field"))?;
         match cmd {
             "ping" => Ok(Request::Ping),
             "submit" => Ok(Request::Submit(parse_job_spec(&value)?)),
             "status" => {
                 let job = match value.field("job") {
                     Ok(v) => Some(
-                        v.as_str().map_err(|_| "`job` must be a string".to_owned())?.to_owned(),
+                        v.as_str()
+                            .map_err(|_| RequestError::bad_request("`job` must be a string"))?
+                            .to_owned(),
                     ),
                     Err(_) => None,
                 };
@@ -159,73 +187,68 @@ impl Request {
             "predict" => Ok(Request::Predict {
                 dsr: parse_dsr(&value)?,
                 granularity: parse_granularity(&value)?,
+                core: parse_core(&value)?,
             }),
             "shutdown" => Ok(Request::Shutdown),
-            other => Err(format!("unknown command `{other}`")),
+            other => {
+                Err(RequestError::new("unknown_command", format!("unknown command `{other}`")))
+            }
         }
     }
 }
 
-/// Submit-request defaults, spelled once (and documented in
-/// `docs/CAMPAIGN_SERVICE.md`).
-const DEFAULT_SEED: u64 = 1;
+/// Default shard count for submits that omit `shards` (documented in
+/// `docs/CAMPAIGN_SERVICE.md`). The campaign-level defaults live with
+/// the shared spec ([`lockstep_eval::spec`]).
 const DEFAULT_SHARDS: u64 = 4;
-const DEFAULT_REPLAY_MODE: &str = "shadow";
-const DEFAULT_BATCH_MODE: &str = "full";
 
-fn parse_job_spec(value: &Value) -> Result<JobSpec, String> {
-    let workloads = value
-        .field("workloads")
-        .and_then(Value::as_array)
-        .map_err(|_| "submit needs a `workloads` array".to_owned())?
-        .iter()
-        .map(|v| v.as_str().map(str::to_owned))
-        .collect::<Result<Vec<String>, _>>()
-        .map_err(|_| "`workloads` entries must be strings".to_owned())?;
-    let faults_per_workload = value
-        .field("faults_per_workload")
-        .and_then(Value::as_u64)
-        .map_err(|_| "submit needs an integer `faults_per_workload`".to_owned())?;
-    let u64_field = |name: &str, default: u64| match value.field(name) {
-        Ok(v) => v.as_u64().map_err(|_| format!("`{name}` must be an unsigned integer")),
-        Err(_) => Ok(default),
-    };
-    let str_field = |name: &str, default: &str| match value.field(name) {
-        Ok(v) => v.as_str().map(str::to_owned).map_err(|_| format!("`{name}` must be a string")),
-        Err(_) => Ok(default.to_owned()),
-    };
-    let spec = JobSpec {
-        workloads,
-        faults_per_workload,
-        seed: u64_field("seed", DEFAULT_SEED)?,
-        shards: u64_field("shards", DEFAULT_SHARDS)?,
-        replay_mode: str_field("replay_mode", DEFAULT_REPLAY_MODE)?,
-        batch_mode: str_field("batch_mode", DEFAULT_BATCH_MODE)?,
-    };
+fn parse_job_spec(value: &Value) -> Result<JobSpec, RequestError> {
+    // The submit object doubles as the job spec: the shared-spec
+    // deserializer reads the campaign fields (with their historical
+    // aliases and defaults), `shards` is the one service-level knob.
+    let spec: JobSpec =
+        Deserialize::deserialize(value).map_err(|e| RequestError::bad_request(e.to_string()))?;
     spec.validate()?;
     Ok(spec)
 }
 
 /// Accepts the DSR as a JSON integer or a hex string (`"0x2400801"`) —
 /// 62-bit signatures are awkward as bare JSON numbers in some tooling.
-fn parse_dsr(value: &Value) -> Result<u64, String> {
-    let field = value.field("dsr").map_err(|_| "predict needs a `dsr` field".to_owned())?;
+fn parse_dsr(value: &Value) -> Result<u64, RequestError> {
+    let field =
+        value.field("dsr").map_err(|_| RequestError::bad_request("predict needs a `dsr` field"))?;
     if let Ok(bits) = field.as_u64() {
         return Ok(bits);
     }
-    let text = field.as_str().map_err(|_| "`dsr` must be an integer or hex string".to_owned())?;
+    let text = field
+        .as_str()
+        .map_err(|_| RequestError::bad_request("`dsr` must be an integer or hex string"))?;
     let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")).unwrap_or(text);
-    u64::from_str_radix(digits, 16).map_err(|_| format!("`dsr` is not a hex number: `{text}`"))
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| RequestError::bad_request(format!("`dsr` is not a hex number: `{text}`")))
 }
 
-fn parse_granularity(value: &Value) -> Result<Granularity, String> {
+fn parse_granularity(value: &Value) -> Result<Granularity, RequestError> {
     match value.field("granularity") {
         Ok(v) => match v.as_str() {
             Ok("coarse") => Ok(Granularity::Coarse),
             Ok("fine") => Ok(Granularity::Fine),
-            _ => Err("`granularity` must be \"coarse\" or \"fine\"".to_owned()),
+            _ => Err(RequestError::bad_request("`granularity` must be \"coarse\" or \"fine\"")),
         },
         Err(_) => Ok(Granularity::Coarse),
+    }
+}
+
+fn parse_core(value: &Value) -> Result<CoreKind, RequestError> {
+    match value.field("core") {
+        Ok(v) => {
+            let text =
+                v.as_str().map_err(|_| RequestError::bad_request("`core` must be a string"))?;
+            CoreKind::from_flag(text).ok_or_else(|| {
+                RequestError::new("unknown_core", format!("unknown core model `{text}`"))
+            })
+        }
+        Err(_) => Ok(CoreKind::Lr5),
     }
 }
 
@@ -238,18 +261,45 @@ pub fn granularity_label(granularity: Granularity) -> &'static str {
 }
 
 /// The failure response, for any request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ErrorResponse {
     /// Always `false`.
     pub ok: bool,
+    /// Machine-readable error class (see [`RequestError::code`]).
+    pub code: String,
     /// Client-facing reason.
     pub error: String,
 }
 
-/// Serializes the standard error line for `msg`.
+impl Deserialize for ErrorResponse {
+    fn deserialize(value: &Value) -> Result<ErrorResponse, JsonError> {
+        Ok(ErrorResponse {
+            ok: Deserialize::deserialize(value.field("ok")?)?,
+            // Error lines from servers that predate typed codes carry
+            // only the message.
+            code: match value.field("code") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => "error".to_owned(),
+            },
+            error: Deserialize::deserialize(value.field("error")?)?,
+        })
+    }
+}
+
+/// Serializes the standard error line for `msg` with the generic
+/// `"error"` code.
 pub fn error_line(msg: &str) -> String {
-    serde_json::to_string(&ErrorResponse { ok: false, error: msg.to_owned() })
-        .expect("error response serializes")
+    error_line_for(&RequestError::new("error", msg))
+}
+
+/// Serializes the standard error line for a typed [`RequestError`].
+pub fn error_line_for(err: &RequestError) -> String {
+    serde_json::to_string(&ErrorResponse {
+        ok: false,
+        code: err.code.clone(),
+        error: err.message.clone(),
+    })
+    .expect("error response serializes")
 }
 
 /// Response to `ping`.
@@ -317,6 +367,9 @@ pub struct PredictResponse {
     pub dsr: String,
     /// `"coarse"` or `"fine"`.
     pub granularity: String,
+    /// Core model whose jobs the answering table was trained on
+    /// (`"lr5"` / `"lr7"`).
+    pub core: String,
     /// Unit names, most-suspect first — the paper's ranked checking
     /// order.
     pub order: Vec<String>,
@@ -344,6 +397,25 @@ pub struct ShutdownResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lockstep_cpu::CoreKind;
+    use lockstep_eval::campaign::ReplayMode;
+    use lockstep_eval::spec::{
+        DEFAULT_SPEC_BATCH_MODE, DEFAULT_SPEC_REPLAY_MODE, DEFAULT_SPEC_SEED,
+    };
+
+    fn job_spec() -> JobSpec {
+        JobSpec {
+            campaign: CampaignSpec {
+                workloads: vec!["idctrn".to_owned(), "rspeed".to_owned()],
+                faults_per_workload: 30,
+                seed: 9,
+                replay_mode: "lockstep".to_owned(),
+                batch_mode: "off".to_owned(),
+                core: "lr7".to_owned(),
+            },
+            shards: 3,
+        }
+    }
 
     #[test]
     fn parses_every_command_with_defaults() {
@@ -361,63 +433,90 @@ mod tests {
         assert_eq!(
             submit,
             Request::Submit(JobSpec {
-                workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
-                faults_per_workload: 30,
-                seed: DEFAULT_SEED,
+                campaign: CampaignSpec {
+                    workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
+                    faults_per_workload: 30,
+                    seed: DEFAULT_SPEC_SEED,
+                    replay_mode: DEFAULT_SPEC_REPLAY_MODE.to_owned(),
+                    batch_mode: DEFAULT_SPEC_BATCH_MODE.to_owned(),
+                    core: "lr5".to_owned(),
+                },
                 shards: DEFAULT_SHARDS,
-                replay_mode: DEFAULT_REPLAY_MODE.to_owned(),
-                batch_mode: DEFAULT_BATCH_MODE.to_owned(),
             })
         );
         assert_eq!(
             Request::parse(r#"{"cmd":"predict","dsr":"0x2400801"}"#).unwrap(),
-            Request::Predict { dsr: 0x2400801, granularity: Granularity::Coarse }
+            Request::Predict {
+                dsr: 0x2400801,
+                granularity: Granularity::Coarse,
+                core: CoreKind::Lr5,
+            }
         );
         assert_eq!(
-            Request::parse(r#"{"cmd":"predict","dsr":37748737,"granularity":"fine"}"#).unwrap(),
-            Request::Predict { dsr: 37748737, granularity: Granularity::Fine }
+            Request::parse(r#"{"cmd":"predict","dsr":37748737,"granularity":"fine","core":"lr7"}"#)
+                .unwrap(),
+            Request::Predict { dsr: 37748737, granularity: Granularity::Fine, core: CoreKind::Lr7 }
         );
     }
 
     #[test]
+    fn submit_accepts_the_core_axis() {
+        let Request::Submit(spec) = Request::parse(
+            r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"core":"lr7"}"#,
+        )
+        .unwrap() else {
+            panic!("expected a submit request");
+        };
+        assert_eq!(spec.campaign.core, "lr7");
+        assert_eq!(spec.campaign_config().unwrap().core, CoreKind::Lr7);
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
-        for (line, needle) in [
-            ("not json", "malformed"),
-            (r#"{"cmd":"warp"}"#, "unknown command"),
-            (r#"{"verb":"ping"}"#, "cmd"),
-            (r#"{"cmd":"submit","faults_per_workload":5}"#, "workloads"),
+        for (line, code, needle) in [
+            ("not json", "bad_request", "malformed"),
+            (r#"{"cmd":"warp"}"#, "unknown_command", "unknown command"),
+            (r#"{"verb":"ping"}"#, "bad_request", "cmd"),
+            (r#"{"cmd":"submit","faults_per_workload":5}"#, "bad_request", "workloads"),
             (
                 r#"{"cmd":"submit","workloads":["nope"],"faults_per_workload":5}"#,
+                "unknown_workload",
                 "unknown workload",
             ),
-            (r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":0}"#, "at least 1"),
+            (
+                r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":0}"#,
+                "zero_faults",
+                "at least 1",
+            ),
             (
                 r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"shards":0}"#,
+                "zero_shards",
                 "shards",
             ),
             (
                 r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"batch_mode":"x"}"#,
+                "unknown_batch_mode",
                 "batch mode",
             ),
-            (r#"{"cmd":"predict"}"#, "dsr"),
-            (r#"{"cmd":"predict","dsr":"0xzz"}"#, "hex"),
-            (r#"{"cmd":"predict","dsr":1,"granularity":"medium"}"#, "granularity"),
+            (
+                r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"core":"lr9"}"#,
+                "unknown_core",
+                "lr9",
+            ),
+            (r#"{"cmd":"predict"}"#, "bad_request", "dsr"),
+            (r#"{"cmd":"predict","dsr":"0xzz"}"#, "bad_request", "hex"),
+            (r#"{"cmd":"predict","dsr":1,"granularity":"medium"}"#, "bad_request", "granularity"),
+            (r#"{"cmd":"predict","dsr":1,"core":"lr9"}"#, "unknown_core", "lr9"),
         ] {
             let err = Request::parse(line).unwrap_err();
-            assert!(err.contains(needle), "`{line}` → `{err}` should mention `{needle}`");
+            assert_eq!(err.code, code, "`{line}` should be refused as `{code}`, got {err:?}");
+            assert!(err.message.contains(needle), "`{line}` → `{err}` should mention `{needle}`");
         }
     }
 
     #[test]
     fn job_spec_round_trips_and_builds_a_config() {
-        let spec = JobSpec {
-            workloads: vec!["idctrn".to_owned(), "rspeed".to_owned()],
-            faults_per_workload: 30,
-            seed: 9,
-            shards: 3,
-            replay_mode: "lockstep".to_owned(),
-            batch_mode: "off".to_owned(),
-        };
+        let spec = job_spec();
         let json = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
@@ -429,6 +528,21 @@ mod tests {
         assert_eq!(config.threads, 1, "shards run single-threaded");
         assert_eq!(config.replay_mode, ReplayMode::Lockstep);
         assert!(config.batch.is_none());
+        assert_eq!(config.core, CoreKind::Lr7);
+    }
+
+    #[test]
+    fn legacy_flat_job_records_still_deserialize() {
+        // Jobs persisted before the spec unification were one flat
+        // object with no `campaign` nesting and no `core` field.
+        let back: JobSpec = serde_json::from_str(
+            r#"{"workloads":["idctrn"],"faults_per_workload":8,"seed":3,"shards":2,"replay_mode":"shadow","batch_mode":"full"}"#,
+        )
+        .unwrap();
+        assert_eq!(back.shards, 2);
+        assert_eq!(back.campaign.faults_per_workload, 8);
+        assert_eq!(back.campaign.core, "lr5", "legacy jobs ran on the LR5");
+        assert!(back.validate().is_ok());
     }
 
     #[test]
@@ -450,5 +564,11 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&status).unwrap()).unwrap();
         assert_eq!(back, status);
         assert!(error_line("queue full").contains("\"ok\":false"));
+        let typed = error_line_for(&RequestError::from(SpecError::UnknownCore("lr9".to_owned())));
+        let back: ErrorResponse = serde_json::from_str(&typed).unwrap();
+        assert_eq!(back.code, "unknown_core");
+        // Error lines from pre-typed servers still parse.
+        let old: ErrorResponse = serde_json::from_str(r#"{"ok":false,"error":"boom"}"#).unwrap();
+        assert_eq!(old.code, "error");
     }
 }

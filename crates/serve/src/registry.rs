@@ -227,12 +227,15 @@ mod tests {
 
     fn tiny_spec() -> JobSpec {
         JobSpec {
-            workloads: vec!["idctrn".to_owned()],
-            faults_per_workload: 8,
-            seed: 3,
+            campaign: lockstep_eval::spec::CampaignSpec {
+                workloads: vec!["idctrn".to_owned()],
+                faults_per_workload: 8,
+                seed: 3,
+                replay_mode: "shadow".to_owned(),
+                batch_mode: "full".to_owned(),
+                core: "lr5".to_owned(),
+            },
             shards: 2,
-            replay_mode: "shadow".to_owned(),
-            batch_mode: "full".to_owned(),
         }
     }
 

@@ -214,7 +214,7 @@ impl Scheduler {
             let config = match job.spec.campaign_config() {
                 Ok(c) => c,
                 Err(e) => {
-                    self.registry.mark_failed(&job.id, &e);
+                    self.registry.mark_failed(&job.id, &e.to_string());
                     continue;
                 }
             };

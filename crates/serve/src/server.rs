@@ -22,7 +22,8 @@ use lockstep_obs::{Event, EventSink};
 
 use crate::predict::PredictService;
 use crate::proto::{
-    error_line, JobStatus, PongResponse, Request, ShutdownResponse, StatusResponse, SubmitResponse,
+    error_line, error_line_for, JobStatus, PongResponse, Request, RequestError, ShutdownResponse,
+    StatusResponse, SubmitResponse,
 };
 use crate::registry::Registry;
 use crate::scheduler::{campaign_runner, Scheduler, SchedulerConfig, ShardRunner};
@@ -146,7 +147,7 @@ impl Service {
     /// the trailing newline).
     fn handle(&self, line: &str) -> String {
         match Request::parse(line) {
-            Err(e) => error_line(&e),
+            Err(e) => error_line_for(&e),
             Ok(Request::Ping) => to_line(&PongResponse {
                 ok: true,
                 service: "lockstep-serve".to_owned(),
@@ -154,14 +155,14 @@ impl Service {
             }),
             Ok(Request::Submit(spec)) => match self.submit(spec) {
                 Ok(response) => to_line(&response),
-                Err(e) => error_line(&e),
+                Err(e) => error_line_for(&e),
             },
             Ok(Request::Status { job }) => match self.status(job.as_deref()) {
                 Ok(response) => to_line(&response),
-                Err(e) => error_line(&e),
+                Err(e) => error_line_for(&e),
             },
-            Ok(Request::Predict { dsr, granularity }) => {
-                match self.predict.predict(dsr, granularity, self.scheduler.generation()) {
+            Ok(Request::Predict { dsr, granularity, core }) => {
+                match self.predict.predict(dsr, granularity, core, self.scheduler.generation()) {
                     Ok(response) => to_line(&response),
                     Err(e) => error_line(&e),
                 }
@@ -174,18 +175,21 @@ impl Service {
         }
     }
 
-    fn submit(&self, spec: crate::proto::JobSpec) -> Result<SubmitResponse, String> {
+    fn submit(&self, spec: crate::proto::JobSpec) -> Result<SubmitResponse, RequestError> {
         let config = spec.campaign_config()?;
         let specs = plan_shards(&config, spec.shards as usize);
         let job = self
             .registry
             .create_job(&spec, specs.len() as u64)
-            .map_err(|e| format!("job registration failed: {e}"))?;
-        self.scheduler.submit(&job, &specs, true).inspect_err(|_| {
-            // The job never entered the queue; mark it so a restart
-            // does not resurrect work the client was told was rejected.
-            self.registry.mark_failed(&job.id, "rejected: queue full at submit");
-        })?;
+            .map_err(|e| RequestError::new("internal", format!("job registration failed: {e}")))?;
+        self.scheduler
+            .submit(&job, &specs, true)
+            .inspect_err(|_| {
+                // The job never entered the queue; mark it so a restart
+                // does not resurrect work the client was told was rejected.
+                self.registry.mark_failed(&job.id, "rejected: queue full at submit");
+            })
+            .map_err(|e| RequestError::new("queue_full", e))?;
         if let Some(sink) = &self.events {
             sink.emit(&Event::JobSubmitted {
                 job: job.id.clone(),
@@ -201,12 +205,17 @@ impl Service {
         })
     }
 
-    fn status(&self, only: Option<&str>) -> Result<StatusResponse, String> {
+    fn status(&self, only: Option<&str>) -> Result<StatusResponse, RequestError> {
         let jobs = match only {
             Some(id) => {
-                vec![self.registry.job(id).ok_or_else(|| format!("unknown job `{id}`"))?]
+                vec![self.registry.job(id).ok_or_else(|| {
+                    RequestError::new("unknown_job", format!("unknown job `{id}`"))
+                })?]
             }
-            None => self.registry.jobs().map_err(|e| format!("registry scan failed: {e}"))?,
+            None => self
+                .registry
+                .jobs()
+                .map_err(|e| RequestError::new("internal", format!("registry scan failed: {e}")))?,
         };
         let mut statuses = Vec::with_capacity(jobs.len());
         for job in jobs {

@@ -16,6 +16,7 @@ use lockstep_eval::archive::{CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
 use lockstep_eval::campaign::{run_campaign, CampaignStats};
 use lockstep_eval::dataset::Dataset;
 use lockstep_eval::shard::{merge_shard_archives, plan_shards, run_shard};
+use lockstep_eval::spec::CampaignSpec;
 use lockstep_fault::ErrorKind;
 use lockstep_obs::{Event, EventSink, MemorySink};
 use lockstep_serve::proto::{PredictResponse, StatusResponse, SubmitResponse};
@@ -30,13 +31,24 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 fn small_spec() -> JobSpec {
     JobSpec {
-        workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
-        faults_per_workload: 30,
-        seed: 77,
+        campaign: CampaignSpec {
+            workloads: vec!["rspeed".to_owned(), "idctrn".to_owned()],
+            faults_per_workload: 30,
+            seed: 77,
+            replay_mode: "shadow".to_owned(),
+            batch_mode: "full".to_owned(),
+            core: "lr5".to_owned(),
+        },
         shards: 5,
-        replay_mode: "shadow".to_owned(),
-        batch_mode: "full".to_owned(),
     }
+}
+
+/// `small_spec` with a different seed and shard count.
+fn seeded_spec(seed: u64, shards: u64) -> JobSpec {
+    let mut spec = small_spec();
+    spec.campaign.seed = seed;
+    spec.shards = shards;
+    spec
 }
 
 /// One request, one response, one connection.
@@ -205,7 +217,8 @@ fn submitted_job_completes_and_predictions_match_offline() {
 #[test]
 fn restarted_server_resumes_incomplete_jobs() {
     let dir = temp_dir("resume");
-    let spec = JobSpec { seed: 11, faults_per_workload: 24, shards: 6, ..small_spec() };
+    let mut spec = seeded_spec(11, 6);
+    spec.campaign.faults_per_workload = 24;
     let campaign = spec.campaign_config().unwrap();
     let specs = plan_shards(&campaign, 6);
 
@@ -270,7 +283,7 @@ fn full_queue_rejects_new_jobs_with_backpressure() {
     )
     .expect("server starts");
 
-    let spec = JobSpec { shards: 4, ..small_spec() };
+    let spec = seeded_spec(77, 4);
     let first: SubmitResponse = send_ok(&handle, &submit_line(&spec));
     assert_eq!(first.shards, 4);
 
@@ -322,7 +335,7 @@ fn timed_out_shards_are_requeued_and_the_job_still_completes() {
     )
     .expect("server starts");
 
-    let spec = JobSpec { shards: 3, ..small_spec() };
+    let spec = seeded_spec(77, 3);
     let submitted: SubmitResponse = send_ok(&handle, &submit_line(&spec));
     let status = wait_for(&handle, &submitted.job, Duration::from_secs(60));
     assert_eq!(status.state, "done", "{status:?}");
@@ -358,7 +371,7 @@ fn repeatedly_panicking_shard_fails_its_job_but_not_the_service() {
             events: Some(sink.clone() as Arc<dyn EventSink>),
             runner: Some(Arc::new(|spec, shard| {
                 // Seed 13 marks the poisoned job; its shard 1 always dies.
-                if spec.seed == 13 && shard.index == 1 {
+                if spec.campaign.seed == 13 && shard.index == 1 {
                     panic!("injected shard failure");
                 }
                 dummy_archive(spec, shard)
@@ -367,8 +380,7 @@ fn repeatedly_panicking_shard_fails_its_job_but_not_the_service() {
     )
     .expect("server starts");
 
-    let poisoned: SubmitResponse =
-        send_ok(&handle, &submit_line(&JobSpec { seed: 13, shards: 3, ..small_spec() }));
+    let poisoned: SubmitResponse = send_ok(&handle, &submit_line(&seeded_spec(13, 3)));
     let status = wait_for(&handle, &poisoned.job, Duration::from_secs(60));
     assert_eq!(status.state, "failed", "{status:?}");
     assert!(status.error.contains("injected shard failure"), "error: {}", status.error);
@@ -378,8 +390,7 @@ fn repeatedly_panicking_shard_fails_its_job_but_not_the_service() {
     assert!(kinds.contains(&"job_failed"), "second attempt fails the job: {kinds:?}");
 
     // The service is still healthy for the next job.
-    let healthy: SubmitResponse =
-        send_ok(&handle, &submit_line(&JobSpec { seed: 14, shards: 3, ..small_spec() }));
+    let healthy: SubmitResponse = send_ok(&handle, &submit_line(&seeded_spec(14, 3)));
     let status = wait_for(&handle, &healthy.job, Duration::from_secs(60));
     assert_eq!(status.state, "done", "{status:?}");
 
@@ -422,18 +433,32 @@ fn malformed_requests_get_error_lines_and_the_connection_survives() {
         Value::parse(response.trim_end()).expect("response parses")
     };
 
-    for bad in [
-        "this is not json",
-        r#"{"cmd":"warp"}"#,
-        r#"{"no_cmd":true}"#,
-        r#"{"cmd":"submit","workloads":["not_a_workload"],"faults_per_workload":5}"#,
-        r#"{"cmd":"status","job":"job-999999"}"#,
-        r#"{"cmd":"predict","dsr":"0x1"}"#,
+    for (bad, code) in [
+        ("this is not json", "bad_request"),
+        (r#"{"cmd":"warp"}"#, "unknown_command"),
+        (r#"{"no_cmd":true}"#, "bad_request"),
+        (
+            r#"{"cmd":"submit","workloads":["not_a_workload"],"faults_per_workload":5}"#,
+            "unknown_workload",
+        ),
+        (r#"{"cmd":"status","job":"job-999999"}"#, "unknown_job"),
+        (r#"{"cmd":"predict","dsr":"0x1"}"#, "error"),
+        (r#"{"cmd":"predict","dsr":"0x1","core":"lr9"}"#, "unknown_core"),
     ] {
         let value = roundtrip(bad);
         assert!(!value.field("ok").unwrap().as_bool().unwrap(), "`{bad}` must be refused");
         assert!(!value.field("error").unwrap().as_str().unwrap().is_empty());
+        assert_eq!(value.field("code").unwrap().as_str().unwrap(), code, "for `{bad}`");
     }
+
+    // An unknown core model is a typed refusal naming the offender —
+    // and like every refusal, it does not poison the connection.
+    let refused = roundtrip(
+        r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"core":"lr9"}"#,
+    );
+    assert!(!refused.field("ok").unwrap().as_bool().unwrap());
+    assert_eq!(refused.field("code").unwrap().as_str().unwrap(), "unknown_core");
+    assert!(refused.field("error").unwrap().as_str().unwrap().contains("lr9"));
 
     // Same connection still serves good requests...
     let pong = roundtrip(r#"{"cmd":"ping"}"#);

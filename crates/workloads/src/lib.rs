@@ -38,7 +38,7 @@ mod kernels;
 pub use kernels::extra;
 
 use lockstep_asm::{assemble, Program};
-use lockstep_cpu::{Cpu, CpuState, PortSet, PortTrace};
+use lockstep_cpu::{CoreModel, Cpu, CpuState, PortSet, PortTrace};
 use lockstep_mem::{Memory, MemoryPort};
 
 /// Default RAM size for workload images (64 KiB, TCM-class).
@@ -67,31 +67,34 @@ pub struct Workload {
 /// memory image puts the simulation exactly where the golden run was
 /// about to execute the step that produces golden-trace entry `cycle`.
 #[derive(Debug, Clone)]
-pub struct Checkpoint {
+pub struct Checkpoint<S = CpuState> {
     /// Number of steps taken from reset when the snapshot was captured
     /// (equals the golden-trace index of the next step).
     pub cycle: u64,
     /// Every CPU flip-flop, including cycle/instret/halted bookkeeping.
-    pub cpu: CpuState,
+    pub cpu: S,
     /// The full memory system: RAM image, stimulus generator state, and
     /// output-capture log.
     pub mem: Memory,
 }
 
 /// Evenly spaced [`Checkpoint`]s captured during a golden run.
+///
+/// The state parameter `S` is the core's sequential-state type
+/// (LR5's [`CpuState`] by default).
 #[derive(Debug, Clone)]
-pub struct GoldenCheckpoints {
+pub struct GoldenCheckpoints<S = CpuState> {
     /// Spacing between snapshots in cycles (cycle 0 is always present).
     pub interval: u64,
     /// Snapshots in ascending `cycle` order.
-    pub points: Vec<Checkpoint>,
+    pub points: Vec<Checkpoint<S>>,
 }
 
-impl GoldenCheckpoints {
+impl<S> GoldenCheckpoints<S> {
     /// The latest checkpoint at or before `cycle`, i.e. the cheapest
     /// resume point for a fault injected at `cycle`. `None` only if no
     /// checkpoints were captured at all.
-    pub fn nearest_at(&self, cycle: u64) -> Option<&Checkpoint> {
+    pub fn nearest_at(&self, cycle: u64) -> Option<&Checkpoint<S>> {
         match self.points.binary_search_by_key(&cycle, |p| p.cycle) {
             Ok(i) => Some(&self.points[i]),
             Err(0) => None,
@@ -102,7 +105,7 @@ impl GoldenCheckpoints {
     /// Rough memory footprint of the stored snapshots, for campaign
     /// observability (RAM image dominates; bookkeeping is approximated).
     pub fn approx_bytes(&self) -> usize {
-        self.points.len() * (RAM_BYTES + std::mem::size_of::<CpuState>() + 64)
+        self.points.len() * (RAM_BYTES + std::mem::size_of::<S>() + 64)
     }
 }
 
@@ -117,14 +120,14 @@ impl GoldenCheckpoints {
 /// recording never re-copies the multi-megabyte prefix and shadow
 /// replays index it by cycle.
 #[derive(Debug, Clone)]
-pub struct GoldenCapture {
+pub struct GoldenCapture<S = CpuState> {
     /// Timing/output statistics, as [`Workload::golden_run`] reports.
     pub run: GoldenRun,
     /// One [`PortSet`] per cycle until halt, as
     /// [`Workload::golden_trace`] reports.
     pub trace: PortTrace,
     /// Snapshots every `interval` cycles, starting at cycle 0.
-    pub checkpoints: GoldenCheckpoints,
+    pub checkpoints: GoldenCheckpoints<S>,
 }
 
 /// Result of a fault-free reference run.
@@ -180,17 +183,24 @@ impl Workload {
         mem
     }
 
-    /// Runs the kernel fault-free on a single CPU and reports timing and
-    /// the output checksum.
+    /// Runs the kernel fault-free on a single LR5 CPU and reports timing
+    /// and the output checksum (shorthand for
+    /// [`Workload::golden_run_for`]`::<Cpu>`).
     pub fn golden_run(&self, stimulus_seed: u64, max_cycles: u64) -> GoldenRun {
+        self.golden_run_for::<Cpu>(stimulus_seed, max_cycles)
+    }
+
+    /// Runs the kernel fault-free on a single core of model `C` and
+    /// reports timing and the output checksum.
+    pub fn golden_run_for<C: CoreModel>(&self, stimulus_seed: u64, max_cycles: u64) -> GoldenRun {
         let mut mem = self.memory(stimulus_seed);
-        let mut cpu = Cpu::new(0);
+        let mut core = C::new(0);
         let mut ports = PortSet::new();
         let mut cycles = 0;
         let mut halted = false;
         for _ in 0..max_cycles {
             cycles += 1;
-            if cpu.step(&mut mem, &mut ports).halted {
+            if core.step(&mut mem, &mut ports).halted {
                 halted = true;
                 break;
             }
@@ -200,7 +210,7 @@ impl Workload {
             cycles,
             output_checksum: mem.output_checksum(),
             outputs: mem.output_log().len(),
-            instructions: cpu.state().instret,
+            instructions: C::arch_instret(core.state()),
         }
     }
 
@@ -216,6 +226,15 @@ impl Workload {
         // One checkpoint (cycle 0) is captured and discarded; the
         // single-pass engine below is the only simulation loop.
         self.golden_capture(stimulus_seed, max_cycles, u64::MAX).trace
+    }
+
+    /// [`Workload::golden_trace`] over core model `C`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Workload::golden_trace`].
+    pub fn golden_trace_for<C: CoreModel>(&self, stimulus_seed: u64, max_cycles: u64) -> PortTrace {
+        self.golden_capture_for::<C>(stimulus_seed, max_cycles, u64::MAX).trace
     }
 
     /// Runs the kernel fault-free **once** and returns everything a
@@ -237,9 +256,24 @@ impl Workload {
         max_cycles: u64,
         checkpoint_interval: u64,
     ) -> GoldenCapture {
+        self.golden_capture_for::<Cpu>(stimulus_seed, max_cycles, checkpoint_interval)
+    }
+
+    /// [`Workload::golden_capture`] over core model `C` — the single-pass
+    /// golden-reference engine every campaign uses, regardless of core.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Workload::golden_capture`].
+    pub fn golden_capture_for<C: CoreModel>(
+        &self,
+        stimulus_seed: u64,
+        max_cycles: u64,
+        checkpoint_interval: u64,
+    ) -> GoldenCapture<C::State> {
         let interval = checkpoint_interval.max(1);
         let mut mem = self.memory(stimulus_seed);
-        let mut cpu = Cpu::new(0);
+        let mut core = C::new(0);
         let mut ports = PortSet::new();
         let mut trace = PortTrace::new();
         let mut points = Vec::new();
@@ -247,9 +281,9 @@ impl Workload {
         while trace.len() < max_cycles {
             let cycle = trace.len();
             if cycle.is_multiple_of(interval) {
-                points.push(Checkpoint { cycle, cpu: cpu.snapshot(), mem: mem.clone() });
+                points.push(Checkpoint { cycle, cpu: core.snapshot(), mem: mem.clone() });
             }
-            let info = cpu.step(&mut mem, &mut ports);
+            let info = core.step(&mut mem, &mut ports);
             trace.push(ports);
             if info.halted {
                 halted = true;
@@ -262,7 +296,7 @@ impl Workload {
             cycles: trace.len(),
             output_checksum: mem.output_checksum(),
             outputs: mem.output_log().len(),
-            instructions: cpu.state().instret,
+            instructions: C::arch_instret(core.state()),
         };
         GoldenCapture { run, trace, checkpoints: GoldenCheckpoints { interval, points } }
     }
@@ -422,5 +456,41 @@ mod tests {
         let cap = w.golden_capture(5, 200_000, 0);
         assert_eq!(cap.checkpoints.interval, 1);
         assert_eq!(cap.checkpoints.points.len() as u64, cap.run.cycles);
+    }
+
+    #[test]
+    fn lr7_golden_run_matches_lr5_architecturally() {
+        use lockstep_cpu::Lr7;
+        let w = Workload::find("rspeed").unwrap();
+        let lr5 = w.golden_run(7, 200_000);
+        let lr7 = w.golden_run_for::<Lr7>(7, 400_000);
+        assert!(lr7.halted, "LR7 did not halt");
+        assert_eq!(lr7.instructions, lr5.instructions, "retired-instruction drift");
+        assert_eq!(lr7.outputs, lr5.outputs, "output-count drift");
+        assert_eq!(lr7.output_checksum, lr5.output_checksum, "output-order drift");
+        assert_ne!(lr7.cycles, lr5.cycles, "distinct microarchitectures should time differently");
+    }
+
+    #[test]
+    fn lr7_golden_capture_checkpoints_resume_exactly() {
+        use lockstep_cpu::{CoreModel, Lr7};
+        let w = Workload::find("rspeed").unwrap();
+        let cap = w.golden_capture_for::<Lr7>(7, 400_000, 1024);
+        assert_eq!(cap.run, w.golden_run_for::<Lr7>(7, 400_000));
+        assert_eq!(cap.trace.len(), cap.run.cycles);
+        // Resuming from a mid-run checkpoint reproduces the golden trace.
+        let point = cap.checkpoints.nearest_at(3000).expect("have checkpoints");
+        let mut core = Lr7::from_state(point.cpu.clone());
+        let mut mem = point.mem.clone();
+        let mut ports = PortSet::new();
+        for cycle in point.cycle..cap.run.cycles {
+            core.step(&mut mem, &mut ports);
+            assert_eq!(
+                Some(&ports),
+                cap.trace.get(cycle),
+                "replay diverged from golden at cycle {cycle}"
+            );
+        }
+        assert!(core.is_halted());
     }
 }

@@ -32,6 +32,7 @@ fn one_error_full_lifecycle() {
         replay_mode: Default::default(),
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());

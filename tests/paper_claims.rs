@@ -36,6 +36,7 @@ fn run_scaled(faults_per_workload: usize) -> CampaignResult {
         replay_mode: Default::default(),
         cpus: 2,
         batch: None,
+        core: lockstep_cpu::CoreKind::Lr5,
     })
 }
 
