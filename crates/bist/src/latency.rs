@@ -16,6 +16,11 @@ pub const TABLE_ACCESS_ONCHIP: u64 = 2;
 /// Prediction-table access latency from off-chip DRAM (Table II).
 pub const TABLE_ACCESS_OFFCHIP: u64 = 100;
 
+/// Fixed cost of a checkpoint re-sync (dynamic lockstep): restoring
+/// both CPUs' architectural state and re-priming both private memory
+/// images from the golden checkpoint, before replay begins.
+pub const RESYNC_RESTORE: u64 = 1_000;
+
 /// The paper's minimum STL latency (smallest unit).
 const STL_MIN: u64 = 25_000;
 /// The paper's maximum STL latency (largest unit).
@@ -110,6 +115,16 @@ impl LatencyModel {
     /// Sum of every unit's STL latency (the run-to-completion cost).
     pub fn total_stl(&self) -> u64 {
         self.stl.iter().sum()
+    }
+
+    /// Recovery cost of a dynamic-lockstep checkpoint re-sync: the
+    /// fixed restore overhead ([`RESYNC_RESTORE`]) plus the replay
+    /// distance back to the detection point. This replaces the full
+    /// task restart (`restart_cycles`) in LERT accounting when
+    /// redundancy is dynamic — the quantity the `dynamic_pairing`
+    /// experiment compares against fixed DMR.
+    pub fn resync_cycles(&self, replay_distance: u64) -> u64 {
+        RESYNC_RESTORE + replay_distance
     }
 }
 

@@ -40,7 +40,7 @@ pub mod order;
 pub mod stl;
 
 pub use controller::{ControllerOutcome, SystemController};
-pub use latency::LatencyModel;
+pub use latency::{LatencyModel, RESYNC_RESTORE};
 pub use lbist::{LbistEngine, LbistOutcome};
 pub use lert::{lert_for, LertInputs, LertOutcome, Model};
 pub use order::OrderPolicy;

@@ -18,6 +18,9 @@
 //!   ablation;
 //! * [`harness`] — a live lockstep system (redundant CPUs, shared-bus or
 //!   replicated memory, per-cycle checking, reset & restart recovery);
+//! * [`redundancy`] — the campaign redundancy axis
+//!   (fixed / dynamic / DME) and the dynamic-pairing harness with
+//!   checkpoint re-sync recovery;
 //! * [`shadow`] — the shadow-golden harness: one live CPU checked
 //!   against a recorded golden port trace, the semantics behind the
 //!   campaign engine's fast replay mode;
@@ -51,6 +54,7 @@ pub mod dynamic;
 pub mod harness;
 pub mod log;
 pub mod predictor;
+pub mod redundancy;
 pub mod shadow;
 
 pub use checker::{Checker, MmrOutcome};
@@ -59,4 +63,5 @@ pub use dynamic::DynamicPredictor;
 pub use harness::{LockstepEvent, LockstepSystem, MemoryModel};
 pub use log::ErrorRecord;
 pub use predictor::{Prediction, Predictor, PredictorConfig, TrainRecord, TypeScoring};
+pub use redundancy::{DynamicLockstep, RedundancyMode};
 pub use shadow::ShadowLockstep;

@@ -44,7 +44,7 @@ pub use dirty::{converged, rf_confined, rf_registry_index, DirtyWitness, LaneWat
 pub use exec::{rf_read_candidates, rf_write_of, StepInfo};
 pub use flops::{FlopId, FlopReg};
 pub use lr7::{Lr7, Lr7State};
-pub use ports::{PortSet, Sc, SC_COUNT};
+pub use ports::{retire_effect_mask, PortSet, Sc, RETIRE_EFFECT_PORTS, SC_COUNT};
 pub use porttrace::PortTrace;
 pub use state::CpuState;
 pub use units::{CoarseUnit, Granularity, UnitId};

@@ -123,6 +123,37 @@ signal_categories! {
 /// Number of signal categories (the width of the DSR).
 pub const SC_COUNT: usize = 62;
 
+/// The architectural retire-effect port subset: the eight SCs that
+/// together encode one retired instruction's canonical effect — retire
+/// valid/control, retired PC, retired instruction word, and the
+/// writeback control/data. Every core model drives these the same way,
+/// so two executions retire identical instruction streams iff these
+/// ports agree retire-for-retire; the ISS differential runner and the
+/// DME retired-effect comparator both read exactly this subset.
+pub const RETIRE_EFFECT_PORTS: [Sc; 8] = [
+    Sc::RetCtl,
+    Sc::RetPcLo,
+    Sc::RetPcHi,
+    Sc::RetInstrLo,
+    Sc::RetInstrHi,
+    Sc::WbCtl,
+    Sc::WbDataLo,
+    Sc::WbDataHi,
+];
+
+/// DSR bit mask covering every retire-effect port (`1 << index` per SC
+/// of [`RETIRE_EFFECT_PORTS`]) — the divergence signature a canonical
+/// retire-stream mismatch maps onto.
+pub fn retire_effect_mask() -> u64 {
+    let mut mask = 0u64;
+    let mut i = 0;
+    while i < RETIRE_EFFECT_PORTS.len() {
+        mask |= 1 << RETIRE_EFFECT_PORTS[i].index();
+        i += 1;
+    }
+    mask
+}
+
 // The DSR is a single hardware register; its width must fit a u64.
 const _: () = assert!(SC_COUNT <= 64);
 

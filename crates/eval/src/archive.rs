@@ -148,8 +148,11 @@ impl From<serde_json::Error> for ArchiveError {
 /// partial archives produced by [`crate::shard::run_shard`]; v8
 /// records the core model (`core` in the stats block and in shard
 /// provenance) now that campaigns can replay on either the in-order
-/// LR5 or the out-of-order LR7.
-pub const ARCHIVE_VERSION: u32 = 8;
+/// LR5 or the out-of-order LR7; v9 records the redundancy arrangement
+/// (`redundancy` in the stats block and in shard provenance) now that
+/// campaigns can compare the copies under fixed DMR, dynamic pairing,
+/// or diverse-memory execution.
+pub const ARCHIVE_VERSION: u32 = 9;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
 /// files simply have no trace blobs, pre-v4 stats blocks default to
@@ -157,8 +160,10 @@ pub const ARCHIVE_VERSION: u32 = 8;
 /// default to no fuzz provenance, pre-v6 stats blocks default to
 /// batch mode `"off"` (the scalar engines were all that existed),
 /// pre-v7 files default to no shard provenance (they are complete
-/// single-shot archives by construction), and pre-v8 files default the
-/// core model to `"lr5"` (the only core that existed before v8).
+/// single-shot archives by construction), pre-v8 files default the
+/// core model to `"lr5"` (the only core that existed before v8), and
+/// pre-v9 files default the redundancy arrangement to `"fixed"` (the
+/// only comparison that existed before v9).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -287,6 +292,7 @@ pub(crate) fn fuzz_provenance_from_names<'a>(
 mod tests {
     use super::*;
     use crate::campaign::{run_campaign, CampaignConfig};
+    use lockstep_core::RedundancyMode;
     use lockstep_cpu::CoreKind;
     use lockstep_workloads::Workload;
 
@@ -304,6 +310,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
         })
     }
 
@@ -348,6 +355,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
         };
         cfg.trace_window = Some(16);
         let result = run_campaign(&cfg);
@@ -739,6 +747,121 @@ mod tests {
     }
 
     #[test]
+    fn pre_v9_archive_without_redundancy_defaults_to_fixed() {
+        // v8 writers predate the redundancy axis: neither the stats
+        // block nor the shard provenance has a `redundancy` field. Those
+        // runs all compared the copies as fixed identical lockstep.
+        #[derive(Serialize)]
+        struct StatsV8 {
+            checkpoint_interval: u64,
+            core: String,
+            replay_mode: String,
+            injected: u64,
+            manifested: u64,
+            masked: u64,
+            golden_nanos: u64,
+            injection_nanos: u64,
+            wall_nanos: u64,
+            injections_per_sec: f64,
+            batch_mode: String,
+            masked_early_out: u64,
+            early_out_cycles_saved: u64,
+            parked_masked: u64,
+            lane_activations: u64,
+            per_workload: Vec<crate::campaign::WorkloadStats>,
+        }
+        #[derive(Serialize)]
+        struct ShardV8 {
+            index: u32,
+            count: u32,
+            fault_lo: u64,
+            fault_hi: u64,
+            workloads: Vec<String>,
+            faults_per_workload: u64,
+            seed: u64,
+            capture_window: u32,
+            checkpoint_interval: u64,
+            trace_window: u64,
+            core: String,
+            replay_mode: String,
+            batch_mode: String,
+        }
+        #[derive(Serialize)]
+        struct ArchiveV8 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: StatsV8,
+            traces: Vec<Option<DivergenceTrace>>,
+            fuzz: Vec<FuzzSpecRepr>,
+            shard: Option<ShardV8>,
+        }
+        let result = small_result();
+        let s = &result.stats;
+        let v8 = ArchiveV8 {
+            version: 8,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: StatsV8 {
+                checkpoint_interval: s.checkpoint_interval,
+                core: s.core.clone(),
+                replay_mode: s.replay_mode.clone(),
+                injected: s.injected,
+                manifested: s.manifested,
+                masked: s.masked,
+                golden_nanos: s.golden_nanos,
+                injection_nanos: s.injection_nanos,
+                wall_nanos: s.wall_nanos,
+                injections_per_sec: s.injections_per_sec,
+                batch_mode: s.batch_mode.clone(),
+                masked_early_out: s.masked_early_out,
+                early_out_cycles_saved: s.early_out_cycles_saved,
+                parked_masked: s.parked_masked,
+                lane_activations: s.lane_activations,
+                per_workload: s.per_workload.clone(),
+            },
+            traces: Vec::new(),
+            fuzz: Vec::new(),
+            shard: Some(ShardV8 {
+                index: 0,
+                count: 1,
+                fault_lo: 0,
+                fault_hi: 120,
+                workloads: vec!["idctrn".to_owned()],
+                faults_per_workload: 120,
+                seed: 5,
+                capture_window: 8,
+                checkpoint_interval: 1024,
+                trace_window: 0,
+                core: "lr5".to_owned(),
+                replay_mode: "shadow".to_owned(),
+                batch_mode: "off".to_owned(),
+            }),
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v8_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v8).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v9 reader must accept v8 files");
+        assert_eq!(loaded.version, 8);
+        assert_eq!(loaded.stats.redundancy, "fixed", "pre-v9 runs were fixed DMR");
+        assert_eq!(loaded.shard.as_ref().unwrap().redundancy, "fixed");
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn fuzz_campaigns_record_their_generator_seed() {
         let spec = lockstep_workloads::fuzz::FuzzSpec { seed: 42, count: 3 };
         let result = run_campaign(&CampaignConfig {
@@ -754,6 +877,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
         });
         let archive = CampaignArchive::from_result(&result);
         assert_eq!(archive.version, ARCHIVE_VERSION);

@@ -53,17 +53,20 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use lockstep_core::{Dsr, ErrorRecord};
+use lockstep_core::{Dsr, ErrorRecord, RedundancyMode};
 use lockstep_cpu::{
     flops, CoreKind, CoreModel, Cpu, CpuState, Granularity, Lr7, PortSet, PortTrace,
 };
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, FaultKind, PlanConfig};
+use lockstep_iss::{retired_of_ports, Retired};
+use lockstep_mem::{shift_image, DmePort, DEFAULT_DME_OFFSET_WORDS};
 use lockstep_obs::{DivergenceTrace, Event, EventSink, TraceRing, TraceSample};
 use lockstep_workloads::{GoldenCapture, GoldenCheckpoints, GoldenRun, Workload};
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{total_cost, BatchConfig, BatchCost, CoreBatch};
+use crate::dme::{retire_stream, retired_diff_mask, stream_skew_mask};
 
 /// Default DSR capture window (cycles from first divergence until the
 /// CPUs are architecturally stopped).
@@ -171,6 +174,16 @@ pub struct CampaignConfig {
     /// the same [`CoreModel`] contracts; its batched engine clamps to
     /// the fan-out layer (see [`CoreBatch::clamp_layers`]).
     pub core: CoreKind,
+    /// Redundancy arrangement under test (default
+    /// [`RedundancyMode::Fixed`], the paper's permanently paired DMR).
+    /// [`RedundancyMode::Dynamic`] detects identically to fixed — the
+    /// axis changes only the recovery path, measured by the
+    /// `dynamic_pairing` experiment — while [`RedundancyMode::Dme`]
+    /// swaps the per-cycle port comparison for the retired-effect
+    /// stream comparator over a shifted redundant address space. Both
+    /// non-fixed modes run the scalar per-fault engine (see
+    /// [`CampaignConfig::effective_batch`]).
+    pub redundancy: RedundancyMode,
 }
 
 impl CampaignConfig {
@@ -190,6 +203,7 @@ impl CampaignConfig {
             cpus: 2,
             batch: None,
             core: CoreKind::default(),
+            redundancy: RedundancyMode::default(),
         }
     }
 
@@ -211,9 +225,15 @@ impl CampaignConfig {
     /// The batch layers the engine will actually use: the configured
     /// ones, except that divergence tracing forces the scalar per-fault
     /// path (the trace recorder samples one dedicated faulty CPU per
-    /// injection, which is exactly what batching shares away).
+    /// injection, which is exactly what batching shares away), and so
+    /// do the non-fixed redundancy modes (the DME comparator follows
+    /// one dedicated faulty copy's retire stream, and dynamic mode
+    /// keeps the scalar path so its archives stay byte-comparable to
+    /// fixed's). Like the LR7 layer clamp, the fallback is recorded
+    /// honestly: stats and shard provenance report the layers that
+    /// really ran, `"off"` here.
     pub fn effective_batch(&self) -> Option<BatchConfig> {
-        if self.trace_window.is_some() {
+        if self.trace_window.is_some() || self.redundancy != RedundancyMode::Fixed {
             None
         } else {
             self.batch
@@ -289,6 +309,9 @@ pub struct CampaignStats {
     /// Core model label of the producing run (`"lr5"` / `"lr7"`; see
     /// [`CoreKind::label`]).
     pub core: String,
+    /// Redundancy mode label of the producing run (`"fixed"` /
+    /// `"dynamic"` / `"dme"`; see [`RedundancyMode::label`]).
+    pub redundancy: String,
     /// Replay mode label of the producing run (`"shadow"` /
     /// `"lockstep"`; see [`ReplayMode::label`]).
     pub replay_mode: String,
@@ -336,6 +359,12 @@ impl Deserialize for CampaignStats {
                 Ok(v) => Deserialize::deserialize(v)?,
                 Err(_) => CoreKind::Lr5.label().to_owned(),
             },
+            // Archives that predate the redundancy axis were produced
+            // by the only arrangement that existed, fixed lockstep.
+            redundancy: match value.field("redundancy") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => RedundancyMode::Fixed.label().to_owned(),
+            },
             replay_mode: match value.field("replay_mode") {
                 Ok(v) => Deserialize::deserialize(v)?,
                 // Archives that predate the field were produced by the
@@ -381,10 +410,12 @@ impl CampaignStats {
     /// split, injection rate, and per-workload replay/checkpoint cost.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "== Campaign throughput (core: {}, checkpoint interval: {}, replay mode: {}) ==\n\n\
+            "== Campaign throughput (core: {}, redundancy: {}, checkpoint interval: {}, \
+             replay mode: {}) ==\n\n\
              {} injections ({} manifested, {} masked) at {:.0} injections/sec\n\
              golden capture {:.1} ms, injection phase {:.1} ms, total {:.1} ms\n\n",
             if self.core.is_empty() { "lr5" } else { &self.core },
+            if self.redundancy.is_empty() { "fixed" } else { &self.redundancy },
             if self.checkpoint_interval == 0 {
                 "off".to_owned()
             } else {
@@ -635,6 +666,7 @@ pub fn run_campaign_for<C: CoreBatch>(config: &CampaignConfig) -> CampaignResult
     let campaign_start = Instant::now();
     let mode = config.effective_replay_mode();
     assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
+    emit_replay_mode_downgrade(config);
 
     let stim_seeds: Vec<u64> =
         (0..config.workloads.len()).map(|wi| config.seed ^ (wi as u64) << 32).collect();
@@ -701,6 +733,7 @@ pub fn run_campaign_for<C: CoreBatch>(config: &CampaignConfig) -> CampaignResult
     let stats = CampaignStats {
         checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
         core: C::NAME.to_owned(),
+        redundancy: config.redundancy.label().to_owned(),
         replay_mode: mode.label().to_owned(),
         injected: injected_total as u64,
         manifested: manifested_total,
@@ -825,6 +858,11 @@ pub(crate) fn run_injection_phase<C: CoreBatch>(
     for set in fault_sets {
         offsets.push(injected_total);
         injected_total += set.len();
+    }
+    if config.redundancy == RedundancyMode::Dme {
+        return run_dme_phase::<C>(
+            config, captures, stim_seeds, fault_sets, counters, sink, window,
+        );
     }
     if let Some(layers) = config.effective_batch() {
         let layers = C::clamp_layers(layers);
@@ -986,6 +1024,23 @@ pub(crate) fn elapsed_nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Announces the shadow→lockstep replay fallback on the event log when
+/// it applies ([`CampaignConfig::effective_replay_mode`] downgrades
+/// silently otherwise). Called by both the campaign and shard entry
+/// points, once per run.
+pub(crate) fn emit_replay_mode_downgrade(config: &CampaignConfig) {
+    let effective = config.effective_replay_mode();
+    if effective != config.replay_mode {
+        if let Some(events) = &config.events {
+            events.emit(&Event::ReplayModeDowngraded {
+                requested: config.replay_mode.label().to_owned(),
+                effective: effective.label().to_owned(),
+                cpus: config.cpus as u64,
+            });
+        }
+    }
+}
+
 /// Phase 2 in batch mode: each workload's faults are sorted by strike
 /// cycle and partitioned into groups restoring from the same golden
 /// checkpoint, and each (workload, span) group becomes one work item
@@ -1102,6 +1157,223 @@ fn run_batch_phase<C: CoreBatch>(
         }
     });
     total.into_inner().expect("no poisoned workers")
+}
+
+/// Phase 2 under [`RedundancyMode::Dme`]: the scalar flat work queue
+/// with the retired-effect stream comparator in place of the per-cycle
+/// port diff. Each workload's golden retire stream is decoded from the
+/// recorded port trace once ([`retire_stream`]); every fault then
+/// replays the faulty copy over the **shifted** address space and
+/// checks its k-th retirement against golden entry k
+/// ([`run_injection_dme_for`]). Outcomes stay a pure per-fault
+/// function, so DME archives are thread-count and shard independent
+/// like every other mode's.
+fn run_dme_phase<C: CoreModel>(
+    config: &CampaignConfig,
+    captures: &[GoldenCapture<C::State>],
+    stim_seeds: &[u64],
+    fault_sets: &[Vec<Fault>],
+    counters: &[WorkCounters],
+    sink: &Mutex<Vec<Produced>>,
+    window: u32,
+) -> BatchCost {
+    let retires: Vec<Vec<(u64, Retired)>> =
+        captures.iter().map(|cap| retire_stream(&cap.trace)).collect();
+    let mut offsets = Vec::with_capacity(fault_sets.len());
+    let mut injected_total = 0usize;
+    for set in fault_sets {
+        offsets.push(injected_total);
+        injected_total += set.len();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= injected_total {
+                        break;
+                    }
+                    let wi = match offsets.binary_search(&i) {
+                        Ok(w) => w,
+                        Err(w) => w - 1,
+                    };
+                    let workload = config.workloads[wi];
+                    let cap = &captures[wi];
+                    let fault = fault_sets[wi][i - offsets[wi]];
+                    let t0 = Instant::now();
+                    let checkpointed = config.checkpoint_interval.is_some();
+                    let start = if checkpointed {
+                        ReplayStart::Checkpoint(&cap.checkpoints)
+                    } else {
+                        ReplayStart::Reset { workload, stim_seed: stim_seeds[wi] }
+                    };
+                    let (outcome, cost) = run_injection_dme_for::<C>(
+                        start,
+                        &retires[wi],
+                        cap.trace.len(),
+                        fault,
+                        window,
+                    );
+                    let c = &counters[wi];
+                    c.replayed_cycles.fetch_add(cost.replayed_cycles, Ordering::Relaxed);
+                    c.skipped_cycles.fetch_add(cost.skipped_cycles, Ordering::Relaxed);
+                    if checkpointed {
+                        c.hit_distance_sum.fetch_add(cost.hit_distance, Ordering::Relaxed);
+                        c.hit_distance_max.fetch_max(cost.hit_distance, Ordering::Relaxed);
+                        if let Some(events) = &config.events {
+                            if fault.cycle < cap.run.cycles {
+                                events.emit(&Event::CheckpointHit {
+                                    workload: workload.name.to_owned(),
+                                    inject_cycle: fault.cycle,
+                                    checkpoint_cycle: cost.checkpoint_cycle,
+                                    hit_distance: cost.hit_distance,
+                                });
+                            }
+                        }
+                    }
+                    c.wall_nanos.fetch_add(elapsed_nanos(t0), Ordering::Relaxed);
+                    if let Some(events) = &config.events {
+                        events.emit(&Event::Inject {
+                            workload: workload.name.to_owned(),
+                            unit: fault.unit_for::<C>().name().to_owned(),
+                            fault: fault.describe_for::<C>(),
+                            cycle: fault.cycle,
+                        });
+                        match outcome {
+                            Some((detect_cycle, dsr)) => events.emit(&Event::Detect {
+                                workload: workload.name.to_owned(),
+                                inject_cycle: fault.cycle,
+                                detect_cycle,
+                                dsr_bits: dsr.bits(),
+                            }),
+                            None => events.emit(&Event::Masked {
+                                workload: workload.name.to_owned(),
+                                inject_cycle: fault.cycle,
+                            }),
+                        }
+                    }
+                    if let Some((detect_cycle, dsr)) = outcome {
+                        c.manifested.fetch_add(1, Ordering::Relaxed);
+                        local.push((
+                            wi,
+                            ErrorRecord {
+                                workload: workload.name.to_owned(),
+                                unit_index: fault.unit_for::<C>().index() as u8,
+                                fault: fault.kind.into(),
+                                inject_cycle: fault.cycle,
+                                detect_cycle,
+                                dsr,
+                            },
+                            None,
+                        ));
+                    }
+                }
+                sink.lock().expect("no poisoned workers").extend(local);
+            });
+        }
+    });
+    BatchCost::default()
+}
+
+/// One DME-mode injection: resolve the start (reset or nearest
+/// checkpoint), build the **shifted** memory image for it, fast-forward
+/// fault-free behind the DME translation (virtually identical to the
+/// golden run — the `lockstep-mem` soundness anchor — so neither
+/// comparison nor a separate golden capture is needed), then
+/// overlay-step. Each retirement of the faulty copy is checked against
+/// the next golden retire-stream entry; the first differing effect is
+/// the detection, and further mismatch bits accumulate over the capture
+/// window exactly like port-diff DSR bits do.
+///
+/// Divergences that never reach the retire interface are masked here
+/// even if the per-cycle port comparison would catch them: DME only
+/// observes architectural effects, which is the coverage trade the mode
+/// makes in exchange for tolerating address-space diversity.
+fn run_injection_dme_for<C: CoreModel>(
+    start: ReplayStart<'_, C::State>,
+    golden_retires: &[(u64, Retired)],
+    trace_len: u64,
+    fault: Fault,
+    window: u32,
+) -> (Option<(u64, Dsr)>, ReplayCost) {
+    if fault.cycle >= trace_len {
+        let cost = ReplayCost { skipped_cycles: trace_len, ..ReplayCost::default() };
+        return (None, cost);
+    }
+    let (mut cpu, mut mem, start_cycle) = match start {
+        ReplayStart::Reset { workload, stim_seed } => {
+            (C::new(0), shift_image(&workload.memory(stim_seed), DEFAULT_DME_OFFSET_WORDS), 0)
+        }
+        ReplayStart::Checkpoint(checkpoints) => {
+            let cp = checkpoints
+                .nearest_at(fault.cycle)
+                .expect("golden captures always include the cycle-0 checkpoint");
+            (
+                C::from_state(cp.cpu.clone()),
+                shift_image(&cp.mem, DEFAULT_DME_OFFSET_WORDS),
+                cp.cycle,
+            )
+        }
+    };
+    let mut ports = PortSet::new();
+    let mut cost = ReplayCost {
+        checkpoint_cycle: start_cycle,
+        hit_distance: fault.cycle - start_cycle,
+        replayed_cycles: 0,
+        skipped_cycles: start_cycle,
+    };
+
+    let mut cycle = start_cycle;
+    while cycle < fault.cycle {
+        cpu.step(&mut DmePort::new(&mut mem, DEFAULT_DME_OFFSET_WORDS), &mut ports);
+        cycle += 1;
+        cost.replayed_cycles += 1;
+    }
+
+    // Retire-stream cursor as of the fault cycle: the fault-free prefix
+    // retired exactly the golden entries below it.
+    let mut idx = golden_retires.partition_point(|(c, _)| *c < fault.cycle);
+    let mut compare = move |ports: &PortSet| -> u64 {
+        let Some(r) = retired_of_ports(ports) else {
+            return 0;
+        };
+        let diff = match golden_retires.get(idx) {
+            Some((_, golden)) => retired_diff_mask(&r, golden),
+            // The faulty copy retired past the end of the golden stream.
+            None => stream_skew_mask(),
+        };
+        idx += 1;
+        diff
+    };
+
+    let (detect_cycle, mut dsr_bits) = loop {
+        if cycle >= trace_len {
+            return (None, cost);
+        }
+        let at = cycle;
+        let mut port = DmePort::new(&mut mem, DEFAULT_DME_OFFSET_WORDS);
+        cpu.step_with_overlay(&mut port, &mut ports, |st| fault.overlay_for::<C>(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        let diff = compare(&ports);
+        if diff != 0 {
+            break (at, diff);
+        }
+    };
+    for _ in 1..window {
+        if cycle >= trace_len {
+            break;
+        }
+        let at = cycle;
+        let mut port = DmePort::new(&mut mem, DEFAULT_DME_OFFSET_WORDS);
+        cpu.step_with_overlay(&mut port, &mut ports, |st| fault.overlay_for::<C>(st, at));
+        cost.replayed_cycles += 1;
+        cycle += 1;
+        dsr_bits |= compare(&ports);
+    }
+    (Some((detect_cycle, Dsr::from_bits(dsr_bits))), cost)
 }
 
 /// One injection experiment against the golden trace with a one-cycle
@@ -1640,6 +1912,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
         }
     }
 
@@ -1899,6 +2172,114 @@ mod tests {
         let res = run_campaign(&cfg);
         assert_eq!(res.stats.batch_mode, "off");
         assert_eq!(res.traces.len(), res.records.len(), "tracing must still work");
+    }
+
+    #[test]
+    fn dynamic_mode_detects_identically_to_fixed() {
+        // Dynamic lockstep changes only the recovery path; its
+        // injection phase is the fixed scalar engine, so records match
+        // bit-for-bit — and a requested batch engine is honestly
+        // clamped off rather than silently diverging the provenance.
+        let mut fixed = tiny_config();
+        fixed.faults_per_workload = 60;
+        let mut dynamic = fixed.clone();
+        dynamic.redundancy = RedundancyMode::Dynamic;
+        dynamic.batch = Some(BatchConfig::FULL);
+        assert_eq!(dynamic.effective_batch(), None);
+        let a = run_campaign(&fixed);
+        let b = run_campaign(&dynamic);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.stats.redundancy, "fixed");
+        assert_eq!(b.stats.redundancy, "dynamic");
+        assert_eq!(b.stats.batch_mode, "off");
+        assert!(b.stats.render().contains("redundancy: dynamic"));
+    }
+
+    #[test]
+    fn dme_mode_is_deterministic_and_architectural() {
+        use lockstep_cpu::retire_effect_mask;
+
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 60;
+        cfg.redundancy = RedundancyMode::Dme;
+        let a = run_campaign(&cfg);
+        assert!(!a.records.is_empty(), "some faults must reach the retire interface");
+        for r in &a.records {
+            assert!(r.detect_cycle >= r.inject_cycle);
+            assert_eq!(
+                r.dsr.bits() & !retire_effect_mask(),
+                0,
+                "DME DSRs live entirely in the retire-effect SC subset"
+            );
+        }
+        assert_eq!(a.stats.redundancy, "dme");
+        // Pure per-fault outcomes: thread count cannot perturb records.
+        let mut serial = cfg.clone();
+        serial.threads = 1;
+        let b = run_campaign(&serial);
+        assert_eq!(a.records, b.records);
+
+        // DME observes only architectural (retired) effects, so it can
+        // only ever detect a subset of what the per-cycle port compare
+        // sees — never more, and never earlier.
+        let mut port_cfg = cfg.clone();
+        port_cfg.redundancy = RedundancyMode::Fixed;
+        let ports = run_campaign(&port_cfg);
+        assert!(a.records.len() <= ports.records.len());
+        for r in &a.records {
+            let twin = ports
+                .records
+                .iter()
+                .find(|p| p.workload == r.workload && p.inject_cycle == r.inject_cycle)
+                .expect("every DME detection manifests under port compare too");
+            assert!(r.detect_cycle >= twin.detect_cycle);
+        }
+    }
+
+    #[test]
+    fn dme_mode_survives_checkpointing_off() {
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 30;
+        cfg.redundancy = RedundancyMode::Dme;
+        let on = run_campaign(&cfg);
+        cfg.checkpoint_interval = None;
+        let off = run_campaign(&cfg);
+        assert_eq!(on.records, off.records, "checkpointing is a cost knob in DME mode too");
+    }
+
+    #[test]
+    fn replay_mode_downgrade_is_announced() {
+        use lockstep_obs::MemorySink;
+
+        // cpus > 2 silently forced lockstep replay before; now the
+        // fallback is an event on the campaign log.
+        let sink = Arc::new(MemorySink::new());
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 10;
+        cfg.cpus = 3;
+        cfg.events = Some(sink.clone());
+        run_campaign(&cfg);
+        let downgrades: Vec<Event> =
+            sink.take().into_iter().filter(|e| e.kind() == "replay_mode_downgraded").collect();
+        match &downgrades[..] {
+            [Event::ReplayModeDowngraded { requested, effective, cpus }] => {
+                assert_eq!(requested, "shadow");
+                assert_eq!(effective, "lockstep");
+                assert_eq!(*cpus, 3);
+            }
+            other => panic!("expected exactly one downgrade event, got {other:?}"),
+        }
+
+        // A DMR shadow campaign is not downgraded and says nothing.
+        let sink = Arc::new(MemorySink::new());
+        let mut cfg = tiny_config();
+        cfg.faults_per_workload = 10;
+        cfg.events = Some(sink.clone());
+        run_campaign(&cfg);
+        assert!(
+            sink.take().iter().all(|e| e.kind() != "replay_mode_downgraded"),
+            "no downgrade event without a downgrade"
+        );
     }
 
     #[test]

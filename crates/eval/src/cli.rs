@@ -31,10 +31,18 @@
 //! * `--core {lr5,lr7}` — core model under test (default `lr5`, the
 //!   in-order pipeline; `lr7` is the out-of-order core). LR7 clamps the
 //!   batched engine to its fan-out layer; campaign outcomes are
-//!   unaffected by the clamp.
+//!   unaffected by the clamp;
+//! * `--redundancy {fixed,dynamic,dme}` — the redundancy arrangement
+//!   under evaluation (default `fixed` DMR). `dynamic` pairs/unpairs at
+//!   runtime and re-syncs from golden checkpoints instead of
+//!   restarting; `dme` runs the redundant copy over a shifted address
+//!   space and compares retired-effect streams. Non-fixed modes clamp
+//!   the batched engine off (recorded honestly in the stats); see
+//!   [`lockstep_core::RedundancyMode`].
 
 use std::sync::Arc;
 
+use lockstep_core::RedundancyMode;
 use lockstep_cpu::CoreKind;
 use lockstep_obs::{EventSink, JsonlSink};
 use lockstep_workloads::{fuzz, Workload};
@@ -67,6 +75,8 @@ pub struct CommonArgs {
     pub batch: Option<BatchConfig>,
     /// Core model under test (`--core`; default LR5).
     pub core: CoreKind,
+    /// Redundancy arrangement (`--redundancy`; default fixed DMR).
+    pub redundancy: RedundancyMode,
 }
 
 impl CommonArgs {
@@ -84,6 +94,7 @@ impl CommonArgs {
             replay_mode: ReplayMode::default(),
             batch: Some(BatchConfig::FULL),
             core: CoreKind::default(),
+            redundancy: RedundancyMode::default(),
         };
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
@@ -160,13 +171,20 @@ impl CommonArgs {
                     out.core = CoreKind::from_flag(&m)
                         .unwrap_or_else(|| die(&format!("bad --core `{m}` (expected lr5 or lr7)")));
                 }
+                "--redundancy" => {
+                    let m = value("--redundancy");
+                    out.redundancy = RedundancyMode::from_flag(&m).unwrap_or_else(|| {
+                        die(&format!("bad --redundancy `{m}` (expected fixed, dynamic or dme)"))
+                    });
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] \
                          [--workloads a,b,c | fuzz:<seed>[:<count>]] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
                          [--trace-window N (0 = off)] [--replay-mode shadow|lockstep] \
-                         [--batch-mode off|fanout|earlyout|lanes|full] [--core lr5|lr7]"
+                         [--batch-mode off|fanout|earlyout|lanes|full] [--core lr5|lr7] \
+                         [--redundancy fixed|dynamic|dme]"
                     );
                     std::process::exit(0);
                 }
@@ -188,6 +206,7 @@ impl CommonArgs {
             replay_mode: self.replay_mode.label().to_owned(),
             batch_mode: self.batch.map_or("off", BatchConfig::label).to_owned(),
             core: self.core.label().to_owned(),
+            redundancy: self.redundancy.label().to_owned(),
         }
     }
 
@@ -307,6 +326,18 @@ mod tests {
         let a = parse(&["--core", "lr7"]);
         assert_eq!(a.core, CoreKind::Lr7);
         assert_eq!(a.campaign_config().core, CoreKind::Lr7);
+    }
+
+    #[test]
+    fn redundancy_flag() {
+        assert_eq!(parse(&[]).redundancy, RedundancyMode::Fixed, "fixed DMR is the default");
+        assert_eq!(parse(&["--redundancy", "fixed"]).redundancy, RedundancyMode::Fixed);
+        assert_eq!(parse(&["--redundancy", "dynamic"]).redundancy, RedundancyMode::Dynamic);
+        let a = parse(&["--redundancy", "dme"]);
+        assert_eq!(a.redundancy, RedundancyMode::Dme);
+        let c = a.campaign_config();
+        assert_eq!(c.redundancy, RedundancyMode::Dme);
+        assert_eq!(c.effective_batch(), None, "non-fixed redundancy clamps batching off");
     }
 
     #[test]

@@ -230,6 +230,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: lockstep_cpu::CoreKind::Lr5,
+            redundancy: lockstep_core::RedundancyMode::Fixed,
         })
     }
 

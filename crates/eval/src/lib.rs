@@ -16,6 +16,10 @@
 //!   early-out for masked transients, and bit-parallel watch masks for
 //!   parked stuck-ats. Bit-identical outcomes to [`campaign`]'s scalar
 //!   replay at a fraction of the simulated cycles (`--batch-mode`).
+//! * [`dme`] — diverse-memory-execution support: the retired-effect
+//!   stream comparator behind `--redundancy dme` and the
+//!   decoder-stuck-at coverage probe (the fault class identical
+//!   lockstep provably masks).
 //! * [`dataset`] — train/test splitting with 5-fold cross-validation and
 //!   conversion of error records into predictor training records.
 //! * [`analysis`] — Table I statistics, per-unit signature histograms,
@@ -46,6 +50,7 @@ pub mod batch;
 pub mod campaign;
 pub mod cli;
 pub mod dataset;
+pub mod dme;
 pub mod experiments;
 pub mod lertsim;
 pub mod render;

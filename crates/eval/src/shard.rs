@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use lockstep_core::ErrorRecord;
+use lockstep_core::{ErrorRecord, RedundancyMode};
 use lockstep_cpu::{CoreKind, Cpu, Lr7};
 use lockstep_fault::{CampaignPlan, ErrorKind, Fault, PlanConfig};
 use lockstep_obs::DivergenceTrace;
@@ -35,8 +35,9 @@ use serde::{Deserialize, Serialize};
 use crate::archive::{fuzz_provenance_from_names, CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
 use crate::batch::{BatchConfig, CoreBatch};
 use crate::campaign::{
-    collect_workload_stats, elapsed_nanos, order_produced, run_golden_phase, run_injection_phase,
-    CampaignConfig, CampaignResult, CampaignStats, WorkCounters, WorkloadStats,
+    collect_workload_stats, elapsed_nanos, emit_replay_mode_downgrade, order_produced,
+    run_golden_phase, run_injection_phase, CampaignConfig, CampaignResult, CampaignStats,
+    WorkCounters, WorkloadStats,
 };
 
 /// One contiguous slice `[fault_lo, fault_hi)` of a campaign's global
@@ -123,6 +124,9 @@ pub struct ShardRepr {
     /// Core model label (`"lr5"` / `"lr7"`) — shards of one job must
     /// have replayed on the same core.
     pub core: String,
+    /// Redundancy mode label (`"fixed"` / `"dynamic"` / `"dme"`) —
+    /// shards of one job must have compared the copies the same way.
+    pub redundancy: String,
     /// Effective replay mode label (`"shadow"` / `"lockstep"`).
     pub replay_mode: String,
     /// Effective batch mode label (`"off"`, `"fanout"`, ... `"full"`),
@@ -149,6 +153,12 @@ impl Deserialize for ShardRepr {
                 Ok(v) => Deserialize::deserialize(v)?,
                 Err(_) => CoreKind::Lr5.label().to_owned(),
             },
+            // Shards that predate the redundancy axis could only have
+            // run fixed identical lockstep.
+            redundancy: match value.field("redundancy") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => RedundancyMode::Fixed.label().to_owned(),
+            },
             replay_mode: Deserialize::deserialize(value.field("replay_mode")?)?,
             batch_mode: Deserialize::deserialize(value.field("batch_mode")?)?,
         })
@@ -170,6 +180,7 @@ impl ShardRepr {
             checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
             trace_window: config.trace_window.map_or(0, u64::from),
             core: config.core.label().to_owned(),
+            redundancy: config.redundancy.label().to_owned(),
             replay_mode: config.effective_replay_mode().label().to_owned(),
             batch_mode: config
                 .effective_batch_clamped()
@@ -190,6 +201,7 @@ impl ShardRepr {
             && self.checkpoint_interval == other.checkpoint_interval
             && self.trace_window == other.trace_window
             && self.core == other.core
+            && self.redundancy == other.redundancy
             && self.replay_mode == other.replay_mode
             && self.batch_mode == other.batch_mode
     }
@@ -229,6 +241,7 @@ pub fn run_shard_for<C: CoreBatch>(config: &CampaignConfig, spec: &ShardSpec) ->
     debug_assert_eq!(config.core.label(), C::NAME, "config.core must match the core type");
     assert!(config.cpus >= 2, "lockstep needs at least two CPUs");
     assert!(config.faults_per_workload >= 1, "faults_per_workload must be at least 1");
+    emit_replay_mode_downgrade(config);
     let fpw = config.faults_per_workload as u64;
     let total = config.workloads.len() as u64 * fpw;
     assert!(
@@ -295,6 +308,7 @@ pub fn run_shard_for<C: CoreBatch>(config: &CampaignConfig, spec: &ShardSpec) ->
     let stats = CampaignStats {
         checkpoint_interval: config.checkpoint_interval.unwrap_or(0),
         core: C::NAME.to_owned(),
+        redundancy: config.redundancy.label().to_owned(),
         replay_mode: config.effective_replay_mode().label().to_owned(),
         injected: injected_total,
         manifested: manifested_total,
@@ -535,6 +549,7 @@ pub fn merge_shard_archives(shards: &[CampaignArchive]) -> Result<CampaignArchiv
     let stats = CampaignStats {
         checkpoint_interval: job.checkpoint_interval,
         core: job.core.clone(),
+        redundancy: job.redundancy.clone(),
         replay_mode: job.replay_mode.clone(),
         injected: total,
         manifested: manifested_total,
@@ -607,6 +622,7 @@ mod tests {
             cpus: 2,
             batch: None,
             core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
         }
     }
 
@@ -650,6 +666,15 @@ mod tests {
         let mut not_a_shard = archives.clone();
         not_a_shard[2].shard = None;
         assert_eq!(merge_shard_archives(&not_a_shard).unwrap_err(), ShardError::NotAShard(2));
+        // Shards that compared the copies under different redundancy
+        // arrangements are not slices of the same job.
+        let mut mixed_redundancy = archives.clone();
+        mixed_redundancy[1].shard.as_mut().unwrap().redundancy =
+            RedundancyMode::Dme.label().to_owned();
+        assert_eq!(
+            merge_shard_archives(&mixed_redundancy).unwrap_err(),
+            ShardError::JobMismatch(1)
+        );
 
         // The untampered set merges, in any order.
         let mut shuffled = archives;

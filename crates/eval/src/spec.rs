@@ -5,7 +5,7 @@
 //! JSON protocol — each with its own field names, defaults, and
 //! validation. `CampaignSpec` unifies them: one serializable struct
 //! holding the portable knobs (workloads, faults, seed, replay mode,
-//! batch mode, core model), one typed validation error
+//! batch mode, core model, redundancy mode), one typed validation error
 //! ([`SpecError`]), and one [`CampaignSpec::campaign_config`] that
 //! resolves it into a runnable [`CampaignConfig`]. The CLI builds a
 //! spec from flags; the service deserializes one straight off the
@@ -16,8 +16,9 @@
 //! `batch` for `batch_mode`), so archived job files and old client
 //! scripts keep working. Fields the source omits take the documented
 //! service defaults: seed 1, shadow replay, the full batch engine,
-//! and the LR5 core.
+//! the LR5 core, and fixed redundancy.
 
+use lockstep_core::RedundancyMode;
 use lockstep_cpu::CoreKind;
 use lockstep_workloads::{fuzz, Workload};
 use serde::json::{Error as JsonError, Value};
@@ -47,6 +48,8 @@ pub struct CampaignSpec {
     pub batch_mode: String,
     /// Core model flag value (`"lr5"` / `"lr7"`).
     pub core: String,
+    /// Redundancy mode flag value (`"fixed"` / `"dynamic"` / `"dme"`).
+    pub redundancy: String,
 }
 
 /// Spec defaults, spelled once (and documented in
@@ -86,6 +89,9 @@ impl Deserialize for CampaignSpec {
             // Specs that predate the core-model axis ran on the only
             // core that existed, the in-order LR5.
             core: str_or(value.field("core"), CoreKind::Lr5.label())?,
+            // Specs that predate the redundancy axis ran the only
+            // arrangement that existed, fixed lockstep.
+            redundancy: str_or(value.field("redundancy"), RedundancyMode::Fixed.label())?,
         })
     }
 }
@@ -111,6 +117,8 @@ pub enum SpecError {
     UnknownBatchMode(String),
     /// The core model is not `lr5` or `lr7`.
     UnknownCore(String),
+    /// The redundancy mode is not `fixed`, `dynamic` or `dme`.
+    UnknownRedundancy(String),
     /// The requested shard count is zero (job-level, service only).
     ZeroShards,
 }
@@ -127,6 +135,7 @@ impl SpecError {
             SpecError::UnknownReplayMode(_) => "unknown_replay_mode",
             SpecError::UnknownBatchMode(_) => "unknown_batch_mode",
             SpecError::UnknownCore(_) => "unknown_core",
+            SpecError::UnknownRedundancy(_) => "unknown_redundancy",
             SpecError::ZeroShards => "zero_shards",
         }
     }
@@ -145,6 +154,9 @@ impl std::fmt::Display for SpecError {
             SpecError::UnknownBatchMode(m) => write!(f, "unknown batch mode `{m}`"),
             SpecError::UnknownCore(c) => {
                 write!(f, "unknown core `{c}` (expected lr5 or lr7)")
+            }
+            SpecError::UnknownRedundancy(r) => {
+                write!(f, "unknown redundancy mode `{r}` (expected fixed, dynamic or dme)")
             }
             SpecError::ZeroShards => write!(f, "shards must be at least 1"),
         }
@@ -221,6 +233,16 @@ impl CampaignSpec {
         CoreKind::from_flag(&self.core).ok_or_else(|| SpecError::UnknownCore(self.core.clone()))
     }
 
+    /// The parsed redundancy mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownRedundancy`].
+    pub fn redundancy_mode(&self) -> Result<RedundancyMode, SpecError> {
+        RedundancyMode::from_flag(&self.redundancy)
+            .ok_or_else(|| SpecError::UnknownRedundancy(self.redundancy.clone()))
+    }
+
     /// Checks every field without building anything.
     ///
     /// # Errors
@@ -234,6 +256,7 @@ impl CampaignSpec {
         self.replay()?;
         self.batch()?;
         self.core_kind()?;
+        self.redundancy_mode()?;
         Ok(())
     }
 
@@ -262,6 +285,7 @@ impl CampaignSpec {
             cpus: 2,
             batch: self.batch()?,
             core: self.core_kind()?,
+            redundancy: self.redundancy_mode()?,
         })
     }
 }
@@ -278,6 +302,7 @@ mod tests {
             replay_mode: "lockstep".to_owned(),
             batch_mode: "off".to_owned(),
             core: "lr7".to_owned(),
+            redundancy: "dme".to_owned(),
         }
     }
 
@@ -300,6 +325,7 @@ mod tests {
         assert_eq!(back.replay_mode, "lockstep");
         assert_eq!(back.batch_mode, "fanout");
         assert_eq!(back.core, "lr5", "pre-core specs default to LR5");
+        assert_eq!(back.redundancy, "fixed", "pre-redundancy specs default to fixed lockstep");
 
         // Canonical names win when both spellings appear.
         let both: CampaignSpec =
@@ -316,6 +342,7 @@ mod tests {
         assert_eq!(back.replay_mode, DEFAULT_SPEC_REPLAY_MODE);
         assert_eq!(back.batch_mode, DEFAULT_SPEC_BATCH_MODE);
         assert_eq!(back.core, "lr5");
+        assert_eq!(back.redundancy, "fixed");
         assert!(back.validate().is_ok());
     }
 
@@ -343,6 +370,13 @@ mod tests {
         let mut s = spec();
         s.batch_mode = "x".to_owned();
         assert_eq!(s.validate().unwrap_err().code(), "unknown_batch_mode");
+
+        let mut s = spec();
+        s.redundancy = "tmr".to_owned();
+        let err = s.validate().unwrap_err();
+        assert_eq!(err, SpecError::UnknownRedundancy("tmr".to_owned()));
+        assert_eq!(err.code(), "unknown_redundancy");
+        assert!(err.to_string().contains("tmr"));
     }
 
     #[test]
@@ -370,6 +404,7 @@ mod tests {
         assert_eq!(config.replay_mode, ReplayMode::Lockstep);
         assert!(config.batch.is_none());
         assert_eq!(config.core, CoreKind::Lr7);
+        assert_eq!(config.redundancy, RedundancyMode::Dme);
         assert_eq!(config.capture_window, DEFAULT_CAPTURE_WINDOW);
         assert_eq!(config.checkpoint_interval, Some(DEFAULT_CHECKPOINT_INTERVAL));
     }

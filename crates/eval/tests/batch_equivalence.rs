@@ -65,6 +65,7 @@ fn base_config() -> CampaignConfig {
         cpus: 2,
         batch: None,
         core: lockstep_cpu::CoreKind::Lr5,
+        redundancy: lockstep_core::RedundancyMode::Fixed,
     }
 }
 

@@ -88,6 +88,7 @@ fn campaign_records_identical_for_all_intervals() {
         cpus: 2,
         batch: None,
         core: lockstep_cpu::CoreKind::Lr5,
+        redundancy: lockstep_core::RedundancyMode::Fixed,
     };
     let reference = run_campaign(&base);
     assert!(!reference.records.is_empty(), "reference campaign must manifest errors");

@@ -30,6 +30,7 @@ fn campaign() -> &'static CampaignResult {
             cpus: 2,
             batch: None,
             core: lockstep_cpu::CoreKind::Lr5,
+            redundancy: lockstep_core::RedundancyMode::Fixed,
         })
     })
 }

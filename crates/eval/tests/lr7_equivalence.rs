@@ -32,6 +32,7 @@ fn base_config() -> CampaignConfig {
         cpus: 2,
         batch: None,
         core: CoreKind::Lr7,
+        redundancy: lockstep_core::RedundancyMode::Fixed,
     }
 }
 
@@ -116,6 +117,68 @@ fn lr7_clamps_unsupported_batch_layers_to_fanout() {
     cfg.batch = None;
     let scalar = run_campaign(&cfg);
     assert_eq!(archive_bytes(&scalar), archive_bytes(&result));
+}
+
+/// The redundancy axis holds on the out-of-order core too: `dynamic`
+/// is byte-identical to fixed DMR (same scalar detection, different
+/// recovery story), and `dme` runs the retired-effect comparator
+/// deterministically across thread counts.
+#[test]
+fn lr7_redundancy_modes_are_thread_deterministic() {
+    use lockstep_core::RedundancyMode;
+
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 18;
+
+    let fixed = run_campaign(&cfg);
+    cfg.redundancy = RedundancyMode::Dynamic;
+    let dynamic = run_campaign(&cfg);
+    assert_eq!(dynamic.stats.core, "lr7");
+    assert_eq!(dynamic.stats.redundancy, "dynamic");
+    assert_eq!(
+        archive_bytes(&fixed),
+        archive_bytes(&dynamic),
+        "dynamic pairing changed the LR7 archive"
+    );
+
+    cfg.redundancy = RedundancyMode::Dme;
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 4] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let result = run_campaign(&c);
+        assert_eq!(result.stats.redundancy, "dme");
+        let bytes = archive_bytes(&result);
+        match &reference {
+            Some(r) => {
+                assert_eq!(&bytes, r, "LR7 dme archive depends on thread count ({threads})")
+            }
+            None => reference = Some(bytes),
+        }
+    }
+}
+
+/// Shards of one LR7 job must agree on the redundancy arrangement: a
+/// `dme` shard is not mergeable with `fixed` siblings, mirroring the
+/// mixed-core refusal below.
+#[test]
+fn lr7_mixed_redundancy_shards_refuse_to_merge() {
+    use lockstep_core::RedundancyMode;
+
+    let mut cfg = base_config();
+    cfg.faults_per_workload = 18;
+    let specs = plan_shards(&cfg, 3);
+    let mut shards: Vec<CampaignArchive> = specs.iter().map(|s| run_shard(&cfg, s)).collect();
+
+    let mut dme_cfg = cfg.clone();
+    dme_cfg.redundancy = RedundancyMode::Dme;
+    let foreign = run_shard(&dme_cfg, &specs[0]);
+    assert_eq!(foreign.shard.as_ref().unwrap().redundancy, "dme");
+    shards[0] = foreign;
+    assert!(
+        merge_shard_archives(&shards).is_err(),
+        "shards from different redundancy modes must not merge"
+    );
 }
 
 /// Sharded LR7 campaigns merge back byte-identical to the single-shot

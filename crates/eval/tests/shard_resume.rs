@@ -37,6 +37,7 @@ fn base_config() -> CampaignConfig {
         cpus: 2,
         batch: None,
         core: lockstep_cpu::CoreKind::Lr5,
+        redundancy: lockstep_core::RedundancyMode::Fixed,
     }
 }
 

@@ -125,15 +125,8 @@ pub fn run_differential_for<C: CoreModel>(
     while dut_cycles < max_cycles {
         dut_cycles += 1;
         let info = cpu.step(&mut dut_mem, &mut ports);
-        if ports.get(Sc::RetCtl) & 1 == 1 {
-            let wb_ctl = ports.get(Sc::WbCtl);
-            dut_stream.push(Retired {
-                pc: bus(&ports, Sc::RetPcLo, Sc::RetPcHi),
-                raw: bus(&ports, Sc::RetInstrLo, Sc::RetInstrHi),
-                writes_rd: wb_ctl & 1 == 1,
-                rd: (wb_ctl >> 1 & 0x1F) as u8,
-                value: bus(&ports, Sc::WbDataLo, Sc::WbDataHi),
-            });
+        if let Some(retired) = retired_of_ports(&ports) {
+            dut_stream.push(retired);
         }
         if info.halted {
             dut_halted = true;
@@ -237,6 +230,29 @@ pub fn run_differential_for<C: CoreModel>(
 
 fn bus(ports: &PortSet, lo: Sc, hi: Sc) -> u32 {
     ports.get(lo) | ports.get(hi) << 16
+}
+
+/// Decodes one cycle's port snapshot into its canonical retired-effect
+/// record, or `None` on a cycle that retired nothing.
+///
+/// This is the single definition of how the architectural
+/// [`lockstep_cpu::RETIRE_EFFECT_PORTS`] encode a retirement — the
+/// differential runner above reads the DUT stream through it, and the
+/// DME-mode campaign comparator uses the same decoder so "compare
+/// canonical retired-effect streams" means exactly what the ISS oracle
+/// means by it.
+pub fn retired_of_ports(ports: &PortSet) -> Option<Retired> {
+    if ports.get(Sc::RetCtl) & 1 != 1 {
+        return None;
+    }
+    let wb_ctl = ports.get(Sc::WbCtl);
+    Some(Retired {
+        pc: bus(ports, Sc::RetPcLo, Sc::RetPcHi),
+        raw: bus(ports, Sc::RetInstrLo, Sc::RetInstrHi),
+        writes_rd: wb_ctl & 1 == 1,
+        rd: (wb_ctl >> 1 & 0x1F) as u8,
+        value: bus(ports, Sc::WbDataLo, Sc::WbDataHi),
+    })
 }
 
 /// One generated program's differential result.

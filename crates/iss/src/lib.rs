@@ -28,8 +28,8 @@ pub mod interp;
 pub mod minimize;
 
 pub use diff::{
-    run_differential, run_differential_for, run_fuzz, run_fuzz_for, DiffOutcome, DiffVerdict,
-    FuzzReport,
+    retired_of_ports, run_differential, run_differential_for, run_fuzz, run_fuzz_for, DiffOutcome,
+    DiffVerdict, FuzzReport,
 };
 pub use interp::{Interp, IssStep, Quirk, Retired};
 pub use minimize::{minimize, write_repro};

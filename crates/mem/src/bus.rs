@@ -116,6 +116,18 @@ impl Memory {
         &mut self.ram
     }
 
+    /// Read-only view of the ECC RAM (e.g. for building the shifted
+    /// image of [`crate::dme`]).
+    pub fn ram(&self) -> &EccRam {
+        &self.ram
+    }
+
+    /// RAM capacity in bytes — the boundary below which addresses
+    /// decode to RAM (MMIO lives at the top of the address space).
+    pub fn ram_bytes(&self) -> usize {
+        self.ram.size_bytes()
+    }
+
     /// ECC event counters.
     pub fn ecc_stats(&self) -> EccStats {
         self.ram.stats()

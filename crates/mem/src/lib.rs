@@ -15,6 +15,10 @@
 //!   (the "operating conditions from the ECU" the AutoBench kernels read)
 //!   and an output-capture block (where kernels publish their results).
 //! * [`stimulus`] — the deterministic sensor waveform generator.
+//! * [`dme`] — diverse-memory-execution address shifting: a translated
+//!   [`bus::MemoryPort`] view plus the matching shifted RAM image, so a
+//!   redundant copy can run the same virtual program over decorrelated
+//!   physical addresses (and a planted decoder stuck-at model).
 //!
 //! The CPU crate talks to all of this through the [`bus::MemoryPort`]
 //! trait, which also lets the lockstep harness interpose on transactions.
@@ -24,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod dme;
 pub mod ecc;
 pub mod ram;
 pub mod stimulus;
 
 pub use bus::{BusFault, Memory, MemoryPort, TrialLog, TrialView, OUTPUT_BASE, SENSOR_BASE};
+pub use dme::{shift_image, AddrStuckAt, DmePort, DEFAULT_DME_OFFSET_WORDS};
 pub use ecc::{EccStatus, SecDed};
 pub use ram::{EccRam, Ram};
 pub use stimulus::SensorBlock;

@@ -104,6 +104,30 @@ pub enum Event {
         /// The substituted mean golden runtime in cycles.
         mean_cycles: u64,
     },
+    /// The campaign requested one replay mode but the engine ran
+    /// another (shadow is DMR-only: a recorded trace cannot stand in
+    /// for several live twins in a majority vote, so TMR-and-up
+    /// configurations run full lockstep replay).
+    ReplayModeDowngraded {
+        /// The replay mode the configuration asked for.
+        requested: String,
+        /// The replay mode the engine actually ran.
+        effective: String,
+        /// Redundant CPUs per lockstep unit that forced the downgrade.
+        cpus: u64,
+    },
+    /// A dynamic lockstep pair re-synced from a golden checkpoint after
+    /// a predicted-soft verdict, instead of a full task restart.
+    Resync {
+        /// Workload whose pair re-synced.
+        workload: String,
+        /// Cycle the divergence was detected at.
+        detect_cycle: u64,
+        /// Cycle of the golden checkpoint the pair restored.
+        checkpoint_cycle: u64,
+        /// Cycles charged for the re-sync (restore + replay distance).
+        resync_cycles: u64,
+    },
     /// A named phase completed; `nanos` is its wall time.
     Span {
         /// Phase name (e.g. `"golden_capture"`, `"injection"`).
@@ -192,6 +216,8 @@ impl Event {
             Event::BistStop { .. } => "bist_stop",
             Event::Prediction { .. } => "prediction",
             Event::RestartFallback { .. } => "restart_fallback",
+            Event::ReplayModeDowngraded { .. } => "replay_mode_downgraded",
+            Event::Resync { .. } => "resync",
             Event::Span { .. } => "span",
             Event::JobSubmitted { .. } => "job_submitted",
             Event::ShardLeased { .. } => "shard_leased",
@@ -264,6 +290,17 @@ impl Serialize for Event {
             Event::RestartFallback { workload, mean_cycles } => {
                 field(out, "workload", workload);
                 field(out, "mean_cycles", mean_cycles);
+            }
+            Event::ReplayModeDowngraded { requested, effective, cpus } => {
+                field(out, "requested", requested);
+                field(out, "effective", effective);
+                field(out, "cpus", cpus);
+            }
+            Event::Resync { workload, detect_cycle, checkpoint_cycle, resync_cycles } => {
+                field(out, "workload", workload);
+                field(out, "detect_cycle", detect_cycle);
+                field(out, "checkpoint_cycle", checkpoint_cycle);
+                field(out, "resync_cycles", resync_cycles);
             }
             Event::Span { name, nanos } => {
                 field(out, "name", name);
@@ -361,6 +398,17 @@ impl Deserialize for Event {
                 workload: s("workload")?,
                 mean_cycles: u("mean_cycles")?,
             }),
+            "replay_mode_downgraded" => Ok(Event::ReplayModeDowngraded {
+                requested: s("requested")?,
+                effective: s("effective")?,
+                cpus: u("cpus")?,
+            }),
+            "resync" => Ok(Event::Resync {
+                workload: s("workload")?,
+                detect_cycle: u("detect_cycle")?,
+                checkpoint_cycle: u("checkpoint_cycle")?,
+                resync_cycles: u("resync_cycles")?,
+            }),
             "span" => Ok(Event::Span { name: s("name")?, nanos: u("nanos")? }),
             "job_submitted" => Ok(Event::JobSubmitted {
                 job: s("job")?,
@@ -442,6 +490,17 @@ mod tests {
                 hard: true,
             },
             Event::RestartFallback { workload: "missing".into(), mean_cycles: 9000 },
+            Event::ReplayModeDowngraded {
+                requested: "shadow".into(),
+                effective: "lockstep".into(),
+                cpus: 3,
+            },
+            Event::Resync {
+                workload: "rspeed".into(),
+                detect_cycle: 9000,
+                checkpoint_cycle: 8192,
+                resync_cycles: 1008,
+            },
             Event::Span { name: "golden_capture".into(), nanos: 1_500_000 },
             Event::JobSubmitted { job: "job-000001".into(), shards: 8, faults: 4000 },
             Event::ShardLeased { job: "job-000001".into(), shard: 3, attempt: 2 },

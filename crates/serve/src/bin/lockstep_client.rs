@@ -159,6 +159,7 @@ fn spec_from_flags(flags: &[String]) -> JobSpec {
             replay_mode: flag_value(flags, "--replay-mode").unwrap_or("shadow".to_owned()),
             batch_mode: flag_value(flags, "--batch-mode").unwrap_or("full".to_owned()),
             core: flag_value(flags, "--core").unwrap_or("lr5".to_owned()),
+            redundancy: flag_value(flags, "--redundancy").unwrap_or("fixed".to_owned()),
         },
         shards: flag_value(flags, "--shards")
             .map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --shards"))),

@@ -412,6 +412,7 @@ mod tests {
                 replay_mode: "lockstep".to_owned(),
                 batch_mode: "off".to_owned(),
                 core: "lr7".to_owned(),
+                redundancy: "fixed".to_owned(),
             },
             shards: 3,
         }
@@ -440,6 +441,7 @@ mod tests {
                     replay_mode: DEFAULT_SPEC_REPLAY_MODE.to_owned(),
                     batch_mode: DEFAULT_SPEC_BATCH_MODE.to_owned(),
                     core: "lr5".to_owned(),
+                    redundancy: "fixed".to_owned(),
                 },
                 shards: DEFAULT_SHARDS,
             })
@@ -469,6 +471,26 @@ mod tests {
         };
         assert_eq!(spec.campaign.core, "lr7");
         assert_eq!(spec.campaign_config().unwrap().core, CoreKind::Lr7);
+    }
+
+    #[test]
+    fn submit_accepts_the_redundancy_axis() {
+        use lockstep_core::RedundancyMode;
+
+        for (mode, expected) in [
+            ("fixed", RedundancyMode::Fixed),
+            ("dynamic", RedundancyMode::Dynamic),
+            ("dme", RedundancyMode::Dme),
+        ] {
+            let line = format!(
+                r#"{{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"redundancy":"{mode}"}}"#
+            );
+            let Request::Submit(spec) = Request::parse(&line).unwrap() else {
+                panic!("expected a submit request");
+            };
+            assert_eq!(spec.campaign.redundancy, mode);
+            assert_eq!(spec.campaign_config().unwrap().redundancy, expected);
+        }
     }
 
     #[test]
@@ -502,6 +524,11 @@ mod tests {
                 r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"core":"lr9"}"#,
                 "unknown_core",
                 "lr9",
+            ),
+            (
+                r#"{"cmd":"submit","workloads":["rspeed"],"faults_per_workload":5,"redundancy":"tmr"}"#,
+                "unknown_redundancy",
+                "tmr",
             ),
             (r#"{"cmd":"predict"}"#, "bad_request", "dsr"),
             (r#"{"cmd":"predict","dsr":"0xzz"}"#, "bad_request", "hex"),

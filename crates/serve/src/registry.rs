@@ -234,6 +234,7 @@ mod tests {
                 replay_mode: "shadow".to_owned(),
                 batch_mode: "full".to_owned(),
                 core: "lr5".to_owned(),
+                redundancy: "fixed".to_owned(),
             },
             shards: 2,
         }

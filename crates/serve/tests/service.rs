@@ -38,6 +38,7 @@ fn small_spec() -> JobSpec {
             replay_mode: "shadow".to_owned(),
             batch_mode: "full".to_owned(),
             core: "lr5".to_owned(),
+            redundancy: "fixed".to_owned(),
         },
         shards: 5,
     }

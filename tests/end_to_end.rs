@@ -33,6 +33,7 @@ fn one_error_full_lifecycle() {
         cpus: 2,
         batch: None,
         core: lockstep_cpu::CoreKind::Lr5,
+        redundancy: lockstep::core::RedundancyMode::Fixed,
     });
     assert!(campaign.records.len() > 100, "campaign too sparse");
     let ds = Dataset::new(campaign.records.clone());

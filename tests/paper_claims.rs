@@ -37,6 +37,7 @@ fn run_scaled(faults_per_workload: usize) -> CampaignResult {
         cpus: 2,
         batch: None,
         core: lockstep_cpu::CoreKind::Lr5,
+        redundancy: lockstep::core::RedundancyMode::Fixed,
     })
 }
 

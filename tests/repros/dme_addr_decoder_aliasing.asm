@@ -1,0 +1,31 @@
+; DME coverage repro (fixed lockstep vs diverse-memory execution).
+;
+; Minimized witness for the address-path fault class identical lockstep
+; provably masks: a stuck-at-0 line on RAM word-index bit 8 (byte
+; address bit 10) aliases every word pair differing only in that bit.
+; The two stores below land on addresses 0x43F0 and 0x47F0 — under the
+; fault both decode to physical word 0x10FC, so the second store
+; silently clobbers the first, and the load reads 0x2222 where the
+; fault-free machine reads 0x1111. Both copies of a fixed lockstep pair
+; share the decoder and read the same wrong word: their 62 SC ports
+; agree cycle-for-cycle and the corruption ships undetected. Under DME
+; the redundant copy runs 1031 words up: its images of the same two
+; virtual words sit at physical 0x1503/0x1603, the stuck bit merely
+; relocates 0x1503 to 0x1403 consistently (store and load both
+; redirect, so the value round-trips), no cross-cell merge happens,
+; and the retired-effect comparator flags the writeback mismatch.
+; Pinned by `crates/eval/tests/dme_detection.rs`, which replays this
+; program under `AddrStuckAt { bit: 8, stuck_one: false }` in both
+; redundancy modes. Fault-free (as replayed by `repro_replay.rs`) the
+; program is executor-independent like any other repro.
+;
+; stimulus seed: 3
+    li s0, 0x43F0           ; word 0x10FC — decoder bit 8 clear
+    li s1, 0x47F0           ; word 0x11FC — same word but bit 8 set
+    li t0, 0x1111
+    sw t0, 0(s0)
+    li t1, 0x2222
+    sw t1, 0(s1)            ; under the fault: clobbers 0(s0)
+    lw a0, 0(s0)            ; fault-free 0x1111; faulted 0x2222
+    xor a1, a0, t0          ; nonzero iff the decoder lied
+    ecall
