@@ -1,0 +1,214 @@
+//! The LC abstract syntax tree.
+//!
+//! LC is a small C-like language sized for the LR5 target:
+//!
+//! * one type, 32-bit two's-complement `int` (plus `void` returns);
+//! * global scalars and fixed-size global arrays (placed in RAM);
+//! * functions with up to 8 `int` parameters, call-by-value;
+//! * `if`/`else`, `while`, `for`, `break`, `continue`, `return`;
+//! * C operator set minus pointers: `+ - * / % << >> < <= > >= == !=
+//!   & | ^ && || ! ~` and unary `-`;
+//! * MMIO intrinsics: `sensor(ch)` reads a stimulus channel,
+//!   `publish(slot, v)` writes an output word, `misr(v)` folds a value
+//!   into the MISR signature register.
+//!
+//! `/`, `%` and `>>` are signed (LR5 `div`/`rem`/`sra`).
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<` (signed)
+    Lt,
+    /// `<=` (signed)
+    Le,
+    /// `>` (signed)
+    Gt,
+    /// `>=` (signed)
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!` (logical not, yields 0/1)
+    Not,
+    /// `~` (bitwise complement)
+    Comp,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal (wrapped to `i32` at lowering).
+    Int(i64),
+    /// Scalar variable reference (local, parameter, or global).
+    Var(String),
+    /// Global array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Short-circuit `&&`, yielding 0/1.
+    LogicAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`, yielding 0/1.
+    LogicOr(Box<Expr>, Box<Expr>),
+    /// Function call (user function or intrinsic).
+    Call(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int name = init;` — local scalar declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Initializer (defaults to `0` when omitted in source).
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `name = value;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// Assigned value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `name[index] = value;`
+    Store {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then else otherwise`.
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`. A `continue` inside the body
+    /// jumps to `step`, so `for` cannot be desugared to [`Stmt::While`]
+    /// without changing its meaning.
+    For {
+        /// Init clause (a declaration or assignment), if present.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step clause (an assignment), if present.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return value;` / `return;`
+    Return {
+        /// Returned value (`None` in `void` functions).
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (a call statement).
+    ExprStmt(Expr),
+}
+
+/// A global definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element count: 1 for scalars, `N` for `int name[N]`.
+    pub len: u32,
+    /// Scalar initializer (arrays are zero-initialized).
+    pub init: i64,
+    /// `true` for `int name[N]` declarations.
+    pub is_array: bool,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// `true` when declared `int f(...)`, `false` for `void`.
+    pub returns_value: bool,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A parsed LC translation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order. Entry is `main`.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,817 @@
+//! Linear IR over virtual registers, and AST → IR lowering.
+//!
+//! The IR is a flat instruction list per function. Virtual registers are
+//! plain indices with no SSA discipline — locals are lowered to a fixed
+//! vreg each and re-assigned freely, which keeps lowering simple and
+//! leaves liveness to [`crate::regalloc`]. Operations reuse
+//! [`lockstep_isa::Opcode`] directly so emission is a 1:1 mapping.
+//!
+//! Lowering expects a program that already passed [`crate::typeck`] and
+//! panics on violations of its invariants.
+
+use std::collections::HashMap;
+
+use lockstep_isa::Opcode;
+
+use crate::ast::{BinOp, Expr, ExprKind, Function, Global, Program, Stmt, UnOp};
+
+/// A virtual register index.
+pub type VReg = u32;
+
+/// A label index, local to one function.
+pub type Label = u32;
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = imm` (any 32-bit constant; emitted via `li`).
+    Li(VReg, i32),
+    /// `dst = src`.
+    Copy(VReg, VReg),
+    /// R-format ALU op: `dst = a <op> b`.
+    Bin(Opcode, VReg, VReg, VReg),
+    /// I-format ALU op: `dst = a <op> imm`. The builder only constructs
+    /// immediates legal for the opcode's immediate kind.
+    BinImm(Opcode, VReg, VReg, i32),
+    /// `dst = -src`.
+    Neg(VReg, VReg),
+    /// `dst = !src` bitwise.
+    Not(VReg, VReg),
+    /// `dst = (src != 0) ? 1 : 0` (emitted as `sltu dst, zero, src`).
+    IsNonZero(VReg, VReg),
+    /// `dst = global` (scalar global read).
+    LoadGlobal(VReg, String),
+    /// `global = src`.
+    StoreGlobal(String, VReg),
+    /// `dst = global[idx]` (word-indexed).
+    LoadIdx(VReg, String, VReg),
+    /// `global[idx] = src`.
+    StoreIdx(String, VReg, VReg),
+    /// Marks a jump target.
+    Label(Label),
+    /// Unconditional jump.
+    Jump(Label),
+    /// Conditional branch: taken when `a <op> b` holds (B-format opcode).
+    Br(Opcode, VReg, VReg, Label),
+    /// Branch when `src == 0` (`if_zero`) or `src != 0`.
+    Brz {
+        /// Tested register.
+        src: VReg,
+        /// Branch on zero (`beqz`) vs non-zero (`bnez`).
+        if_zero: bool,
+        /// Target label.
+        target: Label,
+    },
+    /// Binds parameter `index` (0-based, arriving in `a<index>`) to a vreg.
+    /// Only appears as a prefix of the instruction list.
+    Param(VReg, u8),
+    /// Call `func` with `args`; result (if any) lands in `dst`.
+    Call {
+        /// Result vreg for `int` functions.
+        dst: Option<VReg>,
+        /// Callee name (unmangled).
+        func: String,
+        /// Argument vregs, in order.
+        args: Vec<VReg>,
+    },
+    /// Return, with the value for `int` functions.
+    Ret(Option<VReg>),
+    /// `dst = sensor word at channel idx` (dynamic channel).
+    Sensor(VReg, VReg),
+    /// `dst = sensor word at constant channel`.
+    SensorImm(VReg, i32),
+    /// Publish `value` to dynamic output slot `slot`.
+    Publish {
+        /// Slot vreg (word index into the output block).
+        slot: VReg,
+        /// Published value.
+        value: VReg,
+    },
+    /// Publish `value` to a constant output slot.
+    PublishImm(i32, VReg),
+    /// Fold `src` into the MISR signature CSR.
+    Misr(VReg),
+}
+
+impl Inst {
+    /// The vreg this instruction defines, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match *self {
+            Inst::Li(d, _)
+            | Inst::Copy(d, _)
+            | Inst::Bin(_, d, _, _)
+            | Inst::BinImm(_, d, _, _)
+            | Inst::Neg(d, _)
+            | Inst::Not(d, _)
+            | Inst::IsNonZero(d, _)
+            | Inst::LoadGlobal(d, _)
+            | Inst::LoadIdx(d, _, _)
+            | Inst::Param(d, _)
+            | Inst::Sensor(d, _)
+            | Inst::SensorImm(d, _) => Some(d),
+            Inst::Call { dst, .. } => dst,
+            _ => None,
+        }
+    }
+
+    /// Visits every vreg this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(VReg)) {
+        match self {
+            Inst::Copy(_, s)
+            | Inst::Neg(_, s)
+            | Inst::Not(_, s)
+            | Inst::IsNonZero(_, s)
+            | Inst::BinImm(_, _, s, _)
+            | Inst::StoreGlobal(_, s)
+            | Inst::Brz { src: s, .. }
+            | Inst::Sensor(_, s)
+            | Inst::PublishImm(_, s)
+            | Inst::Misr(s) => f(*s),
+            Inst::Bin(_, _, a, b) | Inst::Br(_, a, b, _) => {
+                f(*a);
+                f(*b);
+            }
+            Inst::LoadIdx(_, _, idx) => f(*idx),
+            Inst::StoreIdx(_, idx, v) | Inst::Publish { slot: idx, value: v } => {
+                f(*idx);
+                f(*v);
+            }
+            Inst::Call { args, .. } => {
+                for &a in args {
+                    f(a);
+                }
+            }
+            Inst::Ret(Some(v)) => f(*v),
+            Inst::Li(..)
+            | Inst::LoadGlobal(..)
+            | Inst::Label(_)
+            | Inst::Jump(_)
+            | Inst::Param(..)
+            | Inst::Ret(None)
+            | Inst::SensorImm(..) => {}
+        }
+    }
+}
+
+/// One lowered function.
+#[derive(Debug, Clone)]
+pub struct IrFunction {
+    /// Source name (unmangled).
+    pub name: String,
+    /// Number of parameters (bound by the leading [`Inst::Param`] prefix).
+    pub num_params: usize,
+    /// Linear instruction list.
+    pub insts: Vec<Inst>,
+    /// Number of vregs used (indices `0..num_vregs`).
+    pub num_vregs: u32,
+    /// Number of labels used.
+    pub num_labels: u32,
+}
+
+/// A lowered program: IR functions plus the original global definitions
+/// (emission lays globals out as data after the code).
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    /// Global definitions in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order.
+    pub functions: Vec<IrFunction>,
+}
+
+/// Lowers a checked program.
+///
+/// # Panics
+///
+/// Panics on programs that would not pass [`crate::typeck::check`].
+pub fn lower(program: &Program) -> IrProgram {
+    let functions = program.functions.iter().map(|f| lower_function(f, program)).collect();
+    IrProgram { globals: program.globals.clone(), functions }
+}
+
+fn lower_function(f: &Function, program: &Program) -> IrFunction {
+    let mut lw = Lowerer {
+        program,
+        insts: Vec::new(),
+        next_vreg: 0,
+        next_label: 0,
+        scopes: vec![HashMap::new()],
+        loops: Vec::new(),
+        returns_value: f.returns_value,
+    };
+    for (i, p) in f.params.iter().enumerate() {
+        let v = lw.fresh();
+        lw.insts.push(Inst::Param(v, i as u8));
+        lw.scopes[0].insert(p.clone(), v);
+    }
+    lw.block(&f.body);
+    // Fall-off-the-end return; `int` functions yield 0 on this path.
+    if f.returns_value {
+        let v = lw.fresh();
+        lw.insts.push(Inst::Li(v, 0));
+        lw.insts.push(Inst::Ret(Some(v)));
+    } else {
+        lw.insts.push(Inst::Ret(None));
+    }
+    IrFunction {
+        name: f.name.clone(),
+        num_params: f.params.len(),
+        insts: lw.insts,
+        num_vregs: lw.next_vreg,
+        num_labels: lw.next_label,
+    }
+}
+
+struct LoopLabels {
+    break_to: Label,
+    continue_to: Label,
+}
+
+struct Lowerer<'a> {
+    program: &'a Program,
+    insts: Vec<Inst>,
+    next_vreg: u32,
+    next_label: u32,
+    /// Innermost scope last, mapping local names to their vreg.
+    scopes: Vec<HashMap<String, VReg>>,
+    loops: Vec<LoopLabels>,
+    returns_value: bool,
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh(&mut self) -> VReg {
+        self.next_vreg += 1;
+        self.next_vreg - 1
+    }
+
+    fn label(&mut self) -> Label {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    fn place(&mut self, l: Label) {
+        self.insts.push(Inst::Label(l));
+    }
+
+    /// The vreg of a local, or `None` for globals.
+    fn local(&self, name: &str) -> Option<VReg> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn is_global_scalar(&self, name: &str) -> bool {
+        self.program.globals.iter().any(|g| g.name == name && !g.is_array)
+    }
+
+    // -- statements ----------------------------------------------------
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, init, .. } => {
+                let v = self.expr(init);
+                // Copy into a dedicated vreg so later re-assignments don't
+                // overwrite whatever shared temp `init` landed in.
+                let slot = self.fresh();
+                self.insts.push(Inst::Copy(slot, v));
+                self.scopes.last_mut().expect("scope stack never empty").insert(name.clone(), slot);
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.expr(value);
+                match self.local(name) {
+                    Some(slot) => self.insts.push(Inst::Copy(slot, v)),
+                    None => {
+                        assert!(self.is_global_scalar(name), "typeck admitted `{name}`");
+                        self.insts.push(Inst::StoreGlobal(name.clone(), v));
+                    }
+                }
+            }
+            Stmt::Store { name, index, value, .. } => {
+                let idx = self.expr(index);
+                let val = self.expr(value);
+                self.insts.push(Inst::StoreIdx(name.clone(), idx, val));
+            }
+            Stmt::If { cond, then, otherwise } => {
+                let else_l = self.label();
+                self.branch_if_false(cond, else_l);
+                self.block(then);
+                if otherwise.is_empty() {
+                    self.place(else_l);
+                } else {
+                    let end = self.label();
+                    self.insts.push(Inst::Jump(end));
+                    self.place(else_l);
+                    self.block(otherwise);
+                    self.place(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.label();
+                let end = self.label();
+                self.place(head);
+                self.branch_if_false(cond, end);
+                self.loops.push(LoopLabels { break_to: end, continue_to: head });
+                self.block(body);
+                self.loops.pop();
+                self.insts.push(Inst::Jump(head));
+                self.place(end);
+            }
+            Stmt::For { init, cond, step, body } => {
+                // `continue` targets the step clause, not the head.
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let head = self.label();
+                let cont = self.label();
+                let end = self.label();
+                self.place(head);
+                if let Some(c) = cond {
+                    self.branch_if_false(c, end);
+                }
+                self.loops.push(LoopLabels { break_to: end, continue_to: cont });
+                self.block(body);
+                self.loops.pop();
+                self.place(cont);
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.insts.push(Inst::Jump(head));
+                self.place(end);
+                self.scopes.pop();
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.expr(e));
+                assert_eq!(v.is_some(), self.returns_value, "typeck admitted return arity");
+                self.insts.push(Inst::Ret(v));
+            }
+            Stmt::Break { .. } => {
+                let target = self.loops.last().expect("typeck admitted break").break_to;
+                self.insts.push(Inst::Jump(target));
+            }
+            Stmt::Continue { .. } => {
+                let target = self.loops.last().expect("typeck admitted continue").continue_to;
+                self.insts.push(Inst::Jump(target));
+            }
+            Stmt::ExprStmt(e) => {
+                if let ExprKind::Call(name, args) = &e.kind {
+                    self.call(name, args, false);
+                } else {
+                    self.expr(e);
+                }
+            }
+        }
+    }
+
+    // -- conditions ----------------------------------------------------
+
+    /// Branch opcode for `a <op> b`, and whether operands swap.
+    fn branch_op(op: BinOp, negate: bool) -> Option<(Opcode, bool)> {
+        // (taken-when-true, swapped)   |   negation
+        Some(match (op, negate) {
+            (BinOp::Lt, false) => (Opcode::Blt, false),
+            (BinOp::Lt, true) => (Opcode::Bge, false),
+            (BinOp::Ge, false) => (Opcode::Bge, false),
+            (BinOp::Ge, true) => (Opcode::Blt, false),
+            (BinOp::Gt, false) => (Opcode::Blt, true),
+            (BinOp::Gt, true) => (Opcode::Bge, true),
+            (BinOp::Le, false) => (Opcode::Bge, true),
+            (BinOp::Le, true) => (Opcode::Blt, true),
+            (BinOp::Eq, false) => (Opcode::Beq, false),
+            (BinOp::Eq, true) => (Opcode::Bne, false),
+            (BinOp::Ne, false) => (Opcode::Bne, false),
+            (BinOp::Ne, true) => (Opcode::Beq, false),
+            _ => return None,
+        })
+    }
+
+    fn branch_if_false(&mut self, cond: &Expr, target: Label) {
+        if let Some(c) = const_eval(cond) {
+            if c == 0 {
+                self.insts.push(Inst::Jump(target));
+            }
+            return;
+        }
+        match &cond.kind {
+            ExprKind::Bin(op, a, b) => {
+                if let Some((bop, swap)) = Self::branch_op(*op, true) {
+                    let (va, vb) = (self.expr(a), self.expr(b));
+                    let (va, vb) = if swap { (vb, va) } else { (va, vb) };
+                    self.insts.push(Inst::Br(bop, va, vb, target));
+                    return;
+                }
+                let v = self.expr(cond);
+                self.insts.push(Inst::Brz { src: v, if_zero: true, target });
+            }
+            ExprKind::LogicAnd(a, b) => {
+                self.branch_if_false(a, target);
+                self.branch_if_false(b, target);
+            }
+            ExprKind::LogicOr(a, b) => {
+                let taken = self.label();
+                self.branch_if_true(a, taken);
+                self.branch_if_false(b, target);
+                self.place(taken);
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_if_true(inner, target),
+            _ => {
+                let v = self.expr(cond);
+                self.insts.push(Inst::Brz { src: v, if_zero: true, target });
+            }
+        }
+    }
+
+    fn branch_if_true(&mut self, cond: &Expr, target: Label) {
+        if let Some(c) = const_eval(cond) {
+            if c != 0 {
+                self.insts.push(Inst::Jump(target));
+            }
+            return;
+        }
+        match &cond.kind {
+            ExprKind::Bin(op, a, b) => {
+                if let Some((bop, swap)) = Self::branch_op(*op, false) {
+                    let (va, vb) = (self.expr(a), self.expr(b));
+                    let (va, vb) = if swap { (vb, va) } else { (va, vb) };
+                    self.insts.push(Inst::Br(bop, va, vb, target));
+                    return;
+                }
+                let v = self.expr(cond);
+                self.insts.push(Inst::Brz { src: v, if_zero: false, target });
+            }
+            ExprKind::LogicOr(a, b) => {
+                self.branch_if_true(a, target);
+                self.branch_if_true(b, target);
+            }
+            ExprKind::LogicAnd(a, b) => {
+                let skip = self.label();
+                self.branch_if_false(a, skip);
+                self.branch_if_true(b, target);
+                self.place(skip);
+            }
+            ExprKind::Un(UnOp::Not, inner) => self.branch_if_false(inner, target),
+            _ => {
+                let v = self.expr(cond);
+                self.insts.push(Inst::Brz { src: v, if_zero: false, target });
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> VReg {
+        if let Some(c) = const_eval(e) {
+            let d = self.fresh();
+            self.insts.push(Inst::Li(d, c));
+            return d;
+        }
+        match &e.kind {
+            ExprKind::Int(_) => unreachable!("constants folded above"),
+            ExprKind::Var(name) => match self.local(name) {
+                Some(v) => v,
+                None => {
+                    let d = self.fresh();
+                    self.insts.push(Inst::LoadGlobal(d, name.clone()));
+                    d
+                }
+            },
+            ExprKind::Index(name, idx) => {
+                let vi = self.expr(idx);
+                let d = self.fresh();
+                self.insts.push(Inst::LoadIdx(d, name.clone(), vi));
+                d
+            }
+            ExprKind::Bin(op, a, b) => self.bin(*op, a, b),
+            ExprKind::Un(op, a) => {
+                let s = self.expr(a);
+                let d = self.fresh();
+                self.insts.push(match op {
+                    UnOp::Neg => Inst::Neg(d, s),
+                    UnOp::Comp => Inst::Not(d, s),
+                    // !x == (x <u 1)
+                    UnOp::Not => Inst::BinImm(Opcode::Sltiu, d, s, 1),
+                });
+                d
+            }
+            ExprKind::LogicAnd(a, b) => {
+                // d = a ? (b != 0) : 0
+                let d = self.fresh();
+                let end = self.label();
+                self.insts.push(Inst::Li(d, 0));
+                self.branch_if_false(a, end);
+                let vb = self.expr(b);
+                self.insts.push(Inst::IsNonZero(d, vb));
+                self.place(end);
+                d
+            }
+            ExprKind::LogicOr(a, b) => {
+                let d = self.fresh();
+                let end = self.label();
+                self.insts.push(Inst::Li(d, 1));
+                self.branch_if_true(a, end);
+                let vb = self.expr(b);
+                self.insts.push(Inst::IsNonZero(d, vb));
+                self.place(end);
+                d
+            }
+            ExprKind::Call(name, args) => {
+                self.call(name, args, true).expect("typeck admitted value call")
+            }
+        }
+    }
+
+    /// Lowers a call or intrinsic; returns the result vreg when
+    /// `want_value` (always `Some` then).
+    fn call(&mut self, name: &str, args: &[Expr], want_value: bool) -> Option<VReg> {
+        match name {
+            "sensor" => {
+                let d = self.fresh();
+                match const_eval(&args[0]) {
+                    Some(ch) => self.insts.push(Inst::SensorImm(d, ch)),
+                    None => {
+                        let c = self.expr(&args[0]);
+                        self.insts.push(Inst::Sensor(d, c));
+                    }
+                }
+                Some(d)
+            }
+            "publish" => {
+                // Publish order is architectural (the output checksum is
+                // order-sensitive), so evaluate slot then value, always.
+                match const_eval(&args[0]) {
+                    // Keep the immediate form within the sw offset range.
+                    Some(slot) if (0..=0x1FFF).contains(&slot) => {
+                        let v = self.expr(&args[1]);
+                        self.insts.push(Inst::PublishImm(slot, v));
+                    }
+                    _ => {
+                        let s = self.expr(&args[0]);
+                        let v = self.expr(&args[1]);
+                        self.insts.push(Inst::Publish { slot: s, value: v });
+                    }
+                }
+                None
+            }
+            "misr" => {
+                let v = self.expr(&args[0]);
+                self.insts.push(Inst::Misr(v));
+                None
+            }
+            _ => {
+                let vargs: Vec<VReg> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = want_value.then(|| self.fresh());
+                self.insts.push(Inst::Call { dst, func: name.to_owned(), args: vargs });
+                dst
+            }
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> VReg {
+        // Immediate forms when the right operand is constant (or the left,
+        // for commutative ops). Comparisons are lowered to slt/sltu
+        // sequences below.
+        let ca = const_eval(a);
+        let cb = const_eval(b);
+        let commutes = matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor);
+        let (x, imm) = match (ca, cb) {
+            (_, Some(c)) => (a, Some(c)),
+            (Some(c), None) if commutes => (b, Some(c)),
+            _ => (a, None),
+        };
+        if let Some(c) = imm {
+            if let Some(iop) = imm_op(op, c) {
+                let vx = self.expr(x);
+                let d = self.fresh();
+                self.insts.push(Inst::BinImm(iop, d, vx, imm_value(op, c)));
+                return d;
+            }
+        }
+
+        let va = self.expr(a);
+        let vb = self.expr(b);
+        let d = self.fresh();
+        match op {
+            BinOp::Add => self.insts.push(Inst::Bin(Opcode::Add, d, va, vb)),
+            BinOp::Sub => self.insts.push(Inst::Bin(Opcode::Sub, d, va, vb)),
+            BinOp::Mul => self.insts.push(Inst::Bin(Opcode::Mul, d, va, vb)),
+            BinOp::Div => self.insts.push(Inst::Bin(Opcode::Div, d, va, vb)),
+            BinOp::Rem => self.insts.push(Inst::Bin(Opcode::Rem, d, va, vb)),
+            BinOp::Shl => self.insts.push(Inst::Bin(Opcode::Sll, d, va, vb)),
+            BinOp::Shr => self.insts.push(Inst::Bin(Opcode::Sra, d, va, vb)),
+            BinOp::And => self.insts.push(Inst::Bin(Opcode::And, d, va, vb)),
+            BinOp::Or => self.insts.push(Inst::Bin(Opcode::Or, d, va, vb)),
+            BinOp::Xor => self.insts.push(Inst::Bin(Opcode::Xor, d, va, vb)),
+            BinOp::Lt => self.insts.push(Inst::Bin(Opcode::Slt, d, va, vb)),
+            BinOp::Gt => self.insts.push(Inst::Bin(Opcode::Slt, d, vb, va)),
+            BinOp::Le => {
+                self.insts.push(Inst::Bin(Opcode::Slt, d, vb, va));
+                self.insts.push(Inst::BinImm(Opcode::Xori, d, d, 1));
+            }
+            BinOp::Ge => {
+                self.insts.push(Inst::Bin(Opcode::Slt, d, va, vb));
+                self.insts.push(Inst::BinImm(Opcode::Xori, d, d, 1));
+            }
+            BinOp::Eq => {
+                self.insts.push(Inst::Bin(Opcode::Sub, d, va, vb));
+                self.insts.push(Inst::BinImm(Opcode::Sltiu, d, d, 1));
+            }
+            BinOp::Ne => {
+                self.insts.push(Inst::Bin(Opcode::Sub, d, va, vb));
+                self.insts.push(Inst::IsNonZero(d, d));
+            }
+        }
+        d
+    }
+}
+
+/// Immediate-form opcode for `x <op> c`, when `c` is in the opcode's
+/// legal range (`andi`/`ori`/`xori` take unsigned 16-bit immediates;
+/// `addi`/`slti` signed; shifts 0..=31).
+fn imm_op(op: BinOp, c: i32) -> Option<Opcode> {
+    let s16 = (-32768..=32767).contains(&c);
+    let u16r = (0..=0xFFFF).contains(&c);
+    match op {
+        BinOp::Add if s16 => Some(Opcode::Addi),
+        BinOp::Sub if (-32767..=32768).contains(&c) => Some(Opcode::Addi),
+        BinOp::And if u16r => Some(Opcode::Andi),
+        BinOp::Or if u16r => Some(Opcode::Ori),
+        BinOp::Xor if u16r => Some(Opcode::Xori),
+        BinOp::Shl if (0..=31).contains(&c) => Some(Opcode::Slli),
+        BinOp::Shr if (0..=31).contains(&c) => Some(Opcode::Srai),
+        BinOp::Lt if s16 => Some(Opcode::Slti),
+        _ => None,
+    }
+}
+
+/// The immediate actually encoded for [`imm_op`]'s opcode (negated for
+/// subtraction-as-`addi`).
+fn imm_value(op: BinOp, c: i32) -> i32 {
+    if op == BinOp::Sub {
+        -c
+    } else {
+        c
+    }
+}
+
+/// Evaluates a constant integer expression with LC (wrapping 32-bit)
+/// semantics; `None` when not constant.
+pub fn const_eval(e: &Expr) -> Option<i32> {
+    Some(match &e.kind {
+        ExprKind::Int(v) => *v as i32,
+        ExprKind::Un(op, a) => {
+            let a = const_eval(a)?;
+            match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => i32::from(a == 0),
+                UnOp::Comp => !a,
+            }
+        }
+        ExprKind::Bin(op, a, b) => {
+            let a = const_eval(a)?;
+            let b = const_eval(b)?;
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                // Division folding follows the machine: /0 => -1, %0 => a,
+                // overflow wraps. Matches LR5 div/rem semantics.
+                BinOp::Div if b == 0 => -1,
+                BinOp::Div => a.wrapping_div(b),
+                BinOp::Rem if b == 0 => a,
+                BinOp::Rem => a.wrapping_rem(b),
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Lt => i32::from(a < b),
+                BinOp::Le => i32::from(a <= b),
+                BinOp::Gt => i32::from(a > b),
+                BinOp::Ge => i32::from(a >= b),
+                BinOp::Eq => i32::from(a == b),
+                BinOp::Ne => i32::from(a != b),
+            }
+        }
+        ExprKind::LogicAnd(a, b) => {
+            let a = const_eval(a)?;
+            if a == 0 {
+                0
+            } else {
+                i32::from(const_eval(b)? != 0)
+            }
+        }
+        ExprKind::LogicOr(a, b) => {
+            let a = const_eval(a)?;
+            if a != 0 {
+                1
+            } else {
+                i32::from(const_eval(b)? != 0)
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> IrProgram {
+        let ast = parse(src).unwrap();
+        crate::typeck::check(&ast).unwrap();
+        lower(&ast)
+    }
+
+    #[test]
+    fn constants_fold() {
+        let src = "void main() { misr(2 + 3 * 4); }";
+        let ir = lower_src(src);
+        let insts = &ir.functions[0].insts;
+        assert!(insts.iter().any(|i| matches!(i, Inst::Li(_, 14))));
+        assert!(!insts.iter().any(|i| matches!(i, Inst::Bin(Opcode::Mul, ..))));
+    }
+
+    #[test]
+    fn division_folding_matches_machine() {
+        let min = Expr { kind: ExprKind::Int(i64::from(i32::MIN)), line: 1 };
+        let m1 = Expr { kind: ExprKind::Int(-1), line: 1 };
+        let overflow =
+            Expr { kind: ExprKind::Bin(BinOp::Div, Box::new(min.clone()), Box::new(m1)), line: 1 };
+        assert_eq!(const_eval(&overflow), Some(i32::MIN));
+        let zero = Expr { kind: ExprKind::Int(0), line: 1 };
+        let by_zero =
+            Expr { kind: ExprKind::Bin(BinOp::Div, Box::new(min), Box::new(zero)), line: 1 };
+        assert_eq!(const_eval(&by_zero), Some(-1));
+    }
+
+    #[test]
+    fn immediate_forms_selected() {
+        let ir = lower_src("void main() { int x = sensor(0); misr(x & 0x3FFF); misr(x + 1); }");
+        let insts = &ir.functions[0].insts;
+        assert!(insts.iter().any(|i| matches!(i, Inst::BinImm(Opcode::Andi, _, _, 0x3FFF))));
+        assert!(insts.iter().any(|i| matches!(i, Inst::BinImm(Opcode::Addi, _, _, 1))));
+    }
+
+    #[test]
+    fn negative_mask_uses_register_form() {
+        // -2 is outside andi's unsigned16 range: must not become an imm.
+        let ir = lower_src("void main() { misr(sensor(0) & -2); }");
+        let insts = &ir.functions[0].insts;
+        assert!(!insts.iter().any(|i| matches!(i, Inst::BinImm(Opcode::Andi, ..))));
+        assert!(insts.iter().any(|i| matches!(i, Inst::Bin(Opcode::And, ..))));
+    }
+
+    #[test]
+    fn comparisons_in_conditions_become_branches() {
+        let ir = lower_src("void main() { int x = sensor(0); if (x < 3) { misr(1); } }");
+        let insts = &ir.functions[0].insts;
+        // `if (x < 3)` branches on the *inverse* (bge) to the else label.
+        assert!(insts.iter().any(|i| matches!(i, Inst::Br(Opcode::Bge, ..))));
+        assert!(!insts.iter().any(|i| matches!(i, Inst::Bin(Opcode::Slt, ..))));
+    }
+
+    #[test]
+    fn for_continue_targets_the_step() {
+        let ir = lower_src(
+            "void main() { for (int i = 0; i < 4; i = i + 1) { if (i == 2) { continue; } misr(i); } }",
+        );
+        let insts = &ir.functions[0].insts;
+        // Continue lowers to a jump to the dedicated `cont` label, which
+        // must precede the step's addi and the back-jump.
+        let jumps: Vec<_> = insts.iter().filter(|i| matches!(i, Inst::Jump(_))).collect();
+        assert!(jumps.len() >= 2, "continue + back-edge jumps expected");
+    }
+
+    #[test]
+    fn sensor_constant_channel_is_immediate() {
+        let ir = lower_src("void main() { misr(sensor(5)); }");
+        assert!(ir.functions[0].insts.iter().any(|i| matches!(i, Inst::SensorImm(_, 5))));
+    }
+
+    #[test]
+    fn publish_evaluates_in_architectural_order() {
+        let ir = lower_src("void main() { publish(2, sensor(1)); }");
+        let insts = &ir.functions[0].insts;
+        assert!(insts.iter().any(|i| matches!(i, Inst::PublishImm(2, _))));
+    }
+
+    #[test]
+    fn def_use_cover_all_operands() {
+        let i = Inst::StoreIdx("g".into(), 3, 4);
+        let mut uses = Vec::new();
+        i.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![3, 4]);
+        assert_eq!(i.def(), None);
+        let c = Inst::Call { dst: Some(9), func: "f".into(), args: vec![1, 2] };
+        let mut uses = Vec::new();
+        c.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![1, 2]);
+        assert_eq!(c.def(), Some(9));
+    }
+}

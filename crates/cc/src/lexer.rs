@@ -1,0 +1,166 @@
+//! LC lexer: source text to a token stream with line numbers.
+
+use std::fmt;
+
+use crate::CcError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal (decimal or `0x` hexadecimal), value as `i64` so
+    /// `0xFFFFFFFF` survives until constant folding wraps it to `i32`.
+    Int(i64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation / operator, by its source spelling (`"<<"`, `"&&"`, …).
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based), for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so `>>` wins over `>`.
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "&", "|",
+    "^", "!", "~", "=", ";", ",", "(", ")", "{", "}", "[", "]",
+];
+
+/// Tokenizes LC source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`CcError`] on characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CcError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let text = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        'scan: while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                let (radix, digits_from) =
+                    if text[i..].starts_with("0x") || text[i..].starts_with("0X") {
+                        (16, i + 2)
+                    } else {
+                        (10, i)
+                    };
+                i = digits_from;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let digits = &text[digits_from..i];
+                let v = i64::from_str_radix(digits, radix).map_err(|_| {
+                    CcError::new(line, format!("bad integer `{}`", &text[start..i]))
+                })?;
+                if v > u32::MAX as i64 {
+                    return Err(CcError::new(line, format!("integer out of 32-bit range: {v}")));
+                }
+                out.push(Spanned { tok: Tok::Int(v), line });
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Ident(text[start..i].to_owned()), line });
+                continue;
+            }
+            for p in PUNCTS {
+                if text[i..].starts_with(p) {
+                    out.push(Spanned { tok: Tok::Punct(p), line });
+                    i += p.len();
+                    continue 'scan;
+                }
+            }
+            return Err(CcError::new(line, format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_basics() {
+        assert_eq!(
+            toks("int x = 0x1F + 2; // comment"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(0x1F),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_punct_wins() {
+        assert_eq!(
+            toks("a >> 1 >= b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(">>"),
+                Tok::Int(1),
+                Tok::Punct(">="),
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let s = lex("a\nb\n  c").unwrap();
+        assert_eq!(s.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn full_u32_hex_literal_is_accepted() {
+        assert_eq!(toks("0xFFFFFFFF"), vec![Tok::Int(0xFFFF_FFFF)]);
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("99999999999999999999").is_err());
+        assert!(lex("4294967296").is_err(), "2^32 is out of range");
+    }
+}

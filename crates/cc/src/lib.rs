@@ -1,0 +1,335 @@
+//! `lockstep-cc` — a compiler from LC, a small C-like language, to LR5
+//! assembly.
+//!
+//! The campaign's prediction tables are only as good as the workload
+//! corpus they are trained on; hand-porting kernels to LR5 assembly
+//! caps how much control-flow and unit-utilization diversity the suite
+//! can grow. This crate provides the compiler front door: LC programs
+//! (32-bit ints, global arrays on scratch RAM, `if`/`while`/`for`,
+//! functions, and MMIO intrinsics for the sensor/output blocks) compile
+//! to the same assembly surface the hand-written kernels use, so every
+//! downstream consumer — golden capture, fault injection, the ISS
+//! differential oracle — works on compiled kernels unchanged.
+//!
+//! The pipeline is the classic pass sequence, one module each:
+//!
+//! | pass | module | output |
+//! |------|--------|--------|
+//! | lex | [`lexer`] | token stream |
+//! | parse | [`parser`] | [`ast::Program`] |
+//! | check | [`typeck`] | scoping/arity/usage validation |
+//! | lower | [`ir`] | linear IR over virtual registers |
+//! | allocate | [`regalloc`] | linear-scan over the LR5 file |
+//! | emit | [`emit`] | LR5 assembly text |
+//!
+//! Correctness argument: the compiler is *not* trusted. Every compiled
+//! kernel is run on the LR5 pipeline, the LR7 out-of-order core, and the
+//! `lockstep-iss` instruction-set simulator, and the retired-effect
+//! streams must agree (see DESIGN.md §14); randomized LC programs go
+//! through the same differential harness in the fuzz workflow.
+//!
+//! # Example
+//!
+//! ```
+//! let asm = lockstep_cc::compile(
+//!     "void main() { publish(0, sensor(0) + 1); }",
+//! ).unwrap();
+//! let program = lockstep_asm::assemble(&asm).unwrap();
+//! assert!(program.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod emit;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod regalloc;
+pub mod typeck;
+
+use std::fmt;
+
+/// The compiler's version, recorded as provenance in campaign archives.
+pub const COMPILER_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A compile error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcError {
+    /// 1-based source line the error was detected on.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CcError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, msg: impl Into<String>) -> Self {
+        CcError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Compiles LC source text to LR5 assembly.
+///
+/// The output assembles with [`lockstep_asm::assemble`] and follows the
+/// LC runtime convention (see [`emit`]).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic [`CcError`].
+pub fn compile(source: &str) -> Result<String, CcError> {
+    let ast = parser::parse(source)?;
+    typeck::check(&ast)?;
+    Ok(emit::emit(&ir::lower(&ast)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_cpu::{CoreModel, Cpu, Lr7, PortSet};
+    use lockstep_mem::{Memory, MemoryPort};
+
+    /// Assembles and runs compiled LC on core `C`, returning
+    /// `(halted, cycles, instret, output_checksum, output_count, misr)`.
+    fn run_on<C: CoreModel>(asm: &str, seed: u64, max_cycles: u64) -> (bool, u64, u64, u32, usize) {
+        let program = lockstep_asm::assemble(asm).expect("compiled asm assembles");
+        let mut mem = Memory::new(64 * 1024, seed);
+        mem.load_image(&program.to_bytes(64 * 1024));
+        let mut core = C::new(0);
+        let mut ports = PortSet::new();
+        let mut halted = false;
+        let mut cycles = 0;
+        for _ in 0..max_cycles {
+            cycles += 1;
+            if core.step(&mut mem, &mut ports).halted {
+                halted = true;
+                break;
+            }
+        }
+        (
+            halted,
+            cycles,
+            C::arch_instret(core.state()),
+            mem.output_checksum(),
+            mem.output_log().len(),
+        )
+    }
+
+    fn compile_ok(src: &str) -> String {
+        compile(src).expect("program compiles")
+    }
+
+    #[test]
+    fn runtime_constants_match_the_memory_map() {
+        assert_eq!(emit::SENSOR_BASE, lockstep_mem::SENSOR_BASE);
+        assert_eq!(emit::OUTPUT_BASE, lockstep_mem::OUTPUT_BASE);
+    }
+
+    #[test]
+    fn hello_publish_runs_and_halts() {
+        let asm = compile_ok("void main() { publish(0, 41 + 1); }");
+        let (halted, _, _, checksum, outputs) = run_on::<Cpu>(&asm, 7, 50_000);
+        assert!(halted);
+        assert_eq!(outputs, 1);
+        assert_ne!(checksum, 0);
+    }
+
+    #[test]
+    fn arithmetic_agrees_with_host_semantics() {
+        // Each case publishes one value; the published word is read back.
+        let cases: &[(&str, u32)] = &[
+            ("7 / 2", 3),
+            ("-7 / 2", (-3i32) as u32),
+            ("-7 % 2", (-1i32) as u32),
+            ("(0 - 8) >> 1", (-4i32) as u32),
+            ("(1 << 31) >> 31", u32::MAX),
+            ("~0", u32::MAX),
+            ("!5", 0),
+            ("!0", 1),
+            ("5 & 3", 1),
+            ("5 | 2", 7),
+            ("5 ^ 1", 4),
+            ("3 * -4", (-12i32) as u32),
+            ("(2 < 3) + (3 < 2)", 1),
+            ("(-1 < 0) + (2 <= 2) + (4 > 5)", 2),
+            ("(1 == 1) + (1 != 1)", 1),
+            ("(1 && 2) + (0 || 3)", 2),
+            ("(0 && 2) + (0 || 0)", 0),
+        ];
+        for (expr, want) in cases {
+            // Pipe through a sensor-dependent opaque zero so the constant
+            // folder cannot precompute the whole expression. (Two sensor
+            // reads differ — the channel's read counter advances — so the
+            // zero comes from one read subtracted from itself.)
+            let src = format!(
+                "void main() {{ int s = sensor(0); int z = s - s; publish(0, ({expr}) + z); }}"
+            );
+            let asm = compile_ok(&src);
+            let program = lockstep_asm::assemble(&asm).unwrap();
+            let mut mem = Memory::new(64 * 1024, 7);
+            mem.load_image(&program.to_bytes(64 * 1024));
+            let mut core = Cpu::new(0);
+            let mut ports = PortSet::new();
+            for _ in 0..50_000 {
+                if core.step(&mut mem, &mut ports).halted {
+                    break;
+                }
+            }
+            let got = mem.read(lockstep_mem::OUTPUT_BASE).unwrap();
+            assert_eq!(got, *want, "`{expr}`");
+        }
+    }
+
+    #[test]
+    fn sensor_reads_are_opaque_but_deterministic() {
+        let asm = compile_ok("void main() { publish(0, sensor(3)); publish(1, sensor(3)); }");
+        let a = run_on::<Cpu>(&asm, 11, 50_000);
+        let b = run_on::<Cpu>(&asm, 11, 50_000);
+        assert_eq!(a, b, "same seed, same outputs");
+        let c = run_on::<Cpu>(&asm, 12, 50_000);
+        assert_ne!(a.3, c.3, "different seed, different checksum");
+    }
+
+    #[test]
+    fn control_flow_kitchen_sink() {
+        // Sum of odds below 20, with continue/break/for interplay:
+        // 1+3+...+19 = 100; loop breaks at i == 25 via the while guard.
+        let src = "void main() {\n\
+              int sum = 0;\n\
+              for (int i = 0; i < 100; i = i + 1) {\n\
+                if (i >= 20) { break; }\n\
+                if (i % 2 == 0) { continue; }\n\
+                sum = sum + i;\n\
+              }\n\
+              int n = 0;\n\
+              while (1) { n = n + 1; if (n == 5) { break; } }\n\
+              publish(0, sum);\n\
+              publish(1, n);\n\
+            }";
+        let asm = compile_ok(src);
+        let program = lockstep_asm::assemble(&asm).unwrap();
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&program.to_bytes(64 * 1024));
+        let mut core = Cpu::new(0);
+        let mut ports = PortSet::new();
+        for _ in 0..100_000 {
+            if core.step(&mut mem, &mut ports).halted {
+                break;
+            }
+        }
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE).unwrap(), 100);
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE + 4).unwrap(), 5);
+    }
+
+    #[test]
+    fn recursion_and_globals_work() {
+        // fib(10) = 55 computed recursively; a global counts the calls.
+        let src = "int calls;\n\
+            int fib(int n) {\n\
+              calls = calls + 1;\n\
+              if (n < 2) { return n; }\n\
+              return fib(n - 1) + fib(n - 2);\n\
+            }\n\
+            void main() { publish(0, fib(10)); publish(1, calls); }";
+        let asm = compile_ok(src);
+        let program = lockstep_asm::assemble(&asm).unwrap();
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&program.to_bytes(64 * 1024));
+        let mut core = Cpu::new(0);
+        let mut ports = PortSet::new();
+        let mut halted = false;
+        for _ in 0..500_000 {
+            if core.step(&mut mem, &mut ports).halted {
+                halted = true;
+                break;
+            }
+        }
+        assert!(halted);
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE).unwrap(), 55);
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE + 4).unwrap(), 177);
+    }
+
+    #[test]
+    fn eight_parameter_calls_spill_correctly() {
+        let src = "int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {\n\
+              return a + b + c + d + e + f + g + h;\n\
+            }\n\
+            void main() { publish(0, sum8(1, 2, 3, 4, 5, 6, 7, 8)); }";
+        let asm = compile_ok(src);
+        let program = lockstep_asm::assemble(&asm).unwrap();
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&program.to_bytes(64 * 1024));
+        let mut core = Cpu::new(0);
+        let mut ports = PortSet::new();
+        for _ in 0..50_000 {
+            if core.step(&mut mem, &mut ports).halted {
+                break;
+            }
+        }
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE).unwrap(), 36);
+    }
+
+    #[test]
+    fn register_pressure_forces_spills_and_stays_correct() {
+        // 18 simultaneously-live locals exceed the 15 allocatable
+        // registers; the sum still has to come out right.
+        let mut src = String::from("void main() {\n  int s = sensor(0);\n  int z = s - s;\n");
+        for i in 0..18 {
+            src.push_str(&format!("  int v{i} = z + {i};\n"));
+        }
+        src.push_str("  int sum = 0;\n");
+        for i in 0..18 {
+            src.push_str(&format!("  sum = sum + v{i};\n"));
+        }
+        src.push_str("  publish(0, sum);\n}\n");
+        let asm = compile_ok(&src);
+        let program = lockstep_asm::assemble(&asm).unwrap();
+        let mut mem = Memory::new(64 * 1024, 7);
+        mem.load_image(&program.to_bytes(64 * 1024));
+        let mut core = Cpu::new(0);
+        let mut ports = PortSet::new();
+        for _ in 0..50_000 {
+            if core.step(&mut mem, &mut ports).halted {
+                break;
+            }
+        }
+        assert_eq!(mem.read(lockstep_mem::OUTPUT_BASE).unwrap(), (0..18).sum::<u32>());
+    }
+
+    #[test]
+    fn lr5_and_lr7_agree_architecturally_on_compiled_code() {
+        let src = "int buf[32];\n\
+            void main() {\n\
+              for (int i = 0; i < 32; i = i + 1) { buf[i] = sensor(i % 4) % 97; }\n\
+              int best = 0;\n\
+              for (int i = 1; i < 32; i = i + 1) { if (buf[i] > buf[best]) { best = i; } }\n\
+              publish(0, best);\n\
+              publish(1, buf[best]);\n\
+              misr(buf[best]);\n\
+            }";
+        let asm = compile_ok(src);
+        let lr5 = run_on::<Cpu>(&asm, 9, 200_000);
+        let lr7 = run_on::<Lr7>(&asm, 9, 400_000);
+        assert!(lr5.0 && lr7.0, "both cores halt");
+        assert_eq!(lr5.2, lr7.2, "retired-instruction drift");
+        assert_eq!(lr5.3, lr7.3, "output-checksum drift");
+        assert_eq!(lr5.4, lr7.4, "output-count drift");
+    }
+
+    #[test]
+    fn errors_carry_useful_lines() {
+        let err = compile("void main() {\n  x = 1;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        assert!(compile("").unwrap_err().msg.contains("main"));
+    }
+}

@@ -1,0 +1,522 @@
+//! LC recursive-descent parser: token stream to [`Program`].
+//!
+//! Precedence (loosest to tightest): `||`, `&&`, `|`, `^`, `&`,
+//! `== !=`, `< <= > >=`, `<< >>`, `+ -`, `* / %`, unary `- ! ~`.
+
+use crate::ast::{BinOp, Expr, ExprKind, Function, Global, Program, Stmt, UnOp};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::CcError;
+
+/// Parses LC source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax [`CcError`].
+pub fn parse(source: &str) -> Result<Program, CcError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut globals = Vec::new();
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        let line = p.line();
+        let returns_value = match p.ident()?.as_str() {
+            "int" => true,
+            "void" => false,
+            other => {
+                return Err(CcError::new(
+                    line,
+                    format!("expected `int` or `void` at top level, found `{other}`"),
+                ))
+            }
+        };
+        let name = p.ident()?;
+        if p.eat("(") {
+            functions.push(p.function(name, returns_value, line)?);
+        } else {
+            if !returns_value {
+                return Err(CcError::new(line, "globals must be `int`"));
+            }
+            globals.push(p.global(name, line)?);
+        }
+    }
+    Ok(Program { globals, functions })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(1, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Result<Tok, CcError> {
+        let line = self.line();
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| CcError::new(line, "unexpected end of input"))?
+            .tok
+            .clone();
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consumes `p` if it is next.
+    fn eat(&mut self, p: &'static str) -> bool {
+        if self.peek() == Some(&Tok::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &'static str) -> Result<(), CcError> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(CcError::new(line, format!("expected `{p}`, found `{other}`"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CcError> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CcError::new(line, format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, CcError> {
+        let line = self.line();
+        let neg = self.eat("-");
+        match self.bump()? {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(CcError::new(line, format!("expected integer, found `{other}`"))),
+        }
+    }
+
+    fn peek_is_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    // -- items ---------------------------------------------------------
+
+    fn global(&mut self, name: String, line: u32) -> Result<Global, CcError> {
+        let mut g = Global { name, len: 1, init: 0, is_array: false, line };
+        if self.eat("[") {
+            let n = self.int_lit()?;
+            if !(1..=4096).contains(&n) {
+                return Err(CcError::new(line, format!("array length {n} out of range 1..=4096")));
+            }
+            g.len = n as u32;
+            g.is_array = true;
+            self.expect("]")?;
+        } else if self.eat("=") {
+            g.init = self.int_lit()?;
+        }
+        self.expect(";")?;
+        Ok(g)
+    }
+
+    fn function(
+        &mut self,
+        name: String,
+        returns_value: bool,
+        line: u32,
+    ) -> Result<Function, CcError> {
+        let mut params = Vec::new();
+        if !self.eat(")") {
+            loop {
+                let pline = self.line();
+                let kw = self.ident()?;
+                if kw != "int" {
+                    return Err(CcError::new(pline, "parameters must be `int`"));
+                }
+                params.push(self.ident()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        if params.len() > 8 {
+            return Err(CcError::new(line, "at most 8 parameters are supported"));
+        }
+        self.expect("{")?;
+        let body = self.block()?;
+        Ok(Function { name, params, returns_value, body, line })
+    }
+
+    // -- statements ----------------------------------------------------
+
+    /// Parses statements up to (and through) the closing `}`.
+    fn block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        let mut out = Vec::new();
+        while !self.eat("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        if self.eat("{") {
+            // A bare block: splice its statements through an `if (1)`.
+            return Ok(Stmt::If {
+                cond: Expr { kind: ExprKind::Int(1), line },
+                then: self.block()?,
+                otherwise: Vec::new(),
+            });
+        }
+        if self.peek_is_ident("int") {
+            self.pos += 1;
+            return self.decl_tail(line);
+        }
+        if self.peek_is_ident("if") {
+            self.pos += 1;
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then = self.stmt_as_block()?;
+            let otherwise = if self.peek_is_ident("else") {
+                self.pos += 1;
+                self.stmt_as_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, otherwise });
+        }
+        if self.peek_is_ident("while") {
+            self.pos += 1;
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            return Ok(Stmt::While { cond, body: self.stmt_as_block()? });
+        }
+        if self.peek_is_ident("for") {
+            self.pos += 1;
+            self.expect("(")?;
+            let init = if self.eat(";") {
+                None
+            } else {
+                let s = if self.peek_is_ident("int") {
+                    self.pos += 1;
+                    self.decl_tail(line)?
+                } else {
+                    self.assign_stmt()?
+                };
+                Some(Box::new(s))
+            };
+            let cond = if self.eat(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect(";")?;
+                Some(e)
+            };
+            let step = if self.eat(")") {
+                None
+            } else {
+                let s = self.assign_no_semi()?;
+                self.expect(")")?;
+                Some(Box::new(s))
+            };
+            return Ok(Stmt::For { init, cond, step, body: self.stmt_as_block()? });
+        }
+        if self.peek_is_ident("return") {
+            self.pos += 1;
+            let value = if self.eat(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect(";")?;
+                Some(e)
+            };
+            return Ok(Stmt::Return { value, line });
+        }
+        if self.peek_is_ident("break") {
+            self.pos += 1;
+            self.expect(";")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.peek_is_ident("continue") {
+            self.pos += 1;
+            self.expect(";")?;
+            return Ok(Stmt::Continue { line });
+        }
+        self.assign_stmt()
+    }
+
+    /// One statement, wrapped as a single-element block unless braced.
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        if self.eat("{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// The rest of `int name [= expr] ;` after the `int` keyword.
+    fn decl_tail(&mut self, line: u32) -> Result<Stmt, CcError> {
+        let name = self.ident()?;
+        let init = if self.eat("=") { self.expr()? } else { Expr { kind: ExprKind::Int(0), line } };
+        self.expect(";")?;
+        Ok(Stmt::Decl { name, init, line })
+    }
+
+    /// Assignment, array store, or expression statement, ending in `;`.
+    fn assign_stmt(&mut self) -> Result<Stmt, CcError> {
+        let s = self.assign_no_semi()?;
+        self.expect(";")?;
+        Ok(s)
+    }
+
+    /// As [`Parser::assign_stmt`] but without the trailing `;` (for
+    /// `for`-loop step clauses).
+    fn assign_no_semi(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        // Lookahead: `name =` / `name [` are assignments; anything else
+        // is an expression statement (a call, usually).
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            match self.toks.get(self.pos + 1).map(|t| &t.tok) {
+                Some(Tok::Punct("=")) => {
+                    self.pos += 2;
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { name, value, line });
+                }
+                // Could be a store (`a[i] = v`) or an indexed read in
+                // an expression statement; scan for `] =` at depth 0.
+                Some(Tok::Punct("[")) if self.lookahead_is_store() => {
+                    self.pos += 2;
+                    let index = self.expr()?;
+                    self.expect("]")?;
+                    self.expect("=")?;
+                    let value = self.expr()?;
+                    return Ok(Stmt::Store { name, index, value, line });
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::ExprStmt(self.expr()?))
+    }
+
+    /// `true` when the tokens ahead spell `name [ ... ] =`.
+    fn lookahead_is_store(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos + 1; // at `[`
+        while let Some(t) = self.toks.get(i) {
+            match &t.tok {
+                Tok::Punct("[") => depth += 1,
+                Tok::Punct("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("="));
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CcError> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, CcError> {
+        let mut lhs = self.logic_and()?;
+        while self.eat("||") {
+            let line = lhs.line;
+            let rhs = self.logic_and()?;
+            lhs = Expr { kind: ExprKind::LogicOr(Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, CcError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat("&&") {
+            let line = lhs.line;
+            let rhs = self.bit_or()?;
+            lhs = Expr { kind: ExprKind::LogicAnd(Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&'static str, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, CcError>,
+    ) -> Result<Expr, CcError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for &(p, op) in ops {
+                if self.eat(p) {
+                    let line = lhs.line;
+                    let rhs = next(self)?;
+                    lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("|", BinOp::Or)], Parser::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("^", BinOp::Xor)], Parser::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("&", BinOp::And)], Parser::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Parser::relational)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            Parser::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Parser::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Parser::multiplicative)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CcError> {
+        self.binary_level(&[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)], Parser::unary)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        let line = self.line();
+        for (p, op) in [("-", UnOp::Neg), ("!", UnOp::Not), ("~", UnOp::Comp)] {
+            if self.eat(p) {
+                let e = self.unary()?;
+                return Ok(Expr { kind: ExprKind::Un(op, Box::new(e)), line });
+            }
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CcError> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Int(v) => Ok(Expr { kind: ExprKind::Int(v), line }),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat("(") {
+                    let mut args = Vec::new();
+                    if !self.eat(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(")") {
+                                break;
+                            }
+                            self.expect(",")?;
+                        }
+                    }
+                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                } else if self.eat("[") {
+                    let idx = self.expr()?;
+                    self.expect("]")?;
+                    Ok(Expr { kind: ExprKind::Index(name, Box::new(idx)), line })
+                } else {
+                    Ok(Expr { kind: ExprKind::Var(name), line })
+                }
+            }
+            other => Err(CcError::new(line, format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let p = parse("int g = 5;\nint buf[16];\nvoid main() { g = g + 1; }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].init, 5);
+        assert!(p.globals[1].is_array);
+        assert_eq!(p.globals[1].len, 16);
+        assert_eq!(p.functions.len(), 1);
+        assert!(!p.functions[0].returns_value);
+    }
+
+    #[test]
+    fn precedence_binds_tighter_inward() {
+        let p = parse("void main() { int x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.functions[0].body[0] else { panic!() };
+        let ExprKind::Bin(BinOp::Add, _, rhs) = &init.kind else { panic!("add at top") };
+        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn for_loop_keeps_its_step() {
+        let p = parse("void main() { for (int i = 0; i < 4; i = i + 1) { continue; } }").unwrap();
+        let Stmt::For { init, cond, step, body } = &p.functions[0].body[0] else { panic!() };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+        assert!(matches!(body[0], Stmt::Continue { .. }));
+    }
+
+    #[test]
+    fn array_store_vs_indexed_read() {
+        let p = parse("int a[4]; void main() { a[1] = a[2] + 1; }").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn call_statements_parse() {
+        let p = parse("void main() { publish(0, sensor(1)); misr(7); }").unwrap();
+        assert_eq!(p.functions[0].body.len(), 2);
+        assert!(matches!(&p.functions[0].body[0], Stmt::ExprStmt(e)
+            if matches!(&e.kind, ExprKind::Call(n, _) if n == "publish")));
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let err = parse("void main() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("float main() {}").is_err());
+        assert!(parse("void main() { if x { } }").is_err());
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let p = parse("void main() { if (1) if (2) misr(1); else misr(2); }").unwrap();
+        let Stmt::If { then, otherwise, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(otherwise.is_empty(), "outer if has no else");
+        let Stmt::If { otherwise: inner_else, .. } = &then[0] else { panic!() };
+        assert_eq!(inner_else.len(), 1);
+    }
+}

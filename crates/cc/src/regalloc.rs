@@ -1,0 +1,277 @@
+//! Linear-scan register allocation over the LR5 register file.
+//!
+//! The allocatable file is split by the LC call convention:
+//!
+//! * caller-saved pool `t0`–`t4`: clobbered by calls, so only intervals
+//!   that do not cross a [`Inst::Call`] may live there;
+//! * callee-saved pool `s2`–`s11`: preserved across calls (the emitter
+//!   saves the used subset in the prologue);
+//! * `t5`/`t6` are never allocated — they are the emitter's scratch for
+//!   spilled operands and address arithmetic;
+//! * `a0`–`a7` are never allocated — arguments are staged into them at
+//!   each call site, so staging can never clobber a live value;
+//! * `zero`/`ra`/`sp` have their architectural roles, and `s0`/`s1` hold
+//!   the sensor/output block bases for the whole run (`gp`/`tp` are kept
+//!   free for ABI hygiene).
+//!
+//! Live intervals are computed on the linear instruction order and then
+//! extended across backward jumps to a fixpoint: any interval overlapping
+//! `[target, jump]` of a back-edge is extended to the jump. This is the
+//! standard conservative liveness for linear-scan over structured code.
+//! Intervals that do not fit the file are spilled to frame slots (no
+//! eviction; the emitter reloads through the scratch pair).
+
+use lockstep_isa::Reg;
+
+use crate::ir::{Inst, IrFunction, VReg};
+
+/// Caller-saved allocatable registers, preferred for call-free intervals.
+pub const CALLER_POOL: [Reg; 5] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4];
+
+/// Callee-saved allocatable registers, required for call-crossing
+/// intervals; the emitter saves the used subset.
+pub const CALLEE_POOL: [Reg; 10] =
+    [Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7, Reg::S8, Reg::S9, Reg::S10, Reg::S11];
+
+/// First emitter scratch register (operand reloads, computed values).
+pub const SCRATCH0: Reg = Reg::T5;
+
+/// Second emitter scratch register (address arithmetic, second operand).
+pub const SCRATCH1: Reg = Reg::T6;
+
+/// Where a vreg lives for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A machine register.
+    Reg(Reg),
+    /// Frame slot index (word offset `4 * slot` from `sp`).
+    Spill(u32),
+}
+
+/// Result of allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location per vreg (indexed by vreg; unused vregs hold an arbitrary
+    /// placeholder and are never queried by the emitter).
+    pub locs: Vec<Loc>,
+    /// Callee-saved registers handed out, in save order.
+    pub used_callee: Vec<Reg>,
+    /// Number of frame spill slots.
+    pub spill_slots: u32,
+}
+
+/// Allocates registers for `f`.
+pub fn allocate(f: &IrFunction) -> Allocation {
+    let n = f.num_vregs as usize;
+    let mut start = vec![usize::MAX; n];
+    let mut end = vec![0usize; n];
+    let mut label_pos = vec![0usize; f.num_labels as usize];
+    let mut call_pos = Vec::new();
+
+    for (pos, inst) in f.insts.iter().enumerate() {
+        let mut touch = |v: VReg| {
+            let v = v as usize;
+            start[v] = start[v].min(pos);
+            end[v] = end[v].max(pos);
+        };
+        if let Some(d) = inst.def() {
+            touch(d);
+        }
+        inst.for_each_use(&mut touch);
+        match inst {
+            Inst::Label(l) => label_pos[*l as usize] = pos,
+            Inst::Call { .. } => call_pos.push(pos),
+            _ => {}
+        }
+    }
+
+    // Backward edges (target precedes the jump).
+    let mut back_edges = Vec::new();
+    for (pos, inst) in f.insts.iter().enumerate() {
+        let target = match inst {
+            Inst::Jump(l) | Inst::Br(_, _, _, l) => Some(*l),
+            Inst::Brz { target, .. } => Some(*target),
+            _ => None,
+        };
+        if let Some(l) = target {
+            let lp = label_pos[l as usize];
+            if lp < pos {
+                back_edges.push((lp, pos));
+            }
+        }
+    }
+    // A value live anywhere in a loop body stays live for the whole loop:
+    // extend to fixpoint (extensions can cascade through nested loops).
+    loop {
+        let mut changed = false;
+        for &(lp, jp) in &back_edges {
+            for v in 0..n {
+                if start[v] <= jp && end[v] >= lp && end[v] < jp {
+                    end[v] = jp;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let crosses_call = |v: usize| call_pos.iter().any(|&p| start[v] < p && end[v] > p);
+
+    let mut order: Vec<usize> = (0..n).filter(|&v| start[v] != usize::MAX).collect();
+    order.sort_by_key(|&v| (start[v], end[v]));
+
+    // Pools as stacks; popping from the back hands out t0/s2 first.
+    let mut free_caller: Vec<Reg> = CALLER_POOL.iter().rev().copied().collect();
+    let mut free_callee: Vec<Reg> = CALLEE_POOL.iter().rev().copied().collect();
+    let mut active: Vec<(usize, usize)> = Vec::new(); // (end, vreg)
+    let mut locs = vec![Loc::Spill(0); n];
+    let mut used_callee = Vec::new();
+    let mut spill_slots = 0u32;
+
+    for &v in &order {
+        active.retain(|&(e, av)| {
+            if e < start[v] {
+                if let Loc::Reg(r) = locs[av] {
+                    if CALLER_POOL.contains(&r) {
+                        free_caller.push(r);
+                    } else {
+                        free_callee.push(r);
+                    }
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let reg = if crosses_call(v) {
+            free_callee.pop()
+        } else {
+            free_caller.pop().or_else(|| free_callee.pop())
+        };
+        match reg {
+            Some(r) => {
+                locs[v] = Loc::Reg(r);
+                if CALLEE_POOL.contains(&r) && !used_callee.contains(&r) {
+                    used_callee.push(r);
+                }
+                active.push((end[v], v));
+            }
+            None => {
+                locs[v] = Loc::Spill(spill_slots);
+                spill_slots += 1;
+            }
+        }
+    }
+
+    Allocation { locs, used_callee, spill_slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockstep_isa::Opcode;
+
+    fn func(insts: Vec<Inst>, num_vregs: u32, num_labels: u32) -> IrFunction {
+        IrFunction { name: "t".into(), num_params: 0, insts, num_vregs, num_labels }
+    }
+
+    #[test]
+    fn call_crossing_values_get_callee_saved_registers() {
+        // v0 defined before the call and used after it.
+        let f = func(
+            vec![
+                Inst::Li(0, 7),
+                Inst::Call { dst: Some(1), func: "g".into(), args: vec![] },
+                Inst::Bin(Opcode::Add, 2, 0, 1),
+                Inst::Misr(2),
+            ],
+            3,
+            0,
+        );
+        let a = allocate(&f);
+        let Loc::Reg(r0) = a.locs[0] else { panic!("v0 spilled") };
+        assert!(CALLEE_POOL.contains(&r0), "call-crossing v0 must be callee-saved, got {r0}");
+        assert!(a.used_callee.contains(&r0));
+        // v1 (call result) and v2 do not cross a call.
+        let Loc::Reg(r2) = a.locs[2] else { panic!("v2 spilled") };
+        assert!(CALLER_POOL.contains(&r2), "v2 should land in the caller pool");
+    }
+
+    #[test]
+    fn loop_back_edge_extends_lifetimes() {
+        // v0 is defined before the loop and used only at the loop head;
+        // v1 is defined and used inside the body. Without back-edge
+        // extension v0's interval would end before v1's def and they
+        // could share a register — which would corrupt v0 on the second
+        // iteration if v1 were written first. After extension both are
+        // live to the back-jump, so they must differ.
+        let f = func(
+            vec![
+                Inst::Li(0, 3),                                 // 0: v0 = 3
+                Inst::Label(0),                                 // 1: head
+                Inst::Brz { src: 0, if_zero: true, target: 1 }, // 2: uses v0
+                Inst::Li(1, 9),                                 // 3: v1 = 9
+                Inst::Misr(1),                                  // 4
+                Inst::Jump(0),                                  // 5: back edge
+                Inst::Label(1),                                 // 6
+                Inst::Ret(None),
+            ],
+            2,
+            2,
+        );
+        let a = allocate(&f);
+        let (Loc::Reg(r0), Loc::Reg(r1)) = (a.locs[0], a.locs[1]) else { panic!("spilled") };
+        assert_ne!(r0, r1, "loop-carried v0 must not share a register with v1");
+    }
+
+    #[test]
+    fn exhaustion_spills_instead_of_failing() {
+        // 20 simultaneously-live values exceed the 15 allocatable regs.
+        let mut insts: Vec<Inst> = (0..20).map(|v| Inst::Li(v, v as i32)).collect();
+        for v in 0..20 {
+            insts.push(Inst::Misr(v));
+        }
+        let f = func(insts, 20, 0);
+        let a = allocate(&f);
+        let spilled = a.locs.iter().filter(|l| matches!(l, Loc::Spill(_))).count();
+        assert_eq!(spilled, 20 - (CALLER_POOL.len() + CALLEE_POOL.len()));
+        assert_eq!(a.spill_slots as usize, spilled);
+        // Spill slots are distinct.
+        let mut slots: Vec<u32> = a
+            .locs
+            .iter()
+            .filter_map(|l| if let Loc::Spill(s) = l { Some(*s) } else { None })
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), spilled);
+    }
+
+    #[test]
+    fn registers_are_reused_after_expiry() {
+        let f = func(vec![Inst::Li(0, 1), Inst::Misr(0), Inst::Li(1, 2), Inst::Misr(1)], 2, 0);
+        let a = allocate(&f);
+        assert_eq!(a.locs[0], a.locs[1], "disjoint intervals should share t0");
+        assert_eq!(a.spill_slots, 0);
+        assert!(a.used_callee.is_empty());
+    }
+
+    #[test]
+    fn scratch_and_arg_registers_are_never_allocated() {
+        let insts: Vec<Inst> =
+            (0..15).map(|v| Inst::Li(v, 0)).chain((0..15).map(Inst::Misr)).collect();
+        let f = func(insts, 15, 0);
+        let a = allocate(&f);
+        for l in &a.locs {
+            if let Loc::Reg(r) = l {
+                assert!(*r != SCRATCH0 && *r != SCRATCH1, "scratch {r} allocated");
+                assert!(
+                    CALLER_POOL.contains(r) || CALLEE_POOL.contains(r),
+                    "{r} outside the allocatable pools"
+                );
+            }
+        }
+    }
+}

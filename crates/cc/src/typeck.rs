@@ -1,0 +1,328 @@
+//! LC semantic checks over the parsed AST.
+//!
+//! LC has one value type, so "type checking" here is the C-front-end
+//! residue that still matters: name resolution with lexical scoping,
+//! array-vs-scalar usage, call arity, intrinsic signatures, value-vs-void
+//! contexts, `break`/`continue` placement, and `return` arity. Lowering
+//! ([`crate::ir`]) assumes a checked program and panics on violations
+//! instead of reporting them.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, ExprKind, Program, Stmt};
+use crate::CcError;
+
+/// Highest stimulus channel index accepted for a constant `sensor(ch)`.
+pub const SENSOR_CHANNELS: i64 = 64;
+
+/// Intrinsic signatures: name, arity, returns a value.
+pub const INTRINSICS: &[(&str, usize, bool)] =
+    &[("sensor", 1, true), ("publish", 2, false), ("misr", 1, false)];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Scalar,
+    Array,
+}
+
+struct Checker<'a> {
+    functions: HashMap<&'a str, (usize, bool)>,
+    globals: HashMap<&'a str, Binding>,
+    /// Innermost scope last; locals shadow globals.
+    scopes: Vec<HashMap<&'a str, Binding>>,
+    loop_depth: u32,
+    returns_value: bool,
+}
+
+/// Checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first semantic [`CcError`] found.
+pub fn check(program: &Program) -> Result<(), CcError> {
+    let mut functions = HashMap::new();
+    for f in &program.functions {
+        if INTRINSICS.iter().any(|(n, _, _)| *n == f.name) {
+            return Err(CcError::new(f.line, format!("`{}` shadows an intrinsic", f.name)));
+        }
+        if functions.insert(f.name.as_str(), (f.params.len(), f.returns_value)).is_some() {
+            return Err(CcError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    match functions.get("main") {
+        None => return Err(CcError::new(1, "no `main` function")),
+        Some(&(arity, _)) if arity != 0 => {
+            return Err(CcError::new(1, "`main` must take no parameters"))
+        }
+        _ => {}
+    }
+
+    let mut globals = HashMap::new();
+    for g in &program.globals {
+        let b = if g.is_array { Binding::Array } else { Binding::Scalar };
+        if globals.insert(g.name.as_str(), b).is_some() {
+            return Err(CcError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+    }
+
+    for f in &program.functions {
+        let mut ck = Checker {
+            functions: functions.clone(),
+            globals: globals.clone(),
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+            returns_value: f.returns_value,
+        };
+        for p in &f.params {
+            if ck.scopes[0].insert(p.as_str(), Binding::Scalar).is_some() {
+                return Err(CcError::new(f.line, format!("duplicate parameter `{p}`")));
+            }
+        }
+        ck.block(&f.body)?;
+    }
+    Ok(())
+}
+
+impl<'a> Checker<'a> {
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&b) = scope.get(name) {
+                return Some(b);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn block(&mut self, stmts: &'a [Stmt]) -> Result<(), CcError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn declare(&mut self, name: &'a str, line: u32) -> Result<(), CcError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name, Binding::Scalar).is_some() {
+            return Err(CcError::new(line, format!("`{name}` already declared in this scope")));
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &'a Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Decl { name, init, line } => {
+                // Initializer is checked in the *outer* scope: `int x = x;`
+                // refers to a shadowed outer `x`, or is an error.
+                self.value(init)?;
+                self.declare(name, *line)
+            }
+            Stmt::Assign { name, value, line } => {
+                match self.lookup(name) {
+                    None => {
+                        return Err(CcError::new(*line, format!("undeclared variable `{name}`")))
+                    }
+                    Some(Binding::Array) => {
+                        return Err(CcError::new(
+                            *line,
+                            format!("array `{name}` cannot be assigned as a scalar"),
+                        ))
+                    }
+                    Some(Binding::Scalar) => {}
+                }
+                self.value(value)
+            }
+            Stmt::Store { name, index, value, line } => {
+                match self.lookup(name) {
+                    None => return Err(CcError::new(*line, format!("undeclared array `{name}`"))),
+                    Some(Binding::Scalar) => {
+                        return Err(CcError::new(*line, format!("`{name}` is not an array")))
+                    }
+                    Some(Binding::Array) => {}
+                }
+                self.value(index)?;
+                self.value(value)
+            }
+            Stmt::If { cond, then, otherwise } => {
+                self.value(cond)?;
+                self.block(then)?;
+                self.block(otherwise)
+            }
+            Stmt::While { cond, body } => {
+                self.value(cond)?;
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The init clause's declaration scopes over cond/step/body.
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.value(c)?;
+                }
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.loop_depth += 1;
+                self.block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, line } => match (self.returns_value, value) {
+                (true, None) => Err(CcError::new(*line, "`int` function must return a value")),
+                (false, Some(_)) => {
+                    Err(CcError::new(*line, "`void` function cannot return a value"))
+                }
+                (_, Some(v)) => self.value(v),
+                (false, None) => Ok(()),
+            },
+            Stmt::Break { line } | Stmt::Continue { line } if self.loop_depth == 0 => {
+                Err(CcError::new(*line, "`break`/`continue` outside a loop"))
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => Ok(()),
+            Stmt::ExprStmt(e) => {
+                // Statement position is the one place void calls are legal.
+                if let ExprKind::Call(..) = &e.kind {
+                    self.call(e, false)
+                } else {
+                    self.value(e)
+                }
+            }
+        }
+    }
+
+    /// Checks an expression in value position.
+    fn value(&mut self, e: &'a Expr) -> Result<(), CcError> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(()),
+            ExprKind::Var(name) => match self.lookup(name) {
+                None => Err(CcError::new(e.line, format!("undeclared variable `{name}`"))),
+                Some(Binding::Array) => {
+                    Err(CcError::new(e.line, format!("array `{name}` used as a scalar")))
+                }
+                Some(Binding::Scalar) => Ok(()),
+            },
+            ExprKind::Index(name, idx) => {
+                match self.lookup(name) {
+                    None => return Err(CcError::new(e.line, format!("undeclared array `{name}`"))),
+                    Some(Binding::Scalar) => {
+                        return Err(CcError::new(e.line, format!("`{name}` is not an array")))
+                    }
+                    Some(Binding::Array) => {}
+                }
+                self.value(idx)
+            }
+            ExprKind::Bin(_, a, b) | ExprKind::LogicAnd(a, b) | ExprKind::LogicOr(a, b) => {
+                self.value(a)?;
+                self.value(b)
+            }
+            ExprKind::Un(_, a) => self.value(a),
+            ExprKind::Call(..) => self.call(e, true),
+        }
+    }
+
+    /// Checks a call; `want_value` rejects void results in value position.
+    fn call(&mut self, e: &'a Expr, want_value: bool) -> Result<(), CcError> {
+        let ExprKind::Call(name, args) = &e.kind else { unreachable!("checked by caller") };
+        let (arity, returns) = match INTRINSICS.iter().find(|(n, _, _)| n == name) {
+            Some(&(_, arity, returns)) => (arity, returns),
+            None => match self.functions.get(name.as_str()) {
+                Some(&sig) => sig,
+                None => return Err(CcError::new(e.line, format!("unknown function `{name}`"))),
+            },
+        };
+        if args.len() != arity {
+            return Err(CcError::new(
+                e.line,
+                format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+            ));
+        }
+        if want_value && !returns {
+            return Err(CcError::new(e.line, format!("`{name}` returns no value")));
+        }
+        if name == "sensor" {
+            if let ExprKind::Int(ch) = args[0].kind {
+                if !(0..SENSOR_CHANNELS).contains(&ch) {
+                    return Err(CcError::new(
+                        e.line,
+                        format!("sensor channel {ch} out of range 0..{SENSOR_CHANNELS}"),
+                    ));
+                }
+            }
+        }
+        for a in args {
+            self.value(a)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        check(&parse(src).unwrap()).unwrap();
+    }
+
+    fn err(src: &str) -> String {
+        check(&parse(src).unwrap()).unwrap_err().msg
+    }
+
+    #[test]
+    fn accepts_a_reasonable_program() {
+        ok("int acc;\nint buf[8];\n\
+            int f(int a, int b) { return a + b; }\n\
+            void main() { int i; for (i = 0; i < 8; i = i + 1) { buf[i] = f(i, acc); } }");
+    }
+
+    #[test]
+    fn requires_main_without_params() {
+        assert!(err("void f() {}").contains("main"));
+        assert!(err("void main(int x) {}").contains("no parameters"));
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        ok("void main() { int x = 1; if (x) { int x = 2; misr(x); } misr(x); }");
+        assert!(err("void main() { int x = 1; int x = 2; }").contains("already declared"));
+        assert!(err("void main() { { int y = 1; } misr(y); }").contains("undeclared"));
+        ok("void main() { for (int i = 0; i < 2; i = i + 1) {} for (int i = 0; i < 2; i = i + 1) {} }");
+    }
+
+    #[test]
+    fn array_scalar_confusion_rejected() {
+        assert!(err("int a[4]; void main() { a = 1; }").contains("cannot be assigned"));
+        assert!(err("int x; void main() { x[0] = 1; }").contains("not an array"));
+        assert!(err("int a[4]; void main() { misr(a); }").contains("used as a scalar"));
+    }
+
+    #[test]
+    fn call_rules() {
+        assert!(err("void main() { frob(1); }").contains("unknown function"));
+        assert!(err("int f(int a) { return a; } void main() { f(); }").contains("1 argument"));
+        assert!(err("void v() {} void main() { misr(v()); }").contains("returns no value"));
+        assert!(err("void main() { sensor(99); }").contains("out of range"));
+        ok("void main() { publish(0, sensor(1)); }");
+    }
+
+    #[test]
+    fn control_flow_rules() {
+        assert!(err("void main() { break; }").contains("outside a loop"));
+        assert!(err("int f() { return; } void main() {}").contains("must return a value"));
+        assert!(err("void main() { return 1; }").contains("cannot return a value"));
+        ok("void main() { while (1) { if (sensor(0)) { break; } } }");
+    }
+
+    #[test]
+    fn intrinsics_cannot_be_shadowed() {
+        assert!(err("int sensor(int c) { return c; } void main() {}").contains("shadows"));
+    }
+}

@@ -43,6 +43,20 @@ pub struct FuzzSpecRepr {
     pub count: u32,
 }
 
+/// Compiled-workload provenance: which LC kernels the campaign drew
+/// from the compiled registry and which compiler built them (v10+).
+///
+/// With this on record, `--workloads lc:<kernel>` reproduces the exact
+/// program set of an archived campaign as long as the compiler version
+/// matches — the registry interns one program per kernel per build.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LcProvenanceRepr {
+    /// `lockstep-cc` version that compiled the kernels.
+    pub compiler_version: String,
+    /// Compiled kernel names (without the `lc_` prefix), sorted.
+    pub kernels: Vec<String>,
+}
+
 /// A complete, serializable campaign result.
 ///
 /// `Deserialize` is written by hand (rather than derived) so that the
@@ -74,6 +88,10 @@ pub struct CampaignArchive {
     /// [`crate::shard::merge_shard_archives`]. `None` for single-shot
     /// and merged archives, and for files that predate v7.
     pub shard: Option<ShardRepr>,
+    /// Compiler provenance behind any `lc_*` workloads (v10+; `None`
+    /// for campaigns without compiled workloads and for files that
+    /// predate v10).
+    pub lc: Option<LcProvenanceRepr>,
 }
 
 impl Deserialize for CampaignArchive {
@@ -98,6 +116,10 @@ impl Deserialize for CampaignArchive {
             shard: match value.field("shard") {
                 Ok(v) => Deserialize::deserialize(v)?,
                 Err(_) => None, // pre-v7 file
+            },
+            lc: match value.field("lc") {
+                Ok(v) => Deserialize::deserialize(v)?,
+                Err(_) => None, // pre-v10 file
             },
         })
     }
@@ -151,8 +173,11 @@ impl From<serde_json::Error> for ArchiveError {
 /// LR5 or the out-of-order LR7; v9 records the redundancy arrangement
 /// (`redundancy` in the stats block and in shard provenance) now that
 /// campaigns can compare the copies under fixed DMR, dynamic pairing,
-/// or diverse-memory execution.
-pub const ARCHIVE_VERSION: u32 = 9;
+/// or diverse-memory execution; v10 adds the optional `lc` compiler
+/// provenance block now that campaigns can run LC kernels compiled by
+/// `lockstep-cc` (which compiler version built them, and which
+/// kernels).
+pub const ARCHIVE_VERSION: u32 = 10;
 
 /// Oldest format version [`CampaignArchive::load`] still accepts. v2
 /// files simply have no trace blobs, pre-v4 stats blocks default to
@@ -161,9 +186,10 @@ pub const ARCHIVE_VERSION: u32 = 9;
 /// batch mode `"off"` (the scalar engines were all that existed),
 /// pre-v7 files default to no shard provenance (they are complete
 /// single-shot archives by construction), pre-v8 files default the
-/// core model to `"lr5"` (the only core that existed before v8), and
+/// core model to `"lr5"` (the only core that existed before v8),
 /// pre-v9 files default the redundancy arrangement to `"fixed"` (the
-/// only comparison that existed before v9).
+/// only comparison that existed before v9), and pre-v10 files default
+/// to no compiler provenance (compiled workloads did not exist yet).
 pub const MIN_ARCHIVE_VERSION: u32 = 2;
 
 impl CampaignArchive {
@@ -192,6 +218,7 @@ impl CampaignArchive {
             traces: result.traces.clone(),
             fuzz: fuzz_provenance(result),
             shard: None,
+            lc: lc_provenance_from_names(result.golden.iter().map(|(name, _)| *name)),
         }
     }
 
@@ -286,6 +313,25 @@ pub(crate) fn fuzz_provenance_from_names<'a>(
         }
     }
     per_seed.into_iter().map(|(seed, count)| FuzzSpecRepr { seed, count }).collect()
+}
+
+/// Derives compiler provenance from workload names: `lc_*` names map
+/// back to their kernel and are recorded alongside the `lockstep-cc`
+/// version baked into this build. `None` when no compiled workloads
+/// participated. Shared with the shard merge.
+pub(crate) fn lc_provenance_from_names<'a>(
+    names: impl Iterator<Item = &'a str>,
+) -> Option<LcProvenanceRepr> {
+    let mut kernels: Vec<String> = names
+        .filter_map(|name| lockstep_workloads::lc::parse_name(name))
+        .map(str::to_owned)
+        .collect();
+    if kernels.is_empty() {
+        return None;
+    }
+    kernels.sort();
+    kernels.dedup();
+    Some(LcProvenanceRepr { compiler_version: lockstep_cc::COMPILER_VERSION.to_owned(), kernels })
 }
 
 #[cfg(test)]
@@ -859,6 +905,91 @@ mod tests {
         assert_eq!(loaded.shard.as_ref().unwrap().redundancy, "fixed");
         assert_eq!(loaded.records, result.records);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v9_archive_without_lc_provenance_still_loads() {
+        // A v9 writer serialized everything except the `lc` field (the
+        // stats and shard blocks already had their current shape).
+        #[derive(Serialize)]
+        struct ArchiveV9 {
+            version: u32,
+            records: Vec<ErrorRecord>,
+            injected: usize,
+            injected_per_unit: Vec<[u64; 2]>,
+            golden: Vec<(String, GoldenRunRepr)>,
+            stats: CampaignStats,
+            traces: Vec<Option<DivergenceTrace>>,
+            fuzz: Vec<FuzzSpecRepr>,
+            shard: Option<crate::shard::ShardRepr>,
+        }
+        let result = small_result();
+        let v9 = ArchiveV9 {
+            version: 9,
+            records: result.records.clone(),
+            injected: result.injected,
+            injected_per_unit: result.injected_per_unit.clone(),
+            golden: vec![(
+                "idctrn".to_owned(),
+                GoldenRunRepr {
+                    cycles: result.golden[0].1.cycles,
+                    output_checksum: result.golden[0].1.output_checksum,
+                    instructions: result.golden[0].1.instructions,
+                },
+            )],
+            stats: result.stats.clone(),
+            traces: Vec::new(),
+            fuzz: Vec::new(),
+            shard: None,
+        };
+        let dir = std::env::temp_dir().join("lockstep_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v9_compat.json");
+        std::fs::write(&path, serde_json::to_string(&v9).unwrap()).unwrap();
+        let loaded = CampaignArchive::load(&path).expect("v10 reader must accept v9 files");
+        assert_eq!(loaded.version, 9);
+        assert!(loaded.lc.is_none(), "pre-v10 files default to no compiler provenance");
+        assert_eq!(loaded.records, result.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lc_campaigns_record_compiler_provenance() {
+        let result = run_campaign(&CampaignConfig {
+            workloads: vec![
+                Workload::find("lc_canrdr").unwrap(),
+                Workload::find("lc_crc32").unwrap(),
+            ],
+            faults_per_workload: 40,
+            seed: 5,
+            threads: 2,
+            capture_window: 8,
+            checkpoint_interval: Some(1024),
+            events: None,
+            trace_window: None,
+            replay_mode: Default::default(),
+            cpus: 2,
+            batch: None,
+            core: CoreKind::Lr5,
+            redundancy: RedundancyMode::Fixed,
+        });
+        let archive = CampaignArchive::from_result(&result);
+        assert_eq!(archive.version, ARCHIVE_VERSION);
+        let lc = archive.lc.as_ref().expect("compiled workloads carry provenance");
+        assert_eq!(lc.compiler_version, lockstep_cc::COMPILER_VERSION);
+        assert_eq!(lc.kernels, vec!["canrdr".to_owned(), "crc32".to_owned()]);
+
+        // Round-trips through JSON, and `into_result` re-resolves the
+        // archived names through the compiled registry.
+        let json = serde_json::to_string(&archive).unwrap();
+        let back: CampaignArchive = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lc, archive.lc);
+        let restored = back.into_result();
+        assert_eq!(restored.golden[0].0, "lc_canrdr");
+
+        // Kernel-only campaigns stay provenance-free.
+        let plain = CampaignArchive::from_result(&small_result());
+        assert!(plain.lc.is_none());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   A token of the form `fuzz:<seed>[:<count>]` expands to `count`
 //!   (default 8) deterministic fuzz-generated programs from the seeded
 //!   generator, e.g. `--workloads fuzz:42:16` or mixed with kernels as
-//!   `--workloads rspeed,fuzz:42`;
+//!   `--workloads rspeed,fuzz:42`. A token of the form `lc:<kernel>`
+//!   selects one compiled-LC workload (`lc:all` the whole compiled
+//!   set), e.g. `--workloads lc:quicksort,rspeed`;
 //! * `--checkpoint-interval K` — golden checkpoint spacing in cycles
 //!   (default 4096; `0` disables checkpointing and replays every
 //!   injection from reset);
@@ -45,7 +47,7 @@ use std::sync::Arc;
 use lockstep_core::RedundancyMode;
 use lockstep_cpu::CoreKind;
 use lockstep_obs::{EventSink, JsonlSink};
-use lockstep_workloads::{fuzz, Workload};
+use lockstep_workloads::{fuzz, lc, Workload};
 
 use crate::batch::BatchConfig;
 use crate::campaign::{CampaignConfig, ReplayMode, DEFAULT_CHECKPOINT_INTERVAL};
@@ -125,6 +127,19 @@ impl CommonArgs {
                                 ))
                             });
                             out.workloads.extend(spec.workloads());
+                        } else if let Some(kernel) = name.strip_prefix("lc:") {
+                            // `lc:<kernel>` selects one compiled-LC
+                            // workload; `lc:all` the whole compiled set.
+                            if kernel == "all" {
+                                out.workloads.extend(lc::all());
+                            } else {
+                                out.workloads.push(lc::compiled(kernel).unwrap_or_else(|| {
+                                    die(&format!(
+                                        "unknown lc kernel `{kernel}` \
+                                         (expected lc:all or lc:<kernel>)"
+                                    ))
+                                }));
+                            }
                         } else {
                             out.workloads.push(
                                 Workload::find(name)
@@ -180,7 +195,7 @@ impl CommonArgs {
                 "--help" | "-h" => {
                     println!(
                         "usage: [--faults N] [--seed S] [--threads T] \
-                         [--workloads a,b,c | fuzz:<seed>[:<count>]] \
+                         [--workloads a,b,c | fuzz:<seed>[:<count>] | lc:<kernel>|lc:all] \
                          [--checkpoint-interval K (0 = off)] [--events PATH] \
                          [--trace-window N (0 = off)] [--replay-mode shadow|lockstep] \
                          [--batch-mode off|fanout|earlyout|lanes|full] [--core lr5|lr7] \
@@ -279,6 +294,31 @@ mod tests {
 
         // Same spec twice → the same interned instances.
         let b = parse(&["--workloads", "fuzz:7:3"]);
+        assert!(std::ptr::eq(a.workloads[1], b.workloads[0]));
+    }
+
+    #[test]
+    fn lc_workload_specs_expand() {
+        use lockstep_workloads::lc;
+
+        let a = parse(&["--workloads", "lc:quicksort"]);
+        assert_eq!(a.workloads.len(), 1);
+        assert_eq!(a.workloads[0].name, "lc_quicksort");
+
+        let a = parse(&["--workloads", "lc:all"]);
+        assert_eq!(a.workloads.len(), lc::KERNELS.len());
+        assert!(a.workloads.iter().all(|w| w.name.starts_with("lc_")));
+
+        // Mixed with hand-written kernels, fuzz sweeps, and lc_ names.
+        let a = parse(&["--workloads", "rspeed,lc:crc32,fuzz:7:2,lc_sieve"]);
+        assert_eq!(a.workloads.len(), 5);
+        assert_eq!(a.workloads[0].name, "rspeed");
+        assert_eq!(a.workloads[1].name, "lc_crc32");
+        assert_eq!(a.workloads[2].name, "fuzz7_000");
+        assert_eq!(a.workloads[4].name, "lc_sieve");
+
+        // Same token twice → the same interned instance.
+        let b = parse(&["--workloads", "lc:crc32"]);
         assert!(std::ptr::eq(a.workloads[1], b.workloads[0]));
     }
 

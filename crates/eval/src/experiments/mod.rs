@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod crosscore;
+pub mod diversity;
 pub mod fig10;
 pub mod fig11;
 pub mod fig45;

@@ -32,7 +32,10 @@ use lockstep_obs::DivergenceTrace;
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
-use crate::archive::{fuzz_provenance_from_names, CampaignArchive, GoldenRunRepr, ARCHIVE_VERSION};
+use crate::archive::{
+    fuzz_provenance_from_names, lc_provenance_from_names, CampaignArchive, GoldenRunRepr,
+    ARCHIVE_VERSION,
+};
 use crate::batch::{BatchConfig, CoreBatch};
 use crate::campaign::{
     collect_workload_stats, elapsed_nanos, emit_replay_mode_downgrade, order_produced,
@@ -567,6 +570,7 @@ pub fn merge_shard_archives(shards: &[CampaignArchive]) -> Result<CampaignArchiv
     };
 
     let fuzz = fuzz_provenance_from_names(golden.iter().map(|(name, _)| name.as_str()));
+    let lc = lc_provenance_from_names(golden.iter().map(|(name, _)| name.as_str()));
     Ok(CampaignArchive {
         version: ARCHIVE_VERSION,
         records,
@@ -577,6 +581,7 @@ pub fn merge_shard_archives(shards: &[CampaignArchive]) -> Result<CampaignArchiv
         traces,
         fuzz,
         shard: None,
+        lc,
     })
 }
 

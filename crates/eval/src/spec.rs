@@ -20,7 +20,7 @@
 
 use lockstep_core::RedundancyMode;
 use lockstep_cpu::CoreKind;
-use lockstep_workloads::{fuzz, Workload};
+use lockstep_workloads::{fuzz, lc, Workload};
 use serde::json::{Error as JsonError, Value};
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +33,11 @@ use crate::campaign::{
 /// campaign service (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct CampaignSpec {
-    /// Workload names in campaign order (`rspeed`, `fuzz7_002`, ...).
-    /// A `fuzz:<seed>[:<count>]` token expands to that sweep's
-    /// generated programs when the spec is resolved.
+    /// Workload names in campaign order (`rspeed`, `fuzz7_002`,
+    /// `lc_quicksort`, ...). A `fuzz:<seed>[:<count>]` token expands to
+    /// that sweep's generated programs when the spec is resolved; an
+    /// `lc:<kernel>` token to one compiled-LC workload (`lc:all` to the
+    /// whole compiled set).
     pub workloads: Vec<String>,
     /// Fault injections per workload.
     pub faults_per_workload: u64,
@@ -176,8 +178,8 @@ impl CampaignSpec {
         Ok(self.resolve_workloads()?.len() as u64 * self.faults_per_workload)
     }
 
-    /// Expands `fuzz:` tokens and resolves every workload name against
-    /// the compiled-in suite.
+    /// Expands `fuzz:` and `lc:` tokens and resolves every workload
+    /// name against the compiled-in suite.
     ///
     /// # Errors
     ///
@@ -194,6 +196,19 @@ impl CampaignSpec {
                 let spec = fuzz::FuzzSpec::parse(spec)
                     .ok_or_else(|| SpecError::BadFuzzSpec(name.to_owned()))?;
                 out.extend(spec.workloads());
+            } else if let Some(kernel) = name.strip_prefix("lc:") {
+                // `lc:<kernel>` selects one compiled-LC workload,
+                // `lc:all` the whole compiled set. Unknown kernels are
+                // the same protocol error as unknown plain names, so
+                // clients get one `unknown_workload` code either way.
+                if kernel == "all" {
+                    out.extend(lc::all());
+                } else {
+                    out.push(
+                        lc::compiled(kernel)
+                            .ok_or_else(|| SpecError::UnknownWorkload(name.to_owned()))?,
+                    );
+                }
             } else {
                 out.push(
                     Workload::find(name)
@@ -391,6 +406,29 @@ mod tests {
 
         s.workloads = vec!["fuzz:bad:spec:extra".to_owned()];
         assert_eq!(s.resolve_workloads().unwrap_err().code(), "bad_fuzz_spec");
+    }
+
+    #[test]
+    fn lc_tokens_expand_on_resolve() {
+        let mut s = spec();
+        s.workloads = vec!["lc:quicksort".to_owned(), "rspeed".to_owned(), "lc_canrdr".to_owned()];
+        let resolved = s.resolve_workloads().unwrap();
+        assert_eq!(resolved.len(), 3);
+        assert_eq!(resolved[0].name, "lc_quicksort");
+        assert_eq!(resolved[2].name, "lc_canrdr");
+
+        s.workloads = vec!["lc:all".to_owned()];
+        assert_eq!(s.resolve_workloads().unwrap().len(), lc::KERNELS.len());
+
+        // Unknown lc kernels and unknown lc_ names both surface as the
+        // typed unknown_workload protocol error the service rejects at
+        // submit.
+        s.workloads = vec!["lc:warp9".to_owned()];
+        let err = s.resolve_workloads().unwrap_err();
+        assert_eq!(err, SpecError::UnknownWorkload("lc:warp9".to_owned()));
+        assert_eq!(err.code(), "unknown_workload");
+        s.workloads = vec!["lc_warp9".to_owned()];
+        assert_eq!(s.resolve_workloads().unwrap_err().code(), "unknown_workload");
     }
 
     #[test]

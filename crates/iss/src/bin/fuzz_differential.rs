@@ -1,8 +1,8 @@
 //! Differential fuzzing driver: pipelined core vs. reference ISS.
 //!
 //! ```text
-//! fuzz_differential --seed 42 --count 500 [--core lr5|lr7] [--threads N]
-//!                   [--repro-dir DIR] [--emit IDX]
+//! fuzz_differential --seed 42 --count 500 [--core lr5|lr7] [--lc]
+//!                   [--threads N] [--repro-dir DIR] [--emit IDX]
 //! ```
 //!
 //! Runs `count` generated programs through the selected core model
@@ -12,16 +12,25 @@
 //! which is what the nightly CI lane keys its artifact upload on.
 //! `--emit IDX` prints one generated program and exits, for eyeballing
 //! the corpus.
+//!
+//! `--lc` switches the corpus from raw generated assembly to random LC
+//! programs compiled through `lockstep-cc`, fuzzing the compiler and
+//! both executors in one sweep. A generated LC program that fails to
+//! compile is itself a bug (the generator only emits well-typed LC) and
+//! fails the run. Mismatch repros are minimized at the compiled
+//! assembly level, so the `.asm` repro format — and the CI upload path
+//! that collects it — is unchanged; `--emit` prints the LC source.
 
 use lockstep_cpu::{CoreKind, CoreModel, Cpu, Lr7};
-use lockstep_iss::diff::{run_fuzz_for, stimulus_seed, DiffVerdict};
+use lockstep_iss::diff::{lc_source, run_fuzz_for, run_lc_fuzz_for, stimulus_seed, DiffVerdict};
 use lockstep_iss::minimize::{minimize_for, write_repro};
-use lockstep_workloads::fuzz::generate_source;
+use lockstep_workloads::{fuzz, lc};
 
 struct Args {
     seed: u64,
     count: u32,
     core: CoreKind,
+    lc: bool,
     threads: usize,
     repro_dir: std::path::PathBuf,
     emit: Option<u32>,
@@ -30,7 +39,7 @@ struct Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: fuzz_differential --seed N --count N [--core lr5|lr7] [--threads N] \
+        "usage: fuzz_differential --seed N --count N [--core lr5|lr7] [--lc] [--threads N] \
          [--repro-dir DIR] [--emit IDX]"
     );
     std::process::exit(2);
@@ -41,6 +50,7 @@ fn parse_args() -> Args {
         seed: 42,
         count: 500,
         core: CoreKind::default(),
+        lc: false,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         repro_dir: std::path::PathBuf::from("tests/repros"),
         emit: None,
@@ -55,6 +65,7 @@ fn parse_args() -> Args {
             "--core" => {
                 args.core = CoreKind::from_flag(&value()).unwrap_or_else(|| die("bad --core"))
             }
+            "--lc" => args.lc = true,
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| die("bad --threads")),
             "--repro-dir" => args.repro_dir = value().into(),
             "--emit" => args.emit = Some(value().parse().unwrap_or_else(|_| die("bad --emit"))),
@@ -68,15 +79,21 @@ fn parse_args() -> Args {
 }
 
 fn fuzz_core<C: CoreModel>(args: &Args) -> i32 {
+    let corpus = if args.lc { "compiled-LC" } else { "generated-asm" };
     eprintln!(
-        "fuzz: seed {} x {} programs on {} against {} thread(s)",
+        "fuzz: seed {} x {} {corpus} programs on {} against {} thread(s)",
         args.seed,
         args.count,
         C::NAME,
         args.threads
     );
-    let report = run_fuzz_for::<C>(args.seed, args.count, args.threads, None);
+    let report = if args.lc {
+        run_lc_fuzz_for::<C>(args.seed, args.count, args.threads, None)
+    } else {
+        run_fuzz_for::<C>(args.seed, args.count, args.threads, None)
+    };
     let mismatches = report.mismatches();
+    let compile_failures = report.asm_errors();
     eprintln!(
         "fuzz: {} programs, {} instructions retired, {} mismatch(es)",
         report.cases.len(),
@@ -84,15 +101,35 @@ fn fuzz_core<C: CoreModel>(args: &Args) -> i32 {
         mismatches.len()
     );
 
+    // LC programs are well-typed by construction: a compile failure is
+    // a generator or compiler bug, not a property of the executors.
+    for &index in &compile_failures {
+        if let DiffVerdict::AsmError(detail) = &report.cases[index as usize].outcome.verdict {
+            eprintln!("COMPILE FAILURE seed {} program {index}: {detail}", args.seed);
+        }
+    }
+
     if mismatches.is_empty() {
-        return 0;
+        return i32::from(!compile_failures.is_empty());
     }
     for &index in &mismatches {
         let case = &report.cases[index as usize];
         if let DiffVerdict::Mismatch(detail) = &case.outcome.verdict {
             eprintln!("MISMATCH {} seed {} program {index}: {detail}", C::NAME, args.seed);
         }
-        let src = generate_source(args.seed, index);
+        let src = if args.lc {
+            match lc_source(args.seed, index) {
+                Ok(asm) => asm,
+                Err(e) => {
+                    // Unreachable in practice: the sweep already compiled
+                    // this index successfully to reach a mismatch verdict.
+                    eprintln!("  recompile failed: {e}");
+                    continue;
+                }
+            }
+        } else {
+            fuzz::generate_source(args.seed, index)
+        };
         let stim = stimulus_seed(args.seed, index);
         match minimize_for::<C>(&src, args.seed, index, stim, None) {
             Some(repro) => match write_repro(&repro, &args.repro_dir) {
@@ -113,7 +150,11 @@ fn main() {
     let args = parse_args();
 
     if let Some(index) = args.emit {
-        print!("{}", generate_source(args.seed, index));
+        if args.lc {
+            print!("{}", lc::generate_source(args.seed, index));
+        } else {
+            print!("{}", fuzz::generate_source(args.seed, index));
+        }
         return;
     }
 

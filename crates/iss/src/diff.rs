@@ -279,6 +279,18 @@ impl FuzzReport {
         self.cases.iter().filter(|c| c.outcome.verdict.is_mismatch()).map(|c| c.index).collect()
     }
 
+    /// Indices of the programs that never reached execution
+    /// ([`DiffVerdict::AsmError`]). Always empty for the raw-assembly
+    /// generator; in LC mode a compile failure lands here, and is a bug
+    /// in the LC generator or compiler rather than in either executor.
+    pub fn asm_errors(&self) -> Vec<u32> {
+        self.cases
+            .iter()
+            .filter(|c| matches!(c.outcome.verdict, DiffVerdict::AsmError(_)))
+            .map(|c| c.index)
+            .collect()
+    }
+
     /// Total instructions the interpreter retired across the sweep.
     pub fn total_retired(&self) -> u64 {
         self.cases.iter().map(|c| c.outcome.iss_retired).sum()
@@ -304,6 +316,45 @@ pub fn run_fuzz_for<C: CoreModel>(
     threads: usize,
     quirk: Option<Quirk>,
 ) -> FuzzReport {
+    run_source_sweep_for::<C>(seed, count, threads, quirk, |seed, index| {
+        Ok(generate_source(seed, index))
+    })
+}
+
+/// Generates one random LC program, compiles it to LR5 assembly, and
+/// returns the assembly — or the compiler's error. The whole point of
+/// the LC fuzz mode is that this must never fail: generated LC is
+/// well-typed by construction, so a `CcError` here is a generator or
+/// compiler bug and surfaces as [`DiffVerdict::AsmError`].
+pub fn lc_source(seed: u64, index: u32) -> Result<String, String> {
+    let lc = lockstep_workloads::lc::generate_source(seed, index);
+    lockstep_cc::compile(&lc).map_err(|e| format!("lc compile failed: {e}"))
+}
+
+/// [`run_fuzz_for`] over the compiled-LC corpus: each index is a random
+/// LC program run through `lockstep-cc` and then diffed pipeline vs.
+/// ISS. This fuzzes the compiler and both executors in one sweep — a
+/// miscompile that changes architectural effects shows up exactly like
+/// a pipeline bug, and the minimizer then shrinks the compiled `.asm`.
+pub fn run_lc_fuzz_for<C: CoreModel>(
+    seed: u64,
+    count: u32,
+    threads: usize,
+    quirk: Option<Quirk>,
+) -> FuzzReport {
+    run_source_sweep_for::<C>(seed, count, threads, quirk, lc_source)
+}
+
+/// The shared sweep engine: `source_of(seed, index)` supplies each
+/// program's assembly text (an `Err` becomes that index's
+/// [`DiffVerdict::AsmError`] without touching either executor).
+fn run_source_sweep_for<C: CoreModel>(
+    seed: u64,
+    count: u32,
+    threads: usize,
+    quirk: Option<Quirk>,
+    source_of: impl Fn(u64, u32) -> Result<String, String> + Sync,
+) -> FuzzReport {
     let threads = threads.max(1);
     let next = std::sync::atomic::AtomicU32::new(0);
     let mut cases: Vec<Option<FuzzCase>> = vec![None; count as usize];
@@ -315,13 +366,19 @@ pub fn run_fuzz_for<C: CoreModel>(
                 if index >= count {
                     return;
                 }
-                let source = generate_source(seed, index);
-                let outcome = run_differential_for::<C>(
-                    &source,
-                    stimulus_seed(seed, index),
-                    DEFAULT_MAX_CYCLES,
-                    quirk,
-                );
+                let outcome = match source_of(seed, index) {
+                    Ok(source) => run_differential_for::<C>(
+                        &source,
+                        stimulus_seed(seed, index),
+                        DEFAULT_MAX_CYCLES,
+                        quirk,
+                    ),
+                    Err(e) => DiffOutcome {
+                        verdict: DiffVerdict::AsmError(e),
+                        iss_retired: 0,
+                        lr5_cycles: 0,
+                    },
+                };
                 let case = FuzzCase { index, outcome };
                 slots.lock().expect("fuzz slots poisoned")[index as usize] = Some(case);
             });
@@ -399,6 +456,51 @@ mod tests {
         use lockstep_cpu::Lr7;
         let report = run_fuzz_for::<Lr7>(2018, 8, 2, Some(Quirk::SubOffByOne));
         assert!(!report.mismatches().is_empty(), "seeded bug went undetected by lr7 diff");
+    }
+
+    #[test]
+    fn lc_kernels_match_iss() {
+        // The compiled-kernel registry must agree with the reference
+        // interpreter too — together with the workloads-crate LR5/LR7
+        // golden tests this closes the LR5 = LR7 = ISS equivalence
+        // argument for every shipped LC kernel.
+        for w in lockstep_workloads::lc::all() {
+            let out = run_differential(w.source, 7, DEFAULT_MAX_CYCLES, None);
+            assert_eq!(out.verdict, DiffVerdict::Match, "{} diverged: {:?}", w.name, out.verdict);
+            assert!(out.iss_retired > 100, "{} retired too little", w.name);
+        }
+    }
+
+    #[test]
+    fn lr7_lc_kernels_match_iss() {
+        use lockstep_cpu::Lr7;
+        for w in lockstep_workloads::lc::all().iter().take(3) {
+            let out = run_differential_for::<Lr7>(w.source, 7, DEFAULT_MAX_CYCLES, None);
+            assert_eq!(out.verdict, DiffVerdict::Match, "{} diverged: {:?}", w.name, out.verdict);
+        }
+    }
+
+    #[test]
+    fn lc_generated_programs_match() {
+        let report = run_lc_fuzz_for::<Cpu>(2018, 12, 4, None);
+        assert_eq!(report.asm_errors(), Vec::<u32>::new(), "generated LC failed to compile");
+        assert_eq!(report.mismatches(), Vec::<u32>::new());
+        assert!(report.total_retired() > 1000);
+    }
+
+    #[test]
+    fn lc_quirk_is_detected() {
+        // The compiled corpus must retain enough behavioral surface to
+        // expose a seeded interpreter bug, same as the raw-asm corpus.
+        let report = run_lc_fuzz_for::<Cpu>(2018, 8, 2, Some(Quirk::SubOffByOne));
+        assert!(!report.mismatches().is_empty(), "seeded bug went undetected by lc fuzz");
+    }
+
+    #[test]
+    fn lc_verdicts_are_thread_count_independent() {
+        let a = run_lc_fuzz_for::<Cpu>(99, 6, 1, None);
+        let b = run_lc_fuzz_for::<Cpu>(99, 6, 4, None);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -494,6 +494,17 @@ mod tests {
     }
 
     #[test]
+    fn submit_accepts_lc_workload_tokens() {
+        let line = r#"{"cmd":"submit","workloads":["rspeed","lc:crc32"],"faults_per_workload":5}"#;
+        let Request::Submit(spec) = Request::parse(line).unwrap() else {
+            panic!("expected a submit request");
+        };
+        let config = spec.campaign_config().unwrap();
+        assert_eq!(config.workloads.len(), 2);
+        assert_eq!(config.workloads[1].name, "lc_crc32");
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for (line, code, needle) in [
             ("not json", "bad_request", "malformed"),
@@ -502,6 +513,13 @@ mod tests {
             (r#"{"cmd":"submit","faults_per_workload":5}"#, "bad_request", "workloads"),
             (
                 r#"{"cmd":"submit","workloads":["nope"],"faults_per_workload":5}"#,
+                "unknown_workload",
+                "unknown workload",
+            ),
+            (
+                // An lc: token naming a kernel the compiler registry
+                // doesn't have is rejected at submit, same typed error.
+                r#"{"cmd":"submit","workloads":["lc:warp9"],"faults_per_workload":5}"#,
                 "unknown_workload",
                 "unknown workload",
             ),

@@ -126,6 +126,7 @@ fn dummy_archive(spec: &JobSpec, shard: &lockstep_eval::shard::ShardSpec) -> Cam
         traces: Vec::new(),
         fuzz: Vec::new(),
         shard: Some(lockstep_eval::shard::ShardRepr::new(&config, shard)),
+        lc: None,
     }
 }
 
@@ -440,6 +441,10 @@ fn malformed_requests_get_error_lines_and_the_connection_survives() {
         (r#"{"no_cmd":true}"#, "bad_request"),
         (
             r#"{"cmd":"submit","workloads":["not_a_workload"],"faults_per_workload":5}"#,
+            "unknown_workload",
+        ),
+        (
+            r#"{"cmd":"submit","workloads":["lc:not_a_kernel"],"faults_per_workload":5}"#,
             "unknown_workload",
         ),
         (r#"{"cmd":"status","job":"job-999999"}"#, "unknown_job"),

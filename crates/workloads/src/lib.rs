@@ -34,6 +34,7 @@
 
 pub mod fuzz;
 mod kernels;
+pub mod lc;
 
 pub use kernels::extra;
 
@@ -152,13 +153,17 @@ impl Workload {
     }
 
     /// Looks a kernel up by name, searching the default suite, the extra
-    /// (ablation) kernels, and — for `fuzz<seed>_<index>` names — the
+    /// (ablation) kernels, the compiled-LC registry (`lc_<kernel>` names,
+    /// see [`lc`]), and — for `fuzz<seed>_<index>` names — the
     /// deterministic generated-program registry (see [`fuzz`]), so
-    /// archives recorded over fuzz workloads re-resolve to identical
-    /// programs.
+    /// archives recorded over fuzz or compiled workloads re-resolve to
+    /// identical programs.
     pub fn find(name: &str) -> Option<&'static Workload> {
         if let Some(w) = kernels::ALL.iter().chain(kernels::extra()).find(|w| w.name == name) {
             return Some(w);
+        }
+        if let Some(kernel) = lc::parse_name(name) {
+            return lc::compiled(kernel);
         }
         let (seed, index) = fuzz::parse_name(name)?;
         Some(fuzz::generated(seed, index))
@@ -338,6 +343,15 @@ mod tests {
         assert!(std::ptr::eq(w, fuzz::generated(42, 1)));
         assert!(Workload::find("fuzzbad_name").is_none());
         assert!(Workload::all().iter().all(|w| !w.name.starts_with("fuzz")));
+    }
+
+    #[test]
+    fn find_resolves_compiled_lc_names() {
+        let w = Workload::find("lc_quicksort").expect("lc names resolve");
+        assert_eq!(w.name, "lc_quicksort");
+        assert!(std::ptr::eq(w, lc::compiled("quicksort").unwrap()));
+        assert!(Workload::find("lc_nope").is_none());
+        assert!(Workload::all().iter().all(|w| !w.name.starts_with("lc_")));
     }
 
     #[test]
